@@ -1,0 +1,54 @@
+//! Criterion wrapper around the Figure 6 measurement at reduced scale, so
+//! `cargo bench` exercises the full query pipeline (resolve → splitter
+//! forwarding → replies, and DIM's zone chain) end to end.
+//!
+//! The paper-scale numbers come from the `fig6` binary; this bench tracks
+//! the *computational* cost of a whole query on each system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pool_bench::harness::{Scenario, SystemPair};
+use pool_core::config::PoolConfig;
+use pool_core::query::RangeQuery;
+use pool_netsim::node::NodeId;
+use pool_workloads::events::EventDistribution;
+use pool_workloads::queries::{exact_query, RangeSizeDistribution};
+use std::cell::Cell;
+
+fn bench_query_pipeline(c: &mut Criterion) {
+    let scenario = Scenario { events_per_node: 3, ..Scenario::paper(300, 2024) };
+    let mut pair = SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
+
+    // Pre-draw a pool of (sink, query) pairs and cycle through them.
+    let inputs: Vec<(NodeId, RangeQuery)> = (0..256)
+        .map(|_| {
+            let sink = pair.random_node();
+            let q = exact_query(pair.rng(), 3, RangeSizeDistribution::Exponential { mean: 0.1 });
+            (sink, q)
+        })
+        .collect();
+    let cursor = Cell::new(0usize);
+    let next = || {
+        let i = cursor.get();
+        cursor.set((i + 1) % inputs.len());
+        &inputs[i]
+    };
+
+    let mut group = c.benchmark_group("exact_match_query_300_nodes");
+    group.sample_size(40);
+    group.bench_function("pool", |b| {
+        b.iter(|| {
+            let (sink, q) = next();
+            pair.pool.query_from(*sink, q).unwrap()
+        })
+    });
+    group.bench_function("dim", |b| {
+        b.iter(|| {
+            let (sink, q) = next();
+            pair.dim.query_from(*sink, q).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_pipeline);
+criterion_main!(benches);

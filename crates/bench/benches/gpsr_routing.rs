@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the GPSR substrate: route computation cost and
+//! planarization build time for Gabriel vs relative-neighborhood graphs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pool_gpsr::{Gpsr, Planarization};
+use pool_netsim::deployment::Deployment;
+use pool_netsim::geometry::Point;
+use pool_netsim::node::NodeId;
+use pool_netsim::topology::Topology;
+
+fn connected_topology(n: usize, mut seed: u64) -> Topology {
+    loop {
+        let dep = Deployment::paper_setting(n, 40.0, 20.0, seed).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if topo.is_connected() {
+            return topo;
+        }
+        seed += 1;
+    }
+}
+
+fn bench_planarization(c: &mut Criterion) {
+    let topo = connected_topology(600, 10);
+    let mut group = c.benchmark_group("planarization_build");
+    for (name, method) in [
+        ("gabriel", Planarization::Gabriel),
+        ("rng", Planarization::RelativeNeighborhood),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &method, |b, &m| {
+            b.iter(|| Gpsr::new(black_box(&topo), m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = connected_topology(600, 10);
+    let gabriel = Gpsr::new(&topo, Planarization::Gabriel);
+    let rng_planar = Gpsr::new(&topo, Planarization::RelativeNeighborhood);
+    let target = Point::new(500.0, 500.0);
+    let mut group = c.benchmark_group("route_600_nodes");
+    group.bench_function("gabriel", |b| {
+        b.iter(|| gabriel.route(&topo, NodeId(0), black_box(target)).unwrap())
+    });
+    group.bench_function("rng", |b| {
+        b.iter(|| rng_planar.route(&topo, NodeId(0), black_box(target)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planarization, bench_routing);
+criterion_main!(benches);

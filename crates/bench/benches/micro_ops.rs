@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks of Pool's pure-math hot paths: Theorem 3.1
+//! placement, Theorem 3.2 resolving, and DIM's code computations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pool_core::event::Event;
+use pool_core::grid::{CellCoord, Grid};
+use pool_core::insert::{offsets_for, storage_cell};
+use pool_core::layout::PoolLayout;
+use pool_core::query::RangeQuery;
+use pool_core::resolve::relevant_cells;
+use pool_dim::code::ZoneCode;
+use pool_netsim::geometry::Rect;
+
+fn setup() -> (Grid, PoolLayout) {
+    let grid = Grid::over(Rect::square(500.0), 5.0).unwrap();
+    let layout = PoolLayout::random(&grid, 3, 10, 7).unwrap();
+    (grid, layout)
+}
+
+fn bench_insert_math(c: &mut Criterion) {
+    let (grid, layout) = setup();
+    let event = Event::new(vec![0.62, 0.31, 0.87]).unwrap();
+    c.bench_function("theorem_3_1_offsets", |b| {
+        b.iter(|| offsets_for(black_box(0.87), black_box(0.62), black_box(10)))
+    });
+    c.bench_function("storage_cell_with_ties", |b| {
+        b.iter(|| storage_cell(&layout, &grid, black_box(&event), CellCoord::new(40, 40)))
+    });
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let (_, layout) = setup();
+    let exact = RangeQuery::exact(vec![(0.2, 0.3), (0.25, 0.35), (0.21, 0.24)]).unwrap();
+    let partial = RangeQuery::from_bounds(vec![None, None, Some((0.8, 0.84))]).unwrap();
+    c.bench_function("theorem_3_2_resolve_exact", |b| {
+        b.iter(|| relevant_cells(&layout, black_box(&exact)))
+    });
+    c.bench_function("theorem_3_2_resolve_partial", |b| {
+        b.iter(|| relevant_cells(&layout, black_box(&partial)))
+    });
+}
+
+fn bench_dim_codes(c: &mut Criterion) {
+    let values = [0.62, 0.31, 0.87];
+    c.bench_function("dim_event_code_16bits", |b| {
+        b.iter(|| ZoneCode::of_event(black_box(&values), 16))
+    });
+    let code = ZoneCode::of_event(&values, 16);
+    c.bench_function("dim_attribute_ranges", |b| b.iter(|| code.attribute_ranges(black_box(3))));
+}
+
+criterion_group!(benches, bench_insert_math, bench_resolve, bench_dim_codes);
+criterion_main!(benches);

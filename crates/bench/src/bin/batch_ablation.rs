@@ -1,0 +1,52 @@
+//! Ablation: multi-query batching.
+//!
+//! Dashboards and sweeps issue several related queries at once. Pool's
+//! batch API shares the sink→splitter legs and deduplicates cell visits
+//! across the batch; this experiment measures the saving as a function of
+//! batch size and query overlap.
+//!
+//! Run: `cargo run -p pool-bench --bin batch_ablation --release`
+
+use pool_bench::cli::arg_usize;
+use pool_bench::harness::{print_header, Scenario, SystemPair};
+use pool_core::config::PoolConfig;
+use pool_core::query::RangeQuery;
+use pool_workloads::events::EventDistribution;
+use rand::Rng;
+
+fn main() {
+    let nodes = arg_usize("--nodes", 600);
+    let scenario = Scenario::paper(nodes, 123_123);
+    let mut pair = SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
+    print_header(
+        &format!("Query batching ({nodes} nodes, overlapping threshold sweeps)"),
+        &["batch_size", "separate_msgs", "batched_msgs", "saving"],
+    );
+    for batch_size in [2usize, 4, 8, 16] {
+        let mut separate_total = 0u64;
+        let mut batched_total = 0u64;
+        let trials = 15;
+        for _ in 0..trials {
+            let sink = pair.random_node();
+            // A threshold sweep: overlapping windows along dimension 1.
+            let base: f64 = pair.rng().gen_range(0.0..0.5);
+            let queries: Vec<RangeQuery> = (0..batch_size)
+                .map(|i| {
+                    let lo = (base + i as f64 * 0.02).min(0.9);
+                    RangeQuery::exact(vec![(lo, (lo + 0.2).min(1.0)), (0.0, 0.5), (0.0, 1.0)])
+                        .unwrap()
+                })
+                .collect();
+            for q in &queries {
+                separate_total += pair.pool.query_from(sink, q).unwrap().cost.total();
+            }
+            batched_total += pair.pool.query_batch(sink, &queries).unwrap().cost.total();
+        }
+        println!(
+            "{batch_size}\t{:.1}\t{:.1}\t{:.1}%",
+            separate_total as f64 / trials as f64,
+            batched_total as f64 / trials as f64,
+            100.0 * (1.0 - batched_total as f64 / separate_total as f64)
+        );
+    }
+}

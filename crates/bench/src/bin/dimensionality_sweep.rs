@@ -1,0 +1,40 @@
+//! Ablation: event dimensionality `k`.
+//!
+//! The paper evaluates only `k = 3` but motivates growing sensor
+//! capabilities (§1). Pool scales structurally with `k` — one more pool per
+//! dimension — while DIM's zone codes simply cycle over more attributes.
+//! This sweep measures both systems' exact- and partial-match costs from
+//! k = 2 to k = 6 at a fixed 600-node network.
+//!
+//! Run: `cargo run -p pool-bench --bin dimensionality_sweep --release`
+
+use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
+use pool_core::config::PoolConfig;
+use pool_workloads::events::EventDistribution;
+use pool_workloads::queries::RangeSizeDistribution;
+use pool_bench::cli::arg_usize;
+
+fn main() {
+    let queries = arg_usize("--queries", 50);
+    let nodes = arg_usize("--nodes", 600);
+    print_header(
+        &format!("Dimensionality sweep ({nodes} nodes, exponential exact match + 1-partial)"),
+        &["k", "pool_exact", "dim_exact", "pool_1partial", "dim_1partial"],
+    );
+    for k in 2usize..=6 {
+        let scenario =
+            Scenario { dims: k, ..Scenario::paper(nodes, 7_000 + k as u64) };
+        let mut pair = SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
+        let exact = measure(
+            &mut pair,
+            QueryKind::Exact(RangeSizeDistribution::Exponential { mean: 0.1 }),
+            queries,
+        );
+        let partial = measure(&mut pair, QueryKind::MPartial(1), queries);
+        println!(
+            "{k}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+            exact.pool.mean, exact.dim.mean, partial.pool.mean, partial.dim.mean
+        );
+    }
+}
+

@@ -1,0 +1,115 @@
+//! Failure-injection experiment: event survival and query health as nodes
+//! die, with and without Pool's replication.
+//!
+//! Rounds of random node failures are injected into three deployments over
+//! the same network and workload: DIM, plain Pool, and Pool with
+//! replication. After every round we report surviving events, the repair
+//! bill, and a full-domain query's result size (which doubles as a
+//! correctness audit: it must equal the survivor count).
+//!
+//! Run: `cargo run -p pool-bench --bin failure_resilience --release`
+
+use pool_bench::harness::print_header;
+use pool_core::config::PoolConfig;
+use pool_core::event::Event;
+use pool_core::query::RangeQuery;
+use pool_core::system::PoolSystem;
+use pool_dim::system::DimSystem;
+use pool_netsim::deployment::Deployment;
+use pool_netsim::node::NodeId;
+use pool_netsim::topology::Topology;
+use pool_workloads::events::{EventDistribution, EventGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let nodes = 600usize;
+    let events = 1200usize;
+    let mut seed = 2026u64;
+    let (topology, field) = loop {
+        let dep = Deployment::paper_setting(nodes, 40.0, 20.0, seed).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if topo.is_connected() {
+            break (topo, dep.field());
+        }
+        seed += 0x1000;
+    };
+
+    let mut dim = DimSystem::build(topology.clone(), field, 3).unwrap();
+    let mut plain =
+        PoolSystem::build(topology.clone(), field, PoolConfig::paper().with_seed(seed)).unwrap();
+    let mut replicated = PoolSystem::build(
+        topology.clone(),
+        field,
+        PoolConfig::paper().with_seed(seed).with_replication(),
+    )
+    .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+    for i in 0..events {
+        let event: Event = generator.generate(&mut rng);
+        let src = NodeId((i % nodes) as u32);
+        dim.insert_from(src, event.clone()).unwrap();
+        plain.insert_from(src, event.clone()).unwrap();
+        replicated.insert_from(src, event).unwrap();
+    }
+
+    print_header(
+        &format!("Failure resilience ({nodes} nodes, {events} events, 5 rounds of 2% failures)"),
+        &["round", "dead_total", "dim_alive", "pool_alive", "pool_repl_alive", "repl_repair_msgs"],
+    );
+    let full = RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
+    let mut dead_total = 0usize;
+    for round in 1..=5 {
+        // Fail 2% of the surviving population, avoiding a network split.
+        let victims: Vec<NodeId> = {
+            let alive: Vec<NodeId> = plain
+                .topology()
+                .nodes()
+                .iter()
+                .filter(|n| plain.topology().is_alive(n.id))
+                .map(|n| n.id)
+                .collect();
+            let count = (alive.len() / 50).max(1);
+            let mut picked = Vec::new();
+            let mut tries = 0;
+            while picked.len() < count && tries < 1000 {
+                tries += 1;
+                let candidate = alive[rng.gen_range(0..alive.len())];
+                if !picked.contains(&candidate)
+                    && plain
+                        .topology()
+                        .without_nodes(&[&picked[..], &[candidate]].concat())
+                        .is_connected()
+                {
+                    picked.push(candidate);
+                }
+            }
+            picked
+        };
+        dead_total += victims.len();
+
+        dim.fail_nodes(&victims).unwrap();
+        plain.fail_nodes(&victims).unwrap();
+        let report = replicated.fail_nodes(&victims).unwrap();
+
+        let sink = plain
+            .topology()
+            .nodes()
+            .iter()
+            .find(|n| plain.topology().is_alive(n.id))
+            .unwrap()
+            .id;
+        let dim_alive = dim.query_from(sink, &full).unwrap().events.len();
+        let pool_alive = plain.query_from(sink, &full).unwrap().events.len();
+        let repl_alive = replicated.query_from(sink, &full).unwrap().events.len();
+        assert_eq!(dim_alive, dim.stored_events());
+        assert_eq!(pool_alive, plain.store().len());
+        assert_eq!(repl_alive, replicated.store().len());
+        println!(
+            "{round}\t{dead_total}\t{dim_alive}\t{pool_alive}\t{repl_alive}\t{}",
+            report.repair_messages
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 6: exact-match query cost vs network size, for the uniform and
+//! exponential range-size distributions.
+//!
+//! Regenerates both panels:
+//! * 6(a) — uniform range sizes: costs are high; DIM grows with network
+//!   size while Pool stays nearly flat.
+//! * 6(b) — exponential range sizes: both much cheaper, same ordering.
+//!
+//! Run: `cargo run -p pool-bench --bin fig6 --release [-- --queries N]`
+
+use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
+use pool_core::config::PoolConfig;
+use pool_workloads::events::EventDistribution;
+use pool_workloads::queries::RangeSizeDistribution;
+use pool_bench::cli::arg_usize;
+
+fn main() {
+    let queries = arg_usize("--queries", 100);
+    let sizes = [300usize, 600, 900, 1200];
+    for (panel, dist, label) in [
+        ('a', RangeSizeDistribution::Uniform, "uniform"),
+        ('b', RangeSizeDistribution::Exponential { mean: 0.1 }, "exponential"),
+    ] {
+        print_header(
+            &format!("Figure 6({panel}): exact-match query cost, {label} range sizes"),
+            &["nodes", "pool_msgs", "dim_msgs", "dim/pool", "pool_cells", "dim_zones"],
+        );
+        for &n in &sizes {
+            let scenario = Scenario::paper(n, 42 + n as u64);
+            let mut pair =
+                SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
+            let m = measure(&mut pair, QueryKind::Exact(dist), queries);
+            println!(
+                "{n}\t{:.1}\t{:.1}\t{:.2}\t{:.1}\t{:.1}",
+                m.pool.mean,
+                m.dim.mean,
+                m.dim_over_pool(),
+                m.pool_cells,
+                m.dim_zones
+            );
+        }
+    }
+}
+

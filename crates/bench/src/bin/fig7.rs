@@ -1,0 +1,56 @@
+//! Figure 7: partial-match query cost at 900 nodes.
+//!
+//! * 7(a) — 1-partial vs 2-partial match queries: cost rises with the
+//!   number of unspecified dimensions; DIM is ~180% / ~250% costlier than
+//!   Pool.
+//! * 7(b) — 1@1 / 1@2 / 1@3 partial queries: DIM's cost depends strongly on
+//!   *which* dimension is unspecified (worst when it is the first, the top
+//!   of its k-d split order); Pool is flat.
+//!
+//! Run: `cargo run -p pool-bench --bin fig7 --release [-- --queries N --nodes N]`
+
+use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
+use pool_core::config::PoolConfig;
+use pool_workloads::events::EventDistribution;
+use pool_bench::cli::arg_usize;
+
+fn main() {
+    let queries = arg_usize("--queries", 100);
+    let nodes = arg_usize("--nodes", 900);
+    let scenario = Scenario::paper(nodes, 4242);
+    let mut pair = SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
+
+    print_header(
+        &format!("Figure 7(a): partial-match cost by number of unspecified dims ({nodes} nodes)"),
+        &["workload", "pool_msgs", "dim_msgs", "dim/pool", "pool_cells", "dim_zones"],
+    );
+    for m in [1usize, 2] {
+        let meas = measure(&mut pair, QueryKind::MPartial(m), queries);
+        println!(
+            "{m}-partial\t{:.1}\t{:.1}\t{:.2}\t{:.1}\t{:.1}",
+            meas.pool.mean,
+            meas.dim.mean,
+            meas.dim_over_pool(),
+            meas.pool_cells,
+            meas.dim_zones
+        );
+    }
+
+    print_header(
+        &format!("Figure 7(b): 1@n-partial match cost by unspecified dimension ({nodes} nodes)"),
+        &["workload", "pool_msgs", "dim_msgs", "dim/pool", "pool_cells", "dim_zones"],
+    );
+    for n in 0..3usize {
+        let meas = measure(&mut pair, QueryKind::OneAtN(n), queries);
+        println!(
+            "1@{}-partial\t{:.1}\t{:.1}\t{:.2}\t{:.1}\t{:.1}",
+            n + 1,
+            meas.pool.mean,
+            meas.dim.mean,
+            meas.dim_over_pool(),
+            meas.pool_cells,
+            meas.dim_zones
+        );
+    }
+}
+

@@ -1,0 +1,86 @@
+//! Ablation: value of reply aggregation at splitters (§3.2.3).
+//!
+//! The paper argues the splitter tree "enables the system to consume
+//! sensor energy more efficiently than by unicasting ... individually" and
+//! that aggregation "significantly reduces" reply traffic. This experiment
+//! compares Pool's reply cost with aggregation on and off as result-set
+//! sizes grow.
+//!
+//! Run: `cargo run -p pool-bench --bin forwarding_ablation --release`
+
+use pool_bench::harness::{print_header, Scenario};
+use pool_core::config::PoolConfig;
+use pool_core::query::RangeQuery;
+use pool_core::system::PoolSystem;
+use pool_netsim::deployment::Deployment;
+use pool_netsim::node::NodeId;
+use pool_netsim::topology::Topology;
+use pool_workloads::events::{EventDistribution, EventGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let nodes = 600usize;
+    let scenario = Scenario::paper(nodes, 31337);
+    let mut seed = scenario.seed;
+    let (topology, field) = loop {
+        let dep = Deployment::paper_setting(nodes, 40.0, 20.0, seed).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if topo.is_connected() {
+            break (topo, dep.field());
+        }
+        seed += 0x1000;
+    };
+
+    let build = |aggregate: bool| -> PoolSystem {
+        let mut config = PoolConfig::paper().with_seed(scenario.seed);
+        if !aggregate {
+            config = config.without_reply_aggregation();
+        }
+        let mut pool = PoolSystem::build(topology.clone(), field, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+        for i in 0..(nodes * 3) {
+            let event = generator.generate(&mut rng);
+            pool.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+        }
+        pool
+    };
+    let mut with_agg = build(true);
+    let mut without_agg = build(false);
+
+    print_header(
+        &format!("Reply aggregation ablation ({nodes} nodes, growing query selectivity)"),
+        &["range_size", "matches", "reply_aggregated", "reply_unaggregated", "ratio"],
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    for size in [0.05f64, 0.1, 0.2, 0.4, 0.6, 0.8] {
+        let mut agg_total = 0u64;
+        let mut raw_total = 0u64;
+        let mut matches = 0usize;
+        let trials = 25;
+        for _ in 0..trials {
+            let bounds = (0..3)
+                .map(|_| {
+                    let lo = rng.gen_range(0.0..=(1.0 - size));
+                    Some((lo, lo + size))
+                })
+                .collect();
+            let q = RangeQuery::from_bounds(bounds).unwrap();
+            let sink = NodeId(rng.gen_range(0..nodes as u32));
+            let a = with_agg.query_from(sink, &q).unwrap();
+            let b = without_agg.query_from(sink, &q).unwrap();
+            assert_eq!(a.events.len(), b.events.len());
+            matches += a.events.len();
+            agg_total += a.cost.reply_messages;
+            raw_total += b.cost.reply_messages;
+        }
+        println!(
+            "{size:.2}\t{:.1}\t{:.1}\t{:.1}\t{:.2}",
+            matches as f64 / trials as f64,
+            agg_total as f64 / trials as f64,
+            raw_total as f64 / trials as f64,
+            raw_total as f64 / agg_total.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Ablation: skewed events and the workload-sharing mechanism (§4.2).
+//!
+//! Pool's claim 3 (§1): an index node experiencing a burst of insertions
+//! can share load with its neighbors. This experiment drives a heavily
+//! skewed event stream into (a) DIM, (b) Pool without sharing, and
+//! (c) Pool with sharing at several capacities, then reports the maximum
+//! per-node storage load — the hotspot indicator.
+//!
+//! Run: `cargo run -p pool-bench --bin hotspot --release`
+
+use pool_bench::harness::{print_header, Scenario};
+use pool_core::config::{PoolConfig, SharingPolicy};
+use pool_core::system::PoolSystem;
+use pool_dim::system::DimSystem;
+use pool_netsim::deployment::Deployment;
+use pool_netsim::node::NodeId;
+use pool_netsim::topology::Topology;
+use pool_workloads::events::{EventDistribution, EventGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let nodes = 600usize;
+    let events = 1200usize;
+    let scenario = Scenario::paper(nodes, 999);
+    let mut seed = scenario.seed;
+    let (topology, field) = loop {
+        let dep = Deployment::paper_setting(nodes, 40.0, 20.0, seed).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if topo.is_connected() {
+            break (topo, dep.field());
+        }
+        seed += 0x1000;
+    };
+    let skew = EventDistribution::Hotspot { center: vec![0.85, 0.1, 0.1], std_dev: 0.02 };
+
+    // DIM baseline under skew.
+    let mut dim = DimSystem::build(topology.clone(), field, 3).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut generator = EventGenerator::new(3, skew.clone());
+    for i in 0..events {
+        let event = generator.generate(&mut rng);
+        dim.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+    }
+
+    print_header(
+        &format!("Hotspot under skewed events ({events} events, {nodes} nodes)"),
+        &["system", "max_node_load", "loaded_nodes", "insert_msgs_per_event"],
+    );
+    println!(
+        "dim\t{}\t-\t{:.2}",
+        dim.max_owner_load(),
+        dim.traffic().total_messages() as f64 / events as f64
+    );
+
+    for capacity in [None, Some(200), Some(50), Some(10)] {
+        let mut config = PoolConfig::paper().with_seed(scenario.seed);
+        if let Some(c) = capacity {
+            config = config.with_sharing(SharingPolicy::new(c));
+        }
+        let mut pool = PoolSystem::build(topology.clone(), field, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut generator = EventGenerator::new(3, skew.clone());
+        for i in 0..events {
+            let event = generator.generate(&mut rng);
+            pool.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+        }
+        let label = match capacity {
+            None => "pool (no sharing)".to_string(),
+            Some(c) => format!("pool (capacity {c})"),
+        };
+        println!(
+            "{label}\t{}\t{}\t{:.2}",
+            pool.store().max_node_load(),
+            pool.store().loaded_nodes(),
+            pool.traffic().total_messages() as f64 / events as f64
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! §5.2's omitted comparison: data-insertion cost vs network size.
+//!
+//! The paper drops this plot because "the data insertion cost of both
+//! methods are conceptually the same" (both GPSR-route each event to one
+//! storage node). This binary verifies that claim empirically.
+//!
+//! Run: `cargo run -p pool-bench --bin insertion_cost --release`
+
+use pool_bench::harness::{print_header, Scenario};
+use pool_core::config::PoolConfig;
+use pool_core::system::PoolSystem;
+use pool_dim::system::DimSystem;
+use pool_netsim::deployment::Deployment;
+use pool_netsim::node::NodeId;
+use pool_netsim::stats::Summary;
+use pool_netsim::topology::Topology;
+use pool_workloads::events::{EventDistribution, EventGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    print_header(
+        "Insertion cost (messages per event) vs network size",
+        &["nodes", "pool_mean", "dim_mean", "pool_p95", "dim_p95"],
+    );
+    for n in [300usize, 600, 900, 1200] {
+        let scenario = Scenario::paper(n, 77 + n as u64);
+        let mut seed = scenario.seed;
+        let (topology, field) = loop {
+            let dep = Deployment::paper_setting(n, 40.0, 20.0, seed).unwrap();
+            let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+            if topo.is_connected() {
+                break (topo, dep.field());
+            }
+            seed += 0x1000;
+        };
+        let mut pool = PoolSystem::build(
+            topology.clone(),
+            field,
+            PoolConfig::paper().with_seed(scenario.seed),
+        )
+        .unwrap();
+        let mut dim = DimSystem::build(topology, field, 3).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(scenario.seed);
+        let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+        let mut pool_costs = Vec::new();
+        let mut dim_costs = Vec::new();
+        for node in 0..n as u32 {
+            for _ in 0..scenario.events_per_node {
+                let event = generator.generate(&mut rng);
+                let p = pool.insert_from(NodeId(node), event.clone()).unwrap();
+                let d = dim.insert_from(NodeId(node), event).unwrap();
+                pool_costs.push(p.messages as f64);
+                dim_costs.push(d.messages as f64);
+            }
+        }
+        let ps = Summary::of(&pool_costs);
+        let ds = Summary::of(&dim_costs);
+        println!("{n}\t{:.2}\t{:.2}\t{:.1}\t{:.1}", ps.mean, ds.mean, ps.p95, ds.p95);
+    }
+}

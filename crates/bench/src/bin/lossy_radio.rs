@@ -1,0 +1,46 @@
+//! Ablation: the paper's results under a realistic lossy radio.
+//!
+//! Ideal unit-disk message counts are re-priced as expected transmissions
+//! under a logistic packet-reception-ratio model with link-layer
+//! retransmission (see `pool_netsim::radio`). Both systems inflate by the
+//! same mean-ETX factor if their hop-length distributions match; a
+//! divergence here would indicate one system leans on longer (weaker)
+//! links.
+//!
+//! Run: `cargo run -p pool-bench --bin lossy_radio --release`
+
+use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
+use pool_core::config::PoolConfig;
+use pool_netsim::radio::{mean_link_etx, PrrModel};
+use pool_workloads::events::EventDistribution;
+use pool_workloads::queries::RangeSizeDistribution;
+use pool_bench::cli::arg_usize;
+
+fn main() {
+    let queries = arg_usize("--queries", 60);
+    let nodes = arg_usize("--nodes", 900);
+    let scenario = Scenario::paper(nodes, 90_000);
+    let mut pair = SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
+    let m = measure(
+        &mut pair,
+        QueryKind::Exact(RangeSizeDistribution::Exponential { mean: 0.1 }),
+        queries,
+    );
+    print_header(
+        &format!("Lossy-radio re-pricing ({nodes} nodes, exponential exact-match)"),
+        &["radio", "mean_link_etx", "pool_msgs", "dim_msgs"],
+    );
+    for (label, model) in [
+        ("ideal unit disk", PrrModel::ideal(40.0)),
+        ("mild loss (30/45 m)", PrrModel::new(30.0, 45.0)),
+        ("harsh loss (15/42 m)", PrrModel::new(15.0, 42.0)),
+    ] {
+        let etx = mean_link_etx(pair.pool.topology(), model);
+        println!(
+            "{label}\t{etx:.2}\t{:.1}\t{:.1}",
+            m.pool.mean * etx,
+            m.dim.mean * etx
+        );
+    }
+}
+

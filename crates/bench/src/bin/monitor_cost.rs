@@ -1,0 +1,86 @@
+//! Extension experiment: continuous monitoring vs periodic polling.
+//!
+//! A user who wants fresh matches for a standing range query can either
+//! (a) re-issue the query every reporting interval, or (b) install a Pool
+//! continuous monitor (§6 extension) and receive per-event notifications.
+//! This experiment charges both strategies over the same insertion stream
+//! and locates the crossover in match rate.
+//!
+//! Run: `cargo run -p pool-bench --bin monitor_cost --release`
+
+use pool_bench::harness::print_header;
+use pool_core::config::PoolConfig;
+use pool_core::event::Event;
+use pool_core::query::RangeQuery;
+use pool_core::system::PoolSystem;
+use pool_netsim::deployment::Deployment;
+use pool_netsim::node::NodeId;
+use pool_netsim::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let nodes = 600usize;
+    let mut seed = 808u64;
+    let (topology, field) = loop {
+        let dep = Deployment::paper_setting(nodes, 40.0, 20.0, seed).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if topo.is_connected() {
+            break (topo, dep.field());
+        }
+        seed += 0x1000;
+    };
+
+    print_header(
+        &format!(
+            "Continuous monitor vs polling ({nodes} nodes, 500 insertions, poll every 50)"
+        ),
+        &["selectivity", "matches", "monitor_msgs", "polling_msgs", "poll/monitor"],
+    );
+
+    // Wider query ranges -> more matches -> more notifications.
+    for width in [0.02f64, 0.05, 0.1, 0.2, 0.4] {
+        let query = RangeQuery::from_bounds(vec![
+            Some((0.5 - width / 2.0, 0.5 + width / 2.0)),
+            None,
+            None,
+        ])
+        .unwrap();
+        let sink = NodeId(3);
+
+        // Strategy A: continuous monitor.
+        let mut monitored =
+            PoolSystem::build(topology.clone(), field, PoolConfig::paper().with_seed(seed))
+                .unwrap();
+        let (_, install) = monitored.install_monitor(sink, query.clone()).unwrap();
+        let mut monitor_msgs = install.total();
+        let mut matches = 0usize;
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..500 {
+            let event = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
+            let receipt = monitored.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+            matches += receipt.notifications.len();
+            monitor_msgs +=
+                receipt.notifications.iter().map(|n| n.messages).sum::<u64>();
+        }
+
+        // Strategy B: poll every 50 insertions (10 polls).
+        let mut polled =
+            PoolSystem::build(topology.clone(), field, PoolConfig::paper().with_seed(seed))
+                .unwrap();
+        let mut polling_msgs = 0u64;
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..500 {
+            let event = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
+            polled.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+            if (i + 1) % 50 == 0 {
+                polling_msgs += polled.query_from(sink, &query).unwrap().cost.total();
+            }
+        }
+
+        println!(
+            "{width:.2}\t{matches}\t{monitor_msgs}\t{polling_msgs}\t{:.2}",
+            polling_msgs as f64 / monitor_msgs.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation: query cost vs range size (selectivity), Pool vs DIM.
+//!
+//! Figure 6 varies network size at two fixed size *distributions*; this
+//! sweep holds the network at 900 nodes and sweeps a constant range size
+//! from highly selective to nearly the whole domain, exposing where each
+//! system's cost comes from and whether a crossover exists.
+//!
+//! Run: `cargo run -p pool-bench --bin selectivity_sweep --release`
+
+use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
+use pool_core::config::PoolConfig;
+use pool_workloads::events::EventDistribution;
+use pool_workloads::queries::RangeSizeDistribution;
+use pool_bench::cli::arg_usize;
+
+fn main() {
+    let queries = arg_usize("--queries", 50);
+    let nodes = arg_usize("--nodes", 900);
+    let scenario = Scenario::paper(nodes, 60_000);
+    let mut pair = SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
+    print_header(
+        &format!("Selectivity sweep ({nodes} nodes, constant range size per dimension)"),
+        &["range_size", "pool_msgs", "dim_msgs", "dim/pool", "pool_cells", "dim_zones"],
+    );
+    for size in [0.02f64, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
+        let m = measure(
+            &mut pair,
+            QueryKind::Exact(RangeSizeDistribution::Constant { size }),
+            queries,
+        );
+        println!(
+            "{size:.2}\t{:.1}\t{:.1}\t{:.2}\t{:.1}\t{:.1}",
+            m.pool.mean,
+            m.dim.mean,
+            m.dim_over_pool(),
+            m.pool_cells,
+            m.dim_zones
+        );
+    }
+}
+

@@ -1,0 +1,39 @@
+//! Ablation: cell size α.
+//!
+//! α controls index-node granularity: smaller cells mean more index nodes
+//! per pool (finer spatial resolution, more fan-out legs), larger cells
+//! collapse several cells onto the same physical sensor (free intra-node
+//! hops but coarser placement). The paper fixes α = 5 m.
+//!
+//! Run: `cargo run -p pool-bench --bin sweep_cell_size --release`
+
+use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
+use pool_core::config::PoolConfig;
+use pool_workloads::events::EventDistribution;
+use pool_workloads::queries::RangeSizeDistribution;
+use pool_bench::cli::arg_usize;
+
+fn main() {
+    let queries = arg_usize("--queries", 50);
+    let nodes = arg_usize("--nodes", 600);
+    print_header(
+        &format!("Cell size sweep ({nodes} nodes, l = 10, exponential exact-match)"),
+        &["alpha_m", "pool_msgs", "pool_cells", "pool_msgs_1partial"],
+    );
+    for alpha in [2.5f64, 5.0, 7.5, 10.0, 15.0] {
+        let scenario = Scenario::paper(nodes, 11_000 + (alpha * 10.0) as u64);
+        let config = PoolConfig::paper().with_alpha(alpha);
+        let mut pair = SystemPair::build(&scenario, config, EventDistribution::Uniform);
+        let exact = measure(
+            &mut pair,
+            QueryKind::Exact(RangeSizeDistribution::Exponential { mean: 0.1 }),
+            queries,
+        );
+        let partial = measure(&mut pair, QueryKind::MPartial(1), queries);
+        println!(
+            "{alpha:.1}\t{:.1}\t{:.1}\t{:.1}",
+            exact.pool.mean, exact.pool_cells, partial.pool.mean
+        );
+    }
+}
+

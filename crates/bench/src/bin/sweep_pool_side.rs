@@ -1,0 +1,39 @@
+//! Ablation: pool side length `l`.
+//!
+//! The paper fixes `l = 10` without a sweep. Larger pools mean finer value
+//! partitioning (fewer false-positive cells per query) but more index
+//! nodes spread over a wider area (longer intra-pool fan-out); smaller
+//! pools are compact but coarse. This sweep locates the trade-off.
+//!
+//! Run: `cargo run -p pool-bench --bin sweep_pool_side --release`
+
+use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
+use pool_core::config::PoolConfig;
+use pool_workloads::events::EventDistribution;
+use pool_workloads::queries::RangeSizeDistribution;
+use pool_bench::cli::arg_usize;
+
+fn main() {
+    let queries = arg_usize("--queries", 60);
+    let nodes = arg_usize("--nodes", 900);
+    print_header(
+        &format!("Pool side length sweep ({nodes} nodes, exponential exact-match queries)"),
+        &["l", "pool_msgs", "pool_cells", "pool_msgs_1partial"],
+    );
+    for side in [4u32, 6, 8, 10, 14, 18] {
+        let scenario = Scenario::paper(nodes, 5150 + side as u64);
+        let config = PoolConfig::paper().with_pool_side(side);
+        let mut pair = SystemPair::build(&scenario, config, EventDistribution::Uniform);
+        let exact = measure(
+            &mut pair,
+            QueryKind::Exact(RangeSizeDistribution::Exponential { mean: 0.1 }),
+            queries,
+        );
+        let partial = measure(&mut pair, QueryKind::MPartial(1), queries);
+        println!(
+            "{side}\t{:.1}\t{:.1}\t{:.1}",
+            exact.pool.mean, exact.pool_cells, partial.pool.mean
+        );
+    }
+}
+

@@ -1,0 +1,33 @@
+//! Minimal shared CLI parsing for the figure binaries.
+//!
+//! Every binary accepts `--queries N` and `--nodes N` style flags; this
+//! avoids pulling a CLI dependency for two integers.
+
+/// Parses `flag <value>` from `std::env::args`, falling back to `default`
+/// when absent or malformed.
+///
+/// # Examples
+///
+/// ```
+/// // With no matching argv entry, the default is returned.
+/// let queries = pool_bench::cli::arg_usize("--queries", 100);
+/// assert_eq!(queries, 100);
+/// ```
+pub fn arg_usize(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_flag_yields_default() {
+        assert_eq!(arg_usize("--definitely-not-passed", 7), 7);
+    }
+}

@@ -1,0 +1,16 @@
+//! # pool-bench — experiment harness for the Pool reproduction
+//!
+//! [`harness`] builds paired Pool/DIM deployments over identical networks
+//! and workloads and measures per-query message costs, cross-validating
+//! every result set against brute-force ground truth.
+//!
+//! The figure binaries (`fig6`, `fig7`, `insertion_cost`, the ablation
+//! sweeps) and the Criterion benches are thin drivers over this module;
+//! see EXPERIMENTS.md at the workspace root for the full index.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod harness;
+
+pub use harness::{measure, Measurement, QueryKind, Scenario, SystemPair};

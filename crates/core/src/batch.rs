@@ -1,0 +1,223 @@
+//! Multi-query batching.
+//!
+//! Sinks often issue several related queries at once (a dashboard refresh,
+//! a sweep over thresholds). Issued separately, each query pays its own
+//! sink→splitter legs and revisits shared cells. A *batch* shares both:
+//! one combined packet travels to each pool's splitter, every relevant
+//! cell is visited once (even when several queries select it), and one
+//! combined reply returns per participating cell and pool.
+//!
+//! Batching never changes answers — only the bill.
+
+use crate::event::Event;
+use crate::query::RangeQuery;
+use crate::resolve::relevant_cells;
+use crate::system::{PoolSystem, QueryCost};
+use crate::PoolError;
+use pool_netsim::node::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// The outcome of a query batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// Per-query answer sets, in input order.
+    pub per_query: Vec<Vec<Event>>,
+    /// The shared message bill for the whole batch.
+    pub cost: QueryCost,
+    /// Distinct cells visited across the batch (after dedup).
+    pub cells_visited: usize,
+}
+
+impl PoolSystem {
+    /// Processes `queries` from `sink` as one batch.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::InvalidQuery`] for an empty batch,
+    /// [`PoolError::DimensionMismatch`] if any query has the wrong arity,
+    /// and routing errors.
+    pub fn query_batch(
+        &mut self,
+        sink: NodeId,
+        queries: &[RangeQuery],
+    ) -> Result<BatchResult, PoolError> {
+        if queries.is_empty() {
+            return Err(PoolError::InvalidQuery { reason: "empty batch".into() });
+        }
+        for q in queries {
+            if q.dims() != self.config().dims {
+                return Err(PoolError::DimensionMismatch {
+                    expected: self.config().dims,
+                    got: q.dims(),
+                });
+            }
+        }
+
+        // Union of relevant cells per pool, remembering which queries want
+        // each cell.
+        let mut by_pool: HashMap<usize, HashMap<crate::grid::CellCoord, Vec<usize>>> =
+            HashMap::new();
+        for (qi, q) in queries.iter().enumerate() {
+            for (dim, cell) in relevant_cells(self.layout(), q) {
+                by_pool.entry(dim).or_default().entry(cell).or_default().push(qi);
+            }
+        }
+
+        let mut cost = QueryCost::default();
+        let mut per_query: Vec<Vec<Event>> = vec![Vec::new(); queries.len()];
+        let mut visited = HashSet::new();
+
+        let mut dims: Vec<usize> = by_pool.keys().copied().collect();
+        dims.sort_unstable();
+        for dim in dims {
+            let cells = &by_pool[&dim];
+            let splitter = self.splitter_of(dim, sink);
+            let to_splitter = self.route_and_record(sink, splitter)?;
+            cost.forward_messages += to_splitter;
+
+            let mut pool_has_match = false;
+            let mut sorted_cells: Vec<_> = cells.keys().copied().collect();
+            sorted_cells.sort();
+            for cell in sorted_cells {
+                visited.insert(cell);
+                let index_node =
+                    self.index_node_of(cell).expect("pool cells have index nodes");
+                let to_cell = self.route_and_record(splitter, index_node)?;
+                cost.forward_messages += to_cell;
+
+                // One scan of the cell serves every interested query.
+                let interested = &cells[&cell];
+                let mut cell_matched = false;
+                let stored: Vec<Event> =
+                    self.store().events_in(cell).iter().map(|s| s.event.clone()).collect();
+                for event in stored {
+                    for &qi in interested {
+                        if queries[qi].matches(&event) {
+                            per_query[qi].push(event.clone());
+                            cell_matched = true;
+                        }
+                    }
+                }
+                if cell_matched {
+                    let back = self.route_and_record(index_node, splitter)?;
+                    cost.reply_messages += back;
+                    pool_has_match = true;
+                }
+            }
+            if pool_has_match {
+                let back = self.route_and_record(splitter, sink)?;
+                cost.reply_messages += back;
+            }
+        }
+        Ok(BatchResult { per_query, cost, cells_visited: visited.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PoolConfig;
+    use pool_netsim::deployment::Deployment;
+    use pool_netsim::topology::Topology;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build(seed: u64) -> PoolSystem {
+        let mut s = seed;
+        loop {
+            let dep = Deployment::paper_setting(300, 40.0, 20.0, s).unwrap();
+            let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+            if topo.is_connected() {
+                return PoolSystem::build(topo, dep.field(), PoolConfig::paper()).unwrap();
+            }
+            s += 1000;
+        }
+    }
+
+    fn load(pool: &mut PoolSystem, n: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            let e = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
+            pool.insert_from(NodeId(rng.gen_range(0..300)), e).unwrap();
+        }
+    }
+
+    fn sample_queries() -> Vec<RangeQuery> {
+        vec![
+            RangeQuery::exact(vec![(0.2, 0.5), (0.0, 0.6), (0.0, 1.0)]).unwrap(),
+            RangeQuery::exact(vec![(0.3, 0.6), (0.1, 0.7), (0.0, 1.0)]).unwrap(), // overlaps q0
+            RangeQuery::from_bounds(vec![None, Some((0.8, 0.9)), None]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn batch_answers_match_individual_queries() {
+        let mut batched = build(1);
+        load(&mut batched, 300, 9);
+        let mut single = build(1);
+        load(&mut single, 300, 9);
+        let queries = sample_queries();
+        let batch = batched.query_batch(NodeId(7), &queries).unwrap();
+        for (qi, q) in queries.iter().enumerate() {
+            let mut individual = single.query_from(NodeId(7), q).unwrap().events;
+            let mut from_batch = batch.per_query[qi].clone();
+            let key = |e: &Event| {
+                e.values().iter().map(|v| (v * 1e9) as i64).collect::<Vec<_>>()
+            };
+            individual.sort_by_key(key);
+            from_batch.sort_by_key(key);
+            assert_eq!(from_batch, individual, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn batching_is_cheaper_than_separate_queries() {
+        let mut batched = build(2);
+        load(&mut batched, 300, 10);
+        let mut single = build(2);
+        load(&mut single, 300, 10);
+        let queries = sample_queries();
+        let batch_cost = batched.query_batch(NodeId(11), &queries).unwrap().cost.total();
+        let separate: u64 = queries
+            .iter()
+            .map(|q| single.query_from(NodeId(11), q).unwrap().cost.total())
+            .sum();
+        assert!(
+            batch_cost < separate,
+            "batch {batch_cost} should beat separate {separate}"
+        );
+    }
+
+    #[test]
+    fn overlapping_queries_share_cell_visits() {
+        let mut pool = build(3);
+        let queries = vec![
+            RangeQuery::exact(vec![(0.2, 0.4), (0.0, 1.0), (0.0, 1.0)]).unwrap(),
+            RangeQuery::exact(vec![(0.2, 0.4), (0.0, 1.0), (0.0, 1.0)]).unwrap(),
+        ];
+        let batch = pool.query_batch(NodeId(0), &queries).unwrap();
+        // Identical queries resolve to the same cells; dedup means the
+        // batch visits them once.
+        let one = pool.explain(NodeId(0), &queries[0]).unwrap().relevant_cells();
+        assert_eq!(batch.cells_visited, one);
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let mut pool = build(4);
+        assert!(matches!(
+            pool.query_batch(NodeId(0), &[]),
+            Err(PoolError::InvalidQuery { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_validates_arity() {
+        let mut pool = build(5);
+        let bad = RangeQuery::exact(vec![(0.0, 1.0)]).unwrap();
+        assert!(matches!(
+            pool.query_batch(NodeId(0), &[bad]),
+            Err(PoolError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,142 @@
+//! A common interface over data-centric storage schemes.
+//!
+//! Pool, DIM, and any future scheme answer the same two requests — "store
+//! this event" and "return everything matching this query" — differing
+//! only in *where* data lands and *what it costs*. [`DataCentricStore`]
+//! captures that contract so harnesses, examples, and downstream users can
+//! swap schemes without code changes. `pool-dim` implements it for
+//! `DimSystem`.
+
+use crate::event::Event;
+use crate::query::RangeQuery;
+use crate::system::PoolSystem;
+use crate::PoolError;
+use pool_netsim::node::NodeId;
+
+/// A deployed in-network storage scheme.
+///
+/// # Examples
+///
+/// ```
+/// use pool_core::dcs::DataCentricStore;
+/// use pool_core::{Event, PoolConfig, PoolSystem, RangeQuery};
+/// use pool_netsim::{Deployment, NodeId, Topology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dep = Deployment::paper_setting(300, 40.0, 20.0, 77)?;
+/// let topo = Topology::build(dep.nodes(), 40.0)?;
+/// let mut store: Box<dyn DataCentricStore> =
+///     Box::new(PoolSystem::build(topo, dep.field(), PoolConfig::paper())?);
+/// store.insert_event(NodeId(1), Event::new(vec![0.5, 0.2, 0.9])?)?;
+/// let (events, _msgs) = store.range_query(
+///     NodeId(2),
+///     &RangeQuery::exact(vec![(0.4, 0.6), (0.1, 0.3), (0.8, 1.0)])?,
+/// )?;
+/// assert_eq!(events.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub trait DataCentricStore {
+    /// Human-readable scheme name (for experiment tables).
+    fn scheme_name(&self) -> &'static str;
+
+    /// Stores an event detected at `source`, returning the messages
+    /// charged.
+    ///
+    /// # Errors
+    ///
+    /// Scheme-specific validation and routing errors.
+    fn insert_event(&mut self, source: NodeId, event: Event) -> Result<u64, PoolError>;
+
+    /// Answers a range query issued at `sink`: the matching events and the
+    /// messages charged.
+    ///
+    /// # Errors
+    ///
+    /// Scheme-specific validation and routing errors.
+    fn range_query(
+        &mut self,
+        sink: NodeId,
+        query: &RangeQuery,
+    ) -> Result<(Vec<Event>, u64), PoolError>;
+
+    /// Number of events currently stored in-network.
+    fn stored_events(&self) -> usize;
+
+    /// Total messages charged so far (insertions + queries).
+    fn total_messages(&self) -> u64;
+}
+
+impl DataCentricStore for PoolSystem {
+    fn scheme_name(&self) -> &'static str {
+        "pool"
+    }
+
+    fn insert_event(&mut self, source: NodeId, event: Event) -> Result<u64, PoolError> {
+        Ok(self.insert_from(source, event)?.messages)
+    }
+
+    fn range_query(
+        &mut self,
+        sink: NodeId,
+        query: &RangeQuery,
+    ) -> Result<(Vec<Event>, u64), PoolError> {
+        let result = self.query_from(sink, query)?;
+        Ok((result.events, result.cost.total()))
+    }
+
+    fn stored_events(&self) -> usize {
+        self.store().len()
+    }
+
+    fn total_messages(&self) -> u64 {
+        self.traffic().total_messages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PoolConfig;
+    use pool_netsim::deployment::Deployment;
+    use pool_netsim::topology::Topology;
+
+    fn build() -> PoolSystem {
+        let mut seed = 31u64;
+        loop {
+            let dep = Deployment::paper_setting(250, 40.0, 20.0, seed).unwrap();
+            let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+            if topo.is_connected() {
+                return PoolSystem::build(topo, dep.field(), PoolConfig::paper()).unwrap();
+            }
+            seed += 1;
+        }
+    }
+
+    #[test]
+    fn trait_object_roundtrip() {
+        let mut store: Box<dyn DataCentricStore> = Box::new(build());
+        assert_eq!(store.scheme_name(), "pool");
+        let msgs = store
+            .insert_event(NodeId(4), Event::new(vec![0.9, 0.1, 0.4]).unwrap())
+            .unwrap();
+        assert!(msgs > 0);
+        assert_eq!(store.stored_events(), 1);
+        let q = RangeQuery::exact(vec![(0.8, 1.0), (0.0, 0.2), (0.3, 0.5)]).unwrap();
+        let (events, query_msgs) = store.range_query(NodeId(9), &q).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(store.total_messages(), msgs + query_msgs);
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_generic_usable() {
+        fn drive<S: DataCentricStore + ?Sized>(s: &mut S) -> usize {
+            s.insert_event(NodeId(0), Event::new(vec![0.2, 0.5, 0.7]).unwrap()).unwrap();
+            s.stored_events()
+        }
+        let mut pool = build();
+        assert_eq!(drive(&mut pool), 1);
+        let mut boxed: Box<dyn DataCentricStore> = Box::new(pool);
+        assert_eq!(drive(boxed.as_mut()), 2);
+    }
+}

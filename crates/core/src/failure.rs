@@ -1,0 +1,329 @@
+//! Node failure injection and recovery.
+//!
+//! Sensor nodes die — batteries drain, hardware fails. This module adds
+//! fault tolerance on top of the paper's design:
+//!
+//! * **Re-election**: when a cell's index node dies, the live node nearest
+//!   the cell center takes over (the same rule that elected the original,
+//!   §2, applied to the surviving population).
+//! * **Replication** ([`crate::config::PoolConfig::with_replication`]):
+//!   each insertion leaves one backup copy at a neighbor of the index
+//!   node (+1 message). After a failure, the new index node recovers the
+//!   dead node's events from the surviving backups.
+//! * **Repair accounting**: every migration/recovery hop is charged to the
+//!   traffic ledger, so experiments can price fault tolerance.
+//!
+//! Without replication, events held by dead nodes are lost — the paper's
+//! (implicit) baseline behaviour.
+
+use crate::event::Event;
+use crate::grid::CellCoord;
+use crate::system::PoolSystem;
+use crate::PoolError;
+use pool_gpsr::Gpsr;
+use pool_netsim::node::NodeId;
+use std::collections::HashMap;
+
+/// Outcome of a failure-injection step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FailureReport {
+    /// Nodes newly failed in this step.
+    pub failed_nodes: usize,
+    /// Pool cells whose index node changed.
+    pub cells_reassigned: usize,
+    /// Events that survived in place (holder still alive, cell untouched).
+    pub events_retained: usize,
+    /// Events migrated from a surviving holder to a new index node.
+    pub events_migrated: usize,
+    /// Events recovered from backup copies.
+    pub events_recovered: usize,
+    /// Events permanently lost.
+    pub events_lost: usize,
+    /// Radio messages spent on repair (migration + recovery + re-backup).
+    pub repair_messages: u64,
+}
+
+/// A backup copy of an event, held by a neighbor of the index node that
+/// stored the primary.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BackupCopy {
+    pub(crate) event: Event,
+    pub(crate) holder: NodeId,
+}
+
+impl PoolSystem {
+    /// Fails `dead` nodes and repairs the system: re-elects index nodes,
+    /// rebuilds the routing substrate over the survivors, migrates or
+    /// recovers affected events, and drops continuous queries whose sinks
+    /// died.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Routing`] if the surviving network is disconnected
+    /// (repair requires end-to-end routing), or if a repair route fails.
+    pub fn fail_nodes(&mut self, dead: &[NodeId]) -> Result<FailureReport, PoolError> {
+        let mut report = FailureReport {
+            failed_nodes: dead.iter().filter(|&&d| self.topology().is_alive(d)).count(),
+            ..FailureReport::default()
+        };
+
+        // 1. Take the nodes out of the radio network and rebuild routing.
+        let new_topology = self.topology().without_nodes(dead);
+        new_topology.require_connected().map_err(|e| PoolError::Routing(e.to_string()))?;
+        let new_gpsr = Gpsr::new(&new_topology, self.config().planarization);
+        self.replace_network(new_topology, new_gpsr);
+
+        // 2. Re-elect index nodes for every pool cell.
+        let mut new_index: HashMap<CellCoord, NodeId> = HashMap::new();
+        let mut changed_cells: Vec<CellCoord> = Vec::new();
+        for pool in self.layout().pools().to_vec() {
+            for cell in pool.cells() {
+                let elected = self.topology().nearest_node(self.grid().center(cell));
+                if self.index_node_of(cell) != Some(elected) {
+                    changed_cells.push(cell);
+                }
+                new_index.insert(cell, elected);
+            }
+        }
+        report.cells_reassigned = changed_cells.len();
+        self.replace_index_nodes(new_index);
+
+        // 3. Walk the store: keep, migrate, recover, or lose each event.
+        let old_store = self.take_store();
+        let mut old_backups = self.take_backups();
+        self.clear_delegates();
+        for (cell, stored) in old_store.iter() {
+            let cell = *cell;
+            let index_node = self.index_node_of(cell).expect("pool cells keep index nodes");
+            for s in stored {
+                if self.topology().is_alive(s.holder) {
+                    if s.holder == index_node {
+                        report.events_retained += 1;
+                        self.restore_event(cell, s.event.clone(), s.holder);
+                    } else {
+                        // The old holder survives but is no longer this
+                        // cell's index node (it was a delegate or a
+                        // deposed index node): migrate the copy.
+                        report.events_migrated += 1;
+                        report.repair_messages +=
+                            self.route_and_record(s.holder, index_node)?;
+                        self.restore_event(cell, s.event.clone(), index_node);
+                    }
+                    continue;
+                }
+                // Holder died: look for a surviving backup copy.
+                let recovered = take_backup(&mut old_backups, cell, &s.event, self.topology());
+                match recovered {
+                    Some(backup_holder) => {
+                        report.events_recovered += 1;
+                        report.repair_messages +=
+                            self.route_and_record(backup_holder, index_node)?;
+                        self.restore_event(cell, s.event.clone(), index_node);
+                    }
+                    None => report.events_lost += 1,
+                }
+            }
+        }
+
+        // 4. Re-create backups for everything now stored, if replication
+        //    is on (the old backup set is discarded wholesale — simpler
+        //    and safer than patching it copy by copy).
+        if self.config().replicate {
+            report.repair_messages += self.rebuild_backups()?;
+        }
+
+        // 5. Continuous queries of dead sinks can never be delivered.
+        self.drop_monitors_with_dead_sinks();
+        Ok(report)
+    }
+}
+
+/// Removes and returns a surviving backup holder for `event` in `cell`.
+fn take_backup(
+    backups: &mut HashMap<CellCoord, Vec<BackupCopy>>,
+    cell: CellCoord,
+    event: &Event,
+    topology: &pool_netsim::topology::Topology,
+) -> Option<NodeId> {
+    let copies = backups.get_mut(&cell)?;
+    let idx = copies
+        .iter()
+        .position(|c| &c.event == event && topology.is_alive(c.holder))?;
+    Some(copies.swap_remove(idx).holder)
+}
+
+/// Helper: rebuilt-store utilities live on [`PoolSystem`] but the heavy
+/// lifting above stays in this module.
+impl PoolSystem {
+    pub(crate) fn restore_event(&mut self, cell: CellCoord, event: Event, holder: NodeId) {
+        self.store_mut().insert(cell, event, holder);
+    }
+}
+
+#[allow(unused_imports)]
+pub(crate) use self::tests_support::*;
+
+mod tests_support {
+    // (no shared fixtures yet; kept for future failure-model variants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PoolConfig;
+    use crate::query::RangeQuery;
+    use pool_netsim::deployment::Deployment;
+    use pool_netsim::topology::Topology;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build_system(seed: u64, config: PoolConfig) -> PoolSystem {
+        let mut s = seed;
+        loop {
+            let dep = Deployment::paper_setting(400, 40.0, 20.0, s).unwrap();
+            let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+            if topo.is_connected() {
+                return PoolSystem::build(topo, dep.field(), config).unwrap();
+            }
+            s += 1000;
+        }
+    }
+
+    fn all_query() -> RangeQuery {
+        RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap()
+    }
+
+    fn load(pool: &mut PoolSystem, count: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..count {
+            let e = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
+            pool.insert_from(NodeId(rng.gen_range(0..400)), e).unwrap();
+        }
+    }
+
+    /// The index nodes currently holding events (failure targets).
+    fn loaded_nodes(pool: &PoolSystem) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = (0..400u32)
+            .map(NodeId)
+            .filter(|&n| pool.store().count_at(n) > 0)
+            .collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    #[test]
+    fn failure_without_replication_loses_only_dead_holders_events() {
+        let mut pool = build_system(1, PoolConfig::paper());
+        load(&mut pool, 300, 10);
+        let before = pool.store().len();
+        let victims: Vec<NodeId> = loaded_nodes(&pool).into_iter().take(3).collect();
+        let at_risk: usize = victims.iter().map(|&v| pool.store().count_at(v)).sum();
+        let report = pool.fail_nodes(&victims).unwrap();
+        assert_eq!(report.failed_nodes, 3);
+        assert_eq!(report.events_lost, at_risk);
+        assert_eq!(pool.store().len(), before - at_risk);
+        // The survivors are still fully queryable.
+        let got = pool.query_from(NodeId(399), &all_query()).unwrap();
+        assert_eq!(got.events.len(), before - at_risk);
+    }
+
+    #[test]
+    fn replication_recovers_everything() {
+        let mut pool = build_system(2, PoolConfig::paper().with_replication());
+        load(&mut pool, 300, 11);
+        let before = pool.store().len();
+        let victims: Vec<NodeId> = loaded_nodes(&pool).into_iter().take(4).collect();
+        let report = pool.fail_nodes(&victims).unwrap();
+        assert_eq!(report.events_lost, 0, "replication must prevent loss: {report:?}");
+        assert!(report.events_recovered > 0, "some events were on dead nodes");
+        assert!(report.repair_messages > 0);
+        assert_eq!(pool.store().len(), before);
+        let got = pool.query_from(NodeId(399), &all_query()).unwrap();
+        assert_eq!(got.events.len(), before);
+    }
+
+    #[test]
+    fn index_nodes_are_reelected_to_nearest_survivor() {
+        let mut pool = build_system(3, PoolConfig::paper());
+        load(&mut pool, 50, 12);
+        let victims: Vec<NodeId> = loaded_nodes(&pool).into_iter().take(2).collect();
+        pool.fail_nodes(&victims).unwrap();
+        for pool_spec in pool.layout().pools().to_vec() {
+            for cell in pool_spec.cells() {
+                let index = pool.index_node_of(cell).unwrap();
+                assert!(pool.topology().is_alive(index));
+                assert_eq!(index, pool.topology().nearest_node(pool.grid().center(cell)));
+            }
+        }
+    }
+
+    #[test]
+    fn inserts_and_queries_work_after_cascading_failures() {
+        let mut pool = build_system(4, PoolConfig::paper().with_replication());
+        load(&mut pool, 100, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        for round in 0..3 {
+            let victims: Vec<NodeId> = loaded_nodes(&pool)
+                .into_iter()
+                .filter(|_| rng.gen_bool(0.3))
+                .take(2)
+                .collect();
+            if victims.is_empty() {
+                continue;
+            }
+            let report = pool.fail_nodes(&victims).unwrap();
+            assert_eq!(report.events_lost, 0, "round {round}: {report:?}");
+            // New insertions land on live index nodes.
+            let mut src = NodeId(rng.gen_range(0..400));
+            while !pool.topology().is_alive(src) {
+                src = NodeId(rng.gen_range(0..400));
+            }
+            let receipt = pool
+                .insert_from(src, Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap())
+                .unwrap();
+            assert!(pool.topology().is_alive(receipt.holder));
+        }
+        let got = pool.query_from(loaded_nodes(&pool)[0], &all_query()).unwrap();
+        assert_eq!(got.events.len(), pool.store().len());
+    }
+
+    #[test]
+    fn monitors_of_dead_sinks_are_dropped() {
+        let mut pool = build_system(5, PoolConfig::paper());
+        let q = RangeQuery::exact(vec![(0.4, 0.6), (0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let sink = NodeId(17);
+        pool.install_monitor(sink, q.clone()).unwrap();
+        let other = pool.install_monitor(NodeId(30), q).unwrap().0;
+        pool.fail_nodes(&[sink]).unwrap();
+        assert_eq!(pool.monitors().len(), 1);
+        assert!(pool.monitors().get(other).is_some());
+    }
+
+    #[test]
+    fn disconnecting_failure_is_reported() {
+        // Kill a large block of the network so the survivors split.
+        let mut pool = build_system(6, PoolConfig::paper());
+        let field = pool.field();
+        let mid_x = field.center().x;
+        // Fail a vertical stripe through the middle of the field.
+        let victims: Vec<NodeId> = pool
+            .topology()
+            .nodes()
+            .iter()
+            .filter(|n| (n.position.x - mid_x).abs() < 45.0)
+            .map(|n| n.id)
+            .collect();
+        let err = pool.fail_nodes(&victims);
+        assert!(matches!(err, Err(PoolError::Routing(_))), "got {err:?}");
+    }
+
+    #[test]
+    fn replication_charges_one_extra_message_per_insert() {
+        let mut plain = build_system(7, PoolConfig::paper());
+        let mut replicated = build_system(7, PoolConfig::paper().with_replication());
+        let e = Event::new(vec![0.3, 0.7, 0.2]).unwrap();
+        let a = plain.insert_from(NodeId(5), e.clone()).unwrap();
+        let b = replicated.insert_from(NodeId(5), e).unwrap();
+        assert_eq!(b.messages, a.messages + 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! The virtual grid laid over the deployment field (§2).
+//!
+//! The field is visualized as equal-sized `α × α` m² cells. `C(x, y)`
+//! denotes the cell at column `x`, row `y`, with `C(0, 0)` — the *origin* —
+//! at the lower-left corner. Every sensor can determine its native cell from
+//! its own position, the cell size `α`, and the origin's physical location.
+
+use crate::error::PoolError;
+use pool_netsim::geometry::{Point, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Logical grid coordinates of a cell: `C(x, y)`.
+///
+/// # Examples
+///
+/// ```
+/// use pool_core::grid::CellCoord;
+///
+/// let c = CellCoord::new(3, 4);
+/// assert_eq!(format!("{c}"), "C(3,4)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellCoord {
+    /// Column index (from 0).
+    pub x: u32,
+    /// Row index (from 0).
+    pub y: u32,
+}
+
+impl CellCoord {
+    /// Creates the coordinate `C(x, y)`.
+    pub fn new(x: u32, y: u32) -> Self {
+        CellCoord { x, y }
+    }
+}
+
+impl fmt::Display for CellCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C({},{})", self.x, self.y)
+    }
+}
+
+/// The grid of `α × α` cells covering the deployment field.
+///
+/// # Examples
+///
+/// ```
+/// use pool_core::grid::Grid;
+/// use pool_netsim::geometry::{Point, Rect};
+///
+/// # fn main() -> Result<(), pool_core::error::PoolError> {
+/// let grid = Grid::over(Rect::square(100.0), 5.0)?;
+/// assert_eq!((grid.cols(), grid.rows()), (20, 20));
+/// let cell = grid.cell_of(Point::new(12.0, 3.0));
+/// assert_eq!((cell.x, cell.y), (2, 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    origin: Point,
+    alpha: f64,
+    cols: u32,
+    rows: u32,
+}
+
+impl Grid {
+    /// Lays a grid of `alpha`-sized cells over `field`, with the origin cell
+    /// `C(0, 0)` anchored at the field's lower-left corner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::InvalidConfig`] if `alpha` is not positive and
+    /// finite or the field is degenerate.
+    pub fn over(field: Rect, alpha: f64) -> Result<Self, PoolError> {
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(PoolError::InvalidConfig { reason: format!("cell size α = {alpha}") });
+        }
+        let cols = (field.width() / alpha).ceil() as u32;
+        let rows = (field.height() / alpha).ceil() as u32;
+        if cols == 0 || rows == 0 {
+            return Err(PoolError::InvalidConfig {
+                reason: format!("field {}x{} too small for α = {alpha}", field.width(), field.height()),
+            });
+        }
+        Ok(Grid { origin: field.min, alpha, cols, rows })
+    }
+
+    /// The physical location of the origin cell's lower-left corner,
+    /// `(x_orig, y_orig)`.
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// The cell side length `α` in meters.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// The native cell of physical location `p` (§2: `x = ⌊(a − x_orig)/α⌋`,
+    /// `y = ⌊(b − y_orig)/α⌋`), clamped to the grid for points on or beyond
+    /// the upper field boundary.
+    pub fn cell_of(&self, p: Point) -> CellCoord {
+        let x = ((p.x - self.origin.x) / self.alpha).floor().max(0.0) as u32;
+        let y = ((p.y - self.origin.y) / self.alpha).floor().max(0.0) as u32;
+        CellCoord::new(x.min(self.cols - 1), y.min(self.rows - 1))
+    }
+
+    /// The physical center of cell `c`.
+    pub fn center(&self, c: CellCoord) -> Point {
+        Point::new(
+            self.origin.x + (c.x as f64 + 0.5) * self.alpha,
+            self.origin.y + (c.y as f64 + 0.5) * self.alpha,
+        )
+    }
+
+    /// Whether `c` lies inside the grid.
+    pub fn contains(&self, c: CellCoord) -> bool {
+        c.x < self.cols && c.y < self.rows
+    }
+
+    /// Euclidean distance between the centers of two cells.
+    pub fn cell_distance(&self, a: CellCoord, b: CellCoord) -> f64 {
+        self.center(a).distance(self.center(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_100_a5() -> Grid {
+        Grid::over(Rect::square(100.0), 5.0).unwrap()
+    }
+
+    #[test]
+    fn dimensions_round_up() {
+        let g = Grid::over(Rect::square(101.0), 5.0).unwrap();
+        assert_eq!(g.cols(), 21);
+        assert_eq!(g.rows(), 21);
+    }
+
+    #[test]
+    fn cell_of_and_center_are_consistent() {
+        let g = grid_100_a5();
+        for x in 0..g.cols() {
+            for y in 0..g.rows() {
+                let c = CellCoord::new(x, y);
+                assert_eq!(g.cell_of(g.center(c)), c);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_points_clamp_into_grid() {
+        let g = grid_100_a5();
+        let c = g.cell_of(Point::new(100.0, 100.0));
+        assert_eq!(c, CellCoord::new(19, 19));
+        let c = g.cell_of(Point::new(-1.0, 50.0));
+        assert_eq!(c.x, 0);
+    }
+
+    #[test]
+    fn offset_origin_shifts_cells() {
+        let field = Rect::new(Point::new(10.0, 20.0), Point::new(60.0, 70.0));
+        let g = Grid::over(field, 5.0).unwrap();
+        assert_eq!(g.cell_of(Point::new(10.0, 20.0)), CellCoord::new(0, 0));
+        assert_eq!(g.cell_of(Point::new(14.9, 24.9)), CellCoord::new(0, 0));
+        assert_eq!(g.cell_of(Point::new(15.1, 25.1)), CellCoord::new(1, 1));
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        assert!(Grid::over(Rect::square(10.0), 0.0).is_err());
+        assert!(Grid::over(Rect::square(10.0), f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn cell_distance_is_metric_on_centers() {
+        let g = grid_100_a5();
+        let a = CellCoord::new(0, 0);
+        let b = CellCoord::new(3, 4);
+        assert_eq!(g.cell_distance(a, b), 25.0); // 3-4-5 triangle at α = 5
+        assert_eq!(g.cell_distance(a, a), 0.0);
+    }
+
+    #[test]
+    fn paper_parameters_fit() {
+        // §5.1: α = 5 m on a ~475 m field for 900 nodes.
+        let side = pool_netsim::deployment::field_side_for(900, 40.0, 20.0).unwrap();
+        let g = Grid::over(Rect::square(side), 5.0).unwrap();
+        assert!(g.cols() >= 90 && g.cols() <= 100, "cols = {}", g.cols());
+    }
+}

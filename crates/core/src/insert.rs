@@ -1,0 +1,246 @@
+//! Event placement — Theorem 3.1 and Algorithm 1, plus §4.1's handling of
+//! tied greatest values.
+//!
+//! Placement is a pure arithmetic computation: *"There is no search process
+//! for the cell to store E, as required by most distributed index-based
+//! approaches."* The event's greatest value picks the pool and column; the
+//! second-greatest picks the row:
+//!
+//! ```text
+//! HO = ⌊ V_d₁ · l ⌋
+//! VO = ⌊ V_d₂ · l² / (HO + 1) ⌋
+//! ```
+
+use crate::event::Event;
+use crate::grid::{CellCoord, Grid};
+use crate::layout::PoolLayout;
+
+/// The `(HO, VO)` offsets Theorem 3.1 assigns to an event with greatest
+/// value `v_d1` and second-greatest value `v_d2`, in a pool of side `l`.
+///
+/// Values of exactly 1.0 are clamped into the last column/row, matching the
+/// closed-at-1.0 top ranges of Equation 1.
+///
+/// # Panics
+///
+/// Panics if `side == 0`, the values are outside `[0, 1]`, or
+/// `v_d2 > v_d1` (the second-greatest value can never exceed the greatest).
+///
+/// # Examples
+///
+/// §3.1.2's example: `E = <0.4, 0.3, 0.1>` goes to offsets `(HO, VO) =
+/// (2, 2)` — the third column, third row — which is cell `C(3,4)` for the
+/// Figure 2 pivot `C(1,2)`:
+///
+/// ```
+/// use pool_core::insert::offsets_for;
+///
+/// assert_eq!(offsets_for(0.4, 0.3, 5), (2, 2));
+/// ```
+pub fn offsets_for(v_d1: f64, v_d2: f64, side: u32) -> (u32, u32) {
+    assert!(side > 0, "pool side must be positive");
+    assert!((0.0..=1.0).contains(&v_d1), "v_d1 = {v_d1} outside [0, 1]");
+    assert!((0.0..=1.0).contains(&v_d2), "v_d2 = {v_d2} outside [0, 1]");
+    assert!(v_d2 <= v_d1, "second-greatest value {v_d2} exceeds greatest {v_d1}");
+    let l = side as f64;
+    let ho = ((v_d1 * l).floor() as u32).min(side - 1);
+    let vo = (((v_d2 * l * l) / (ho as f64 + 1.0)).floor() as u32).min(side - 1);
+    (ho, vo)
+}
+
+/// A candidate storage cell for an event: the pool (by dimension) and the
+/// grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The dimension whose pool stores the event (0-based).
+    pub pool_dim: usize,
+    /// The grid cell inside that pool.
+    pub cell: CellCoord,
+}
+
+/// All candidate cells for `event` (§4.1): one per dimension tying the
+/// greatest value. For events without ties this is a single cell — the
+/// Theorem 3.1 placement.
+///
+/// # Panics
+///
+/// Panics if the event's dimensionality differs from the layout's or is
+/// less than 2.
+pub fn candidate_cells(layout: &PoolLayout, event: &Event) -> Vec<Placement> {
+    assert_eq!(
+        event.dims(),
+        layout.dims(),
+        "event dimensionality {} does not match layout {}",
+        event.dims(),
+        layout.dims()
+    );
+    assert!(event.dims() >= 2, "pool placement requires at least 2 dimensions");
+    event
+        .greatest_dims()
+        .into_iter()
+        .map(|dim| {
+            let pool = layout.pool(dim);
+            let v_d1 = event.value(dim);
+            let v_d2 = event.v_d2_given_d1(dim);
+            let (ho, vo) = offsets_for(v_d1, v_d2, pool.side);
+            Placement { pool_dim: dim, cell: pool.cell_at(ho, vo) }
+        })
+        .collect()
+}
+
+/// The single cell where `event` is stored (Algorithm 1 plus §4.1): the
+/// candidate cell closest to `detected_at`, the cell where the event was
+/// sensed. Ties in distance resolve to the lower pool dimension.
+///
+/// # Panics
+///
+/// Same conditions as [`candidate_cells`].
+pub fn storage_cell(
+    layout: &PoolLayout,
+    grid: &Grid,
+    event: &Event,
+    detected_at: CellCoord,
+) -> Placement {
+    let candidates = candidate_cells(layout, event);
+    candidates
+        .into_iter()
+        .min_by(|a, b| {
+            grid.cell_distance(detected_at, a.cell)
+                .partial_cmp(&grid.cell_distance(detected_at, b.cell))
+                .expect("distances are finite")
+                .then(a.pool_dim.cmp(&b.pool_dim))
+        })
+        .expect("an event always has at least one greatest dimension")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use pool_netsim::geometry::Rect;
+
+    fn figure2() -> (Grid, PoolLayout) {
+        let grid = Grid::over(Rect::square(100.0), 5.0).unwrap();
+        let layout = PoolLayout::with_pivots(
+            &grid,
+            5,
+            vec![CellCoord::new(1, 2), CellCoord::new(2, 10), CellCoord::new(7, 3)],
+        )
+        .unwrap();
+        (grid, layout)
+    }
+
+    #[test]
+    fn paper_example_event_goes_to_c34() {
+        // §3.1.2: E = <0.4, 0.3, 0.1> is stored in C(3,4) of P₁.
+        let (grid, layout) = figure2();
+        let event = Event::new(vec![0.4, 0.3, 0.1]).unwrap();
+        let placement = storage_cell(&layout, &grid, &event, CellCoord::new(0, 0));
+        assert_eq!(placement.pool_dim, 0);
+        assert_eq!(placement.cell, CellCoord::new(3, 4));
+    }
+
+    #[test]
+    fn stored_cell_ranges_contain_the_deciding_values() {
+        // Theorem 3.1 invariant: the assigned cell's ranges contain
+        // (V_d1, V_d2), for a spread of values including boundaries.
+        let (_, layout) = figure2();
+        let p = layout.pool(0);
+        let values = [0.0, 0.05, 0.2, 0.25, 0.399, 0.4, 0.5, 0.79, 0.8, 0.999, 1.0];
+        for &a in &values {
+            for &b in &values {
+                if b > a {
+                    continue;
+                }
+                let (ho, vo) = offsets_for(a, b, p.side);
+                assert!(p.range_h(ho).contains(a), "V_d1 = {a} not in {}", p.range_h(ho));
+                assert!(
+                    p.range_v(ho, vo).contains(b),
+                    "V_d2 = {b} not in {} (V_d1 = {a})",
+                    p.range_v(ho, vo)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greatest_value_picks_the_pool() {
+        let (grid, layout) = figure2();
+        let event = Event::new(vec![0.1, 0.9, 0.5]).unwrap();
+        let placement = storage_cell(&layout, &grid, &event, CellCoord::new(0, 0));
+        assert_eq!(placement.pool_dim, 1);
+        assert!(layout.pool(1).contains(placement.cell));
+    }
+
+    #[test]
+    fn tied_event_yields_candidate_per_tied_dim() {
+        // §4.1: E = <0.4, 0.4, 0.2>. With Figure 2's layout the candidates
+        // are C(3,5) in P₁ (as printed in the paper) and C(4,13) in P₂.
+        let (_, layout) = figure2();
+        let event = Event::new(vec![0.4, 0.4, 0.2]).unwrap();
+        let candidates = candidate_cells(&layout, &event);
+        assert_eq!(candidates.len(), 2);
+        assert_eq!(candidates[0], Placement { pool_dim: 0, cell: CellCoord::new(3, 5) });
+        assert_eq!(candidates[1], Placement { pool_dim: 1, cell: CellCoord::new(4, 13) });
+    }
+
+    #[test]
+    fn tied_event_stored_at_closest_candidate() {
+        // §4.1: detected in C(8,12), the P₂ candidate is closer.
+        let (grid, layout) = figure2();
+        let event = Event::new(vec![0.4, 0.4, 0.2]).unwrap();
+        let placement = storage_cell(&layout, &grid, &event, CellCoord::new(8, 12));
+        assert_eq!(placement.pool_dim, 1);
+        assert_eq!(placement.cell, CellCoord::new(4, 13));
+        // Detected near the origin instead, the P₁ candidate wins.
+        let placement = storage_cell(&layout, &grid, &event, CellCoord::new(2, 3));
+        assert_eq!(placement.pool_dim, 0);
+        assert_eq!(placement.cell, CellCoord::new(3, 5));
+    }
+
+    #[test]
+    fn all_values_tied_yields_k_candidates() {
+        let (grid, layout) = figure2();
+        let event = Event::new(vec![0.6, 0.6, 0.6]).unwrap();
+        let candidates = candidate_cells(&layout, &event);
+        assert_eq!(candidates.len(), 3);
+        // Exactly one copy is stored regardless.
+        let placement = storage_cell(&layout, &grid, &event, CellCoord::new(10, 10));
+        assert!(candidates.contains(&placement));
+    }
+
+    #[test]
+    fn boundary_value_one_lands_in_last_cell() {
+        let (_, layout) = figure2();
+        let p = layout.pool(0);
+        let (ho, vo) = offsets_for(1.0, 1.0, p.side);
+        assert_eq!((ho, vo), (4, 4));
+        assert!(p.range_h(ho).contains(1.0));
+        assert!(p.range_v(ho, vo).contains(1.0));
+    }
+
+    #[test]
+    fn zero_event_lands_in_pivot_cell() {
+        let (grid, layout) = figure2();
+        let event = Event::new(vec![0.0, 0.0, 0.0]).unwrap();
+        let placement = storage_cell(&layout, &grid, &event, CellCoord::new(0, 0));
+        // All dims tie at 0; the chosen cell is some pool's pivot cell.
+        let pool = layout.pool(placement.pool_dim);
+        assert_eq!(placement.cell, pool.pivot);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds greatest")]
+    fn offsets_reject_inverted_values() {
+        let _ = offsets_for(0.3, 0.5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 dimensions")]
+    fn placement_requires_two_dims() {
+        let grid = Grid::over(Rect::square(50.0), 5.0).unwrap();
+        let layout = PoolLayout::with_pivots(&grid, 3, vec![CellCoord::new(0, 0)]).unwrap();
+        let event = Event::new(vec![0.5]).unwrap();
+        let _ = candidate_cells(&layout, &event);
+    }
+}

@@ -1,0 +1,182 @@
+//! One-dimensional value intervals.
+//!
+//! Pool mixes two interval flavours: cell ranges from Equation 1 are
+//! half-open `[lo, hi)`, while query ranges and the derived ranges of
+//! Theorem 3.2 are closed `[lo, hi]`. Getting the boundary cases right
+//! matters — e.g. a query range ending exactly at a cell's lower bound must
+//! select that cell, while one ending at its upper bound must not.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether an interval includes its upper endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpperBound {
+    /// `[lo, hi)` — cell ranges (Equation 1).
+    Open,
+    /// `[lo, hi]` — query ranges and Theorem 3.2's derived ranges.
+    Closed,
+}
+
+/// An interval over normalized attribute values. The lower endpoint is
+/// always included; the upper endpoint may be open or closed.
+///
+/// An interval with `lo > hi` (or `lo == hi` when half-open) is **empty**;
+/// Theorem 3.2 produces such intervals naturally for pools that cannot hold
+/// qualifying events (e.g. `R_H³ = [0.25, 0.24]` in Example 3.1).
+///
+/// # Examples
+///
+/// ```
+/// use pool_core::interval::Interval;
+///
+/// let cell = Interval::half_open(0.2, 0.4);
+/// let derived = Interval::closed(0.4, 0.5);
+/// assert!(!cell.intersects(derived)); // 0.4 is outside [0.2, 0.4)
+/// assert!(cell.intersects(Interval::closed(0.3, 0.5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+    upper: UpperBound,
+}
+
+impl Interval {
+    /// The half-open interval `[lo, hi)`.
+    pub fn half_open(lo: f64, hi: f64) -> Self {
+        Interval { lo, hi, upper: UpperBound::Open }
+    }
+
+    /// The closed interval `[lo, hi]`.
+    pub fn closed(lo: f64, hi: f64) -> Self {
+        Interval { lo, hi, upper: UpperBound::Closed }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Whether the upper endpoint is included.
+    pub fn upper(&self) -> UpperBound {
+        self.upper
+    }
+
+    /// Whether the interval contains no values.
+    pub fn is_empty(&self) -> bool {
+        match self.upper {
+            UpperBound::Open => self.lo >= self.hi,
+            UpperBound::Closed => self.lo > self.hi,
+        }
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        if v < self.lo {
+            return false;
+        }
+        match self.upper {
+            UpperBound::Open => v < self.hi,
+            UpperBound::Closed => v <= self.hi,
+        }
+    }
+
+    /// Whether the two intervals share at least one value, respecting each
+    /// side's upper-bound openness.
+    pub fn intersects(&self, other: Interval) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        // The intersection's lower bound is max(lo); its upper bound is the
+        // smaller hi (with that side's openness). Non-empty iff lower bound
+        // is below the upper bound, or equals it when closed.
+        let lo = self.lo.max(other.lo);
+        let self_ok = match self.upper {
+            UpperBound::Open => lo < self.hi,
+            UpperBound::Closed => lo <= self.hi,
+        };
+        let other_ok = match other.upper {
+            UpperBound::Open => lo < other.hi,
+            UpperBound::Closed => lo <= other.hi,
+        };
+        self_ok && other_ok
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.upper {
+            UpperBound::Open => write!(f, "[{}, {})", self.lo, self.hi),
+            UpperBound::Closed => write!(f, "[{}, {}]", self.lo, self.hi),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_respects_openness() {
+        let open = Interval::half_open(0.0, 1.0);
+        assert!(open.contains(0.0));
+        assert!(!open.contains(1.0));
+        let closed = Interval::closed(0.0, 1.0);
+        assert!(closed.contains(1.0));
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Interval::half_open(0.5, 0.5).is_empty());
+        assert!(!Interval::closed(0.5, 0.5).is_empty());
+        assert!(Interval::closed(0.25, 0.24).is_empty()); // Example 3.1, P3
+    }
+
+    #[test]
+    fn intersection_at_shared_endpoint() {
+        // Closed meets half-open exactly at the half-open lower bound.
+        assert!(Interval::closed(0.1, 0.2).intersects(Interval::half_open(0.2, 0.4)));
+        // Closed ending at the half-open *upper* bound does not intersect.
+        assert!(!Interval::closed(0.4, 0.5).intersects(Interval::half_open(0.2, 0.4)));
+        // Two closed intervals touching do intersect.
+        assert!(Interval::closed(0.0, 0.2).intersects(Interval::closed(0.2, 0.4)));
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let cases = [
+            (Interval::half_open(0.0, 0.3), Interval::closed(0.2, 0.5)),
+            (Interval::half_open(0.0, 0.2), Interval::closed(0.2, 0.5)),
+            (Interval::closed(0.0, 0.2), Interval::half_open(0.2, 0.5)),
+            (Interval::half_open(0.1, 0.1), Interval::closed(0.0, 1.0)),
+        ];
+        for (a, b) in cases {
+            assert_eq!(a.intersects(b), b.intersects(a), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_intervals_never_intersect() {
+        let empty = Interval::closed(0.5, 0.4);
+        assert!(!empty.intersects(Interval::closed(0.0, 1.0)));
+        assert!(!Interval::closed(0.0, 1.0).intersects(empty));
+    }
+
+    #[test]
+    fn disjoint_intervals() {
+        assert!(!Interval::closed(0.0, 0.1).intersects(Interval::closed(0.2, 0.3)));
+        assert!(!Interval::half_open(0.5, 0.7).intersects(Interval::half_open(0.0, 0.5)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Interval::half_open(0.0, 0.2).to_string(), "[0, 0.2)");
+        assert_eq!(Interval::closed(0.0, 0.2).to_string(), "[0, 0.2]");
+    }
+}

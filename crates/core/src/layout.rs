@@ -1,0 +1,426 @@
+//! Pools and their placement on the grid (§2, Figure 2).
+//!
+//! A `k`-dimensional deployment has exactly `k` pools `P₁ … P_k`, each an
+//! `l × l` block of cells anchored at its *pivot cell* `PC_i` (the lower-left
+//! corner). Pivot locations are chosen randomly — in a deployed system they
+//! are published through the GHT so every sensor can find them; here the
+//! random choice is seeded and deterministic.
+//!
+//! Every cell of a pool is addressed relative to the pivot by its
+//! *horizontal offset* `HO` and *vertical offset* `VO` (Definition 2.1), and
+//! carries the value ranges of Equation 1:
+//!
+//! ```text
+//! Range_H(C) = [ HO/l, (HO+1)/l )
+//! Range_V(C) = [ VO·(HO+1)/l², (VO+1)·(HO+1)/l² )
+//! ```
+
+use crate::error::PoolError;
+use crate::grid::{CellCoord, Grid};
+use crate::interval::Interval;
+use pool_ght::hash::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// One pool: an `l × l` block of cells identified by its pivot cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Which dimension this pool stores (0-based; the paper's `P_{i+1}`).
+    pub dim: usize,
+    /// The pivot cell `PC` at the pool's lower-left corner.
+    pub pivot: CellCoord,
+    /// Side length `l` in cells.
+    pub side: u32,
+}
+
+impl PoolSpec {
+    /// Creates a pool for dimension `dim` anchored at `pivot`.
+    pub fn new(dim: usize, pivot: CellCoord, side: u32) -> Self {
+        assert!(side > 0, "pool side must be positive");
+        PoolSpec { dim, pivot, side }
+    }
+
+    /// The grid cell at offsets `(ho, vo)` from the pivot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an offset is outside `[0, l-1]` (Definition 2.1).
+    pub fn cell_at(&self, ho: u32, vo: u32) -> CellCoord {
+        assert!(ho < self.side && vo < self.side, "offsets ({ho},{vo}) outside pool side {}", self.side);
+        CellCoord::new(self.pivot.x + ho, self.pivot.y + vo)
+    }
+
+    /// The `(HO, VO)` offsets of `cell`, or `None` if it is not in this
+    /// pool.
+    pub fn offsets_of(&self, cell: CellCoord) -> Option<(u32, u32)> {
+        if cell.x < self.pivot.x || cell.y < self.pivot.y {
+            return None;
+        }
+        let ho = cell.x - self.pivot.x;
+        let vo = cell.y - self.pivot.y;
+        (ho < self.side && vo < self.side).then_some((ho, vo))
+    }
+
+    /// Whether `cell` belongs to this pool.
+    pub fn contains(&self, cell: CellCoord) -> bool {
+        self.offsets_of(cell).is_some()
+    }
+
+    /// Iterates over all `l²` cells of the pool in `(ho, vo)` order.
+    pub fn cells(&self) -> impl Iterator<Item = CellCoord> + '_ {
+        (0..self.side).flat_map(move |ho| (0..self.side).map(move |vo| self.cell_at(ho, vo)))
+    }
+
+    /// Equation 1: the horizontal range of the column at offset `ho`.
+    ///
+    /// Ranges are half-open `[lo, hi)` except at the very top of the value
+    /// domain: the last column's range closes at 1.0 so an attribute value
+    /// of exactly 1.0 has a home (the paper's normalization puts values *in*
+    /// `[0, 1]`, boundary included).
+    pub fn range_h(&self, ho: u32) -> Interval {
+        let l = self.side as f64;
+        let lo = ho as f64 / l;
+        if ho + 1 == self.side {
+            Interval::closed(lo, 1.0)
+        } else {
+            Interval::half_open(lo, (ho as f64 + 1.0) / l)
+        }
+    }
+
+    /// Equation 1: the vertical range of the cell at offsets `(ho, vo)`.
+    ///
+    /// Like [`PoolSpec::range_h`], the topmost cell of the last column
+    /// closes at 1.0.
+    pub fn range_v(&self, ho: u32, vo: u32) -> Interval {
+        let l2 = (self.side as f64) * (self.side as f64);
+        let lo = (vo as f64 * (ho as f64 + 1.0)) / l2;
+        let hi = ((vo as f64 + 1.0) * (ho as f64 + 1.0)) / l2;
+        if ho + 1 == self.side && vo + 1 == self.side {
+            Interval::closed(lo, 1.0)
+        } else {
+            Interval::half_open(lo, hi)
+        }
+    }
+
+    /// Whether two pools share any cell.
+    pub fn overlaps(&self, other: &PoolSpec) -> bool {
+        let (ax1, ay1) = (self.pivot.x, self.pivot.y);
+        let (ax2, ay2) = (ax1 + self.side - 1, ay1 + self.side - 1);
+        let (bx1, by1) = (other.pivot.x, other.pivot.y);
+        let (bx2, by2) = (bx1 + other.side - 1, by1 + other.side - 1);
+        ax1 <= bx2 && bx1 <= ax2 && ay1 <= by2 && by1 <= ay2
+    }
+}
+
+/// The complete pool layout: `k` non-overlapping pools on one grid.
+///
+/// # Examples
+///
+/// Figure 2's layout: three pools of side 5, pivots `C(1,2)`, `C(2,10)`,
+/// `C(7,3)`:
+///
+/// ```
+/// use pool_core::grid::{CellCoord, Grid};
+/// use pool_core::layout::PoolLayout;
+/// use pool_netsim::geometry::Rect;
+///
+/// # fn main() -> Result<(), pool_core::error::PoolError> {
+/// let grid = Grid::over(Rect::square(100.0), 5.0)?;
+/// let layout = PoolLayout::with_pivots(
+///     &grid,
+///     5,
+///     vec![CellCoord::new(1, 2), CellCoord::new(2, 10), CellCoord::new(7, 3)],
+/// )?;
+/// assert_eq!(layout.pools().len(), 3);
+/// assert!(layout.pool(0).contains(CellCoord::new(3, 4)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolLayout {
+    pools: Vec<PoolSpec>,
+    side: u32,
+}
+
+impl PoolLayout {
+    /// Places `k` pools of side `side` at explicitly-given pivot cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::LayoutDoesNotFit`] if a pool would extend past
+    /// the grid, and [`PoolError::InvalidConfig`] if pools overlap.
+    pub fn with_pivots(grid: &Grid, side: u32, pivots: Vec<CellCoord>) -> Result<Self, PoolError> {
+        if side == 0 || pivots.is_empty() {
+            return Err(PoolError::InvalidConfig {
+                reason: format!("need side > 0 and at least one pivot (side={side})"),
+            });
+        }
+        let pools: Vec<PoolSpec> = pivots
+            .into_iter()
+            .enumerate()
+            .map(|(dim, pivot)| PoolSpec::new(dim, pivot, side))
+            .collect();
+        for p in &pools {
+            if p.pivot.x + side > grid.cols() || p.pivot.y + side > grid.rows() {
+                return Err(PoolError::LayoutDoesNotFit {
+                    pools: pools.len(),
+                    side,
+                    grid_cols: grid.cols(),
+                    grid_rows: grid.rows(),
+                });
+            }
+        }
+        for (i, a) in pools.iter().enumerate() {
+            for b in &pools[i + 1..] {
+                if a.overlaps(b) {
+                    return Err(PoolError::InvalidConfig {
+                        reason: format!(
+                            "pools P{} and P{} overlap (pivots {} and {})",
+                            a.dim + 1,
+                            b.dim + 1,
+                            a.pivot,
+                            b.pivot
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(PoolLayout { pools, side })
+    }
+
+    /// Places `k` pools of side `side` at pseudo-random non-overlapping
+    /// pivot cells, deterministic in `seed` (the paper picks pivots
+    /// randomly and publishes them via the DHT).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::LayoutDoesNotFit`] if no non-overlapping
+    /// placement is found (grid too small for `k` pools of this size).
+    pub fn random(grid: &Grid, k: usize, side: u32, seed: u64) -> Result<Self, PoolError> {
+        if side == 0 || k == 0 {
+            return Err(PoolError::InvalidConfig {
+                reason: format!("need side > 0 and k > 0 (side={side}, k={k})"),
+            });
+        }
+        if side > grid.cols() || side > grid.rows() {
+            return Err(PoolError::LayoutDoesNotFit {
+                pools: k,
+                side,
+                grid_cols: grid.cols(),
+                grid_rows: grid.rows(),
+            });
+        }
+        let max_x = grid.cols() - side;
+        let max_y = grid.rows() - side;
+        let mut pools: Vec<PoolSpec> = Vec::with_capacity(k);
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut attempts = 0u32;
+        while pools.len() < k {
+            attempts += 1;
+            if attempts.is_multiple_of(2_000) {
+                // Rejection sampling wedged itself (earlier pools block all
+                // remaining pivots): restart from scratch.
+                pools.clear();
+            }
+            if attempts > 10_000 {
+                // Dense layouts that rejection sampling cannot find may
+                // still fit deterministically: pack pools into row-major
+                // side-aligned slots.
+                return Self::packed(grid, k, side);
+            }
+            state = splitmix64(state);
+            let x = if max_x == 0 { 0 } else { (state >> 32) as u32 % (max_x + 1) };
+            let y = if max_y == 0 { 0 } else { (state & 0xffff_ffff) as u32 % (max_y + 1) };
+            let candidate = PoolSpec::new(pools.len(), CellCoord::new(x, y), side);
+            if pools.iter().all(|p| !p.overlaps(&candidate)) {
+                pools.push(candidate);
+            }
+        }
+        Ok(PoolLayout { pools, side })
+    }
+
+    /// Deterministic fallback placement: pools packed row-major into
+    /// side-aligned slots.
+    fn packed(grid: &Grid, k: usize, side: u32) -> Result<Self, PoolError> {
+        let slot_cols = grid.cols() / side;
+        let slot_rows = grid.rows() / side;
+        if (slot_cols as u64) * (slot_rows as u64) < k as u64 {
+            return Err(PoolError::LayoutDoesNotFit {
+                pools: k,
+                side,
+                grid_cols: grid.cols(),
+                grid_rows: grid.rows(),
+            });
+        }
+        let pools = (0..k)
+            .map(|dim| {
+                let sx = (dim as u32) % slot_cols;
+                let sy = (dim as u32) / slot_cols;
+                PoolSpec::new(dim, CellCoord::new(sx * side, sy * side), side)
+            })
+            .collect();
+        Ok(PoolLayout { pools, side })
+    }
+
+    /// All pools, `P₁ … P_k` in dimension order.
+    pub fn pools(&self) -> &[PoolSpec] {
+        &self.pools
+    }
+
+    /// The pool for dimension `dim` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn pool(&self, dim: usize) -> &PoolSpec {
+        &self.pools[dim]
+    }
+
+    /// Number of pools (= the event dimensionality `k`).
+    pub fn dims(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Pool side length `l` in cells.
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// The pool containing `cell`, if any.
+    pub fn pool_of_cell(&self, cell: CellCoord) -> Option<&PoolSpec> {
+        self.pools.iter().find(|p| p.contains(cell))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pool_netsim::geometry::Rect;
+
+    fn grid() -> Grid {
+        Grid::over(Rect::square(100.0), 5.0).unwrap()
+    }
+
+    fn figure2_layout() -> PoolLayout {
+        PoolLayout::with_pivots(
+            &grid(),
+            5,
+            vec![CellCoord::new(1, 2), CellCoord::new(2, 10), CellCoord::new(7, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure3_horizontal_ranges() {
+        // Figure 3: the horizontal ranges of P₁'s five columns.
+        let layout = figure2_layout();
+        let p1 = layout.pool(0);
+        let expect = [(0.0, 0.2), (0.2, 0.4), (0.4, 0.6), (0.6, 0.8), (0.8, 1.0)];
+        for (ho, &(lo, hi)) in expect.iter().enumerate() {
+            let r = p1.range_h(ho as u32);
+            assert!((r.lo() - lo).abs() < 1e-12 && (r.hi() - hi).abs() < 1e-12, "column {ho}: {r}");
+        }
+    }
+
+    #[test]
+    fn figure3_vertical_ranges_of_second_column() {
+        // Figure 3 / §3.1.1: column HO = 1 splits [0, 0.4) into five
+        // sub-ranges of width 0.08.
+        let layout = figure2_layout();
+        let p1 = layout.pool(0);
+        let expect =
+            [(0.0, 0.08), (0.08, 0.16), (0.16, 0.24), (0.24, 0.32), (0.32, 0.4)];
+        for (vo, &(lo, hi)) in expect.iter().enumerate() {
+            let r = p1.range_v(1, vo as u32);
+            assert!(
+                (r.lo() - lo).abs() < 1e-12 && (r.hi() - hi).abs() < 1e-12,
+                "row {vo}: {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn vertical_ranges_tile_the_column() {
+        let layout = figure2_layout();
+        let p1 = layout.pool(0);
+        for ho in 0..5 {
+            // The union of the column's vertical ranges is [0, (ho+1)/l).
+            let top = p1.range_v(ho, 4).hi();
+            assert!((top - p1.range_h(ho).hi()).abs() < 1e-12);
+            for vo in 0..4 {
+                assert!((p1.range_v(ho, vo).hi() - p1.range_v(ho, vo + 1).lo()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_roundtrip() {
+        let layout = figure2_layout();
+        let p2 = layout.pool(1);
+        for ho in 0..5 {
+            for vo in 0..5 {
+                let cell = p2.cell_at(ho, vo);
+                assert_eq!(p2.offsets_of(cell), Some((ho, vo)));
+            }
+        }
+        assert_eq!(p2.offsets_of(CellCoord::new(0, 0)), None);
+        assert_eq!(p2.offsets_of(CellCoord::new(7, 10)), None); // past side
+    }
+
+    #[test]
+    fn figure2_cell_membership() {
+        let layout = figure2_layout();
+        // C(3,4) belongs to P₁ (Figure 3 stores E = <0.4, 0.3, 0.1> there).
+        assert!(layout.pool(0).contains(CellCoord::new(3, 4)));
+        assert_eq!(layout.pool_of_cell(CellCoord::new(3, 4)).unwrap().dim, 0);
+        assert_eq!(layout.pool_of_cell(CellCoord::new(19, 19)), None);
+    }
+
+    #[test]
+    fn overlapping_pivots_rejected() {
+        let err = PoolLayout::with_pivots(
+            &grid(),
+            5,
+            vec![CellCoord::new(1, 2), CellCoord::new(3, 3)],
+        );
+        assert!(matches!(err, Err(PoolError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn out_of_grid_pool_rejected() {
+        let err = PoolLayout::with_pivots(&grid(), 5, vec![CellCoord::new(18, 0)]);
+        assert!(matches!(err, Err(PoolError::LayoutDoesNotFit { .. })));
+    }
+
+    #[test]
+    fn random_layout_is_deterministic_and_disjoint() {
+        let g = grid();
+        let a = PoolLayout::random(&g, 3, 10, 99).unwrap();
+        let b = PoolLayout::random(&g, 3, 10, 99).unwrap();
+        assert_eq!(a, b);
+        for (i, p) in a.pools().iter().enumerate() {
+            for q in &a.pools()[i + 1..] {
+                assert!(!p.overlaps(q));
+            }
+        }
+    }
+
+    #[test]
+    fn random_layout_fails_gracefully_when_too_big() {
+        let g = grid();
+        assert!(matches!(
+            PoolLayout::random(&g, 3, 25, 1),
+            Err(PoolError::LayoutDoesNotFit { .. })
+        ));
+        // 4 pools of side 10 on a 20x20 grid fit exactly.
+        assert!(PoolLayout::random(&g, 4, 10, 1).is_ok());
+    }
+
+    #[test]
+    fn cells_iterator_covers_pool() {
+        let layout = figure2_layout();
+        let p = layout.pool(2);
+        let cells: Vec<CellCoord> = p.cells().collect();
+        assert_eq!(cells.len(), 25);
+        assert!(cells.iter().all(|&c| p.contains(c)));
+    }
+}

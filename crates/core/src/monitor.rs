@@ -1,0 +1,170 @@
+//! Continuous monitoring queries — the paper's §6 extension.
+//!
+//! A *continuous* (standing) query is installed once and then notifies its
+//! sink whenever a newly inserted event matches. Pool's structure makes the
+//! installation cheap and exact: Theorem 3.2 names precisely the cells
+//! where future matching events can land, so the query is registered at
+//! those index nodes and nowhere else.
+//!
+//! Costs charged:
+//! * **Installation**: the same splitter-tree forwarding as a one-shot
+//!   query (sink → splitter → relevant cells).
+//! * **Per notification**: one GPSR unicast from the storing index node to
+//!   the sink, per matching insertion.
+//! * **Removal**: same forwarding as installation.
+
+use crate::grid::CellCoord;
+use crate::query::RangeQuery;
+use pool_netsim::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Handle identifying an installed continuous query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MonitorId(pub u64);
+
+/// One installed continuous query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Monitor {
+    /// The handle returned at installation.
+    pub id: MonitorId,
+    /// The node that receives notifications.
+    pub sink: NodeId,
+    /// The standing query.
+    pub query: RangeQuery,
+}
+
+/// Registry of continuous queries, indexed by the cells they watch.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorTable {
+    monitors: HashMap<MonitorId, Monitor>,
+    /// Cell → monitors watching it.
+    by_cell: HashMap<CellCoord, Vec<MonitorId>>,
+    next_id: u64,
+}
+
+impl MonitorTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        MonitorTable::default()
+    }
+
+    /// Registers a monitor watching `cells`, returning its handle.
+    pub fn install(&mut self, sink: NodeId, query: RangeQuery, cells: &[CellCoord]) -> MonitorId {
+        let id = MonitorId(self.next_id);
+        self.next_id += 1;
+        self.monitors.insert(id, Monitor { id, sink, query });
+        for &cell in cells {
+            self.by_cell.entry(cell).or_default().push(id);
+        }
+        id
+    }
+
+    /// Removes a monitor. Returns the removed record, or `None` if the
+    /// handle is unknown (already removed).
+    pub fn remove(&mut self, id: MonitorId) -> Option<Monitor> {
+        let monitor = self.monitors.remove(&id)?;
+        for ids in self.by_cell.values_mut() {
+            ids.retain(|&m| m != id);
+        }
+        self.by_cell.retain(|_, ids| !ids.is_empty());
+        Some(monitor)
+    }
+
+    /// The monitor with handle `id`, if installed.
+    pub fn get(&self, id: MonitorId) -> Option<&Monitor> {
+        self.monitors.get(&id)
+    }
+
+    /// All monitors watching `cell`, in installation order.
+    pub fn watching(&self, cell: CellCoord) -> impl Iterator<Item = &Monitor> {
+        self.by_cell
+            .get(&cell)
+            .into_iter()
+            .flatten()
+            .filter_map(move |id| self.monitors.get(id))
+    }
+
+    /// The cells watched by monitor `id` (for cost accounting and tests).
+    pub fn cells_of(&self, id: MonitorId) -> Vec<CellCoord> {
+        let mut cells: Vec<CellCoord> = self
+            .by_cell
+            .iter()
+            .filter(|(_, ids)| ids.contains(&id))
+            .map(|(&c, _)| c)
+            .collect();
+        cells.sort();
+        cells
+    }
+
+    /// Iterates over every installed monitor (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &Monitor> {
+        self.monitors.values()
+    }
+
+    /// Number of installed monitors.
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Whether no monitors are installed.
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+}
+
+/// A notification produced by a matching insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// The monitor that fired.
+    pub monitor: MonitorId,
+    /// The sink that was notified.
+    pub sink: NodeId,
+    /// Messages spent delivering this notification.
+    pub messages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(lo: f64, hi: f64) -> RangeQuery {
+        RangeQuery::exact(vec![(lo, hi), (0.0, 1.0), (0.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn install_get_remove_roundtrip() {
+        let mut table = MonitorTable::new();
+        let cells = [CellCoord::new(1, 1), CellCoord::new(1, 2)];
+        let id = table.install(NodeId(3), q(0.2, 0.4), &cells);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.get(id).unwrap().sink, NodeId(3));
+        assert_eq!(table.cells_of(id), cells.to_vec());
+        let removed = table.remove(id).unwrap();
+        assert_eq!(removed.id, id);
+        assert!(table.is_empty());
+        assert!(table.remove(id).is_none());
+    }
+
+    #[test]
+    fn watching_returns_all_monitors_of_a_cell() {
+        let mut table = MonitorTable::new();
+        let shared = CellCoord::new(5, 5);
+        let a = table.install(NodeId(1), q(0.0, 0.5), &[shared]);
+        let b = table.install(NodeId(2), q(0.5, 1.0), &[shared, CellCoord::new(6, 6)]);
+        let ids: Vec<MonitorId> = table.watching(shared).map(|m| m.id).collect();
+        assert_eq!(ids, vec![a, b]);
+        let ids: Vec<MonitorId> = table.watching(CellCoord::new(6, 6)).map(|m| m.id).collect();
+        assert_eq!(ids, vec![b]);
+        assert!(table.watching(CellCoord::new(9, 9)).next().is_none());
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut table = MonitorTable::new();
+        let a = table.install(NodeId(1), q(0.0, 1.0), &[CellCoord::new(0, 0)]);
+        table.remove(a);
+        let b = table.install(NodeId(1), q(0.0, 1.0), &[CellCoord::new(0, 0)]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,249 @@
+//! Multi-dimensional range queries.
+//!
+//! §2 classifies queries into four types by whether every dimension is
+//! specified (`h = k` vs `h < k`) and whether bounds coincide (`Lᵢ = Uᵢ`).
+//! Partial-match queries are *rewritten* before processing by widening every
+//! unspecified dimension to `[0, 1]` — after which all four types flow
+//! through the same resolving mechanism (§3.2.2).
+
+use crate::error::PoolError;
+use crate::event::Event;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's four query types (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryType {
+    /// Type 1: `h = k`, all `Lᵢ = Uᵢ`.
+    ExactMatchPoint,
+    /// Type 2: `h < k`, specified dimensions have `Lᵢ = Uᵢ`.
+    PartialMatchPoint,
+    /// Type 3: `h = k`, at least one `Lᵢ < Uᵢ`.
+    ExactMatchRange,
+    /// Type 4: `h < k`, at least one specified `Lᵢ < Uᵢ`.
+    PartialMatchRange,
+}
+
+/// A `k`-dimensional query: per dimension either a user-specified range
+/// `[Lᵢ, Uᵢ]` or "don't care" (`*`).
+///
+/// # Examples
+///
+/// The partial-match range query `⟨*, *, [0.8, 0.84]⟩` from Example 3.2:
+///
+/// ```
+/// use pool_core::query::{QueryType, RangeQuery};
+///
+/// # fn main() -> Result<(), pool_core::error::PoolError> {
+/// let q = RangeQuery::from_bounds(vec![None, None, Some((0.8, 0.84))])?;
+/// assert_eq!(q.query_type(), QueryType::PartialMatchRange);
+/// assert_eq!(q.unspecified_count(), 2);
+/// assert_eq!(q.rewritten(), vec![(0.0, 1.0), (0.0, 1.0), (0.8, 0.84)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeQuery {
+    /// Per dimension: `Some((lo, hi))` if specified, `None` for `*`.
+    bounds: Vec<Option<(f64, f64)>>,
+}
+
+impl RangeQuery {
+    /// Creates a query from per-dimension bounds (use `None` for `*`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::InvalidQuery`] if there are no dimensions, no
+    /// specified dimension at all, or any bound is out of `[0, 1]`,
+    /// inverted, or not finite.
+    pub fn from_bounds(bounds: Vec<Option<(f64, f64)>>) -> Result<Self, PoolError> {
+        if bounds.is_empty() {
+            return Err(PoolError::InvalidQuery { reason: "query has no dimensions".into() });
+        }
+        if bounds.iter().all(Option::is_none) {
+            return Err(PoolError::InvalidQuery {
+                reason: "query specifies no dimension at all".into(),
+            });
+        }
+        for (i, b) in bounds.iter().enumerate() {
+            if let Some((lo, hi)) = b {
+                if !lo.is_finite() || !hi.is_finite() || *lo < 0.0 || *hi > 1.0 || lo > hi {
+                    return Err(PoolError::InvalidQuery {
+                        reason: format!("dimension {}: bad range [{lo}, {hi}]", i + 1),
+                    });
+                }
+            }
+        }
+        Ok(RangeQuery { bounds })
+    }
+
+    /// An exact-match range query: every dimension gets a range.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`RangeQuery::from_bounds`].
+    pub fn exact(ranges: Vec<(f64, f64)>) -> Result<Self, PoolError> {
+        RangeQuery::from_bounds(ranges.into_iter().map(Some).collect())
+    }
+
+    /// An exact-match *point* query for the single event `values`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`RangeQuery::from_bounds`].
+    pub fn point(values: Vec<f64>) -> Result<Self, PoolError> {
+        RangeQuery::from_bounds(values.into_iter().map(|v| Some((v, v))).collect())
+    }
+
+    /// Per-dimension bounds as supplied (before rewriting).
+    pub fn bounds(&self) -> &[Option<(f64, f64)>] {
+        &self.bounds
+    }
+
+    /// Number of dimensions `k`.
+    pub fn dims(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Number of unspecified (`*`) dimensions — the `m` of an `m`-partial
+    /// query (§5.1).
+    pub fn unspecified_count(&self) -> usize {
+        self.bounds.iter().filter(|b| b.is_none()).count()
+    }
+
+    /// Whether any dimension is unspecified.
+    pub fn is_partial(&self) -> bool {
+        self.unspecified_count() > 0
+    }
+
+    /// The §2 classification of this query.
+    pub fn query_type(&self) -> QueryType {
+        let partial = self.is_partial();
+        let is_point = self
+            .bounds
+            .iter()
+            .flatten()
+            .all(|(lo, hi)| lo == hi);
+        match (partial, is_point) {
+            (false, true) => QueryType::ExactMatchPoint,
+            (true, true) => QueryType::PartialMatchPoint,
+            (false, false) => QueryType::ExactMatchRange,
+            (true, false) => QueryType::PartialMatchRange,
+        }
+    }
+
+    /// The §2 rewrite: unspecified dimensions become `[0, 1]`.
+    pub fn rewritten(&self) -> Vec<(f64, f64)> {
+        self.bounds.iter().map(|b| b.unwrap_or((0.0, 1.0))).collect()
+    }
+
+    /// Whether `event` satisfies this query (the §2 answer predicate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's dimensionality differs from the query's.
+    pub fn matches(&self, event: &Event) -> bool {
+        assert_eq!(
+            event.dims(),
+            self.dims(),
+            "event dimensionality {} does not match query {}",
+            event.dims(),
+            self.dims()
+        );
+        self.rewritten()
+            .iter()
+            .zip(event.values())
+            .all(|(&(lo, hi), &v)| lo <= v && v <= hi)
+    }
+}
+
+impl fmt::Display for RangeQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, b) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match b {
+                Some((lo, hi)) => write!(f, "[{lo}, {hi}]")?,
+                None => write!(f, "*")?,
+            }
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(values: &[f64]) -> Event {
+        Event::new(values.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn type_classification_matches_section_2() {
+        let t1 = RangeQuery::point(vec![0.1, 0.2]).unwrap();
+        assert_eq!(t1.query_type(), QueryType::ExactMatchPoint);
+
+        let t2 = RangeQuery::from_bounds(vec![Some((0.1, 0.1)), None]).unwrap();
+        assert_eq!(t2.query_type(), QueryType::PartialMatchPoint);
+
+        let t3 = RangeQuery::exact(vec![(0.1, 0.3), (0.0, 1.0)]).unwrap();
+        assert_eq!(t3.query_type(), QueryType::ExactMatchRange);
+
+        let t4 = RangeQuery::from_bounds(vec![Some((0.1, 0.3)), None]).unwrap();
+        assert_eq!(t4.query_type(), QueryType::PartialMatchRange);
+    }
+
+    #[test]
+    fn rewrite_widens_unspecified() {
+        let q = RangeQuery::from_bounds(vec![None, Some((0.6, 0.7)), Some((0.4, 0.6))]).unwrap();
+        assert_eq!(q.rewritten(), vec![(0.0, 1.0), (0.6, 0.7), (0.4, 0.6)]);
+    }
+
+    #[test]
+    fn matches_is_inclusive_on_both_ends() {
+        let q = RangeQuery::exact(vec![(0.2, 0.4)]).unwrap();
+        assert!(q.matches(&ev(&[0.2])));
+        assert!(q.matches(&ev(&[0.4])));
+        assert!(!q.matches(&ev(&[0.41])));
+    }
+
+    #[test]
+    fn partial_match_ignores_unspecified_dims() {
+        let q = RangeQuery::from_bounds(vec![None, None, Some((0.8, 0.84))]).unwrap();
+        assert!(q.matches(&ev(&[0.0, 1.0, 0.82])));
+        assert!(!q.matches(&ev(&[0.0, 1.0, 0.85])));
+    }
+
+    #[test]
+    fn point_query_matches_exactly_one_value() {
+        let q = RangeQuery::point(vec![0.25, 0.5]).unwrap();
+        assert!(q.matches(&ev(&[0.25, 0.5])));
+        assert!(!q.matches(&ev(&[0.25, 0.500001])));
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(RangeQuery::from_bounds(vec![]).is_err());
+        assert!(RangeQuery::from_bounds(vec![None, None]).is_err());
+        assert!(RangeQuery::exact(vec![(0.5, 0.4)]).is_err());
+        assert!(RangeQuery::exact(vec![(-0.1, 0.4)]).is_err());
+        assert!(RangeQuery::exact(vec![(0.1, 1.4)]).is_err());
+        assert!(RangeQuery::exact(vec![(f64::NAN, 0.4)]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match query")]
+    fn matches_panics_on_arity_mismatch() {
+        let q = RangeQuery::exact(vec![(0.0, 1.0)]).unwrap();
+        q.matches(&ev(&[0.1, 0.2]));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let q = RangeQuery::from_bounds(vec![None, Some((0.6, 0.7))]).unwrap();
+        assert_eq!(q.to_string(), "<*, [0.6, 0.7]>");
+    }
+}

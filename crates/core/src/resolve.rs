@@ -1,0 +1,358 @@
+//! Query resolving — Theorem 3.2 and Algorithm 2.
+//!
+//! For each pool `Pᵢ`, the cells that may hold qualifying events of a
+//! (rewritten) query `Q = <[L₁,U₁], …, [L_k,U_k]>` are those whose Equation-1
+//! ranges intersect the *derived ranges*:
+//!
+//! ```text
+//! R_Hⁱ(Q) = [ MAX(L₁ … L_k), Uᵢ ]
+//! R_Vⁱ(Q) = [ MAX({L₁…L_k} \ {Lᵢ}), MIN(Uᵢ, MAX({U₁…U_k} \ {Uᵢ})) ]
+//! ```
+//!
+//! (Example 3.1's prose prints `R_H²(Q) = [0.25, 0.3]` where the theorem
+//! yields `[0.25, 0.35]`; the theorem's bound is the sound one — an event
+//! like `<0.28, 0.34, 0.22>` is stored under `V₂ = 0.34` — and both produce
+//! the same relevant cells in the example. We implement the theorem.)
+
+use crate::grid::CellCoord;
+use crate::interval::Interval;
+use crate::layout::{PoolLayout, PoolSpec};
+use crate::query::RangeQuery;
+
+/// The derived ranges of Theorem 3.2 for one pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedRanges {
+    /// `R_Hⁱ(Q)`: the possible greatest values of qualifying events in `Pᵢ`.
+    pub r_h: Interval,
+    /// `R_Vⁱ(Q)`: the possible second-greatest values.
+    pub r_v: Interval,
+}
+
+impl DerivedRanges {
+    /// Whether the pool can be pruned entirely (either range empty —
+    /// Algorithm 2's `MAX(L…) > Uᵢ` guard generalized).
+    pub fn is_empty(&self) -> bool {
+        self.r_h.is_empty() || self.r_v.is_empty()
+    }
+}
+
+/// Computes Theorem 3.2's derived ranges for pool dimension `i` (0-based)
+/// of a *rewritten* query (every dimension has explicit `[L, U]` bounds).
+///
+/// # Panics
+///
+/// Panics if `i` is out of range or the query has fewer than 2 dimensions.
+pub fn derived_ranges(rewritten: &[(f64, f64)], i: usize) -> DerivedRanges {
+    assert!(rewritten.len() >= 2, "derived ranges require at least 2 dimensions");
+    assert!(i < rewritten.len(), "pool dimension {i} out of range");
+    let max_l = rewritten.iter().map(|&(l, _)| l).fold(f64::NEG_INFINITY, f64::max);
+    let (l_i, u_i) = rewritten[i];
+    let _ = l_i;
+    let max_l_rest = rewritten
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(_, &(l, _))| l)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let max_u_rest = rewritten
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(_, &(_, u))| u)
+        .fold(f64::NEG_INFINITY, f64::max);
+    DerivedRanges {
+        r_h: Interval::closed(max_l, u_i),
+        r_v: Interval::closed(max_l_rest, u_i.min(max_u_rest)),
+    }
+}
+
+/// Algorithm 2: the offsets of every cell of `pool` relevant to the
+/// rewritten query, in `(ho, vo)` lexicographic order.
+pub fn relevant_offsets(pool: &PoolSpec, rewritten: &[(f64, f64)]) -> Vec<(u32, u32)> {
+    let ranges = derived_ranges(rewritten, pool.dim);
+    if ranges.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for ho in 0..pool.side {
+        if !pool.range_h(ho).intersects(ranges.r_h) {
+            continue;
+        }
+        for vo in 0..pool.side {
+            if pool.range_v(ho, vo).intersects(ranges.r_v) {
+                out.push((ho, vo));
+            }
+        }
+    }
+    out
+}
+
+/// Closed-form variant of [`relevant_offsets`]: instead of scanning all
+/// `l²` cells (Algorithm 2 as printed), the relevant column interval and
+/// each column's relevant row interval are computed arithmetically.
+///
+/// Produces exactly the same cells as [`relevant_offsets`] (property-tested
+/// equivalence) in `O(columns + output)` instead of `O(l²)` — the form a
+/// real splitter node would run.
+pub fn relevant_offsets_fast(pool: &PoolSpec, rewritten: &[(f64, f64)]) -> Vec<(u32, u32)> {
+    let ranges = derived_ranges(rewritten, pool.dim);
+    if ranges.is_empty() {
+        return Vec::new();
+    }
+    let l = pool.side as f64;
+    let mut out = Vec::new();
+    // Columns whose [ho/l, (ho+1)/l) range meets the closed R_H: ho from
+    // floor(lo·l) (the column containing the lower bound) through the
+    // column containing the upper bound.
+    // The window is widened by one column/row on each side to absorb
+    // floating-point boundary effects; the exact interval test inside the
+    // loop keeps the output identical to the full scan.
+    let ho_lo = ((ranges.r_h.lo() * l).floor().max(0.0) as u32)
+        .saturating_sub(1)
+        .min(pool.side - 1);
+    let ho_hi = (((ranges.r_h.hi() * l).floor() as u32).saturating_add(1)).min(pool.side - 1);
+    for ho in ho_lo..=ho_hi.min(pool.side - 1) {
+        if !pool.range_h(ho).intersects(ranges.r_h) {
+            continue;
+        }
+        // Rows of this column whose range meets R_V: row height is
+        // (ho+1)/l², so the candidate rows bracket R_V the same way.
+        let row_height = (ho as f64 + 1.0) / (l * l);
+        let vo_lo = ((ranges.r_v.lo() / row_height).floor().max(0.0) as u32)
+            .saturating_sub(1)
+            .min(pool.side - 1);
+        let vo_hi =
+            (((ranges.r_v.hi() / row_height).floor() as u32).saturating_add(1)).min(pool.side - 1);
+        for vo in vo_lo..=vo_hi {
+            if pool.range_v(ho, vo).intersects(ranges.r_v) {
+                out.push((ho, vo));
+            }
+        }
+    }
+    out
+}
+
+/// Resolves a query against the whole layout: every relevant cell across
+/// all pools, as `(pool_dim, cell)` pairs.
+///
+/// Partial-match queries need no special handling — §3.2.2's observation is
+/// that the §2 rewrite composes directly with Theorem 3.2.
+///
+/// # Panics
+///
+/// Panics if the query's dimensionality differs from the layout's.
+pub fn relevant_cells(layout: &PoolLayout, query: &RangeQuery) -> Vec<(usize, CellCoord)> {
+    assert_eq!(
+        query.dims(),
+        layout.dims(),
+        "query dimensionality {} does not match layout {}",
+        query.dims(),
+        layout.dims()
+    );
+    let rewritten = query.rewritten();
+    let mut out = Vec::new();
+    for pool in layout.pools() {
+        // The closed-form resolver; proven cell-for-cell identical to the
+        // printed Algorithm 2 scan by `fast_resolve_equals_algorithm_2_scan`
+        // and the property suite.
+        for (ho, vo) in relevant_offsets_fast(pool, &rewritten) {
+            out.push((pool.dim, pool.cell_at(ho, vo)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use pool_netsim::geometry::Rect;
+
+    fn figure2_layout() -> PoolLayout {
+        let grid = Grid::over(Rect::square(100.0), 5.0).unwrap();
+        PoolLayout::with_pivots(
+            &grid,
+            5,
+            vec![CellCoord::new(1, 2), CellCoord::new(2, 10), CellCoord::new(7, 3)],
+        )
+        .unwrap()
+    }
+
+    fn q(bounds: &[(f64, f64)]) -> RangeQuery {
+        RangeQuery::exact(bounds.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn example_3_1_derived_ranges() {
+        // Q = <[0.2,0.3], [0.25,0.35], [0.21,0.24]>.
+        let rewritten = vec![(0.2, 0.3), (0.25, 0.35), (0.21, 0.24)];
+        let p1 = derived_ranges(&rewritten, 0);
+        assert_eq!(p1.r_h, Interval::closed(0.25, 0.3));
+        assert_eq!(p1.r_v, Interval::closed(0.25, 0.3));
+        let p2 = derived_ranges(&rewritten, 1);
+        assert_eq!(p2.r_h, Interval::closed(0.25, 0.35));
+        assert_eq!(p2.r_v, Interval::closed(0.21, 0.3));
+        let p3 = derived_ranges(&rewritten, 2);
+        assert_eq!(p3.r_h, Interval::closed(0.25, 0.24));
+        assert!(p3.is_empty());
+    }
+
+    #[test]
+    fn example_3_1_figure4_relevant_cells() {
+        // Figure 4: C(2,5) in P₁; C(3,12) and C(3,13) in P₂; nothing in P₃.
+        let layout = figure2_layout();
+        let query = q(&[(0.2, 0.3), (0.25, 0.35), (0.21, 0.24)]);
+        let cells = relevant_cells(&layout, &query);
+        assert_eq!(
+            cells,
+            vec![
+                (0, CellCoord::new(2, 5)),
+                (1, CellCoord::new(3, 12)),
+                (1, CellCoord::new(3, 13)),
+            ]
+        );
+    }
+
+    #[test]
+    fn example_3_2_figure5_partial_match() {
+        // Q = <*, *, [0.8, 0.84]> resolves to C(5,6) in P₁, C(6,14) in P₂,
+        // and the full column C(11,3)–C(11,7) in P₃ (Figure 5).
+        let layout = figure2_layout();
+        let query =
+            RangeQuery::from_bounds(vec![None, None, Some((0.8, 0.84))]).unwrap();
+        let cells = relevant_cells(&layout, &query);
+        assert_eq!(
+            cells,
+            vec![
+                (0, CellCoord::new(5, 6)),
+                (1, CellCoord::new(6, 14)),
+                (2, CellCoord::new(11, 3)),
+                (2, CellCoord::new(11, 4)),
+                (2, CellCoord::new(11, 5)),
+                (2, CellCoord::new(11, 6)),
+                (2, CellCoord::new(11, 7)),
+            ]
+        );
+    }
+
+    #[test]
+    fn example_3_2_derived_ranges() {
+        let rewritten = vec![(0.0, 1.0), (0.0, 1.0), (0.8, 0.84)];
+        let p1 = derived_ranges(&rewritten, 0);
+        assert_eq!(p1.r_h, Interval::closed(0.8, 1.0));
+        assert_eq!(p1.r_v, Interval::closed(0.8, 1.0));
+        let p3 = derived_ranges(&rewritten, 2);
+        assert_eq!(p3.r_h, Interval::closed(0.8, 0.84));
+        assert_eq!(p3.r_v, Interval::closed(0.0, 0.84));
+    }
+
+    #[test]
+    fn full_domain_query_selects_every_cell() {
+        let layout = figure2_layout();
+        let query = q(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]);
+        let cells = relevant_cells(&layout, &query);
+        assert_eq!(cells.len(), 3 * 25);
+    }
+
+    #[test]
+    fn point_query_touches_at_most_one_cell_per_pool() {
+        let layout = figure2_layout();
+        for probe in [[0.3, 0.2, 0.1], [0.9, 0.8, 0.7], [0.5, 0.5, 0.5]] {
+            let query = RangeQuery::point(probe.to_vec()).unwrap();
+            let cells = relevant_cells(&layout, &query);
+            for dim in 0..3 {
+                let in_pool = cells.iter().filter(|(d, _)| *d == dim).count();
+                assert!(in_pool <= 1, "probe {probe:?}: {in_pool} cells in pool {dim}");
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_finds_storage_cell_of_matching_event() {
+        // Soundness on a deterministic sweep: any event matching the query
+        // must have its Theorem 3.1 cell in the resolved set.
+        use crate::event::Event;
+        use crate::insert::candidate_cells;
+        let layout = figure2_layout();
+        let query = q(&[(0.2, 0.5), (0.1, 0.45), (0.0, 0.9)]);
+        let steps = 12usize;
+        for a in 0..=steps {
+            for b in 0..=steps {
+                for c in 0..=steps {
+                    let event = Event::new(vec![
+                        a as f64 / steps as f64,
+                        b as f64 / steps as f64,
+                        c as f64 / steps as f64,
+                    ])
+                    .unwrap();
+                    if !query.matches(&event) {
+                        continue;
+                    }
+                    let resolved = relevant_cells(&layout, &query);
+                    for placement in candidate_cells(&layout, &event) {
+                        assert!(
+                            resolved.contains(&(placement.pool_dim, placement.cell)),
+                            "event {event} stored at {} in P{} missed by resolve",
+                            placement.cell,
+                            placement.pool_dim + 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_query_prunes_most_cells() {
+        // The pruning claim of §3.2: a small range query touches a small
+        // fraction of the 75 cells.
+        let layout = figure2_layout();
+        let query = q(&[(0.2, 0.25), (0.2, 0.25), (0.2, 0.25)]);
+        let cells = relevant_cells(&layout, &query);
+        assert!(cells.len() <= 9, "expected strong pruning, got {} cells", cells.len());
+    }
+
+    #[test]
+    fn fast_resolve_equals_algorithm_2_scan() {
+        // Deterministic sweep of query shapes and pool sides.
+        let grid = Grid::over(Rect::square(200.0), 5.0).unwrap();
+        for side in [2u32, 3, 5, 8, 10, 13] {
+            let layout = PoolLayout::random(&grid, 3, side, side as u64).unwrap();
+            let mut queries = Vec::new();
+            for a in 0..6 {
+                for b in (a..6).step_by(2) {
+                    let lo = a as f64 / 6.0;
+                    let hi = b as f64 / 6.0 + 0.15;
+                    queries.push(vec![
+                        (lo, hi.min(1.0)),
+                        ((lo * 0.5), (hi * 0.9).min(1.0)),
+                        (0.0, 1.0),
+                    ]);
+                }
+            }
+            queries.push(vec![(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)]);
+            queries.push(vec![(0.0, 0.0), (0.0, 0.0), (0.0, 0.0)]);
+            for q in &queries {
+                for pool in layout.pools() {
+                    assert_eq!(
+                        relevant_offsets_fast(pool, q),
+                        relevant_offsets(pool, q),
+                        "side {side}, pool {}, query {q:?}",
+                        pool.dim
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_intersection_when_max_l_exceeds_u() {
+        // Algorithm 2 line 1: MAX(L…) > Uᵢ prunes the pool.
+        let layout = figure2_layout();
+        let query = q(&[(0.9, 0.95), (0.0, 0.1), (0.0, 0.1)]);
+        let cells = relevant_cells(&layout, &query);
+        // Pools 2 and 3 cannot host events whose greatest value is ≥ 0.9
+        // in dimension 1 — only P₁ is relevant.
+        assert!(cells.iter().all(|(dim, _)| *dim == 0), "{cells:?}");
+    }
+}

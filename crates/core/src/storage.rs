@@ -1,0 +1,131 @@
+//! In-network event storage: which node holds which events of which cell.
+//!
+//! Each pool cell's events live at its index node by default; when workload
+//! sharing (§4.2) is active, overflow events live at delegate nodes chained
+//! off the index node. The store tracks the holder of every event so query
+//! processing can charge the extra delegate hops and hotspot experiments can
+//! measure per-node storage load.
+
+use crate::event::Event;
+use crate::grid::CellCoord;
+use pool_netsim::node::NodeId;
+use std::collections::HashMap;
+
+/// A stored event together with the node that physically holds it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredEvent {
+    /// The event payload.
+    pub event: Event,
+    /// The sensor node holding this copy.
+    pub holder: NodeId,
+}
+
+/// Event storage across all pool cells.
+#[derive(Debug, Clone, Default)]
+pub struct CellStore {
+    by_cell: HashMap<CellCoord, Vec<StoredEvent>>,
+    count_by_node: HashMap<NodeId, usize>,
+    total: usize,
+}
+
+impl CellStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        CellStore::default()
+    }
+
+    /// Records `event` as stored in `cell` at node `holder`.
+    pub fn insert(&mut self, cell: CellCoord, event: Event, holder: NodeId) {
+        self.by_cell.entry(cell).or_default().push(StoredEvent { event, holder });
+        *self.count_by_node.entry(holder).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// The events stored in `cell` (empty slice if none).
+    pub fn events_in(&self, cell: CellCoord) -> &[StoredEvent] {
+        self.by_cell.get(&cell).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of events held by `node`.
+    pub fn count_at(&self, node: NodeId) -> usize {
+        self.count_by_node.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Total number of stored events.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The largest per-node storage load (hotspot indicator).
+    pub fn max_node_load(&self) -> usize {
+        self.count_by_node.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of distinct nodes holding at least one event.
+    pub fn loaded_nodes(&self) -> usize {
+        self.count_by_node.values().filter(|&&c| c > 0).count()
+    }
+
+    /// Iterates over all `(cell, stored events)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CellCoord, &[StoredEvent])> {
+        self.by_cell.iter().map(|(c, v)| (c, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(v: &[f64]) -> Event {
+        Event::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut store = CellStore::new();
+        let cell = CellCoord::new(3, 4);
+        store.insert(cell, ev(&[0.4, 0.3, 0.1]), NodeId(7));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.events_in(cell).len(), 1);
+        assert_eq!(store.events_in(cell)[0].holder, NodeId(7));
+        assert!(store.events_in(CellCoord::new(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn per_node_counts() {
+        let mut store = CellStore::new();
+        store.insert(CellCoord::new(0, 0), ev(&[0.1, 0.2]), NodeId(1));
+        store.insert(CellCoord::new(0, 1), ev(&[0.2, 0.1]), NodeId(1));
+        store.insert(CellCoord::new(0, 2), ev(&[0.3, 0.1]), NodeId(2));
+        assert_eq!(store.count_at(NodeId(1)), 2);
+        assert_eq!(store.count_at(NodeId(2)), 1);
+        assert_eq!(store.count_at(NodeId(3)), 0);
+        assert_eq!(store.max_node_load(), 2);
+        assert_eq!(store.loaded_nodes(), 2);
+    }
+
+    #[test]
+    fn multiple_events_per_cell_keep_order() {
+        let mut store = CellStore::new();
+        let cell = CellCoord::new(5, 5);
+        store.insert(cell, ev(&[0.5, 0.1]), NodeId(1));
+        store.insert(cell, ev(&[0.6, 0.2]), NodeId(2));
+        let events = store.events_in(cell);
+        assert_eq!(events[0].event.values(), &[0.5, 0.1]);
+        assert_eq!(events[1].event.values(), &[0.6, 0.2]);
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let mut store = CellStore::new();
+        store.insert(CellCoord::new(0, 0), ev(&[0.1, 0.2]), NodeId(1));
+        store.insert(CellCoord::new(1, 1), ev(&[0.2, 0.1]), NodeId(2));
+        let total: usize = store.iter().map(|(_, evs)| evs.len()).sum();
+        assert_eq!(total, 2);
+    }
+}

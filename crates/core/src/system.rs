@@ -1,0 +1,932 @@
+//! The deployed Pool system: insertion, query processing, and forwarding
+//! over a real (simulated) sensor network.
+//!
+//! This module ties the pure placement/resolving math to the network
+//! substrate:
+//!
+//! * **Insertion** (Algorithm 1): the detecting node computes the storage
+//!   cell arithmetically and GPSR-routes the event to that cell's index
+//!   node.
+//! * **Query processing** (§3.2.3): the sink sends the query to one
+//!   *splitter* per relevant pool (the pool's index node closest to the
+//!   sink); each splitter fans the query out to the relevant cells; replies
+//!   return along the same paths, aggregated at the splitter.
+//! * **Workload sharing** (§4.2): index nodes above their capacity delegate
+//!   overflow storage to chained nearby nodes.
+//!
+//! Every radio hop is charged to a [`TrafficStats`] ledger — the paper's
+//! cost metric.
+
+use crate::config::PoolConfig;
+use crate::error::PoolError;
+use crate::event::Event;
+use crate::grid::{CellCoord, Grid};
+use crate::insert::{storage_cell, Placement};
+use crate::layout::PoolLayout;
+use crate::monitor::{MonitorId, MonitorTable, Notification};
+use crate::query::RangeQuery;
+use crate::resolve::relevant_cells;
+use crate::storage::CellStore;
+use pool_gpsr::Gpsr;
+use pool_netsim::geometry::Rect;
+use pool_netsim::node::NodeId;
+use pool_netsim::stats::TrafficStats;
+use pool_netsim::topology::Topology;
+use std::collections::HashMap;
+
+/// Receipt returned by a successful insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertReceipt {
+    /// Where the event was placed (pool and cell).
+    pub placement: Placement,
+    /// The node that physically holds the event (a delegate when workload
+    /// sharing kicked in).
+    pub holder: NodeId,
+    /// Radio messages charged for this insertion (including notification
+    /// deliveries to continuous-query sinks).
+    pub messages: u64,
+    /// Continuous-query notifications triggered by this insertion.
+    pub notifications: Vec<Notification>,
+}
+
+/// Message-count breakdown for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryCost {
+    /// Messages spent forwarding the query (sink → splitters → cells →
+    /// delegates).
+    pub forward_messages: u64,
+    /// Messages spent returning qualifying events.
+    pub reply_messages: u64,
+}
+
+impl QueryCost {
+    /// Total messages — the paper's per-query cost metric.
+    pub fn total(&self) -> u64 {
+        self.forward_messages + self.reply_messages
+    }
+}
+
+/// The outcome of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// All qualifying events, in pool/cell resolution order.
+    pub events: Vec<Event>,
+    /// Message cost breakdown.
+    pub cost: QueryCost,
+    /// Number of relevant cells visited (Theorem 3.2's output size).
+    pub relevant_cells: usize,
+    /// Number of pools that had at least one relevant cell.
+    pub pools_visited: usize,
+}
+
+/// Aggregate operations computable at splitters (§3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateOp {
+    /// Number of qualifying events.
+    Count,
+    /// Sum of one attribute over qualifying events.
+    Sum(usize),
+    /// Mean of one attribute.
+    Avg(usize),
+    /// Minimum of one attribute.
+    Min(usize),
+    /// Maximum of one attribute.
+    Max(usize),
+}
+
+impl AggregateOp {
+    /// Applies the operation to a set of qualifying events. Returns `None`
+    /// for value aggregates over an empty set (COUNT of nothing is 0).
+    pub fn apply(&self, events: &[Event]) -> Option<f64> {
+        match *self {
+            AggregateOp::Count => Some(events.len() as f64),
+            AggregateOp::Sum(d) => {
+                (!events.is_empty()).then(|| events.iter().map(|e| e.value(d)).sum())
+            }
+            AggregateOp::Avg(d) => (!events.is_empty())
+                .then(|| events.iter().map(|e| e.value(d)).sum::<f64>() / events.len() as f64),
+            AggregateOp::Min(d) => {
+                events.iter().map(|e| e.value(d)).min_by(|a, b| a.partial_cmp(b).unwrap())
+            }
+            AggregateOp::Max(d) => {
+                events.iter().map(|e| e.value(d)).max_by(|a, b| a.partial_cmp(b).unwrap())
+            }
+        }
+    }
+}
+
+/// A running Pool deployment over one sensor network.
+///
+/// # Examples
+///
+/// ```
+/// use pool_core::config::PoolConfig;
+/// use pool_core::event::Event;
+/// use pool_core::query::RangeQuery;
+/// use pool_core::system::PoolSystem;
+/// use pool_netsim::deployment::Deployment;
+/// use pool_netsim::topology::Topology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let deployment = Deployment::paper_setting(300, 40.0, 20.0, 11)?;
+/// let field = deployment.field();
+/// let topology = Topology::build(deployment.nodes(), 40.0)?;
+/// let mut pool = PoolSystem::build(topology, field, PoolConfig::paper())?;
+///
+/// let source = pool.topology().nodes()[0].id;
+/// pool.insert_from(source, Event::new(vec![0.62, 0.30, 0.11])?)?;
+///
+/// let sink = pool.topology().nodes()[42].id;
+/// let result = pool.query_from(sink, &RangeQuery::exact(vec![
+///     (0.6, 0.7), (0.2, 0.4), (0.0, 0.5),
+/// ])?)?;
+/// assert_eq!(result.events.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PoolSystem {
+    topology: Topology,
+    field: Rect,
+    gpsr: Gpsr,
+    grid: Grid,
+    layout: PoolLayout,
+    config: PoolConfig,
+    index_nodes: HashMap<CellCoord, NodeId>,
+    delegates: HashMap<CellCoord, Vec<NodeId>>,
+    store: CellStore,
+    backups: HashMap<CellCoord, Vec<crate::failure::BackupCopy>>,
+    monitors: MonitorTable,
+    traffic: TrafficStats,
+}
+
+impl PoolSystem {
+    /// Builds a Pool deployment over `topology`, gridding the given `field`.
+    ///
+    /// The index node of each pool cell is the network node nearest the
+    /// cell's center (with the paper's density most cells contain no sensor,
+    /// so "the node closest to the center" is resolved network-wide; several
+    /// cells may share one physical index node, and hops between co-located
+    /// cells are free).
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation errors, [`PoolError::Routing`] for a
+    /// disconnected network, and layout errors if the pools do not fit.
+    pub fn build(topology: Topology, field: Rect, config: PoolConfig) -> Result<Self, PoolError> {
+        config.validate()?;
+        topology.require_connected().map_err(|e| PoolError::Routing(e.to_string()))?;
+        let grid = Grid::over(field, config.alpha)?;
+        let layout = match &config.pivots {
+            Some(pivots) => PoolLayout::with_pivots(&grid, config.pool_side, pivots.clone())?,
+            None => PoolLayout::random(&grid, config.dims, config.pool_side, config.seed)?,
+        };
+        let gpsr = Gpsr::new(&topology, config.planarization);
+        let mut index_nodes = HashMap::new();
+        for pool in layout.pools() {
+            for cell in pool.cells() {
+                let node = topology.nearest_node(grid.center(cell));
+                index_nodes.insert(cell, node);
+            }
+        }
+        let n = topology.len();
+        Ok(PoolSystem {
+            topology,
+            field,
+            gpsr,
+            grid,
+            layout,
+            config,
+            index_nodes,
+            delegates: HashMap::new(),
+            store: CellStore::new(),
+            backups: HashMap::new(),
+            monitors: MonitorTable::new(),
+            traffic: TrafficStats::new(n),
+        })
+    }
+
+    // ----- crate-internal hooks used by the failure/repair module -------
+
+    pub(crate) fn replace_network(&mut self, topology: Topology, gpsr: Gpsr) {
+        self.topology = topology;
+        self.gpsr = gpsr;
+    }
+
+    pub(crate) fn replace_index_nodes(&mut self, index_nodes: HashMap<CellCoord, NodeId>) {
+        self.index_nodes = index_nodes;
+    }
+
+    pub(crate) fn take_store(&mut self) -> CellStore {
+        std::mem::take(&mut self.store)
+    }
+
+    pub(crate) fn store_mut(&mut self) -> &mut CellStore {
+        &mut self.store
+    }
+
+    pub(crate) fn take_backups(
+        &mut self,
+    ) -> HashMap<CellCoord, Vec<crate::failure::BackupCopy>> {
+        std::mem::take(&mut self.backups)
+    }
+
+    pub(crate) fn clear_delegates(&mut self) {
+        self.delegates.clear();
+    }
+
+    pub(crate) fn drop_monitors_with_dead_sinks(&mut self) {
+        let dead: Vec<MonitorId> = self
+            .monitors
+            .iter()
+            .filter(|m| !self.topology.is_alive(m.sink))
+            .map(|m| m.id)
+            .collect();
+        for id in dead {
+            self.monitors.remove(id);
+        }
+    }
+
+    /// Stores a backup copy of `event` at a live neighbor of `index_node`,
+    /// charging one message. Returns the hops charged (1, or 0 when the
+    /// index node is isolated and no backup is possible).
+    fn replicate_event(&mut self, cell: CellCoord, event: &Event, index_node: NodeId) -> u64 {
+        let Some(&backup_holder) = self
+            .topology
+            .neighbors(index_node)
+            .iter()
+            .min_by_key(|&&n| (self.store.count_at(n), n))
+        else {
+            return 0;
+        };
+        self.traffic.record_hop(index_node, backup_holder);
+        self.backups
+            .entry(cell)
+            .or_default()
+            .push(crate::failure::BackupCopy { event: event.clone(), holder: backup_holder });
+        1
+    }
+
+    /// Re-creates the backup set for every stored event (after repair).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, but typed for future repair strategies.
+    pub(crate) fn rebuild_backups(&mut self) -> Result<u64, PoolError> {
+        self.backups.clear();
+        let snapshot: Vec<(CellCoord, Event, NodeId)> = self
+            .store
+            .iter()
+            .flat_map(|(cell, stored)| {
+                stored.iter().map(|s| (*cell, s.event.clone(), s.holder))
+            })
+            .collect();
+        let mut hops = 0u64;
+        for (cell, event, holder) in snapshot {
+            hops += self.replicate_event(cell, &event, holder);
+        }
+        Ok(hops)
+    }
+
+    /// The underlying network topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The deployment field.
+    pub fn field(&self) -> Rect {
+        self.field
+    }
+
+    /// The virtual grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The pool layout.
+    pub fn layout(&self) -> &PoolLayout {
+        &self.layout
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// The index node serving `cell`, or `None` if the cell belongs to no
+    /// pool.
+    pub fn index_node_of(&self, cell: CellCoord) -> Option<NodeId> {
+        self.index_nodes.get(&cell).copied()
+    }
+
+    /// The event store (for load inspection).
+    pub fn store(&self) -> &CellStore {
+        &self.store
+    }
+
+    /// All traffic charged so far (insertions and queries).
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// The delegation chain of `cell` (empty without workload sharing).
+    pub fn delegates_of(&self, cell: CellCoord) -> &[NodeId] {
+        self.delegates.get(&cell).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Inserts an event detected at node `source` (Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::DimensionMismatch`] for wrong arity and
+    /// [`PoolError::Routing`] on routing failure.
+    pub fn insert_from(&mut self, source: NodeId, event: Event) -> Result<InsertReceipt, PoolError> {
+        if event.dims() != self.config.dims {
+            return Err(PoolError::DimensionMismatch {
+                expected: self.config.dims,
+                got: event.dims(),
+            });
+        }
+        let detected_cell = self.grid.cell_of(self.topology.position(source));
+        let placement = storage_cell(&self.layout, &self.grid, &event, detected_cell);
+        let index_node =
+            *self.index_nodes.get(&placement.cell).expect("pool cells all have index nodes");
+        let route = self.gpsr.route_to_node(&self.topology, source, index_node)?;
+        self.traffic.record_path(&route.path);
+        let mut messages = route.hops() as u64;
+
+        // §4.2 workload sharing: walk the cell's delegation chain to the
+        // first holder with spare capacity, extending it if necessary.
+        let holder = match self.config.sharing {
+            None => index_node,
+            Some(policy) => {
+                let (holder, chain_hops) = self.place_with_sharing(placement.cell, index_node, policy)?;
+                messages += chain_hops;
+                holder
+            }
+        };
+        // Continuous queries (§6 extension): the index node checks the
+        // monitors registered on this cell and notifies matching sinks.
+        let mut notifications = Vec::new();
+        let firing: Vec<(MonitorId, NodeId)> = self
+            .monitors
+            .watching(placement.cell)
+            .filter(|m| m.query.matches(&event))
+            .map(|m| (m.id, m.sink))
+            .collect();
+        for (monitor, sink) in firing {
+            let route = self.gpsr.route_to_node(&self.topology, index_node, sink)?;
+            self.traffic.record_path(&route.path);
+            messages += route.hops() as u64;
+            notifications.push(Notification { monitor, sink, messages: route.hops() as u64 });
+        }
+
+        // Optional failure-tolerance replication: one backup copy at a
+        // neighbor of the index node.
+        if self.config.replicate {
+            messages += self.replicate_event(placement.cell, &event, index_node);
+        }
+
+        self.store.insert(placement.cell, event, holder);
+        Ok(InsertReceipt { placement, holder, messages, notifications })
+    }
+
+    /// Installs a continuous monitoring query (§6): `sink` will be notified
+    /// of every future insertion matching `query`. Installation is
+    /// forwarded like a one-shot query (sink → splitters → relevant
+    /// cells); the returned cost covers that dissemination.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PoolSystem::query_from`].
+    pub fn install_monitor(
+        &mut self,
+        sink: NodeId,
+        query: RangeQuery,
+    ) -> Result<(MonitorId, QueryCost), PoolError> {
+        if query.dims() != self.config.dims {
+            return Err(PoolError::DimensionMismatch {
+                expected: self.config.dims,
+                got: query.dims(),
+            });
+        }
+        let relevant = relevant_cells(&self.layout, &query);
+        let cost = self.disseminate(sink, &relevant)?;
+        let cells: Vec<CellCoord> = relevant.iter().map(|&(_, c)| c).collect();
+        let id = self.monitors.install(sink, query, &cells);
+        Ok((id, cost))
+    }
+
+    /// Removes a continuous monitoring query, forwarding the removal to the
+    /// cells that were watching (same tree as installation).
+    ///
+    /// Returns the removal's dissemination cost, or `None` if the handle
+    /// was not installed.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures while disseminating the removal.
+    pub fn remove_monitor(&mut self, id: MonitorId) -> Result<Option<QueryCost>, PoolError> {
+        let Some(monitor) = self.monitors.get(id).cloned() else {
+            return Ok(None);
+        };
+        let cells = self.monitors.cells_of(id);
+        let relevant: Vec<(usize, CellCoord)> = cells
+            .into_iter()
+            .filter_map(|c| self.layout.pool_of_cell(c).map(|p| (p.dim, c)))
+            .collect();
+        let cost = self.disseminate(monitor.sink, &relevant)?;
+        self.monitors.remove(id);
+        Ok(Some(cost))
+    }
+
+    /// The continuous-query registry (for inspection).
+    pub fn monitors(&self) -> &MonitorTable {
+        &self.monitors
+    }
+
+    /// Routes a unicast and charges it to the ledger, returning the hop
+    /// count. Shared by the nearest-neighbor module.
+    pub(crate) fn route_and_record(&mut self, from: NodeId, to: NodeId) -> Result<u64, PoolError> {
+        let route = self.gpsr.route_to_node(&self.topology, from, to)?;
+        self.traffic.record_path(&route.path);
+        Ok(route.hops() as u64)
+    }
+
+    /// Forwards a control message (installation/removal) from `sink` to
+    /// every cell in `relevant` through the splitter tree, charging only
+    /// forward messages.
+    fn disseminate(
+        &mut self,
+        sink: NodeId,
+        relevant: &[(usize, CellCoord)],
+    ) -> Result<QueryCost, PoolError> {
+        let mut by_pool: HashMap<usize, Vec<CellCoord>> = HashMap::new();
+        for &(dim, cell) in relevant {
+            by_pool.entry(dim).or_default().push(cell);
+        }
+        let mut cost = QueryCost::default();
+        let mut dims: Vec<usize> = by_pool.keys().copied().collect();
+        dims.sort_unstable();
+        for dim in dims {
+            let splitter = self.splitter_of(dim, sink);
+            let to_splitter = self.gpsr.route_to_node(&self.topology, sink, splitter)?;
+            self.traffic.record_path(&to_splitter.path);
+            cost.forward_messages += to_splitter.hops() as u64;
+            for &cell in &by_pool[&dim] {
+                let index_node = self.index_nodes[&cell];
+                let to_cell = self.gpsr.route_to_node(&self.topology, splitter, index_node)?;
+                self.traffic.record_path(&to_cell.path);
+                cost.forward_messages += to_cell.hops() as u64;
+            }
+        }
+        Ok(cost)
+    }
+
+    /// Finds (or creates) the holder for a new event in `cell` under the
+    /// sharing policy, charging one hop per chain link walked.
+    fn place_with_sharing(
+        &mut self,
+        cell: CellCoord,
+        index_node: NodeId,
+        policy: crate::config::SharingPolicy,
+    ) -> Result<(NodeId, u64), PoolError> {
+        let mut chain = vec![index_node];
+        chain.extend_from_slice(self.delegates_of(cell));
+        let mut hops = 0u64;
+        for (i, &node) in chain.iter().enumerate() {
+            if self.store.count_at(node) < policy.capacity {
+                hops += i as u64; // walked i links to reach this holder
+                self.record_chain(&chain[..=i]);
+                return Ok((node, hops));
+            }
+        }
+        // Everyone in the chain is full: recruit the least-loaded neighbor
+        // of the chain tail that is not already in the chain.
+        let tail = *chain.last().expect("chain contains at least the index node");
+        let new_delegate = self
+            .topology
+            .neighbors(tail)
+            .iter()
+            .copied()
+            .filter(|n| !chain.contains(n))
+            .min_by_key(|&n| (self.store.count_at(n), n))
+            .ok_or_else(|| {
+                PoolError::Routing(format!("no delegate candidate near {tail} for cell {cell}"))
+            })?;
+        self.delegates.entry(cell).or_default().push(new_delegate);
+        chain.push(new_delegate);
+        hops += (chain.len() - 1) as u64;
+        self.record_chain(&chain);
+        Ok((new_delegate, hops))
+    }
+
+    fn record_chain(&mut self, chain: &[NodeId]) {
+        self.traffic.record_path(chain);
+    }
+
+    /// The splitter of pool `dim` for a query issued at `sink`: the pool's
+    /// index node closest to the sink (§3.2.3).
+    pub fn splitter_of(&self, dim: usize, sink: NodeId) -> NodeId {
+        let sink_pos = self.topology.position(sink);
+        let pool = self.layout.pool(dim);
+        pool.cells()
+            .map(|c| self.index_nodes[&c])
+            .min_by(|&a, &b| {
+                self.topology
+                    .position(a)
+                    .distance_sq(sink_pos)
+                    .partial_cmp(&self.topology.position(b).distance_sq(sink_pos))
+                    .expect("positions are finite")
+                    .then(a.cmp(&b))
+            })
+            .expect("pools have at least one cell")
+    }
+
+    /// Processes a query issued at `sink` (§3.2): resolve → forward via
+    /// splitters → collect matching events → return replies.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::DimensionMismatch`] for wrong arity and
+    /// [`PoolError::Routing`] on routing failure.
+    pub fn query_from(&mut self, sink: NodeId, query: &RangeQuery) -> Result<QueryResult, PoolError> {
+        if query.dims() != self.config.dims {
+            return Err(PoolError::DimensionMismatch {
+                expected: self.config.dims,
+                got: query.dims(),
+            });
+        }
+        let relevant = relevant_cells(&self.layout, query);
+        let mut by_pool: HashMap<usize, Vec<CellCoord>> = HashMap::new();
+        for (dim, cell) in &relevant {
+            by_pool.entry(*dim).or_default().push(*cell);
+        }
+
+        let mut cost = QueryCost::default();
+        let mut events = Vec::new();
+        let mut pools_visited = 0usize;
+
+        let mut dims: Vec<usize> = by_pool.keys().copied().collect();
+        dims.sort_unstable();
+        for dim in dims {
+            let cells = &by_pool[&dim];
+            pools_visited += 1;
+            let splitter = self.splitter_of(dim, sink);
+            let to_splitter = self.gpsr.route_to_node(&self.topology, sink, splitter)?;
+            self.traffic.record_path(&to_splitter.path);
+            cost.forward_messages += to_splitter.hops() as u64;
+
+            let mut pool_matches = 0usize;
+            for &cell in cells {
+                let index_node = self.index_nodes[&cell];
+                let to_cell = self.gpsr.route_to_node(&self.topology, splitter, index_node)?;
+                self.traffic.record_path(&to_cell.path);
+                cost.forward_messages += to_cell.hops() as u64;
+
+                // The query also visits the cell's delegation chain, one hop
+                // per link, since delegated events live off the index node.
+                let chain = self.delegates_of(cell).to_vec();
+                if !chain.is_empty() {
+                    let mut walk = vec![index_node];
+                    walk.extend_from_slice(&chain);
+                    self.traffic.record_path(&walk);
+                    cost.forward_messages += chain.len() as u64;
+                }
+
+                let matches: Vec<Event> = self
+                    .store
+                    .events_in(cell)
+                    .iter()
+                    .filter(|s| query.matches(&s.event))
+                    .map(|s| s.event.clone())
+                    .collect();
+                if !matches.is_empty() {
+                    // Reply: cell (and chain tail) back to the splitter.
+                    let reply_hops = to_cell.hops() as u64 + chain.len() as u64;
+                    let copies =
+                        if self.config.aggregate_replies { 1 } else { matches.len() as u64 };
+                    cost.reply_messages += reply_hops * copies;
+                    let mut back = to_cell.path.clone();
+                    back.reverse();
+                    for _ in 0..copies {
+                        self.traffic.record_path(&back);
+                    }
+                    pool_matches += matches.len();
+                    events.extend(matches);
+                }
+            }
+            if pool_matches > 0 {
+                // Aggregated reply from the splitter to the sink.
+                let copies = if self.config.aggregate_replies { 1 } else { pool_matches as u64 };
+                cost.reply_messages += to_splitter.hops() as u64 * copies;
+                let mut back = to_splitter.path.clone();
+                back.reverse();
+                for _ in 0..copies {
+                    self.traffic.record_path(&back);
+                }
+            }
+        }
+        Ok(QueryResult { events, cost, relevant_cells: relevant.len(), pools_visited })
+    }
+
+    /// Runs an aggregate query (§3.2.3): same forwarding as
+    /// [`PoolSystem::query_from`], but only the aggregate value travels
+    /// back. Returns the aggregate (if defined) and the cost.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PoolSystem::query_from`].
+    pub fn aggregate_from(
+        &mut self,
+        sink: NodeId,
+        query: &RangeQuery,
+        op: AggregateOp,
+    ) -> Result<(Option<f64>, QueryCost), PoolError> {
+        // Aggregates always travel as single messages, regardless of the
+        // reply-aggregation ablation flag.
+        let saved = self.config.aggregate_replies;
+        self.config.aggregate_replies = true;
+        let result = self.query_from(sink, query);
+        self.config.aggregate_replies = saved;
+        let result = result?;
+        Ok((op.apply(&result.events), result.cost))
+    }
+
+    /// Brute-force ground truth: all stored events matching `query`,
+    /// regardless of placement. Used by tests and correctness audits.
+    pub fn brute_force_query(&self, query: &RangeQuery) -> Vec<Event> {
+        let mut out = Vec::new();
+        for (_, stored) in self.store.iter() {
+            for s in stored {
+                if query.matches(&s.event) {
+                    out.push(s.event.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pool_netsim::deployment::Deployment;
+
+    fn build_system(n: usize, seed: u64, config: PoolConfig) -> PoolSystem {
+        let mut s = seed;
+        loop {
+            let dep = Deployment::paper_setting(n, 40.0, 20.0, s).unwrap();
+            let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+            if topo.is_connected() {
+                return PoolSystem::build(topo, dep.field(), config).unwrap();
+            }
+            s += 1000;
+        }
+    }
+
+    fn ev(v: &[f64]) -> Event {
+        Event::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn insert_and_exact_query_roundtrip() {
+        let mut pool = build_system(300, 1, PoolConfig::paper());
+        pool.insert_from(NodeId(0), ev(&[0.62, 0.3, 0.11])).unwrap();
+        pool.insert_from(NodeId(10), ev(&[0.9, 0.8, 0.7])).unwrap();
+        let q = RangeQuery::exact(vec![(0.6, 0.7), (0.2, 0.4), (0.0, 0.5)]).unwrap();
+        let result = pool.query_from(NodeId(50), &q).unwrap();
+        assert_eq!(result.events, vec![ev(&[0.62, 0.3, 0.11])]);
+        assert!(result.cost.total() > 0);
+    }
+
+    #[test]
+    fn query_matches_brute_force_over_random_workload() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut pool = build_system(300, 2, PoolConfig::paper());
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = pool.topology().len();
+        for _ in 0..300 {
+            let src = NodeId(rng.gen_range(0..n as u32));
+            let event = ev(&[rng.gen(), rng.gen(), rng.gen()]);
+            pool.insert_from(src, event).unwrap();
+        }
+        for trial in 0..20 {
+            let mut bounds = Vec::new();
+            for _ in 0..3 {
+                if rng.gen_bool(0.3) {
+                    bounds.push(None);
+                } else {
+                    let lo: f64 = rng.gen_range(0.0..0.8);
+                    let hi = (lo + rng.gen_range(0.0..0.4)).min(1.0);
+                    bounds.push(Some((lo, hi)));
+                }
+            }
+            if bounds.iter().all(Option::is_none) {
+                bounds[0] = Some((0.1, 0.9));
+            }
+            let q = RangeQuery::from_bounds(bounds).unwrap();
+            let sink = NodeId(rng.gen_range(0..n as u32));
+            let mut got = pool.query_from(sink, &q).unwrap().events;
+            let mut want = pool.brute_force_query(&q);
+            let key = |e: &Event| {
+                e.values().iter().map(|v| (v * 1e9) as i64).collect::<Vec<_>>()
+            };
+            got.sort_by_key(key);
+            want.sort_by_key(key);
+            assert_eq!(got, want, "trial {trial} query {q}");
+        }
+    }
+
+    #[test]
+    fn tied_events_stored_once_and_found() {
+        let mut pool = build_system(300, 3, PoolConfig::paper());
+        pool.insert_from(NodeId(5), ev(&[0.4, 0.4, 0.2])).unwrap();
+        assert_eq!(pool.store().len(), 1);
+        let q = RangeQuery::exact(vec![(0.3, 0.5), (0.3, 0.5), (0.1, 0.3)]).unwrap();
+        let result = pool.query_from(NodeId(100), &q).unwrap();
+        assert_eq!(result.events.len(), 1);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut pool = build_system(300, 4, PoolConfig::paper());
+        let err = pool.insert_from(NodeId(0), ev(&[0.5, 0.5]));
+        assert!(matches!(err, Err(PoolError::DimensionMismatch { expected: 3, got: 2 })));
+        let q = RangeQuery::exact(vec![(0.0, 1.0)]).unwrap();
+        assert!(matches!(
+            pool.query_from(NodeId(0), &q),
+            Err(PoolError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_store_query_returns_nothing_but_still_forwards() {
+        let mut pool = build_system(300, 5, PoolConfig::paper());
+        let q = RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let result = pool.query_from(NodeId(0), &q).unwrap();
+        assert!(result.events.is_empty());
+        assert_eq!(result.cost.reply_messages, 0);
+        assert!(result.cost.forward_messages > 0);
+        assert_eq!(result.pools_visited, 3);
+    }
+
+    #[test]
+    fn splitter_is_closest_pool_index_node() {
+        let pool = build_system(300, 6, PoolConfig::paper());
+        let sink = NodeId(17);
+        let splitter = pool.splitter_of(0, sink);
+        let sink_pos = pool.topology().position(sink);
+        let sd = pool.topology().position(splitter).distance(sink_pos);
+        for cell in pool.layout().pool(0).cells() {
+            let node = pool.index_node_of(cell).unwrap();
+            assert!(
+                pool.topology().position(node).distance(sink_pos) >= sd - 1e-9,
+                "cell {cell} index node {node} closer than splitter"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_sharing_bounds_node_load() {
+        use crate::config::SharingPolicy;
+        let config = PoolConfig::paper().with_sharing(SharingPolicy::new(5));
+        let mut pool = build_system(300, 7, config);
+        // A heavily skewed workload: everything lands in the same cell.
+        for i in 0..40 {
+            pool.insert_from(NodeId(i % 300), ev(&[0.951, 0.052, 0.013])).unwrap();
+        }
+        assert_eq!(pool.store().len(), 40);
+        assert!(
+            pool.store().max_node_load() <= 5,
+            "load {} exceeds capacity",
+            pool.store().max_node_load()
+        );
+        // The same skew without sharing concentrates everything.
+        let mut unshared = build_system(300, 7, PoolConfig::paper());
+        for i in 0..40 {
+            unshared.insert_from(NodeId(i % 300), ev(&[0.951, 0.052, 0.013])).unwrap();
+        }
+        assert!(unshared.store().max_node_load() >= 40);
+    }
+
+    #[test]
+    fn workload_sharing_loses_no_events() {
+        use crate::config::SharingPolicy;
+        let config = PoolConfig::paper().with_sharing(SharingPolicy::new(3));
+        let mut pool = build_system(300, 8, config);
+        for i in 0..30 {
+            pool.insert_from(NodeId(i), ev(&[0.851, 0.052, 0.013])).unwrap();
+        }
+        let q = RangeQuery::exact(vec![(0.8, 0.9), (0.0, 0.1), (0.0, 0.1)]).unwrap();
+        let result = pool.query_from(NodeId(200), &q).unwrap();
+        assert_eq!(result.events.len(), 30, "delegated events must remain queryable");
+    }
+
+    #[test]
+    fn unaggregated_replies_cost_more() {
+        let mut agg = build_system(300, 9, PoolConfig::paper());
+        let mut raw = build_system(300, 9, PoolConfig::paper().without_reply_aggregation());
+        for i in 0..20 {
+            let e = ev(&[0.72, 0.3 + 0.001 * i as f64, 0.1]);
+            agg.insert_from(NodeId(i), e.clone()).unwrap();
+            raw.insert_from(NodeId(i), e).unwrap();
+        }
+        let q = RangeQuery::exact(vec![(0.7, 0.75), (0.2, 0.4), (0.0, 0.2)]).unwrap();
+        let a = agg.query_from(NodeId(250), &q).unwrap();
+        let r = raw.query_from(NodeId(250), &q).unwrap();
+        assert_eq!(a.events.len(), 20);
+        assert_eq!(r.events.len(), 20);
+        assert!(
+            r.cost.reply_messages > a.cost.reply_messages,
+            "unaggregated {} vs aggregated {}",
+            r.cost.reply_messages,
+            a.cost.reply_messages
+        );
+    }
+
+    #[test]
+    fn aggregates_compute_correctly() {
+        let mut pool = build_system(300, 10, PoolConfig::paper());
+        pool.insert_from(NodeId(0), ev(&[0.62, 0.3, 0.1])).unwrap();
+        pool.insert_from(NodeId(1), ev(&[0.64, 0.35, 0.2])).unwrap();
+        pool.insert_from(NodeId(2), ev(&[0.9, 0.1, 0.05])).unwrap();
+        let q = RangeQuery::exact(vec![(0.6, 0.7), (0.0, 0.5), (0.0, 0.5)]).unwrap();
+        let (count, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Count).unwrap();
+        assert_eq!(count, Some(2.0));
+        let (sum, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Sum(0)).unwrap();
+        assert!((sum.unwrap() - 1.26).abs() < 1e-9);
+        let (avg, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Avg(1)).unwrap();
+        assert!((avg.unwrap() - 0.325).abs() < 1e-9);
+        let (min, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Min(2)).unwrap();
+        assert_eq!(min, Some(0.1));
+        let (max, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Max(2)).unwrap();
+        assert_eq!(max, Some(0.2));
+        // Aggregates over an empty result set.
+        let empty = RangeQuery::exact(vec![(0.0, 0.01), (0.0, 0.01), (0.99, 1.0)]).unwrap();
+        let (none, _) = pool.aggregate_from(NodeId(9), &empty, AggregateOp::Sum(0)).unwrap();
+        assert_eq!(none, None);
+        let (zero, _) = pool.aggregate_from(NodeId(9), &empty, AggregateOp::Count).unwrap();
+        assert_eq!(zero, Some(0.0));
+    }
+
+    #[test]
+    fn monitors_notify_only_matching_insertions() {
+        let mut pool = build_system(300, 20, PoolConfig::paper());
+        let sink = NodeId(7);
+        let q = RangeQuery::exact(vec![(0.6, 0.7), (0.0, 0.5), (0.0, 0.5)]).unwrap();
+        let (id, install_cost) = pool.install_monitor(sink, q).unwrap();
+        assert!(install_cost.forward_messages > 0);
+        assert_eq!(pool.monitors().len(), 1);
+
+        // A matching insertion notifies the sink.
+        let r = pool.insert_from(NodeId(100), ev(&[0.65, 0.3, 0.2])).unwrap();
+        assert_eq!(r.notifications.len(), 1);
+        assert_eq!(r.notifications[0].sink, sink);
+        assert_eq!(r.notifications[0].monitor, id);
+
+        // A non-matching insertion does not.
+        let r = pool.insert_from(NodeId(100), ev(&[0.95, 0.3, 0.2])).unwrap();
+        assert!(r.notifications.is_empty());
+
+        // After removal, nothing fires.
+        let removed = pool.remove_monitor(id).unwrap();
+        assert!(removed.is_some());
+        let r = pool.insert_from(NodeId(100), ev(&[0.66, 0.3, 0.2])).unwrap();
+        assert!(r.notifications.is_empty());
+        assert!(pool.remove_monitor(id).unwrap().is_none());
+    }
+
+    #[test]
+    fn monitor_catches_every_matching_event_in_a_stream() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut pool = build_system(300, 21, PoolConfig::paper());
+        let q = RangeQuery::from_bounds(vec![Some((0.8, 1.0)), None, None]).unwrap();
+        let (_, _) = pool.install_monitor(NodeId(0), q.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut expected = 0usize;
+        let mut fired = 0usize;
+        for _ in 0..150 {
+            let event = ev(&[rng.gen(), rng.gen(), rng.gen()]);
+            if q.matches(&event) {
+                expected += 1;
+            }
+            let r = pool.insert_from(NodeId(rng.gen_range(0..300)), event).unwrap();
+            fired += r.notifications.len();
+        }
+        assert!(expected > 0, "workload should contain matches");
+        assert_eq!(fired, expected, "every matching insertion must notify exactly once");
+    }
+
+    #[test]
+    fn traffic_ledger_accumulates() {
+        let mut pool = build_system(300, 12, PoolConfig::paper());
+        let r = pool.insert_from(NodeId(0), ev(&[0.5, 0.4, 0.3])).unwrap();
+        assert_eq!(pool.traffic().total_messages(), r.messages);
+        let q = RangeQuery::exact(vec![(0.4, 0.6), (0.3, 0.5), (0.2, 0.4)]).unwrap();
+        let res = pool.query_from(NodeId(1), &q).unwrap();
+        assert_eq!(pool.traffic().total_messages(), r.messages + res.cost.total());
+    }
+}

@@ -1,0 +1,284 @@
+//! Zone codes and DIM's locality-preserving code ↔ value mapping.
+//!
+//! A zone code is a bit string with **two readings**:
+//!
+//! * **Physically**, bit `j` halves the deployment field — vertically on
+//!   even depths, horizontally on odd depths — so a code names a rectangle
+//!   of the field (the zone).
+//! * **In attribute space**, bit `j` halves the range of attribute
+//!   `j mod k`, so the same code names a hyper-rectangle of event values —
+//!   the events the zone stores.
+//!
+//! The double reading is DIM's locality-preserving geographic hash: an
+//! event's code is computed bit by bit from its attribute values, and the
+//! event is stored in the zone whose code is a prefix of the event's code.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A zone code: up to 64 bits, most-significant-first.
+///
+/// # Examples
+///
+/// ```
+/// use pool_dim::code::ZoneCode;
+///
+/// let code = ZoneCode::from_bits(&[true, true, true, false]); // "1110"
+/// assert_eq!(code.to_string(), "1110");
+/// assert!(ZoneCode::from_bits(&[true, true]).is_prefix_of(&code));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ZoneCode {
+    /// Bits packed most-significant-first into the low `len` positions.
+    bits: u64,
+    len: u8,
+}
+
+impl ZoneCode {
+    /// The empty (root) code.
+    pub fn root() -> Self {
+        ZoneCode { bits: 0, len: 0 }
+    }
+
+    /// Builds a code from explicit bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 bits are supplied.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut code = ZoneCode::root();
+        for &b in bits {
+            code = code.child(b);
+        }
+        code
+    }
+
+    /// Parses a code from a string of `0`s and `1`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters other than `0`/`1` or length over 64.
+    pub fn parse(s: &str) -> Self {
+        let mut code = ZoneCode::root();
+        for c in s.chars() {
+            match c {
+                '0' => code = code.child(false),
+                '1' => code = code.child(true),
+                other => panic!("invalid zone-code character {other:?}"),
+            }
+        }
+        code
+    }
+
+    /// The code extended by one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics at 64 bits (deeper zone trees than 2⁶⁴ zones are impossible
+    /// in practice).
+    pub fn child(self, bit: bool) -> Self {
+        assert!(self.len < 64, "zone code overflow");
+        ZoneCode { bits: (self.bits << 1) | bit as u64, len: self.len + 1 }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the code is the root (no bits).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i` (0 = first/most-significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len(), "bit index {i} out of range");
+        (self.bits >> (self.len() - 1 - i)) & 1 == 1
+    }
+
+    /// Whether `self` is a prefix of `other` (every zone's code is a prefix
+    /// of the codes of the events it stores).
+    pub fn is_prefix_of(&self, other: &ZoneCode) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        (other.bits >> (other.len - self.len)) == self.bits
+    }
+
+    /// The per-dimension attribute ranges this code pins down, for
+    /// `k`-dimensional events: bit `j` halves the range of dimension
+    /// `j mod k`.
+    pub fn attribute_ranges(&self, k: usize) -> Vec<(f64, f64)> {
+        assert!(k > 0, "dimensionality must be positive");
+        let mut ranges = vec![(0.0f64, 1.0f64); k];
+        for j in 0..self.len() {
+            let dim = j % k;
+            let (lo, hi) = ranges[dim];
+            let mid = (lo + hi) / 2.0;
+            ranges[dim] = if self.bit(j) { (mid, hi) } else { (lo, mid) };
+        }
+        ranges
+    }
+
+    /// The first `len` bits of the *physical* reading of a position inside
+    /// `field`: bit `j` halves the field vertically (even `j`) or
+    /// horizontally (odd `j`). A zone's code is exactly this reading of
+    /// any point in its region.
+    pub fn of_position(
+        p: pool_netsim::geometry::Point,
+        field: pool_netsim::geometry::Rect,
+        len: usize,
+    ) -> Self {
+        let mut region = field;
+        let mut code = ZoneCode::root();
+        for j in 0..len {
+            if j % 2 == 0 {
+                let mid = (region.min.x + region.max.x) / 2.0;
+                if p.x >= mid {
+                    code = code.child(true);
+                    region.min.x = mid;
+                } else {
+                    code = code.child(false);
+                    region.max.x = mid;
+                }
+            } else {
+                let mid = (region.min.y + region.max.y) / 2.0;
+                if p.y >= mid {
+                    code = code.child(true);
+                    region.min.y = mid;
+                } else {
+                    code = code.child(false);
+                    region.max.y = mid;
+                }
+            }
+        }
+        code
+    }
+
+    /// The first `len` code bits of a `k`-dimensional event — DIM's
+    /// locality-preserving hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of_event(values: &[f64], len: usize) -> Self {
+        assert!(!values.is_empty(), "event has no attributes");
+        let k = values.len();
+        let mut ranges = vec![(0.0f64, 1.0f64); k];
+        let mut code = ZoneCode::root();
+        for j in 0..len {
+            let dim = j % k;
+            let (lo, hi) = ranges[dim];
+            let mid = (lo + hi) / 2.0;
+            if values[dim] >= mid {
+                code = code.child(true);
+                ranges[dim] = (mid, hi);
+            } else {
+                code = code.child(false);
+                ranges[dim] = (lo, mid);
+            }
+        }
+        code
+    }
+}
+
+impl fmt::Display for ZoneCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "ε");
+        }
+        for i in 0..self.len() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0", "1", "010", "1111", "1110", "00"] {
+            assert_eq!(ZoneCode::parse(s).to_string(), s);
+        }
+        assert_eq!(ZoneCode::root().to_string(), "ε");
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let long = ZoneCode::parse("1101");
+        assert!(ZoneCode::parse("110").is_prefix_of(&long));
+        assert!(ZoneCode::parse("1101").is_prefix_of(&long));
+        assert!(!ZoneCode::parse("111").is_prefix_of(&long));
+        assert!(!ZoneCode::parse("11011").is_prefix_of(&long));
+        assert!(ZoneCode::root().is_prefix_of(&long));
+    }
+
+    #[test]
+    fn figure1_attribute_ranges() {
+        // Figure 1(b): the value ranges of each zone code for k = 3.
+        let cases: [(&str, [(f64, f64); 3]); 8] = [
+            ("010", [(0.0, 0.5), (0.5, 1.0), (0.0, 0.5)]),
+            ("011", [(0.0, 0.5), (0.5, 1.0), (0.5, 1.0)]),
+            ("00", [(0.0, 0.5), (0.0, 0.5), (0.0, 1.0)]),
+            ("110", [(0.5, 1.0), (0.5, 1.0), (0.0, 0.5)]),
+            ("1111", [(0.75, 1.0), (0.5, 1.0), (0.5, 1.0)]),
+            ("1110", [(0.5, 0.75), (0.5, 1.0), (0.5, 1.0)]),
+            ("100", [(0.5, 1.0), (0.0, 0.5), (0.0, 0.5)]),
+            ("101", [(0.5, 1.0), (0.0, 0.5), (0.5, 1.0)]),
+        ];
+        for (code, expect) in cases {
+            let got = ZoneCode::parse(code).attribute_ranges(3);
+            assert_eq!(got, expect.to_vec(), "code {code}");
+        }
+    }
+
+    #[test]
+    fn event_code_lands_in_own_ranges() {
+        let values = [0.62, 0.31, 0.87];
+        let code = ZoneCode::of_event(&values, 9);
+        let ranges = code.attribute_ranges(3);
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            assert!(
+                values[i] >= lo && values[i] < hi + 1e-12,
+                "dim {i}: {} outside [{lo}, {hi})",
+                values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn event_code_prefixes_are_consistent() {
+        let values = [0.2, 0.9, 0.4];
+        let short = ZoneCode::of_event(&values, 4);
+        let long = ZoneCode::of_event(&values, 10);
+        assert!(short.is_prefix_of(&long));
+    }
+
+    #[test]
+    fn bit_accessor_msb_first() {
+        let c = ZoneCode::parse("101");
+        assert!(c.bit(0));
+        assert!(!c.bit(1));
+        assert!(c.bit(2));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_for_same_length() {
+        assert!(ZoneCode::parse("001") < ZoneCode::parse("010"));
+        assert!(ZoneCode::parse("10") < ZoneCode::parse("11"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid zone-code character")]
+    fn parse_rejects_garbage() {
+        let _ = ZoneCode::parse("10x");
+    }
+}

@@ -1,0 +1,35 @@
+//! # pool-dim — the DIM baseline
+//!
+//! A from-scratch implementation of **DIM** (Li, Kim, Govindan & Hong,
+//! SenSys 2003), "the only DCS system able to fully support
+//! multi-dimensional range queries" before Pool and the baseline the Pool
+//! paper evaluates against (§5).
+//!
+//! * [`code`] — zone codes with their double reading (physical halving of
+//!   the field / attribute-space halving for events), i.e. DIM's
+//!   locality-preserving geographic hash.
+//! * [`zone`] — the zone (k-d) tree built over a deployment; event→zone
+//!   mapping; range-query → zone-set resolution.
+//! * [`system`] — insertion and query processing over GPSR with per-message
+//!   cost accounting, API-compatible with `pool_core::system::PoolSystem`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pool_dim::code::ZoneCode;
+//!
+//! // Figure 1(b): zone 1110 stores events with V₁ ∈ [0.5, 0.75],
+//! // V₂ ∈ [0.5, 1] and V₃ ∈ [0.5, 1].
+//! let ranges = ZoneCode::parse("1110").attribute_ranges(3);
+//! assert_eq!(ranges, vec![(0.5, 0.75), (0.5, 1.0), (0.5, 1.0)]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod code;
+pub mod system;
+pub mod zone;
+
+pub use code::ZoneCode;
+pub use system::{DimInsertReceipt, DimQueryResult, DimSystem};
+pub use zone::{Zone, ZoneTree};

@@ -1,0 +1,528 @@
+//! The deployed DIM system: insertion and range-query processing with
+//! message accounting, mirroring [`pool_core::system::PoolSystem`]'s API so
+//! the benchmark harness can drive both schemes identically.
+//!
+//! ## Cost model
+//!
+//! * **Insertion**: the detecting node computes the event's zone locally
+//!   and GPSR-routes the event to the zone owner — identical in kind to
+//!   Pool's insertion (the paper omits the insertion comparison for exactly
+//!   this reason, §5.2).
+//! * **Query**: the relevant zones are visited along a chain in code (DFS)
+//!   order, which is geographically local because code order is space
+//!   order. The sink routes to the first owner; each owner forwards to the
+//!   next; aggregated replies retrace the chain. This is a *charitable*
+//!   model for DIM — real DIM pays additional splitting overhead — so any
+//!   Pool advantage measured against it is conservative.
+
+use crate::zone::ZoneTree;
+use pool_core::event::Event;
+use pool_core::query::RangeQuery;
+use pool_core::system::QueryCost;
+use pool_core::PoolError;
+use pool_gpsr::{Gpsr, Planarization};
+use pool_netsim::geometry::Rect;
+use pool_netsim::node::NodeId;
+use pool_netsim::stats::TrafficStats;
+use pool_netsim::topology::Topology;
+use std::collections::HashMap;
+
+/// Result of one DIM query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimQueryResult {
+    /// All qualifying events.
+    pub events: Vec<Event>,
+    /// Message cost breakdown (same shape as Pool's).
+    pub cost: QueryCost,
+    /// Number of zones whose attribute region overlapped the query.
+    pub zones_visited: usize,
+}
+
+/// Outcome of a DIM failure-injection step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DimFailureReport {
+    /// Nodes newly failed.
+    pub failed_nodes: usize,
+    /// Zones reassigned to surviving owners.
+    pub zones_reassigned: usize,
+    /// Events lost with their dead owners (DIM keeps no replicas).
+    pub events_lost: usize,
+}
+
+/// Receipt for one DIM insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimInsertReceipt {
+    /// The owner node the event was stored at.
+    pub owner: NodeId,
+    /// Radio messages charged.
+    pub messages: u64,
+}
+
+/// A running DIM deployment over one sensor network.
+///
+/// # Examples
+///
+/// ```
+/// use pool_core::event::Event;
+/// use pool_core::query::RangeQuery;
+/// use pool_dim::system::DimSystem;
+/// use pool_netsim::deployment::Deployment;
+/// use pool_netsim::topology::Topology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let deployment = Deployment::paper_setting(300, 40.0, 20.0, 23)?;
+/// let field = deployment.field();
+/// let topology = Topology::build(deployment.nodes(), 40.0)?;
+/// let mut dim = DimSystem::build(topology, field, 3)?;
+///
+/// let src = dim.topology().nodes()[4].id;
+/// dim.insert_from(src, Event::new(vec![0.7, 0.2, 0.4])?)?;
+/// let result = dim.query_from(
+///     dim.topology().nodes()[9].id,
+///     &RangeQuery::exact(vec![(0.6, 0.8), (0.1, 0.3), (0.3, 0.5)])?,
+/// )?;
+/// assert_eq!(result.events.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DimSystem {
+    topology: Topology,
+    gpsr: Gpsr,
+    tree: ZoneTree,
+    dims: usize,
+    /// Events stored per zone index (index into `tree.zones()`).
+    store: HashMap<usize, Vec<Event>>,
+    zone_index_by_code: HashMap<crate::code::ZoneCode, usize>,
+    traffic: TrafficStats,
+}
+
+impl DimSystem {
+    /// Builds a DIM deployment for `dims`-dimensional events.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::InvalidConfig`] for `dims == 0` and
+    /// [`PoolError::Routing`] for a disconnected network.
+    pub fn build(topology: Topology, field: Rect, dims: usize) -> Result<Self, PoolError> {
+        if dims == 0 {
+            return Err(PoolError::InvalidConfig { reason: "k = 0".into() });
+        }
+        topology.require_connected().map_err(|e| PoolError::Routing(e.to_string()))?;
+        let tree = ZoneTree::build(&topology, field);
+        let gpsr = Gpsr::new(&topology, Planarization::Gabriel);
+        let zone_index_by_code =
+            tree.zones().iter().enumerate().map(|(i, z)| (z.code, i)).collect();
+        let n = topology.len();
+        Ok(DimSystem {
+            topology,
+            gpsr,
+            tree,
+            dims,
+            store: HashMap::new(),
+            zone_index_by_code,
+            traffic: TrafficStats::new(n),
+        })
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The zone tree.
+    pub fn tree(&self) -> &ZoneTree {
+        &self.tree
+    }
+
+    /// All traffic charged so far.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Number of stored events.
+    pub fn stored_events(&self) -> usize {
+        self.store.values().map(Vec::len).sum()
+    }
+
+    /// The largest number of events held by any single zone owner (hotspot
+    /// indicator; DIM "does not adapt gracefully to skewed data", §1).
+    pub fn max_owner_load(&self) -> usize {
+        let mut by_owner: HashMap<NodeId, usize> = HashMap::new();
+        for (&zone_idx, events) in &self.store {
+            *by_owner.entry(self.tree.zones()[zone_idx].owner).or_insert(0) += events.len();
+        }
+        by_owner.values().copied().max().unwrap_or(0)
+    }
+
+    /// Inserts an event detected at `source`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::DimensionMismatch`] for wrong arity, routing errors
+    /// otherwise.
+    pub fn insert_from(
+        &mut self,
+        source: NodeId,
+        event: Event,
+    ) -> Result<DimInsertReceipt, PoolError> {
+        if event.dims() != self.dims {
+            return Err(PoolError::DimensionMismatch { expected: self.dims, got: event.dims() });
+        }
+        let zone = self.tree.zone_of_event(event.values());
+        let owner = zone.owner;
+        let zone_idx = self.zone_index_by_code[&zone.code];
+        let route = self.gpsr.route_to_node(&self.topology, source, owner)?;
+        self.traffic.record_path(&route.path);
+        self.store.entry(zone_idx).or_default().push(event);
+        Ok(DimInsertReceipt { owner, messages: route.hops() as u64 })
+    }
+
+    /// Processes a range query issued at `sink`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::DimensionMismatch`] for wrong arity, routing errors
+    /// otherwise.
+    pub fn query_from(
+        &mut self,
+        sink: NodeId,
+        query: &RangeQuery,
+    ) -> Result<DimQueryResult, PoolError> {
+        if query.dims() != self.dims {
+            return Err(PoolError::DimensionMismatch { expected: self.dims, got: query.dims() });
+        }
+        let rewritten = query.rewritten();
+        let relevant: Vec<(usize, NodeId)> = self
+            .tree
+            .zones_overlapping(&rewritten)
+            .iter()
+            .map(|z| (self.zone_index_by_code[&z.code], z.owner))
+            .collect();
+        let zones_visited = relevant.len();
+
+        // Visit owners in code (DFS) order, skipping consecutive duplicates
+        // (empty zones backed by the same physical node).
+        let mut chain: Vec<NodeId> = Vec::new();
+        for (_, owner) in &relevant {
+            if chain.last() != Some(owner) {
+                chain.push(*owner);
+            }
+        }
+
+        let mut cost = QueryCost::default();
+        let mut events = Vec::new();
+        if chain.is_empty() {
+            return Ok(DimQueryResult { events, cost, zones_visited });
+        }
+
+        // Sink to the first relevant owner.
+        let mut legs: Vec<Vec<NodeId>> = Vec::new();
+        let first = self.gpsr.route_to_node(&self.topology, sink, chain[0])?;
+        cost.forward_messages += first.hops() as u64;
+        legs.push(first.path);
+        // Owner-to-owner legs along the chain.
+        for w in chain.windows(2) {
+            let leg = self.gpsr.route_to_node(&self.topology, w[0], w[1])?;
+            cost.forward_messages += leg.hops() as u64;
+            legs.push(leg.path);
+        }
+        for leg in &legs {
+            self.traffic.record_path(leg);
+        }
+
+        // Collect matches.
+        let mut any_match = false;
+        for (zone_idx, _) in &relevant {
+            if let Some(stored) = self.store.get(zone_idx) {
+                for event in stored {
+                    if query.matches(event) {
+                        events.push(event.clone());
+                        any_match = true;
+                    }
+                }
+            }
+        }
+
+        // Aggregated replies retrace the chain back to the sink.
+        if any_match {
+            for leg in &legs {
+                let mut back = leg.clone();
+                back.reverse();
+                self.traffic.record_path(&back);
+                cost.reply_messages += (back.len() - 1) as u64;
+            }
+        }
+        Ok(DimQueryResult { events, cost, zones_visited })
+    }
+
+    /// Fails `dead` nodes: the events they owned are lost (DIM keeps no
+    /// replicas), their zones are absorbed by the nearest survivors, and
+    /// routing is rebuilt over the live network.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Routing`] if the surviving network is disconnected.
+    pub fn fail_nodes(&mut self, dead: &[NodeId]) -> Result<DimFailureReport, PoolError> {
+        let failed_nodes = dead.iter().filter(|&&d| self.topology.is_alive(d)).count();
+        let new_topology = self.topology.without_nodes(dead);
+        new_topology.require_connected().map_err(|e| PoolError::Routing(e.to_string()))?;
+        self.gpsr = Gpsr::new(&new_topology, Planarization::Gabriel);
+        self.topology = new_topology;
+
+        // Events held by dead owners are gone.
+        let mut events_lost = 0usize;
+        let zones = self.tree.zones().to_vec();
+        for (zone_idx, events) in self.store.iter_mut() {
+            if !self.topology.is_alive(zones[*zone_idx].owner) {
+                events_lost += events.len();
+                events.clear();
+            }
+        }
+        self.store.retain(|_, v| !v.is_empty());
+        let zones_reassigned = self.tree.repair_owners(&self.topology);
+        Ok(DimFailureReport { failed_nodes, zones_reassigned, events_lost })
+    }
+
+    /// Brute-force ground truth over every stored event.
+    pub fn brute_force_query(&self, query: &RangeQuery) -> Vec<Event> {
+        let mut out = Vec::new();
+        for events in self.store.values() {
+            for e in events {
+                if query.matches(e) {
+                    out.push(e.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pool_netsim::deployment::Deployment;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build(n: usize, seed: u64) -> DimSystem {
+        let mut s = seed;
+        loop {
+            let dep = Deployment::paper_setting(n, 40.0, 20.0, s).unwrap();
+            let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+            if topo.is_connected() {
+                return DimSystem::build(topo, dep.field(), 3).unwrap();
+            }
+            s += 1000;
+        }
+    }
+
+    fn ev(v: &[f64]) -> Event {
+        Event::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let mut dim = build(300, 1);
+        dim.insert_from(NodeId(0), ev(&[0.7, 0.2, 0.4])).unwrap();
+        dim.insert_from(NodeId(3), ev(&[0.1, 0.9, 0.9])).unwrap();
+        let q = RangeQuery::exact(vec![(0.6, 0.8), (0.1, 0.3), (0.3, 0.5)]).unwrap();
+        let r = dim.query_from(NodeId(99), &q).unwrap();
+        assert_eq!(r.events, vec![ev(&[0.7, 0.2, 0.4])]);
+        assert!(r.cost.total() > 0);
+    }
+
+    #[test]
+    fn query_matches_brute_force_over_random_workload() {
+        let mut dim = build(300, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = dim.topology().len() as u32;
+        for _ in 0..300 {
+            let e = ev(&[rng.gen(), rng.gen(), rng.gen()]);
+            dim.insert_from(NodeId(rng.gen_range(0..n)), e).unwrap();
+        }
+        for trial in 0..15 {
+            let mut bounds = Vec::new();
+            for _ in 0..3 {
+                if rng.gen_bool(0.3) {
+                    bounds.push(None);
+                } else {
+                    let lo: f64 = rng.gen_range(0.0..0.8);
+                    bounds.push(Some((lo, (lo + rng.gen_range(0.0..0.4)).min(1.0))));
+                }
+            }
+            if bounds.iter().all(Option::is_none) {
+                bounds[2] = Some((0.2, 0.8));
+            }
+            let q = RangeQuery::from_bounds(bounds).unwrap();
+            let mut got = dim.query_from(NodeId(rng.gen_range(0..n)), &q).unwrap().events;
+            let mut want = dim.brute_force_query(&q);
+            let key =
+                |e: &Event| e.values().iter().map(|v| (v * 1e9) as i64).collect::<Vec<_>>();
+            got.sort_by_key(key);
+            want.sort_by_key(key);
+            assert_eq!(got, want, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_result_charges_no_replies() {
+        let mut dim = build(300, 3);
+        let q = RangeQuery::exact(vec![(0.0, 0.1), (0.0, 0.1), (0.0, 0.1)]).unwrap();
+        let r = dim.query_from(NodeId(0), &q).unwrap();
+        assert!(r.events.is_empty());
+        assert_eq!(r.cost.reply_messages, 0);
+        assert!(r.cost.forward_messages > 0, "the query still visits zones");
+    }
+
+    #[test]
+    fn wider_queries_visit_more_zones() {
+        let mut dim = build(300, 4);
+        let narrow = RangeQuery::exact(vec![(0.4, 0.45), (0.4, 0.45), (0.4, 0.45)]).unwrap();
+        let wide = RangeQuery::exact(vec![(0.1, 0.9), (0.1, 0.9), (0.1, 0.9)]).unwrap();
+        let zn = dim.query_from(NodeId(0), &narrow).unwrap().zones_visited;
+        let zw = dim.query_from(NodeId(0), &wide).unwrap().zones_visited;
+        assert!(zw > zn, "wide {zw} <= narrow {zn}");
+    }
+
+    #[test]
+    fn unspecified_first_dimension_hurts_most() {
+        // The Figure 7(b) effect: 1@1-partial queries prune worst in DIM.
+        let mut dim = build(300, 5);
+        let q1 =
+            RangeQuery::from_bounds(vec![None, Some((0.4, 0.5)), Some((0.4, 0.5))]).unwrap();
+        let q3 =
+            RangeQuery::from_bounds(vec![Some((0.4, 0.5)), Some((0.4, 0.5)), None]).unwrap();
+        let z1 = dim.query_from(NodeId(0), &q1).unwrap().zones_visited;
+        let z3 = dim.query_from(NodeId(0), &q3).unwrap().zones_visited;
+        assert!(
+            z1 >= z3,
+            "1@1-partial should visit at least as many zones as 1@3 ({z1} vs {z3})"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut dim = build(300, 6);
+        assert!(matches!(
+            dim.insert_from(NodeId(0), ev(&[0.5, 0.5])),
+            Err(PoolError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn skewed_data_concentrates_on_owners() {
+        // DIM's hotspot problem: identical events pile on one owner.
+        let mut dim = build(300, 7);
+        for i in 0..50 {
+            dim.insert_from(NodeId(i), ev(&[0.801, 0.102, 0.053])).unwrap();
+        }
+        assert_eq!(dim.max_owner_load(), 50);
+    }
+
+    #[test]
+    fn failure_loses_dead_owners_events_and_repairs_zones() {
+        let mut dim = build(300, 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let e = ev(&[rng.gen(), rng.gen(), rng.gen()]);
+            dim.insert_from(NodeId(rng.gen_range(0..300)), e).unwrap();
+        }
+        let before = dim.stored_events();
+        // Fail three owners that hold events.
+        let victims: Vec<NodeId> = {
+            let zones = dim.tree().zones().to_vec();
+            let mut owners: Vec<NodeId> = zones.iter().map(|z| z.owner).collect();
+            owners.sort_unstable();
+            owners.dedup();
+            owners.into_iter().take(3).collect()
+        };
+        let report = dim.fail_nodes(&victims).unwrap();
+        assert_eq!(report.failed_nodes, 3);
+        assert!(report.zones_reassigned >= 3);
+        assert_eq!(dim.stored_events(), before - report.events_lost);
+        // Every zone owner is now alive, and queries still work.
+        for z in dim.tree().zones() {
+            assert!(dim.topology().is_alive(z.owner));
+        }
+        let q = RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let got = dim.query_from(NodeId(250), &q).unwrap();
+        assert_eq!(got.events.len(), dim.stored_events());
+    }
+
+    #[test]
+    fn traffic_ledger_tracks_costs() {
+        let mut dim = build(300, 8);
+        let r = dim.insert_from(NodeId(0), ev(&[0.3, 0.6, 0.2])).unwrap();
+        assert_eq!(dim.traffic().total_messages(), r.messages);
+    }
+}
+
+impl pool_core::dcs::DataCentricStore for DimSystem {
+    fn scheme_name(&self) -> &'static str {
+        "dim"
+    }
+
+    fn insert_event(&mut self, source: NodeId, event: Event) -> Result<u64, PoolError> {
+        Ok(self.insert_from(source, event)?.messages)
+    }
+
+    fn range_query(
+        &mut self,
+        sink: NodeId,
+        query: &RangeQuery,
+    ) -> Result<(Vec<Event>, u64), PoolError> {
+        let result = self.query_from(sink, query)?;
+        Ok((result.events, result.cost.total()))
+    }
+
+    fn stored_events(&self) -> usize {
+        DimSystem::stored_events(self)
+    }
+
+    fn total_messages(&self) -> u64 {
+        self.traffic().total_messages()
+    }
+}
+
+#[cfg(test)]
+mod dcs_trait_tests {
+    use super::*;
+    use pool_core::dcs::DataCentricStore;
+    use pool_netsim::deployment::Deployment;
+
+    #[test]
+    fn pool_and_dim_are_interchangeable_behind_the_trait() {
+        let mut seed = 61u64;
+        let (topo, field) = loop {
+            let dep = Deployment::paper_setting(250, 40.0, 20.0, seed).unwrap();
+            let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+            if topo.is_connected() {
+                break (topo, dep.field());
+            }
+            seed += 1;
+        };
+        let mut stores: Vec<Box<dyn DataCentricStore>> = vec![
+            Box::new(
+                pool_core::system::PoolSystem::build(
+                    topo.clone(),
+                    field,
+                    pool_core::config::PoolConfig::paper(),
+                )
+                .unwrap(),
+            ),
+            Box::new(DimSystem::build(topo, field, 3).unwrap()),
+        ];
+        let q = RangeQuery::exact(vec![(0.4, 0.6), (0.0, 0.5), (0.0, 1.0)]).unwrap();
+        let mut answers = Vec::new();
+        for store in &mut stores {
+            store
+                .insert_event(NodeId(3), Event::new(vec![0.5, 0.25, 0.75]).unwrap())
+                .unwrap();
+            let (events, msgs) = store.range_query(NodeId(100), &q).unwrap();
+            assert!(msgs > 0, "{} charged nothing", store.scheme_name());
+            answers.push(events);
+        }
+        assert_eq!(answers[0], answers[1], "schemes must agree");
+    }
+}

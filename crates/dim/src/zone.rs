@@ -1,0 +1,415 @@
+//! The DIM zone tree: recursive binary splits of the deployment field.
+//!
+//! DIM embeds a k-d tree in the network: the field is halved repeatedly
+//! (vertical split first, then horizontal, alternating) until every zone
+//! contains at most one sensor. Each non-empty zone's sensor *owns* it; an
+//! empty zone is backed up by the node nearest its center (in deployed DIM
+//! a neighboring zone owner absorbs it).
+//!
+//! Every zone's code then doubles as an attribute-space hyper-rectangle via
+//! [`ZoneCode::attribute_ranges`] — that is where events live and how range
+//! queries find them.
+
+use crate::code::ZoneCode;
+use pool_netsim::geometry::{Point, Rect};
+use pool_netsim::node::NodeId;
+use pool_netsim::topology::Topology;
+
+/// A leaf zone of the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zone {
+    /// The zone's code.
+    pub code: ZoneCode,
+    /// The physical region of the field this zone covers.
+    pub region: Rect,
+    /// The sensor that owns (stores events for) this zone.
+    pub owner: NodeId,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(usize),
+    Internal { children: [Box<Node>; 2] },
+}
+
+/// The complete zone tree over one deployment.
+///
+/// # Examples
+///
+/// ```
+/// use pool_dim::zone::ZoneTree;
+/// use pool_netsim::deployment::{Deployment, Placement};
+/// use pool_netsim::geometry::Rect;
+/// use pool_netsim::topology::Topology;
+///
+/// let field = Rect::square(100.0);
+/// let nodes = Deployment::new(field, 40, Placement::Uniform, 2).nodes();
+/// let topo = Topology::build(nodes, 30.0).unwrap();
+/// let tree = ZoneTree::build(&topo, field);
+/// // Every sensor owns at least the zone it sits in.
+/// assert!(tree.zones().len() >= 40);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZoneTree {
+    zones: Vec<Zone>,
+    root: Node,
+    dims_hint: usize,
+}
+
+impl ZoneTree {
+    /// Builds the zone tree for `topology` over `field`.
+    ///
+    /// Splitting detail: even depths split vertically (x), odd depths
+    /// horizontally (y), exactly like the code's physical reading.
+    pub fn build(topology: &Topology, field: Rect) -> Self {
+        let ids: Vec<NodeId> = topology.nodes().iter().map(|n| n.id).collect();
+        let mut zones = Vec::new();
+        let root = Self::split(topology, field, ids, ZoneCode::root(), 0, &mut zones);
+        ZoneTree { zones, root, dims_hint: 0 }
+    }
+
+    fn split(
+        topology: &Topology,
+        region: Rect,
+        ids: Vec<NodeId>,
+        code: ZoneCode,
+        depth: usize,
+        zones: &mut Vec<Zone>,
+    ) -> Node {
+        // Depth guard: co-located nodes can never be separated by halving;
+        // stop before the 64-bit code overflows and let the first node own
+        // the merged zone.
+        if ids.len() <= 1 || depth >= 60 {
+            let owner = match ids.first() {
+                Some(&id) => id,
+                // Empty zone: backed by the network node nearest its center.
+                None => topology.nearest_node(region.center()),
+            };
+            let idx = zones.len();
+            zones.push(Zone { code, region, owner });
+            return Node::Leaf(idx);
+        }
+        let vertical = depth.is_multiple_of(2);
+        let (lo_region, hi_region) = if vertical {
+            let mid = (region.min.x + region.max.x) / 2.0;
+            (
+                Rect::new(region.min, Point::new(mid, region.max.y)),
+                Rect::new(Point::new(mid, region.min.y), region.max),
+            )
+        } else {
+            let mid = (region.min.y + region.max.y) / 2.0;
+            (
+                Rect::new(region.min, Point::new(region.max.x, mid)),
+                Rect::new(Point::new(region.min.x, mid), region.max),
+            )
+        };
+        let (lo_ids, hi_ids): (Vec<NodeId>, Vec<NodeId>) = ids.into_iter().partition(|&id| {
+            let p = topology.position(id);
+            if vertical {
+                p.x < (lo_region.max.x)
+            } else {
+                p.y < (lo_region.max.y)
+            }
+        });
+        let lo = Self::split(topology, lo_region, lo_ids, code.child(false), depth + 1, zones);
+        let hi = Self::split(topology, hi_region, hi_ids, code.child(true), depth + 1, zones);
+        Node::Internal { children: [Box::new(lo), Box::new(hi)] }
+    }
+
+    /// All leaf zones, in code (DFS) order.
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// The zone that stores a `k`-dimensional event with the given values:
+    /// the leaf whose code is the prefix of the event's code.
+    pub fn zone_of_event(&self, values: &[f64]) -> &Zone {
+        assert!(!values.is_empty(), "event has no attributes");
+        let k = values.len();
+        let mut ranges = vec![(0.0f64, 1.0f64); k];
+        let mut node = &self.root;
+        let mut depth = 0usize;
+        loop {
+            match node {
+                Node::Leaf(idx) => return &self.zones[*idx],
+                Node::Internal { children } => {
+                    let dim = depth % k;
+                    let (lo, hi) = ranges[dim];
+                    let mid = (lo + hi) / 2.0;
+                    if values[dim] >= mid {
+                        ranges[dim] = (mid, hi);
+                        node = &children[1];
+                    } else {
+                        ranges[dim] = (lo, mid);
+                        node = &children[0];
+                    }
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// The zones whose attribute hyper-rectangles overlap the (rewritten)
+    /// query, in code (DFS) order — DIM's query resolution.
+    pub fn zones_overlapping(&self, rewritten: &[(f64, f64)]) -> Vec<&Zone> {
+        assert!(!rewritten.is_empty(), "query has no dimensions");
+        let k = rewritten.len();
+        let mut out = Vec::new();
+        let ranges = vec![(0.0f64, 1.0f64); k];
+        self.collect_overlaps(&self.root, rewritten, ranges, 0, &mut out);
+        out
+    }
+
+    fn collect_overlaps<'a>(
+        &'a self,
+        node: &'a Node,
+        query: &[(f64, f64)],
+        ranges: Vec<(f64, f64)>,
+        depth: usize,
+        out: &mut Vec<&'a Zone>,
+    ) {
+        // Prune as soon as any dimension's range misses the query.
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            let (ql, qu) = query[i];
+            if hi < ql || lo > qu {
+                return;
+            }
+        }
+        match node {
+            Node::Leaf(idx) => out.push(&self.zones[*idx]),
+            Node::Internal { children } => {
+                let k = query.len();
+                let dim = depth % k;
+                let (lo, hi) = ranges[dim];
+                let mid = (lo + hi) / 2.0;
+                let mut lo_ranges = ranges.clone();
+                lo_ranges[dim] = (lo, mid);
+                self.collect_overlaps(&children[0], query, lo_ranges, depth + 1, out);
+                let mut hi_ranges = ranges;
+                hi_ranges[dim] = (mid, hi);
+                self.collect_overlaps(&children[1], query, hi_ranges, depth + 1, out);
+            }
+        }
+    }
+
+    /// Reassigns every zone whose owner died to the live node nearest the
+    /// zone's center (DIM's repair: a neighboring owner absorbs the dead
+    /// zone). Returns the number of zones reassigned.
+    pub fn repair_owners(&mut self, topology: &Topology) -> usize {
+        let mut reassigned = 0;
+        for zone in &mut self.zones {
+            if !topology.is_alive(zone.owner) {
+                zone.owner = topology.nearest_node(zone.region.center());
+                reassigned += 1;
+            }
+        }
+        reassigned
+    }
+
+    /// Maximum code length (tree depth).
+    pub fn depth(&self) -> usize {
+        self.zones.iter().map(|z| z.code.len()).max().unwrap_or(0)
+    }
+
+    #[allow(dead_code)]
+    fn dims_hint(&self) -> usize {
+        self.dims_hint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pool_netsim::node::Node as NetNode;
+
+    /// The eight-sensor network of Figure 1(a), normalized to a unit field.
+    fn figure1_topology() -> (Topology, Rect) {
+        let field = Rect::square(1.0);
+        let positions = [
+            (0.2, 0.2),  // zone 00
+            (0.1, 0.7),  // zone 010
+            (0.35, 0.7), // zone 011
+            (0.6, 0.2),  // zone 100
+            (0.8, 0.2),  // zone 101
+            (0.6, 0.7),  // zone 110
+            (0.8, 0.6),  // zone 1110
+            (0.8, 0.9),  // zone 1111
+        ];
+        let nodes = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| NetNode::new(NodeId(i as u32), Point::new(x, y)))
+            .collect();
+        (Topology::build(nodes, 2.0).unwrap(), field)
+    }
+
+    #[test]
+    fn figure1_zone_codes() {
+        let (topo, field) = figure1_topology();
+        let tree = ZoneTree::build(&topo, field);
+        let mut codes: Vec<String> = tree.zones().iter().map(|z| z.code.to_string()).collect();
+        codes.sort();
+        let mut expect =
+            vec!["00", "010", "011", "100", "101", "110", "1110", "1111"];
+        expect.sort_unstable();
+        assert_eq!(codes, expect);
+    }
+
+    #[test]
+    fn figure1_owners_match_their_zone() {
+        let (topo, field) = figure1_topology();
+        let tree = ZoneTree::build(&topo, field);
+        for zone in tree.zones() {
+            assert!(
+                zone.region.contains(topo.position(zone.owner)),
+                "owner of {} outside its region",
+                zone.code
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_exact_query_hits_expected_zones() {
+        // §1: Q = <[0.6,0.8], [0.6,0.65], [0.45,0.6]> involves zones 110,
+        // 1111 and 1110.
+        let (topo, field) = figure1_topology();
+        let tree = ZoneTree::build(&topo, field);
+        let hits: Vec<String> = tree
+            .zones_overlapping(&[(0.6, 0.8), (0.6, 0.65), (0.45, 0.6)])
+            .iter()
+            .map(|z| z.code.to_string())
+            .collect();
+        assert_eq!(hits, vec!["110", "1110", "1111"]);
+    }
+
+    #[test]
+    fn figure1_partial_query_spans_half_the_network() {
+        // §1: Q = <*, [0.6,0.7], [0.4,0.6]> is collected from zones 010,
+        // 011, 110, 1111 and 1110 — half the sensors.
+        let (topo, field) = figure1_topology();
+        let tree = ZoneTree::build(&topo, field);
+        let hits: Vec<String> = tree
+            .zones_overlapping(&[(0.0, 1.0), (0.6, 0.7), (0.4, 0.6)])
+            .iter()
+            .map(|z| z.code.to_string())
+            .collect();
+        assert_eq!(hits, vec!["010", "011", "110", "1110", "1111"]);
+    }
+
+    #[test]
+    fn zones_partition_the_field() {
+        let (topo, field) = figure1_topology();
+        let tree = ZoneTree::build(&topo, field);
+        let area: f64 = tree.zones().iter().map(|z| z.region.area()).sum();
+        assert!((area - field.area()).abs() < 1e-9);
+        // Codes are prefix-free.
+        for (i, a) in tree.zones().iter().enumerate() {
+            for b in &tree.zones()[i + 1..] {
+                assert!(!a.code.is_prefix_of(&b.code) && !b.code.is_prefix_of(&a.code));
+            }
+        }
+    }
+
+    #[test]
+    fn event_maps_to_exactly_one_zone_with_prefix_code() {
+        let (topo, field) = figure1_topology();
+        let tree = ZoneTree::build(&topo, field);
+        let probes = [
+            [0.1, 0.1, 0.1],
+            [0.9, 0.9, 0.9],
+            [0.3, 0.8, 0.2],
+            [0.51, 0.49, 0.99],
+            [0.62, 0.71, 0.44],
+        ];
+        for values in probes {
+            let zone = tree.zone_of_event(&values);
+            let event_code = ZoneCode::of_event(&values, zone.code.len());
+            assert_eq!(event_code, zone.code, "event {values:?}");
+            // The zone's attribute region contains the event.
+            for (i, (lo, hi)) in zone.code.attribute_ranges(3).into_iter().enumerate() {
+                assert!(values[i] >= lo && values[i] <= hi, "dim {i} of {values:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_zones_include_the_storing_zone() {
+        // Soundness: a matching event's zone is always in the overlap set.
+        let (topo, field) = figure1_topology();
+        let tree = ZoneTree::build(&topo, field);
+        let query = [(0.2, 0.7), (0.1, 0.8), (0.3, 0.9)];
+        let overlapping: Vec<ZoneCode> =
+            tree.zones_overlapping(&query).iter().map(|z| z.code).collect();
+        let steps = 8;
+        for a in 0..=steps {
+            for b in 0..=steps {
+                for c in 0..=steps {
+                    let v = [
+                        a as f64 / steps as f64,
+                        b as f64 / steps as f64,
+                        c as f64 / steps as f64,
+                    ];
+                    let matches = (0..3).all(|i| v[i] >= query[i].0 && v[i] <= query[i].1);
+                    if matches {
+                        let zone = tree.zone_of_event(&v);
+                        assert!(overlapping.contains(&zone.code), "event {v:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_network_zones_scale_with_nodes() {
+        use pool_netsim::deployment::{Deployment, Placement};
+        let field = Rect::square(200.0);
+        let nodes = Deployment::new(field, 150, Placement::Uniform, 5).nodes();
+        let topo = Topology::build(nodes, 40.0).unwrap();
+        let tree = ZoneTree::build(&topo, field);
+        // At least one zone per node (empty siblings may add more).
+        assert!(tree.zones().len() >= 150);
+        // Every node owns at least one zone.
+        let mut owners: Vec<NodeId> = tree.zones().iter().map(|z| z.owner).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        assert_eq!(owners.len(), 150);
+    }
+}
+
+#[cfg(test)]
+mod physical_reading_tests {
+    use super::*;
+    use pool_netsim::deployment::{Deployment, Placement};
+
+    /// The double reading is consistent: every zone's code equals the
+    /// physical reading of its own region's center — DIM's defining
+    /// property tying attribute space to the field.
+    #[test]
+    fn zone_codes_equal_physical_reading_of_their_region() {
+        let field = Rect::square(150.0);
+        let nodes = Deployment::new(field, 60, Placement::Uniform, 9).nodes();
+        let topo = Topology::build(nodes, 40.0).unwrap();
+        let tree = ZoneTree::build(&topo, field);
+        for zone in tree.zones() {
+            let derived = ZoneCode::of_position(zone.region.center(), field, zone.code.len());
+            assert_eq!(derived, zone.code, "zone {} region {:?}", zone.code, zone.region);
+        }
+    }
+
+    /// Owners sit inside regions whose physical reading prefixes their
+    /// zone's code.
+    #[test]
+    fn owner_positions_read_back_to_their_codes() {
+        let field = Rect::square(120.0);
+        let nodes = Deployment::new(field, 50, Placement::Uniform, 12).nodes();
+        let topo = Topology::build(nodes, 40.0).unwrap();
+        let tree = ZoneTree::build(&topo, field);
+        for zone in tree.zones() {
+            let owner_pos = topo.position(zone.owner);
+            if zone.region.contains(owner_pos) {
+                let reading = ZoneCode::of_position(owner_pos, field, zone.code.len());
+                assert_eq!(reading, zone.code);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Deterministic key → location hashing.
+//!
+//! GHT hashes an event key (e.g. an event-type name, or a Pool id) to a
+//! geographic location inside the deployment field. All nodes compute the
+//! same location from the same key, with no communication — the defining
+//! property of data-centric storage.
+
+use pool_netsim::geometry::{Point, Rect};
+
+/// A 64-bit FNV-1a hash of `bytes` — stable across platforms and runs,
+/// unlike `std::collections` hashing.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The splitmix64 finalizer: a fast, high-quality bit mixer.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes `key` to a location inside `field`.
+///
+/// The high and low 32-bit halves of the 64-bit hash select the x and y
+/// coordinates respectively, so nearby keys land at unrelated locations
+/// (GHT wants load spreading, not locality).
+///
+/// # Examples
+///
+/// ```
+/// use pool_ght::hash::hash_to_location;
+/// use pool_netsim::geometry::Rect;
+///
+/// let field = Rect::square(100.0);
+/// let a = hash_to_location(b"temperature", field);
+/// let b = hash_to_location(b"temperature", field);
+/// assert_eq!(a, b); // deterministic
+/// assert!(field.contains(a));
+/// ```
+pub fn hash_to_location(key: &[u8], field: Rect) -> Point {
+    // FNV-1a alone has weak avalanche in the high bits for short, similar
+    // keys; a splitmix64 finalizer spreads them before splitting into
+    // coordinates.
+    let h = splitmix64(fnv1a(key));
+    let hx = (h >> 32) as u32;
+    let hy = (h & 0xffff_ffff) as u32;
+    let fx = hx as f64 / u32::MAX as f64;
+    let fy = hy as f64 / u32::MAX as f64;
+    Point::new(
+        field.min.x + fx * field.width(),
+        field.min.y + fy * field.height(),
+    )
+}
+
+/// Hashes `key` together with a `replica` index, for structured replication
+/// (each replica of a key lives at a different deterministic location).
+pub fn hash_to_replica_location(key: &[u8], replica: u32, field: Rect) -> Point {
+    let mut buf = Vec::with_capacity(key.len() + 4);
+    buf.extend_from_slice(key);
+    buf.extend_from_slice(&replica.to_le_bytes());
+    hash_to_location(&buf, field)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        // Known FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn locations_stay_inside_field() {
+        let field = Rect::new(Point::new(10.0, 20.0), Point::new(110.0, 220.0));
+        for i in 0..200u32 {
+            let p = hash_to_location(&i.to_le_bytes(), field);
+            assert!(field.contains(p), "key {i} mapped outside: {p}");
+        }
+    }
+
+    #[test]
+    fn different_keys_spread_out() {
+        let field = Rect::square(100.0);
+        let pts: Vec<Point> =
+            (0..100u32).map(|i| hash_to_location(&i.to_le_bytes(), field)).collect();
+        // At least half of the points should be pairwise farther than 5 m
+        // from point 0 — a crude but effective spread check.
+        let far = pts[1..].iter().filter(|p| p.distance(pts[0]) > 5.0).count();
+        assert!(far > 80, "only {far} of 99 points far from the first");
+    }
+
+    #[test]
+    fn replicas_land_at_distinct_locations() {
+        let field = Rect::square(100.0);
+        let a = hash_to_replica_location(b"k", 0, field);
+        let b = hash_to_replica_location(b"k", 1, field);
+        assert_ne!(a, b);
+    }
+}

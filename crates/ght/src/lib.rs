@@ -1,0 +1,29 @@
+//! # pool-ght — Geographic Hash Table
+//!
+//! A from-scratch implementation of GHT (Ratnasamy et al., MONET 2003), the
+//! data-centric storage scheme Pool uses to locate pool pivot cells ("Get
+//! the pivot cell of `P_d1` through a distributed hash table", Algorithm 1)
+//! and the classic baseline for point queries.
+//!
+//! * [`hash`] — deterministic key → location hashing (FNV-1a based).
+//! * [`table`] — put/get at home nodes over GPSR, with message accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use pool_ght::hash::hash_to_location;
+//! use pool_netsim::geometry::Rect;
+//!
+//! let field = Rect::square(500.0);
+//! let home = hash_to_location(b"pool-pivot-1", field);
+//! assert!(field.contains(home));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod replication;
+pub mod table;
+
+pub use replication::ReplicatedGht;
+pub use table::GhtTable;

@@ -1,0 +1,235 @@
+//! Structured replication (GHT §4.3 / Ratnasamy et al.): store copies of a
+//! key at `2^d` deterministic mirror locations so hot keys spread load and
+//! survive home-node failures.
+//!
+//! Replica `r` of key `K` lives at `hash(K ‖ r)`; a `get` can consult any
+//! subset of mirrors. Readers that need *all* values must query every
+//! mirror; readers that need *any* value stop at the first non-empty one.
+
+use crate::hash::hash_to_replica_location;
+use crate::table::GhtTable;
+use pool_gpsr::router::{Gpsr, RouteError};
+use pool_netsim::node::NodeId;
+use pool_netsim::stats::TrafficStats;
+use pool_netsim::topology::Topology;
+use std::collections::HashMap;
+
+/// A geographic hash table with structured replication.
+///
+/// # Examples
+///
+/// ```
+/// use pool_ght::replication::ReplicatedGht;
+/// use pool_gpsr::{Gpsr, Planarization};
+/// use pool_netsim::deployment::Deployment;
+/// use pool_netsim::topology::Topology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let deployment = Deployment::paper_setting(300, 40.0, 20.0, 31)?;
+/// let topology = Topology::build(deployment.nodes(), 40.0)?;
+/// let gpsr = Gpsr::new(&topology, Planarization::Gabriel);
+/// let mut ght = ReplicatedGht::new(&topology, 2); // 2 mirrors per key
+/// let node = topology.nodes()[7].id;
+/// ght.put(&topology, &gpsr, node, "alarm", 1u32)?;
+/// let (values, _) = ght.get_any(&topology, &gpsr, node, "alarm")?;
+/// assert_eq!(values, vec![1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicatedGht<V> {
+    replicas: u32,
+    storage: Vec<HashMap<String, Vec<V>>>,
+    traffic: TrafficStats,
+}
+
+impl<V: Clone> ReplicatedGht<V> {
+    /// Creates a table storing each key at `replicas` mirror locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn new(topology: &Topology, replicas: u32) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        ReplicatedGht {
+            replicas,
+            storage: vec![HashMap::new(); topology.len()],
+            traffic: TrafficStats::new(topology.len()),
+        }
+    }
+
+    /// Number of mirrors per key.
+    pub fn replicas(&self) -> u32 {
+        self.replicas
+    }
+
+    /// The home node of replica `r` of `key`, routed from `from`.
+    fn replica_home(
+        &self,
+        topology: &Topology,
+        gpsr: &Gpsr,
+        from: NodeId,
+        key: &str,
+        r: u32,
+    ) -> Result<(NodeId, usize), RouteError> {
+        let loc = hash_to_replica_location(key.as_bytes(), r, topology.bounds());
+        let route = gpsr.route(topology, from, loc)?;
+        Ok((route.delivered, route.hops()))
+    }
+
+    /// Stores `value` at *every* mirror of `key` (full write fan-out).
+    /// Returns the total hops charged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures.
+    pub fn put(
+        &mut self,
+        topology: &Topology,
+        gpsr: &Gpsr,
+        from: NodeId,
+        key: &str,
+        value: V,
+    ) -> Result<usize, RouteError> {
+        let mut hops = 0;
+        for r in 0..self.replicas {
+            let loc = hash_to_replica_location(key.as_bytes(), r, topology.bounds());
+            let route = gpsr.route(topology, from, loc)?;
+            self.traffic.record_path(&route.path);
+            hops += route.hops();
+            self.storage[route.delivered.index()]
+                .entry(key.to_owned())
+                .or_default()
+                .push(value.clone());
+        }
+        Ok(hops)
+    }
+
+    /// Reads the *nearest responsive* mirror: mirrors are tried in replica
+    /// order and the first holding any value answers. Returns the values
+    /// and total hops (request legs plus the answering mirror's reply).
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures.
+    pub fn get_any(
+        &mut self,
+        topology: &Topology,
+        gpsr: &Gpsr,
+        from: NodeId,
+        key: &str,
+    ) -> Result<(Vec<V>, usize), RouteError> {
+        let mut hops = 0;
+        for r in 0..self.replicas {
+            let (home, leg) = self.replica_home(topology, gpsr, from, key, r)?;
+            hops += leg;
+            let values = self.storage[home.index()].get(key).cloned().unwrap_or_default();
+            // Request leg is always charged.
+            let loc = hash_to_replica_location(key.as_bytes(), r, topology.bounds());
+            let route = gpsr.route(topology, from, loc)?;
+            self.traffic.record_path(&route.path);
+            if !values.is_empty() {
+                let mut back = route.path.clone();
+                back.reverse();
+                self.traffic.record_path(&back);
+                hops += back.len() - 1;
+                return Ok((values, hops));
+            }
+        }
+        Ok((Vec::new(), hops))
+    }
+
+    /// Values held at `node` (load inspection).
+    pub fn stored_at(&self, node: NodeId) -> usize {
+        self.storage[node.index()].values().map(Vec::len).sum()
+    }
+
+    /// The traffic ledger.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+}
+
+/// Convenience: promotes a plain [`GhtTable`] comparison — how many extra
+/// messages replication costs per put at this network size.
+pub fn replication_overhead<V: Clone>(
+    topology: &Topology,
+    gpsr: &Gpsr,
+    from: NodeId,
+    key: &str,
+    value: V,
+    replicas: u32,
+) -> Result<(usize, usize), RouteError> {
+    let mut plain: GhtTable<V> = GhtTable::new(topology);
+    let plain_hops = plain.put(topology, gpsr, from, key, value.clone())?;
+    let mut replicated: ReplicatedGht<V> = ReplicatedGht::new(topology, replicas);
+    let replicated_hops = replicated.put(topology, gpsr, from, key, value)?;
+    Ok((plain_hops, replicated_hops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pool_gpsr::Planarization;
+    use pool_netsim::deployment::Deployment;
+
+    fn setup(seed: u64) -> (Topology, Gpsr) {
+        let mut s = seed;
+        loop {
+            let dep = Deployment::paper_setting(250, 40.0, 20.0, s).unwrap();
+            let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+            if topo.is_connected() {
+                let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+                return (topo, gpsr);
+            }
+            s += 1;
+        }
+    }
+
+    #[test]
+    fn put_reaches_all_mirrors() {
+        let (topo, gpsr) = setup(1);
+        let mut ght: ReplicatedGht<u8> = ReplicatedGht::new(&topo, 4);
+        ght.put(&topo, &gpsr, NodeId(0), "k", 7).unwrap();
+        let holders = (0..topo.len())
+            .filter(|&i| ght.stored_at(NodeId(i as u32)) > 0)
+            .count();
+        // Mirrors land at distinct locations; occasionally two may share a
+        // home node, but most must be distinct.
+        assert!(holders >= 3, "only {holders} distinct mirror homes");
+    }
+
+    #[test]
+    fn get_any_finds_a_value() {
+        let (topo, gpsr) = setup(2);
+        let mut ght: ReplicatedGht<u8> = ReplicatedGht::new(&topo, 3);
+        ght.put(&topo, &gpsr, NodeId(5), "sensor-type", 9).unwrap();
+        let (values, hops) = ght.get_any(&topo, &gpsr, NodeId(200), "sensor-type").unwrap();
+        assert_eq!(values, vec![9]);
+        assert!(hops > 0);
+    }
+
+    #[test]
+    fn missing_key_returns_empty_after_trying_all_mirrors() {
+        let (topo, gpsr) = setup(3);
+        let mut ght: ReplicatedGht<u8> = ReplicatedGht::new(&topo, 3);
+        let (values, hops) = ght.get_any(&topo, &gpsr, NodeId(10), "nope").unwrap();
+        assert!(values.is_empty());
+        assert!(hops > 0, "all three mirrors were consulted");
+    }
+
+    #[test]
+    fn replication_costs_scale_with_mirror_count() {
+        let (topo, gpsr) = setup(4);
+        let (plain, replicated) =
+            replication_overhead(&topo, &gpsr, NodeId(0), "hot-key", 1u8, 4).unwrap();
+        assert!(replicated > plain, "4 mirrors ({replicated}) vs 1 home ({plain})");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        let (topo, _) = setup(5);
+        let _: ReplicatedGht<u8> = ReplicatedGht::new(&topo, 0);
+    }
+}

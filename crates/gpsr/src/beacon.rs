@@ -1,0 +1,178 @@
+//! Distributed neighbor discovery via beacon exchange.
+//!
+//! The paper assumes "each node maintains a neighbor table via periodic
+//! exchange of beacon messages" (§2). [`pool_netsim::topology::Topology`]
+//! computes those tables analytically; this module *derives them the way
+//! real firmware would* — every node broadcasts HELLO beacons carrying its
+//! id and position, and receivers record the sender — then proves the two
+//! agree. It doubles as an end-to-end exercise of the discrete-event
+//! simulator's radio model.
+
+use pool_netsim::geometry::Point;
+use pool_netsim::node::NodeId;
+use pool_netsim::sim::{Context, Protocol, SimError, Simulator};
+use pool_netsim::topology::Topology;
+use std::collections::BTreeSet;
+
+/// A HELLO beacon: the sender's identity and location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hello {
+    /// Beaconing node.
+    pub from: NodeId,
+    /// Its position (receivers store it for greedy forwarding).
+    pub position: Point,
+}
+
+/// The beacon protocol state: per-node discovered neighbor tables.
+#[derive(Debug)]
+pub struct BeaconProtocol {
+    tables: Vec<BTreeSet<NodeId>>,
+    positions: Vec<Vec<(NodeId, Point)>>,
+}
+
+impl BeaconProtocol {
+    fn new(n: usize) -> Self {
+        BeaconProtocol { tables: vec![BTreeSet::new(); n], positions: vec![Vec::new(); n] }
+    }
+
+    /// The neighbor table node `id` discovered, sorted by id.
+    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        self.tables[id.index()].iter().copied().collect()
+    }
+
+    /// The positions node `id` learned from beacons.
+    pub fn known_positions(&self, id: NodeId) -> &[(NodeId, Point)] {
+        &self.positions[id.index()]
+    }
+}
+
+/// Messages of the discovery round.
+#[derive(Debug, Clone)]
+pub enum BeaconMsg {
+    /// Kick a node into broadcasting (injected once per node).
+    Start {
+        /// The broadcaster's neighbor list (radio fan-out targets).
+        neighbors: Vec<NodeId>,
+        /// The broadcaster's own HELLO payload.
+        me: Hello,
+    },
+    /// A HELLO on the air.
+    Hello(Hello),
+}
+
+impl Protocol for BeaconProtocol {
+    type Message = BeaconMsg;
+    fn on_message(&mut self, ctx: &mut Context<BeaconMsg>, at: NodeId, msg: BeaconMsg) {
+        match msg {
+            BeaconMsg::Start { neighbors, me } => {
+                // A radio broadcast reaches every node in range; the
+                // simulator models it as one unicast per neighbor (the
+                // message count matches a per-neighbor-acked beacon).
+                for nb in neighbors {
+                    ctx.send(at, nb, BeaconMsg::Hello(me));
+                }
+            }
+            BeaconMsg::Hello(hello) => {
+                if self.tables[at.index()].insert(hello.from) {
+                    self.positions[at.index()].push((hello.from, hello.position));
+                }
+            }
+        }
+    }
+}
+
+/// Runs one full beacon round over `topology` and returns the discovered
+/// tables.
+///
+/// # Errors
+///
+/// Propagates simulator errors (impossible for well-formed topologies).
+pub fn discover_neighbors(topology: &Topology) -> Result<BeaconProtocol, SimError> {
+    let n = topology.len();
+    let mut sim = Simulator::new(topology.clone(), BeaconProtocol::new(n));
+    for node in topology.nodes().to_vec() {
+        if !topology.is_alive(node.id) {
+            continue;
+        }
+        let neighbors = topology.neighbors(node.id).to_vec();
+        sim.inject(
+            node.id,
+            BeaconMsg::Start {
+                neighbors,
+                me: Hello { from: node.id, position: node.position },
+            },
+        );
+    }
+    sim.run()?;
+    let (protocol, _traffic) = {
+        let traffic = sim.traffic().clone();
+        (std::mem::replace(sim.protocol_mut(), BeaconProtocol::new(0)), traffic)
+    };
+    Ok(protocol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pool_netsim::deployment::{Deployment, Placement};
+    use pool_netsim::geometry::Rect;
+
+    fn topo(n: usize, side: f64, range: f64, seed: u64) -> Topology {
+        let nodes = Deployment::new(Rect::square(side), n, Placement::Uniform, seed).nodes();
+        Topology::build(nodes, range).unwrap()
+    }
+
+    #[test]
+    fn discovered_tables_match_analytic_tables() {
+        let topology = topo(80, 100.0, 30.0, 4);
+        let discovered = discover_neighbors(&topology).unwrap();
+        for node in topology.nodes() {
+            assert_eq!(
+                discovered.neighbors(node.id),
+                topology.neighbors(node.id).to_vec(),
+                "node {}",
+                node.id
+            );
+        }
+    }
+
+    #[test]
+    fn discovered_positions_are_correct() {
+        let topology = topo(40, 60.0, 25.0, 5);
+        let discovered = discover_neighbors(&topology).unwrap();
+        for node in topology.nodes() {
+            for &(nb, pos) in discovered.known_positions(node.id) {
+                assert_eq!(pos, topology.position(nb));
+            }
+        }
+    }
+
+    #[test]
+    fn dead_nodes_do_not_beacon_and_are_not_discovered() {
+        let topology = topo(50, 70.0, 30.0, 6);
+        let dead = NodeId(7);
+        let failed = topology.without_nodes(&[dead]);
+        let discovered = discover_neighbors(&failed).unwrap();
+        assert!(discovered.neighbors(dead).is_empty());
+        for node in failed.nodes() {
+            assert!(
+                !discovered.neighbors(node.id).contains(&dead),
+                "{} still knows the dead node",
+                node.id
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_node_discovers_nothing() {
+        use pool_netsim::node::Node;
+        let nodes = vec![
+            Node::new(NodeId(0), Point::new(0.0, 0.0)),
+            Node::new(NodeId(1), Point::new(500.0, 500.0)),
+        ];
+        let topology = Topology::build(nodes, 10.0).unwrap();
+        let discovered = discover_neighbors(&topology).unwrap();
+        assert!(discovered.neighbors(NodeId(0)).is_empty());
+        assert!(discovered.neighbors(NodeId(1)).is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! Distributed planarization of the unit-disk graph.
+//!
+//! GPSR's perimeter mode requires a planar subgraph of the radio graph.
+//! Karp & Kung use either the **Gabriel graph** (GG) or the **relative
+//! neighborhood graph** (RNG); both can be computed by each node from its
+//! one-hop neighbor table alone, and both keep a connected unit-disk graph
+//! connected.
+
+use pool_netsim::geometry::Point;
+use pool_netsim::node::NodeId;
+use pool_netsim::topology::Topology;
+
+/// Which planar subgraph to extract from the unit-disk graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Planarization {
+    /// Gabriel graph: keep edge `(u, v)` iff no witness lies strictly inside
+    /// the circle with diameter `u–v`. Denser than RNG.
+    Gabriel,
+    /// Relative neighborhood graph: keep edge `(u, v)` iff no witness `w`
+    /// satisfies `max(d(u,w), d(v,w)) < d(u,v)`. A subgraph of the Gabriel
+    /// graph.
+    RelativeNeighborhood,
+}
+
+/// A planar subgraph of a unit-disk topology, with per-node neighbor lists
+/// sorted by angle (the order perimeter traversal needs).
+///
+/// # Examples
+///
+/// ```
+/// use pool_gpsr::planar::{PlanarGraph, Planarization};
+/// use pool_netsim::deployment::{Deployment, Placement};
+/// use pool_netsim::geometry::Rect;
+/// use pool_netsim::topology::Topology;
+///
+/// let nodes = Deployment::new(Rect::square(80.0), 60, Placement::Uniform, 5).nodes();
+/// let topo = Topology::build(nodes, 25.0).unwrap();
+/// let planar = PlanarGraph::build(&topo, Planarization::Gabriel);
+/// // The planar graph is a subgraph of the radio graph.
+/// for node in topo.nodes() {
+///     for &nb in planar.neighbors(node.id) {
+///         assert!(topo.are_neighbors(node.id, nb));
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanarGraph {
+    method: Planarization,
+    /// Per-node planar neighbors, sorted by the angle of the edge.
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl PlanarGraph {
+    /// Extracts the chosen planar subgraph from `topology`.
+    pub fn build(topology: &Topology, method: Planarization) -> Self {
+        let n = topology.len();
+        let mut neighbors: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        for u in 0..n {
+            let u = NodeId(u as u32);
+            let pu = topology.position(u);
+            let mut kept: Vec<NodeId> = topology
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&v| keep_edge(topology, method, u, v))
+                .collect();
+            kept.sort_by(|&a, &b| {
+                let aa = pu.angle_to(topology.position(a));
+                let ab = pu.angle_to(topology.position(b));
+                aa.partial_cmp(&ab).unwrap().then(a.cmp(&b))
+            });
+            neighbors.push(kept);
+        }
+        PlanarGraph { method, neighbors }
+    }
+
+    /// The planarization method used.
+    pub fn method(&self) -> Planarization {
+        self.method
+    }
+
+    /// The planar neighbors of `id`, sorted by edge angle in `(-π, π]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.neighbors[id.index()]
+    }
+
+    /// Whether the undirected planar edge `(a, b)` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors[a.index()].contains(&b)
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Size of the largest connected component of the planar graph.
+    pub fn largest_component(&self) -> usize {
+        let n = self.neighbors.len();
+        let mut seen = vec![false; n];
+        let mut best = 0;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            stack.push(start);
+            let mut size = 0;
+            while let Some(x) = stack.pop() {
+                size += 1;
+                for nb in &self.neighbors[x] {
+                    if !seen[nb.index()] {
+                        seen[nb.index()] = true;
+                        stack.push(nb.index());
+                    }
+                }
+            }
+            best = best.max(size);
+        }
+        best
+    }
+}
+
+/// The distributed witness test for one directed edge. Both endpoints apply
+/// the same symmetric predicate, so the resulting graph is undirected.
+fn keep_edge(topology: &Topology, method: Planarization, u: NodeId, v: NodeId) -> bool {
+    let pu = topology.position(u);
+    let pv = topology.position(v);
+    let duv_sq = pu.distance_sq(pv);
+    // In a unit-disk graph every witness that can eliminate edge (u, v) is
+    // within radio range of u, so scanning u's neighbor table suffices —
+    // this is what makes the construction distributed.
+    for &w in topology.neighbors(u) {
+        if w == v {
+            continue;
+        }
+        let pw = topology.position(w);
+        let eliminated = match method {
+            Planarization::Gabriel => {
+                // Strictly inside the circle with diameter (u, v): the
+                // midpoint test d(m, w) < d(u, v) / 2.
+                let m = pu.midpoint(pv);
+                m.distance_sq(pw) < duv_sq / 4.0 - 1e-12
+            }
+            Planarization::RelativeNeighborhood => {
+                pu.distance_sq(pw) < duv_sq - 1e-12 && pv.distance_sq(pw) < duv_sq - 1e-12
+            }
+        };
+        if eliminated {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns whether two planar edges (given by endpoint positions) cross,
+/// re-exported for tests verifying planarity empirically.
+pub fn edges_cross(a1: Point, a2: Point, b1: Point, b2: Point) -> bool {
+    pool_netsim::geometry::segments_cross(a1, a2, b1, b2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pool_netsim::deployment::{Deployment, Placement};
+    use pool_netsim::geometry::Rect;
+    use pool_netsim::node::Node;
+
+    fn random_topo(n: usize, side: f64, range: f64, seed: u64) -> Topology {
+        let nodes = Deployment::new(Rect::square(side), n, Placement::Uniform, seed).nodes();
+        Topology::build(nodes, range).unwrap()
+    }
+
+    #[test]
+    fn planar_graph_is_symmetric() {
+        for method in [Planarization::Gabriel, Planarization::RelativeNeighborhood] {
+            let topo = random_topo(80, 100.0, 30.0, 21);
+            let g = PlanarGraph::build(&topo, method);
+            for u in topo.nodes() {
+                for &v in g.neighbors(u.id) {
+                    assert!(g.has_edge(v, u.id), "{method:?}: edge {}–{v} not symmetric", u.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rng_is_subgraph_of_gabriel() {
+        let topo = random_topo(90, 100.0, 28.0, 33);
+        let gg = PlanarGraph::build(&topo, Planarization::Gabriel);
+        let rng = PlanarGraph::build(&topo, Planarization::RelativeNeighborhood);
+        for u in topo.nodes() {
+            for &v in rng.neighbors(u.id) {
+                assert!(gg.has_edge(u.id, v));
+            }
+        }
+        assert!(rng.edge_count() <= gg.edge_count());
+    }
+
+    #[test]
+    fn planarization_preserves_connectivity() {
+        for seed in [1, 2, 3, 4, 5] {
+            let topo = random_topo(100, 100.0, 25.0, seed);
+            if !topo.is_connected() {
+                continue;
+            }
+            for method in [Planarization::Gabriel, Planarization::RelativeNeighborhood] {
+                let g = PlanarGraph::build(&topo, method);
+                assert_eq!(
+                    g.largest_component(),
+                    topo.len(),
+                    "{method:?} disconnected seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_two_planar_edges_cross() {
+        let topo = random_topo(70, 90.0, 30.0, 9);
+        let g = PlanarGraph::build(&topo, Planarization::Gabriel);
+        // Collect undirected edges once.
+        let mut edges = Vec::new();
+        for u in topo.nodes() {
+            for &v in g.neighbors(u.id) {
+                if u.id < v {
+                    edges.push((u.id, v));
+                }
+            }
+        }
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            for &(c, d) in &edges[i + 1..] {
+                if a == c || a == d || b == c || b == d {
+                    continue;
+                }
+                assert!(
+                    !edges_cross(
+                        topo.position(a),
+                        topo.position(b),
+                        topo.position(c),
+                        topo.position(d)
+                    ),
+                    "edges {a}-{b} and {c}-{d} cross"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_sorted_by_angle() {
+        let topo = random_topo(60, 80.0, 30.0, 14);
+        let g = PlanarGraph::build(&topo, Planarization::Gabriel);
+        for u in topo.nodes() {
+            let angles: Vec<f64> = g
+                .neighbors(u.id)
+                .iter()
+                .map(|&v| u.position.angle_to(topo.position(v)))
+                .collect();
+            for w in angles.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn square_with_center_witness() {
+        // Four corner nodes plus a center node: the Gabriel test must remove
+        // the diagonals (center is inside their diameter circles) but keep
+        // the sides.
+        let nodes = vec![
+            Node::new(NodeId(0), Point::new(0.0, 0.0)),
+            Node::new(NodeId(1), Point::new(10.0, 0.0)),
+            Node::new(NodeId(2), Point::new(10.0, 10.0)),
+            Node::new(NodeId(3), Point::new(0.0, 10.0)),
+            Node::new(NodeId(4), Point::new(5.0, 5.0)),
+        ];
+        let topo = Topology::build(nodes, 20.0).unwrap();
+        let g = PlanarGraph::build(&topo, Planarization::Gabriel);
+        assert!(!g.has_edge(NodeId(0), NodeId(2)), "diagonal should be pruned");
+        assert!(!g.has_edge(NodeId(1), NodeId(3)), "diagonal should be pruned");
+        assert!(g.has_edge(NodeId(0), NodeId(1)), "side should remain");
+        assert!(g.has_edge(NodeId(0), NodeId(4)), "spoke to center should remain");
+    }
+
+    #[test]
+    fn isolated_node_has_no_planar_neighbors() {
+        let nodes = vec![
+            Node::new(NodeId(0), Point::new(0.0, 0.0)),
+            Node::new(NodeId(1), Point::new(100.0, 100.0)),
+        ];
+        let topo = Topology::build(nodes, 10.0).unwrap();
+        let g = PlanarGraph::build(&topo, Planarization::Gabriel);
+        assert!(g.neighbors(NodeId(0)).is_empty());
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,497 @@
+//! The complete GPSR router: greedy mode with perimeter-mode recovery.
+//!
+//! Routes are computed hop by hop exactly as the distributed protocol would
+//! forward a packet: each step uses only the current node's neighbor table,
+//! the packet header (destination location, perimeter-entry point, face
+//! intersection point, first face edge), and the planarized neighbor subset.
+//! The full path is returned so callers can charge per-hop message costs.
+
+use crate::greedy::{greedy_next_by, GreedyMetric};
+use crate::perimeter::right_hand_next;
+use crate::planar::{PlanarGraph, Planarization};
+use pool_netsim::geometry::{line_intersection, segments_cross, Point};
+use pool_netsim::node::NodeId;
+use pool_netsim::topology::Topology;
+use std::error::Error;
+use std::fmt;
+
+/// A computed route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Every node visited, starting with the source. Consecutive entries are
+    /// radio neighbors; `path.len() - 1` is the hop count.
+    pub path: Vec<NodeId>,
+    /// The node at which the packet was delivered (last entry of `path`).
+    pub delivered: NodeId,
+    /// Hops taken in greedy mode.
+    pub greedy_hops: usize,
+    /// Hops taken in perimeter mode.
+    pub perimeter_hops: usize,
+}
+
+impl Route {
+    /// Total number of radio transmissions along the route.
+    pub fn hops(&self) -> usize {
+        self.path.len() - 1
+    }
+}
+
+/// Errors raised by route computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// The hop budget was exceeded — only possible on pathological
+    /// geometries (e.g. coincident node positions).
+    HopBudgetExceeded {
+        /// The source node.
+        from: NodeId,
+        /// The destination location.
+        target: Point,
+    },
+    /// A packet addressed to a specific node was delivered elsewhere, which
+    /// means the planar graph is disconnected from the destination.
+    NotDelivered {
+        /// The intended destination node.
+        to: NodeId,
+        /// Where the packet ended up instead.
+        delivered: NodeId,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::HopBudgetExceeded { from, target } => {
+                write!(f, "hop budget exceeded routing from {from} to {target}")
+            }
+            RouteError::NotDelivered { to, delivered } => {
+                write!(f, "packet for {to} was delivered at {delivered} (disconnected network?)")
+            }
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+/// Internal packet-header state for perimeter mode.
+#[derive(Debug, Clone, Copy)]
+struct PerimeterState {
+    /// Location where the packet entered perimeter mode (`L_p`).
+    lp: Point,
+    /// Point where the packet entered the current face (`L_f`).
+    lf: Point,
+    /// First directed edge traversed on the current face (`e_0`).
+    e0: (NodeId, NodeId),
+    /// The node the packet arrived from.
+    prev: NodeId,
+}
+
+/// A GPSR router bound to one planarization of a topology.
+///
+/// The router holds only the planar graph; every call takes the topology so
+/// a single router can serve many experiments over the same deployment.
+///
+/// # Examples
+///
+/// ```
+/// use pool_gpsr::router::Gpsr;
+/// use pool_gpsr::planar::Planarization;
+/// use pool_netsim::deployment::{Deployment, Placement};
+/// use pool_netsim::geometry::{Point, Rect};
+/// use pool_netsim::topology::Topology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nodes = Deployment::new(Rect::square(100.0), 80, Placement::Uniform, 3).nodes();
+/// let topo = Topology::build(nodes, 30.0)?;
+/// let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+/// let route = gpsr.route(&topo, topo.nodes()[0].id, Point::new(90.0, 90.0))?;
+/// assert_eq!(*route.path.last().unwrap(), route.delivered);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gpsr {
+    planar: PlanarGraph,
+    metric: GreedyMetric,
+}
+
+impl Gpsr {
+    /// Builds a router for `topology` using the given planarization and
+    /// GPSR's default distance-greedy metric.
+    pub fn new(topology: &Topology, method: Planarization) -> Self {
+        Gpsr { planar: PlanarGraph::build(topology, method), metric: GreedyMetric::Distance }
+    }
+
+    /// Switches the greedy forwarding rule (routing-substrate ablation).
+    pub fn with_metric(mut self, metric: GreedyMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The greedy forwarding rule in use.
+    pub fn metric(&self) -> GreedyMetric {
+        self.metric
+    }
+
+    /// The planar graph used by perimeter mode.
+    pub fn planar(&self) -> &PlanarGraph {
+        &self.planar
+    }
+
+    /// Routes a packet from `from` toward the geographic `target`.
+    ///
+    /// Delivery follows GHT's *home node* semantics: the packet stops at the
+    /// node closest to `target` on the face enclosing it — found when a
+    /// perimeter tour of that face completes — or at the node lying exactly
+    /// at `target` when one exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::HopBudgetExceeded`] if the packet fails to
+    /// terminate within `10·n + 100` hops (pathological geometry only).
+    pub fn route(&self, topology: &Topology, from: NodeId, target: Point) -> Result<Route, RouteError> {
+        let budget = 10 * topology.len() + 100;
+        let mut path = vec![from];
+        let mut at = from;
+        let mut greedy_hops = 0usize;
+        let mut perimeter_hops = 0usize;
+        let mut mode: Option<PerimeterState> = None;
+        // Nodes visited on the current face since e0 was set, starting at
+        // the face-entry node; used for home-node delivery when the tour
+        // completes.
+        let mut face_nodes: Vec<NodeId> = Vec::new();
+
+        loop {
+            if path.len() > budget {
+                return Err(RouteError::HopBudgetExceeded { from, target });
+            }
+            // Exact arrival.
+            if topology.position(at).distance_sq(target) < 1e-18 {
+                return Ok(Route { path, delivered: at, greedy_hops, perimeter_hops });
+            }
+
+            match mode {
+                None => {
+                    if let Some(next) = greedy_next_by(topology, at, target, self.metric) {
+                        at = next;
+                        path.push(at);
+                        greedy_hops += 1;
+                    } else {
+                        // Local minimum: enter perimeter mode on the face
+                        // intersected by the line from here to the target.
+                        let here = topology.position(at);
+                        let ref_angle = here.angle_to(target);
+                        let Some(next) = right_hand_next(&self.planar, topology, at, ref_angle)
+                        else {
+                            // No planar neighbors at all: deliver here.
+                            return Ok(Route { path, delivered: at, greedy_hops, perimeter_hops });
+                        };
+                        mode = Some(PerimeterState {
+                            lp: here,
+                            lf: here,
+                            e0: (at, next),
+                            prev: at,
+                        });
+                        face_nodes = vec![at];
+                        at = next;
+                        path.push(at);
+                        perimeter_hops += 1;
+                    }
+                }
+                Some(state) => {
+                    let here = topology.position(at);
+                    // Perimeter-mode exit: strictly closer than where we
+                    // entered.
+                    if here.distance_sq(target) < state.lp.distance_sq(target) - 1e-15 {
+                        mode = None;
+                        continue;
+                    }
+                    face_nodes.push(at);
+                    let mut lf = state.lf;
+                    let mut e0 = state.e0;
+                    let ref_angle = here.angle_to(topology.position(state.prev));
+                    let Some(mut candidate) = right_hand_next(&self.planar, topology, at, ref_angle)
+                    else {
+                        return Ok(Route { path, delivered: at, greedy_hops, perimeter_hops });
+                    };
+                    // Face-change check: if the chosen edge crosses the
+                    // line from the face entry point to the target at a
+                    // point closer to the target, hop to the adjoining
+                    // face instead of crossing the line.
+                    let degree = self.planar.neighbors(at).len();
+                    for _ in 0..=degree {
+                        let cpos = topology.position(candidate);
+                        if !segments_cross(here, cpos, lf, target) {
+                            break;
+                        }
+                        let Some(xing) = line_intersection(here, cpos, lf, target) else {
+                            break;
+                        };
+                        if xing.distance_sq(target) >= lf.distance_sq(target) {
+                            break;
+                        }
+                        lf = xing;
+                        let new_ref = here.angle_to(cpos);
+                        match right_hand_next(&self.planar, topology, at, new_ref) {
+                            Some(n) => {
+                                candidate = n;
+                                // New face: reset the first-edge marker and
+                                // the face visit log.
+                                e0 = (at, candidate);
+                                face_nodes = vec![at];
+                            }
+                            None => break,
+                        }
+                    }
+                    if (at, candidate) == e0 && face_nodes.len() > 1 {
+                        // The tour of the face enclosing the target is
+                        // complete: deliver at the face node closest to the
+                        // target, continuing the walk to reach it.
+                        return Ok(self.finish_tour(
+                            topology,
+                            path,
+                            face_nodes,
+                            target,
+                            greedy_hops,
+                            perimeter_hops,
+                        ));
+                    }
+                    mode = Some(PerimeterState { lp: state.lp, lf, e0, prev: at });
+                    at = candidate;
+                    path.push(at);
+                    perimeter_hops += 1;
+                }
+            }
+        }
+    }
+
+    /// Routes to a specific node's position and verifies delivery.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NotDelivered`] if the packet stopped elsewhere (only
+    /// possible when the planar graph is disconnected), plus any error from
+    /// [`Gpsr::route`].
+    pub fn route_to_node(
+        &self,
+        topology: &Topology,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Route, RouteError> {
+        if from == to {
+            return Ok(Route { path: vec![from], delivered: from, greedy_hops: 0, perimeter_hops: 0 });
+        }
+        let route = self.route(topology, from, topology.position(to))?;
+        if route.delivered != to {
+            return Err(RouteError::NotDelivered { to, delivered: route.delivered });
+        }
+        Ok(route)
+    }
+
+    /// Completes a perimeter tour: the best (closest-to-target) node on the
+    /// toured face is the home node; the packet keeps walking the face until
+    /// it reaches that node again, so those hops are charged too.
+    fn finish_tour(
+        &self,
+        topology: &Topology,
+        mut path: Vec<NodeId>,
+        face_nodes: Vec<NodeId>,
+        target: Point,
+        greedy_hops: usize,
+        mut perimeter_hops: usize,
+    ) -> Route {
+        let best_idx = face_nodes
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                topology
+                    .position(**a)
+                    .distance_sq(target)
+                    .partial_cmp(&topology.position(**b).distance_sq(target))
+                    .unwrap()
+                    .then(a.cmp(b))
+            })
+            .map(|(i, _)| i)
+            .expect("face tour visited at least one node");
+        // We are currently at face_nodes[0] (the tour returned to the first
+        // edge). Re-walk the recorded face boundary to the home node.
+        for &node in &face_nodes[1..=best_idx] {
+            path.push(node);
+            perimeter_hops += 1;
+        }
+        let delivered = *path.last().expect("path is never empty");
+        Route { path, delivered, greedy_hops, perimeter_hops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pool_netsim::deployment::{Deployment, Placement};
+    use pool_netsim::geometry::Rect;
+    use pool_netsim::node::Node;
+
+    fn random_connected(n: usize, side: f64, range: f64, mut seed: u64) -> Topology {
+        loop {
+            let nodes = Deployment::new(Rect::square(side), n, Placement::Uniform, seed).nodes();
+            let topo = Topology::build(nodes, range).unwrap();
+            if topo.is_connected() {
+                return topo;
+            }
+            seed += 1000;
+        }
+    }
+
+    #[test]
+    fn consecutive_path_nodes_are_radio_neighbors() {
+        let topo = random_connected(100, 120.0, 30.0, 1);
+        let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+        let route = gpsr.route(&topo, NodeId(0), Point::new(115.0, 115.0)).unwrap();
+        for w in route.path.windows(2) {
+            assert!(w[0] == w[1] || topo.are_neighbors(w[0], w[1]), "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn route_to_every_node_delivers() {
+        for seed in [2, 7, 19] {
+            let topo = random_connected(80, 100.0, 30.0, seed);
+            let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+            for dst in topo.nodes() {
+                let route = gpsr.route_to_node(&topo, NodeId(0), dst.id);
+                assert!(route.is_ok(), "seed {seed}: failed to reach {}: {route:?}", dst.id);
+            }
+        }
+    }
+
+    #[test]
+    fn route_to_node_with_rng_planarization() {
+        let topo = random_connected(80, 100.0, 30.0, 5);
+        let gpsr = Gpsr::new(&topo, Planarization::RelativeNeighborhood);
+        for dst in topo.nodes().iter().step_by(7) {
+            assert!(gpsr.route_to_node(&topo, NodeId(3), dst.id).is_ok());
+        }
+    }
+
+    #[test]
+    fn location_routing_reaches_nearest_node_usually() {
+        // Home-node semantics: on dense networks the delivered node should
+        // almost always be the globally nearest node to the target.
+        let topo = random_connected(150, 130.0, 30.0, 11);
+        let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+        let mut agree = 0;
+        let mut total = 0;
+        for i in 0..60 {
+            let target = Point::new(
+                (i as f64 * 37.0) % 130.0,
+                (i as f64 * 53.0) % 130.0,
+            );
+            let route = gpsr.route(&topo, NodeId(i % 150), target).unwrap();
+            total += 1;
+            if route.delivered == topo.nearest_node(target) {
+                agree += 1;
+            }
+        }
+        assert!(agree * 10 >= total * 9, "only {agree}/{total} delivered at nearest node");
+    }
+
+    #[test]
+    fn delivered_node_is_local_minimum() {
+        // Whatever node the packet stops at must be closer to the target
+        // than all of its radio neighbors (no greedy progress possible).
+        let topo = random_connected(120, 110.0, 28.0, 23);
+        let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+        for i in 0..40 {
+            let target = Point::new((i as f64 * 29.0) % 110.0, (i as f64 * 71.0) % 110.0);
+            let route = gpsr.route(&topo, NodeId(i % 120), target).unwrap();
+            let dd = topo.position(route.delivered).distance_sq(target);
+            for &nb in topo.neighbors(route.delivered) {
+                assert!(
+                    topo.position(nb).distance_sq(target) >= dd - 1e-9,
+                    "neighbor {nb} closer than delivery node {}",
+                    route.delivered
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_only_on_line_network() {
+        let nodes: Vec<Node> =
+            (0..6).map(|i| Node::new(NodeId(i), Point::new(i as f64 * 4.0, 0.0))).collect();
+        let topo = Topology::build(nodes, 5.0).unwrap();
+        let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+        let route = gpsr.route_to_node(&topo, NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(route.hops(), 5);
+        assert_eq!(route.perimeter_hops, 0);
+        assert_eq!(route.greedy_hops, 5);
+    }
+
+    #[test]
+    fn perimeter_mode_escapes_a_void() {
+        // A "C" shape: greedy from the west side toward a target east of the
+        // opening gets stuck and must tour the void.
+        let mut nodes = Vec::new();
+        let mut id = 0u32;
+        let mut add = |x: f64, y: f64, id: &mut u32| {
+            nodes.push(Node::new(NodeId(*id), Point::new(x, y)));
+            *id += 1;
+        };
+        // Left column of the C.
+        for i in 0..5 {
+            add(0.0, i as f64 * 4.0, &mut id);
+        }
+        // Top and bottom arms.
+        for i in 1..5 {
+            add(i as f64 * 4.0, 16.0, &mut id);
+            add(i as f64 * 4.0, 0.0, &mut id);
+        }
+        // Target node beyond the opening of the C, reachable only around
+        // the arms (bridged by two relay nodes on the east side).
+        add(16.0, 12.0, &mut id);
+        add(16.0, 4.0, &mut id);
+        add(16.0, 8.0, &mut id);
+        let topo = Topology::build(nodes, 5.0).unwrap();
+        assert!(topo.is_connected());
+        let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+        // Node 2 is the middle of the left column: straight-line progress is
+        // blocked by the void inside the C.
+        let route = gpsr.route_to_node(&topo, NodeId(2), NodeId(id - 1)).unwrap();
+        assert!(route.perimeter_hops > 0, "expected perimeter hops, got {route:?}");
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let topo = random_connected(30, 60.0, 25.0, 3);
+        let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+        let route = gpsr.route_to_node(&topo, NodeId(4), NodeId(4)).unwrap();
+        assert_eq!(route.hops(), 0);
+        assert_eq!(route.delivered, NodeId(4));
+    }
+
+    #[test]
+    fn hop_counts_are_consistent() {
+        let topo = random_connected(90, 100.0, 28.0, 31);
+        let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+        for i in 0..30 {
+            let target = Point::new((i as f64 * 13.0) % 100.0, (i as f64 * 41.0) % 100.0);
+            let r = gpsr.route(&topo, NodeId(i % 90), target).unwrap();
+            assert_eq!(r.greedy_hops + r.perimeter_hops, r.hops());
+            assert_eq!(*r.path.first().unwrap(), NodeId(i % 90));
+            assert_eq!(*r.path.last().unwrap(), r.delivered);
+        }
+    }
+
+    #[test]
+    fn paper_scale_network_routes_everywhere() {
+        // The paper's smallest setting: 300 nodes at degree ~20.
+        let dep = Deployment::paper_setting(300, 40.0, 20.0, 4242).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if !topo.is_connected() {
+            return; // rare with this density; skip rather than flake
+        }
+        let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+        for dst in topo.nodes().iter().step_by(13) {
+            assert!(gpsr.route_to_node(&topo, NodeId(0), dst.id).is_ok());
+        }
+    }
+}

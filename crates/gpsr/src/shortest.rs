@@ -1,0 +1,124 @@
+//! Hop-optimal BFS routing, used as a yardstick for GPSR's path stretch.
+//!
+//! Not part of the paper's protocols — real sensor nodes cannot afford
+//! global state — but invaluable for validating that GPSR's paths are close
+//! to optimal on the evaluated densities (an assumption the paper inherits
+//! from Karp & Kung).
+
+use pool_netsim::node::NodeId;
+use pool_netsim::topology::Topology;
+use std::collections::VecDeque;
+
+/// Hop distance between two nodes via breadth-first search, or `None` if
+/// they are disconnected.
+///
+/// # Examples
+///
+/// ```
+/// use pool_gpsr::shortest::bfs_hops;
+/// use pool_netsim::geometry::Point;
+/// use pool_netsim::node::{Node, NodeId};
+/// use pool_netsim::topology::Topology;
+///
+/// let nodes = vec![
+///     Node::new(NodeId(0), Point::new(0.0, 0.0)),
+///     Node::new(NodeId(1), Point::new(4.0, 0.0)),
+///     Node::new(NodeId(2), Point::new(8.0, 0.0)),
+/// ];
+/// let topo = Topology::build(nodes, 5.0).unwrap();
+/// assert_eq!(bfs_hops(&topo, NodeId(0), NodeId(2)), Some(2));
+/// ```
+pub fn bfs_hops(topology: &Topology, from: NodeId, to: NodeId) -> Option<usize> {
+    if from == to {
+        return Some(0);
+    }
+    let mut dist = vec![usize::MAX; topology.len()];
+    dist[from.index()] = 0;
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        for &v in topology.neighbors(u) {
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = dist[u.index()] + 1;
+                if v == to {
+                    return Some(dist[v.index()]);
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Hop distances from `from` to every node (usize::MAX when unreachable).
+pub fn bfs_all(topology: &Topology, from: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; topology.len()];
+    dist[from.index()] = 0;
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        for &v in topology.neighbors(u) {
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = dist[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planar::Planarization;
+    use crate::router::Gpsr;
+    use pool_netsim::deployment::{Deployment, Placement};
+    use pool_netsim::geometry::Rect;
+
+    #[test]
+    fn bfs_disconnected_is_none() {
+        use pool_netsim::geometry::Point;
+        use pool_netsim::node::Node;
+        let nodes = vec![
+            Node::new(NodeId(0), Point::new(0.0, 0.0)),
+            Node::new(NodeId(1), Point::new(100.0, 0.0)),
+        ];
+        let topo = Topology::build(nodes, 5.0).unwrap();
+        assert_eq!(bfs_hops(&topo, NodeId(0), NodeId(1)), None);
+        assert_eq!(bfs_all(&topo, NodeId(0))[1], usize::MAX);
+    }
+
+    #[test]
+    fn bfs_all_matches_pairwise() {
+        let nodes = Deployment::new(Rect::square(80.0), 50, Placement::Uniform, 17).nodes();
+        let topo = Topology::build(nodes, 30.0).unwrap();
+        let all = bfs_all(&topo, NodeId(0));
+        for (i, &d) in all.iter().enumerate() {
+            let pairwise = bfs_hops(&topo, NodeId(0), NodeId(i as u32));
+            assert_eq!(pairwise.unwrap_or(usize::MAX), d);
+        }
+    }
+
+    #[test]
+    fn gpsr_never_beats_bfs_and_stretch_is_modest() {
+        let dep = Deployment::paper_setting(200, 40.0, 20.0, 321).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if !topo.is_connected() {
+            return;
+        }
+        let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+        let opt = bfs_all(&topo, NodeId(0));
+        let mut total_gpsr = 0usize;
+        let mut total_opt = 0usize;
+        for dst in topo.nodes().iter().step_by(5) {
+            let route = gpsr.route_to_node(&topo, NodeId(0), dst.id).unwrap();
+            assert!(route.hops() >= opt[dst.id.index()]);
+            total_gpsr += route.hops();
+            total_opt += opt[dst.id.index()];
+        }
+        // On dense uniform networks GPSR is near-optimal (stretch well
+        // under 2 in aggregate).
+        assert!(
+            (total_gpsr as f64) < 2.0 * total_opt as f64 + 10.0,
+            "gpsr {total_gpsr} vs optimal {total_opt}"
+        );
+    }
+}

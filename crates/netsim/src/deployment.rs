@@ -1,0 +1,243 @@
+//! Node deployment: placing sensors in the field.
+//!
+//! The paper's evaluation (§5.1) places nodes uniformly at random in a square
+//! field sized so that each node has on average 20 neighbors within its 40 m
+//! radio range. [`field_side_for`] computes that field size; the
+//! [`Deployment`] type produces the actual node positions from a seeded RNG
+//! so every experiment is reproducible.
+
+use crate::error::NetsimError;
+use crate::geometry::{Point, Rect};
+use crate::node::{Node, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Side length (m) of the square field in which `n` uniformly-placed nodes
+/// have `avg_neighbors` other nodes within `radio_range` meters on average.
+///
+/// With spatial density `ρ = n / side²`, the expected number of other nodes
+/// in a disk of radius `r` is `ρ·π·r²` (ignoring edge effects), so
+/// `side = r·sqrt(n·π / avg_neighbors)`.
+///
+/// # Errors
+///
+/// Returns [`NetsimError::InvalidDensity`] if `avg_neighbors <= 0`, and
+/// [`NetsimError::InvalidRadioRange`] if `radio_range` is not positive and
+/// finite.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), pool_netsim::error::NetsimError> {
+/// // The paper's setting: 900 nodes, 40 m range, ~20 neighbors.
+/// let side = pool_netsim::deployment::field_side_for(900, 40.0, 20.0)?;
+/// assert!((side - 475.0).abs() < 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn field_side_for(n: usize, radio_range: f64, avg_neighbors: f64) -> Result<f64, NetsimError> {
+    if n == 0 {
+        return Err(NetsimError::EmptyDeployment);
+    }
+    if !(radio_range.is_finite() && radio_range > 0.0) {
+        return Err(NetsimError::InvalidRadioRange { range: radio_range });
+    }
+    if avg_neighbors <= 0.0 {
+        return Err(NetsimError::InvalidDensity { target_degree: avg_neighbors });
+    }
+    Ok(radio_range * (n as f64 * std::f64::consts::PI / avg_neighbors).sqrt())
+}
+
+/// How node positions are drawn within the field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Independently uniform over the whole field (the paper's setting).
+    Uniform,
+    /// One node per cell of a `⌈√n⌉ × ⌈√n⌉` grid, jittered uniformly within
+    /// the cell. Gives more even coverage; useful for stress-testing index
+    /// placement without disconnected pockets.
+    GridJitter,
+}
+
+/// A reproducible node deployment inside a rectangular field.
+///
+/// # Examples
+///
+/// ```
+/// use pool_netsim::deployment::{Deployment, Placement};
+/// use pool_netsim::geometry::Rect;
+///
+/// let field = Rect::square(100.0);
+/// let nodes = Deployment::new(field, 50, Placement::Uniform, 42).nodes();
+/// assert_eq!(nodes.len(), 50);
+/// assert!(nodes.iter().all(|n| field.contains(n.position)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    field: Rect,
+    count: usize,
+    placement: Placement,
+    seed: u64,
+}
+
+impl Deployment {
+    /// Describes a deployment of `count` nodes in `field` using `placement`,
+    /// deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn new(field: Rect, count: usize, placement: Placement, seed: u64) -> Self {
+        assert!(count > 0, "deployment must contain at least one node");
+        Deployment { field, count, placement, seed }
+    }
+
+    /// The deployment field.
+    pub fn field(&self) -> Rect {
+        self.field
+    }
+
+    /// The number of nodes.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Materializes the node list. Calling this repeatedly yields identical
+    /// positions (the generator is re-seeded each time).
+    pub fn nodes(&self) -> Vec<Node> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        match self.placement {
+            Placement::Uniform => (0..self.count)
+                .map(|i| {
+                    let x = rng.gen_range(self.field.min.x..=self.field.max.x);
+                    let y = rng.gen_range(self.field.min.y..=self.field.max.y);
+                    Node::new(NodeId(i as u32), Point::new(x, y))
+                })
+                .collect(),
+            Placement::GridJitter => {
+                let cols = (self.count as f64).sqrt().ceil() as usize;
+                let rows = self.count.div_ceil(cols);
+                let cw = self.field.width() / cols as f64;
+                let ch = self.field.height() / rows as f64;
+                (0..self.count)
+                    .map(|i| {
+                        let cx = (i % cols) as f64;
+                        let cy = (i / cols) as f64;
+                        let x = self.field.min.x + cx * cw + rng.gen_range(0.0..cw);
+                        let y = self.field.min.y + cy * ch + rng.gen_range(0.0..ch);
+                        Node::new(NodeId(i as u32), self.field.clamp(Point::new(x, y)))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Convenience constructor matching the paper's §5.1 setting: `n` nodes
+    /// placed uniformly in a square sized so the average neighborhood within
+    /// `radio_range` holds `avg_neighbors` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parameter validation of [`field_side_for`].
+    pub fn paper_setting(
+        n: usize,
+        radio_range: f64,
+        avg_neighbors: f64,
+        seed: u64,
+    ) -> Result<Self, NetsimError> {
+        let side = field_side_for(n, radio_range, avg_neighbors)?;
+        Ok(Deployment::new(Rect::square(side), n, Placement::Uniform, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_side_matches_density_formula() {
+        let side = field_side_for(900, 40.0, 20.0).unwrap();
+        let density = 900.0 / (side * side);
+        let expected_neighbors = density * std::f64::consts::PI * 40.0 * 40.0;
+        assert!((expected_neighbors - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn field_side_rejects_bad_parameters() {
+        assert!(matches!(field_side_for(0, 40.0, 20.0), Err(NetsimError::EmptyDeployment)));
+        assert!(matches!(
+            field_side_for(10, -1.0, 20.0),
+            Err(NetsimError::InvalidRadioRange { .. })
+        ));
+        assert!(matches!(
+            field_side_for(10, 40.0, 0.0),
+            Err(NetsimError::InvalidDensity { .. })
+        ));
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let d = Deployment::new(Rect::square(100.0), 25, Placement::Uniform, 7);
+        assert_eq!(d.nodes(), d.nodes());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let f = Rect::square(100.0);
+        let a = Deployment::new(f, 25, Placement::Uniform, 1).nodes();
+        let b = Deployment::new(f, 25, Placement::Uniform, 2).nodes();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_nodes_inside_field() {
+        for placement in [Placement::Uniform, Placement::GridJitter] {
+            let f = Rect::square(50.0);
+            let nodes = Deployment::new(f, 40, placement, 3).nodes();
+            assert_eq!(nodes.len(), 40);
+            assert!(nodes.iter().all(|n| f.contains(n.position)));
+        }
+    }
+
+    #[test]
+    fn node_ids_are_dense() {
+        let nodes = Deployment::new(Rect::square(10.0), 5, Placement::Uniform, 0).nodes();
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn grid_jitter_spreads_nodes() {
+        // With grid jitter, the left and right halves should each contain a
+        // reasonable share of nodes.
+        let f = Rect::square(100.0);
+        let nodes = Deployment::new(f, 64, Placement::GridJitter, 11).nodes();
+        let left = nodes.iter().filter(|n| n.position.x < 50.0).count();
+        assert!(left > 16 && left < 48, "left half had {left} of 64");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_count_panics() {
+        let _ = Deployment::new(Rect::square(1.0), 0, Placement::Uniform, 0);
+    }
+
+    #[test]
+    fn paper_setting_has_expected_degree() {
+        let d = Deployment::paper_setting(900, 40.0, 20.0, 5).unwrap();
+        let nodes = d.nodes();
+        // Empirical mean degree should be near 20 (edge effects push it a
+        // little lower).
+        let mut total = 0usize;
+        for a in &nodes {
+            total += nodes
+                .iter()
+                .filter(|b| b.id != a.id && a.position.distance(b.position) <= 40.0)
+                .count();
+        }
+        let mean = total as f64 / nodes.len() as f64;
+        assert!(mean > 15.0 && mean < 22.0, "mean degree {mean}");
+    }
+}

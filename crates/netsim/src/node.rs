@@ -1,0 +1,83 @@
+//! Sensor node identity and per-node state.
+
+use crate::geometry::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a sensor node.
+///
+/// Node ids are dense indices assigned at deployment time, so they can be
+/// used directly to index per-node vectors.
+///
+/// # Examples
+///
+/// ```
+/// use pool_netsim::node::NodeId;
+///
+/// let id = NodeId(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(format!("{id}"), "n7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index into per-node vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A deployed sensor node: an id plus a fixed geographic position.
+///
+/// The paper assumes every node knows its own location (via GPS or a
+/// localization service); we model that by constructing nodes with known
+/// coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's identifier.
+    pub id: NodeId,
+    /// The node's position in the field, in meters.
+    pub position: Point,
+}
+
+impl Node {
+    /// Creates a node at `position`.
+    pub fn new(id: NodeId, position: Point) -> Self {
+        Node { id, position }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id: NodeId = 42u32.into();
+        assert_eq!(id, NodeId(42));
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+
+    #[test]
+    fn node_ordering_by_id() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

@@ -1,0 +1,187 @@
+//! Radio link quality beyond the unit disk.
+//!
+//! The paper (like GPSR and DIM) evaluates over an ideal unit-disk radio.
+//! Real low-power radios have a *transitional region*: packet reception
+//! ratio (PRR) is near 1 close in, near 0 far out, and noisy in between.
+//! This module provides a standard logistic PRR model and the expected
+//! transmission count (ETX) arithmetic used to translate ideal hop counts
+//! into expected message counts under loss and retransmission — the
+//! `lossy_radio` ablation prices the paper's results on a realistic link
+//! layer without changing any protocol logic.
+
+use crate::node::NodeId;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A logistic packet-reception-ratio model.
+///
+/// `prr(d) ≈ 1` for `d ≤ inner`, `≈ 0` for `d ≥ outer`, smooth logistic in
+/// between (midpoint at `(inner + outer) / 2`).
+///
+/// # Examples
+///
+/// ```
+/// use pool_netsim::radio::PrrModel;
+///
+/// let model = PrrModel::new(20.0, 40.0);
+/// assert!(model.prr(5.0) > 0.95);
+/// assert!(model.prr(39.0) < 0.3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrrModel {
+    /// Distance up to which reception is essentially perfect (m).
+    pub inner: f64,
+    /// Distance beyond which reception is essentially impossible (m).
+    pub outer: f64,
+}
+
+impl PrrModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < inner < outer`.
+    pub fn new(inner: f64, outer: f64) -> Self {
+        assert!(
+            inner > 0.0 && outer > inner,
+            "need 0 < inner < outer, got inner={inner}, outer={outer}"
+        );
+        PrrModel { inner, outer }
+    }
+
+    /// The ideal unit-disk limit: a sharp cliff just inside `range`.
+    pub fn ideal(range: f64) -> Self {
+        PrrModel::new(range * 0.999, range)
+    }
+
+    /// Packet reception ratio at link distance `d` (clamped to `[ε, 1]` so
+    /// ETX stays finite for links the unit-disk graph considers usable).
+    pub fn prr(&self, d: f64) -> f64 {
+        let mid = (self.inner + self.outer) / 2.0;
+        // Width chosen so prr(inner) ≈ 0.98 and prr(outer) ≈ 0.02.
+        let width = (self.outer - self.inner) / 8.0;
+        let raw = 1.0 / (1.0 + ((d - mid) / width).exp());
+        raw.clamp(1e-3, 1.0)
+    }
+
+    /// Expected transmissions to get one packet across a link of distance
+    /// `d` with per-transmission success `prr` (geometric retries,
+    /// link-layer ARQ without acknowledgment loss).
+    pub fn etx(&self, d: f64) -> f64 {
+        1.0 / self.prr(d)
+    }
+}
+
+/// Expected transmissions to deliver a packet along `path` under `model`,
+/// with per-hop retransmission until success.
+///
+/// Equals the hop count for a perfect radio; strictly larger whenever any
+/// hop stretches into the transitional region.
+///
+/// # Panics
+///
+/// Panics if consecutive path entries are not distinct nodes of the
+/// topology.
+pub fn expected_path_transmissions(topology: &Topology, path: &[NodeId], model: PrrModel) -> f64 {
+    path.windows(2)
+        .map(|w| {
+            if w[0] == w[1] {
+                0.0
+            } else {
+                model.etx(topology.distance(w[0], w[1]))
+            }
+        })
+        .sum()
+}
+
+/// Mean ETX over every link of the (unit-disk) topology — the factor by
+/// which ideal message counts inflate under this radio.
+pub fn mean_link_etx(topology: &Topology, model: PrrModel) -> f64 {
+    let mut total = 0.0;
+    let mut links = 0usize;
+    for node in topology.nodes() {
+        for &nb in topology.neighbors(node.id) {
+            if nb > node.id {
+                total += model.etx(topology.distance(node.id, nb));
+                links += 1;
+            }
+        }
+    }
+    if links == 0 {
+        1.0
+    } else {
+        total / links as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::{Deployment, Placement};
+    use crate::geometry::Rect;
+
+    #[test]
+    fn prr_is_monotone_decreasing() {
+        let m = PrrModel::new(20.0, 40.0);
+        let mut last = f64::INFINITY;
+        for d in [1.0, 10.0, 20.0, 25.0, 30.0, 35.0, 40.0, 50.0] {
+            let p = m.prr(d);
+            assert!(p <= last + 1e-12, "prr not monotone at {d}");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn near_links_are_nearly_perfect() {
+        let m = PrrModel::new(20.0, 40.0);
+        assert!(m.prr(10.0) > 0.99);
+        assert!(m.etx(10.0) < 1.02);
+    }
+
+    #[test]
+    fn far_links_cost_many_transmissions() {
+        let m = PrrModel::new(20.0, 40.0);
+        assert!(m.etx(38.0) > 2.0);
+    }
+
+    #[test]
+    fn ideal_model_has_unity_etx_in_range() {
+        let m = PrrModel::ideal(40.0);
+        assert!((m.etx(20.0) - 1.0).abs() < 0.01);
+        assert!((m.etx(35.0) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn path_expectation_bounds_hop_count() {
+        let nodes = Deployment::new(Rect::square(100.0), 50, Placement::Uniform, 8).nodes();
+        let topo = Topology::build(nodes, 35.0).unwrap();
+        // Build an arbitrary 3-hop neighbor path.
+        let a = topo.nodes()[0].id;
+        let b = topo.neighbors(a).first().copied();
+        let Some(b) = b else { return };
+        let c = topo.neighbors(b).iter().find(|&&x| x != a).copied();
+        let Some(c) = c else { return };
+        let path = [a, b, c];
+        let lossy = expected_path_transmissions(&topo, &path, PrrModel::new(15.0, 35.0));
+        assert!(lossy >= 2.0, "2 hops must cost at least 2 expected transmissions, got {lossy}");
+        let ideal = expected_path_transmissions(&topo, &path, PrrModel::ideal(35.0));
+        assert!(lossy >= ideal);
+    }
+
+    #[test]
+    fn mean_link_etx_exceeds_one_under_loss() {
+        let nodes = Deployment::new(Rect::square(120.0), 80, Placement::Uniform, 9).nodes();
+        let topo = Topology::build(nodes, 40.0).unwrap();
+        let lossy = mean_link_etx(&topo, PrrModel::new(15.0, 42.0));
+        assert!(lossy > 1.0);
+        let ideal = mean_link_etx(&topo, PrrModel::ideal(40.0));
+        assert!(ideal < lossy);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < inner < outer")]
+    fn invalid_model_rejected() {
+        let _ = PrrModel::new(40.0, 20.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Message and load accounting.
+//!
+//! The paper's cost metric is the **number of messages** exchanged while
+//! processing a query (forwarding to the relevant index nodes plus returning
+//! the qualifying events, §5). [`TrafficStats`] records every per-hop
+//! transmission so experiments can report totals, per-node load, and hotspot
+//! indicators.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates per-hop message transmissions.
+///
+/// Every radio transmission between two distinct nodes counts as one
+/// message. Hops from a node to itself (e.g. when several grid cells map to
+/// the same physical sensor) are free, matching the physical intuition that
+/// no radio message is needed.
+///
+/// # Examples
+///
+/// ```
+/// use pool_netsim::node::NodeId;
+/// use pool_netsim::stats::TrafficStats;
+///
+/// let mut stats = TrafficStats::new(4);
+/// stats.record_path(&[NodeId(0), NodeId(1), NodeId(2)]);
+/// stats.record_hop(NodeId(2), NodeId(2)); // self-hop: free
+/// assert_eq!(stats.total_messages(), 2);
+/// assert_eq!(stats.load(NodeId(1)), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    sent: u64,
+    per_node: Vec<u64>,
+}
+
+impl TrafficStats {
+    /// Creates a ledger for a network of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        TrafficStats { sent: 0, per_node: vec![0; n] }
+    }
+
+    /// Records one transmission from `from` to `to`. A self-hop is ignored.
+    pub fn record_hop(&mut self, from: NodeId, to: NodeId) {
+        if from == to {
+            return;
+        }
+        self.sent += 1;
+        self.per_node[from.index()] += 1;
+    }
+
+    /// Records every hop along `path` (consecutive node pairs).
+    pub fn record_path(&mut self, path: &[NodeId]) {
+        for w in path.windows(2) {
+            self.record_hop(w[0], w[1]);
+        }
+    }
+
+    /// Total messages recorded.
+    pub fn total_messages(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages sent by `id`.
+    pub fn load(&self, id: NodeId) -> u64 {
+        self.per_node[id.index()]
+    }
+
+    /// The largest per-node send count (hotspot indicator).
+    pub fn max_load(&self) -> u64 {
+        self.per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-node send counts.
+    pub fn per_node(&self) -> &[u64] {
+        &self.per_node
+    }
+
+    /// Adds all counts from `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two ledgers track networks of different sizes.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        assert_eq!(
+            self.per_node.len(),
+            other.per_node.len(),
+            "cannot merge ledgers of different network sizes"
+        );
+        self.sent += other.sent;
+        for (a, b) in self.per_node.iter_mut().zip(&other.per_node) {
+            *a += *b;
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn clear(&mut self) {
+        self.sent = 0;
+        self.per_node.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+/// Summary statistics over a sample of scalar observations (per-query
+/// message counts, per-node loads, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two observations).
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "summary of empty sample set");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (n as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_and_paths_accumulate() {
+        let mut s = TrafficStats::new(3);
+        s.record_path(&[NodeId(0), NodeId(1), NodeId(2), NodeId(1)]);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.load(NodeId(1)), 1);
+        assert_eq!(s.load(NodeId(2)), 1);
+        assert_eq!(s.max_load(), 1);
+    }
+
+    #[test]
+    fn self_hops_are_free() {
+        let mut s = TrafficStats::new(2);
+        s.record_hop(NodeId(0), NodeId(0));
+        assert_eq!(s.total_messages(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = TrafficStats::new(2);
+        a.record_hop(NodeId(0), NodeId(1));
+        let mut b = TrafficStats::new(2);
+        b.record_hop(NodeId(1), NodeId(0));
+        b.record_hop(NodeId(0), NodeId(1));
+        a.merge(&b);
+        assert_eq!(a.total_messages(), 3);
+        assert_eq!(a.load(NodeId(0)), 2);
+        assert_eq!(a.load(NodeId(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different network sizes")]
+    fn merge_rejects_size_mismatch() {
+        let mut a = TrafficStats::new(2);
+        a.merge(&TrafficStats::new(3));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = TrafficStats::new(2);
+        s.record_hop(NodeId(0), NodeId(1));
+        s.clear();
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.max_load(), 0);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_observation() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p95, 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = Summary::of(&[0.0, 10.0]);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.p95, 9.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+}

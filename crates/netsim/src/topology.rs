@@ -1,0 +1,537 @@
+//! Unit-disk network topology: neighbor tables and spatial queries.
+//!
+//! A [`Topology`] is built once from a node list and a radio range. It
+//! provides the neighbor tables that every node in the paper maintains "via
+//! periodic exchange of beacon messages" (§2), plus the spatial queries the
+//! storage schemes need (nearest node to a location, connectivity checks).
+//!
+//! Neighbor computation uses a spatial hash bucketed at the radio range, so
+//! building is `O(n · expected-degree)` rather than `O(n²)`.
+
+use crate::error::NetsimError;
+use crate::geometry::{Point, Rect};
+use crate::node::{Node, NodeId};
+use std::collections::HashMap;
+
+/// An immutable unit-disk graph over a set of deployed nodes.
+///
+/// # Examples
+///
+/// ```
+/// use pool_netsim::deployment::{Deployment, Placement};
+/// use pool_netsim::geometry::Rect;
+/// use pool_netsim::topology::Topology;
+///
+/// let nodes = Deployment::new(Rect::square(100.0), 60, Placement::Uniform, 1).nodes();
+/// let topo = Topology::build(nodes, 25.0).unwrap();
+/// let some_node = topo.nodes()[0].id;
+/// for &nb in topo.neighbors(some_node) {
+///     assert!(topo.distance(some_node, nb) <= 25.0);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    radio_range: f64,
+    neighbors: Vec<Vec<NodeId>>,
+    buckets: HashMap<(i64, i64), Vec<NodeId>>,
+    bucket_size: f64,
+    bounds: Rect,
+    /// Liveness flags: failed nodes keep their id and position (so
+    /// bookkeeping stays dense) but vanish from neighbor tables, spatial
+    /// queries, and connectivity.
+    alive: Vec<bool>,
+}
+
+impl Topology {
+    /// Builds the unit-disk topology for `nodes` with the given radio range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::EmptyDeployment`] if `nodes` is empty and
+    /// [`NetsimError::InvalidRadioRange`] if the range is not positive and
+    /// finite.
+    pub fn build(nodes: Vec<Node>, radio_range: f64) -> Result<Self, NetsimError> {
+        if nodes.is_empty() {
+            return Err(NetsimError::EmptyDeployment);
+        }
+        if !(radio_range.is_finite() && radio_range > 0.0) {
+            return Err(NetsimError::InvalidRadioRange { range: radio_range });
+        }
+        let bucket_size = radio_range;
+        let mut buckets: HashMap<(i64, i64), Vec<NodeId>> = HashMap::new();
+        let mut min = nodes[0].position;
+        let mut max = nodes[0].position;
+        for node in &nodes {
+            let key = bucket_key(node.position, bucket_size);
+            buckets.entry(key).or_default().push(node.id);
+            min.x = min.x.min(node.position.x);
+            min.y = min.y.min(node.position.y);
+            max.x = max.x.max(node.position.x);
+            max.y = max.y.max(node.position.y);
+        }
+        let mut neighbors = vec![Vec::new(); nodes.len()];
+        let range_sq = radio_range * radio_range;
+        for node in &nodes {
+            let (bx, by) = bucket_key(node.position, bucket_size);
+            let list = &mut neighbors[node.id.index()];
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    if let Some(ids) = buckets.get(&(bx + dx, by + dy)) {
+                        for &other in ids {
+                            if other != node.id
+                                && nodes[other.index()].position.distance_sq(node.position)
+                                    <= range_sq
+                            {
+                                list.push(other);
+                            }
+                        }
+                    }
+                }
+            }
+            // Deterministic neighbor order regardless of hash iteration.
+            list.sort_unstable();
+        }
+        let alive = vec![true; nodes.len()];
+        Ok(Topology {
+            nodes,
+            radio_range,
+            neighbors,
+            buckets,
+            bucket_size,
+            bounds: Rect::new(min, max),
+            alive,
+        })
+    }
+
+    /// A copy of this topology with `dead` nodes failed: they keep their
+    /// ids and positions but are removed from every neighbor table, the
+    /// spatial index, and connectivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dead id is out of range.
+    pub fn without_nodes(&self, dead: &[NodeId]) -> Topology {
+        let mut topo = self.clone();
+        for &id in dead {
+            topo.alive[id.index()] = false;
+        }
+        // Rebuild neighbor tables and buckets over live nodes only.
+        for list in &mut topo.neighbors {
+            list.retain(|n| topo.alive[n.index()]);
+        }
+        for (i, alive) in topo.alive.iter().enumerate() {
+            if !alive {
+                topo.neighbors[i].clear();
+            }
+        }
+        for ids in topo.buckets.values_mut() {
+            ids.retain(|n| topo.alive[n.index()]);
+        }
+        topo.buckets.retain(|_, ids| !ids.is_empty());
+        topo
+    }
+
+    /// Whether node `id` is alive (has not been failed).
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive[id.index()]
+    }
+
+    /// Number of live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// All deployed nodes, indexed by [`NodeId::index`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the topology has no nodes (never true for a built topology).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The radio range in meters.
+    pub fn radio_range(&self) -> f64 {
+        self.radio_range
+    }
+
+    /// Bounding box of the deployed node positions.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Position of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn position(&self, id: NodeId) -> Point {
+        self.nodes[id.index()].position
+    }
+
+    /// The neighbor table of node `id` (every node within radio range),
+    /// sorted by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.neighbors[id.index()]
+    }
+
+    /// Whether `a` and `b` can communicate directly.
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Euclidean distance between two nodes.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.position(a).distance(self.position(b))
+    }
+
+    /// The node whose position is closest to `target` (ties broken by lower
+    /// id). Uses the spatial hash with an expanding ring search.
+    pub fn nearest_node(&self, target: Point) -> NodeId {
+        let (bx, by) = bucket_key(target, self.bucket_size);
+        let mut best: Option<(f64, NodeId)> = None;
+        let mut ring = 0i64;
+        loop {
+            let mut any_bucket = false;
+            for dx in -ring..=ring {
+                for dy in -ring..=ring {
+                    // Only the ring boundary is new.
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue;
+                    }
+                    if let Some(ids) = self.buckets.get(&(bx + dx, by + dy)) {
+                        any_bucket = true;
+                        for &id in ids {
+                            let d = self.position(id).distance_sq(target);
+                            let better = match best {
+                                None => true,
+                                Some((bd, bid)) => {
+                                    d < bd || (d == bd && id < bid)
+                                }
+                            };
+                            if better {
+                                best = Some((d, id));
+                            }
+                        }
+                    }
+                }
+            }
+            // Once a candidate is found, we must still scan one extra ring:
+            // a closer node can sit in an adjacent bucket.
+            if let Some((bd, id)) = best {
+                let safe_radius = (ring as f64) * self.bucket_size;
+                if bd.sqrt() <= safe_radius || ring > self.max_ring() {
+                    return id;
+                }
+            }
+            if !any_bucket && ring > self.max_ring() {
+                // All buckets exhausted: return the best seen (the topology
+                // is non-empty, so by now best is set).
+                if let Some((_, id)) = best {
+                    return id;
+                }
+            }
+            ring += 1;
+        }
+    }
+
+    /// All nodes within `radius` of `target`.
+    pub fn nodes_within(&self, target: Point, radius: f64) -> Vec<NodeId> {
+        let r_buckets = (radius / self.bucket_size).ceil() as i64;
+        let (bx, by) = bucket_key(target, self.bucket_size);
+        let rsq = radius * radius;
+        let mut out = Vec::new();
+        for dx in -r_buckets..=r_buckets {
+            for dy in -r_buckets..=r_buckets {
+                if let Some(ids) = self.buckets.get(&(bx + dx, by + dy)) {
+                    for &id in ids {
+                        if self.position(id).distance_sq(target) <= rsq {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Mean node degree.
+    pub fn mean_degree(&self) -> f64 {
+        let total: usize = self.neighbors.iter().map(Vec::len).sum();
+        total as f64 / self.nodes.len() as f64
+    }
+
+    /// Size of the largest connected component of *live* nodes (BFS over
+    /// the unit-disk graph).
+    pub fn largest_component(&self) -> usize {
+        let n = self.nodes.len();
+        let mut seen = vec![false; n];
+        let mut best = 0;
+        let mut queue = Vec::new();
+        for start in 0..n {
+            if seen[start] || !self.alive[start] {
+                continue;
+            }
+            seen[start] = true;
+            queue.push(start);
+            let mut size = 0;
+            while let Some(u) = queue.pop() {
+                size += 1;
+                for nb in &self.neighbors[u] {
+                    if !seen[nb.index()] {
+                        seen[nb.index()] = true;
+                        queue.push(nb.index());
+                    }
+                }
+            }
+            best = best.max(size);
+        }
+        best
+    }
+
+    /// Whether the live unit-disk graph is connected.
+    pub fn is_connected(&self) -> bool {
+        self.largest_component() == self.alive_count()
+    }
+
+    /// Errors unless the network is connected. Routing guarantees (GPSR
+    /// delivery, splitter reachability) require connectivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::Disconnected`] with component statistics.
+    pub fn require_connected(&self) -> Result<(), NetsimError> {
+        let largest = self.largest_component();
+        let alive = self.alive_count();
+        if largest == alive {
+            Ok(())
+        } else {
+            Err(NetsimError::Disconnected { largest_component: largest, total: alive })
+        }
+    }
+
+    fn max_ring(&self) -> i64 {
+        let w = (self.bounds.width() / self.bucket_size).ceil() as i64;
+        let h = (self.bounds.height() / self.bucket_size).ceil() as i64;
+        w.max(h) + 2
+    }
+}
+
+fn bucket_key(p: Point, size: f64) -> (i64, i64) {
+    ((p.x / size).floor() as i64, (p.y / size).floor() as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::{Deployment, Placement};
+
+    fn sample_topology(n: usize, side: f64, range: f64, seed: u64) -> Topology {
+        let nodes = Deployment::new(Rect::square(side), n, Placement::Uniform, seed).nodes();
+        Topology::build(nodes, range).unwrap()
+    }
+
+    #[test]
+    fn neighbors_match_brute_force() {
+        let topo = sample_topology(80, 100.0, 30.0, 9);
+        for a in topo.nodes() {
+            let brute: Vec<NodeId> = topo
+                .nodes()
+                .iter()
+                .filter(|b| b.id != a.id && b.position.distance(a.position) <= 30.0)
+                .map(|b| b.id)
+                .collect();
+            assert_eq!(topo.neighbors(a.id), brute.as_slice(), "node {}", a.id);
+        }
+    }
+
+    #[test]
+    fn are_neighbors_is_symmetric() {
+        let topo = sample_topology(60, 80.0, 25.0, 2);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                assert_eq!(topo.are_neighbors(a.id, b.id), topo.are_neighbors(b.id, a.id));
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_node_matches_brute_force() {
+        let topo = sample_topology(70, 90.0, 20.0, 4);
+        let probes = [
+            Point::new(0.0, 0.0),
+            Point::new(45.0, 45.0),
+            Point::new(89.9, 0.1),
+            Point::new(200.0, 200.0), // outside the field
+            Point::new(-50.0, 45.0),
+        ];
+        for p in probes {
+            let got = topo.nearest_node(p);
+            let want = topo
+                .nodes()
+                .iter()
+                .min_by(|a, b| {
+                    a.position
+                        .distance_sq(p)
+                        .partial_cmp(&b.position.distance_sq(p))
+                        .unwrap()
+                        .then(a.id.cmp(&b.id))
+                })
+                .unwrap()
+                .id;
+            assert_eq!(
+                topo.position(got).distance(p),
+                topo.position(want).distance(p),
+                "probe {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn nodes_within_matches_brute_force() {
+        let topo = sample_topology(60, 70.0, 15.0, 6);
+        let p = Point::new(35.0, 35.0);
+        let got = topo.nodes_within(p, 22.0);
+        let want: Vec<NodeId> = topo
+            .nodes()
+            .iter()
+            .filter(|n| n.position.distance(p) <= 22.0)
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_node_topology() {
+        let topo =
+            Topology::build(vec![Node::new(NodeId(0), Point::new(1.0, 1.0))], 10.0).unwrap();
+        assert_eq!(topo.len(), 1);
+        assert!(topo.neighbors(NodeId(0)).is_empty());
+        assert_eq!(topo.nearest_node(Point::new(99.0, 99.0)), NodeId(0));
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn connectivity_detects_split_network() {
+        let nodes = vec![
+            Node::new(NodeId(0), Point::new(0.0, 0.0)),
+            Node::new(NodeId(1), Point::new(1.0, 0.0)),
+            Node::new(NodeId(2), Point::new(100.0, 0.0)),
+        ];
+        let topo = Topology::build(nodes, 5.0).unwrap();
+        assert!(!topo.is_connected());
+        assert_eq!(topo.largest_component(), 2);
+        assert!(matches!(
+            topo.require_connected(),
+            Err(NetsimError::Disconnected { largest_component: 2, total: 3 })
+        ));
+    }
+
+    #[test]
+    fn dense_network_is_connected() {
+        let topo = sample_topology(120, 100.0, 30.0, 12);
+        assert!(topo.is_connected());
+        assert!(topo.require_connected().is_ok());
+    }
+
+    #[test]
+    fn build_rejects_bad_inputs() {
+        assert!(matches!(Topology::build(vec![], 10.0), Err(NetsimError::EmptyDeployment)));
+        let nodes = vec![Node::new(NodeId(0), Point::new(0.0, 0.0))];
+        assert!(matches!(
+            Topology::build(nodes, f64::NAN),
+            Err(NetsimError::InvalidRadioRange { .. })
+        ));
+    }
+
+    #[test]
+    fn mean_degree_reasonable_for_paper_density() {
+        let d = Deployment::paper_setting(300, 40.0, 20.0, 77).unwrap();
+        let topo = Topology::build(d.nodes(), 40.0).unwrap();
+        let deg = topo.mean_degree();
+        assert!(deg > 14.0 && deg < 22.0, "mean degree {deg}");
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::deployment::{Deployment, Placement};
+
+    fn sample(n: usize, side: f64, range: f64, seed: u64) -> Topology {
+        let nodes = Deployment::new(Rect::square(side), n, Placement::Uniform, seed).nodes();
+        Topology::build(nodes, range).unwrap()
+    }
+
+    #[test]
+    fn failed_nodes_leave_neighbor_tables() {
+        let topo = sample(60, 80.0, 30.0, 2);
+        let dead = NodeId(10);
+        let failed = topo.without_nodes(&[dead]);
+        assert!(!failed.is_alive(dead));
+        assert_eq!(failed.alive_count(), 59);
+        assert!(failed.neighbors(dead).is_empty());
+        for node in failed.nodes() {
+            assert!(!failed.neighbors(node.id).contains(&dead));
+        }
+        // The original topology is untouched.
+        assert!(topo.is_alive(dead));
+        assert_eq!(topo.alive_count(), 60);
+    }
+
+    #[test]
+    fn nearest_node_skips_the_dead() {
+        let topo = sample(50, 70.0, 25.0, 3);
+        let probe = topo.position(NodeId(7));
+        assert_eq!(topo.nearest_node(probe), NodeId(7));
+        let failed = topo.without_nodes(&[NodeId(7)]);
+        let nearest = failed.nearest_node(probe);
+        assert_ne!(nearest, NodeId(7));
+        assert!(failed.is_alive(nearest));
+    }
+
+    #[test]
+    fn connectivity_over_live_nodes_only() {
+        // Three nodes in a line; killing the middle disconnects the ends,
+        // killing an end leaves the rest connected.
+        let nodes = vec![
+            Node::new(NodeId(0), Point::new(0.0, 0.0)),
+            Node::new(NodeId(1), Point::new(4.0, 0.0)),
+            Node::new(NodeId(2), Point::new(8.0, 0.0)),
+        ];
+        let topo = Topology::build(nodes, 5.0).unwrap();
+        assert!(topo.is_connected());
+        assert!(!topo.without_nodes(&[NodeId(1)]).is_connected());
+        assert!(topo.without_nodes(&[NodeId(0)]).is_connected());
+    }
+
+    #[test]
+    fn positions_remain_queryable_after_failure() {
+        let topo = sample(30, 50.0, 25.0, 4);
+        let failed = topo.without_nodes(&[NodeId(3)]);
+        assert_eq!(failed.position(NodeId(3)), topo.position(NodeId(3)));
+    }
+
+    #[test]
+    fn cascading_failures_accumulate() {
+        let topo = sample(40, 60.0, 30.0, 5);
+        let once = topo.without_nodes(&[NodeId(0), NodeId(1)]);
+        let twice = once.without_nodes(&[NodeId(2)]);
+        assert_eq!(twice.alive_count(), 37);
+        for id in [0u32, 1, 2] {
+            assert!(!twice.is_alive(NodeId(id)));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Hand-rolled samplers for the distributions the evaluation needs.
+//!
+//! `rand_distr` is not on this project's dependency allowlist, so the
+//! exponential, Zipf, and truncated-normal samplers are implemented from
+//! first principles (inverse CDF / rejection) and unit-tested against
+//! closed-form moments.
+
+use rand::Rng;
+
+/// Samples `Exp(mean)` via inverse CDF: `-mean · ln(1 - u)`.
+///
+/// # Panics
+///
+/// Panics if `mean` is not positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use pool_workloads::distributions::sample_exponential;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = sample_exponential(&mut rng, 0.1);
+/// assert!(x >= 0.0);
+/// ```
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive, got {mean}");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -mean * (1.0 - u).ln()
+}
+
+/// Samples `Exp(mean)` truncated (by resampling) to `[0, cap]`.
+///
+/// # Panics
+///
+/// Panics if `cap <= 0` or `mean` is invalid.
+pub fn sample_exponential_capped<R: Rng + ?Sized>(rng: &mut R, mean: f64, cap: f64) -> f64 {
+    assert!(cap > 0.0, "cap must be positive, got {cap}");
+    loop {
+        let x = sample_exponential(rng, mean);
+        if x <= cap {
+            return x;
+        }
+    }
+}
+
+/// A Zipf sampler over ranks `1..=n` with exponent `s`, using a
+/// precomputed CDF (exact inverse-CDF sampling).
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use pool_workloads::distributions::Zipf;
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=100).contains(&rank));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for ranks `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be non-negative, got {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i + 1,
+            Err(i) => i + 1,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Samples `N(mean, std_dev²)` via Box–Muller, truncated by resampling to
+/// `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `std_dev <= 0`, `lo >= hi`, or the truncation window is more
+/// than ~8σ from the mean (rejection would effectively never terminate).
+pub fn sample_normal_truncated<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(std_dev > 0.0, "std_dev must be positive, got {std_dev}");
+    assert!(lo < hi, "invalid truncation window [{lo}, {hi}]");
+    assert!(
+        (mean - hi).abs() / std_dev < 8.0 || (mean - lo).abs() / std_dev < 8.0,
+        "truncation window too far from the mean"
+    );
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let x = mean + std_dev * z;
+        if x >= lo && x <= hi {
+            return x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_exponential(&mut rng, 0.25)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn exponential_capped_respects_cap() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..2000 {
+            let x = sample_exponential_capped(&mut rng, 0.5, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let zipf = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut counts = vec![0usize; 51];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        // Theoretical P(1)/P(2) = 2^1.2 ≈ 2.3.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((1.8..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut counts = [0usize; 11];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate().skip(1) {
+            let p = count as f64 / 50_000.0;
+            assert!((p - 0.1).abs() < 0.01, "rank {k}: {p}");
+        }
+    }
+
+    #[test]
+    fn truncated_normal_stays_in_window() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..2000 {
+            let x = sample_normal_truncated(&mut rng, 0.5, 0.2, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_normal_mean_near_center() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| sample_normal_truncated(&mut rng, 0.5, 0.1, 0.0, 1.0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "empirical mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn exponential_rejects_bad_mean() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample_exponential(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Event workload generators.
+//!
+//! The paper's evaluation uses uniformly-distributed attribute values
+//! (§5.1); the hotspot study additionally needs skewed data ("a
+//! significantly high percentage of events appearing in the same value
+//! range", §4.2). Both are provided, plus a mixture for partially-skewed
+//! scenarios.
+
+use crate::distributions::sample_normal_truncated;
+use pool_core::event::Event;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How event attribute values are drawn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventDistribution {
+    /// Every attribute independently uniform in `[0, 1]` (§5.1).
+    Uniform,
+    /// All attributes clustered around `center` with the given spread —
+    /// the skewed workload that triggers hotspots.
+    Hotspot {
+        /// Per-dimension cluster center (values in `[0, 1]`).
+        center: Vec<f64>,
+        /// Standard deviation of the truncated-normal spread.
+        std_dev: f64,
+    },
+    /// With probability `hot_fraction` draw from the hotspot, otherwise
+    /// uniform.
+    Mixture {
+        /// Per-dimension cluster center.
+        center: Vec<f64>,
+        /// Standard deviation of the hotspot component.
+        std_dev: f64,
+        /// Probability of drawing from the hotspot component.
+        hot_fraction: f64,
+    },
+}
+
+/// A seedable generator of `k`-dimensional events.
+///
+/// # Examples
+///
+/// ```
+/// use pool_workloads::events::{EventDistribution, EventGenerator};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+/// let event = generator.generate(&mut rng);
+/// assert_eq!(event.dims(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventGenerator {
+    dims: usize,
+    distribution: EventDistribution,
+}
+
+impl EventGenerator {
+    /// Creates a generator of `dims`-dimensional events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`, a hotspot center has the wrong arity or
+    /// out-of-range values, or a fraction/σ parameter is invalid.
+    pub fn new(dims: usize, distribution: EventDistribution) -> Self {
+        assert!(dims > 0, "events need at least one dimension");
+        match &distribution {
+            EventDistribution::Uniform => {}
+            EventDistribution::Hotspot { center, std_dev }
+            | EventDistribution::Mixture { center, std_dev, .. } => {
+                assert_eq!(center.len(), dims, "hotspot center arity mismatch");
+                assert!(
+                    center.iter().all(|v| (0.0..=1.0).contains(v)),
+                    "hotspot center outside [0, 1]"
+                );
+                assert!(*std_dev > 0.0, "hotspot σ must be positive");
+            }
+        }
+        if let EventDistribution::Mixture { hot_fraction, .. } = &distribution {
+            assert!(
+                (0.0..=1.0).contains(hot_fraction),
+                "hot fraction must be a probability"
+            );
+        }
+        EventGenerator { dims, distribution }
+    }
+
+    /// Event dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Draws one event.
+    pub fn generate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Event {
+        let values = match &self.distribution {
+            EventDistribution::Uniform => (0..self.dims).map(|_| rng.gen()).collect(),
+            EventDistribution::Hotspot { center, std_dev } => {
+                Self::hotspot_values(rng, center, *std_dev)
+            }
+            EventDistribution::Mixture { center, std_dev, hot_fraction } => {
+                if rng.gen_bool(*hot_fraction) {
+                    Self::hotspot_values(rng, center, *std_dev)
+                } else {
+                    (0..self.dims).map(|_| rng.gen()).collect()
+                }
+            }
+        };
+        Event::new(values).expect("generated values are always in [0, 1]")
+    }
+
+    /// Draws `count` events.
+    pub fn generate_many<R: Rng + ?Sized>(&mut self, rng: &mut R, count: usize) -> Vec<Event> {
+        (0..count).map(|_| self.generate(rng)).collect()
+    }
+
+    fn hotspot_values<R: Rng + ?Sized>(rng: &mut R, center: &[f64], std_dev: f64) -> Vec<f64> {
+        center
+            .iter()
+            .map(|&c| sample_normal_truncated(rng, c, std_dev, 0.0, 1.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_events_cover_the_space() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = EventGenerator::new(3, EventDistribution::Uniform);
+        let events = g.generate_many(&mut rng, 3000);
+        // Each octant of [0,1]³ should receive a reasonable share.
+        let mut octants = [0usize; 8];
+        for e in &events {
+            let idx = e.values().iter().fold(0usize, |acc, &v| (acc << 1) | (v >= 0.5) as usize);
+            octants[idx] += 1;
+        }
+        for (i, &c) in octants.iter().enumerate() {
+            assert!(c > 200, "octant {i} only got {c} of 3000");
+        }
+    }
+
+    #[test]
+    fn hotspot_events_cluster() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = EventGenerator::new(
+            3,
+            EventDistribution::Hotspot { center: vec![0.8, 0.1, 0.1], std_dev: 0.05 },
+        );
+        let events = g.generate_many(&mut rng, 500);
+        let near = events
+            .iter()
+            .filter(|e| {
+                (e.value(0) - 0.8).abs() < 0.2
+                    && e.value(1) < 0.3
+                    && e.value(2) < 0.3
+            })
+            .count();
+        assert!(near > 450, "only {near}/500 events near the hotspot");
+    }
+
+    #[test]
+    fn mixture_blends_components() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = EventGenerator::new(
+            2,
+            EventDistribution::Mixture {
+                center: vec![0.9, 0.9],
+                std_dev: 0.02,
+                hot_fraction: 0.5,
+            },
+        );
+        let events = g.generate_many(&mut rng, 2000);
+        let hot = events
+            .iter()
+            .filter(|e| e.value(0) > 0.8 && e.value(1) > 0.8)
+            .count();
+        // Roughly half plus the uniform spill-over into that corner.
+        assert!((900..1300).contains(&hot), "hot count {hot}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let mut a = EventGenerator::new(3, EventDistribution::Uniform);
+        let mut b = EventGenerator::new(3, EventDistribution::Uniform);
+        let mut ra = StdRng::seed_from_u64(9);
+        let mut rb = StdRng::seed_from_u64(9);
+        assert_eq!(a.generate_many(&mut ra, 50), b.generate_many(&mut rb, 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn center_arity_checked() {
+        let _ = EventGenerator::new(
+            3,
+            EventDistribution::Hotspot { center: vec![0.5], std_dev: 0.1 },
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # pool-workloads — event & query workload generation
+//!
+//! Deterministic (seeded) generators for the workloads of the Pool paper's
+//! evaluation (§5.1) and its ablations:
+//!
+//! * [`events`] — uniform events (the paper's setting) plus hotspot/skewed
+//!   distributions for the workload-sharing study.
+//! * [`queries`] — exact-match queries with uniform / exponential / normal
+//!   / constant range-size distributions, `m`-partial and `1@n`-partial
+//!   match queries.
+//! * [`distributions`] — the hand-rolled exponential / Zipf /
+//!   truncated-normal samplers beneath them.
+//!
+//! # Examples
+//!
+//! ```
+//! use pool_workloads::queries::{exact_query, RangeSizeDistribution};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let q = exact_query(&mut rng, 3, RangeSizeDistribution::Exponential { mean: 0.1 });
+//! assert_eq!(q.dims(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod events;
+pub mod queries;
+pub mod scenario;
+
+pub use events::{EventDistribution, EventGenerator};
+pub use queries::{exact_query, partial_query, partial_query_at, RangeSizeDistribution};
+pub use scenario::{QueryWorkload, WorkloadSpec};

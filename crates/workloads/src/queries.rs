@@ -1,0 +1,228 @@
+//! Query workload generators matching §5.1.
+//!
+//! * **Exact-match queries** draw every dimension's range *size* from a
+//!   configurable distribution (the DIM paper's query-size distributions;
+//!   the Pool paper reports the uniform and exponential cases) and place
+//!   the range uniformly.
+//! * **m-partial queries** leave `m` randomly-chosen dimensions
+//!   unspecified; the remaining dimensions get a range whose size is drawn
+//!   from `[0, 0.25]`.
+//! * **1@n-partial queries** pin *which* dimension is unspecified — the
+//!   Figure 7(b) workload.
+
+use crate::distributions::{sample_exponential_capped, sample_normal_truncated};
+use pool_core::query::RangeQuery;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of the per-dimension range *size* of exact-match queries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RangeSizeDistribution {
+    /// Size uniform in `[0, 1]` (large ranges on average).
+    Uniform,
+    /// Size exponential with the given mean, capped at 1 (small ranges).
+    Exponential {
+        /// Mean range size.
+        mean: f64,
+    },
+    /// Size normal with the given mean and deviation, truncated to `[0, 1]`.
+    Normal {
+        /// Mean range size.
+        mean: f64,
+        /// Standard deviation of the size.
+        std_dev: f64,
+    },
+    /// Fixed size.
+    Constant {
+        /// The fixed range size.
+        size: f64,
+    },
+}
+
+impl RangeSizeDistribution {
+    /// Draws one range size in `[0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            RangeSizeDistribution::Uniform => rng.gen_range(0.0..=1.0),
+            RangeSizeDistribution::Exponential { mean } => {
+                sample_exponential_capped(rng, mean, 1.0)
+            }
+            RangeSizeDistribution::Normal { mean, std_dev } => {
+                sample_normal_truncated(rng, mean, std_dev, 0.0, 1.0)
+            }
+            RangeSizeDistribution::Constant { size } => {
+                assert!((0.0..=1.0).contains(&size), "constant size {size} outside [0, 1]");
+                size
+            }
+        }
+    }
+}
+
+/// One range `[lo, lo+size]` placed uniformly at random so it fits in
+/// `[0, 1]`.
+fn place_range<R: Rng + ?Sized>(rng: &mut R, size: f64) -> (f64, f64) {
+    let size = size.clamp(0.0, 1.0);
+    let lo = rng.gen_range(0.0..=(1.0 - size));
+    (lo, (lo + size).min(1.0))
+}
+
+/// Generates an exact-match range query over `dims` dimensions with range
+/// sizes drawn from `sizes`.
+///
+/// # Panics
+///
+/// Panics if `dims == 0`.
+pub fn exact_query<R: Rng + ?Sized>(
+    rng: &mut R,
+    dims: usize,
+    sizes: RangeSizeDistribution,
+) -> RangeQuery {
+    assert!(dims > 0, "queries need at least one dimension");
+    let bounds = (0..dims)
+        .map(|_| {
+            let size = sizes.sample(rng);
+            Some(place_range(rng, size))
+        })
+        .collect();
+    RangeQuery::from_bounds(bounds).expect("generated bounds are always valid")
+}
+
+/// Generates an `m`-partial match query (§5.1): `m` randomly-chosen
+/// dimensions are unspecified; each remaining dimension gets a range whose
+/// size is uniform in `[0, 0.25]`.
+///
+/// # Panics
+///
+/// Panics unless `0 < m < dims` (at least one dimension must stay
+/// specified).
+pub fn partial_query<R: Rng + ?Sized>(rng: &mut R, dims: usize, m: usize) -> RangeQuery {
+    assert!(m > 0 && m < dims, "m-partial needs 0 < m < k (m={m}, k={dims})");
+    let mut order: Vec<usize> = (0..dims).collect();
+    order.shuffle(rng);
+    let unspecified: Vec<usize> = order[..m].to_vec();
+    build_partial(rng, dims, &unspecified)
+}
+
+/// Generates a `1@n`-partial match query: exactly dimension `unspecified`
+/// (0-based) is a don't-care.
+///
+/// # Panics
+///
+/// Panics if `unspecified >= dims` or `dims < 2`.
+pub fn partial_query_at<R: Rng + ?Sized>(
+    rng: &mut R,
+    dims: usize,
+    unspecified: usize,
+) -> RangeQuery {
+    assert!(dims >= 2, "1@n-partial needs k ≥ 2");
+    assert!(unspecified < dims, "dimension {unspecified} out of range");
+    build_partial(rng, dims, &[unspecified])
+}
+
+fn build_partial<R: Rng + ?Sized>(rng: &mut R, dims: usize, unspecified: &[usize]) -> RangeQuery {
+    let bounds = (0..dims)
+        .map(|d| {
+            if unspecified.contains(&d) {
+                None
+            } else {
+                let size = rng.gen_range(0.0..=0.25);
+                Some(place_range(rng, size))
+            }
+        })
+        .collect();
+    RangeQuery::from_bounds(bounds).expect("generated bounds are always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pool_core::query::QueryType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_queries_are_exact_and_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dist in [
+            RangeSizeDistribution::Uniform,
+            RangeSizeDistribution::Exponential { mean: 0.1 },
+            RangeSizeDistribution::Normal { mean: 0.3, std_dev: 0.1 },
+            RangeSizeDistribution::Constant { size: 0.2 },
+        ] {
+            for _ in 0..200 {
+                let q = exact_query(&mut rng, 3, dist);
+                assert!(!q.is_partial());
+                for b in q.bounds() {
+                    let (lo, hi) = b.unwrap();
+                    assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo <= hi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_sizes_are_larger_than_exponential() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let avg = |dist: RangeSizeDistribution, rng: &mut StdRng| -> f64 {
+            (0..2000)
+                .map(|_| {
+                    let q = exact_query(rng, 3, dist);
+                    q.bounds().iter().map(|b| b.map(|(l, u)| u - l).unwrap()).sum::<f64>() / 3.0
+                })
+                .sum::<f64>()
+                / 2000.0
+        };
+        let uni = avg(RangeSizeDistribution::Uniform, &mut rng);
+        let exp = avg(RangeSizeDistribution::Exponential { mean: 0.1 }, &mut rng);
+        assert!((0.45..0.55).contains(&uni), "uniform mean size {uni}");
+        assert!((0.05..0.15).contains(&exp), "exponential mean size {exp}");
+    }
+
+    #[test]
+    fn m_partial_has_m_unspecified_dims() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for m in 1..3 {
+            for _ in 0..100 {
+                let q = partial_query(&mut rng, 3, m);
+                assert_eq!(q.unspecified_count(), m);
+                assert_eq!(q.query_type(), QueryType::PartialMatchRange);
+                // Specified ranges are at most 0.25 wide.
+                for b in q.bounds().iter().flatten() {
+                    assert!(b.1 - b.0 <= 0.25 + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn m_partial_chooses_dims_uniformly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            let q = partial_query(&mut rng, 3, 1);
+            let dim = q.bounds().iter().position(Option::is_none).unwrap();
+            counts[dim] += 1;
+        }
+        for (d, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "dim {d} chosen {c} times of 3000");
+        }
+    }
+
+    #[test]
+    fn one_at_n_pins_the_dimension() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in 0..3 {
+            let q = partial_query_at(&mut rng, 3, n);
+            assert_eq!(q.unspecified_count(), 1);
+            assert!(q.bounds()[n].is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < m < k")]
+    fn all_unspecified_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = partial_query(&mut rng, 3, 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Named experiment scenarios.
+//!
+//! A [`WorkloadSpec`] bundles everything that defines one experimental
+//! condition — network size, event distribution, query workload, repetition
+//! counts — as plain serializable data, so experiment configurations can be
+//! stored, diffed, and replayed. The presets cover every condition in the
+//! paper's §5.
+
+use crate::events::EventDistribution;
+use crate::queries::RangeSizeDistribution;
+use serde::{Deserialize, Serialize};
+
+/// The query workload of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueryWorkload {
+    /// Exact-match range queries with the given size distribution.
+    Exact(RangeSizeDistribution),
+    /// `m`-partial match queries.
+    MPartial(usize),
+    /// `1@n`-partial match queries (`n` 0-based).
+    OneAtN(usize),
+}
+
+/// A complete, serializable experimental condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Scenario name for tables and file names.
+    pub name: String,
+    /// Number of sensor nodes.
+    pub nodes: usize,
+    /// Event dimensionality.
+    pub dims: usize,
+    /// Events per node.
+    pub events_per_node: usize,
+    /// How event values are drawn.
+    pub events: EventDistribution,
+    /// The query workload.
+    pub queries: QueryWorkload,
+    /// Queries per measurement.
+    pub query_count: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// §5.1 base parameters with a given name, size, and query workload.
+    fn paper_base(name: &str, nodes: usize, queries: QueryWorkload) -> Self {
+        WorkloadSpec {
+            name: name.to_owned(),
+            nodes,
+            dims: 3,
+            events_per_node: 3,
+            events: EventDistribution::Uniform,
+            queries,
+            query_count: 100,
+            seed: 42,
+        }
+    }
+
+    /// Figure 6(a): exact match, uniform range sizes, at `nodes`.
+    pub fn fig6_uniform(nodes: usize) -> Self {
+        Self::paper_base(
+            &format!("fig6a-uniform-{nodes}"),
+            nodes,
+            QueryWorkload::Exact(RangeSizeDistribution::Uniform),
+        )
+    }
+
+    /// Figure 6(b): exact match, exponential range sizes, at `nodes`.
+    pub fn fig6_exponential(nodes: usize) -> Self {
+        Self::paper_base(
+            &format!("fig6b-exponential-{nodes}"),
+            nodes,
+            QueryWorkload::Exact(RangeSizeDistribution::Exponential { mean: 0.1 }),
+        )
+    }
+
+    /// Figure 7(a): `m`-partial match at 900 nodes.
+    pub fn fig7_m_partial(m: usize) -> Self {
+        Self::paper_base(&format!("fig7a-{m}partial"), 900, QueryWorkload::MPartial(m))
+    }
+
+    /// Figure 7(b): `1@n`-partial match at 900 nodes (`n` 1-based as in the
+    /// paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 (the paper numbers dimensions from 1).
+    pub fn fig7_one_at(n: usize) -> Self {
+        assert!(n >= 1, "the paper numbers 1@n dimensions from 1");
+        Self::paper_base(&format!("fig7b-1at{n}partial"), 900, QueryWorkload::OneAtN(n - 1))
+    }
+
+    /// The hotspot/skew condition used by the §4.2 study.
+    pub fn hotspot(nodes: usize) -> Self {
+        WorkloadSpec {
+            events: EventDistribution::Hotspot {
+                center: vec![0.85, 0.1, 0.1],
+                std_dev: 0.02,
+            },
+            ..Self::paper_base(
+                &format!("hotspot-{nodes}"),
+                nodes,
+                QueryWorkload::Exact(RangeSizeDistribution::Exponential { mean: 0.1 }),
+            )
+        }
+    }
+
+    /// Every condition of the paper's evaluation, in figure order.
+    pub fn paper_suite() -> Vec<WorkloadSpec> {
+        let mut suite = Vec::new();
+        for nodes in [300, 600, 900, 1200] {
+            suite.push(Self::fig6_uniform(nodes));
+            suite.push(Self::fig6_exponential(nodes));
+        }
+        suite.push(Self::fig7_m_partial(1));
+        suite.push(Self::fig7_m_partial(2));
+        for n in 1..=3 {
+            suite.push(Self::fig7_one_at(n));
+        }
+        suite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_covers_every_figure_condition() {
+        let suite = WorkloadSpec::paper_suite();
+        assert_eq!(suite.len(), 4 * 2 + 2 + 3);
+        // All names are unique.
+        let mut names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let s = WorkloadSpec::fig6_uniform(900);
+        assert_eq!(s.nodes, 900);
+        assert_eq!(s.dims, 3);
+        assert_eq!(s.events_per_node, 3);
+        assert_eq!(s.queries, QueryWorkload::Exact(RangeSizeDistribution::Uniform));
+
+        let s = WorkloadSpec::fig7_one_at(1);
+        assert_eq!(s.queries, QueryWorkload::OneAtN(0));
+        assert_eq!(s.nodes, 900);
+    }
+
+    #[test]
+    fn hotspot_preset_is_skewed() {
+        let s = WorkloadSpec::hotspot(600);
+        assert!(matches!(s.events, EventDistribution::Hotspot { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "from 1")]
+    fn one_at_zero_rejected() {
+        let _ = WorkloadSpec::fig7_one_at(0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Continuous monitoring and nearest-neighbor queries — the §6 extensions.
+//!
+//! A control room installs a standing query ("alert me on any hot & dry
+//! reading"); sensors keep reporting; each matching reading is pushed to
+//! the sink the moment it is stored. Afterwards the operator asks for the
+//! reading closest to a reference condition.
+//!
+//! Run: `cargo run --example continuous_monitoring --release`
+
+use pool_dcs::core::{Event, PoolConfig, PoolSystem, RangeQuery};
+use pool_dcs::netsim::{Deployment, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deployment = Deployment::paper_setting(400, 40.0, 20.0, 21)?;
+    let topology = Topology::build(deployment.nodes(), 40.0)?;
+    let mut pool = PoolSystem::build(topology, deployment.field(), PoolConfig::paper())?;
+
+    // The control room (sink) registers: temperature ≥ 0.8 AND humidity ≤ 0.2.
+    let sink = NodeId(0);
+    let alert = RangeQuery::from_bounds(vec![Some((0.8, 1.0)), Some((0.0, 0.2)), None])?;
+    let (monitor_id, install_cost) = pool.install_monitor(sink, alert.clone())?;
+    println!(
+        "installed standing query {alert} as {monitor_id:?} ({} messages)",
+        install_cost.total()
+    );
+
+    // 300 readings stream in; matching ones are pushed to the sink.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut alerts = 0usize;
+    let mut alert_messages = 0u64;
+    for i in 0..300 {
+        let event = Event::new(vec![rng.gen(), rng.gen(), rng.gen()])?;
+        let receipt = pool.insert_from(NodeId(i % 400), event)?;
+        for n in &receipt.notifications {
+            alerts += 1;
+            alert_messages += n.messages;
+        }
+    }
+    println!(
+        "{alerts} alerts pushed to the control room ({alert_messages} notification messages)"
+    );
+    let ground_truth = pool.brute_force_query(&alert).len();
+    assert_eq!(alerts, ground_truth, "every matching reading must alert exactly once");
+
+    // Nearest-neighbor: which stored reading is closest to the reference
+    // condition <0.85, 0.1, 0.5>?
+    let probe = [0.85, 0.1, 0.5];
+    let (nearest, cost) = pool.nearest(sink, &probe)?;
+    let (event, distance) = nearest.expect("events were stored");
+    println!(
+        "nearest reading to <0.85, 0.10, 0.50>: {event} at distance {distance:.4} \
+         ({} messages)",
+        cost.total()
+    );
+
+    // Top-3 via the same machinery.
+    let top3 = pool.k_nearest(sink, &probe, 3)?;
+    println!("top-3 nearest ({} of 300 cells visited):", top3.cells_visited);
+    for (event, d) in &top3.neighbors {
+        println!("  {event}  (distance {d:.4})");
+    }
+
+    pool.remove_monitor(monitor_id)?;
+    println!("standing query removed; {} monitors remain", pool.monitors().len());
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Environment monitoring: the paper's motivating scenario.
+//!
+//! Modern sensor boards report several environment parameters at once
+//! (temperature, humidity, light, barometric pressure — §1 cites the
+//! Crossbow MEP hardware). This example runs a 4-dimensional deployment
+//! through all four query types of §2 plus in-network aggregation.
+//!
+//! Run: `cargo run --example environment_monitoring`
+
+use pool_dcs::core::{AggregateOp, PoolConfig, PoolSystem, QueryType, RangeQuery};
+use pool_dcs::netsim::{Deployment, NodeId, Topology};
+use pool_dcs::workloads::events::{EventDistribution, EventGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIMS: usize = 4; // temperature, humidity, light, pressure
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deployment = Deployment::paper_setting(600, 40.0, 20.0, 99)?;
+    let topology = Topology::build(deployment.nodes(), 40.0)?;
+    let config = PoolConfig::paper().with_dims(DIMS).with_seed(99);
+    let mut pool = PoolSystem::build(topology, deployment.field(), config)?;
+
+    // Every sensor takes three readings. Values are normalized: e.g.
+    // temperature 0.0 = -20 C, 1.0 = +60 C.
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut generator = EventGenerator::new(DIMS, EventDistribution::Uniform);
+    let n = pool.topology().len() as u32;
+    for node in 0..n {
+        for _ in 0..3 {
+            let event = generator.generate(&mut rng);
+            pool.insert_from(NodeId(node), event)?;
+        }
+    }
+    println!("{} readings stored in-network", pool.store().len());
+
+    let sink = NodeId(rng.gen_range(0..n));
+
+    // Type 3 — exact-match range query: a full specification of all four
+    // parameters ("warm, humid, bright, low-pressure corners of the lab").
+    let q3 = RangeQuery::exact(vec![(0.7, 0.9), (0.6, 0.8), (0.5, 1.0), (0.0, 0.4)])?;
+    assert_eq!(q3.query_type(), QueryType::ExactMatchRange);
+    report(&mut pool, sink, &q3, "Type 3 exact-match range")?;
+
+    // Type 4 — partial-match range query: only temperature and humidity
+    // matter. The paper calls this the most common and most expensive type.
+    let q4 = RangeQuery::from_bounds(vec![Some((0.7, 0.9)), Some((0.6, 0.8)), None, None])?;
+    assert_eq!(q4.query_type(), QueryType::PartialMatchRange);
+    report(&mut pool, sink, &q4, "Type 4 partial-match range")?;
+
+    // Type 1 — exact-match point query: re-find one specific reading.
+    let probe = pool.brute_force_query(&q3).into_iter().next();
+    if let Some(event) = probe {
+        let q1 = RangeQuery::point(event.values().to_vec())?;
+        assert_eq!(q1.query_type(), QueryType::ExactMatchPoint);
+        report(&mut pool, sink, &q1, "Type 1 exact-match point")?;
+    }
+
+    // Type 2 — partial-match point query: "exactly this temperature,
+    // anything else".
+    let q2 = RangeQuery::from_bounds(vec![Some((0.5, 0.5)), None, None, None])?;
+    assert_eq!(q2.query_type(), QueryType::PartialMatchPoint);
+    report(&mut pool, sink, &q2, "Type 2 partial-match point")?;
+
+    // In-network aggregation (§3.2.3): the splitters compute the answer,
+    // so only a scalar travels back.
+    let hot = RangeQuery::from_bounds(vec![Some((0.8, 1.0)), None, None, None])?;
+    let (count, cost) = pool.aggregate_from(sink, &hot, AggregateOp::Count)?;
+    let (avg_rh, _) = pool.aggregate_from(sink, &hot, AggregateOp::Avg(1))?;
+    println!(
+        "\naggregates over hot readings (T >= 0.8): COUNT = {}, AVG(humidity) = {:.3} \
+         ({} messages for the count)",
+        count.unwrap_or(0.0),
+        avg_rh.unwrap_or(f64::NAN),
+        cost.total()
+    );
+    Ok(())
+}
+
+fn report(
+    pool: &mut PoolSystem,
+    sink: NodeId,
+    query: &RangeQuery,
+    label: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let result = pool.query_from(sink, query)?;
+    let truth = pool.brute_force_query(query);
+    assert_eq!(result.events.len(), truth.len(), "network answer must match ground truth");
+    println!(
+        "{label}: {} -> {} events, {} messages ({} relevant cells, {} pools)",
+        query,
+        result.events.len(),
+        result.cost.total(),
+        result.relevant_cells,
+        result.pools_visited
+    );
+    Ok(())
+}

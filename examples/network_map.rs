@@ -1,0 +1,55 @@
+//! Renders a deployment as ASCII art: the field, the three pools, a GPSR
+//! route, and an insertion's path — a terminal Figure 2.
+//!
+//! Run: `cargo run --example network_map --release`
+
+use pool_dcs::core::{Event, PoolConfig, PoolSystem};
+use pool_dcs::gpsr::{Gpsr, Planarization};
+use pool_dcs::netsim::render::Canvas;
+use pool_dcs::netsim::{Deployment, NodeId, Point, Rect, Topology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deployment = Deployment::paper_setting(300, 40.0, 20.0, 17)?;
+    let field = deployment.field();
+    let topology = Topology::build(deployment.nodes(), 40.0)?;
+    let mut pool = PoolSystem::build(topology.clone(), field, PoolConfig::paper())?;
+
+    // Background: the k pools as numbered regions.
+    let mut canvas = Canvas::terminal(field);
+    let alpha = pool.grid().alpha();
+    for spec in pool.layout().pools().to_vec() {
+        let lo = pool.grid().center(spec.pivot);
+        let hi = pool.grid().center(spec.cell_at(spec.side - 1, spec.side - 1));
+        let region = Rect::new(
+            Point::new(lo.x - alpha / 2.0, lo.y - alpha / 2.0),
+            Point::new(hi.x + alpha / 2.0, hi.y + alpha / 2.0),
+        );
+        let glyph = char::from_digit(spec.dim as u32 + 1, 10).unwrap();
+        canvas.fill_region(region, glyph);
+    }
+    // Mid layer: the sensors.
+    canvas.draw_nodes(&topology, '.');
+    // Foreground: one insertion's route from the detecting node to the
+    // index node of its Theorem 3.1 cell.
+    let source = NodeId(0);
+    let event = Event::new(vec![0.72, 0.35, 0.18])?;
+    let receipt = pool.insert_from(source, event)?;
+    let gpsr = Gpsr::new(&topology, Planarization::Gabriel);
+    let index_node = pool.index_node_of(receipt.placement.cell).unwrap();
+    let route = gpsr.route_to_node(&topology, source, index_node)?;
+    canvas.draw_route(&topology, &route.path, '*');
+
+    println!(
+        "{} sensors in a {:.0} m field; pools 1-3 shown as digits;",
+        topology.len(),
+        field.width()
+    );
+    println!(
+        "route S->D: inserting <0.72, 0.35, 0.18> into {} of P{} ({} hops)\n",
+        receipt.placement.cell,
+        receipt.placement.pool_dim + 1,
+        route.hops()
+    );
+    print!("{}", canvas.render());
+    Ok(())
+}

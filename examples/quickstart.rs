@@ -1,0 +1,77 @@
+//! Quickstart: deploy Pool on a simulated sensor network, store events,
+//! and answer multi-dimensional range queries.
+//!
+//! Run: `cargo run --example quickstart`
+
+use pool_dcs::core::{Event, PoolConfig, PoolSystem, RangeQuery};
+use pool_dcs::netsim::{Deployment, Topology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Deploy 300 sensors at the paper's density: 40 m radio range with
+    //    ~20 neighbors each, uniformly placed in a square field.
+    let deployment = Deployment::paper_setting(300, 40.0, 20.0, 7)?;
+    let field = deployment.field();
+    let topology = Topology::build(deployment.nodes(), 40.0)?;
+    println!(
+        "deployed {} sensors in a {:.0} m x {:.0} m field (mean degree {:.1})",
+        topology.len(),
+        field.width(),
+        field.height(),
+        topology.mean_degree()
+    );
+
+    // 2. Build the Pool storage system: α = 5 m grid cells, three 10x10
+    //    pools (one per event dimension).
+    let mut pool = PoolSystem::build(topology, field, PoolConfig::paper())?;
+    for (i, spec) in pool.layout().pools().iter().enumerate() {
+        println!("pool P{} pivot at {}", i + 1, spec.pivot);
+    }
+
+    // 3. Sensors detect 3-dimensional events <temperature, humidity, light>
+    //    (values normalized to [0, 1]) and store them in-network.
+    let readings = [
+        [0.71, 0.33, 0.20],
+        [0.55, 0.62, 0.10],
+        [0.90, 0.88, 0.95],
+        [0.12, 0.44, 0.31],
+        [0.74, 0.31, 0.25],
+    ];
+    for (i, values) in readings.iter().enumerate() {
+        let source = pool.topology().nodes()[i * 37].id;
+        let receipt = pool.insert_from(source, Event::new(values.to_vec())?)?;
+        println!(
+            "event <{:.2}, {:.2}, {:.2}> stored in {} of P{} ({} messages)",
+            values[0],
+            values[1],
+            values[2],
+            receipt.placement.cell,
+            receipt.placement.pool_dim + 1,
+            receipt.messages
+        );
+    }
+
+    // 4. An exact-match range query: "temperature in [0.7, 0.8], humidity
+    //    in [0.3, 0.4], any light below 0.5".
+    let sink = pool.topology().nodes()[250].id;
+    let query = RangeQuery::exact(vec![(0.7, 0.8), (0.3, 0.4), (0.0, 0.5)])?;
+    let result = pool.query_from(sink, &query)?;
+    println!(
+        "\nexact-match {query} -> {} events, {} messages ({} cells relevant)",
+        result.events.len(),
+        result.cost.total(),
+        result.relevant_cells
+    );
+    for event in &result.events {
+        println!("  {event}");
+    }
+
+    // 5. A partial-match query: only temperature is constrained.
+    let partial = RangeQuery::from_bounds(vec![Some((0.7, 0.8)), None, None])?;
+    let result = pool.query_from(sink, &partial)?;
+    println!(
+        "partial-match {partial} -> {} events, {} messages",
+        result.events.len(),
+        result.cost.total()
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! # pool-dcs — Supporting Multi-Dimensional Range Query for Sensor Networks
+//!
+//! A complete, from-scratch Rust reproduction of the **Pool** data-centric
+//! storage scheme (Chung, Su & Lee, ICDCS 2007), including every substrate
+//! the paper builds on and the DIM baseline it evaluates against.
+//!
+//! ## Crates (re-exported here)
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`netsim`] | `pool-netsim` | deployment, unit-disk topology, discrete-event simulator, message/energy accounting |
+//! | [`gpsr`] | `pool-gpsr` | GPSR routing: greedy + GG/RNG planarization + perimeter mode |
+//! | [`ght`] | `pool-ght` | geographic hash table (key → location, home nodes) |
+//! | [`dim`] | `pool-dim` | the DIM baseline (zone tree, codes, range queries) |
+//! | [`core`] | `pool-core` | **the paper's contribution**: pools, Theorem 3.1 insertion, Theorem 3.2 resolving, splitter forwarding, workload sharing |
+//! | [`workloads`] | `pool-workloads` | §5.1 event & query generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pool_dcs::core::{Event, PoolConfig, PoolSystem, RangeQuery};
+//! use pool_dcs::netsim::{Deployment, Topology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 300-node network at the paper's density.
+//! let deployment = Deployment::paper_setting(300, 40.0, 20.0, 7)?;
+//! let topology = Topology::build(deployment.nodes(), 40.0)?;
+//! let mut pool = PoolSystem::build(topology, deployment.field(), PoolConfig::paper())?;
+//!
+//! // A sensor detects a 3-dimensional event and stores it in-network.
+//! let sensor = pool.topology().nodes()[12].id;
+//! pool.insert_from(sensor, Event::new(vec![0.71, 0.33, 0.20])?)?;
+//!
+//! // Any node can issue a partial-match range query.
+//! let sink = pool.topology().nodes()[250].id;
+//! let query = RangeQuery::from_bounds(vec![Some((0.7, 0.8)), None, None])?;
+//! let result = pool.query_from(sink, &query)?;
+//! assert_eq!(result.events.len(), 1);
+//! println!("answered with {} messages", result.cost.total());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pool_core as core;
+pub use pool_dim as dim;
+pub use pool_ght as ght;
+pub use pool_gpsr as gpsr;
+pub use pool_netsim as netsim;
+pub use pool_workloads as workloads;

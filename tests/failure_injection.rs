@@ -1,0 +1,164 @@
+//! Failure-injection integration tests across Pool, DIM, and the routing
+//! substrate: nodes die, the systems repair themselves, and every
+//! queryable guarantee is re-checked against ground truth.
+
+use pool_dcs::core::{Event, PoolConfig, PoolSystem, RangeQuery};
+use pool_dcs::dim::DimSystem;
+use pool_dcs::gpsr::{Gpsr, Planarization};
+use pool_dcs::netsim::{Deployment, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn connected(n: usize, mut seed: u64) -> (Topology, pool_dcs::netsim::Rect) {
+    loop {
+        let dep = Deployment::paper_setting(n, 40.0, 20.0, seed).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if topo.is_connected() {
+            return (topo, dep.field());
+        }
+        seed += 4096;
+    }
+}
+
+/// Picks `count` victims whose removal keeps the network connected.
+fn safe_victims(topo: &Topology, count: usize, rng: &mut StdRng) -> Vec<NodeId> {
+    let mut picked: Vec<NodeId> = Vec::new();
+    let mut tries = 0;
+    while picked.len() < count && tries < 2000 {
+        tries += 1;
+        let candidate = NodeId(rng.gen_range(0..topo.len() as u32));
+        if picked.contains(&candidate) {
+            continue;
+        }
+        let mut attempt = picked.clone();
+        attempt.push(candidate);
+        if topo.without_nodes(&attempt).is_connected() {
+            picked.push(candidate);
+        }
+    }
+    picked
+}
+
+#[test]
+fn gpsr_still_delivers_after_failures() {
+    let (topo, _) = connected(300, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let victims = safe_victims(&topo, 15, &mut rng);
+    let failed = topo.without_nodes(&victims);
+    let gpsr = Gpsr::new(&failed, Planarization::Gabriel);
+    let survivors: Vec<NodeId> =
+        failed.nodes().iter().filter(|n| failed.is_alive(n.id)).map(|n| n.id).collect();
+    for i in (0..survivors.len()).step_by(11) {
+        let from = survivors[i];
+        let to = survivors[survivors.len() - 1 - i];
+        let route = gpsr.route_to_node(&failed, from, to).unwrap();
+        assert_eq!(route.delivered, to);
+        // The route never crosses a dead node.
+        for hop in &route.path {
+            assert!(failed.is_alive(*hop));
+        }
+    }
+}
+
+#[test]
+fn replicated_pool_answers_match_pre_failure_truth() {
+    let (topo, field) = connected(400, 3);
+    let mut pool = PoolSystem::build(
+        topo.clone(),
+        field,
+        PoolConfig::paper().with_seed(3).with_replication(),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut inserted = Vec::new();
+    for _ in 0..500 {
+        let e = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
+        pool.insert_from(NodeId(rng.gen_range(0..400)), e.clone()).unwrap();
+        inserted.push(e);
+    }
+    let victims = safe_victims(pool.topology(), 10, &mut rng);
+    let report = pool.fail_nodes(&victims).unwrap();
+    assert_eq!(report.events_lost, 0);
+
+    // Every pre-failure event is still retrievable by point query.
+    for e in inserted.iter().step_by(23) {
+        let q = RangeQuery::point(e.values().to_vec()).unwrap();
+        let mut sink = NodeId(rng.gen_range(0..400));
+        while !pool.topology().is_alive(sink) {
+            sink = NodeId(rng.gen_range(0..400));
+        }
+        let got = pool.query_from(sink, &q).unwrap();
+        assert!(got.events.contains(e), "lost {e} after failures");
+    }
+}
+
+#[test]
+fn unreplicated_loss_is_exactly_the_dead_holders_inventory() {
+    let (topo, field) = connected(350, 5);
+    let mut pool =
+        PoolSystem::build(topo.clone(), field, PoolConfig::paper().with_seed(5)).unwrap();
+    let mut dim = DimSystem::build(topo, field, 3).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..400 {
+        let e = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
+        let src = NodeId(rng.gen_range(0..350));
+        pool.insert_from(src, e.clone()).unwrap();
+        dim.insert_from(src, e).unwrap();
+    }
+    let victims = safe_victims(pool.topology(), 8, &mut rng);
+    let pool_at_risk: usize = victims.iter().map(|&v| pool.store().count_at(v)).sum();
+    let report = pool.fail_nodes(&victims).unwrap();
+    assert_eq!(report.events_lost, pool_at_risk);
+    assert_eq!(report.events_recovered, 0, "no replication, nothing to recover");
+
+    let dim_before = dim.stored_events();
+    let dim_report = dim.fail_nodes(&victims).unwrap();
+    assert_eq!(dim.stored_events(), dim_before - dim_report.events_lost);
+
+    // Both systems remain internally consistent: network answers equal
+    // their own surviving ground truth.
+    let full = RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
+    let sink = pool
+        .topology()
+        .nodes()
+        .iter()
+        .find(|n| pool.topology().is_alive(n.id))
+        .unwrap()
+        .id;
+    assert_eq!(pool.query_from(sink, &full).unwrap().events.len(), pool.store().len());
+    assert_eq!(dim.query_from(sink, &full).unwrap().events.len(), dim.stored_events());
+}
+
+#[test]
+fn nearest_neighbor_still_exact_after_failures() {
+    let (topo, field) = connected(300, 7);
+    let mut pool = PoolSystem::build(
+        topo,
+        field,
+        PoolConfig::paper().with_seed(7).with_replication(),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..200 {
+        let e = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
+        pool.insert_from(NodeId(rng.gen_range(0..300)), e).unwrap();
+    }
+    let victims = safe_victims(pool.topology(), 6, &mut rng);
+    pool.fail_nodes(&victims).unwrap();
+
+    let full = RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
+    let survivors = pool.brute_force_query(&full);
+    for _ in 0..10 {
+        let probe = [rng.gen(), rng.gen(), rng.gen()];
+        let mut sink = NodeId(rng.gen_range(0..300));
+        while !pool.topology().is_alive(sink) {
+            sink = NodeId(rng.gen_range(0..300));
+        }
+        let (got, _) = pool.nearest(sink, &probe).unwrap();
+        let want = survivors
+            .iter()
+            .map(|e| pool_dcs::core::nn::event_distance(&probe, e))
+            .fold(f64::INFINITY, f64::min);
+        assert!((got.unwrap().1 - want).abs() < 1e-12);
+    }
+}

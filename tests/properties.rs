@@ -1,0 +1,207 @@
+//! Property-based tests (proptest) of the core invariants listed in
+//! DESIGN.md §6. These exercise the pure math (placement, resolving, codes)
+//! over randomized inputs far beyond the hand-picked paper examples.
+
+use pool_dcs::core::event::Event;
+use pool_dcs::core::grid::{CellCoord, Grid};
+use pool_dcs::core::insert::{candidate_cells, offsets_for, storage_cell};
+use pool_dcs::core::interval::Interval;
+use pool_dcs::core::layout::PoolLayout;
+use pool_dcs::core::query::RangeQuery;
+use pool_dcs::core::resolve::{derived_ranges, relevant_cells};
+use pool_dcs::dim::ZoneCode;
+use pool_dcs::ght::hash::hash_to_location;
+use pool_dcs::netsim::Rect;
+use proptest::prelude::*;
+
+fn unit_value() -> impl Strategy<Value = f64> {
+    // Mix of smooth values and exact boundaries/ties.
+    prop_oneof![
+        8 => (0u32..=1_000_000u32).prop_map(|v| v as f64 / 1_000_000.0),
+        1 => Just(0.0),
+        1 => Just(1.0),
+        2 => (0u32..=10u32).prop_map(|v| v as f64 / 10.0),
+    ]
+}
+
+fn event3() -> impl Strategy<Value = Event> {
+    (unit_value(), unit_value(), unit_value())
+        .prop_map(|(a, b, c)| Event::new(vec![a, b, c]).unwrap())
+}
+
+fn range() -> impl Strategy<Value = (f64, f64)> {
+    (unit_value(), unit_value()).prop_map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+}
+
+fn query3() -> impl Strategy<Value = RangeQuery> {
+    let dim = prop_oneof![
+        3 => range().prop_map(Some),
+        1 => Just(None),
+    ];
+    (dim.clone(), dim.clone(), dim).prop_filter_map("at least one specified", |(a, b, c)| {
+        RangeQuery::from_bounds(vec![a, b, c]).ok()
+    })
+}
+
+/// Builds an event guaranteed to satisfy `q` by interpolating each
+/// dimension's value inside its (rewritten) range with the given fraction.
+fn event_inside(q: &RangeQuery, fracs: &[f64; 3]) -> Event {
+    let values = q
+        .rewritten()
+        .iter()
+        .zip(fracs)
+        .map(|(&(lo, hi), &f)| (lo + f * (hi - lo)).clamp(lo, hi))
+        .collect();
+    Event::new(values).unwrap()
+}
+
+fn layout(side: u32) -> (Grid, PoolLayout) {
+    let grid = Grid::over(Rect::square(200.0), 5.0).unwrap();
+    let layout = PoolLayout::random(&grid, 3, side, 99).unwrap();
+    (grid, layout)
+}
+
+proptest! {
+    /// Theorem 3.1 invariant: the assigned cell's Equation-1 ranges always
+    /// contain the event's deciding values.
+    #[test]
+    fn placement_cell_ranges_contain_deciding_values(e in event3(), side in 2u32..16) {
+        let (_, layout) = layout(side);
+        for placement in candidate_cells(&layout, &e) {
+            let pool = layout.pool(placement.pool_dim);
+            let (ho, vo) = pool.offsets_of(placement.cell).expect("cell is in its pool");
+            let v_d1 = e.value(placement.pool_dim);
+            let v_d2 = e.v_d2_given_d1(placement.pool_dim);
+            prop_assert!(pool.range_h(ho).contains(v_d1), "V_d1 {} not in {}", v_d1, pool.range_h(ho));
+            prop_assert!(pool.range_v(ho, vo).contains(v_d2), "V_d2 {} not in {}", v_d2, pool.range_v(ho, vo));
+        }
+    }
+
+    /// Theorem 3.2 soundness: if an event matches the query, every cell
+    /// that might store it (all tie candidates) appears in the resolved set.
+    /// The event is *constructed* inside the query box so every sample is a
+    /// genuine match.
+    #[test]
+    fn resolve_never_misses_a_matching_event(
+        q in query3(),
+        fracs in [unit_value(), unit_value(), unit_value()],
+        side in 2u32..16,
+    ) {
+        let (_, layout) = layout(side);
+        let e = event_inside(&q, &fracs);
+        prop_assert!(q.matches(&e));
+        let resolved = relevant_cells(&layout, &q);
+        for placement in candidate_cells(&layout, &e) {
+            prop_assert!(
+                resolved.contains(&(placement.pool_dim, placement.cell)),
+                "event {} at {} in P{} missed by {}",
+                e, placement.cell, placement.pool_dim + 1, q
+            );
+        }
+    }
+
+    /// §2 rewrite equivalence: resolving a partial query equals resolving
+    /// its explicit [0,1]-rewritten form.
+    #[test]
+    fn partial_rewrite_resolves_identically(q in query3()) {
+        let (_, layout) = layout(10);
+        let rewritten = RangeQuery::exact(q.rewritten()).unwrap();
+        prop_assert_eq!(relevant_cells(&layout, &q), relevant_cells(&layout, &rewritten));
+    }
+
+    /// The derived ranges are bounds on (V_d1, V_d2) of matching events in
+    /// the pool: direct check without going through cells.
+    #[test]
+    fn derived_ranges_bound_matching_events(
+        q in query3(),
+        fracs in [unit_value(), unit_value(), unit_value()],
+    ) {
+        let e = event_inside(&q, &fracs);
+        prop_assert!(q.matches(&e));
+        let rewritten = q.rewritten();
+        for placement in candidate_cells(&layout(10).1, &e) {
+            let i = placement.pool_dim;
+            let r = derived_ranges(&rewritten, i);
+            let v_d1 = e.value(i);
+            let v_d2 = e.v_d2_given_d1(i);
+            prop_assert!(r.r_h.contains(v_d1), "V_d1 {} outside R_H {}", v_d1, r.r_h);
+            prop_assert!(r.r_v.contains(v_d2), "V_d2 {} outside R_V {}", v_d2, r.r_v);
+        }
+    }
+
+    /// Interval intersection agrees with a dense membership sample.
+    #[test]
+    fn interval_intersection_matches_membership(
+        a in range(), b in range(), half_a in any::<bool>(), half_b in any::<bool>()
+    ) {
+        let ia = if half_a { Interval::half_open(a.0, a.1) } else { Interval::closed(a.0, a.1) };
+        let ib = if half_b { Interval::half_open(b.0, b.1) } else { Interval::closed(b.0, b.1) };
+        let mut witnessed = false;
+        for i in 0..=400 {
+            let v = i as f64 / 400.0;
+            if ia.contains(v) && ib.contains(v) {
+                witnessed = true;
+                break;
+            }
+        }
+        // A shared sample point implies intersection (the converse can fail
+        // for slivers narrower than the sampling step).
+        if witnessed {
+            prop_assert!(ia.intersects(ib), "{} and {} share points but 'intersect' is false", ia, ib);
+        }
+        prop_assert_eq!(ia.intersects(ib), ib.intersects(ia));
+    }
+
+    /// Theorem 3.1's arithmetic stays in range for any valid inputs.
+    #[test]
+    fn offsets_always_inside_pool(v1 in unit_value(), v2 in unit_value(), side in 1u32..64) {
+        let (hi, lo) = if v1 >= v2 { (v1, v2) } else { (v2, v1) };
+        let (ho, vo) = offsets_for(hi, lo, side);
+        prop_assert!(ho < side && vo < side);
+    }
+
+    /// Tie handling (§4.1): exactly one candidate per tied greatest
+    /// dimension, and the chosen cell is among the candidates.
+    #[test]
+    fn tie_candidates_match_greatest_dims(e in event3(), x in 0u32..35, y in 0u32..35) {
+        let (grid, layout) = layout(8);
+        let candidates = candidate_cells(&layout, &e);
+        prop_assert_eq!(candidates.len(), e.greatest_dims().len());
+        let chosen = storage_cell(&layout, &grid, &e, CellCoord::new(x, y));
+        prop_assert!(candidates.contains(&chosen));
+    }
+
+    /// DIM: an event's zone code bits are a prefix-consistent function of
+    /// its values, and the decoded attribute ranges always contain it.
+    #[test]
+    fn dim_event_codes_are_consistent(e in event3(), len in 1usize..20) {
+        let code = ZoneCode::of_event(e.values(), len);
+        prop_assert_eq!(code.len(), len);
+        let shorter = ZoneCode::of_event(e.values(), len.saturating_sub(1));
+        prop_assert!(shorter.is_prefix_of(&code));
+        for (i, (lo, hi)) in code.attribute_ranges(3).into_iter().enumerate() {
+            prop_assert!(e.value(i) >= lo && e.value(i) <= hi);
+        }
+    }
+
+    /// GHT: hashing always lands inside the field and is deterministic.
+    #[test]
+    fn ght_hash_in_field(key in "[a-z0-9]{1,16}", w in 10.0f64..500.0, h in 10.0f64..500.0) {
+        let field = Rect::new(
+            pool_dcs::netsim::Point::new(0.0, 0.0),
+            pool_dcs::netsim::Point::new(w, h),
+        );
+        let p1 = hash_to_location(key.as_bytes(), field);
+        let p2 = hash_to_location(key.as_bytes(), field);
+        prop_assert_eq!(p1, p2);
+        prop_assert!(field.contains(p1));
+    }
+
+    /// Query classification is stable under rewriting: the rewritten form
+    /// of any query matches exactly the same events.
+    #[test]
+    fn rewrite_preserves_semantics(e in event3(), q in query3()) {
+        let rewritten = RangeQuery::exact(q.rewritten()).unwrap();
+        prop_assert_eq!(q.matches(&e), rewritten.matches(&e));
+    }
+}

@@ -1,0 +1,107 @@
+//! Ground-truth validation of the analytic cost accounting: GPSR routes
+//! are replayed hop by hop inside the discrete-event simulator, whose
+//! strict radio model (neighbors-only sends) and independent traffic
+//! ledger must agree with the analytically computed paths.
+
+use pool_dcs::gpsr::{Gpsr, Planarization};
+use pool_dcs::netsim::sim::{Context, Protocol, Simulator};
+use pool_dcs::netsim::{Deployment, NodeId, Topology};
+use std::collections::HashMap;
+
+/// A source-routing protocol: each packet carries the precomputed GPSR
+/// path and every node forwards to the next hop listed.
+struct SourceRouted {
+    delivered: Vec<(usize, NodeId, usize)>,
+}
+
+#[derive(Clone)]
+struct Packet {
+    id: usize,
+    path: Vec<NodeId>,
+    cursor: usize,
+}
+
+impl Protocol for SourceRouted {
+    type Message = Packet;
+    fn on_message(&mut self, ctx: &mut Context<Packet>, at: NodeId, mut msg: Packet) {
+        assert_eq!(msg.path[msg.cursor], at, "packet at the wrong node");
+        if msg.cursor + 1 == msg.path.len() {
+            self.delivered.push((msg.id, at, msg.cursor));
+            return;
+        }
+        let next = msg.path[msg.cursor + 1];
+        msg.cursor += 1;
+        ctx.send(at, next, msg);
+    }
+}
+
+fn connected_topology(n: usize, mut seed: u64) -> Topology {
+    loop {
+        let dep = Deployment::paper_setting(n, 40.0, 20.0, seed).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if topo.is_connected() {
+            return topo;
+        }
+        seed += 1;
+    }
+}
+
+#[test]
+fn gpsr_paths_replay_exactly_in_the_simulator() {
+    let topo = connected_topology(300, 42);
+    let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+
+    // Compute 40 routes analytically.
+    let mut routes = Vec::new();
+    for i in 0..40u32 {
+        let from = NodeId(i * 7 % 300);
+        let to = NodeId((i * 31 + 5) % 300);
+        routes.push(gpsr.route_to_node(&topo, from, to).unwrap());
+    }
+    let expected_hops: u64 = routes.iter().map(|r| r.hops() as u64).sum();
+
+    // Replay them through the strict discrete-event radio model.
+    let mut sim = Simulator::new(topo, SourceRouted { delivered: Vec::new() });
+    for (id, route) in routes.iter().enumerate() {
+        let start = route.path[0];
+        sim.inject(start, Packet { id, path: route.path.clone(), cursor: 0 });
+    }
+    sim.run().expect("all sends are between radio neighbors");
+
+    assert_eq!(sim.protocol().delivered.len(), routes.len(), "every packet delivered");
+    assert_eq!(
+        sim.traffic().total_messages(),
+        expected_hops,
+        "simulator ledger must equal analytic hop count"
+    );
+    // Deliveries complete in time order, not injection order: match by id.
+    for &(id, at, hops) in &sim.protocol().delivered {
+        assert_eq!(at, routes[id].delivered);
+        assert_eq!(hops, routes[id].hops());
+    }
+}
+
+#[test]
+fn per_node_loads_match_between_ledgers() {
+    let topo = connected_topology(200, 9);
+    let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
+    let mut analytic: HashMap<NodeId, u64> = HashMap::new();
+    let mut routes = Vec::new();
+    for i in 0..25u32 {
+        let route = gpsr.route_to_node(&topo, NodeId(i), NodeId(199 - i)).unwrap();
+        for w in route.path.windows(2) {
+            if w[0] != w[1] {
+                *analytic.entry(w[0]).or_insert(0) += 1;
+            }
+        }
+        routes.push(route);
+    }
+    let mut sim = Simulator::new(topo, SourceRouted { delivered: Vec::new() });
+    for (id, route) in routes.iter().enumerate() {
+        sim.inject(route.path[0], Packet { id, path: route.path.clone(), cursor: 0 });
+    }
+    sim.run().unwrap();
+    for (node, &count) in &analytic {
+        assert_eq!(sim.traffic().load(*node), count, "load mismatch at {node}");
+    }
+}
