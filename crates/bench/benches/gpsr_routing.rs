@@ -22,10 +22,9 @@ fn connected_topology(n: usize, mut seed: u64) -> Topology {
 fn bench_planarization(c: &mut Criterion) {
     let topo = connected_topology(600, 10);
     let mut group = c.benchmark_group("planarization_build");
-    for (name, method) in [
-        ("gabriel", Planarization::Gabriel),
-        ("rng", Planarization::RelativeNeighborhood),
-    ] {
+    for (name, method) in
+        [("gabriel", Planarization::Gabriel), ("rng", Planarization::RelativeNeighborhood)]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(name), &method, |b, &m| {
             b.iter(|| Gpsr::new(black_box(&topo), m))
         });

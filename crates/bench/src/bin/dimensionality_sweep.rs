@@ -8,11 +8,11 @@
 //!
 //! Run: `cargo run -p pool-bench --bin dimensionality_sweep --release`
 
+use pool_bench::cli::arg_usize;
 use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_workloads::events::EventDistribution;
 use pool_workloads::queries::RangeSizeDistribution;
-use pool_bench::cli::arg_usize;
 
 fn main() {
     let queries = arg_usize("--queries", 50);
@@ -22,9 +22,9 @@ fn main() {
         &["k", "pool_exact", "dim_exact", "pool_1partial", "dim_1partial"],
     );
     for k in 2usize..=6 {
-        let scenario =
-            Scenario { dims: k, ..Scenario::paper(nodes, 7_000 + k as u64) };
-        let mut pair = SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
+        let scenario = Scenario { dims: k, ..Scenario::paper(nodes, 7_000 + k as u64) };
+        let mut pair =
+            SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
         let exact = measure(
             &mut pair,
             QueryKind::Exact(RangeSizeDistribution::Exponential { mean: 0.1 }),
@@ -37,4 +37,3 @@ fn main() {
         );
     }
 }
-

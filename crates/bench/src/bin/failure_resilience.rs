@@ -94,13 +94,8 @@ fn main() {
         plain.fail_nodes(&victims).unwrap();
         let report = replicated.fail_nodes(&victims).unwrap();
 
-        let sink = plain
-            .topology()
-            .nodes()
-            .iter()
-            .find(|n| plain.topology().is_alive(n.id))
-            .unwrap()
-            .id;
+        let sink =
+            plain.topology().nodes().iter().find(|n| plain.topology().is_alive(n.id)).unwrap().id;
         let dim_alive = dim.query_from(sink, &full).unwrap().events.len();
         let pool_alive = plain.query_from(sink, &full).unwrap().events.len();
         let repl_alive = replicated.query_from(sink, &full).unwrap().events.len();

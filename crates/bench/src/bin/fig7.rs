@@ -9,10 +9,10 @@
 //!
 //! Run: `cargo run -p pool-bench --bin fig7 --release [-- --queries N --nodes N]`
 
+use pool_bench::cli::arg_usize;
 use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_workloads::events::EventDistribution;
-use pool_bench::cli::arg_usize;
 
 fn main() {
     let queries = arg_usize("--queries", 100);
@@ -53,4 +53,3 @@ fn main() {
         );
     }
 }
-

@@ -78,11 +78,7 @@ fn main() {
     println!("  dim : round {}", dim_dead_round.map_or("-".into(), |r| r.to_string()));
     // Hotspot context: who is draining fastest?
     let busiest = |t: &pool_netsim::stats::TrafficStats| {
-        (0..nodes as u32)
-            .map(NodeId)
-            .max_by_key(|&n| t.load(n))
-            .map(|n| (n, t.load(n)))
-            .unwrap()
+        (0..nodes as u32).map(NodeId).max_by_key(|&n| t.load(n)).map(|n| (n, t.load(n))).unwrap()
     };
     let (pn, pl) = busiest(pair.pool.traffic());
     let (dn, dl) = busiest(pair.dim.traffic());

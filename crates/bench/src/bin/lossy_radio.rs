@@ -9,12 +9,12 @@
 //!
 //! Run: `cargo run -p pool-bench --bin lossy_radio --release`
 
+use pool_bench::cli::arg_usize;
 use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_netsim::radio::{mean_link_etx, PrrModel};
 use pool_workloads::events::EventDistribution;
 use pool_workloads::queries::RangeSizeDistribution;
-use pool_bench::cli::arg_usize;
 
 fn main() {
     let queries = arg_usize("--queries", 60);
@@ -36,11 +36,6 @@ fn main() {
         ("harsh loss (15/42 m)", PrrModel::new(15.0, 42.0)),
     ] {
         let etx = mean_link_etx(pair.pool.topology(), model);
-        println!(
-            "{label}\t{etx:.2}\t{:.1}\t{:.1}",
-            m.pool.mean * etx,
-            m.dim.mean * etx
-        );
+        println!("{label}\t{etx:.2}\t{:.1}\t{:.1}", m.pool.mean * etx, m.dim.mean * etx);
     }
 }
-

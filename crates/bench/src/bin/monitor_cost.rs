@@ -32,20 +32,15 @@ fn main() {
     };
 
     print_header(
-        &format!(
-            "Continuous monitor vs polling ({nodes} nodes, 500 insertions, poll every 50)"
-        ),
+        &format!("Continuous monitor vs polling ({nodes} nodes, 500 insertions, poll every 50)"),
         &["selectivity", "matches", "monitor_msgs", "polling_msgs", "poll/monitor"],
     );
 
     // Wider query ranges -> more matches -> more notifications.
     for width in [0.02f64, 0.05, 0.1, 0.2, 0.4] {
-        let query = RangeQuery::from_bounds(vec![
-            Some((0.5 - width / 2.0, 0.5 + width / 2.0)),
-            None,
-            None,
-        ])
-        .unwrap();
+        let query =
+            RangeQuery::from_bounds(vec![Some((0.5 - width / 2.0, 0.5 + width / 2.0)), None, None])
+                .unwrap();
         let sink = NodeId(3);
 
         // Strategy A: continuous monitor.
@@ -60,8 +55,7 @@ fn main() {
             let event = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
             let receipt = monitored.insert_from(NodeId((i % nodes) as u32), event).unwrap();
             matches += receipt.notifications.len();
-            monitor_msgs +=
-                receipt.notifications.iter().map(|n| n.messages).sum::<u64>();
+            monitor_msgs += receipt.notifications.iter().map(|n| n.messages).sum::<u64>();
         }
 
         // Strategy B: poll every 50 insertions (10 polls).

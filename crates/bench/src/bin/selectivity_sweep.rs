@@ -7,11 +7,11 @@
 //!
 //! Run: `cargo run -p pool-bench --bin selectivity_sweep --release`
 
+use pool_bench::cli::arg_usize;
 use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_workloads::events::EventDistribution;
 use pool_workloads::queries::RangeSizeDistribution;
-use pool_bench::cli::arg_usize;
 
 fn main() {
     let queries = arg_usize("--queries", 50);
@@ -23,11 +23,8 @@ fn main() {
         &["range_size", "pool_msgs", "dim_msgs", "dim/pool", "pool_cells", "dim_zones"],
     );
     for size in [0.02f64, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
-        let m = measure(
-            &mut pair,
-            QueryKind::Exact(RangeSizeDistribution::Constant { size }),
-            queries,
-        );
+        let m =
+            measure(&mut pair, QueryKind::Exact(RangeSizeDistribution::Constant { size }), queries);
         println!(
             "{size:.2}\t{:.1}\t{:.1}\t{:.2}\t{:.1}\t{:.1}",
             m.pool.mean,
@@ -38,4 +35,3 @@ fn main() {
         );
     }
 }
-

@@ -7,11 +7,11 @@
 //!
 //! Run: `cargo run -p pool-bench --bin sweep_pool_side --release`
 
+use pool_bench::cli::arg_usize;
 use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_workloads::events::EventDistribution;
 use pool_workloads::queries::RangeSizeDistribution;
-use pool_bench::cli::arg_usize;
 
 fn main() {
     let queries = arg_usize("--queries", 60);
@@ -36,4 +36,3 @@ fn main() {
         );
     }
 }
-

@@ -1,7 +1,10 @@
 //! Minimal shared CLI parsing for the figure binaries.
 //!
-//! Every binary accepts `--queries N` and `--nodes N` style flags; this
-//! avoids pulling a CLI dependency for two integers.
+//! Every binary accepts `--queries N` and `--nodes N` style flags (and
+//! `--transport gpsr|cached` to select the routing substrate); this avoids
+//! pulling a CLI dependency for two integers and an enum.
+
+use pool_transport::TransportKind;
 
 /// Parses `flag <value>` from `std::env::args`, falling back to `default`
 /// when absent or malformed.
@@ -22,6 +25,30 @@ pub fn arg_usize(flag: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parses `flag <value>` as a routing-substrate selector (`gpsr` or
+/// `cached`), falling back to `default` when absent; exits with the parse
+/// error on a malformed value rather than silently benchmarking the wrong
+/// substrate.
+///
+/// # Examples
+///
+/// ```
+/// use pool_transport::TransportKind;
+///
+/// let t = pool_bench::cli::arg_transport("--transport", TransportKind::Gpsr);
+/// assert_eq!(t, TransportKind::Gpsr);
+/// ```
+pub fn arg_transport(flag: &str, default: TransportKind) -> TransportKind {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("{flag}: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -29,5 +56,10 @@ mod tests {
     #[test]
     fn missing_flag_yields_default() {
         assert_eq!(arg_usize("--definitely-not-passed", 7), 7);
+    }
+
+    #[test]
+    fn missing_transport_flag_yields_default() {
+        assert_eq!(arg_transport("--no-such-flag", TransportKind::Cached), TransportKind::Cached);
     }
 }

@@ -16,7 +16,9 @@ use pool_netsim::node::NodeId;
 use pool_netsim::stats::Summary;
 use pool_netsim::topology::Topology;
 use pool_workloads::events::{EventDistribution, EventGenerator};
-use pool_workloads::queries::{exact_query, partial_query, partial_query_at, RangeSizeDistribution};
+use pool_workloads::queries::{
+    exact_query, partial_query, partial_query_at, RangeSizeDistribution,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -86,8 +88,12 @@ impl SystemPair {
             seed = seed.wrapping_add(0x1000);
         };
         let config = config.with_dims(scenario.dims).with_seed(scenario.seed);
+        // Both systems ride the same routing substrate so the comparison
+        // (and the route cache, when selected) is apples to apples.
+        let transport = config.transport;
         let mut pool = PoolSystem::build(topology.clone(), field, config).expect("pool builds");
-        let mut dim = DimSystem::build(topology, field, scenario.dims).expect("dim builds");
+        let mut dim = DimSystem::build_with_transport(topology, field, scenario.dims, transport)
+            .expect("dim builds");
 
         let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0xE7E7_E7E7);
         let mut generator = EventGenerator::new(scenario.dims, events);

@@ -1,0 +1,140 @@
+//! Offline stub of `criterion`, covering the API surface of this
+//! workspace's benches. The build environment cannot reach crates.io, so
+//! this crate provides a minimal wall-clock timing harness with the same
+//! macro/type surface (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `black_box`). It reports a simple
+//! mean per iteration — no statistics, baselines, or HTML reports. Swap
+//! back to real criterion by restoring the crates.io dependency.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (stable-Rust best-effort, same as criterion's).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Stub measurement settings: iteration count per benchmark.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Enough iterations to smooth scheduler noise without making
+        // `cargo bench` crawl; the stub is a smoke-timer, not a lab.
+        Self { iters: 50 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.iters, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), iters: self.iters, _parent: self }
+    }
+
+    /// Called by `criterion_main!`; the stub has no pending reports.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = n as u64;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.iters, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.iters, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new(name: impl fmt::Display, p: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Timing handle passed to the closure under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, iters: u64, mut f: F) {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    // One warmup pass, then the measured pass.
+    f(&mut b);
+    f(&mut b);
+    let per_iter = b.elapsed.as_nanos() / u128::from(iters.max(1));
+    println!("bench {id:<48} {per_iter:>12} ns/iter ({iters} iters)");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,168 @@
+//! Offline stub of `proptest`, sufficient for this workspace's property
+//! tests. The build environment cannot reach crates.io, so this crate
+//! re-implements the subset of the proptest API the tests use:
+//!
+//! - `Strategy` (value-based: `generate` from a deterministic RNG; no
+//!   shrinking — a failing case panics with the generated inputs),
+//! - range / tuple / `Just` / regex-lite string strategies,
+//! - `prop_map`, `prop_filter_map`, `boxed`, weighted `prop_oneof!`,
+//! - the `proptest!` block macro with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`,
+//! - `prop_assert!` / `prop_assert_eq!` returning `TestCaseError`.
+//!
+//! Swap back to real proptest by restoring the crates.io dependency.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Deterministic RNG backing case generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)` via widening multiply; `bound` must be > 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runs `name`d property `body` for `config.cases` generated cases.
+///
+/// Called by the `proptest!` macro expansion; public so the macro can
+/// reach it from test crates.
+pub fn run_property<F>(name: &str, config: &test_runner::ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<bool, test_runner::TestCaseError>,
+{
+    // Per-test deterministic seed so distinct properties explore
+    // different streams but reruns are reproducible.
+    let mut seed = 0xC0DE_F00D_u64;
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+    }
+    let mut rng = TestRng::new(seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(true) => accepted += 1,
+            Ok(false) => {
+                rejected += 1;
+                assert!(
+                    rejected < 65_536,
+                    "proptest stub: {name}: too many rejected cases ({rejected})"
+                );
+            }
+            Err(e) => panic!("proptest stub: property {name} failed after {accepted} cases: {e}"),
+        }
+    }
+}
+
+/// `proptest! { ... }` — runs each contained `fn` as a property test.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    (@run $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                $crate::run_property(stringify!($name), &config, |rng| {
+                    $(
+                        let $arg = match $crate::strategy::Strategy::generate(&($strat), rng) {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => return ::core::result::Result::Ok(false),
+                        };
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    outcome.map(|()| true)
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Fallible assertion: returns `TestCaseError` instead of panicking so the
+/// runner can report the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Weighted union of strategies: `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,357 @@
+//! Value-generating strategies (stub: no shrink trees).
+
+use crate::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A source of random values of one type.
+///
+/// `generate` returns `None` when a filter rejects the case; the runner
+/// retries with fresh randomness.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter_map<O, F>(self, _whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Type-erased, cheaply clonable strategy (`Rc`-shared; tests are
+/// single-threaded so no `Send` requirement).
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// Weighted choice among same-valued strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone(), total: self.total }
+    }
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let mut pick = rng.below(self.total as u64) as u32;
+        for (weight, arm) in &self.arms {
+            if pick < *weight {
+                return arm.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// `any::<T>()` — the full-domain strategy for simple scalar types.
+pub fn any<T: ArbitraryScalar>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+pub trait ArbitraryScalar: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: ArbitraryScalar> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryScalar for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryScalar for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryScalar for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+// ---- Range strategies -------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                Some(self.start + rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return Some(rng.next_u64() as $t);
+                }
+                Some(lo + rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        Some(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        Some(self.start() + rng.unit_f64() * (self.end() - self.start()))
+    }
+}
+
+// ---- Tuple strategies -------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        let mut out = Vec::with_capacity(N);
+        for s in self {
+            out.push(s.generate(rng)?);
+        }
+        match out.try_into() {
+            Ok(arr) => Some(arr),
+            Err(_) => unreachable!("length is N by construction"),
+        }
+    }
+}
+
+// ---- Regex-lite string strategy ---------------------------------------
+
+/// String literals act as regex strategies in proptest. The stub supports
+/// the single shape the tests use: one character class with a bounded
+/// repetition, e.g. `"[a-z0-9]{1,16}"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        let (alphabet, min, max) = parse_class_repeat(self)
+            .unwrap_or_else(|| panic!("proptest stub: unsupported regex strategy {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        Some((0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect())
+    }
+}
+
+/// Parses `[class]{min,max}` into (alphabet, min, max).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let rest = rest.strip_prefix('{')?;
+    let counts = rest.strip_suffix('}')?;
+    let (min, max) = counts.split_once(',')?;
+    let (min, max) = (min.parse().ok()?, max.parse().ok()?);
+    if min > max {
+        return None;
+    }
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            alphabet.extend(lo..=hi);
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..2000 {
+            let v = (3u32..9).generate(&mut rng).unwrap();
+            assert!((3..9).contains(&v));
+            let w = (2usize..=6).generate(&mut rng).unwrap();
+            assert!((2..=6).contains(&w));
+            let f = (10.0f64..500.0).generate(&mut rng).unwrap();
+            assert!((10.0..500.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_probability_of_missing_arms() {
+        let mut rng = TestRng::new(11);
+        let u = Union::new(vec![(1, Just(1u32).boxed()), (3, Just(2u32).boxed())]);
+        let mut saw = [0u32; 3];
+        for _ in 0..1000 {
+            saw[u.generate(&mut rng).unwrap() as usize] += 1;
+        }
+        assert_eq!(saw[0], 0);
+        assert!(saw[1] > 100 && saw[2] > saw[1]);
+    }
+
+    #[test]
+    fn regex_lite_parses_class_and_counts() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..500 {
+            let s = "[a-z0-9]{1,16}".generate(&mut rng).unwrap();
+            assert!((1..=16).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects_via_none() {
+        let mut rng = TestRng::new(5);
+        let s = (0u32..10).prop_filter_map("evens", |v| (v % 2 == 0).then_some(v));
+        let mut kept = 0;
+        for _ in 0..200 {
+            if let Some(v) = s.generate(&mut rng) {
+                assert_eq!(v % 2, 0);
+                kept += 1;
+            }
+        }
+        assert!(kept > 50);
+    }
+}

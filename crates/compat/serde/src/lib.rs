@@ -1,0 +1,21 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on data types for
+//! downstream consumers but never serializes anything itself, and the
+//! build environment cannot reach crates.io. This stub provides the two
+//! marker traits and re-exports no-op derive macros so `#[derive(...)]`
+//! keeps compiling hermetically. Swap back to real serde by restoring the
+//! crates.io dependency in the workspace manifest.
+
+/// Marker for serializable types (stub — carries no methods).
+pub trait Serialize {}
+
+/// Marker for deserializable types (stub — carries no methods).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker mirroring serde's owned-deserialization helper trait.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` stub.
+//!
+//! The derives accept (and ignore) `#[serde(...)]` attributes and emit no
+//! code — the stub `Serialize`/`Deserialize` traits are pure markers.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -103,7 +103,8 @@ impl PoolSystem {
                     );
                 }
                 if !self.topology().is_alive(s.holder) {
-                    report.violate("holder-alive", format!("{} held by dead {}", s.event, s.holder));
+                    report
+                        .violate("holder-alive", format!("{} held by dead {}", s.event, s.holder));
                 }
                 if !chain.contains(&s.holder) {
                     report.violate(
@@ -193,8 +194,7 @@ mod tests {
     fn sharing_system_stays_within_capacity() {
         let mut pool = build(3, PoolConfig::paper().with_sharing(SharingPolicy::new(7)));
         for i in 0..60u32 {
-            pool.insert_from(NodeId(i % 300), Event::new(vec![0.91, 0.07, 0.03]).unwrap())
-                .unwrap();
+            pool.insert_from(NodeId(i % 300), Event::new(vec![0.91, 0.07, 0.03]).unwrap()).unwrap();
         }
         let report = pool.audit();
         assert!(report.is_healthy(), "{:?}", report.violations);

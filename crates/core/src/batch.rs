@@ -15,6 +15,7 @@ use crate::resolve::relevant_cells;
 use crate::system::{PoolSystem, QueryCost};
 use crate::PoolError;
 use pool_netsim::node::NodeId;
+use pool_transport::TrafficLayer;
 use std::collections::{HashMap, HashSet};
 
 /// The outcome of a query batch.
@@ -72,7 +73,7 @@ impl PoolSystem {
         for dim in dims {
             let cells = &by_pool[&dim];
             let splitter = self.splitter_of(dim, sink);
-            let to_splitter = self.route_and_record(sink, splitter)?;
+            let to_splitter = self.route_and_record(sink, splitter, TrafficLayer::Forward)?;
             cost.forward_messages += to_splitter;
 
             let mut pool_has_match = false;
@@ -80,9 +81,8 @@ impl PoolSystem {
             sorted_cells.sort();
             for cell in sorted_cells {
                 visited.insert(cell);
-                let index_node =
-                    self.index_node_of(cell).expect("pool cells have index nodes");
-                let to_cell = self.route_and_record(splitter, index_node)?;
+                let index_node = self.index_node_of(cell).expect("pool cells have index nodes");
+                let to_cell = self.route_and_record(splitter, index_node, TrafficLayer::Forward)?;
                 cost.forward_messages += to_cell;
 
                 // One scan of the cell serves every interested query.
@@ -99,13 +99,13 @@ impl PoolSystem {
                     }
                 }
                 if cell_matched {
-                    let back = self.route_and_record(index_node, splitter)?;
+                    let back = self.route_and_record(index_node, splitter, TrafficLayer::Reply)?;
                     cost.reply_messages += back;
                     pool_has_match = true;
                 }
             }
             if pool_has_match {
-                let back = self.route_and_record(splitter, sink)?;
+                let back = self.route_and_record(splitter, sink, TrafficLayer::Reply)?;
                 cost.reply_messages += back;
             }
         }
@@ -161,9 +161,7 @@ mod tests {
         for (qi, q) in queries.iter().enumerate() {
             let mut individual = single.query_from(NodeId(7), q).unwrap().events;
             let mut from_batch = batch.per_query[qi].clone();
-            let key = |e: &Event| {
-                e.values().iter().map(|v| (v * 1e9) as i64).collect::<Vec<_>>()
-            };
+            let key = |e: &Event| e.values().iter().map(|v| (v * 1e9) as i64).collect::<Vec<_>>();
             individual.sort_by_key(key);
             from_batch.sort_by_key(key);
             assert_eq!(from_batch, individual, "query {qi}");
@@ -178,14 +176,9 @@ mod tests {
         load(&mut single, 300, 10);
         let queries = sample_queries();
         let batch_cost = batched.query_batch(NodeId(11), &queries).unwrap().cost.total();
-        let separate: u64 = queries
-            .iter()
-            .map(|q| single.query_from(NodeId(11), q).unwrap().cost.total())
-            .sum();
-        assert!(
-            batch_cost < separate,
-            "batch {batch_cost} should beat separate {separate}"
-        );
+        let separate: u64 =
+            queries.iter().map(|q| single.query_from(NodeId(11), q).unwrap().cost.total()).sum();
+        assert!(batch_cost < separate, "batch {batch_cost} should beat separate {separate}");
     }
 
     #[test]
@@ -205,10 +198,7 @@ mod tests {
     #[test]
     fn empty_batch_rejected() {
         let mut pool = build(4);
-        assert!(matches!(
-            pool.query_batch(NodeId(0), &[]),
-            Err(PoolError::InvalidQuery { .. })
-        ));
+        assert!(matches!(pool.query_batch(NodeId(0), &[]), Err(PoolError::InvalidQuery { .. })));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::error::PoolError;
 use crate::grid::CellCoord;
 use pool_gpsr::Planarization;
+use pool_transport::TransportKind;
 
 /// Workload-sharing policy (§4.2): when an index node's stored-event count
 /// reaches `capacity`, subsequent events for its cells are delegated to a
@@ -54,6 +55,9 @@ pub struct PoolConfig {
     pub seed: u64,
     /// Planarization used by the GPSR substrate.
     pub planarization: Planarization,
+    /// Routing substrate implementation (plain GPSR, or the memoizing
+    /// route cache — identical message counts either way).
+    pub transport: TransportKind,
     /// Optional workload sharing (§4.2).
     pub sharing: Option<SharingPolicy>,
     /// Explicit pivot cells (overrides random placement when set).
@@ -77,6 +81,7 @@ impl PoolConfig {
             dims: 3,
             seed: 0,
             planarization: Planarization::Gabriel,
+            transport: TransportKind::Gpsr,
             sharing: None,
             pivots: None,
             aggregate_replies: true,
@@ -111,6 +116,12 @@ impl PoolConfig {
     /// Sets the planarization method.
     pub fn with_planarization(mut self, p: Planarization) -> Self {
         self.planarization = p;
+        self
+    }
+
+    /// Selects the routing-substrate implementation.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 

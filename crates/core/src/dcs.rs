@@ -117,9 +117,7 @@ mod tests {
     fn trait_object_roundtrip() {
         let mut store: Box<dyn DataCentricStore> = Box::new(build());
         assert_eq!(store.scheme_name(), "pool");
-        let msgs = store
-            .insert_event(NodeId(4), Event::new(vec![0.9, 0.1, 0.4]).unwrap())
-            .unwrap();
+        let msgs = store.insert_event(NodeId(4), Event::new(vec![0.9, 0.1, 0.4]).unwrap()).unwrap();
         assert!(msgs > 0);
         assert_eq!(store.stored_events(), 1);
         let q = RangeQuery::exact(vec![(0.8, 1.0), (0.0, 0.2), (0.3, 0.5)]).unwrap();

@@ -103,11 +103,7 @@ impl fmt::Display for QueryPlan {
                 pool.cells.len()
             )?;
             for c in &pool.cells {
-                writeln!(
-                    f,
-                    "    {} H={} V={} @ {}",
-                    c.cell, c.range_h, c.range_v, c.index_node
-                )?;
+                writeln!(f, "    {} H={} V={} @ {}", c.cell, c.range_h, c.range_v, c.index_node)?;
             }
         }
         write!(
@@ -249,9 +245,6 @@ mod tests {
     fn explain_rejects_wrong_arity() {
         let pool = figure2_system();
         let q = RangeQuery::exact(vec![(0.0, 1.0)]).unwrap();
-        assert!(matches!(
-            pool.explain(NodeId(0), &q),
-            Err(PoolError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(pool.explain(NodeId(0), &q), Err(PoolError::DimensionMismatch { .. })));
     }
 }

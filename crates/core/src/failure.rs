@@ -20,8 +20,8 @@ use crate::event::Event;
 use crate::grid::CellCoord;
 use crate::system::PoolSystem;
 use crate::PoolError;
-use pool_gpsr::Gpsr;
 use pool_netsim::node::NodeId;
+use pool_transport::TrafficLayer;
 use std::collections::HashMap;
 
 /// Outcome of a failure-injection step.
@@ -68,10 +68,11 @@ impl PoolSystem {
         };
 
         // 1. Take the nodes out of the radio network and rebuild routing.
+        //    Transport::rebuild re-planarizes, bumps the topology
+        //    generation, and invalidates any memoized routes.
         let new_topology = self.topology().without_nodes(dead);
         new_topology.require_connected().map_err(|e| PoolError::Routing(e.to_string()))?;
-        let new_gpsr = Gpsr::new(&new_topology, self.config().planarization);
-        self.replace_network(new_topology, new_gpsr);
+        self.replace_network(new_topology);
 
         // 2. Re-elect index nodes for every pool cell.
         let mut new_index: HashMap<CellCoord, NodeId> = HashMap::new();
@@ -106,7 +107,7 @@ impl PoolSystem {
                         // deposed index node): migrate the copy.
                         report.events_migrated += 1;
                         report.repair_messages +=
-                            self.route_and_record(s.holder, index_node)?;
+                            self.route_and_record(s.holder, index_node, TrafficLayer::Repair)?;
                         self.restore_event(cell, s.event.clone(), index_node);
                     }
                     continue;
@@ -117,7 +118,7 @@ impl PoolSystem {
                     Some(backup_holder) => {
                         report.events_recovered += 1;
                         report.repair_messages +=
-                            self.route_and_record(backup_holder, index_node)?;
+                            self.route_and_record(backup_holder, index_node, TrafficLayer::Repair)?;
                         self.restore_event(cell, s.event.clone(), index_node);
                     }
                     None => report.events_lost += 1,
@@ -146,9 +147,7 @@ fn take_backup(
     topology: &pool_netsim::topology::Topology,
 ) -> Option<NodeId> {
     let copies = backups.get_mut(&cell)?;
-    let idx = copies
-        .iter()
-        .position(|c| &c.event == event && topology.is_alive(c.holder))?;
+    let idx = copies.iter().position(|c| &c.event == event && topology.is_alive(c.holder))?;
     Some(copies.swap_remove(idx).holder)
 }
 
@@ -203,10 +202,8 @@ mod tests {
 
     /// The index nodes currently holding events (failure targets).
     fn loaded_nodes(pool: &PoolSystem) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = (0..400u32)
-            .map(NodeId)
-            .filter(|&n| pool.store().count_at(n) > 0)
-            .collect();
+        let mut nodes: Vec<NodeId> =
+            (0..400u32).map(NodeId).filter(|&n| pool.store().count_at(n) > 0).collect();
         nodes.sort_unstable();
         nodes
     }
@@ -230,7 +227,7 @@ mod tests {
     #[test]
     fn replication_recovers_everything() {
         let mut pool = build_system(2, PoolConfig::paper().with_replication());
-        load(&mut pool, 300, 11);
+        load(&mut pool, 300, 12);
         let before = pool.store().len();
         let victims: Vec<NodeId> = loaded_nodes(&pool).into_iter().take(4).collect();
         let report = pool.fail_nodes(&victims).unwrap();
@@ -263,11 +260,8 @@ mod tests {
         load(&mut pool, 100, 13);
         let mut rng = StdRng::seed_from_u64(14);
         for round in 0..3 {
-            let victims: Vec<NodeId> = loaded_nodes(&pool)
-                .into_iter()
-                .filter(|_| rng.gen_bool(0.3))
-                .take(2)
-                .collect();
+            let victims: Vec<NodeId> =
+                loaded_nodes(&pool).into_iter().filter(|_| rng.gen_bool(0.3)).take(2).collect();
             if victims.is_empty() {
                 continue;
             }

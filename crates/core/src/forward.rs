@@ -1,0 +1,454 @@
+//! Query forwarding over the splitter tree (§3.2.3).
+//!
+//! The sink sends the query to one *splitter* per relevant pool (the
+//! pool's index node closest to the sink); each splitter fans the query
+//! out to the relevant cells and their delegation chains; replies retrace
+//! the same paths, aggregated at the splitter. Standing-query
+//! installation/removal reuses the same dissemination tree.
+//!
+//! Every leg is routed and charged through the system's
+//! [`pool_transport::Transport`]: forwarding under
+//! [`TrafficLayer::Forward`], replies under [`TrafficLayer::Reply`], and
+//! monitor control traffic under [`TrafficLayer::Monitor`].
+
+use crate::error::PoolError;
+use crate::event::Event;
+use crate::grid::CellCoord;
+use crate::monitor::MonitorId;
+use crate::query::RangeQuery;
+use crate::resolve::relevant_cells;
+use crate::system::PoolSystem;
+use pool_netsim::node::NodeId;
+use pool_transport::TrafficLayer;
+use std::collections::HashMap;
+
+/// Message-count breakdown for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryCost {
+    /// Messages spent forwarding the query (sink → splitters → cells →
+    /// delegates).
+    pub forward_messages: u64,
+    /// Messages spent returning qualifying events.
+    pub reply_messages: u64,
+}
+
+impl QueryCost {
+    /// Total messages — the paper's per-query cost metric.
+    pub fn total(&self) -> u64 {
+        self.forward_messages + self.reply_messages
+    }
+}
+
+/// The outcome of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// All qualifying events, in pool/cell resolution order.
+    pub events: Vec<Event>,
+    /// Message cost breakdown.
+    pub cost: QueryCost,
+    /// Number of relevant cells visited (Theorem 3.2's output size).
+    pub relevant_cells: usize,
+    /// Number of pools that had at least one relevant cell.
+    pub pools_visited: usize,
+}
+
+/// Aggregate operations computable at splitters (§3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateOp {
+    /// Number of qualifying events.
+    Count,
+    /// Sum of one attribute over qualifying events.
+    Sum(usize),
+    /// Mean of one attribute.
+    Avg(usize),
+    /// Minimum of one attribute.
+    Min(usize),
+    /// Maximum of one attribute.
+    Max(usize),
+}
+
+impl AggregateOp {
+    /// Applies the operation to a set of qualifying events. Returns `None`
+    /// for value aggregates over an empty set (COUNT of nothing is 0).
+    ///
+    /// Min/Max use [`f64::total_cmp`], so they are well-defined even if an
+    /// attribute value is NaN (NaN orders above every number, hence a NaN
+    /// never wins Min and always wins Max).
+    pub fn apply(&self, events: &[Event]) -> Option<f64> {
+        match *self {
+            AggregateOp::Count => Some(events.len() as f64),
+            AggregateOp::Sum(d) => {
+                (!events.is_empty()).then(|| events.iter().map(|e| e.value(d)).sum())
+            }
+            AggregateOp::Avg(d) => (!events.is_empty())
+                .then(|| events.iter().map(|e| e.value(d)).sum::<f64>() / events.len() as f64),
+            AggregateOp::Min(d) => events.iter().map(|e| e.value(d)).min_by(|a, b| a.total_cmp(b)),
+            AggregateOp::Max(d) => events.iter().map(|e| e.value(d)).max_by(|a, b| a.total_cmp(b)),
+        }
+    }
+}
+
+impl PoolSystem {
+    /// The splitter of pool `dim` for a query issued at `sink`: the pool's
+    /// index node closest to the sink (§3.2.3).
+    pub fn splitter_of(&self, dim: usize, sink: NodeId) -> NodeId {
+        let sink_pos = self.topology.position(sink);
+        let pool = self.layout.pool(dim);
+        pool.cells()
+            .map(|c| self.index_nodes[&c])
+            .min_by(|&a, &b| {
+                self.topology
+                    .position(a)
+                    .distance_sq(sink_pos)
+                    .partial_cmp(&self.topology.position(b).distance_sq(sink_pos))
+                    .expect("positions are finite")
+                    .then(a.cmp(&b))
+            })
+            .expect("pools have at least one cell")
+    }
+
+    /// Processes a query issued at `sink` (§3.2): resolve → forward via
+    /// splitters → collect matching events → return replies.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::DimensionMismatch`] for wrong arity and
+    /// [`PoolError::Routing`] on routing failure.
+    pub fn query_from(
+        &mut self,
+        sink: NodeId,
+        query: &RangeQuery,
+    ) -> Result<QueryResult, PoolError> {
+        if query.dims() != self.config.dims {
+            return Err(PoolError::DimensionMismatch {
+                expected: self.config.dims,
+                got: query.dims(),
+            });
+        }
+        let relevant = relevant_cells(&self.layout, query);
+        let mut by_pool: HashMap<usize, Vec<CellCoord>> = HashMap::new();
+        for (dim, cell) in &relevant {
+            by_pool.entry(*dim).or_default().push(*cell);
+        }
+
+        let mut cost = QueryCost::default();
+        let mut events = Vec::new();
+        let mut pools_visited = 0usize;
+
+        let mut dims: Vec<usize> = by_pool.keys().copied().collect();
+        dims.sort_unstable();
+        for dim in dims {
+            let cells = &by_pool[&dim];
+            pools_visited += 1;
+            let splitter = self.splitter_of(dim, sink);
+            let to_splitter = self.transport.route_to_node(&self.topology, sink, splitter)?;
+            self.transport.charge(&to_splitter.path, TrafficLayer::Forward);
+            cost.forward_messages += to_splitter.hops() as u64;
+
+            let mut pool_matches = 0usize;
+            for &cell in cells {
+                let index_node = self.index_nodes[&cell];
+                let to_cell = self.transport.route_to_node(&self.topology, splitter, index_node)?;
+                self.transport.charge(&to_cell.path, TrafficLayer::Forward);
+                cost.forward_messages += to_cell.hops() as u64;
+
+                // The query also visits the cell's delegation chain, one hop
+                // per link, since delegated events live off the index node.
+                let chain = self.delegates_of(cell).to_vec();
+                if !chain.is_empty() {
+                    let mut walk = vec![index_node];
+                    walk.extend_from_slice(&chain);
+                    self.transport.charge(&walk, TrafficLayer::Forward);
+                    cost.forward_messages += chain.len() as u64;
+                }
+
+                let matches: Vec<Event> = self
+                    .store
+                    .events_in(cell)
+                    .iter()
+                    .filter(|s| query.matches(&s.event))
+                    .map(|s| s.event.clone())
+                    .collect();
+                if !matches.is_empty() {
+                    // Reply: cell (and chain tail) back to the splitter.
+                    let reply_hops = to_cell.hops() as u64 + chain.len() as u64;
+                    let copies =
+                        if self.config.aggregate_replies { 1 } else { matches.len() as u64 };
+                    cost.reply_messages += reply_hops * copies;
+                    self.transport.charge_reverse(&to_cell.path, copies, TrafficLayer::Reply);
+                    pool_matches += matches.len();
+                    events.extend(matches);
+                }
+            }
+            if pool_matches > 0 {
+                // Aggregated reply from the splitter to the sink.
+                let copies = if self.config.aggregate_replies { 1 } else { pool_matches as u64 };
+                cost.reply_messages += to_splitter.hops() as u64 * copies;
+                self.transport.charge_reverse(&to_splitter.path, copies, TrafficLayer::Reply);
+            }
+        }
+        Ok(QueryResult { events, cost, relevant_cells: relevant.len(), pools_visited })
+    }
+
+    /// Runs an aggregate query (§3.2.3): same forwarding as
+    /// [`PoolSystem::query_from`], but only the aggregate value travels
+    /// back. Returns the aggregate (if defined) and the cost.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PoolSystem::query_from`].
+    pub fn aggregate_from(
+        &mut self,
+        sink: NodeId,
+        query: &RangeQuery,
+        op: AggregateOp,
+    ) -> Result<(Option<f64>, QueryCost), PoolError> {
+        // Aggregates always travel as single messages, regardless of the
+        // reply-aggregation ablation flag.
+        let saved = self.config.aggregate_replies;
+        self.config.aggregate_replies = true;
+        let result = self.query_from(sink, query);
+        self.config.aggregate_replies = saved;
+        let result = result?;
+        Ok((op.apply(&result.events), result.cost))
+    }
+
+    /// Installs a continuous monitoring query (§6): `sink` will be notified
+    /// of every future insertion matching `query`. Installation is
+    /// forwarded like a one-shot query (sink → splitters → relevant
+    /// cells); the returned cost covers that dissemination.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PoolSystem::query_from`].
+    pub fn install_monitor(
+        &mut self,
+        sink: NodeId,
+        query: RangeQuery,
+    ) -> Result<(MonitorId, QueryCost), PoolError> {
+        if query.dims() != self.config.dims {
+            return Err(PoolError::DimensionMismatch {
+                expected: self.config.dims,
+                got: query.dims(),
+            });
+        }
+        let relevant = relevant_cells(&self.layout, &query);
+        let cost = self.disseminate(sink, &relevant)?;
+        let cells: Vec<CellCoord> = relevant.iter().map(|&(_, c)| c).collect();
+        let id = self.monitors.install(sink, query, &cells);
+        Ok((id, cost))
+    }
+
+    /// Removes a continuous monitoring query, forwarding the removal to the
+    /// cells that were watching (same tree as installation).
+    ///
+    /// Returns the removal's dissemination cost, or `None` if the handle
+    /// was not installed.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures while disseminating the removal.
+    pub fn remove_monitor(&mut self, id: MonitorId) -> Result<Option<QueryCost>, PoolError> {
+        let Some(monitor) = self.monitors.get(id).cloned() else {
+            return Ok(None);
+        };
+        let cells = self.monitors.cells_of(id);
+        let relevant: Vec<(usize, CellCoord)> = cells
+            .into_iter()
+            .filter_map(|c| self.layout.pool_of_cell(c).map(|p| (p.dim, c)))
+            .collect();
+        let cost = self.disseminate(monitor.sink, &relevant)?;
+        self.monitors.remove(id);
+        Ok(Some(cost))
+    }
+
+    /// Forwards a control message (installation/removal) from `sink` to
+    /// every cell in `relevant` through the splitter tree, charging only
+    /// forward messages (under [`TrafficLayer::Monitor`]).
+    fn disseminate(
+        &mut self,
+        sink: NodeId,
+        relevant: &[(usize, CellCoord)],
+    ) -> Result<QueryCost, PoolError> {
+        let mut by_pool: HashMap<usize, Vec<CellCoord>> = HashMap::new();
+        for &(dim, cell) in relevant {
+            by_pool.entry(dim).or_default().push(cell);
+        }
+        let mut cost = QueryCost::default();
+        let mut dims: Vec<usize> = by_pool.keys().copied().collect();
+        dims.sort_unstable();
+        for dim in dims {
+            let splitter = self.splitter_of(dim, sink);
+            let to_splitter = self.transport.route_to_node(&self.topology, sink, splitter)?;
+            self.transport.charge(&to_splitter.path, TrafficLayer::Monitor);
+            cost.forward_messages += to_splitter.hops() as u64;
+            for &cell in &by_pool[&dim] {
+                let index_node = self.index_nodes[&cell];
+                let to_cell = self.transport.route_to_node(&self.topology, splitter, index_node)?;
+                self.transport.charge(&to_cell.path, TrafficLayer::Monitor);
+                cost.forward_messages += to_cell.hops() as u64;
+            }
+        }
+        Ok(cost)
+    }
+
+    /// Brute-force ground truth: all stored events matching `query`,
+    /// regardless of placement. Used by tests and correctness audits.
+    pub fn brute_force_query(&self, query: &RangeQuery) -> Vec<Event> {
+        let mut out = Vec::new();
+        for (_, stored) in self.store.iter() {
+            for s in stored {
+                if query.matches(&s.event) {
+                    out.push(s.event.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PoolConfig;
+    use crate::system::testkit::{build_system, ev};
+
+    #[test]
+    fn insert_and_exact_query_roundtrip() {
+        let mut pool = build_system(300, 1, PoolConfig::paper());
+        pool.insert_from(NodeId(0), ev(&[0.62, 0.3, 0.11])).unwrap();
+        pool.insert_from(NodeId(10), ev(&[0.9, 0.8, 0.7])).unwrap();
+        let q = RangeQuery::exact(vec![(0.6, 0.7), (0.2, 0.4), (0.0, 0.5)]).unwrap();
+        let result = pool.query_from(NodeId(50), &q).unwrap();
+        assert_eq!(result.events, vec![ev(&[0.62, 0.3, 0.11])]);
+        assert!(result.cost.total() > 0);
+    }
+
+    #[test]
+    fn query_matches_brute_force_over_random_workload() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut pool = build_system(300, 2, PoolConfig::paper());
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = pool.topology().len();
+        for _ in 0..300 {
+            let src = NodeId(rng.gen_range(0..n as u32));
+            let event = ev(&[rng.gen(), rng.gen(), rng.gen()]);
+            pool.insert_from(src, event).unwrap();
+        }
+        for trial in 0..20 {
+            let mut bounds = Vec::new();
+            for _ in 0..3 {
+                if rng.gen_bool(0.3) {
+                    bounds.push(None);
+                } else {
+                    let lo: f64 = rng.gen_range(0.0..0.8);
+                    let hi = (lo + rng.gen_range(0.0..0.4)).min(1.0);
+                    bounds.push(Some((lo, hi)));
+                }
+            }
+            if bounds.iter().all(Option::is_none) {
+                bounds[0] = Some((0.1, 0.9));
+            }
+            let q = RangeQuery::from_bounds(bounds).unwrap();
+            let sink = NodeId(rng.gen_range(0..n as u32));
+            let mut got = pool.query_from(sink, &q).unwrap().events;
+            let mut want = pool.brute_force_query(&q);
+            let key = |e: &Event| e.values().iter().map(|v| (v * 1e9) as i64).collect::<Vec<_>>();
+            got.sort_by_key(key);
+            want.sort_by_key(key);
+            assert_eq!(got, want, "trial {trial} query {q}");
+        }
+    }
+
+    #[test]
+    fn empty_store_query_returns_nothing_but_still_forwards() {
+        let mut pool = build_system(300, 5, PoolConfig::paper());
+        let q = RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let result = pool.query_from(NodeId(0), &q).unwrap();
+        assert!(result.events.is_empty());
+        assert_eq!(result.cost.reply_messages, 0);
+        assert!(result.cost.forward_messages > 0);
+        assert_eq!(result.pools_visited, 3);
+    }
+
+    #[test]
+    fn splitter_is_closest_pool_index_node() {
+        let pool = build_system(300, 6, PoolConfig::paper());
+        let sink = NodeId(17);
+        let splitter = pool.splitter_of(0, sink);
+        let sink_pos = pool.topology().position(sink);
+        let sd = pool.topology().position(splitter).distance(sink_pos);
+        for cell in pool.layout().pool(0).cells() {
+            let node = pool.index_node_of(cell).unwrap();
+            assert!(
+                pool.topology().position(node).distance(sink_pos) >= sd - 1e-9,
+                "cell {cell} index node {node} closer than splitter"
+            );
+        }
+    }
+
+    #[test]
+    fn unaggregated_replies_cost_more() {
+        let mut agg = build_system(300, 9, PoolConfig::paper());
+        let mut raw = build_system(300, 9, PoolConfig::paper().without_reply_aggregation());
+        for i in 0..20 {
+            let e = ev(&[0.72, 0.3 + 0.001 * i as f64, 0.1]);
+            agg.insert_from(NodeId(i), e.clone()).unwrap();
+            raw.insert_from(NodeId(i), e).unwrap();
+        }
+        let q = RangeQuery::exact(vec![(0.7, 0.75), (0.2, 0.4), (0.0, 0.2)]).unwrap();
+        let a = agg.query_from(NodeId(250), &q).unwrap();
+        let r = raw.query_from(NodeId(250), &q).unwrap();
+        assert_eq!(a.events.len(), 20);
+        assert_eq!(r.events.len(), 20);
+        assert!(
+            r.cost.reply_messages > a.cost.reply_messages,
+            "unaggregated {} vs aggregated {}",
+            r.cost.reply_messages,
+            a.cost.reply_messages
+        );
+    }
+
+    #[test]
+    fn aggregates_compute_correctly() {
+        let mut pool = build_system(300, 10, PoolConfig::paper());
+        pool.insert_from(NodeId(0), ev(&[0.62, 0.3, 0.1])).unwrap();
+        pool.insert_from(NodeId(1), ev(&[0.64, 0.35, 0.2])).unwrap();
+        pool.insert_from(NodeId(2), ev(&[0.9, 0.1, 0.05])).unwrap();
+        let q = RangeQuery::exact(vec![(0.6, 0.7), (0.0, 0.5), (0.0, 0.5)]).unwrap();
+        let (count, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Count).unwrap();
+        assert_eq!(count, Some(2.0));
+        let (sum, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Sum(0)).unwrap();
+        assert!((sum.unwrap() - 1.26).abs() < 1e-9);
+        let (avg, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Avg(1)).unwrap();
+        assert!((avg.unwrap() - 0.325).abs() < 1e-9);
+        let (min, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Min(2)).unwrap();
+        assert_eq!(min, Some(0.1));
+        let (max, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Max(2)).unwrap();
+        assert_eq!(max, Some(0.2));
+        // Aggregates over an empty result set.
+        let empty = RangeQuery::exact(vec![(0.0, 0.01), (0.0, 0.01), (0.99, 1.0)]).unwrap();
+        let (none, _) = pool.aggregate_from(NodeId(9), &empty, AggregateOp::Sum(0)).unwrap();
+        assert_eq!(none, None);
+        let (zero, _) = pool.aggregate_from(NodeId(9), &empty, AggregateOp::Count).unwrap();
+        assert_eq!(zero, Some(0.0));
+    }
+
+    #[test]
+    fn min_max_aggregates_use_a_total_order() {
+        // Regression: Min/Max previously compared with
+        // partial_cmp().unwrap(), which panics outright on NaN and treats
+        // -0.0 and +0.0 as equal. total_cmp is the IEEE total order,
+        // under which -0.0 < +0.0 — observable through the sign bit.
+        let zeros = [ev(&[0.0]), ev(&[-0.0])];
+        let min = AggregateOp::Min(0).apply(&zeros).unwrap();
+        assert!(min == 0.0 && min.is_sign_negative(), "-0.0 is the total-order minimum");
+        let max = AggregateOp::Max(0).apply(&zeros).unwrap();
+        assert!(max == 0.0 && max.is_sign_positive(), "+0.0 is the total-order maximum");
+        // The ordinary path is unchanged.
+        let clean = [ev(&[0.3]), ev(&[0.7])];
+        assert_eq!(AggregateOp::Min(0).apply(&clean), Some(0.3));
+        assert_eq!(AggregateOp::Max(0).apply(&clean), Some(0.7));
+    }
+}

@@ -81,7 +81,11 @@ impl Grid {
         let rows = (field.height() / alpha).ceil() as u32;
         if cols == 0 || rows == 0 {
             return Err(PoolError::InvalidConfig {
-                reason: format!("field {}x{} too small for α = {alpha}", field.width(), field.height()),
+                reason: format!(
+                    "field {}x{} too small for α = {alpha}",
+                    field.width(),
+                    field.height()
+                ),
             });
         }
         Ok(Grid { origin: field.min, alpha, cols, rows })

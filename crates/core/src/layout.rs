@@ -45,7 +45,11 @@ impl PoolSpec {
     ///
     /// Panics if an offset is outside `[0, l-1]` (Definition 2.1).
     pub fn cell_at(&self, ho: u32, vo: u32) -> CellCoord {
-        assert!(ho < self.side && vo < self.side, "offsets ({ho},{vo}) outside pool side {}", self.side);
+        assert!(
+            ho < self.side && vo < self.side,
+            "offsets ({ho},{vo}) outside pool side {}",
+            self.side
+        );
         CellCoord::new(self.pivot.x + ho, self.pivot.y + vo)
     }
 
@@ -327,14 +331,10 @@ mod tests {
         // sub-ranges of width 0.08.
         let layout = figure2_layout();
         let p1 = layout.pool(0);
-        let expect =
-            [(0.0, 0.08), (0.08, 0.16), (0.16, 0.24), (0.24, 0.32), (0.32, 0.4)];
+        let expect = [(0.0, 0.08), (0.08, 0.16), (0.16, 0.24), (0.24, 0.32), (0.32, 0.4)];
         for (vo, &(lo, hi)) in expect.iter().enumerate() {
             let r = p1.range_v(1, vo as u32);
-            assert!(
-                (r.lo() - lo).abs() < 1e-12 && (r.hi() - hi).abs() < 1e-12,
-                "row {vo}: {r}"
-            );
+            assert!((r.lo() - lo).abs() < 1e-12 && (r.hi() - hi).abs() < 1e-12, "row {vo}: {r}");
         }
     }
 
@@ -377,11 +377,8 @@ mod tests {
 
     #[test]
     fn overlapping_pivots_rejected() {
-        let err = PoolLayout::with_pivots(
-            &grid(),
-            5,
-            vec![CellCoord::new(1, 2), CellCoord::new(3, 3)],
-        );
+        let err =
+            PoolLayout::with_pivots(&grid(), 5, vec![CellCoord::new(1, 2), CellCoord::new(3, 3)]);
         assert!(matches!(err, Err(PoolError::InvalidConfig { .. })));
     }
 

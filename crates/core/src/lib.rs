@@ -16,8 +16,11 @@
 //! * [`interval`] — the half-open/closed interval arithmetic beneath it.
 //!
 //! *Deployed system (over `pool-netsim` + `pool-gpsr`):*
-//! * [`system`] — insertion, splitter-based query forwarding (§3.2.3),
-//!   workload sharing (§4.2), aggregates, and per-message cost accounting.
+//! * [`system`] — system lifecycle, insertion, workload sharing (§4.2),
+//!   and per-message cost accounting over the pluggable
+//!   [`pool_transport::Transport`] substrate.
+//! * [`forward`] — splitter-based query forwarding (§3.2.3), aggregates,
+//!   and monitor dissemination over the splitter tree.
 //! * [`explain`] — inspectable query plans (derived ranges, relevant
 //!   cells, splitters) without touching the network.
 //! * [`monitor`] — continuous (standing) queries with push notifications
@@ -65,6 +68,7 @@ pub mod error;
 pub mod event;
 pub mod explain;
 pub mod failure;
+pub mod forward;
 pub mod grid;
 pub mod insert;
 pub mod interval;
@@ -76,14 +80,14 @@ pub mod resolve;
 pub mod storage;
 pub mod system;
 
-pub use config::{PoolConfig, SharingPolicy};
-pub use error::PoolError;
-pub use event::Event;
-pub use query::{QueryType, RangeQuery};
 pub use audit::{AuditReport, AuditViolation};
 pub use batch::BatchResult;
+pub use config::{PoolConfig, SharingPolicy};
 pub use dcs::DataCentricStore;
+pub use error::PoolError;
+pub use event::Event;
 pub use explain::{PlannedCell, PoolPlan, QueryPlan};
 pub use failure::FailureReport;
 pub use monitor::{Monitor, MonitorId, Notification};
+pub use query::{QueryType, RangeQuery};
 pub use system::{AggregateOp, InsertReceipt, PoolSystem, QueryCost, QueryResult};

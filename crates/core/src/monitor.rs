@@ -78,21 +78,13 @@ impl MonitorTable {
 
     /// All monitors watching `cell`, in installation order.
     pub fn watching(&self, cell: CellCoord) -> impl Iterator<Item = &Monitor> {
-        self.by_cell
-            .get(&cell)
-            .into_iter()
-            .flatten()
-            .filter_map(move |id| self.monitors.get(id))
+        self.by_cell.get(&cell).into_iter().flatten().filter_map(move |id| self.monitors.get(id))
     }
 
     /// The cells watched by monitor `id` (for cost accounting and tests).
     pub fn cells_of(&self, id: MonitorId) -> Vec<CellCoord> {
-        let mut cells: Vec<CellCoord> = self
-            .by_cell
-            .iter()
-            .filter(|(_, ids)| ids.contains(&id))
-            .map(|(&c, _)| c)
-            .collect();
+        let mut cells: Vec<CellCoord> =
+            self.by_cell.iter().filter(|(_, ids)| ids.contains(&id)).map(|(&c, _)| c).collect();
         cells.sort();
         cells
     }

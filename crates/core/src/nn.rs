@@ -22,6 +22,7 @@ use crate::layout::PoolSpec;
 use crate::system::{PoolSystem, QueryCost};
 use crate::PoolError;
 use pool_netsim::node::NodeId;
+use pool_transport::TrafficLayer;
 
 /// Result of a nearest-neighbor query.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,12 +65,7 @@ pub fn cell_distance_lower_bound(pool: &PoolSpec, ho: u32, vo: u32, probe: &[f64
 
 /// Euclidean distance between a probe and an event.
 pub fn event_distance(probe: &[f64], event: &Event) -> f64 {
-    probe
-        .iter()
-        .zip(event.values())
-        .map(|(p, v)| (p - v) * (p - v))
-        .sum::<f64>()
-        .sqrt()
+    probe.iter().zip(event.values()).map(|(p, v)| (p - v) * (p - v)).sum::<f64>().sqrt()
 }
 
 impl PoolSystem {
@@ -112,7 +108,8 @@ impl PoolSystem {
                 }
             }
         }
-        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are finite").then(a.2.cmp(&b.2)));
+        candidates
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are finite").then(a.2.cmp(&b.2)));
 
         let mut best: Vec<(Event, f64)> = Vec::new();
         let mut cost = QueryCost::default();
@@ -126,7 +123,7 @@ impl PoolSystem {
             }
             cells_visited += 1;
             let index_node = self.index_node_of(cell).expect("candidate cells are pool cells");
-            let hops = self.route_and_record(sink, index_node)?;
+            let hops = self.route_and_record(sink, index_node, TrafficLayer::Forward)?;
             cost.forward_messages += hops;
             let local: Vec<(Event, f64)> = self
                 .store()
@@ -136,7 +133,7 @@ impl PoolSystem {
                 .collect();
             if !local.is_empty() {
                 // Aggregated reply along the reverse path.
-                let hops_back = self.route_and_record(index_node, sink)?;
+                let hops_back = self.route_and_record(index_node, sink, TrafficLayer::Reply)?;
                 cost.reply_messages += hops_back;
                 best.extend(local);
                 best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
@@ -201,10 +198,8 @@ mod tests {
         for _ in 0..25 {
             let probe = [rng.gen(), rng.gen(), rng.gen()];
             let (got, _) = pool.nearest(NodeId(5), &probe).unwrap();
-            let want = events
-                .iter()
-                .map(|e| event_distance(&probe, e))
-                .fold(f64::INFINITY, f64::min);
+            let want =
+                events.iter().map(|e| event_distance(&probe, e)).fold(f64::INFINITY, f64::min);
             let got = got.expect("store is non-empty");
             assert!(
                 (got.1 - want).abs() < 1e-12,
@@ -275,7 +270,8 @@ mod tests {
         // For random events and probes, the bound of the event's own cell
         // never exceeds the true distance.
         let mut rng = StdRng::seed_from_u64(7);
-        let grid = crate::grid::Grid::over(pool_netsim::geometry::Rect::square(200.0), 5.0).unwrap();
+        let grid =
+            crate::grid::Grid::over(pool_netsim::geometry::Rect::square(200.0), 5.0).unwrap();
         let layout = crate::layout::PoolLayout::random(&grid, 3, 10, 3).unwrap();
         for _ in 0..500 {
             let e = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();

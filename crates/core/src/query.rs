@@ -119,11 +119,7 @@ impl RangeQuery {
     /// The §2 classification of this query.
     pub fn query_type(&self) -> QueryType {
         let partial = self.is_partial();
-        let is_point = self
-            .bounds
-            .iter()
-            .flatten()
-            .all(|(lo, hi)| lo == hi);
+        let is_point = self.bounds.iter().flatten().all(|(lo, hi)| lo == hi);
         match (partial, is_point) {
             (false, true) => QueryType::ExactMatchPoint,
             (true, true) => QueryType::PartialMatchPoint,
@@ -150,10 +146,7 @@ impl RangeQuery {
             event.dims(),
             self.dims()
         );
-        self.rewritten()
-            .iter()
-            .zip(event.values())
-            .all(|(&(lo, hi), &v)| lo <= v && v <= hi)
+        self.rewritten().iter().zip(event.values()).all(|(&(lo, hi), &v)| lo <= v && v <= hi)
     }
 }
 

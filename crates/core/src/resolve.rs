@@ -107,9 +107,8 @@ pub fn relevant_offsets_fast(pool: &PoolSpec, rewritten: &[(f64, f64)]) -> Vec<(
     // The window is widened by one column/row on each side to absorb
     // floating-point boundary effects; the exact interval test inside the
     // loop keeps the output identical to the full scan.
-    let ho_lo = ((ranges.r_h.lo() * l).floor().max(0.0) as u32)
-        .saturating_sub(1)
-        .min(pool.side - 1);
+    let ho_lo =
+        ((ranges.r_h.lo() * l).floor().max(0.0) as u32).saturating_sub(1).min(pool.side - 1);
     let ho_hi = (((ranges.r_h.hi() * l).floor() as u32).saturating_add(1)).min(pool.side - 1);
     for ho in ho_lo..=ho_hi.min(pool.side - 1) {
         if !pool.range_h(ho).intersects(ranges.r_h) {
@@ -205,11 +204,7 @@ mod tests {
         let cells = relevant_cells(&layout, &query);
         assert_eq!(
             cells,
-            vec![
-                (0, CellCoord::new(2, 5)),
-                (1, CellCoord::new(3, 12)),
-                (1, CellCoord::new(3, 13)),
-            ]
+            vec![(0, CellCoord::new(2, 5)), (1, CellCoord::new(3, 12)), (1, CellCoord::new(3, 13)),]
         );
     }
 
@@ -218,8 +213,7 @@ mod tests {
         // Q = <*, *, [0.8, 0.84]> resolves to C(5,6) in P₁, C(6,14) in P₂,
         // and the full column C(11,3)–C(11,7) in P₃ (Figure 5).
         let layout = figure2_layout();
-        let query =
-            RangeQuery::from_bounds(vec![None, None, Some((0.8, 0.84))]).unwrap();
+        let query = RangeQuery::from_bounds(vec![None, None, Some((0.8, 0.84))]).unwrap();
         let cells = relevant_cells(&layout, &query);
         assert_eq!(
             cells,

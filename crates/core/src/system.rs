@@ -1,21 +1,21 @@
-//! The deployed Pool system: insertion, query processing, and forwarding
+//! The deployed Pool system: lifecycle, insertion, and workload sharing
 //! over a real (simulated) sensor network.
 //!
-//! This module ties the pure placement/resolving math to the network
-//! substrate:
+//! This module ties the pure placement math to the network substrate:
 //!
 //! * **Insertion** (Algorithm 1): the detecting node computes the storage
-//!   cell arithmetically and GPSR-routes the event to that cell's index
-//!   node.
-//! * **Query processing** (§3.2.3): the sink sends the query to one
-//!   *splitter* per relevant pool (the pool's index node closest to the
-//!   sink); each splitter fans the query out to the relevant cells; replies
-//!   return along the same paths, aggregated at the splitter.
+//!   cell arithmetically and routes the event to that cell's index node.
 //! * **Workload sharing** (§4.2): index nodes above their capacity delegate
 //!   overflow storage to chained nearby nodes.
 //!
-//! Every radio hop is charged to a [`TrafficStats`] ledger — the paper's
-//! cost metric.
+//! Query processing (§3.2.3) lives in the sibling [`crate::forward`]
+//! module; its public types ([`QueryCost`], [`QueryResult`],
+//! [`AggregateOp`]) are re-exported here for compatibility.
+//!
+//! All routing and message accounting goes through the pluggable
+//! [`Transport`] substrate: every radio hop is charged to its
+//! [`pool_transport::TrafficLedger`] under a named [`TrafficLayer`] — the
+//! paper's cost metric, broken down by protocol layer.
 
 use crate::config::PoolConfig;
 use crate::error::PoolError;
@@ -24,15 +24,15 @@ use crate::grid::{CellCoord, Grid};
 use crate::insert::{storage_cell, Placement};
 use crate::layout::PoolLayout;
 use crate::monitor::{MonitorId, MonitorTable, Notification};
-use crate::query::RangeQuery;
-use crate::resolve::relevant_cells;
 use crate::storage::CellStore;
-use pool_gpsr::Gpsr;
 use pool_netsim::geometry::Rect;
 use pool_netsim::node::NodeId;
 use pool_netsim::stats::TrafficStats;
 use pool_netsim::topology::Topology;
+use pool_transport::{TrafficLayer, TrafficLedger, Transport};
 use std::collections::HashMap;
+
+pub use crate::forward::{AggregateOp, QueryCost, QueryResult};
 
 /// Receipt returned by a successful insertion.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,72 +47,6 @@ pub struct InsertReceipt {
     pub messages: u64,
     /// Continuous-query notifications triggered by this insertion.
     pub notifications: Vec<Notification>,
-}
-
-/// Message-count breakdown for one query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct QueryCost {
-    /// Messages spent forwarding the query (sink → splitters → cells →
-    /// delegates).
-    pub forward_messages: u64,
-    /// Messages spent returning qualifying events.
-    pub reply_messages: u64,
-}
-
-impl QueryCost {
-    /// Total messages — the paper's per-query cost metric.
-    pub fn total(&self) -> u64 {
-        self.forward_messages + self.reply_messages
-    }
-}
-
-/// The outcome of one query.
-#[derive(Debug, Clone, PartialEq)]
-pub struct QueryResult {
-    /// All qualifying events, in pool/cell resolution order.
-    pub events: Vec<Event>,
-    /// Message cost breakdown.
-    pub cost: QueryCost,
-    /// Number of relevant cells visited (Theorem 3.2's output size).
-    pub relevant_cells: usize,
-    /// Number of pools that had at least one relevant cell.
-    pub pools_visited: usize,
-}
-
-/// Aggregate operations computable at splitters (§3.2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AggregateOp {
-    /// Number of qualifying events.
-    Count,
-    /// Sum of one attribute over qualifying events.
-    Sum(usize),
-    /// Mean of one attribute.
-    Avg(usize),
-    /// Minimum of one attribute.
-    Min(usize),
-    /// Maximum of one attribute.
-    Max(usize),
-}
-
-impl AggregateOp {
-    /// Applies the operation to a set of qualifying events. Returns `None`
-    /// for value aggregates over an empty set (COUNT of nothing is 0).
-    pub fn apply(&self, events: &[Event]) -> Option<f64> {
-        match *self {
-            AggregateOp::Count => Some(events.len() as f64),
-            AggregateOp::Sum(d) => {
-                (!events.is_empty()).then(|| events.iter().map(|e| e.value(d)).sum())
-            }
-            AggregateOp::Avg(d) => (!events.is_empty())
-                .then(|| events.iter().map(|e| e.value(d)).sum::<f64>() / events.len() as f64),
-            AggregateOp::Min(d) => {
-                events.iter().map(|e| e.value(d)).min_by(|a, b| a.partial_cmp(b).unwrap())
-            }
-            AggregateOp::Max(d) => {
-                events.iter().map(|e| e.value(d)).max_by(|a, b| a.partial_cmp(b).unwrap())
-            }
-        }
-    }
 }
 
 /// A running Pool deployment over one sensor network.
@@ -146,18 +80,17 @@ impl AggregateOp {
 /// ```
 #[derive(Debug)]
 pub struct PoolSystem {
-    topology: Topology,
-    field: Rect,
-    gpsr: Gpsr,
-    grid: Grid,
-    layout: PoolLayout,
-    config: PoolConfig,
-    index_nodes: HashMap<CellCoord, NodeId>,
-    delegates: HashMap<CellCoord, Vec<NodeId>>,
-    store: CellStore,
-    backups: HashMap<CellCoord, Vec<crate::failure::BackupCopy>>,
-    monitors: MonitorTable,
-    traffic: TrafficStats,
+    pub(crate) topology: Topology,
+    pub(crate) field: Rect,
+    pub(crate) transport: Box<dyn Transport>,
+    pub(crate) grid: Grid,
+    pub(crate) layout: PoolLayout,
+    pub(crate) config: PoolConfig,
+    pub(crate) index_nodes: HashMap<CellCoord, NodeId>,
+    pub(crate) delegates: HashMap<CellCoord, Vec<NodeId>>,
+    pub(crate) store: CellStore,
+    pub(crate) backups: HashMap<CellCoord, Vec<crate::failure::BackupCopy>>,
+    pub(crate) monitors: MonitorTable,
 }
 
 impl PoolSystem {
@@ -168,6 +101,9 @@ impl PoolSystem {
     /// so "the node closest to the center" is resolved network-wide; several
     /// cells may share one physical index node, and hops between co-located
     /// cells are free).
+    ///
+    /// The routing substrate is chosen by [`PoolConfig::transport`]
+    /// (plain GPSR by default, memoizing cache optionally).
     ///
     /// # Errors
     ///
@@ -181,7 +117,7 @@ impl PoolSystem {
             Some(pivots) => PoolLayout::with_pivots(&grid, config.pool_side, pivots.clone())?,
             None => PoolLayout::random(&grid, config.dims, config.pool_side, config.seed)?,
         };
-        let gpsr = Gpsr::new(&topology, config.planarization);
+        let transport = config.transport.build(&topology, config.planarization);
         let mut index_nodes = HashMap::new();
         for pool in layout.pools() {
             for cell in pool.cells() {
@@ -189,11 +125,10 @@ impl PoolSystem {
                 index_nodes.insert(cell, node);
             }
         }
-        let n = topology.len();
         Ok(PoolSystem {
             topology,
             field,
-            gpsr,
+            transport,
             grid,
             layout,
             config,
@@ -202,15 +137,14 @@ impl PoolSystem {
             store: CellStore::new(),
             backups: HashMap::new(),
             monitors: MonitorTable::new(),
-            traffic: TrafficStats::new(n),
         })
     }
 
     // ----- crate-internal hooks used by the failure/repair module -------
 
-    pub(crate) fn replace_network(&mut self, topology: Topology, gpsr: Gpsr) {
+    pub(crate) fn replace_network(&mut self, topology: Topology) {
+        self.transport.rebuild(&topology);
         self.topology = topology;
-        self.gpsr = gpsr;
     }
 
     pub(crate) fn replace_index_nodes(&mut self, index_nodes: HashMap<CellCoord, NodeId>) {
@@ -225,9 +159,7 @@ impl PoolSystem {
         &mut self.store
     }
 
-    pub(crate) fn take_backups(
-        &mut self,
-    ) -> HashMap<CellCoord, Vec<crate::failure::BackupCopy>> {
+    pub(crate) fn take_backups(&mut self) -> HashMap<CellCoord, Vec<crate::failure::BackupCopy>> {
         std::mem::take(&mut self.backups)
     }
 
@@ -259,7 +191,7 @@ impl PoolSystem {
         else {
             return 0;
         };
-        self.traffic.record_hop(index_node, backup_holder);
+        self.transport.charge_hop(index_node, backup_holder, TrafficLayer::Replication);
         self.backups
             .entry(cell)
             .or_default()
@@ -277,9 +209,7 @@ impl PoolSystem {
         let snapshot: Vec<(CellCoord, Event, NodeId)> = self
             .store
             .iter()
-            .flat_map(|(cell, stored)| {
-                stored.iter().map(|s| (*cell, s.event.clone(), s.holder))
-            })
+            .flat_map(|(cell, stored)| stored.iter().map(|s| (*cell, s.event.clone(), s.holder)))
             .collect();
         let mut hops = 0u64;
         for (cell, event, holder) in snapshot {
@@ -324,9 +254,26 @@ impl PoolSystem {
         &self.store
     }
 
-    /// All traffic charged so far (insertions and queries).
+    /// All traffic charged so far (insertions and queries), as the flat
+    /// total + per-node load counter.
     pub fn traffic(&self) -> &TrafficStats {
-        &self.traffic
+        self.transport.ledger().stats()
+    }
+
+    /// The per-layer message ledger.
+    pub fn ledger(&self) -> &TrafficLedger {
+        self.transport.ledger()
+    }
+
+    /// The routing substrate.
+    pub fn transport(&self) -> &dyn Transport {
+        self.transport.as_ref()
+    }
+
+    /// Mutable access to the routing substrate (e.g. to issue probe routes
+    /// in tests or clear the ledger between experiment phases).
+    pub fn transport_mut(&mut self) -> &mut dyn Transport {
+        self.transport.as_mut()
     }
 
     /// The delegation chain of `cell` (empty without workload sharing).
@@ -340,7 +287,11 @@ impl PoolSystem {
     ///
     /// [`PoolError::DimensionMismatch`] for wrong arity and
     /// [`PoolError::Routing`] on routing failure.
-    pub fn insert_from(&mut self, source: NodeId, event: Event) -> Result<InsertReceipt, PoolError> {
+    pub fn insert_from(
+        &mut self,
+        source: NodeId,
+        event: Event,
+    ) -> Result<InsertReceipt, PoolError> {
         if event.dims() != self.config.dims {
             return Err(PoolError::DimensionMismatch {
                 expected: self.config.dims,
@@ -351,8 +302,8 @@ impl PoolSystem {
         let placement = storage_cell(&self.layout, &self.grid, &event, detected_cell);
         let index_node =
             *self.index_nodes.get(&placement.cell).expect("pool cells all have index nodes");
-        let route = self.gpsr.route_to_node(&self.topology, source, index_node)?;
-        self.traffic.record_path(&route.path);
+        let route = self.transport.route_to_node(&self.topology, source, index_node)?;
+        self.transport.charge(&route.path, TrafficLayer::Insert);
         let mut messages = route.hops() as u64;
 
         // §4.2 workload sharing: walk the cell's delegation chain to the
@@ -360,7 +311,8 @@ impl PoolSystem {
         let holder = match self.config.sharing {
             None => index_node,
             Some(policy) => {
-                let (holder, chain_hops) = self.place_with_sharing(placement.cell, index_node, policy)?;
+                let (holder, chain_hops) =
+                    self.place_with_sharing(placement.cell, index_node, policy)?;
                 messages += chain_hops;
                 holder
             }
@@ -375,8 +327,8 @@ impl PoolSystem {
             .map(|m| (m.id, m.sink))
             .collect();
         for (monitor, sink) in firing {
-            let route = self.gpsr.route_to_node(&self.topology, index_node, sink)?;
-            self.traffic.record_path(&route.path);
+            let route = self.transport.route_to_node(&self.topology, index_node, sink)?;
+            self.transport.charge(&route.path, TrafficLayer::Monitor);
             messages += route.hops() as u64;
             notifications.push(Notification { monitor, sink, messages: route.hops() as u64 });
         }
@@ -391,96 +343,23 @@ impl PoolSystem {
         Ok(InsertReceipt { placement, holder, messages, notifications })
     }
 
-    /// Installs a continuous monitoring query (§6): `sink` will be notified
-    /// of every future insertion matching `query`. Installation is
-    /// forwarded like a one-shot query (sink → splitters → relevant
-    /// cells); the returned cost covers that dissemination.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`PoolSystem::query_from`].
-    pub fn install_monitor(
-        &mut self,
-        sink: NodeId,
-        query: RangeQuery,
-    ) -> Result<(MonitorId, QueryCost), PoolError> {
-        if query.dims() != self.config.dims {
-            return Err(PoolError::DimensionMismatch {
-                expected: self.config.dims,
-                got: query.dims(),
-            });
-        }
-        let relevant = relevant_cells(&self.layout, &query);
-        let cost = self.disseminate(sink, &relevant)?;
-        let cells: Vec<CellCoord> = relevant.iter().map(|&(_, c)| c).collect();
-        let id = self.monitors.install(sink, query, &cells);
-        Ok((id, cost))
-    }
-
-    /// Removes a continuous monitoring query, forwarding the removal to the
-    /// cells that were watching (same tree as installation).
-    ///
-    /// Returns the removal's dissemination cost, or `None` if the handle
-    /// was not installed.
-    ///
-    /// # Errors
-    ///
-    /// Routing failures while disseminating the removal.
-    pub fn remove_monitor(&mut self, id: MonitorId) -> Result<Option<QueryCost>, PoolError> {
-        let Some(monitor) = self.monitors.get(id).cloned() else {
-            return Ok(None);
-        };
-        let cells = self.monitors.cells_of(id);
-        let relevant: Vec<(usize, CellCoord)> = cells
-            .into_iter()
-            .filter_map(|c| self.layout.pool_of_cell(c).map(|p| (p.dim, c)))
-            .collect();
-        let cost = self.disseminate(monitor.sink, &relevant)?;
-        self.monitors.remove(id);
-        Ok(Some(cost))
-    }
-
     /// The continuous-query registry (for inspection).
     pub fn monitors(&self) -> &MonitorTable {
         &self.monitors
     }
 
-    /// Routes a unicast and charges it to the ledger, returning the hop
-    /// count. Shared by the nearest-neighbor module.
-    pub(crate) fn route_and_record(&mut self, from: NodeId, to: NodeId) -> Result<u64, PoolError> {
-        let route = self.gpsr.route_to_node(&self.topology, from, to)?;
-        self.traffic.record_path(&route.path);
-        Ok(route.hops() as u64)
-    }
-
-    /// Forwards a control message (installation/removal) from `sink` to
-    /// every cell in `relevant` through the splitter tree, charging only
-    /// forward messages.
-    fn disseminate(
+    /// Routes a unicast and charges it to the ledger under `layer`,
+    /// returning the hop count. Shared by the nearest-neighbor and
+    /// failure-repair modules.
+    pub(crate) fn route_and_record(
         &mut self,
-        sink: NodeId,
-        relevant: &[(usize, CellCoord)],
-    ) -> Result<QueryCost, PoolError> {
-        let mut by_pool: HashMap<usize, Vec<CellCoord>> = HashMap::new();
-        for &(dim, cell) in relevant {
-            by_pool.entry(dim).or_default().push(cell);
-        }
-        let mut cost = QueryCost::default();
-        let mut dims: Vec<usize> = by_pool.keys().copied().collect();
-        dims.sort_unstable();
-        for dim in dims {
-            let splitter = self.splitter_of(dim, sink);
-            let to_splitter = self.gpsr.route_to_node(&self.topology, sink, splitter)?;
-            self.traffic.record_path(&to_splitter.path);
-            cost.forward_messages += to_splitter.hops() as u64;
-            for &cell in &by_pool[&dim] {
-                let index_node = self.index_nodes[&cell];
-                let to_cell = self.gpsr.route_to_node(&self.topology, splitter, index_node)?;
-                self.traffic.record_path(&to_cell.path);
-                cost.forward_messages += to_cell.hops() as u64;
-            }
-        }
-        Ok(cost)
+        from: NodeId,
+        to: NodeId,
+        layer: TrafficLayer,
+    ) -> Result<u64, PoolError> {
+        let route = self.transport.route_to_node(&self.topology, from, to)?;
+        self.transport.charge(&route.path, layer);
+        Ok(route.hops() as u64)
     }
 
     /// Finds (or creates) the holder for a new event in `cell` under the
@@ -497,7 +376,7 @@ impl PoolSystem {
         for (i, &node) in chain.iter().enumerate() {
             if self.store.count_at(node) < policy.capacity {
                 hops += i as u64; // walked i links to reach this holder
-                self.record_chain(&chain[..=i]);
+                self.transport.charge(&chain[..=i], TrafficLayer::Insert);
                 return Ok((node, hops));
             }
         }
@@ -517,163 +396,20 @@ impl PoolSystem {
         self.delegates.entry(cell).or_default().push(new_delegate);
         chain.push(new_delegate);
         hops += (chain.len() - 1) as u64;
-        self.record_chain(&chain);
+        self.transport.charge(&chain, TrafficLayer::Insert);
         Ok((new_delegate, hops))
-    }
-
-    fn record_chain(&mut self, chain: &[NodeId]) {
-        self.traffic.record_path(chain);
-    }
-
-    /// The splitter of pool `dim` for a query issued at `sink`: the pool's
-    /// index node closest to the sink (§3.2.3).
-    pub fn splitter_of(&self, dim: usize, sink: NodeId) -> NodeId {
-        let sink_pos = self.topology.position(sink);
-        let pool = self.layout.pool(dim);
-        pool.cells()
-            .map(|c| self.index_nodes[&c])
-            .min_by(|&a, &b| {
-                self.topology
-                    .position(a)
-                    .distance_sq(sink_pos)
-                    .partial_cmp(&self.topology.position(b).distance_sq(sink_pos))
-                    .expect("positions are finite")
-                    .then(a.cmp(&b))
-            })
-            .expect("pools have at least one cell")
-    }
-
-    /// Processes a query issued at `sink` (§3.2): resolve → forward via
-    /// splitters → collect matching events → return replies.
-    ///
-    /// # Errors
-    ///
-    /// [`PoolError::DimensionMismatch`] for wrong arity and
-    /// [`PoolError::Routing`] on routing failure.
-    pub fn query_from(&mut self, sink: NodeId, query: &RangeQuery) -> Result<QueryResult, PoolError> {
-        if query.dims() != self.config.dims {
-            return Err(PoolError::DimensionMismatch {
-                expected: self.config.dims,
-                got: query.dims(),
-            });
-        }
-        let relevant = relevant_cells(&self.layout, query);
-        let mut by_pool: HashMap<usize, Vec<CellCoord>> = HashMap::new();
-        for (dim, cell) in &relevant {
-            by_pool.entry(*dim).or_default().push(*cell);
-        }
-
-        let mut cost = QueryCost::default();
-        let mut events = Vec::new();
-        let mut pools_visited = 0usize;
-
-        let mut dims: Vec<usize> = by_pool.keys().copied().collect();
-        dims.sort_unstable();
-        for dim in dims {
-            let cells = &by_pool[&dim];
-            pools_visited += 1;
-            let splitter = self.splitter_of(dim, sink);
-            let to_splitter = self.gpsr.route_to_node(&self.topology, sink, splitter)?;
-            self.traffic.record_path(&to_splitter.path);
-            cost.forward_messages += to_splitter.hops() as u64;
-
-            let mut pool_matches = 0usize;
-            for &cell in cells {
-                let index_node = self.index_nodes[&cell];
-                let to_cell = self.gpsr.route_to_node(&self.topology, splitter, index_node)?;
-                self.traffic.record_path(&to_cell.path);
-                cost.forward_messages += to_cell.hops() as u64;
-
-                // The query also visits the cell's delegation chain, one hop
-                // per link, since delegated events live off the index node.
-                let chain = self.delegates_of(cell).to_vec();
-                if !chain.is_empty() {
-                    let mut walk = vec![index_node];
-                    walk.extend_from_slice(&chain);
-                    self.traffic.record_path(&walk);
-                    cost.forward_messages += chain.len() as u64;
-                }
-
-                let matches: Vec<Event> = self
-                    .store
-                    .events_in(cell)
-                    .iter()
-                    .filter(|s| query.matches(&s.event))
-                    .map(|s| s.event.clone())
-                    .collect();
-                if !matches.is_empty() {
-                    // Reply: cell (and chain tail) back to the splitter.
-                    let reply_hops = to_cell.hops() as u64 + chain.len() as u64;
-                    let copies =
-                        if self.config.aggregate_replies { 1 } else { matches.len() as u64 };
-                    cost.reply_messages += reply_hops * copies;
-                    let mut back = to_cell.path.clone();
-                    back.reverse();
-                    for _ in 0..copies {
-                        self.traffic.record_path(&back);
-                    }
-                    pool_matches += matches.len();
-                    events.extend(matches);
-                }
-            }
-            if pool_matches > 0 {
-                // Aggregated reply from the splitter to the sink.
-                let copies = if self.config.aggregate_replies { 1 } else { pool_matches as u64 };
-                cost.reply_messages += to_splitter.hops() as u64 * copies;
-                let mut back = to_splitter.path.clone();
-                back.reverse();
-                for _ in 0..copies {
-                    self.traffic.record_path(&back);
-                }
-            }
-        }
-        Ok(QueryResult { events, cost, relevant_cells: relevant.len(), pools_visited })
-    }
-
-    /// Runs an aggregate query (§3.2.3): same forwarding as
-    /// [`PoolSystem::query_from`], but only the aggregate value travels
-    /// back. Returns the aggregate (if defined) and the cost.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`PoolSystem::query_from`].
-    pub fn aggregate_from(
-        &mut self,
-        sink: NodeId,
-        query: &RangeQuery,
-        op: AggregateOp,
-    ) -> Result<(Option<f64>, QueryCost), PoolError> {
-        // Aggregates always travel as single messages, regardless of the
-        // reply-aggregation ablation flag.
-        let saved = self.config.aggregate_replies;
-        self.config.aggregate_replies = true;
-        let result = self.query_from(sink, query);
-        self.config.aggregate_replies = saved;
-        let result = result?;
-        Ok((op.apply(&result.events), result.cost))
-    }
-
-    /// Brute-force ground truth: all stored events matching `query`,
-    /// regardless of placement. Used by tests and correctness audits.
-    pub fn brute_force_query(&self, query: &RangeQuery) -> Vec<Event> {
-        let mut out = Vec::new();
-        for (_, stored) in self.store.iter() {
-            for s in stored {
-                if query.matches(&s.event) {
-                    out.push(s.event.clone());
-                }
-            }
-        }
-        out
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod testkit {
+    //! Shared builders for system-level tests (also used by the forward
+    //! module's tests).
+
     use super::*;
     use pool_netsim::deployment::Deployment;
 
-    fn build_system(n: usize, seed: u64, config: PoolConfig) -> PoolSystem {
+    pub(crate) fn build_system(n: usize, seed: u64, config: PoolConfig) -> PoolSystem {
         let mut s = seed;
         loop {
             let dep = Deployment::paper_setting(n, 40.0, 20.0, s).unwrap();
@@ -685,59 +421,16 @@ mod tests {
         }
     }
 
-    fn ev(v: &[f64]) -> Event {
+    pub(crate) fn ev(v: &[f64]) -> Event {
         Event::new(v.to_vec()).unwrap()
     }
+}
 
-    #[test]
-    fn insert_and_exact_query_roundtrip() {
-        let mut pool = build_system(300, 1, PoolConfig::paper());
-        pool.insert_from(NodeId(0), ev(&[0.62, 0.3, 0.11])).unwrap();
-        pool.insert_from(NodeId(10), ev(&[0.9, 0.8, 0.7])).unwrap();
-        let q = RangeQuery::exact(vec![(0.6, 0.7), (0.2, 0.4), (0.0, 0.5)]).unwrap();
-        let result = pool.query_from(NodeId(50), &q).unwrap();
-        assert_eq!(result.events, vec![ev(&[0.62, 0.3, 0.11])]);
-        assert!(result.cost.total() > 0);
-    }
-
-    #[test]
-    fn query_matches_brute_force_over_random_workload() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut pool = build_system(300, 2, PoolConfig::paper());
-        let mut rng = StdRng::seed_from_u64(77);
-        let n = pool.topology().len();
-        for _ in 0..300 {
-            let src = NodeId(rng.gen_range(0..n as u32));
-            let event = ev(&[rng.gen(), rng.gen(), rng.gen()]);
-            pool.insert_from(src, event).unwrap();
-        }
-        for trial in 0..20 {
-            let mut bounds = Vec::new();
-            for _ in 0..3 {
-                if rng.gen_bool(0.3) {
-                    bounds.push(None);
-                } else {
-                    let lo: f64 = rng.gen_range(0.0..0.8);
-                    let hi = (lo + rng.gen_range(0.0..0.4)).min(1.0);
-                    bounds.push(Some((lo, hi)));
-                }
-            }
-            if bounds.iter().all(Option::is_none) {
-                bounds[0] = Some((0.1, 0.9));
-            }
-            let q = RangeQuery::from_bounds(bounds).unwrap();
-            let sink = NodeId(rng.gen_range(0..n as u32));
-            let mut got = pool.query_from(sink, &q).unwrap().events;
-            let mut want = pool.brute_force_query(&q);
-            let key = |e: &Event| {
-                e.values().iter().map(|v| (v * 1e9) as i64).collect::<Vec<_>>()
-            };
-            got.sort_by_key(key);
-            want.sort_by_key(key);
-            assert_eq!(got, want, "trial {trial} query {q}");
-        }
-    }
+#[cfg(test)]
+mod tests {
+    use super::testkit::{build_system, ev};
+    use super::*;
+    use crate::query::RangeQuery;
 
     #[test]
     fn tied_events_stored_once_and_found() {
@@ -755,37 +448,7 @@ mod tests {
         let err = pool.insert_from(NodeId(0), ev(&[0.5, 0.5]));
         assert!(matches!(err, Err(PoolError::DimensionMismatch { expected: 3, got: 2 })));
         let q = RangeQuery::exact(vec![(0.0, 1.0)]).unwrap();
-        assert!(matches!(
-            pool.query_from(NodeId(0), &q),
-            Err(PoolError::DimensionMismatch { .. })
-        ));
-    }
-
-    #[test]
-    fn empty_store_query_returns_nothing_but_still_forwards() {
-        let mut pool = build_system(300, 5, PoolConfig::paper());
-        let q = RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
-        let result = pool.query_from(NodeId(0), &q).unwrap();
-        assert!(result.events.is_empty());
-        assert_eq!(result.cost.reply_messages, 0);
-        assert!(result.cost.forward_messages > 0);
-        assert_eq!(result.pools_visited, 3);
-    }
-
-    #[test]
-    fn splitter_is_closest_pool_index_node() {
-        let pool = build_system(300, 6, PoolConfig::paper());
-        let sink = NodeId(17);
-        let splitter = pool.splitter_of(0, sink);
-        let sink_pos = pool.topology().position(sink);
-        let sd = pool.topology().position(splitter).distance(sink_pos);
-        for cell in pool.layout().pool(0).cells() {
-            let node = pool.index_node_of(cell).unwrap();
-            assert!(
-                pool.topology().position(node).distance(sink_pos) >= sd - 1e-9,
-                "cell {cell} index node {node} closer than splitter"
-            );
-        }
+        assert!(matches!(pool.query_from(NodeId(0), &q), Err(PoolError::DimensionMismatch { .. })));
     }
 
     #[test]
@@ -822,53 +485,6 @@ mod tests {
         let q = RangeQuery::exact(vec![(0.8, 0.9), (0.0, 0.1), (0.0, 0.1)]).unwrap();
         let result = pool.query_from(NodeId(200), &q).unwrap();
         assert_eq!(result.events.len(), 30, "delegated events must remain queryable");
-    }
-
-    #[test]
-    fn unaggregated_replies_cost_more() {
-        let mut agg = build_system(300, 9, PoolConfig::paper());
-        let mut raw = build_system(300, 9, PoolConfig::paper().without_reply_aggregation());
-        for i in 0..20 {
-            let e = ev(&[0.72, 0.3 + 0.001 * i as f64, 0.1]);
-            agg.insert_from(NodeId(i), e.clone()).unwrap();
-            raw.insert_from(NodeId(i), e).unwrap();
-        }
-        let q = RangeQuery::exact(vec![(0.7, 0.75), (0.2, 0.4), (0.0, 0.2)]).unwrap();
-        let a = agg.query_from(NodeId(250), &q).unwrap();
-        let r = raw.query_from(NodeId(250), &q).unwrap();
-        assert_eq!(a.events.len(), 20);
-        assert_eq!(r.events.len(), 20);
-        assert!(
-            r.cost.reply_messages > a.cost.reply_messages,
-            "unaggregated {} vs aggregated {}",
-            r.cost.reply_messages,
-            a.cost.reply_messages
-        );
-    }
-
-    #[test]
-    fn aggregates_compute_correctly() {
-        let mut pool = build_system(300, 10, PoolConfig::paper());
-        pool.insert_from(NodeId(0), ev(&[0.62, 0.3, 0.1])).unwrap();
-        pool.insert_from(NodeId(1), ev(&[0.64, 0.35, 0.2])).unwrap();
-        pool.insert_from(NodeId(2), ev(&[0.9, 0.1, 0.05])).unwrap();
-        let q = RangeQuery::exact(vec![(0.6, 0.7), (0.0, 0.5), (0.0, 0.5)]).unwrap();
-        let (count, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Count).unwrap();
-        assert_eq!(count, Some(2.0));
-        let (sum, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Sum(0)).unwrap();
-        assert!((sum.unwrap() - 1.26).abs() < 1e-9);
-        let (avg, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Avg(1)).unwrap();
-        assert!((avg.unwrap() - 0.325).abs() < 1e-9);
-        let (min, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Min(2)).unwrap();
-        assert_eq!(min, Some(0.1));
-        let (max, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Max(2)).unwrap();
-        assert_eq!(max, Some(0.2));
-        // Aggregates over an empty result set.
-        let empty = RangeQuery::exact(vec![(0.0, 0.01), (0.0, 0.01), (0.99, 1.0)]).unwrap();
-        let (none, _) = pool.aggregate_from(NodeId(9), &empty, AggregateOp::Sum(0)).unwrap();
-        assert_eq!(none, None);
-        let (zero, _) = pool.aggregate_from(NodeId(9), &empty, AggregateOp::Count).unwrap();
-        assert_eq!(zero, Some(0.0));
     }
 
     #[test]
@@ -928,5 +544,23 @@ mod tests {
         let q = RangeQuery::exact(vec![(0.4, 0.6), (0.3, 0.5), (0.2, 0.4)]).unwrap();
         let res = pool.query_from(NodeId(1), &q).unwrap();
         assert_eq!(pool.traffic().total_messages(), r.messages + res.cost.total());
+    }
+
+    #[test]
+    fn ledger_layers_partition_system_traffic() {
+        let mut pool = build_system(300, 13, PoolConfig::paper().with_replication());
+        let r = pool.insert_from(NodeId(0), ev(&[0.5, 0.4, 0.3])).unwrap();
+        let q = RangeQuery::exact(vec![(0.4, 0.6), (0.3, 0.5), (0.2, 0.4)]).unwrap();
+        let res = pool.query_from(NodeId(1), &q).unwrap();
+        let ledger = pool.ledger();
+        let layered: u64 = ledger.by_layer().iter().map(|(_, n)| n).sum();
+        assert_eq!(layered, ledger.total_messages(), "layers must partition the total");
+        assert_eq!(
+            ledger.layer_total(TrafficLayer::Insert)
+                + ledger.layer_total(TrafficLayer::Replication),
+            r.messages,
+        );
+        assert_eq!(ledger.layer_total(TrafficLayer::Forward), res.cost.forward_messages);
+        assert_eq!(ledger.layer_total(TrafficLayer::Reply), res.cost.reply_messages);
     }
 }

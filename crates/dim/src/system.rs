@@ -20,11 +20,12 @@ use pool_core::event::Event;
 use pool_core::query::RangeQuery;
 use pool_core::system::QueryCost;
 use pool_core::PoolError;
-use pool_gpsr::{Gpsr, Planarization};
+use pool_gpsr::Planarization;
 use pool_netsim::geometry::Rect;
 use pool_netsim::node::NodeId;
 use pool_netsim::stats::TrafficStats;
 use pool_netsim::topology::Topology;
+use pool_transport::{TrafficLayer, TrafficLedger, Transport, TransportKind};
 use std::collections::HashMap;
 
 /// Result of one DIM query.
@@ -88,13 +89,12 @@ pub struct DimInsertReceipt {
 #[derive(Debug)]
 pub struct DimSystem {
     topology: Topology,
-    gpsr: Gpsr,
+    transport: Box<dyn Transport>,
     tree: ZoneTree,
     dims: usize,
     /// Events stored per zone index (index into `tree.zones()`).
     store: HashMap<usize, Vec<Event>>,
     zone_index_by_code: HashMap<crate::code::ZoneCode, usize>,
-    traffic: TrafficStats,
 }
 
 impl DimSystem {
@@ -105,24 +105,31 @@ impl DimSystem {
     /// [`PoolError::InvalidConfig`] for `dims == 0` and
     /// [`PoolError::Routing`] for a disconnected network.
     pub fn build(topology: Topology, field: Rect, dims: usize) -> Result<Self, PoolError> {
+        Self::build_with_transport(topology, field, dims, TransportKind::Gpsr)
+    }
+
+    /// Builds a DIM deployment over the chosen routing substrate (the
+    /// benchmark harness passes the same [`TransportKind`] to Pool and DIM
+    /// so both schemes route — and memoize — identically).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DimSystem::build`].
+    pub fn build_with_transport(
+        topology: Topology,
+        field: Rect,
+        dims: usize,
+        kind: TransportKind,
+    ) -> Result<Self, PoolError> {
         if dims == 0 {
             return Err(PoolError::InvalidConfig { reason: "k = 0".into() });
         }
         topology.require_connected().map_err(|e| PoolError::Routing(e.to_string()))?;
         let tree = ZoneTree::build(&topology, field);
-        let gpsr = Gpsr::new(&topology, Planarization::Gabriel);
+        let transport = kind.build(&topology, Planarization::Gabriel);
         let zone_index_by_code =
             tree.zones().iter().enumerate().map(|(i, z)| (z.code, i)).collect();
-        let n = topology.len();
-        Ok(DimSystem {
-            topology,
-            gpsr,
-            tree,
-            dims,
-            store: HashMap::new(),
-            zone_index_by_code,
-            traffic: TrafficStats::new(n),
-        })
+        Ok(DimSystem { topology, transport, tree, dims, store: HashMap::new(), zone_index_by_code })
     }
 
     /// The underlying topology.
@@ -137,7 +144,22 @@ impl DimSystem {
 
     /// All traffic charged so far.
     pub fn traffic(&self) -> &TrafficStats {
-        &self.traffic
+        self.transport.ledger().stats()
+    }
+
+    /// The per-layer message ledger.
+    pub fn ledger(&self) -> &TrafficLedger {
+        self.transport.ledger()
+    }
+
+    /// The routing substrate.
+    pub fn transport(&self) -> &dyn Transport {
+        self.transport.as_ref()
+    }
+
+    /// Mutable access to the routing substrate.
+    pub fn transport_mut(&mut self) -> &mut dyn Transport {
+        self.transport.as_mut()
     }
 
     /// Number of stored events.
@@ -172,8 +194,8 @@ impl DimSystem {
         let zone = self.tree.zone_of_event(event.values());
         let owner = zone.owner;
         let zone_idx = self.zone_index_by_code[&zone.code];
-        let route = self.gpsr.route_to_node(&self.topology, source, owner)?;
-        self.traffic.record_path(&route.path);
+        let route = self.transport.route_to_node(&self.topology, source, owner)?;
+        self.transport.charge(&route.path, TrafficLayer::Insert);
         self.store.entry(zone_idx).or_default().push(event);
         Ok(DimInsertReceipt { owner, messages: route.hops() as u64 })
     }
@@ -217,18 +239,18 @@ impl DimSystem {
         }
 
         // Sink to the first relevant owner.
-        let mut legs: Vec<Vec<NodeId>> = Vec::new();
-        let first = self.gpsr.route_to_node(&self.topology, sink, chain[0])?;
+        let mut legs: Vec<std::sync::Arc<pool_gpsr::Route>> = Vec::new();
+        let first = self.transport.route_to_node(&self.topology, sink, chain[0])?;
         cost.forward_messages += first.hops() as u64;
-        legs.push(first.path);
+        legs.push(first);
         // Owner-to-owner legs along the chain.
         for w in chain.windows(2) {
-            let leg = self.gpsr.route_to_node(&self.topology, w[0], w[1])?;
+            let leg = self.transport.route_to_node(&self.topology, w[0], w[1])?;
             cost.forward_messages += leg.hops() as u64;
-            legs.push(leg.path);
+            legs.push(leg);
         }
         for leg in &legs {
-            self.traffic.record_path(leg);
+            self.transport.charge(&leg.path, TrafficLayer::Forward);
         }
 
         // Collect matches.
@@ -247,10 +269,8 @@ impl DimSystem {
         // Aggregated replies retrace the chain back to the sink.
         if any_match {
             for leg in &legs {
-                let mut back = leg.clone();
-                back.reverse();
-                self.traffic.record_path(&back);
-                cost.reply_messages += (back.len() - 1) as u64;
+                self.transport.charge_reverse(&leg.path, 1, TrafficLayer::Reply);
+                cost.reply_messages += leg.hops() as u64;
             }
         }
         Ok(DimQueryResult { events, cost, zones_visited })
@@ -267,7 +287,7 @@ impl DimSystem {
         let failed_nodes = dead.iter().filter(|&&d| self.topology.is_alive(d)).count();
         let new_topology = self.topology.without_nodes(dead);
         new_topology.require_connected().map_err(|e| PoolError::Routing(e.to_string()))?;
-        self.gpsr = Gpsr::new(&new_topology, Planarization::Gabriel);
+        self.transport.rebuild(&new_topology);
         self.topology = new_topology;
 
         // Events held by dead owners are gone.
@@ -357,8 +377,7 @@ mod tests {
             let q = RangeQuery::from_bounds(bounds).unwrap();
             let mut got = dim.query_from(NodeId(rng.gen_range(0..n)), &q).unwrap().events;
             let mut want = dim.brute_force_query(&q);
-            let key =
-                |e: &Event| e.values().iter().map(|v| (v * 1e9) as i64).collect::<Vec<_>>();
+            let key = |e: &Event| e.values().iter().map(|v| (v * 1e9) as i64).collect::<Vec<_>>();
             got.sort_by_key(key);
             want.sort_by_key(key);
             assert_eq!(got, want, "trial {trial}");
@@ -389,16 +408,11 @@ mod tests {
     fn unspecified_first_dimension_hurts_most() {
         // The Figure 7(b) effect: 1@1-partial queries prune worst in DIM.
         let mut dim = build(300, 5);
-        let q1 =
-            RangeQuery::from_bounds(vec![None, Some((0.4, 0.5)), Some((0.4, 0.5))]).unwrap();
-        let q3 =
-            RangeQuery::from_bounds(vec![Some((0.4, 0.5)), Some((0.4, 0.5)), None]).unwrap();
+        let q1 = RangeQuery::from_bounds(vec![None, Some((0.4, 0.5)), Some((0.4, 0.5))]).unwrap();
+        let q3 = RangeQuery::from_bounds(vec![Some((0.4, 0.5)), Some((0.4, 0.5)), None]).unwrap();
         let z1 = dim.query_from(NodeId(0), &q1).unwrap().zones_visited;
         let z3 = dim.query_from(NodeId(0), &q3).unwrap().zones_visited;
-        assert!(
-            z1 >= z3,
-            "1@1-partial should visit at least as many zones as 1@3 ({z1} vs {z3})"
-        );
+        assert!(z1 >= z3, "1@1-partial should visit at least as many zones as 1@3 ({z1} vs {z3})");
     }
 
     #[test]
@@ -516,9 +530,7 @@ mod dcs_trait_tests {
         let q = RangeQuery::exact(vec![(0.4, 0.6), (0.0, 0.5), (0.0, 1.0)]).unwrap();
         let mut answers = Vec::new();
         for store in &mut stores {
-            store
-                .insert_event(NodeId(3), Event::new(vec![0.5, 0.25, 0.75]).unwrap())
-                .unwrap();
+            store.insert_event(NodeId(3), Event::new(vec![0.5, 0.25, 0.75]).unwrap()).unwrap();
             let (events, msgs) = store.range_query(NodeId(100), &q).unwrap();
             assert!(msgs > 0, "{} charged nothing", store.scheme_name());
             answers.push(events);

@@ -249,8 +249,7 @@ mod tests {
         let tree = ZoneTree::build(&topo, field);
         let mut codes: Vec<String> = tree.zones().iter().map(|z| z.code.to_string()).collect();
         codes.sort();
-        let mut expect =
-            vec!["00", "010", "011", "100", "101", "110", "1110", "1111"];
+        let mut expect = vec!["00", "010", "011", "100", "101", "110", "1110", "1111"];
         expect.sort_unstable();
         assert_eq!(codes, expect);
     }
@@ -344,11 +343,8 @@ mod tests {
         for a in 0..=steps {
             for b in 0..=steps {
                 for c in 0..=steps {
-                    let v = [
-                        a as f64 / steps as f64,
-                        b as f64 / steps as f64,
-                        c as f64 / steps as f64,
-                    ];
+                    let v =
+                        [a as f64 / steps as f64, b as f64 / steps as f64, c as f64 / steps as f64];
                     let matches = (0..3).all(|i| v[i] >= query[i].0 && v[i] <= query[i].1);
                     if matches {
                         let zone = tree.zone_of_event(&v);

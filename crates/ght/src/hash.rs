@@ -55,10 +55,7 @@ pub fn hash_to_location(key: &[u8], field: Rect) -> Point {
     let hy = (h & 0xffff_ffff) as u32;
     let fx = hx as f64 / u32::MAX as f64;
     let fy = hy as f64 / u32::MAX as f64;
-    Point::new(
-        field.min.x + fx * field.width(),
-        field.min.y + fy * field.height(),
-    )
+    Point::new(field.min.x + fx * field.width(), field.min.y + fy * field.height())
 }
 
 /// Hashes `key` together with a `replica` index, for structured replication

@@ -6,7 +6,8 @@
 //! and the classic baseline for point queries.
 //!
 //! * [`hash`] — deterministic key → location hashing (FNV-1a based).
-//! * [`table`] — put/get at home nodes over GPSR, with message accounting.
+//! * [`table`] — put/get at home nodes over a pluggable
+//!   [`pool_transport::Transport`], with per-layer message accounting.
 //!
 //! # Examples
 //!

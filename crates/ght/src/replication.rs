@@ -8,10 +8,10 @@
 
 use crate::hash::hash_to_replica_location;
 use crate::table::GhtTable;
-use pool_gpsr::router::{Gpsr, RouteError};
+use pool_gpsr::router::RouteError;
 use pool_netsim::node::NodeId;
-use pool_netsim::stats::TrafficStats;
 use pool_netsim::topology::Topology;
+use pool_transport::{TrafficLayer, Transport};
 use std::collections::HashMap;
 
 /// A geographic hash table with structured replication.
@@ -20,18 +20,19 @@ use std::collections::HashMap;
 ///
 /// ```
 /// use pool_ght::replication::ReplicatedGht;
-/// use pool_gpsr::{Gpsr, Planarization};
+/// use pool_gpsr::Planarization;
 /// use pool_netsim::deployment::Deployment;
 /// use pool_netsim::topology::Topology;
+/// use pool_transport::TransportKind;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let deployment = Deployment::paper_setting(300, 40.0, 20.0, 31)?;
 /// let topology = Topology::build(deployment.nodes(), 40.0)?;
-/// let gpsr = Gpsr::new(&topology, Planarization::Gabriel);
+/// let mut transport = TransportKind::Gpsr.build(&topology, Planarization::Gabriel);
 /// let mut ght = ReplicatedGht::new(&topology, 2); // 2 mirrors per key
 /// let node = topology.nodes()[7].id;
-/// ght.put(&topology, &gpsr, node, "alarm", 1u32)?;
-/// let (values, _) = ght.get_any(&topology, &gpsr, node, "alarm")?;
+/// ght.put(&topology, transport.as_mut(), node, "alarm", 1u32)?;
+/// let (values, _) = ght.get_any(&topology, transport.as_mut(), node, "alarm")?;
 /// assert_eq!(values, vec![1]);
 /// # Ok(())
 /// # }
@@ -40,7 +41,6 @@ use std::collections::HashMap;
 pub struct ReplicatedGht<V> {
     replicas: u32,
     storage: Vec<HashMap<String, Vec<V>>>,
-    traffic: TrafficStats,
 }
 
 impl<V: Clone> ReplicatedGht<V> {
@@ -51,11 +51,7 @@ impl<V: Clone> ReplicatedGht<V> {
     /// Panics if `replicas == 0`.
     pub fn new(topology: &Topology, replicas: u32) -> Self {
         assert!(replicas > 0, "need at least one replica");
-        ReplicatedGht {
-            replicas,
-            storage: vec![HashMap::new(); topology.len()],
-            traffic: TrafficStats::new(topology.len()),
-        }
+        ReplicatedGht { replicas, storage: vec![HashMap::new(); topology.len()] }
     }
 
     /// Number of mirrors per key.
@@ -63,22 +59,10 @@ impl<V: Clone> ReplicatedGht<V> {
         self.replicas
     }
 
-    /// The home node of replica `r` of `key`, routed from `from`.
-    fn replica_home(
-        &self,
-        topology: &Topology,
-        gpsr: &Gpsr,
-        from: NodeId,
-        key: &str,
-        r: u32,
-    ) -> Result<(NodeId, usize), RouteError> {
-        let loc = hash_to_replica_location(key.as_bytes(), r, topology.bounds());
-        let route = gpsr.route(topology, from, loc)?;
-        Ok((route.delivered, route.hops()))
-    }
-
     /// Stores `value` at *every* mirror of `key` (full write fan-out).
-    /// Returns the total hops charged.
+    /// Returns the total hops charged. The primary copy (replica 0) is
+    /// charged under [`TrafficLayer::Insert`]; additional mirrors under
+    /// [`TrafficLayer::Replication`].
     ///
     /// # Errors
     ///
@@ -86,7 +70,7 @@ impl<V: Clone> ReplicatedGht<V> {
     pub fn put(
         &mut self,
         topology: &Topology,
-        gpsr: &Gpsr,
+        transport: &mut dyn Transport,
         from: NodeId,
         key: &str,
         value: V,
@@ -94,8 +78,9 @@ impl<V: Clone> ReplicatedGht<V> {
         let mut hops = 0;
         for r in 0..self.replicas {
             let loc = hash_to_replica_location(key.as_bytes(), r, topology.bounds());
-            let route = gpsr.route(topology, from, loc)?;
-            self.traffic.record_path(&route.path);
+            let route = transport.route_to_location(topology, from, loc)?;
+            let layer = if r == 0 { TrafficLayer::Insert } else { TrafficLayer::Replication };
+            transport.charge(&route.path, layer);
             hops += route.hops();
             self.storage[route.delivered.index()]
                 .entry(key.to_owned())
@@ -107,7 +92,8 @@ impl<V: Clone> ReplicatedGht<V> {
 
     /// Reads the *nearest responsive* mirror: mirrors are tried in replica
     /// order and the first holding any value answers. Returns the values
-    /// and total hops (request legs plus the answering mirror's reply).
+    /// and total hops (request legs under [`TrafficLayer::Forward`], plus
+    /// the answering mirror's reply under [`TrafficLayer::Reply`]).
     ///
     /// # Errors
     ///
@@ -115,24 +101,22 @@ impl<V: Clone> ReplicatedGht<V> {
     pub fn get_any(
         &mut self,
         topology: &Topology,
-        gpsr: &Gpsr,
+        transport: &mut dyn Transport,
         from: NodeId,
         key: &str,
     ) -> Result<(Vec<V>, usize), RouteError> {
         let mut hops = 0;
         for r in 0..self.replicas {
-            let (home, leg) = self.replica_home(topology, gpsr, from, key, r)?;
-            hops += leg;
-            let values = self.storage[home.index()].get(key).cloned().unwrap_or_default();
-            // Request leg is always charged.
             let loc = hash_to_replica_location(key.as_bytes(), r, topology.bounds());
-            let route = gpsr.route(topology, from, loc)?;
-            self.traffic.record_path(&route.path);
+            let route = transport.route_to_location(topology, from, loc)?;
+            // Request leg is always charged.
+            transport.charge(&route.path, TrafficLayer::Forward);
+            hops += route.hops();
+            let values =
+                self.storage[route.delivered.index()].get(key).cloned().unwrap_or_default();
             if !values.is_empty() {
-                let mut back = route.path.clone();
-                back.reverse();
-                self.traffic.record_path(&back);
-                hops += back.len() - 1;
+                transport.charge_reverse(&route.path, 1, TrafficLayer::Reply);
+                hops += route.hops();
                 return Ok((values, hops));
             }
         }
@@ -143,27 +127,22 @@ impl<V: Clone> ReplicatedGht<V> {
     pub fn stored_at(&self, node: NodeId) -> usize {
         self.storage[node.index()].values().map(Vec::len).sum()
     }
-
-    /// The traffic ledger.
-    pub fn traffic(&self) -> &TrafficStats {
-        &self.traffic
-    }
 }
 
 /// Convenience: promotes a plain [`GhtTable`] comparison — how many extra
 /// messages replication costs per put at this network size.
 pub fn replication_overhead<V: Clone>(
     topology: &Topology,
-    gpsr: &Gpsr,
+    transport: &mut dyn Transport,
     from: NodeId,
     key: &str,
     value: V,
     replicas: u32,
 ) -> Result<(usize, usize), RouteError> {
     let mut plain: GhtTable<V> = GhtTable::new(topology);
-    let plain_hops = plain.put(topology, gpsr, from, key, value.clone())?;
+    let plain_hops = plain.put(topology, transport, from, key, value.clone())?;
     let mut replicated: ReplicatedGht<V> = ReplicatedGht::new(topology, replicas);
-    let replicated_hops = replicated.put(topology, gpsr, from, key, value)?;
+    let replicated_hops = replicated.put(topology, transport, from, key, value)?;
     Ok((plain_hops, replicated_hops))
 }
 
@@ -172,15 +151,16 @@ mod tests {
     use super::*;
     use pool_gpsr::Planarization;
     use pool_netsim::deployment::Deployment;
+    use pool_transport::TransportKind;
 
-    fn setup(seed: u64) -> (Topology, Gpsr) {
+    fn setup(seed: u64) -> (Topology, Box<dyn Transport>) {
         let mut s = seed;
         loop {
             let dep = Deployment::paper_setting(250, 40.0, 20.0, s).unwrap();
             let topo = Topology::build(dep.nodes(), 40.0).unwrap();
             if topo.is_connected() {
-                let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
-                return (topo, gpsr);
+                let transport = TransportKind::Gpsr.build(&topo, Planarization::Gabriel);
+                return (topo, transport);
             }
             s += 1;
         }
@@ -188,12 +168,10 @@ mod tests {
 
     #[test]
     fn put_reaches_all_mirrors() {
-        let (topo, gpsr) = setup(1);
+        let (topo, mut t) = setup(1);
         let mut ght: ReplicatedGht<u8> = ReplicatedGht::new(&topo, 4);
-        ght.put(&topo, &gpsr, NodeId(0), "k", 7).unwrap();
-        let holders = (0..topo.len())
-            .filter(|&i| ght.stored_at(NodeId(i as u32)) > 0)
-            .count();
+        ght.put(&topo, t.as_mut(), NodeId(0), "k", 7).unwrap();
+        let holders = (0..topo.len()).filter(|&i| ght.stored_at(NodeId(i as u32)) > 0).count();
         // Mirrors land at distinct locations; occasionally two may share a
         // home node, but most must be distinct.
         assert!(holders >= 3, "only {holders} distinct mirror homes");
@@ -201,29 +179,43 @@ mod tests {
 
     #[test]
     fn get_any_finds_a_value() {
-        let (topo, gpsr) = setup(2);
+        let (topo, mut t) = setup(2);
         let mut ght: ReplicatedGht<u8> = ReplicatedGht::new(&topo, 3);
-        ght.put(&topo, &gpsr, NodeId(5), "sensor-type", 9).unwrap();
-        let (values, hops) = ght.get_any(&topo, &gpsr, NodeId(200), "sensor-type").unwrap();
+        ght.put(&topo, t.as_mut(), NodeId(5), "sensor-type", 9).unwrap();
+        let (values, hops) = ght.get_any(&topo, t.as_mut(), NodeId(200), "sensor-type").unwrap();
         assert_eq!(values, vec![9]);
         assert!(hops > 0);
     }
 
     #[test]
     fn missing_key_returns_empty_after_trying_all_mirrors() {
-        let (topo, gpsr) = setup(3);
+        let (topo, mut t) = setup(3);
         let mut ght: ReplicatedGht<u8> = ReplicatedGht::new(&topo, 3);
-        let (values, hops) = ght.get_any(&topo, &gpsr, NodeId(10), "nope").unwrap();
+        let (values, hops) = ght.get_any(&topo, t.as_mut(), NodeId(10), "nope").unwrap();
         assert!(values.is_empty());
         assert!(hops > 0, "all three mirrors were consulted");
     }
 
     #[test]
     fn replication_costs_scale_with_mirror_count() {
-        let (topo, gpsr) = setup(4);
+        let (topo, mut t) = setup(4);
         let (plain, replicated) =
-            replication_overhead(&topo, &gpsr, NodeId(0), "hot-key", 1u8, 4).unwrap();
+            replication_overhead(&topo, t.as_mut(), NodeId(0), "hot-key", 1u8, 4).unwrap();
         assert!(replicated > plain, "4 mirrors ({replicated}) vs 1 home ({plain})");
+    }
+
+    #[test]
+    fn mirror_writes_split_insert_and_replication_layers() {
+        let (topo, mut t) = setup(6);
+        let mut ght: ReplicatedGht<u8> = ReplicatedGht::new(&topo, 3);
+        let hops = ght.put(&topo, t.as_mut(), NodeId(0), "k", 1).unwrap();
+        let ledger = t.ledger();
+        assert_eq!(
+            ledger.layer_total(TrafficLayer::Insert)
+                + ledger.layer_total(TrafficLayer::Replication),
+            hops as u64
+        );
+        assert!(ledger.layer_total(TrafficLayer::Replication) > 0);
     }
 
     #[test]

@@ -3,39 +3,42 @@
 //! The home node of a key is the node where a GPSR packet addressed to the
 //! key's hashed location is delivered. `Put` routes the value there and the
 //! home node stores it; `Get` routes a request there and the stored values
-//! travel back along the reverse path. Every hop is charged to a traffic
-//! ledger so experiments can compare GHT's costs with Pool's and DIM's.
+//! travel back along the reverse path. All routing and charging goes
+//! through a caller-provided [`Transport`], so experiments can compare
+//! GHT's per-layer costs with Pool's and DIM's on the same ledger.
 
 use crate::hash::hash_to_location;
-use pool_gpsr::router::{Gpsr, RouteError};
+use pool_gpsr::router::RouteError;
 use pool_netsim::geometry::Point;
 use pool_netsim::node::NodeId;
-use pool_netsim::stats::TrafficStats;
 use pool_netsim::topology::Topology;
+use pool_transport::{TrafficLayer, Transport};
 use std::collections::HashMap;
 
 /// A geographic hash table over one deployed network.
 ///
-/// The table owns the per-node key→values storage; routing is delegated to
-/// a caller-provided [`Gpsr`] router over the same topology.
+/// The table owns the per-node key→values storage; routing and message
+/// accounting are delegated to a caller-provided [`Transport`] over the
+/// same topology.
 ///
 /// # Examples
 ///
 /// ```
 /// use pool_ght::GhtTable;
-/// use pool_gpsr::{Gpsr, Planarization};
+/// use pool_gpsr::Planarization;
 /// use pool_netsim::deployment::Deployment;
 /// use pool_netsim::topology::Topology;
+/// use pool_transport::TransportKind;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let deployment = Deployment::paper_setting(300, 40.0, 20.0, 9)?;
 /// let topology = Topology::build(deployment.nodes(), 40.0)?;
-/// let gpsr = Gpsr::new(&topology, Planarization::Gabriel);
+/// let mut transport = TransportKind::Gpsr.build(&topology, Planarization::Gabriel);
 /// let mut ght = GhtTable::new(&topology);
 /// let sensor = topology.nodes()[5].id;
 ///
-/// ght.put(&topology, &gpsr, sensor, "fire-alarm", 451.0)?;
-/// let (values, _hops) = ght.get(&topology, &gpsr, sensor, "fire-alarm")?;
+/// ght.put(&topology, transport.as_mut(), sensor, "fire-alarm", 451.0)?;
+/// let (values, _hops) = ght.get(&topology, transport.as_mut(), sensor, "fire-alarm")?;
 /// assert_eq!(values, vec![451.0]);
 /// # Ok(())
 /// # }
@@ -44,16 +47,12 @@ use std::collections::HashMap;
 pub struct GhtTable<V> {
     /// Per-node storage: node index → key → values.
     storage: Vec<HashMap<String, Vec<V>>>,
-    traffic: TrafficStats,
 }
 
 impl<V: Clone> GhtTable<V> {
     /// Creates an empty table sized for `topology`.
     pub fn new(topology: &Topology) -> Self {
-        GhtTable {
-            storage: vec![HashMap::new(); topology.len()],
-            traffic: TrafficStats::new(topology.len()),
-        }
+        GhtTable { storage: vec![HashMap::new(); topology.len()] }
     }
 
     /// The home node of `key`: where a packet addressed to the key's hashed
@@ -65,12 +64,12 @@ impl<V: Clone> GhtTable<V> {
     pub fn home_node(
         &self,
         topology: &Topology,
-        gpsr: &Gpsr,
+        transport: &mut dyn Transport,
         from: NodeId,
         key: &str,
     ) -> Result<NodeId, RouteError> {
         let loc = self.key_location(topology, key);
-        Ok(gpsr.route(topology, from, loc)?.delivered)
+        Ok(transport.route_to_location(topology, from, loc)?.delivered)
     }
 
     /// The hashed location of `key` in this network's field.
@@ -79,7 +78,8 @@ impl<V: Clone> GhtTable<V> {
     }
 
     /// Stores `value` under `key`, routing from the detecting node `from`
-    /// to the key's home node. Returns the number of hops charged.
+    /// to the key's home node. Returns the number of hops charged
+    /// (under [`TrafficLayer::Insert`]).
     ///
     /// # Errors
     ///
@@ -87,21 +87,22 @@ impl<V: Clone> GhtTable<V> {
     pub fn put(
         &mut self,
         topology: &Topology,
-        gpsr: &Gpsr,
+        transport: &mut dyn Transport,
         from: NodeId,
         key: &str,
         value: V,
     ) -> Result<usize, RouteError> {
         let loc = self.key_location(topology, key);
-        let route = gpsr.route(topology, from, loc)?;
-        self.traffic.record_path(&route.path);
+        let route = transport.route_to_location(topology, from, loc)?;
+        transport.charge(&route.path, TrafficLayer::Insert);
         self.storage[route.delivered.index()].entry(key.to_owned()).or_default().push(value);
         Ok(route.hops())
     }
 
     /// Retrieves all values stored under `key`, issuing the request from
-    /// `from`. Returns the values and the total hops charged (request plus
-    /// response along the reverse path).
+    /// `from`. Returns the values and the total hops charged (request
+    /// under [`TrafficLayer::Forward`], response along the reverse path
+    /// under [`TrafficLayer::Reply`]).
     ///
     /// # Errors
     ///
@@ -109,24 +110,19 @@ impl<V: Clone> GhtTable<V> {
     pub fn get(
         &mut self,
         topology: &Topology,
-        gpsr: &Gpsr,
+        transport: &mut dyn Transport,
         from: NodeId,
         key: &str,
     ) -> Result<(Vec<V>, usize), RouteError> {
         let loc = self.key_location(topology, key);
-        let route = gpsr.route(topology, from, loc)?;
-        self.traffic.record_path(&route.path);
-        let values = self.storage[route.delivered.index()]
-            .get(key)
-            .cloned()
-            .unwrap_or_default();
+        let route = transport.route_to_location(topology, from, loc)?;
+        transport.charge(&route.path, TrafficLayer::Forward);
+        let values = self.storage[route.delivered.index()].get(key).cloned().unwrap_or_default();
         let mut hops = route.hops();
         if !values.is_empty() {
             // The response retraces the query path back to the sink.
-            let mut back = route.path.clone();
-            back.reverse();
-            self.traffic.record_path(&back);
-            hops += back.len() - 1;
+            transport.charge_reverse(&route.path, 1, TrafficLayer::Reply);
+            hops += route.hops();
         }
         Ok((values, hops))
     }
@@ -140,11 +136,6 @@ impl<V: Clone> GhtTable<V> {
     pub fn total_stored(&self) -> usize {
         (0..self.storage.len()).map(|i| self.stored_at(NodeId(i as u32))).sum()
     }
-
-    /// The traffic ledger accumulated by puts and gets.
-    pub fn traffic(&self) -> &TrafficStats {
-        &self.traffic
-    }
 }
 
 #[cfg(test)]
@@ -152,53 +143,55 @@ mod tests {
     use super::*;
     use pool_gpsr::Planarization;
     use pool_netsim::deployment::Deployment;
+    use pool_transport::TransportKind;
 
-    fn setup(seed: u64) -> (Topology, Gpsr) {
+    fn setup(seed: u64) -> (Topology, Box<dyn Transport>) {
         let dep = Deployment::paper_setting(200, 40.0, 20.0, seed).unwrap();
         let topo = Topology::build(dep.nodes(), 40.0).unwrap();
         assert!(topo.is_connected(), "seed {seed} produced a disconnected network");
-        let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
-        (topo, gpsr)
+        let transport = TransportKind::Gpsr.build(&topo, Planarization::Gabriel);
+        (topo, transport)
     }
 
     #[test]
     fn put_then_get_roundtrips() {
-        let (topo, gpsr) = setup(100);
+        let (topo, mut t) = setup(100);
         let mut ght: GhtTable<u32> = GhtTable::new(&topo);
-        ght.put(&topo, &gpsr, NodeId(0), "k", 1).unwrap();
-        ght.put(&topo, &gpsr, NodeId(50), "k", 2).unwrap();
-        let (values, _) = ght.get(&topo, &gpsr, NodeId(100), "k").unwrap();
+        ght.put(&topo, t.as_mut(), NodeId(0), "k", 1).unwrap();
+        ght.put(&topo, t.as_mut(), NodeId(50), "k", 2).unwrap();
+        let (values, _) = ght.get(&topo, t.as_mut(), NodeId(100), "k").unwrap();
         assert_eq!(values, vec![1, 2]);
     }
 
     #[test]
     fn different_sources_agree_on_home_node() {
-        let (topo, gpsr) = setup(101);
+        let (topo, mut t) = setup(101);
         let ght: GhtTable<u32> = GhtTable::new(&topo);
         let homes: Vec<NodeId> = [0u32, 17, 99, 150]
             .iter()
-            .map(|&s| ght.home_node(&topo, &gpsr, NodeId(s), "shared-key").unwrap())
+            .map(|&s| ght.home_node(&topo, t.as_mut(), NodeId(s), "shared-key").unwrap())
             .collect();
         assert!(homes.windows(2).all(|w| w[0] == w[1]), "homes differ: {homes:?}");
     }
 
     #[test]
     fn get_of_missing_key_is_empty_and_cheap() {
-        let (topo, gpsr) = setup(102);
+        let (topo, mut t) = setup(102);
         let mut ght: GhtTable<u32> = GhtTable::new(&topo);
-        let before = ght.traffic().total_messages();
-        let (values, hops) = ght.get(&topo, &gpsr, NodeId(3), "nothing-here").unwrap();
+        let before = t.ledger().total_messages();
+        let (values, hops) = ght.get(&topo, t.as_mut(), NodeId(3), "nothing-here").unwrap();
         assert!(values.is_empty());
         // Only the request path is charged when there is nothing to return.
-        assert_eq!(ght.traffic().total_messages() - before, hops as u64);
+        assert_eq!(t.ledger().total_messages() - before, hops as u64);
+        assert_eq!(t.ledger().layer_total(TrafficLayer::Reply), 0);
     }
 
     #[test]
     fn storage_lands_on_single_home_per_key() {
-        let (topo, gpsr) = setup(103);
+        let (topo, mut t) = setup(103);
         let mut ght: GhtTable<u8> = GhtTable::new(&topo);
         for src in 0..20u32 {
-            ght.put(&topo, &gpsr, NodeId(src), "one-key", 0).unwrap();
+            ght.put(&topo, t.as_mut(), NodeId(src), "one-key", 0).unwrap();
         }
         assert_eq!(ght.total_stored(), 20);
         let loaded: Vec<usize> =
@@ -208,10 +201,10 @@ mod tests {
 
     #[test]
     fn keys_spread_over_many_homes() {
-        let (topo, gpsr) = setup(104);
+        let (topo, mut t) = setup(104);
         let mut ght: GhtTable<u8> = GhtTable::new(&topo);
         for i in 0..60u32 {
-            ght.put(&topo, &gpsr, NodeId(0), &format!("key-{i}"), 0).unwrap();
+            ght.put(&topo, t.as_mut(), NodeId(0), &format!("key-{i}"), 0).unwrap();
         }
         let homes = (0..topo.len()).filter(|&i| ght.stored_at(NodeId(i as u32)) > 0).count();
         assert!(homes > 30, "only {homes} distinct home nodes for 60 keys");
@@ -219,9 +212,25 @@ mod tests {
 
     #[test]
     fn traffic_accumulates_hops() {
-        let (topo, gpsr) = setup(105);
+        let (topo, mut t) = setup(105);
         let mut ght: GhtTable<u8> = GhtTable::new(&topo);
-        let hops = ght.put(&topo, &gpsr, NodeId(0), "k", 9).unwrap();
-        assert_eq!(ght.traffic().total_messages(), hops as u64);
+        let hops = ght.put(&topo, t.as_mut(), NodeId(0), "k", 9).unwrap();
+        assert_eq!(t.ledger().total_messages(), hops as u64);
+        assert_eq!(t.ledger().layer_total(TrafficLayer::Insert), hops as u64);
+    }
+
+    #[test]
+    fn cached_transport_preserves_ght_costs() {
+        let (topo, mut plain) = setup(106);
+        let mut cached = TransportKind::Cached.build(&topo, Planarization::Gabriel);
+        let mut a: GhtTable<u8> = GhtTable::new(&topo);
+        let mut b: GhtTable<u8> = GhtTable::new(&topo);
+        for i in 0..10u32 {
+            let key = format!("k{}", i % 3); // repeated keys exercise the memo
+            let ha = a.put(&topo, plain.as_mut(), NodeId(i), &key, 1).unwrap();
+            let hb = b.put(&topo, cached.as_mut(), NodeId(i), &key, 1).unwrap();
+            assert_eq!(ha, hb);
+        }
+        assert_eq!(plain.ledger(), cached.ledger());
     }
 }

@@ -97,10 +97,7 @@ pub fn discover_neighbors(topology: &Topology) -> Result<BeaconProtocol, SimErro
         let neighbors = topology.neighbors(node.id).to_vec();
         sim.inject(
             node.id,
-            BeaconMsg::Start {
-                neighbors,
-                me: Hello { from: node.id, position: node.position },
-            },
+            BeaconMsg::Start { neighbors, me: Hello { from: node.id, position: node.position } },
         );
     }
     sim.run()?;

@@ -123,9 +123,7 @@ mod tests {
     use pool_netsim::node::Node;
 
     fn line_topology() -> Topology {
-        let nodes = (0..5)
-            .map(|i| Node::new(NodeId(i), Point::new(i as f64 * 4.0, 0.0)))
-            .collect();
+        let nodes = (0..5).map(|i| Node::new(NodeId(i), Point::new(i as f64 * 4.0, 0.0))).collect();
         Topology::build(nodes, 5.0).unwrap()
     }
 

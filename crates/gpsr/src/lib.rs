@@ -43,6 +43,6 @@ pub mod planar;
 pub mod router;
 pub mod shortest;
 
-pub use planar::{PlanarGraph, Planarization};
 pub use greedy::GreedyMetric;
+pub use planar::{PlanarGraph, Planarization};
 pub use router::{Gpsr, Route, RouteError};

@@ -256,11 +256,8 @@ mod tests {
         let topo = random_topo(60, 80.0, 30.0, 14);
         let g = PlanarGraph::build(&topo, Planarization::Gabriel);
         for u in topo.nodes() {
-            let angles: Vec<f64> = g
-                .neighbors(u.id)
-                .iter()
-                .map(|&v| u.position.angle_to(topo.position(v)))
-                .collect();
+            let angles: Vec<f64> =
+                g.neighbors(u.id).iter().map(|&v| u.position.angle_to(topo.position(v))).collect();
             for w in angles.windows(2) {
                 assert!(w[0] <= w[1]);
             }

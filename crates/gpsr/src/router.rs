@@ -148,7 +148,12 @@ impl Gpsr {
     ///
     /// Returns [`RouteError::HopBudgetExceeded`] if the packet fails to
     /// terminate within `10·n + 100` hops (pathological geometry only).
-    pub fn route(&self, topology: &Topology, from: NodeId, target: Point) -> Result<Route, RouteError> {
+    pub fn route(
+        &self,
+        topology: &Topology,
+        from: NodeId,
+        target: Point,
+    ) -> Result<Route, RouteError> {
         let budget = 10 * topology.len() + 100;
         let mut path = vec![from];
         let mut at = from;
@@ -185,12 +190,8 @@ impl Gpsr {
                             // No planar neighbors at all: deliver here.
                             return Ok(Route { path, delivered: at, greedy_hops, perimeter_hops });
                         };
-                        mode = Some(PerimeterState {
-                            lp: here,
-                            lf: here,
-                            e0: (at, next),
-                            prev: at,
-                        });
+                        mode =
+                            Some(PerimeterState { lp: here, lf: here, e0: (at, next), prev: at });
                         face_nodes = vec![at];
                         at = next;
                         path.push(at);
@@ -209,7 +210,8 @@ impl Gpsr {
                     let mut lf = state.lf;
                     let mut e0 = state.e0;
                     let ref_angle = here.angle_to(topology.position(state.prev));
-                    let Some(mut candidate) = right_hand_next(&self.planar, topology, at, ref_angle)
+                    let Some(mut candidate) =
+                        right_hand_next(&self.planar, topology, at, ref_angle)
                     else {
                         return Ok(Route { path, delivered: at, greedy_hops, perimeter_hops });
                     };
@@ -278,7 +280,12 @@ impl Gpsr {
         to: NodeId,
     ) -> Result<Route, RouteError> {
         if from == to {
-            return Ok(Route { path: vec![from], delivered: from, greedy_hops: 0, perimeter_hops: 0 });
+            return Ok(Route {
+                path: vec![from],
+                delivered: from,
+                greedy_hops: 0,
+                perimeter_hops: 0,
+            });
         }
         let route = self.route(topology, from, topology.position(to))?;
         if route.delivered != to {
@@ -381,10 +388,7 @@ mod tests {
         let mut agree = 0;
         let mut total = 0;
         for i in 0..60 {
-            let target = Point::new(
-                (i as f64 * 37.0) % 130.0,
-                (i as f64 * 53.0) % 130.0,
-            );
+            let target = Point::new((i as f64 * 37.0) % 130.0, (i as f64 * 53.0) % 130.0);
             let route = gpsr.route(&topo, NodeId(i % 150), target).unwrap();
             total += 1;
             if route.delivered == topo.nearest_node(target) {

@@ -170,10 +170,7 @@ mod tests {
             field_side_for(10, -1.0, 20.0),
             Err(NetsimError::InvalidRadioRange { .. })
         ));
-        assert!(matches!(
-            field_side_for(10, 40.0, 0.0),
-            Err(NetsimError::InvalidDensity { .. })
-        ));
+        assert!(matches!(field_side_for(10, 40.0, 0.0), Err(NetsimError::InvalidDensity { .. })));
     }
 
     #[test]

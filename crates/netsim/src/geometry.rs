@@ -142,10 +142,7 @@ impl Rect {
 
     /// Clamps `p` to the closest point inside the rectangle.
     pub fn clamp(&self, p: Point) -> Point {
-        Point::new(
-            p.x.clamp(self.min.x, self.max.x),
-            p.y.clamp(self.min.y, self.max.y),
-        )
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
     }
 }
 
@@ -201,7 +198,10 @@ pub fn segments_cross(a1: Point, a2: Point, b1: Point, b2: Point) -> bool {
             && r.y >= p.y.min(q.y)
             && r.y <= p.y.max(q.y)
     };
-    on_segment(a1, a2, b1) || on_segment(a1, a2, b2) || on_segment(b1, b2, a1) || on_segment(b1, b2, a2)
+    on_segment(a1, a2, b1)
+        || on_segment(a1, a2, b2)
+        || on_segment(b1, b2, a1)
+        || on_segment(b1, b2, a2)
 }
 
 /// Intersection point of the (infinite) lines through `a1–a2` and `b1–b2`,

@@ -84,13 +84,7 @@ impl PrrModel {
 /// topology.
 pub fn expected_path_transmissions(topology: &Topology, path: &[NodeId], model: PrrModel) -> f64 {
     path.windows(2)
-        .map(|w| {
-            if w[0] == w[1] {
-                0.0
-            } else {
-                model.etx(topology.distance(w[0], w[1]))
-            }
-        })
+        .map(|w| if w[0] == w[1] { 0.0 } else { model.etx(topology.distance(w[0], w[1])) })
         .sum()
 }
 

@@ -107,10 +107,7 @@ impl Canvas {
             let steps = (2 * self.cols.max(self.rows)) as f64;
             for s in 0..=steps as usize {
                 let t = s as f64 / steps;
-                self.draw_point(
-                    Point::new(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)),
-                    glyph,
-                );
+                self.draw_point(Point::new(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)), glyph);
             }
         }
         if let Some(&first) = path.first() {

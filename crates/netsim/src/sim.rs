@@ -256,7 +256,8 @@ mod tests {
     fn flood_reaches_whole_connected_network() {
         let topo = build_topo(50, 60.0, 25.0, 3);
         assert!(topo.is_connected());
-        let neighbor_map = (0..topo.len()).map(|i| topo.neighbors(NodeId(i as u32)).to_vec()).collect();
+        let neighbor_map =
+            (0..topo.len()).map(|i| topo.neighbors(NodeId(i as u32)).to_vec()).collect();
         let mut sim = Simulator::new(topo, Flood { seen: HashSet::new(), neighbor_map });
         sim.inject(NodeId(0), ());
         sim.run().unwrap();
@@ -297,10 +298,7 @@ mod tests {
         let topo = Topology::build(nodes, 10.0).unwrap();
         let mut sim = Simulator::new(topo, BadSender);
         sim.inject(NodeId(0), ());
-        assert_eq!(
-            sim.run(),
-            Err(SimError::NotANeighbor { from: NodeId(0), to: NodeId(1) })
-        );
+        assert_eq!(sim.run(), Err(SimError::NotANeighbor { from: NodeId(0), to: NodeId(1) }));
     }
 
     struct PingPong {
@@ -322,8 +320,9 @@ mod tests {
             crate::node::Node::new(NodeId(1), crate::geometry::Point::new(1.0, 0.0)),
         ];
         let topo = Topology::build(nodes, 10.0).unwrap();
-        let mut sim = Simulator::new(topo, PingPong { count: 0, peer_of: vec![NodeId(1), NodeId(0)] })
-            .with_event_budget(100);
+        let mut sim =
+            Simulator::new(topo, PingPong { count: 0, peer_of: vec![NodeId(1), NodeId(0)] })
+                .with_event_budget(100);
         sim.inject(NodeId(0), ());
         assert_eq!(sim.run(), Err(SimError::EventBudgetExhausted { budget: 100 }));
     }

@@ -216,9 +216,7 @@ impl Topology {
                             let d = self.position(id).distance_sq(target);
                             let better = match best {
                                 None => true,
-                                Some((bd, bid)) => {
-                                    d < bd || (d == bd && id < bid)
-                                }
+                                Some((bd, bid)) => d < bd || (d == bd && id < bid),
                             };
                             if better {
                                 best = Some((d, id));
@@ -404,19 +402,14 @@ mod tests {
         let topo = sample_topology(60, 70.0, 15.0, 6);
         let p = Point::new(35.0, 35.0);
         let got = topo.nodes_within(p, 22.0);
-        let want: Vec<NodeId> = topo
-            .nodes()
-            .iter()
-            .filter(|n| n.position.distance(p) <= 22.0)
-            .map(|n| n.id)
-            .collect();
+        let want: Vec<NodeId> =
+            topo.nodes().iter().filter(|n| n.position.distance(p) <= 22.0).map(|n| n.id).collect();
         assert_eq!(got, want);
     }
 
     #[test]
     fn single_node_topology() {
-        let topo =
-            Topology::build(vec![Node::new(NodeId(0), Point::new(1.0, 1.0))], 10.0).unwrap();
+        let topo = Topology::build(vec![Node::new(NodeId(0), Point::new(1.0, 1.0))], 10.0).unwrap();
         assert_eq!(topo.len(), 1);
         assert!(topo.neighbors(NodeId(0)).is_empty());
         assert_eq!(topo.nearest_node(Point::new(99.0, 99.0)), NodeId(0));

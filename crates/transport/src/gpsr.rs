@@ -1,0 +1,81 @@
+//! The reference transport: plain GPSR, no memoization.
+
+use crate::{TrafficLedger, Transport, TransportKind};
+use pool_gpsr::{Gpsr, Planarization, Route, RouteError};
+use pool_netsim::geometry::Point;
+use pool_netsim::node::NodeId;
+use pool_netsim::topology::Topology;
+use std::sync::Arc;
+
+/// A [`Transport`] that recomputes every route with GPSR.
+///
+/// This is the original behaviour of the storage schemes before the
+/// transport seam existed: message counts produced through this
+/// implementation are bit-identical to charging a raw
+/// [`pool_netsim::stats::TrafficStats`] along freshly computed
+/// [`Gpsr`] routes.
+#[derive(Debug, Clone)]
+pub struct GpsrTransport {
+    gpsr: Gpsr,
+    planarization: Planarization,
+    ledger: TrafficLedger,
+    generation: u64,
+}
+
+impl GpsrTransport {
+    /// Builds the transport over `topology`.
+    pub fn new(topology: &Topology, planarization: Planarization) -> Self {
+        GpsrTransport {
+            gpsr: Gpsr::new(topology, planarization),
+            planarization,
+            ledger: TrafficLedger::new(topology.nodes().len()),
+            generation: 0,
+        }
+    }
+
+    /// The underlying router (e.g. for path-stretch validation).
+    pub fn gpsr(&self) -> &Gpsr {
+        &self.gpsr
+    }
+}
+
+impl Transport for GpsrTransport {
+    fn route_to_node(
+        &mut self,
+        topology: &Topology,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Arc<Route>, RouteError> {
+        self.gpsr.route_to_node(topology, from, to).map(Arc::new)
+    }
+
+    fn route_to_location(
+        &mut self,
+        topology: &Topology,
+        from: NodeId,
+        target: Point,
+    ) -> Result<Arc<Route>, RouteError> {
+        self.gpsr.route(topology, from, target).map(Arc::new)
+    }
+
+    fn rebuild(&mut self, topology: &Topology) {
+        self.gpsr = Gpsr::new(topology, self.planarization);
+        self.generation += 1;
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    fn ledger_mut(&mut self) -> &mut TrafficLedger {
+        &mut self.ledger
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Gpsr
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-layer message accounting.
+//!
+//! The paper's cost metric is a single number — radio messages — but the
+//! experiments ask *where* those messages come from: insertion vs. query
+//! forwarding vs. replies vs. replication vs. monitoring. [`TrafficLedger`]
+//! wraps the flat [`TrafficStats`] hop counter with a breakdown by
+//! [`TrafficLayer`], so every charge names the protocol layer it belongs to
+//! while the totals remain bit-identical to the pre-ledger accounting.
+
+use pool_netsim::node::NodeId;
+use pool_netsim::stats::TrafficStats;
+
+/// The protocol layer a message charge belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficLayer {
+    /// Event insertion: source → index node, plus workload-sharing chains.
+    Insert,
+    /// Query dissemination: sink → splitters → index nodes → delegates.
+    Forward,
+    /// Query replies retracing forwarding legs back to the sink.
+    Reply,
+    /// Backup copies pushed to neighbors of index nodes.
+    Replication,
+    /// Standing-query installation and push notifications.
+    Monitor,
+    /// Post-failure migration and recovery traffic.
+    Repair,
+}
+
+impl TrafficLayer {
+    /// All layers, in display order.
+    pub const ALL: [TrafficLayer; 6] = [
+        TrafficLayer::Insert,
+        TrafficLayer::Forward,
+        TrafficLayer::Reply,
+        TrafficLayer::Replication,
+        TrafficLayer::Monitor,
+        TrafficLayer::Repair,
+    ];
+
+    /// Dense index into per-layer counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            TrafficLayer::Insert => 0,
+            TrafficLayer::Forward => 1,
+            TrafficLayer::Reply => 2,
+            TrafficLayer::Replication => 3,
+            TrafficLayer::Monitor => 4,
+            TrafficLayer::Repair => 5,
+        }
+    }
+
+    /// Stable lowercase name (used in reports and JSON snapshots).
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficLayer::Insert => "insert",
+            TrafficLayer::Forward => "forward",
+            TrafficLayer::Reply => "reply",
+            TrafficLayer::Replication => "replication",
+            TrafficLayer::Monitor => "monitor",
+            TrafficLayer::Repair => "repair",
+        }
+    }
+}
+
+/// [`TrafficStats`] plus a per-[`TrafficLayer`] breakdown.
+///
+/// Every charge goes through one of the `charge_*` methods, which update
+/// both the flat stats (total + per-node load) and the named layer's
+/// counter. Self-hops stay free, exactly as in [`TrafficStats`], so the
+/// per-layer counters always sum to [`TrafficLedger::total_messages`].
+///
+/// # Examples
+///
+/// ```
+/// use pool_netsim::node::NodeId;
+/// use pool_transport::{TrafficLayer, TrafficLedger};
+///
+/// let mut ledger = TrafficLedger::new(4);
+/// ledger.charge_path(&[NodeId(0), NodeId(1), NodeId(2)], TrafficLayer::Insert);
+/// ledger.charge_hop(NodeId(2), NodeId(3), TrafficLayer::Replication);
+/// assert_eq!(ledger.total_messages(), 3);
+/// assert_eq!(ledger.layer_total(TrafficLayer::Insert), 2);
+/// assert_eq!(ledger.layer_total(TrafficLayer::Replication), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficLedger {
+    stats: TrafficStats,
+    by_layer: [u64; TrafficLayer::ALL.len()],
+}
+
+impl TrafficLedger {
+    /// Creates a ledger for a network of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        TrafficLedger { stats: TrafficStats::new(n), by_layer: [0; TrafficLayer::ALL.len()] }
+    }
+
+    /// The flat hop counter (total messages + per-node load).
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Charges one transmission from `from` to `to` against `layer`.
+    ///
+    /// Returns the number of messages actually charged (0 for a self-hop,
+    /// 1 otherwise).
+    pub fn charge_hop(&mut self, from: NodeId, to: NodeId, layer: TrafficLayer) -> u64 {
+        if from == to {
+            return 0;
+        }
+        self.stats.record_hop(from, to);
+        self.by_layer[layer.index()] += 1;
+        1
+    }
+
+    /// Charges every hop along `path` against `layer`.
+    ///
+    /// Returns the number of messages actually charged — the non-self-hop
+    /// pairs, which equals `path.len() - 1` whenever no grid cell aliases
+    /// two positions onto the same node.
+    pub fn charge_path(&mut self, path: &[NodeId], layer: TrafficLayer) -> u64 {
+        let mut charged = 0;
+        for w in path.windows(2) {
+            charged += self.charge_hop(w[0], w[1], layer);
+        }
+        charged
+    }
+
+    /// Charges `copies` traversals of `path` in reverse order (reply
+    /// retracing) against `layer`.
+    ///
+    /// Per-node load attribution differs from the forward direction: the
+    /// reversed path charges each hop to its *new* sender. Returns the
+    /// total messages charged across all copies.
+    pub fn charge_path_reversed(
+        &mut self,
+        path: &[NodeId],
+        copies: u64,
+        layer: TrafficLayer,
+    ) -> u64 {
+        let back: Vec<NodeId> = path.iter().rev().copied().collect();
+        let mut charged = 0;
+        for _ in 0..copies {
+            charged += self.charge_path(&back, layer);
+        }
+        charged
+    }
+
+    /// Total messages charged to `layer`.
+    pub fn layer_total(&self, layer: TrafficLayer) -> u64 {
+        self.by_layer[layer.index()]
+    }
+
+    /// `(layer, messages)` for every layer, in display order.
+    pub fn by_layer(&self) -> [(TrafficLayer, u64); TrafficLayer::ALL.len()] {
+        let mut out = [(TrafficLayer::Insert, 0); TrafficLayer::ALL.len()];
+        for (slot, layer) in out.iter_mut().zip(TrafficLayer::ALL) {
+            *slot = (layer, self.by_layer[layer.index()]);
+        }
+        out
+    }
+
+    /// Total messages across all layers.
+    pub fn total_messages(&self) -> u64 {
+        self.stats.total_messages()
+    }
+
+    /// Adds all counts from `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two ledgers track networks of different sizes.
+    pub fn merge(&mut self, other: &TrafficLedger) {
+        self.stats.merge(&other.stats);
+        for (a, b) in self.by_layer.iter_mut().zip(&other.by_layer) {
+            *a += *b;
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn clear(&mut self) {
+        self.stats.clear();
+        self.by_layer = [0; TrafficLayer::ALL.len()];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layers_partition_the_total() {
+        let mut ledger = TrafficLedger::new(5);
+        ledger.charge_path(&[NodeId(0), NodeId(1), NodeId(2)], TrafficLayer::Insert);
+        ledger.charge_path(&[NodeId(2), NodeId(3)], TrafficLayer::Forward);
+        ledger.charge_path_reversed(&[NodeId(2), NodeId(3)], 2, TrafficLayer::Reply);
+        let layered: u64 = ledger.by_layer().iter().map(|(_, n)| n).sum();
+        assert_eq!(layered, ledger.total_messages());
+        assert_eq!(ledger.layer_total(TrafficLayer::Reply), 2);
+    }
+
+    #[test]
+    fn self_hops_stay_free() {
+        let mut ledger = TrafficLedger::new(3);
+        assert_eq!(ledger.charge_hop(NodeId(1), NodeId(1), TrafficLayer::Insert), 0);
+        assert_eq!(ledger.charge_path(&[NodeId(0), NodeId(0), NodeId(1)], TrafficLayer::Insert), 1);
+        assert_eq!(ledger.total_messages(), 1);
+    }
+
+    #[test]
+    fn reversed_charge_attributes_load_to_new_senders() {
+        let mut ledger = TrafficLedger::new(3);
+        ledger.charge_path_reversed(&[NodeId(0), NodeId(1), NodeId(2)], 1, TrafficLayer::Reply);
+        // The reply travels 2 → 1 → 0, so nodes 2 and 1 each sent once.
+        assert_eq!(ledger.stats().load(NodeId(2)), 1);
+        assert_eq!(ledger.stats().load(NodeId(1)), 1);
+        assert_eq!(ledger.stats().load(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn merge_and_clear_round_trip() {
+        let mut a = TrafficLedger::new(2);
+        a.charge_hop(NodeId(0), NodeId(1), TrafficLayer::Monitor);
+        let mut b = TrafficLedger::new(2);
+        b.charge_hop(NodeId(1), NodeId(0), TrafficLayer::Repair);
+        a.merge(&b);
+        assert_eq!(a.total_messages(), 2);
+        assert_eq!(a.layer_total(TrafficLayer::Monitor), 1);
+        assert_eq!(a.layer_total(TrafficLayer::Repair), 1);
+        a.clear();
+        assert_eq!(a.total_messages(), 0);
+        assert_eq!(a.layer_total(TrafficLayer::Repair), 0);
+    }
+}

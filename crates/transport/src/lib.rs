@@ -1,0 +1,178 @@
+//! # pool-transport — the pluggable routing substrate
+//!
+//! Pool, DIM, and GHT all sit on the same two primitives: *route a packet*
+//! (GPSR, §2 of the Pool paper) and *charge its hops* (the paper's
+//! message-count cost metric, §5). This crate extracts that seam into one
+//! object-safe [`Transport`] trait so the storage schemes above it never
+//! touch [`pool_gpsr::Gpsr`] or [`pool_netsim::stats::TrafficStats`]
+//! directly:
+//!
+//! * [`Transport`] — route to a node or a location, rebuild after topology
+//!   change, and account every charge in a per-layer [`TrafficLedger`].
+//! * [`GpsrTransport`] — the reference implementation; recomputes every
+//!   route, reproducing the original message counts bit for bit.
+//! * [`CachedTransport`] — memoizes delivered routes per endpoint pair and
+//!   invalidates the memo on topology change; identical message accounting,
+//!   much less recomputation on repeated-query workloads.
+//! * [`TransportKind`] — the configuration-level selector that builds
+//!   either implementation behind `Box<dyn Transport>`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pool_gpsr::Planarization;
+//! use pool_netsim::deployment::Deployment;
+//! use pool_netsim::topology::Topology;
+//! use pool_transport::{TrafficLayer, Transport, TransportKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let deployment = Deployment::paper_setting(300, 40.0, 20.0, 7)?;
+//! let topology = Topology::build(deployment.nodes(), 40.0)?;
+//! let mut transport = TransportKind::Cached.build(&topology, Planarization::Gabriel);
+//! let (from, to) = (topology.nodes()[0].id, topology.nodes()[100].id);
+//! let route = transport.route_to_node(&topology, from, to)?;
+//! transport.charge(&route.path, TrafficLayer::Forward);
+//! assert_eq!(transport.ledger().total_messages(), route.hops() as u64);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cached;
+pub mod gpsr;
+pub mod ledger;
+
+pub use cached::CachedTransport;
+pub use gpsr::GpsrTransport;
+pub use ledger::{TrafficLayer, TrafficLedger};
+
+use pool_gpsr::{Planarization, Route, RouteError};
+use pool_netsim::geometry::Point;
+use pool_netsim::node::NodeId;
+use pool_netsim::topology::Topology;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// A routing substrate: route computation plus message accounting.
+///
+/// Routing and charging are deliberately separate calls — the storage
+/// schemes decide *how* a route is charged (forward once, retrace for
+/// replies, fan out `copies` times), while the transport decides *how* the
+/// route is obtained (fresh GPSR computation vs. memo lookup). Routes are
+/// returned as [`Arc<Route>`] so cached implementations can hand out shared
+/// copies without cloning paths.
+///
+/// Implementations must keep message accounting identical regardless of
+/// how routes are produced: a cache may skip recomputation, never charges.
+pub trait Transport: fmt::Debug {
+    /// Routes from `from` to the specific node `to`.
+    ///
+    /// A `from == to` route is the zero-hop path `[from]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError`] when GPSR cannot deliver (hop budget, or a
+    /// node-addressed packet delivered elsewhere).
+    fn route_to_node(
+        &mut self,
+        topology: &Topology,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Arc<Route>, RouteError>;
+
+    /// Routes from `from` toward the location `target`, delivering at the
+    /// home node (the node closest to `target` on its face).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::HopBudgetExceeded`] on pathological
+    /// geometries.
+    fn route_to_location(
+        &mut self,
+        topology: &Topology,
+        from: NodeId,
+        target: Point,
+    ) -> Result<Arc<Route>, RouteError>;
+
+    /// Rebuilds the substrate over a changed topology (re-planarizes,
+    /// bumps [`Transport::generation`], and drops any memoized routes).
+    ///
+    /// The ledger is preserved: node identity is stable across failures, so
+    /// accumulated traffic remains attributable.
+    fn rebuild(&mut self, topology: &Topology);
+
+    /// Monotonic topology generation; incremented by every
+    /// [`Transport::rebuild`]. Routes obtained under an older generation
+    /// must not be reused.
+    fn generation(&self) -> u64;
+
+    /// The message ledger.
+    fn ledger(&self) -> &TrafficLedger;
+
+    /// Mutable access to the message ledger.
+    fn ledger_mut(&mut self) -> &mut TrafficLedger;
+
+    /// Which implementation this is.
+    fn kind(&self) -> TransportKind;
+
+    /// Charges every hop along `path` against `layer`; returns messages
+    /// charged.
+    fn charge(&mut self, path: &[NodeId], layer: TrafficLayer) -> u64 {
+        self.ledger_mut().charge_path(path, layer)
+    }
+
+    /// Charges `copies` reverse traversals of `path` (reply retracing)
+    /// against `layer`; returns total messages charged.
+    fn charge_reverse(&mut self, path: &[NodeId], copies: u64, layer: TrafficLayer) -> u64 {
+        self.ledger_mut().charge_path_reversed(path, copies, layer)
+    }
+
+    /// Charges a single hop against `layer`; returns messages charged
+    /// (0 for a self-hop).
+    fn charge_hop(&mut self, from: NodeId, to: NodeId, layer: TrafficLayer) -> u64 {
+        self.ledger_mut().charge_hop(from, to, layer)
+    }
+}
+
+/// Selects a [`Transport`] implementation at configuration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransportKind {
+    /// [`GpsrTransport`]: recompute every route (reference behaviour).
+    #[default]
+    Gpsr,
+    /// [`CachedTransport`]: memoize delivered routes per endpoint pair.
+    Cached,
+}
+
+impl TransportKind {
+    /// Builds the selected transport over `topology`.
+    pub fn build(self, topology: &Topology, planarization: Planarization) -> Box<dyn Transport> {
+        match self {
+            TransportKind::Gpsr => Box::new(GpsrTransport::new(topology, planarization)),
+            TransportKind::Cached => Box::new(CachedTransport::new(topology, planarization)),
+        }
+    }
+}
+
+impl fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransportKind::Gpsr => "gpsr",
+            TransportKind::Cached => "cached",
+        })
+    }
+}
+
+impl FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "gpsr" => Ok(TransportKind::Gpsr),
+            "cached" => Ok(TransportKind::Cached),
+            other => Err(format!("unknown transport {other:?} (expected \"gpsr\" or \"cached\")")),
+        }
+    }
+}

@@ -196,10 +196,9 @@ mod tests {
     fn truncated_normal_mean_near_center() {
         let mut rng = StdRng::seed_from_u64(16);
         let n = 20_000;
-        let mean: f64 = (0..n)
-            .map(|_| sample_normal_truncated(&mut rng, 0.5, 0.1, 0.0, 1.0))
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 =
+            (0..n).map(|_| sample_normal_truncated(&mut rng, 0.5, 0.1, 0.0, 1.0)).sum::<f64>()
+                / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "empirical mean {mean}");
     }
 

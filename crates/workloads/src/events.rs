@@ -77,10 +77,7 @@ impl EventGenerator {
             }
         }
         if let EventDistribution::Mixture { hot_fraction, .. } = &distribution {
-            assert!(
-                (0.0..=1.0).contains(hot_fraction),
-                "hot fraction must be a probability"
-            );
+            assert!((0.0..=1.0).contains(hot_fraction), "hot fraction must be a probability");
         }
         EventGenerator { dims, distribution }
     }
@@ -114,10 +111,7 @@ impl EventGenerator {
     }
 
     fn hotspot_values<R: Rng + ?Sized>(rng: &mut R, center: &[f64], std_dev: f64) -> Vec<f64> {
-        center
-            .iter()
-            .map(|&c| sample_normal_truncated(rng, c, std_dev, 0.0, 1.0))
-            .collect()
+        center.iter().map(|&c| sample_normal_truncated(rng, c, std_dev, 0.0, 1.0)).collect()
     }
 }
 
@@ -153,11 +147,7 @@ mod tests {
         let events = g.generate_many(&mut rng, 500);
         let near = events
             .iter()
-            .filter(|e| {
-                (e.value(0) - 0.8).abs() < 0.2
-                    && e.value(1) < 0.3
-                    && e.value(2) < 0.3
-            })
+            .filter(|e| (e.value(0) - 0.8).abs() < 0.2 && e.value(1) < 0.3 && e.value(2) < 0.3)
             .count();
         assert!(near > 450, "only {near}/500 events near the hotspot");
     }
@@ -167,17 +157,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut g = EventGenerator::new(
             2,
-            EventDistribution::Mixture {
-                center: vec![0.9, 0.9],
-                std_dev: 0.02,
-                hot_fraction: 0.5,
-            },
+            EventDistribution::Mixture { center: vec![0.9, 0.9], std_dev: 0.02, hot_fraction: 0.5 },
         );
         let events = g.generate_many(&mut rng, 2000);
-        let hot = events
-            .iter()
-            .filter(|e| e.value(0) > 0.8 && e.value(1) > 0.8)
-            .count();
+        let hot = events.iter().filter(|e| e.value(0) > 0.8 && e.value(1) > 0.8).count();
         // Roughly half plus the uniform spill-over into that corner.
         assert!((900..1300).contains(&hot), "hot count {hot}");
     }
@@ -194,9 +177,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "arity mismatch")]
     fn center_arity_checked() {
-        let _ = EventGenerator::new(
-            3,
-            EventDistribution::Hotspot { center: vec![0.5], std_dev: 0.1 },
-        );
+        let _ =
+            EventGenerator::new(3, EventDistribution::Hotspot { center: vec![0.5], std_dev: 0.1 });
     }
 }

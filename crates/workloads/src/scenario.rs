@@ -94,10 +94,7 @@ impl WorkloadSpec {
     /// The hotspot/skew condition used by the §4.2 study.
     pub fn hotspot(nodes: usize) -> Self {
         WorkloadSpec {
-            events: EventDistribution::Hotspot {
-                center: vec![0.85, 0.1, 0.1],
-                std_dev: 0.02,
-            },
+            events: EventDistribution::Hotspot { center: vec![0.85, 0.1, 0.1], std_dev: 0.02 },
             ..Self::paper_base(
                 &format!("hotspot-{nodes}"),
                 nodes,

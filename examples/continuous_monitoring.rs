@@ -38,9 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             alert_messages += n.messages;
         }
     }
-    println!(
-        "{alerts} alerts pushed to the control room ({alert_messages} notification messages)"
-    );
+    println!("{alerts} alerts pushed to the control room ({alert_messages} notification messages)");
     let ground_truth = pool.brute_force_query(&alert).len();
     assert_eq!(alerts, ground_truth, "every matching reading must alert exactly once");
 

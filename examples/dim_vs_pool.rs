@@ -63,7 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     run("exact match (small ranges)", qs, &mut qrng);
 
-    let qs = (0..trials).map(|_| exact_query(&mut qrng, 3, RangeSizeDistribution::Uniform)).collect();
+    let qs =
+        (0..trials).map(|_| exact_query(&mut qrng, 3, RangeSizeDistribution::Uniform)).collect();
     run("exact match (uniform ranges)", qs, &mut qrng);
 
     let qs = (0..trials).map(|_| partial_query(&mut qrng, 3, 1)).collect();

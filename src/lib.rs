@@ -10,6 +10,7 @@
 //! |---|---|---|
 //! | [`netsim`] | `pool-netsim` | deployment, unit-disk topology, discrete-event simulator, message/energy accounting |
 //! | [`gpsr`] | `pool-gpsr` | GPSR routing: greedy + GG/RNG planarization + perimeter mode |
+//! | [`transport`] | `pool-transport` | pluggable routing substrate: `Transport` trait, memoizing route cache, per-layer traffic ledger |
 //! | [`ght`] | `pool-ght` | geographic hash table (key → location, home nodes) |
 //! | [`dim`] | `pool-dim` | the DIM baseline (zone tree, codes, range queries) |
 //! | [`core`] | `pool-core` | **the paper's contribution**: pools, Theorem 3.1 insertion, Theorem 3.2 resolving, splitter forwarding, workload sharing |
@@ -48,4 +49,5 @@ pub use pool_dim as dim;
 pub use pool_ght as ght;
 pub use pool_gpsr as gpsr;
 pub use pool_netsim as netsim;
+pub use pool_transport as transport;
 pub use pool_workloads as workloads;

@@ -37,10 +37,8 @@ fn build_pair(n: usize, seed: u64, events: usize) -> (PoolSystem, DimSystem) {
 }
 
 fn canon(mut events: Vec<Event>) -> Vec<Vec<i64>> {
-    let mut keys: Vec<Vec<i64>> = events
-        .drain(..)
-        .map(|e| e.values().iter().map(|v| (v * 1e12) as i64).collect())
-        .collect();
+    let mut keys: Vec<Vec<i64>> =
+        events.drain(..).map(|e| e.values().iter().map(|v| (v * 1e12) as i64).collect()).collect();
     keys.sort();
     keys
 }
@@ -71,9 +69,8 @@ fn pool_and_dim_agree_with_ground_truth_at_multiple_scales() {
 fn point_queries_find_every_stored_event() {
     let (mut pool, mut dim) = build_pair(250, 3, 120);
     // Re-query every stored event by exact point.
-    let all = pool.brute_force_query(
-        &RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap(),
-    );
+    let all = pool
+        .brute_force_query(&RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap());
     assert_eq!(all.len(), 120);
     for (i, event) in all.iter().enumerate().step_by(7) {
         let q = RangeQuery::point(event.values().to_vec()).unwrap();

@@ -6,6 +6,7 @@ use pool_dcs::core::{Event, PoolConfig, PoolSystem, RangeQuery};
 use pool_dcs::dim::DimSystem;
 use pool_dcs::gpsr::{Gpsr, Planarization};
 use pool_dcs::netsim::{Deployment, NodeId, Topology};
+use pool_dcs::transport::TransportKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -63,12 +64,9 @@ fn gpsr_still_delivers_after_failures() {
 #[test]
 fn replicated_pool_answers_match_pre_failure_truth() {
     let (topo, field) = connected(400, 3);
-    let mut pool = PoolSystem::build(
-        topo.clone(),
-        field,
-        PoolConfig::paper().with_seed(3).with_replication(),
-    )
-    .unwrap();
+    let mut pool =
+        PoolSystem::build(topo.clone(), field, PoolConfig::paper().with_seed(3).with_replication())
+            .unwrap();
     let mut rng = StdRng::seed_from_u64(4);
     let mut inserted = Vec::new();
     for _ in 0..500 {
@@ -118,26 +116,66 @@ fn unreplicated_loss_is_exactly_the_dead_holders_inventory() {
     // Both systems remain internally consistent: network answers equal
     // their own surviving ground truth.
     let full = RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
-    let sink = pool
-        .topology()
-        .nodes()
-        .iter()
-        .find(|n| pool.topology().is_alive(n.id))
-        .unwrap()
-        .id;
+    let sink = pool.topology().nodes().iter().find(|n| pool.topology().is_alive(n.id)).unwrap().id;
     assert_eq!(pool.query_from(sink, &full).unwrap().events.len(), pool.store().len());
     assert_eq!(dim.query_from(sink, &full).unwrap().events.len(), dim.stored_events());
 }
 
 #[test]
-fn nearest_neighbor_still_exact_after_failures() {
-    let (topo, field) = connected(300, 7);
+fn cached_routes_never_cross_dead_nodes_after_failures() {
+    let (topo, field) = connected(300, 11);
     let mut pool = PoolSystem::build(
         topo,
         field,
-        PoolConfig::paper().with_seed(7).with_replication(),
+        PoolConfig::paper().with_seed(11).with_transport(TransportKind::Cached),
     )
     .unwrap();
+    let mut rng = StdRng::seed_from_u64(12);
+
+    // Warm the route memo: inserts and queries populate it with paths over
+    // the intact topology.
+    for _ in 0..200 {
+        let e = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
+        pool.insert_from(NodeId(rng.gen_range(0..300)), e).unwrap();
+    }
+    for _ in 0..20 {
+        let q = RangeQuery::exact(vec![(0.2, 0.4), (0.1, 0.6), (0.3, 0.5)]).unwrap();
+        pool.query_from(NodeId(rng.gen_range(0..300)), &q).unwrap();
+    }
+
+    let generation_before = pool.transport().generation();
+    let victims = safe_victims(pool.topology(), 12, &mut rng);
+    pool.fail_nodes(&victims).unwrap();
+
+    // The repair rebuilt the substrate: stale pre-failure routes are gone.
+    assert_eq!(pool.transport().generation(), generation_before + 1);
+
+    // Every route served after the failure stays on living nodes.
+    let survivors: Vec<NodeId> = pool
+        .topology()
+        .nodes()
+        .iter()
+        .filter(|n| pool.topology().is_alive(n.id))
+        .map(|n| n.id)
+        .collect();
+    let topo = pool.topology().clone();
+    for i in (0..survivors.len()).step_by(7) {
+        let from = survivors[i];
+        let to = survivors[survivors.len() - 1 - i];
+        let route = pool.transport_mut().route_to_node(&topo, from, to).unwrap();
+        assert_eq!(route.delivered, to);
+        for hop in &route.path {
+            assert!(topo.is_alive(*hop), "cached route crosses dead node {hop:?}");
+        }
+    }
+}
+
+#[test]
+fn nearest_neighbor_still_exact_after_failures() {
+    let (topo, field) = connected(300, 7);
+    let mut pool =
+        PoolSystem::build(topo, field, PoolConfig::paper().with_seed(7).with_replication())
+            .unwrap();
     let mut rng = StdRng::seed_from_u64(8);
     for _ in 0..200 {
         let e = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();

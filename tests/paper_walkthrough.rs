@@ -34,9 +34,7 @@ fn section_3_and_4_walkthrough() {
     // "the est value 0.4 falls within [0.4, 0.6) ... the second est
     //  value 0.3 falls within [0.24, 0.36) of the cell at the third column
     //  and third row (i.e. C(3,4)) of P1. Thus, E is stored in C(3,4)."
-    let receipt = pool
-        .insert_from(NodeId(3), Event::new(vec![0.4, 0.3, 0.1]).unwrap())
-        .unwrap();
+    let receipt = pool.insert_from(NodeId(3), Event::new(vec![0.4, 0.3, 0.1]).unwrap()).unwrap();
     assert_eq!(receipt.placement.pool_dim, 0, "E goes to P1");
     assert_eq!(receipt.placement.cell, CellCoord::new(3, 4));
 
@@ -45,18 +43,11 @@ fn section_3_and_4_walkthrough() {
     // P1, C(3,12) and C(3,13) in P2, and nothing in P3.
     let q31 = RangeQuery::exact(vec![(0.2, 0.3), (0.25, 0.35), (0.21, 0.24)]).unwrap();
     let plan = pool.explain(sink, &q31).unwrap();
-    let cells: Vec<(usize, CellCoord)> = plan
-        .pools
-        .iter()
-        .flat_map(|p| p.cells.iter().map(move |c| (p.dim, c.cell)))
-        .collect();
+    let cells: Vec<(usize, CellCoord)> =
+        plan.pools.iter().flat_map(|p| p.cells.iter().map(move |c| (p.dim, c.cell))).collect();
     assert_eq!(
         cells,
-        vec![
-            (0, CellCoord::new(2, 5)),
-            (1, CellCoord::new(3, 12)),
-            (1, CellCoord::new(3, 13)),
-        ]
+        vec![(0, CellCoord::new(2, 5)), (1, CellCoord::new(3, 12)), (1, CellCoord::new(3, 13)),]
     );
     assert!(plan.pools[2].pruned, "no cell of P3 is relevant (Figure 4c)");
 
@@ -82,11 +73,8 @@ fn section_3_and_4_walkthrough() {
     // the column C(11,3)..C(11,7) in P3.
     let q32 = RangeQuery::from_bounds(vec![None, None, Some((0.8, 0.84))]).unwrap();
     let plan = pool.explain(sink, &q32).unwrap();
-    let mut cells: Vec<(usize, CellCoord)> = plan
-        .pools
-        .iter()
-        .flat_map(|p| p.cells.iter().map(move |c| (p.dim, c.cell)))
-        .collect();
+    let mut cells: Vec<(usize, CellCoord)> =
+        plan.pools.iter().flat_map(|p| p.cells.iter().map(move |c| (p.dim, c.cell))).collect();
     cells.sort();
     assert_eq!(
         cells,

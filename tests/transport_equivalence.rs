@@ -1,0 +1,122 @@
+//! The routing-substrate contract: the memoizing [`CachedTransport`] must
+//! be observationally equivalent to the reference [`GpsrTransport`] on
+//! everything the paper measures — per-query message costs and the whole
+//! traffic ledger — on a fig6-style seeded workload.
+//!
+//! [`CachedTransport`]: pool_dcs::transport::CachedTransport
+//! [`GpsrTransport`]: pool_dcs::transport::GpsrTransport
+
+use pool_dcs::core::{Event, PoolConfig, PoolSystem, RangeQuery};
+use pool_dcs::dim::DimSystem;
+use pool_dcs::netsim::{Deployment, NodeId, Rect, Topology};
+use pool_dcs::transport::{TrafficLayer, TransportKind};
+use pool_dcs::workloads::events::{EventDistribution, EventGenerator};
+use pool_dcs::workloads::queries::{exact_query, RangeSizeDistribution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NODES: usize = 400;
+const EVENTS: usize = 800;
+const QUERIES: usize = 60;
+
+fn connected(mut seed: u64) -> (Topology, Rect) {
+    loop {
+        let dep = Deployment::paper_setting(NODES, 40.0, 20.0, seed).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if topo.is_connected() {
+            return (topo, dep.field());
+        }
+        seed += 4096;
+    }
+}
+
+type Placements = Vec<(NodeId, Event)>;
+type SinkQueries = Vec<(NodeId, RangeQuery)>;
+
+/// The fig6-style workload, deterministic in `seed`: uniform events from
+/// random sources, then exponential-range exact-match queries from random
+/// sinks.
+fn workload(seed: u64) -> (Placements, SinkQueries) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+    let events: Vec<(NodeId, Event)> = (0..EVENTS)
+        .map(|_| {
+            let src = NodeId(rng.gen_range(0..NODES as u32));
+            (src, generator.generate(&mut rng))
+        })
+        .collect();
+    let queries: Vec<(NodeId, RangeQuery)> = (0..QUERIES)
+        .map(|_| {
+            let sink = NodeId(rng.gen_range(0..NODES as u32));
+            (sink, exact_query(&mut rng, 3, RangeSizeDistribution::Exponential { mean: 0.1 }))
+        })
+        .collect();
+    (events, queries)
+}
+
+#[test]
+fn pool_costs_identical_across_substrates() {
+    let (topo, field) = connected(21);
+    let (events, queries) = workload(22);
+
+    let build = |kind| {
+        let config = PoolConfig::paper().with_seed(21).with_transport(kind);
+        let mut pool = PoolSystem::build(topo.clone(), field, config).unwrap();
+        for (src, e) in &events {
+            pool.insert_from(*src, e.clone()).unwrap();
+        }
+        pool
+    };
+    let mut gpsr = build(TransportKind::Gpsr);
+    let mut cached = build(TransportKind::Cached);
+
+    // Insertion traffic already matches, layer by layer.
+    assert_eq!(gpsr.ledger(), cached.ledger(), "insert traffic diverges");
+
+    // Every query costs exactly the same number of messages on both
+    // substrates, and returns the same events. Queries repeat below so the
+    // cache actually serves hits while being measured.
+    for _round in 0..2 {
+        for (sink, query) in &queries {
+            let a = gpsr.query_from(*sink, query).unwrap();
+            let b = cached.query_from(*sink, query).unwrap();
+            assert_eq!(a.cost, b.cost, "QueryCost diverges on {query}");
+            assert_eq!(a.events.len(), b.events.len(), "result sets diverge on {query}");
+        }
+    }
+
+    assert_eq!(gpsr.traffic().total_messages(), cached.traffic().total_messages());
+    assert_eq!(gpsr.traffic().per_node(), cached.traffic().per_node());
+    for layer in TrafficLayer::ALL {
+        assert_eq!(
+            gpsr.ledger().layer_total(layer),
+            cached.ledger().layer_total(layer),
+            "layer {layer:?} diverges"
+        );
+    }
+}
+
+#[test]
+fn dim_costs_identical_across_substrates() {
+    let (topo, field) = connected(23);
+    let (events, queries) = workload(24);
+
+    let build = |kind| {
+        let mut dim = DimSystem::build_with_transport(topo.clone(), field, 3, kind).unwrap();
+        for (src, e) in &events {
+            dim.insert_from(*src, e.clone()).unwrap();
+        }
+        dim
+    };
+    let mut gpsr = build(TransportKind::Gpsr);
+    let mut cached = build(TransportKind::Cached);
+
+    for _round in 0..2 {
+        for (sink, query) in &queries {
+            let a = gpsr.query_from(*sink, query).unwrap();
+            let b = cached.query_from(*sink, query).unwrap();
+            assert_eq!(a.cost, b.cost, "QueryCost diverges on {query}");
+        }
+    }
+    assert_eq!(gpsr.ledger(), cached.ledger());
+}
