@@ -12,6 +12,7 @@
 use pool_bench::harness::print_header;
 use pool_core::config::PoolConfig;
 use pool_core::event::Event;
+use pool_core::failure::FailureReport;
 use pool_core::query::RangeQuery;
 use pool_core::system::PoolSystem;
 use pool_dim::system::DimSystem;
@@ -61,6 +62,7 @@ fn main() {
     );
     let full = RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
     let mut dead_total = 0usize;
+    let mut campaign = FailureReport::default();
     for round in 1..=5 {
         // Fail 2% of the surviving population, avoiding a network split.
         let victims: Vec<NodeId> = {
@@ -93,6 +95,7 @@ fn main() {
         dim.fail_nodes(&victims).unwrap();
         plain.fail_nodes(&victims).unwrap();
         let report = replicated.fail_nodes(&victims).unwrap();
+        campaign = campaign.merge(&report);
 
         let sink =
             plain.topology().nodes().iter().find(|n| plain.topology().is_alive(n.id)).unwrap().id;
@@ -107,4 +110,5 @@ fn main() {
             report.repair_messages
         );
     }
+    println!("\ncampaign (replicated Pool): {campaign}");
 }

@@ -8,6 +8,7 @@
 
 use pool_core::config::PoolConfig;
 use pool_core::event::Event;
+use pool_core::insert::InsertError;
 use pool_core::query::RangeQuery;
 use pool_core::system::PoolSystem;
 use pool_dim::system::DimSystem;
@@ -60,6 +61,12 @@ pub struct SystemPair {
     pub pool: PoolSystem,
     /// The DIM baseline.
     pub dim: DimSystem,
+    /// Insertions attempted per system while loading the workload.
+    pub inserts_attempted: u64,
+    /// Pool insertions dropped as undeliverable (0 on a loss-free radio).
+    pub pool_insert_drops: u64,
+    /// DIM insertions dropped as undeliverable (0 on a loss-free radio).
+    pub dim_insert_drops: u64,
     rng: StdRng,
 }
 
@@ -88,24 +95,42 @@ impl SystemPair {
             seed = seed.wrapping_add(0x1000);
         };
         let config = config.with_dims(scenario.dims).with_seed(scenario.seed);
-        // Both systems ride the same routing substrate so the comparison
-        // (and the route cache, when selected) is apples to apples.
+        // Both systems ride the same routing substrate — and the same lossy
+        // link layer, when configured — so the comparison (and the route
+        // cache, when selected) is apples to apples.
         let transport = config.transport;
+        let lossy = config.lossy;
         let mut pool = PoolSystem::build(topology.clone(), field, config).expect("pool builds");
-        let mut dim = DimSystem::build_with_transport(topology, field, scenario.dims, transport)
-            .expect("dim builds");
+        let mut dim =
+            DimSystem::build_with_substrate(topology, field, scenario.dims, transport, lossy)
+                .expect("dim builds");
 
         let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0xE7E7_E7E7);
         let mut generator = EventGenerator::new(scenario.dims, events);
         let n = pool.topology().len() as u32;
+        let mut inserts_attempted = 0u64;
+        let mut pool_insert_drops = 0u64;
+        let mut dim_insert_drops = 0u64;
         for node in 0..n {
             for _ in 0..scenario.events_per_node {
                 let event = generator.generate(&mut rng);
-                pool.insert_from(NodeId(node), event.clone()).expect("pool insert");
-                dim.insert_from(NodeId(node), event).expect("dim insert");
+                inserts_attempted += 1;
+                // On a lossy radio an insertion can legitimately die after
+                // exhausting its retry budget; count the drop instead of
+                // aborting the experiment. Any other failure is a bug.
+                match pool.insert_from(NodeId(node), event.clone()) {
+                    Ok(_) => {}
+                    Err(InsertError::Undeliverable { .. }) => pool_insert_drops += 1,
+                    Err(e) => panic!("pool insert: {e}"),
+                }
+                match dim.insert_from(NodeId(node), event) {
+                    Ok(_) => {}
+                    Err(InsertError::Undeliverable { .. }) => dim_insert_drops += 1,
+                    Err(e) => panic!("dim insert: {e}"),
+                }
             }
         }
-        SystemPair { pool, dim, rng }
+        SystemPair { pool, dim, inserts_attempted, pool_insert_drops, dim_insert_drops, rng }
     }
 
     /// A uniformly random node id.

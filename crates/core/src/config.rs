@@ -3,7 +3,7 @@
 use crate::error::PoolError;
 use crate::grid::CellCoord;
 use pool_gpsr::Planarization;
-use pool_transport::TransportKind;
+use pool_transport::{LossyConfig, TransportKind};
 
 /// Workload-sharing policy (§4.2): when an index node's stored-event count
 /// reaches `capacity`, subsequent events for its cells are delegated to a
@@ -70,6 +70,11 @@ pub struct PoolConfig {
     /// index node, enabling recovery after index-node failure (+1 message
     /// per insertion).
     pub replicate: bool,
+    /// Optional lossy link layer: when set, the routing substrate is
+    /// wrapped in a [`pool_transport::LossyTransport`] so every hop can be
+    /// dropped and retried (bounded ARQ). `None` keeps the paper's
+    /// loss-free radio.
+    pub lossy: Option<LossyConfig>,
 }
 
 impl PoolConfig {
@@ -86,6 +91,7 @@ impl PoolConfig {
             pivots: None,
             aggregate_replies: true,
             replicate: false,
+            lossy: None,
         }
     }
 
@@ -146,6 +152,13 @@ impl PoolConfig {
     /// Enables one-backup-copy replication for failure recovery.
     pub fn with_replication(mut self) -> Self {
         self.replicate = true;
+        self
+    }
+
+    /// Runs the system over a lossy link layer (per-hop drops + bounded
+    /// ARQ) instead of the paper's loss-free radio.
+    pub fn with_lossy(mut self, lossy: LossyConfig) -> Self {
+        self.lossy = Some(lossy);
         self
     }
 

@@ -1,5 +1,6 @@
 //! Error types for the Pool storage scheme.
 
+use pool_netsim::node::NodeId;
 use std::error::Error;
 use std::fmt;
 
@@ -41,6 +42,17 @@ pub enum PoolError {
     },
     /// An underlying routing failure.
     Routing(String),
+    /// A packet could not be delivered over the lossy link layer (or the
+    /// destination sits in another network partition) after exhausting the
+    /// retry budget.
+    Undeliverable {
+        /// The node the packet started from.
+        from: NodeId,
+        /// The destination the packet never reached.
+        to: NodeId,
+        /// Transmissions spent (and charged) before giving up.
+        transmissions: u64,
+    },
 }
 
 impl fmt::Display for PoolError {
@@ -57,6 +69,10 @@ impl fmt::Display for PoolError {
                 write!(f, "dimension mismatch: system is {expected}-dimensional, got {got}")
             }
             PoolError::Routing(msg) => write!(f, "routing failure: {msg}"),
+            PoolError::Undeliverable { from, to, transmissions } => write!(
+                f,
+                "undeliverable: {from} -> {to} gave up after {transmissions} transmissions"
+            ),
         }
     }
 }

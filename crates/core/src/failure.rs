@@ -41,6 +41,66 @@ pub struct FailureReport {
     pub events_lost: usize,
     /// Radio messages spent on repair (migration + recovery + re-backup).
     pub repair_messages: u64,
+    /// Whether the surviving network is split into several components.
+    /// Repair proceeds anyway (degraded mode); queries issued afterwards
+    /// report the cells they cannot reach via
+    /// [`crate::forward::Completeness`].
+    pub partitioned: bool,
+    /// Survivors outside the largest connected component (0 when not
+    /// partitioned).
+    pub nodes_unreachable: usize,
+    /// Pool cells whose re-elected index node sits outside the largest
+    /// component.
+    pub cells_unreachable: usize,
+    /// Events whose repair route (migration or recovery) could not be
+    /// delivered; they are dropped from the store rather than restored,
+    /// keeping stored state consistent with what queries can see.
+    pub events_unreachable: usize,
+}
+
+impl FailureReport {
+    /// Combines two reports (e.g. successive failure rounds): counters add
+    /// up, the partition flag is sticky.
+    pub fn merge(&self, other: &FailureReport) -> FailureReport {
+        FailureReport {
+            failed_nodes: self.failed_nodes + other.failed_nodes,
+            cells_reassigned: self.cells_reassigned + other.cells_reassigned,
+            events_retained: self.events_retained + other.events_retained,
+            events_migrated: self.events_migrated + other.events_migrated,
+            events_recovered: self.events_recovered + other.events_recovered,
+            events_lost: self.events_lost + other.events_lost,
+            repair_messages: self.repair_messages + other.repair_messages,
+            partitioned: self.partitioned || other.partitioned,
+            nodes_unreachable: self.nodes_unreachable + other.nodes_unreachable,
+            cells_unreachable: self.cells_unreachable + other.cells_unreachable,
+            events_unreachable: self.events_unreachable + other.events_unreachable,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} node(s) failed: {} cells reassigned; events {} retained, \
+             {} migrated, {} recovered, {} lost; {} repair messages",
+            self.failed_nodes,
+            self.cells_reassigned,
+            self.events_retained,
+            self.events_migrated,
+            self.events_recovered,
+            self.events_lost,
+            self.repair_messages,
+        )?;
+        if self.partitioned {
+            write!(
+                f,
+                "; network partitioned ({} nodes, {} cells, {} events unreachable)",
+                self.nodes_unreachable, self.cells_unreachable, self.events_unreachable,
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// A backup copy of an event, held by a neighbor of the index node that
@@ -57,10 +117,18 @@ impl PoolSystem {
     /// recovers affected events, and drops continuous queries whose sinks
     /// died.
     ///
+    /// A failure that splits the surviving network no longer aborts:
+    /// repair proceeds in degraded mode, the report's
+    /// [`FailureReport::partitioned`] flag is set, and per-partition
+    /// casualties are tallied (`nodes_unreachable`, `cells_unreachable`,
+    /// `events_unreachable`). Events whose repair route cannot be
+    /// delivered are dropped rather than restored, so the store never
+    /// claims events a query could not produce.
+    ///
     /// # Errors
     ///
-    /// [`PoolError::Routing`] if the surviving network is disconnected
-    /// (repair requires end-to-end routing), or if a repair route fails.
+    /// [`PoolError::Routing`] only for pathological (non-delivery) routing
+    /// failures.
     pub fn fail_nodes(&mut self, dead: &[NodeId]) -> Result<FailureReport, PoolError> {
         let mut report = FailureReport {
             failed_nodes: dead.iter().filter(|&&d| self.topology().is_alive(d)).count(),
@@ -69,9 +137,15 @@ impl PoolSystem {
 
         // 1. Take the nodes out of the radio network and rebuild routing.
         //    Transport::rebuild re-planarizes, bumps the topology
-        //    generation, and invalidates any memoized routes.
+        //    generation, and invalidates any memoized routes. A partition
+        //    is recorded, not fatal: each surviving component keeps
+        //    operating on its own slice of the field.
         let new_topology = self.topology().without_nodes(dead);
-        new_topology.require_connected().map_err(|e| PoolError::Routing(e.to_string()))?;
+        report.partitioned = !new_topology.is_connected();
+        if report.partitioned {
+            report.nodes_unreachable =
+                new_topology.len() - new_topology.largest_component_members().len();
+        }
         self.replace_network(new_topology);
 
         // 2. Re-elect index nodes for every pool cell.
@@ -88,6 +162,18 @@ impl PoolSystem {
         }
         report.cells_reassigned = changed_cells.len();
         self.replace_index_nodes(new_index);
+        if report.partitioned {
+            let main: std::collections::HashSet<NodeId> =
+                self.topology().largest_component_members().into_iter().collect();
+            report.cells_unreachable = self
+                .layout()
+                .pools()
+                .to_vec()
+                .iter()
+                .flat_map(|p| p.cells())
+                .filter(|&c| self.index_node_of(c).is_none_or(|n| !main.contains(&n)))
+                .count();
+        }
 
         // 3. Walk the store: keep, migrate, recover, or lose each event.
         let old_store = self.take_store();
@@ -104,11 +190,21 @@ impl PoolSystem {
                     } else {
                         // The old holder survives but is no longer this
                         // cell's index node (it was a delegate or a
-                        // deposed index node): migrate the copy.
-                        report.events_migrated += 1;
-                        report.repair_messages +=
-                            self.route_and_record(s.holder, index_node, TrafficLayer::Repair)?;
-                        self.restore_event(cell, s.event.clone(), index_node);
+                        // deposed index node): migrate the copy. An
+                        // undeliverable migration (partition or exhausted
+                        // ARQ) drops the event instead of restoring it.
+                        match self.route_and_record(s.holder, index_node, TrafficLayer::Repair) {
+                            Ok(msgs) => {
+                                report.events_migrated += 1;
+                                report.repair_messages += msgs;
+                                self.restore_event(cell, s.event.clone(), index_node);
+                            }
+                            Err(PoolError::Undeliverable { transmissions, .. }) => {
+                                report.repair_messages += transmissions;
+                                report.events_unreachable += 1;
+                            }
+                            Err(_) => report.events_unreachable += 1,
+                        }
                     }
                     continue;
                 }
@@ -116,10 +212,19 @@ impl PoolSystem {
                 let recovered = take_backup(&mut old_backups, cell, &s.event, self.topology());
                 match recovered {
                     Some(backup_holder) => {
-                        report.events_recovered += 1;
-                        report.repair_messages +=
-                            self.route_and_record(backup_holder, index_node, TrafficLayer::Repair)?;
-                        self.restore_event(cell, s.event.clone(), index_node);
+                        match self.route_and_record(backup_holder, index_node, TrafficLayer::Repair)
+                        {
+                            Ok(msgs) => {
+                                report.events_recovered += 1;
+                                report.repair_messages += msgs;
+                                self.restore_event(cell, s.event.clone(), index_node);
+                            }
+                            Err(PoolError::Undeliverable { transmissions, .. }) => {
+                                report.repair_messages += transmissions;
+                                report.events_unreachable += 1;
+                            }
+                            Err(_) => report.events_unreachable += 1,
+                        }
                     }
                     None => report.events_lost += 1,
                 }
@@ -259,6 +364,7 @@ mod tests {
         let mut pool = build_system(4, PoolConfig::paper().with_replication());
         load(&mut pool, 100, 13);
         let mut rng = StdRng::seed_from_u64(14);
+        let mut combined = FailureReport::default();
         for round in 0..3 {
             let victims: Vec<NodeId> =
                 loaded_nodes(&pool).into_iter().filter(|_| rng.gen_bool(0.3)).take(2).collect();
@@ -266,6 +372,7 @@ mod tests {
                 continue;
             }
             let report = pool.fail_nodes(&victims).unwrap();
+            combined = combined.merge(&report);
             assert_eq!(report.events_lost, 0, "round {round}: {report:?}");
             // New insertions land on live index nodes.
             let mut src = NodeId(rng.gen_range(0..400));
@@ -279,6 +386,49 @@ mod tests {
         }
         let got = pool.query_from(loaded_nodes(&pool)[0], &all_query()).unwrap();
         assert_eq!(got.events.len(), pool.store().len());
+        // The merged report sums the rounds.
+        assert!(combined.failed_nodes >= 2);
+        assert_eq!(combined.events_lost, 0);
+        assert!(!combined.partitioned);
+    }
+
+    #[test]
+    fn merged_reports_sum_counters_and_keep_the_partition_flag() {
+        let a = FailureReport {
+            failed_nodes: 2,
+            events_migrated: 3,
+            repair_messages: 10,
+            partitioned: true,
+            nodes_unreachable: 5,
+            ..FailureReport::default()
+        };
+        let b = FailureReport {
+            failed_nodes: 1,
+            events_recovered: 4,
+            repair_messages: 7,
+            ..FailureReport::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.failed_nodes, 3);
+        assert_eq!(m.events_migrated, 3);
+        assert_eq!(m.events_recovered, 4);
+        assert_eq!(m.repair_messages, 17);
+        assert!(m.partitioned, "partition flag must be sticky");
+        assert_eq!(m.nodes_unreachable, 5);
+        // merge is symmetric.
+        assert_eq!(m, b.merge(&a));
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let healthy = FailureReport { failed_nodes: 2, events_migrated: 3, ..Default::default() };
+        let text = healthy.to_string();
+        assert!(text.contains("2 node(s) failed"), "{text}");
+        assert!(!text.contains("partitioned"), "{text}");
+        let split = FailureReport { partitioned: true, nodes_unreachable: 7, ..Default::default() };
+        let text = split.to_string();
+        assert!(text.contains("partitioned"), "{text}");
+        assert!(text.contains("7 nodes"), "{text}");
     }
 
     #[test]
@@ -294,12 +444,13 @@ mod tests {
     }
 
     #[test]
-    fn disconnecting_failure_is_reported() {
-        // Kill a large block of the network so the survivors split.
+    fn disconnecting_failure_degrades_instead_of_aborting() {
+        // Kill a vertical stripe through the middle of the field so the
+        // survivors split into (at least) an east and a west component.
         let mut pool = build_system(6, PoolConfig::paper());
+        load(&mut pool, 120, 16);
         let field = pool.field();
         let mid_x = field.center().x;
-        // Fail a vertical stripe through the middle of the field.
         let victims: Vec<NodeId> = pool
             .topology()
             .nodes()
@@ -307,8 +458,25 @@ mod tests {
             .filter(|n| (n.position.x - mid_x).abs() < 45.0)
             .map(|n| n.id)
             .collect();
-        let err = pool.fail_nodes(&victims);
-        assert!(matches!(err, Err(PoolError::Routing(_))), "got {err:?}");
+        let report = pool.fail_nodes(&victims).unwrap();
+        assert!(report.partitioned, "stripe failure must partition: {report:?}");
+        assert!(report.nodes_unreachable > 0, "{report:?}");
+        assert!(report.cells_unreachable > 0, "{report:?}");
+        // Queries from the largest component still answer, reporting the
+        // cells they could not reach instead of erroring.
+        let main = pool.topology().largest_component_members();
+        let sink = main[0];
+        let got = pool.query_from(sink, &all_query()).unwrap();
+        assert!(
+            !got.completeness.is_complete(),
+            "a partition must surface as missing cells: {:?}",
+            got.completeness
+        );
+        assert_eq!(
+            got.completeness.cells_reached + got.completeness.unreached_cells.len(),
+            got.completeness.cells_relevant
+        );
+        assert!(got.completeness.ratio() < 1.0);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::event::Event;
 use crate::grid::CellCoord;
 use crate::monitor::MonitorId;
 use crate::query::RangeQuery;
-use crate::resolve::relevant_cells;
+use crate::resolve::{group_by_pool, relevant_cells};
 use crate::system::PoolSystem;
 use pool_netsim::node::NodeId;
 use pool_transport::TrafficLayer;
@@ -30,12 +30,51 @@ pub struct QueryCost {
     pub forward_messages: u64,
     /// Messages spent returning qualifying events.
     pub reply_messages: u64,
+    /// ARQ retransmissions spent on this query's legs (0 on a loss-free
+    /// radio).
+    pub retransmit_messages: u64,
 }
 
 impl QueryCost {
     /// Total messages — the paper's per-query cost metric.
     pub fn total(&self) -> u64 {
-        self.forward_messages + self.reply_messages
+        self.forward_messages + self.reply_messages + self.retransmit_messages
+    }
+}
+
+/// How much of a query's relevant-cell set actually answered — the
+/// partial-result report for lossy radios (§3.2.3 degraded mode).
+///
+/// A cell counts as *reached* only when the query got to it **and** its
+/// full reply got back: every event the result claims from a reached cell
+/// is guaranteed present. Cells whose forward leg or reply leg died are
+/// listed in [`Completeness::unreached_cells`] so the sink knows exactly
+/// which slices of the answer are missing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Completeness {
+    /// Relevant cells the resolver named (Theorem 3.2's output size).
+    pub cells_relevant: usize,
+    /// Cells that both received the query and returned their full reply.
+    pub cells_reached: usize,
+    /// The `(pool_dim, cell)` pairs that did not fully answer, in
+    /// resolution order.
+    pub unreached_cells: Vec<(usize, CellCoord)>,
+}
+
+impl Completeness {
+    /// Fraction of relevant cells that fully answered (1.0 when no cells
+    /// were relevant — an empty answer is complete).
+    pub fn ratio(&self) -> f64 {
+        if self.cells_relevant == 0 {
+            1.0
+        } else {
+            self.cells_reached as f64 / self.cells_relevant as f64
+        }
+    }
+
+    /// Whether every relevant cell fully answered.
+    pub fn is_complete(&self) -> bool {
+        self.unreached_cells.is_empty()
     }
 }
 
@@ -50,6 +89,9 @@ pub struct QueryResult {
     pub relevant_cells: usize,
     /// Number of pools that had at least one relevant cell.
     pub pools_visited: usize,
+    /// Which relevant cells fully answered (always complete on a loss-free
+    /// radio).
+    pub completeness: Completeness,
 }
 
 /// Aggregate operations computable at splitters (§3.2.3).
@@ -110,10 +152,18 @@ impl PoolSystem {
     /// Processes a query issued at `sink` (§3.2): resolve → forward via
     /// splitters → collect matching events → return replies.
     ///
+    /// On a lossy radio the query degrades instead of failing: every leg
+    /// travels through [`pool_transport::Transport::deliver`], and a leg
+    /// that exhausts its ARQ budget (or has no route, e.g. across a
+    /// partition) marks the affected cells unreached in the result's
+    /// [`QueryResult::completeness`] rather than aborting. Events claimed
+    /// from reached cells are guaranteed complete.
+    ///
     /// # Errors
     ///
     /// [`PoolError::DimensionMismatch`] for wrong arity and
-    /// [`PoolError::Routing`] on routing failure.
+    /// [`PoolError::Routing`] on pathological (non-delivery) routing
+    /// failures.
     pub fn query_from(
         &mut self,
         sink: NodeId,
@@ -126,31 +176,60 @@ impl PoolSystem {
             });
         }
         let relevant = relevant_cells(&self.layout, query);
-        let mut by_pool: HashMap<usize, Vec<CellCoord>> = HashMap::new();
-        for (dim, cell) in &relevant {
-            by_pool.entry(*dim).or_default().push(*cell);
-        }
+        let by_pool = group_by_pool(&relevant);
 
         let mut cost = QueryCost::default();
         let mut events = Vec::new();
         let mut pools_visited = 0usize;
+        // Delivery status per relevant cell; finalized into the
+        // completeness report at the end (a cell can be demoted late, when
+        // its reply dies on the splitter → sink leg).
+        let mut reached: HashMap<(usize, CellCoord), bool> = HashMap::new();
 
-        let mut dims: Vec<usize> = by_pool.keys().copied().collect();
-        dims.sort_unstable();
-        for dim in dims {
-            let cells = &by_pool[&dim];
+        for (dim, cells) in by_pool {
             pools_visited += 1;
             let splitter = self.splitter_of(dim, sink);
-            let to_splitter = self.transport.route_to_node(&self.topology, sink, splitter)?;
-            self.transport.charge(&to_splitter.path, TrafficLayer::Forward);
-            cost.forward_messages += to_splitter.hops() as u64;
+            let to_splitter = match self.transport.route_to_node(&self.topology, sink, splitter) {
+                Ok(route) => route,
+                Err(pool_gpsr::RouteError::NotDelivered { .. }) => {
+                    // The splitter is unreachable (partition): the whole
+                    // pool goes unanswered.
+                    reached.extend(cells.iter().map(|&c| ((dim, c), false)));
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let fwd =
+                self.transport.deliver(&self.topology, &to_splitter.path, TrafficLayer::Forward);
+            cost.forward_messages += fwd.transmissions - fwd.retransmissions;
+            cost.retransmit_messages += fwd.retransmissions;
+            if !fwd.delivered {
+                reached.extend(cells.iter().map(|&c| ((dim, c), false)));
+                continue;
+            }
 
-            let mut pool_matches = 0usize;
-            for &cell in cells {
+            // Replies buffered at the splitter, per contributing cell, so a
+            // lost splitter → sink leg can demote exactly its contributors.
+            let mut pool_buffer: Vec<(CellCoord, Vec<Event>)> = Vec::new();
+            for &cell in &cells {
                 let index_node = self.index_nodes[&cell];
-                let to_cell = self.transport.route_to_node(&self.topology, splitter, index_node)?;
-                self.transport.charge(&to_cell.path, TrafficLayer::Forward);
-                cost.forward_messages += to_cell.hops() as u64;
+                let to_cell =
+                    match self.transport.route_to_node(&self.topology, splitter, index_node) {
+                        Ok(route) => route,
+                        Err(pool_gpsr::RouteError::NotDelivered { .. }) => {
+                            reached.insert((dim, cell), false);
+                            continue;
+                        }
+                        Err(e) => return Err(e.into()),
+                    };
+                let fwd =
+                    self.transport.deliver(&self.topology, &to_cell.path, TrafficLayer::Forward);
+                cost.forward_messages += fwd.transmissions - fwd.retransmissions;
+                cost.retransmit_messages += fwd.retransmissions;
+                if !fwd.delivered {
+                    reached.insert((dim, cell), false);
+                    continue;
+                }
 
                 // The query also visits the cell's delegation chain, one hop
                 // per link, since delegated events live off the index node.
@@ -158,8 +237,16 @@ impl PoolSystem {
                 if !chain.is_empty() {
                     let mut walk = vec![index_node];
                     walk.extend_from_slice(&chain);
-                    self.transport.charge(&walk, TrafficLayer::Forward);
-                    cost.forward_messages += chain.len() as u64;
+                    let w = self.transport.deliver(&self.topology, &walk, TrafficLayer::Forward);
+                    cost.forward_messages += w.transmissions - w.retransmissions;
+                    cost.retransmit_messages += w.retransmissions;
+                    if !w.delivered {
+                        // Delegated events live past the stall point; the
+                        // cell's answer would be silently partial, so the
+                        // whole cell is reported unreached.
+                        reached.insert((dim, cell), false);
+                        continue;
+                    }
                 }
 
                 let matches: Vec<Event> = self
@@ -169,25 +256,96 @@ impl PoolSystem {
                     .filter(|s| query.matches(&s.event))
                     .map(|s| s.event.clone())
                     .collect();
-                if !matches.is_empty() {
-                    // Reply: cell (and chain tail) back to the splitter.
-                    let reply_hops = to_cell.hops() as u64 + chain.len() as u64;
-                    let copies =
-                        if self.config.aggregate_replies { 1 } else { matches.len() as u64 };
-                    cost.reply_messages += reply_hops * copies;
-                    self.transport.charge_reverse(&to_cell.path, copies, TrafficLayer::Reply);
-                    pool_matches += matches.len();
-                    events.extend(matches);
+                if matches.is_empty() {
+                    reached.insert((dim, cell), true);
+                    continue;
+                }
+                // Reply: cell (and chain tail) back to the splitter. The
+                // chain links are counted (the tail's events travel them)
+                // but not charged — the paper prices the cell → splitter
+                // retrace only.
+                let copies = if self.config.aggregate_replies { 1 } else { matches.len() as u64 };
+                let rev = self.transport.deliver_reverse(
+                    &self.topology,
+                    &to_cell.path,
+                    copies,
+                    TrafficLayer::Reply,
+                );
+                cost.reply_messages +=
+                    (rev.transmissions - rev.retransmissions) + chain.len() as u64 * copies;
+                cost.retransmit_messages += rev.retransmissions;
+                let kept: Vec<Event> = if self.config.aggregate_replies {
+                    // One aggregated packet: all or nothing.
+                    if rev.delivered_copies == 1 {
+                        matches
+                    } else {
+                        Vec::new()
+                    }
+                } else {
+                    matches.into_iter().take(rev.delivered_copies as usize).collect()
+                };
+                reached.insert((dim, cell), rev.delivered_copies == copies);
+                if !kept.is_empty() {
+                    pool_buffer.push((cell, kept));
                 }
             }
+
+            let pool_matches: usize = pool_buffer.iter().map(|(_, e)| e.len()).sum();
             if pool_matches > 0 {
                 // Aggregated reply from the splitter to the sink.
                 let copies = if self.config.aggregate_replies { 1 } else { pool_matches as u64 };
-                cost.reply_messages += to_splitter.hops() as u64 * copies;
-                self.transport.charge_reverse(&to_splitter.path, copies, TrafficLayer::Reply);
+                let rev = self.transport.deliver_reverse(
+                    &self.topology,
+                    &to_splitter.path,
+                    copies,
+                    TrafficLayer::Reply,
+                );
+                cost.reply_messages += rev.transmissions - rev.retransmissions;
+                cost.retransmit_messages += rev.retransmissions;
+                if self.config.aggregate_replies {
+                    if rev.delivered_copies == 1 {
+                        events.extend(pool_buffer.into_iter().flat_map(|(_, e)| e));
+                    } else {
+                        // The single aggregated packet died: every cell that
+                        // contributed loses its claim.
+                        for (cell, _) in pool_buffer {
+                            reached.insert((dim, cell), false);
+                        }
+                    }
+                } else {
+                    // Unaggregated copies die independently; keep the first
+                    // `delivered_copies` in buffer order and demote cells
+                    // whose events were clipped.
+                    let mut budget = rev.delivered_copies as usize;
+                    for (cell, cell_events) in pool_buffer {
+                        let take = cell_events.len().min(budget);
+                        budget -= take;
+                        if take < cell_events.len() {
+                            reached.insert((dim, cell), false);
+                        }
+                        events.extend(cell_events.into_iter().take(take));
+                    }
+                }
             }
         }
-        Ok(QueryResult { events, cost, relevant_cells: relevant.len(), pools_visited })
+
+        let unreached_cells: Vec<(usize, CellCoord)> = relevant
+            .iter()
+            .copied()
+            .filter(|key| !reached.get(key).copied().unwrap_or(false))
+            .collect();
+        let completeness = Completeness {
+            cells_relevant: relevant.len(),
+            cells_reached: relevant.len() - unreached_cells.len(),
+            unreached_cells,
+        };
+        Ok(QueryResult {
+            events,
+            cost,
+            relevant_cells: relevant.len(),
+            pools_visited,
+            completeness,
+        })
     }
 
     /// Runs an aggregate query (§3.2.3): same forwarding as
@@ -233,8 +391,10 @@ impl PoolSystem {
             });
         }
         let relevant = relevant_cells(&self.layout, &query);
-        let cost = self.disseminate(sink, &relevant)?;
-        let cells: Vec<CellCoord> = relevant.iter().map(|&(_, c)| c).collect();
+        let (cost, installed_at) = self.disseminate(sink, &relevant)?;
+        // Only cells the installation actually reached will notify; on a
+        // loss-free radio that is every relevant cell.
+        let cells: Vec<CellCoord> = installed_at.iter().map(|&(_, c)| c).collect();
         let id = self.monitors.install(sink, query, &cells);
         Ok((id, cost))
     }
@@ -257,39 +417,58 @@ impl PoolSystem {
             .into_iter()
             .filter_map(|c| self.layout.pool_of_cell(c).map(|p| (p.dim, c)))
             .collect();
-        let cost = self.disseminate(monitor.sink, &relevant)?;
+        // Removal is best-effort on a lossy radio: the handle is dropped
+        // locally regardless of which cells the removal packet reached (a
+        // straggler cell would notify a sink that ignores the handle).
+        let (cost, _) = self.disseminate(monitor.sink, &relevant)?;
         self.monitors.remove(id);
         Ok(Some(cost))
     }
 
     /// Forwards a control message (installation/removal) from `sink` to
     /// every cell in `relevant` through the splitter tree, charging only
-    /// forward messages (under [`TrafficLayer::Monitor`]).
+    /// forward messages (under [`TrafficLayer::Monitor`]). Returns the
+    /// cost and the subset of `relevant` actually reached — on a lossy
+    /// radio a dead leg skips the affected cells instead of failing.
     fn disseminate(
         &mut self,
         sink: NodeId,
         relevant: &[(usize, CellCoord)],
-    ) -> Result<QueryCost, PoolError> {
-        let mut by_pool: HashMap<usize, Vec<CellCoord>> = HashMap::new();
-        for &(dim, cell) in relevant {
-            by_pool.entry(dim).or_default().push(cell);
-        }
+    ) -> Result<(QueryCost, Vec<(usize, CellCoord)>), PoolError> {
         let mut cost = QueryCost::default();
-        let mut dims: Vec<usize> = by_pool.keys().copied().collect();
-        dims.sort_unstable();
-        for dim in dims {
+        let mut delivered_to = Vec::new();
+        for (dim, cells) in group_by_pool(relevant) {
             let splitter = self.splitter_of(dim, sink);
-            let to_splitter = self.transport.route_to_node(&self.topology, sink, splitter)?;
-            self.transport.charge(&to_splitter.path, TrafficLayer::Monitor);
-            cost.forward_messages += to_splitter.hops() as u64;
-            for &cell in &by_pool[&dim] {
+            let to_splitter = match self.transport.route_to_node(&self.topology, sink, splitter) {
+                Ok(route) => route,
+                Err(pool_gpsr::RouteError::NotDelivered { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            let fwd =
+                self.transport.deliver(&self.topology, &to_splitter.path, TrafficLayer::Monitor);
+            cost.forward_messages += fwd.transmissions - fwd.retransmissions;
+            cost.retransmit_messages += fwd.retransmissions;
+            if !fwd.delivered {
+                continue;
+            }
+            for &cell in &cells {
                 let index_node = self.index_nodes[&cell];
-                let to_cell = self.transport.route_to_node(&self.topology, splitter, index_node)?;
-                self.transport.charge(&to_cell.path, TrafficLayer::Monitor);
-                cost.forward_messages += to_cell.hops() as u64;
+                let to_cell =
+                    match self.transport.route_to_node(&self.topology, splitter, index_node) {
+                        Ok(route) => route,
+                        Err(pool_gpsr::RouteError::NotDelivered { .. }) => continue,
+                        Err(e) => return Err(e.into()),
+                    };
+                let fwd =
+                    self.transport.deliver(&self.topology, &to_cell.path, TrafficLayer::Monitor);
+                cost.forward_messages += fwd.transmissions - fwd.retransmissions;
+                cost.retransmit_messages += fwd.retransmissions;
+                if fwd.delivered {
+                    delivered_to.push((dim, cell));
+                }
             }
         }
-        Ok(cost)
+        Ok((cost, delivered_to))
     }
 
     /// Brute-force ground truth: all stored events matching `query`,

@@ -11,6 +11,7 @@
 //! VO = ⌊ V_d₂ · l² / (HO + 1) ⌋
 //! ```
 
+use crate::error::PoolError;
 use crate::event::Event;
 use crate::grid::{CellCoord, Grid};
 use crate::layout::PoolLayout;
@@ -111,6 +112,63 @@ pub fn storage_cell(
                 .then(a.pool_dim.cmp(&b.pool_dim))
         })
         .expect("an event always has at least one greatest dimension")
+}
+
+/// Why an insertion failed.
+///
+/// Splitting delivery failures out of [`PoolError`] lets callers on a
+/// lossy network distinguish *the event was valid but the radio gave up*
+/// (retry later, count the drop) from genuine misuse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertError {
+    /// The event could not reach its storage cell: every retransmission of
+    /// some hop was lost (bounded ARQ), or the destination lies in another
+    /// network partition.
+    Undeliverable {
+        /// The detecting node the insertion started from.
+        from: pool_netsim::node::NodeId,
+        /// The index node (or delegate) the event was headed for.
+        to: pool_netsim::node::NodeId,
+        /// The last node the event actually reached.
+        reached: pool_netsim::node::NodeId,
+        /// Transmissions spent (and charged to the ledger) before giving
+        /// up — 0 when no route existed at all.
+        transmissions: u64,
+    },
+    /// Any non-delivery failure (validation, pathological routing).
+    Pool(PoolError),
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::Undeliverable { from, to, reached, transmissions } => write!(
+                f,
+                "insert undeliverable: {from} -> {to} stalled at {reached} \
+                 after {transmissions} transmissions"
+            ),
+            InsertError::Pool(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+impl From<PoolError> for InsertError {
+    fn from(e: PoolError) -> Self {
+        InsertError::Pool(e)
+    }
+}
+
+impl From<InsertError> for PoolError {
+    fn from(e: InsertError) -> Self {
+        match e {
+            InsertError::Undeliverable { from, to, transmissions, .. } => {
+                PoolError::Undeliverable { from, to, transmissions }
+            }
+            InsertError::Pool(e) => e,
+        }
+    }
 }
 
 #[cfg(test)]

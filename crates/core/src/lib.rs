@@ -88,6 +88,7 @@ pub use error::PoolError;
 pub use event::Event;
 pub use explain::{PlannedCell, PoolPlan, QueryPlan};
 pub use failure::FailureReport;
+pub use insert::InsertError;
 pub use monitor::{Monitor, MonitorId, Notification};
 pub use query::{QueryType, RangeQuery};
-pub use system::{AggregateOp, InsertReceipt, PoolSystem, QueryCost, QueryResult};
+pub use system::{AggregateOp, Completeness, InsertReceipt, PoolSystem, QueryCost, QueryResult};

@@ -112,8 +112,13 @@ pub struct Notification {
     pub monitor: MonitorId,
     /// The sink that was notified.
     pub sink: NodeId,
-    /// Messages spent delivering this notification.
+    /// Messages spent on this notification (charged even when delivery
+    /// ultimately failed — the radio transmitted them regardless).
     pub messages: u64,
+    /// Whether the notification actually reached the sink. Always `true`
+    /// on a loss-free radio; on a lossy one a drop is recorded here instead
+    /// of failing the insertion that triggered it.
+    pub delivered: bool,
 }
 
 #[cfg(test)]

@@ -161,6 +161,22 @@ pub fn relevant_cells(layout: &PoolLayout, query: &RangeQuery) -> Vec<(usize, Ce
     out
 }
 
+/// Groups resolved `(pool_dim, cell)` pairs by pool, in ascending pool
+/// order, preserving each pool's cell resolution order. Shared by query
+/// forwarding and monitor dissemination, which both walk the splitter tree
+/// one pool at a time.
+pub fn group_by_pool(relevant: &[(usize, CellCoord)]) -> Vec<(usize, Vec<CellCoord>)> {
+    let mut grouped: Vec<(usize, Vec<CellCoord>)> = Vec::new();
+    let mut dims: Vec<usize> = relevant.iter().map(|&(d, _)| d).collect();
+    dims.sort_unstable();
+    dims.dedup();
+    for dim in dims {
+        let cells = relevant.iter().filter(|&&(d, _)| d == dim).map(|&(_, c)| c).collect();
+        grouped.push((dim, cells));
+    }
+    grouped
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +353,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn group_by_pool_preserves_resolution_order() {
+        let relevant =
+            vec![(2, CellCoord::new(1, 1)), (0, CellCoord::new(5, 6)), (2, CellCoord::new(1, 2))];
+        let grouped = group_by_pool(&relevant);
+        assert_eq!(
+            grouped,
+            vec![
+                (0, vec![CellCoord::new(5, 6)]),
+                (2, vec![CellCoord::new(1, 1), CellCoord::new(1, 2)]),
+            ]
+        );
+        assert!(group_by_pool(&[]).is_empty());
     }
 
     #[test]

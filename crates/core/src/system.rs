@@ -21,7 +21,7 @@ use crate::config::PoolConfig;
 use crate::error::PoolError;
 use crate::event::Event;
 use crate::grid::{CellCoord, Grid};
-use crate::insert::{storage_cell, Placement};
+use crate::insert::{storage_cell, InsertError, Placement};
 use crate::layout::PoolLayout;
 use crate::monitor::{MonitorId, MonitorTable, Notification};
 use crate::storage::CellStore;
@@ -32,7 +32,7 @@ use pool_netsim::topology::Topology;
 use pool_transport::{TrafficLayer, TrafficLedger, Transport};
 use std::collections::HashMap;
 
-pub use crate::forward::{AggregateOp, QueryCost, QueryResult};
+pub use crate::forward::{AggregateOp, Completeness, QueryCost, QueryResult};
 
 /// Receipt returned by a successful insertion.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,7 +117,10 @@ impl PoolSystem {
             Some(pivots) => PoolLayout::with_pivots(&grid, config.pool_side, pivots.clone())?,
             None => PoolLayout::random(&grid, config.dims, config.pool_side, config.seed)?,
         };
-        let transport = config.transport.build(&topology, config.planarization);
+        let mut transport = config.transport.build(&topology, config.planarization);
+        if let Some(lossy) = config.lossy {
+            transport = Box::new(pool_transport::LossyTransport::wrap(transport, lossy));
+        }
         let mut index_nodes = HashMap::new();
         for pool in layout.pools() {
             for cell in pool.cells() {
@@ -179,9 +182,10 @@ impl PoolSystem {
         }
     }
 
-    /// Stores a backup copy of `event` at a live neighbor of `index_node`,
-    /// charging one message. Returns the hops charged (1, or 0 when the
-    /// index node is isolated and no backup is possible).
+    /// Stores a backup copy of `event` at a live neighbor of `index_node`.
+    /// Returns the messages charged (1 on a perfect radio; more with ARQ
+    /// retransmissions; 0 when the index node is isolated). On a lossy
+    /// radio the backup is only recorded if the copy actually arrived.
     fn replicate_event(&mut self, cell: CellCoord, event: &Event, index_node: NodeId) -> u64 {
         let Some(&backup_holder) = self
             .topology
@@ -191,12 +195,18 @@ impl PoolSystem {
         else {
             return 0;
         };
-        self.transport.charge_hop(index_node, backup_holder, TrafficLayer::Replication);
-        self.backups
-            .entry(cell)
-            .or_default()
-            .push(crate::failure::BackupCopy { event: event.clone(), holder: backup_holder });
-        1
+        let outcome = self.transport.deliver(
+            &self.topology,
+            &[index_node, backup_holder],
+            TrafficLayer::Replication,
+        );
+        if outcome.delivered {
+            self.backups
+                .entry(cell)
+                .or_default()
+                .push(crate::failure::BackupCopy { event: event.clone(), holder: backup_holder });
+        }
+        outcome.transmissions
     }
 
     /// Re-creates the backup set for every stored event (after repair).
@@ -283,28 +293,58 @@ impl PoolSystem {
 
     /// Inserts an event detected at node `source` (Algorithm 1).
     ///
+    /// On a lossy radio the event travels hop by hop with bounded ARQ; if
+    /// some hop exhausts its retry budget the insertion fails with
+    /// [`InsertError::Undeliverable`] (the transmissions already spent stay
+    /// charged — the radio sent them). Notification drops do *not* fail the
+    /// insertion; they are recorded on the receipt's
+    /// [`Notification::delivered`] flags.
+    ///
     /// # Errors
     ///
-    /// [`PoolError::DimensionMismatch`] for wrong arity and
-    /// [`PoolError::Routing`] on routing failure.
+    /// [`InsertError::Undeliverable`] when the event cannot reach its
+    /// storage cell; [`InsertError::Pool`] wrapping
+    /// [`PoolError::DimensionMismatch`] for wrong arity or
+    /// [`PoolError::Routing`] for pathological routing failures.
     pub fn insert_from(
         &mut self,
         source: NodeId,
         event: Event,
-    ) -> Result<InsertReceipt, PoolError> {
+    ) -> Result<InsertReceipt, InsertError> {
         if event.dims() != self.config.dims {
-            return Err(PoolError::DimensionMismatch {
+            return Err(InsertError::Pool(PoolError::DimensionMismatch {
                 expected: self.config.dims,
                 got: event.dims(),
-            });
+            }));
         }
         let detected_cell = self.grid.cell_of(self.topology.position(source));
         let placement = storage_cell(&self.layout, &self.grid, &event, detected_cell);
         let index_node =
             *self.index_nodes.get(&placement.cell).expect("pool cells all have index nodes");
-        let route = self.transport.route_to_node(&self.topology, source, index_node)?;
-        self.transport.charge(&route.path, TrafficLayer::Insert);
-        let mut messages = route.hops() as u64;
+        let route = match self.transport.route_to_node(&self.topology, source, index_node) {
+            Ok(route) => route,
+            // No route at all (the destination sits in another partition):
+            // undeliverable before a single transmission.
+            Err(pool_gpsr::RouteError::NotDelivered { delivered, .. }) => {
+                return Err(InsertError::Undeliverable {
+                    from: source,
+                    to: index_node,
+                    reached: delivered,
+                    transmissions: 0,
+                });
+            }
+            Err(e) => return Err(InsertError::Pool(e.into())),
+        };
+        let outcome = self.transport.deliver(&self.topology, &route.path, TrafficLayer::Insert);
+        let mut messages = outcome.transmissions;
+        if !outcome.delivered {
+            return Err(InsertError::Undeliverable {
+                from: source,
+                to: index_node,
+                reached: outcome.reached,
+                transmissions: outcome.transmissions,
+            });
+        }
 
         // §4.2 workload sharing: walk the cell's delegation chain to the
         // first holder with spare capacity, extending it if necessary.
@@ -318,7 +358,9 @@ impl PoolSystem {
             }
         };
         // Continuous queries (§6 extension): the index node checks the
-        // monitors registered on this cell and notifies matching sinks.
+        // monitors registered on this cell and notifies matching sinks. A
+        // lost notification is recorded, not fatal — the event is already
+        // stored.
         let mut notifications = Vec::new();
         let firing: Vec<(MonitorId, NodeId)> = self
             .monitors
@@ -327,10 +369,25 @@ impl PoolSystem {
             .map(|m| (m.id, m.sink))
             .collect();
         for (monitor, sink) in firing {
-            let route = self.transport.route_to_node(&self.topology, index_node, sink)?;
-            self.transport.charge(&route.path, TrafficLayer::Monitor);
-            messages += route.hops() as u64;
-            notifications.push(Notification { monitor, sink, messages: route.hops() as u64 });
+            match self.transport.route_to_node(&self.topology, index_node, sink) {
+                Ok(route) => {
+                    let outcome =
+                        self.transport.deliver(&self.topology, &route.path, TrafficLayer::Monitor);
+                    messages += outcome.transmissions;
+                    notifications.push(Notification {
+                        monitor,
+                        sink,
+                        messages: outcome.transmissions,
+                        delivered: outcome.delivered,
+                    });
+                }
+                Err(_) => notifications.push(Notification {
+                    monitor,
+                    sink,
+                    messages: 0,
+                    delivered: false,
+                }),
+            }
         }
 
         // Optional failure-tolerance replication: one backup copy at a
@@ -348,9 +405,15 @@ impl PoolSystem {
         &self.monitors
     }
 
-    /// Routes a unicast and charges it to the ledger under `layer`,
-    /// returning the hop count. Shared by the nearest-neighbor and
+    /// Routes a unicast, delivers it over the (possibly lossy) link layer,
+    /// and charges every transmission to the ledger under `layer`. Returns
+    /// the transmissions spent. Shared by the nearest-neighbor and
     /// failure-repair modules.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Undeliverable`] when ARQ exhausts its retry budget on
+    /// some hop (the transmissions already spent stay charged).
     pub(crate) fn route_and_record(
         &mut self,
         from: NodeId,
@@ -358,8 +421,12 @@ impl PoolSystem {
         layer: TrafficLayer,
     ) -> Result<u64, PoolError> {
         let route = self.transport.route_to_node(&self.topology, from, to)?;
-        self.transport.charge(&route.path, layer);
-        Ok(route.hops() as u64)
+        let outcome = self.transport.deliver(&self.topology, &route.path, layer);
+        if outcome.delivered {
+            Ok(outcome.transmissions)
+        } else {
+            Err(PoolError::Undeliverable { from, to, transmissions: outcome.transmissions })
+        }
     }
 
     /// Finds (or creates) the holder for a new event in `cell` under the
@@ -372,12 +439,15 @@ impl PoolSystem {
     ) -> Result<(NodeId, u64), PoolError> {
         let mut chain = vec![index_node];
         chain.extend_from_slice(self.delegates_of(cell));
-        let mut hops = 0u64;
         for (i, &node) in chain.iter().enumerate() {
             if self.store.count_at(node) < policy.capacity {
-                hops += i as u64; // walked i links to reach this holder
-                self.transport.charge(&chain[..=i], TrafficLayer::Insert);
-                return Ok((node, hops));
+                let outcome =
+                    self.transport.deliver(&self.topology, &chain[..=i], TrafficLayer::Insert);
+                // If the chain walk stalls on a lossy link, the event rests
+                // where it stopped — degraded placement rather than loss,
+                // since the event already survived the trip to the cell.
+                let holder = if outcome.delivered { node } else { outcome.reached };
+                return Ok((holder, outcome.transmissions));
             }
         }
         // Everyone in the chain is full: recruit the least-loaded neighbor
@@ -393,11 +463,14 @@ impl PoolSystem {
             .ok_or_else(|| {
                 PoolError::Routing(format!("no delegate candidate near {tail} for cell {cell}"))
             })?;
-        self.delegates.entry(cell).or_default().push(new_delegate);
         chain.push(new_delegate);
-        hops += (chain.len() - 1) as u64;
-        self.transport.charge(&chain, TrafficLayer::Insert);
-        Ok((new_delegate, hops))
+        let outcome = self.transport.deliver(&self.topology, &chain, TrafficLayer::Insert);
+        if outcome.delivered {
+            self.delegates.entry(cell).or_default().push(new_delegate);
+            Ok((new_delegate, outcome.transmissions))
+        } else {
+            Ok((outcome.reached, outcome.transmissions))
+        }
     }
 }
 
@@ -446,7 +519,10 @@ mod tests {
     fn dimension_mismatch_is_rejected() {
         let mut pool = build_system(300, 4, PoolConfig::paper());
         let err = pool.insert_from(NodeId(0), ev(&[0.5, 0.5]));
-        assert!(matches!(err, Err(PoolError::DimensionMismatch { expected: 3, got: 2 })));
+        assert!(matches!(
+            err,
+            Err(InsertError::Pool(PoolError::DimensionMismatch { expected: 3, got: 2 }))
+        ));
         let q = RangeQuery::exact(vec![(0.0, 1.0)]).unwrap();
         assert!(matches!(pool.query_from(NodeId(0), &q), Err(PoolError::DimensionMismatch { .. })));
     }

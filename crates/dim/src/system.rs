@@ -17,6 +17,7 @@
 
 use crate::zone::ZoneTree;
 use pool_core::event::Event;
+use pool_core::insert::InsertError;
 use pool_core::query::RangeQuery;
 use pool_core::system::QueryCost;
 use pool_core::PoolError;
@@ -25,7 +26,9 @@ use pool_netsim::geometry::Rect;
 use pool_netsim::node::NodeId;
 use pool_netsim::stats::TrafficStats;
 use pool_netsim::topology::Topology;
-use pool_transport::{TrafficLayer, TrafficLedger, Transport, TransportKind};
+use pool_transport::{
+    LossyConfig, LossyTransport, TrafficLayer, TrafficLedger, Transport, TransportKind,
+};
 use std::collections::HashMap;
 
 /// Result of one DIM query.
@@ -37,6 +40,11 @@ pub struct DimQueryResult {
     pub cost: QueryCost,
     /// Number of zones whose attribute region overlapped the query.
     pub zones_visited: usize,
+    /// Zones that received the query and (when they had matches) got their
+    /// reply back to the sink — DIM's analogue of Pool's
+    /// [`pool_core::system::Completeness`]. Equals `zones_visited` on a
+    /// loss-free radio.
+    pub zones_reached: usize,
 }
 
 /// Outcome of a DIM failure-injection step.
@@ -48,6 +56,13 @@ pub struct DimFailureReport {
     pub zones_reassigned: usize,
     /// Events lost with their dead owners (DIM keeps no replicas).
     pub events_lost: usize,
+    /// Whether the surviving network is split into several components
+    /// (repair proceeds in degraded mode, mirroring Pool).
+    pub partitioned: bool,
+    /// Survivors outside the largest connected component.
+    pub nodes_unreachable: usize,
+    /// Zones whose (repaired) owner sits outside the largest component.
+    pub zones_unreachable: usize,
 }
 
 /// Receipt for one DIM insertion.
@@ -121,12 +136,33 @@ impl DimSystem {
         dims: usize,
         kind: TransportKind,
     ) -> Result<Self, PoolError> {
+        Self::build_with_substrate(topology, field, dims, kind, None)
+    }
+
+    /// Builds a DIM deployment over the chosen routing substrate and an
+    /// optional lossy link layer — the same degraded-mode radio Pool runs
+    /// on via [`pool_core::config::PoolConfig::with_lossy`], so lossy
+    /// benchmarks stress both schemes identically.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DimSystem::build`].
+    pub fn build_with_substrate(
+        topology: Topology,
+        field: Rect,
+        dims: usize,
+        kind: TransportKind,
+        lossy: Option<LossyConfig>,
+    ) -> Result<Self, PoolError> {
         if dims == 0 {
             return Err(PoolError::InvalidConfig { reason: "k = 0".into() });
         }
         topology.require_connected().map_err(|e| PoolError::Routing(e.to_string()))?;
         let tree = ZoneTree::build(&topology, field);
-        let transport = kind.build(&topology, Planarization::Gabriel);
+        let mut transport = kind.build(&topology, Planarization::Gabriel);
+        if let Some(lossy) = lossy {
+            transport = Box::new(LossyTransport::wrap(transport, lossy));
+        }
         let zone_index_by_code =
             tree.zones().iter().enumerate().map(|(i, z)| (z.code, i)).collect();
         Ok(DimSystem { topology, transport, tree, dims, store: HashMap::new(), zone_index_by_code })
@@ -181,23 +217,48 @@ impl DimSystem {
     ///
     /// # Errors
     ///
-    /// [`PoolError::DimensionMismatch`] for wrong arity, routing errors
-    /// otherwise.
+    /// [`InsertError::Undeliverable`] when the event cannot reach its zone
+    /// owner over the lossy link layer; [`InsertError::Pool`] wrapping
+    /// [`PoolError::DimensionMismatch`] for wrong arity or other routing
+    /// errors — the same contract as
+    /// [`pool_core::system::PoolSystem::insert_from`].
     pub fn insert_from(
         &mut self,
         source: NodeId,
         event: Event,
-    ) -> Result<DimInsertReceipt, PoolError> {
+    ) -> Result<DimInsertReceipt, InsertError> {
         if event.dims() != self.dims {
-            return Err(PoolError::DimensionMismatch { expected: self.dims, got: event.dims() });
+            return Err(InsertError::Pool(PoolError::DimensionMismatch {
+                expected: self.dims,
+                got: event.dims(),
+            }));
         }
         let zone = self.tree.zone_of_event(event.values());
         let owner = zone.owner;
         let zone_idx = self.zone_index_by_code[&zone.code];
-        let route = self.transport.route_to_node(&self.topology, source, owner)?;
-        self.transport.charge(&route.path, TrafficLayer::Insert);
+        let route = match self.transport.route_to_node(&self.topology, source, owner) {
+            Ok(route) => route,
+            Err(pool_gpsr::RouteError::NotDelivered { delivered, .. }) => {
+                return Err(InsertError::Undeliverable {
+                    from: source,
+                    to: owner,
+                    reached: delivered,
+                    transmissions: 0,
+                });
+            }
+            Err(e) => return Err(InsertError::Pool(e.into())),
+        };
+        let outcome = self.transport.deliver(&self.topology, &route.path, TrafficLayer::Insert);
+        if !outcome.delivered {
+            return Err(InsertError::Undeliverable {
+                from: source,
+                to: owner,
+                reached: outcome.reached,
+                transmissions: outcome.transmissions,
+            });
+        }
         self.store.entry(zone_idx).or_default().push(event);
-        Ok(DimInsertReceipt { owner, messages: route.hops() as u64 })
+        Ok(DimInsertReceipt { owner, messages: outcome.transmissions })
     }
 
     /// Processes a range query issued at `sink`.
@@ -224,69 +285,114 @@ impl DimSystem {
         let zones_visited = relevant.len();
 
         // Visit owners in code (DFS) order, skipping consecutive duplicates
-        // (empty zones backed by the same physical node).
+        // (empty zones backed by the same physical node). `zone_pos[i]` is
+        // the chain position serving relevant zone `i`.
         let mut chain: Vec<NodeId> = Vec::new();
+        let mut zone_pos: Vec<usize> = Vec::with_capacity(relevant.len());
         for (_, owner) in &relevant {
             if chain.last() != Some(owner) {
                 chain.push(*owner);
             }
+            zone_pos.push(chain.len() - 1);
         }
 
         let mut cost = QueryCost::default();
         let mut events = Vec::new();
         if chain.is_empty() {
-            return Ok(DimQueryResult { events, cost, zones_visited });
+            return Ok(DimQueryResult { events, cost, zones_visited, zones_reached: 0 });
         }
 
-        // Sink to the first relevant owner.
+        // Forward legs: sink to the first owner, then owner to owner. On a
+        // lossy radio the chain is only as long as its weakest link — the
+        // first undelivered leg cuts every owner past it off the query.
         let mut legs: Vec<std::sync::Arc<pool_gpsr::Route>> = Vec::new();
-        let first = self.transport.route_to_node(&self.topology, sink, chain[0])?;
-        cost.forward_messages += first.hops() as u64;
-        legs.push(first);
-        // Owner-to-owner legs along the chain.
-        for w in chain.windows(2) {
-            let leg = self.transport.route_to_node(&self.topology, w[0], w[1])?;
-            cost.forward_messages += leg.hops() as u64;
+        let mut from = sink;
+        for &to in &chain {
+            let leg = match self.transport.route_to_node(&self.topology, from, to) {
+                Ok(route) => route,
+                Err(pool_gpsr::RouteError::NotDelivered { .. }) => break,
+                Err(e) => return Err(e.into()),
+            };
+            let fwd = self.transport.deliver(&self.topology, &leg.path, TrafficLayer::Forward);
+            cost.forward_messages += fwd.transmissions - fwd.retransmissions;
+            cost.retransmit_messages += fwd.retransmissions;
+            if !fwd.delivered {
+                break;
+            }
             legs.push(leg);
+            from = to;
         }
-        for leg in &legs {
-            self.transport.charge(&leg.path, TrafficLayer::Forward);
+        // Owners at chain positions `0..reached_len` received the query.
+        let reached_len = legs.len();
+
+        // Collect matches from the owners the query reached.
+        let mut any_match = false;
+        let mut per_zone: Vec<(usize, Vec<Event>)> = Vec::new(); // (chain pos, matches)
+        for ((zone_idx, _), &pos) in relevant.iter().zip(&zone_pos) {
+            if pos >= reached_len {
+                continue;
+            }
+            let matches: Vec<Event> = self
+                .store
+                .get(zone_idx)
+                .into_iter()
+                .flatten()
+                .filter(|e| query.matches(e))
+                .cloned()
+                .collect();
+            if !matches.is_empty() {
+                any_match = true;
+            }
+            per_zone.push((pos, matches));
         }
 
-        // Collect matches.
-        let mut any_match = false;
-        for (zone_idx, _) in &relevant {
-            if let Some(stored) = self.store.get(zone_idx) {
-                for event in stored {
-                    if query.matches(event) {
-                        events.push(event.clone());
-                        any_match = true;
-                    }
+        // Aggregated replies retrace the chain back to the sink: each owner
+        // merges its sub-reply into the homeward stream, so each leg is
+        // charged once in reverse, and owner `i`'s events arrive iff every
+        // leg between it and the sink (reverse legs `0..=i`) delivered.
+        let mut first_failed_reverse = reached_len;
+        if any_match {
+            for (j, leg) in legs.iter().enumerate() {
+                let rev = self.transport.deliver_reverse(
+                    &self.topology,
+                    &leg.path,
+                    1,
+                    TrafficLayer::Reply,
+                );
+                cost.reply_messages += rev.transmissions - rev.retransmissions;
+                cost.retransmit_messages += rev.retransmissions;
+                if rev.delivered_copies == 0 && j < first_failed_reverse {
+                    first_failed_reverse = j;
                 }
             }
         }
-
-        // Aggregated replies retrace the chain back to the sink.
-        if any_match {
-            for leg in &legs {
-                self.transport.charge_reverse(&leg.path, 1, TrafficLayer::Reply);
-                cost.reply_messages += leg.hops() as u64;
+        let mut zones_reached = 0usize;
+        for (pos, matches) in per_zone {
+            if matches.is_empty() {
+                zones_reached += 1;
+            } else if pos < first_failed_reverse {
+                zones_reached += 1;
+                events.extend(matches);
             }
         }
-        Ok(DimQueryResult { events, cost, zones_visited })
+        Ok(DimQueryResult { events, cost, zones_visited, zones_reached })
     }
 
     /// Fails `dead` nodes: the events they owned are lost (DIM keeps no
     /// replicas), their zones are absorbed by the nearest survivors, and
     /// routing is rebuilt over the live network.
     ///
+    /// A failure that splits the survivors no longer aborts — the report's
+    /// [`DimFailureReport::partitioned`] flag is set and the unreachable
+    /// remainder tallied, mirroring Pool's degraded mode.
+    ///
     /// # Errors
     ///
-    /// [`PoolError::Routing`] if the surviving network is disconnected.
+    /// Currently infallible; typed for future repair strategies.
     pub fn fail_nodes(&mut self, dead: &[NodeId]) -> Result<DimFailureReport, PoolError> {
         let failed_nodes = dead.iter().filter(|&&d| self.topology.is_alive(d)).count();
         let new_topology = self.topology.without_nodes(dead);
-        new_topology.require_connected().map_err(|e| PoolError::Routing(e.to_string()))?;
+        let partitioned = !new_topology.is_connected();
         self.transport.rebuild(&new_topology);
         self.topology = new_topology;
 
@@ -301,7 +407,24 @@ impl DimSystem {
         }
         self.store.retain(|_, v| !v.is_empty());
         let zones_reassigned = self.tree.repair_owners(&self.topology);
-        Ok(DimFailureReport { failed_nodes, zones_reassigned, events_lost })
+        let (nodes_unreachable, zones_unreachable) = if partitioned {
+            let main: std::collections::HashSet<NodeId> =
+                self.topology.largest_component_members().into_iter().collect();
+            (
+                self.topology.len() - main.len(),
+                self.tree.zones().iter().filter(|z| !main.contains(&z.owner)).count(),
+            )
+        } else {
+            (0, 0)
+        };
+        Ok(DimFailureReport {
+            failed_nodes,
+            zones_reassigned,
+            events_lost,
+            partitioned,
+            nodes_unreachable,
+            zones_unreachable,
+        })
     }
 
     /// Brute-force ground truth over every stored event.
@@ -420,7 +543,7 @@ mod tests {
         let mut dim = build(300, 6);
         assert!(matches!(
             dim.insert_from(NodeId(0), ev(&[0.5, 0.5])),
-            Err(PoolError::DimensionMismatch { .. })
+            Err(InsertError::Pool(PoolError::DimensionMismatch { .. }))
         ));
     }
 

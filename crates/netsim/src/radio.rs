@@ -36,17 +36,33 @@ pub struct PrrModel {
 }
 
 impl PrrModel {
+    /// Creates the model, or reports why the radii are invalid.
+    ///
+    /// This is the single validation point: every constructor goes through
+    /// it, so `inner >= outer` (and non-positive `inner`) is rejected
+    /// uniformly with the same message.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation unless `0 < inner < outer`.
+    pub fn try_new(inner: f64, outer: f64) -> Result<Self, String> {
+        if inner > 0.0 && outer > inner {
+            Ok(PrrModel { inner, outer })
+        } else {
+            Err(format!("need 0 < inner < outer, got inner={inner}, outer={outer}"))
+        }
+    }
+
     /// Creates the model.
     ///
     /// # Panics
     ///
     /// Panics unless `0 < inner < outer`.
     pub fn new(inner: f64, outer: f64) -> Self {
-        assert!(
-            inner > 0.0 && outer > inner,
-            "need 0 < inner < outer, got inner={inner}, outer={outer}"
-        );
-        PrrModel { inner, outer }
+        match Self::try_new(inner, outer) {
+            Ok(model) => model,
+            Err(reason) => panic!("{reason}"),
+        }
     }
 
     /// The ideal unit-disk limit: a sharp cliff just inside `range`.
@@ -54,9 +70,18 @@ impl PrrModel {
         PrrModel::new(range * 0.999, range)
     }
 
-    /// Packet reception ratio at link distance `d` (clamped to `[ε, 1]` so
-    /// ETX stays finite for links the unit-disk graph considers usable).
+    /// Packet reception ratio at link distance `d`.
+    ///
+    /// Exactly 1.0 for `d ≤ inner` and exactly 0.0 for `d ≥ outer`; the
+    /// logistic transition strictly between is clamped to `[ε, 1]` so the
+    /// transitional region never reports an outright-dead link.
     pub fn prr(&self, d: f64) -> f64 {
+        if d <= self.inner {
+            return 1.0;
+        }
+        if d >= self.outer {
+            return 0.0;
+        }
         let mid = (self.inner + self.outer) / 2.0;
         // Width chosen so prr(inner) ≈ 0.98 and prr(outer) ≈ 0.02.
         let width = (self.outer - self.inner) / 8.0;
@@ -66,9 +91,10 @@ impl PrrModel {
 
     /// Expected transmissions to get one packet across a link of distance
     /// `d` with per-transmission success `prr` (geometric retries,
-    /// link-layer ARQ without acknowledgment loss).
+    /// link-layer ARQ without acknowledgment loss). The reception ratio is
+    /// floored at `ε = 1e-3` here so ETX stays finite even at `d = outer`.
     pub fn etx(&self, d: f64) -> f64 {
-        1.0 / self.prr(d)
+        1.0 / self.prr(d).max(1e-3)
     }
 }
 
@@ -177,5 +203,36 @@ mod tests {
     #[should_panic(expected = "0 < inner < outer")]
     fn invalid_model_rejected() {
         let _ = PrrModel::new(40.0, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < inner < outer")]
+    fn equal_radii_rejected() {
+        let _ = PrrModel::new(30.0, 30.0);
+    }
+
+    #[test]
+    fn try_new_rejects_every_invalid_shape_uniformly() {
+        for (inner, outer) in [(40.0, 20.0), (30.0, 30.0), (0.0, 10.0), (-5.0, 10.0)] {
+            let err = PrrModel::try_new(inner, outer).unwrap_err();
+            assert!(err.contains("0 < inner < outer"), "({inner}, {outer}): {err}");
+        }
+        assert!(PrrModel::try_new(20.0, 40.0).is_ok());
+    }
+
+    #[test]
+    fn prr_is_pinned_at_the_radii() {
+        let m = PrrModel::new(20.0, 40.0);
+        assert_eq!(m.prr(20.0), 1.0, "prr at d == inner is exactly 1");
+        assert_eq!(m.prr(10.0), 1.0, "prr inside inner is exactly 1");
+        assert_eq!(m.prr(40.0), 0.0, "prr at d == outer is exactly 0");
+        assert_eq!(m.prr(50.0), 0.0, "prr beyond outer is exactly 0");
+        // Strictly inside the transition the clamp keeps links usable.
+        let just_inside = m.prr(39.999);
+        assert!((1e-3..1.0).contains(&just_inside));
+        let just_past_inner = m.prr(20.001);
+        assert!(just_past_inner < 1.0 && just_past_inner > 0.9);
+        // ETX stays finite even where prr is pinned to zero.
+        assert!(m.etx(40.0).is_finite());
     }
 }

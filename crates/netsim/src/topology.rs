@@ -299,6 +299,39 @@ impl Topology {
         best
     }
 
+    /// The members of the largest connected component of live nodes, in
+    /// ascending id order (ties between equal-sized components break toward
+    /// the one containing the smallest node id, so the result is
+    /// deterministic).
+    pub fn largest_component_members(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut seen = vec![false; n];
+        let mut best: Vec<NodeId> = Vec::new();
+        let mut queue = Vec::new();
+        for start in 0..n {
+            if seen[start] || !self.alive[start] {
+                continue;
+            }
+            seen[start] = true;
+            queue.push(start);
+            let mut members = Vec::new();
+            while let Some(u) = queue.pop() {
+                members.push(self.nodes[u].id);
+                for nb in &self.neighbors[u] {
+                    if !seen[nb.index()] {
+                        seen[nb.index()] = true;
+                        queue.push(nb.index());
+                    }
+                }
+            }
+            if members.len() > best.len() {
+                best = members;
+            }
+        }
+        best.sort_unstable();
+        best
+    }
+
     /// Whether the live unit-disk graph is connected.
     pub fn is_connected(&self) -> bool {
         self.largest_component() == self.alive_count()
@@ -426,10 +459,14 @@ mod tests {
         let topo = Topology::build(nodes, 5.0).unwrap();
         assert!(!topo.is_connected());
         assert_eq!(topo.largest_component(), 2);
+        assert_eq!(topo.largest_component_members(), vec![NodeId(0), NodeId(1)]);
         assert!(matches!(
             topo.require_connected(),
             Err(NetsimError::Disconnected { largest_component: 2, total: 3 })
         ));
+        // Killing a member of the majority component flips the balance.
+        let flipped = topo.without_nodes(&[NodeId(1)]);
+        assert_eq!(flipped.largest_component_members().len(), 1);
     }
 
     #[test]

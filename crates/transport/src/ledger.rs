@@ -25,17 +25,22 @@ pub enum TrafficLayer {
     Monitor,
     /// Post-failure migration and recovery traffic.
     Repair,
+    /// ARQ retransmissions charged by a lossy link layer (every attempt
+    /// after the first for a hop, regardless of which layer the first
+    /// attempt was charged to).
+    Retransmit,
 }
 
 impl TrafficLayer {
     /// All layers, in display order.
-    pub const ALL: [TrafficLayer; 6] = [
+    pub const ALL: [TrafficLayer; 7] = [
         TrafficLayer::Insert,
         TrafficLayer::Forward,
         TrafficLayer::Reply,
         TrafficLayer::Replication,
         TrafficLayer::Monitor,
         TrafficLayer::Repair,
+        TrafficLayer::Retransmit,
     ];
 
     /// Dense index into per-layer counter arrays.
@@ -47,6 +52,7 @@ impl TrafficLayer {
             TrafficLayer::Replication => 3,
             TrafficLayer::Monitor => 4,
             TrafficLayer::Repair => 5,
+            TrafficLayer::Retransmit => 6,
         }
     }
 
@@ -59,6 +65,7 @@ impl TrafficLayer {
             TrafficLayer::Replication => "replication",
             TrafficLayer::Monitor => "monitor",
             TrafficLayer::Repair => "repair",
+            TrafficLayer::Retransmit => "retransmit",
         }
     }
 }

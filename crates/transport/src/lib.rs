@@ -42,10 +42,14 @@
 pub mod cached;
 pub mod gpsr;
 pub mod ledger;
+pub mod lossy;
 
 pub use cached::CachedTransport;
 pub use gpsr::GpsrTransport;
 pub use ledger::{TrafficLayer, TrafficLedger};
+pub use lossy::{
+    DeliveryOutcome, DeliveryStats, LinkQuality, LossyConfig, LossyTransport, ReverseDelivery,
+};
 
 use pool_gpsr::{Planarization, Route, RouteError};
 use pool_netsim::geometry::Point;
@@ -133,6 +137,54 @@ pub trait Transport: fmt::Debug {
     /// (0 for a self-hop).
     fn charge_hop(&mut self, from: NodeId, to: NodeId, layer: TrafficLayer) -> u64 {
         self.ledger_mut().charge_hop(from, to, layer)
+    }
+
+    /// Attempts to deliver one packet along `path`, charging transmissions
+    /// under `layer` and reporting a structured [`DeliveryOutcome`].
+    ///
+    /// The default implementation is the loss-free link layer every
+    /// substrate had before [`LossyTransport`]: each hop succeeds on its
+    /// first transmission, so this is exactly [`Transport::charge`] plus a
+    /// delivered outcome. Lossy decorators override it with per-hop drops
+    /// and ARQ.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty `path` (routes always contain at least their
+    /// source node).
+    fn deliver(
+        &mut self,
+        topology: &Topology,
+        path: &[NodeId],
+        layer: TrafficLayer,
+    ) -> DeliveryOutcome {
+        let _ = topology;
+        let transmissions = self.ledger_mut().charge_path(path, layer);
+        DeliveryOutcome::delivered_clean(path, transmissions)
+    }
+
+    /// Attempts to deliver `copies` reply packets in reverse along `path`,
+    /// charging under `layer`.
+    ///
+    /// The default implementation is loss-free: every copy arrives, and the
+    /// ledger charges match [`Transport::charge_reverse`] exactly
+    /// (including reverse-direction per-node load attribution).
+    fn deliver_reverse(
+        &mut self,
+        topology: &Topology,
+        path: &[NodeId],
+        copies: u64,
+        layer: TrafficLayer,
+    ) -> ReverseDelivery {
+        let _ = topology;
+        let transmissions = self.ledger_mut().charge_path_reversed(path, copies, layer);
+        ReverseDelivery { delivered_copies: copies, transmissions, retransmissions: 0 }
+    }
+
+    /// Cumulative link-layer delivery statistics (all zeros for loss-free
+    /// substrates, which never fail and never retransmit).
+    fn delivery_stats(&self) -> DeliveryStats {
+        DeliveryStats::default()
     }
 }
 

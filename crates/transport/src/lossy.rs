@@ -1,0 +1,468 @@
+//! A lossy link layer over any routing substrate.
+//!
+//! The paper (and the rest of this repository's seed) assumes every GPSR
+//! hop succeeds. [`LossyTransport`] drops that assumption: it wraps any
+//! [`Transport`] and makes each hop of a delivery fail independently with
+//! probability `1 − prr(d)`, where `d` is the link distance and `prr` comes
+//! from a seeded packet-reception model ([`LinkQuality`]). Lost frames are
+//! recovered by hop-by-hop ARQ: the sender retransmits up to a bounded
+//! retry budget, acknowledgments are assumed free and reliable (the same
+//! "link-layer ARQ without acknowledgment loss" convention as
+//! [`pool_netsim::radio::PrrModel::etx`]). First attempts are charged to
+//! the caller's [`TrafficLayer`]; every retransmission is charged to
+//! [`TrafficLayer::Retransmit`], so the ledger separates useful traffic
+//! from loss overhead.
+//!
+//! A delivery that exhausts the budget on some hop stops there and reports
+//! a structured [`DeliveryOutcome`] naming the failed hop — the storage
+//! schemes above turn that into partial query results and typed insert
+//! errors instead of aborting.
+//!
+//! With a perfect link (`prr = 1.0` everywhere) the decorator charges the
+//! ledger hop for hop exactly like the wrapped transport: same order, same
+//! layers, same per-node attribution.
+
+use crate::ledger::TrafficLayer;
+use crate::{Transport, TransportKind};
+use pool_gpsr::{Route, RouteError};
+use pool_netsim::geometry::Point;
+use pool_netsim::node::NodeId;
+use pool_netsim::radio::PrrModel;
+use pool_netsim::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Default ARQ retry budget: a frame is attempted at most `1 + budget`
+/// times per hop (7 retries, the common 802.15.4-class MAC default range).
+pub const DEFAULT_RETRY_BUDGET: u32 = 7;
+
+/// Per-link packet reception quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkQuality {
+    /// Every link succeeds with the same fixed probability, regardless of
+    /// distance (useful for controlled experiments and property tests).
+    Fixed(f64),
+    /// Distance-dependent reception from a logistic [`PrrModel`].
+    Model(PrrModel),
+}
+
+impl LinkQuality {
+    /// Reception probability for a link of length `distance`.
+    pub fn prr(&self, distance: f64) -> f64 {
+        match *self {
+            LinkQuality::Fixed(p) => p,
+            LinkQuality::Model(m) => m.prr(distance),
+        }
+    }
+}
+
+/// Configuration for a [`LossyTransport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossyConfig {
+    /// Link quality model.
+    pub quality: LinkQuality,
+    /// Maximum retransmissions per hop after the first attempt.
+    pub retry_budget: u32,
+    /// Seed for the loss process (deliveries are deterministic in it).
+    pub seed: u64,
+}
+
+impl LossyConfig {
+    /// Distance-dependent loss from `model`, with the default retry budget.
+    pub fn model(model: PrrModel, seed: u64) -> Self {
+        LossyConfig { quality: LinkQuality::Model(model), retry_budget: DEFAULT_RETRY_BUDGET, seed }
+    }
+
+    /// Fixed per-hop reception probability `p`, with the default budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1`.
+    pub fn fixed(p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "per-hop PRR must be in (0, 1], got {p}");
+        LossyConfig { quality: LinkQuality::Fixed(p), retry_budget: DEFAULT_RETRY_BUDGET, seed }
+    }
+
+    /// Overrides the retry budget.
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+}
+
+/// The outcome of delivering one packet along a routed path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryOutcome {
+    /// Whether the packet reached the end of the path.
+    pub delivered: bool,
+    /// Total transmissions charged (first attempts + retransmissions).
+    pub transmissions: u64,
+    /// Retransmissions alone (charged to [`TrafficLayer::Retransmit`]).
+    pub retransmissions: u64,
+    /// The last node the packet reached.
+    pub reached: NodeId,
+    /// The hop that exhausted its retry budget, when delivery failed.
+    pub failed_hop: Option<(NodeId, NodeId)>,
+}
+
+impl DeliveryOutcome {
+    /// A loss-free delivery along `path` that charged `transmissions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path (paths always contain at least the source).
+    pub fn delivered_clean(path: &[NodeId], transmissions: u64) -> Self {
+        DeliveryOutcome {
+            delivered: true,
+            transmissions,
+            retransmissions: 0,
+            reached: *path.last().expect("path contains at least the source"),
+            failed_hop: None,
+        }
+    }
+}
+
+/// The outcome of sending `copies` reply packets back along a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReverseDelivery {
+    /// Copies that made it all the way back.
+    pub delivered_copies: u64,
+    /// Total transmissions charged across all copies.
+    pub transmissions: u64,
+    /// Retransmissions alone.
+    pub retransmissions: u64,
+}
+
+/// Cumulative link-layer delivery statistics for one transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeliveryStats {
+    /// Path-level deliveries attempted.
+    pub deliveries: u64,
+    /// Path-level deliveries that failed (some hop exhausted its budget).
+    pub deliveries_failed: u64,
+    /// Distinct hop attempts (self-hops excluded).
+    pub hop_attempts: u64,
+    /// Hops that exhausted the retry budget.
+    pub hops_failed: u64,
+    /// Total transmissions.
+    pub transmissions: u64,
+    /// Retransmissions alone.
+    pub retransmissions: u64,
+}
+
+impl DeliveryStats {
+    /// Fraction of path-level deliveries that succeeded (1.0 when none
+    /// were attempted).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.deliveries == 0 {
+            1.0
+        } else {
+            (self.deliveries - self.deliveries_failed) as f64 / self.deliveries as f64
+        }
+    }
+
+    /// Retransmissions per first-attempt transmission — the loss tax on
+    /// every useful message (0.0 for a perfect link).
+    pub fn retransmission_overhead(&self) -> f64 {
+        let first_attempts = self.transmissions - self.retransmissions;
+        if first_attempts == 0 {
+            0.0
+        } else {
+            self.retransmissions as f64 / first_attempts as f64
+        }
+    }
+}
+
+/// A decorator that subjects every delivery of the wrapped [`Transport`]
+/// to per-hop loss with bounded ARQ.
+///
+/// Routing (`route_to_node` / `route_to_location`), rebuilds, and the
+/// ledger all delegate to the inner transport; only the `deliver*` methods
+/// change behaviour. The loss process is deterministic in
+/// [`LossyConfig::seed`].
+///
+/// # Examples
+///
+/// ```
+/// use pool_gpsr::Planarization;
+/// use pool_netsim::deployment::Deployment;
+/// use pool_netsim::topology::Topology;
+/// use pool_transport::{LossyConfig, LossyTransport, TrafficLayer, Transport, TransportKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let deployment = Deployment::paper_setting(300, 40.0, 20.0, 7)?;
+/// let topology = Topology::build(deployment.nodes(), 40.0)?;
+/// let inner = TransportKind::Gpsr.build(&topology, Planarization::Gabriel);
+/// let mut lossy = LossyTransport::wrap(inner, LossyConfig::fixed(0.9, 42));
+/// let (from, to) = (topology.nodes()[0].id, topology.nodes()[100].id);
+/// let route = lossy.route_to_node(&topology, from, to)?;
+/// let outcome = lossy.deliver(&topology, &route.path, TrafficLayer::Forward);
+/// assert!(outcome.transmissions >= route.hops() as u64 || !outcome.delivered);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LossyTransport {
+    inner: Box<dyn Transport>,
+    config: LossyConfig,
+    rng: StdRng,
+    stats: DeliveryStats,
+}
+
+impl LossyTransport {
+    /// Wraps `inner` with the loss process described by `config`.
+    pub fn wrap(inner: Box<dyn Transport>, config: LossyConfig) -> Self {
+        LossyTransport {
+            inner,
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: DeliveryStats::default(),
+        }
+    }
+
+    /// The loss configuration.
+    pub fn config(&self) -> LossyConfig {
+        self.config
+    }
+
+    /// Attempts one hop with ARQ. Returns `(delivered, transmissions,
+    /// retransmissions)`; self-hops are free and always succeed.
+    fn deliver_hop(
+        &mut self,
+        topology: &Topology,
+        from: NodeId,
+        to: NodeId,
+        layer: TrafficLayer,
+    ) -> (bool, u64, u64) {
+        if from == to {
+            return (true, 0, 0);
+        }
+        let p = self.config.quality.prr(topology.distance(from, to)).clamp(0.0, 1.0);
+        self.stats.hop_attempts += 1;
+        let mut transmissions = 0u64;
+        for attempt in 0..=self.config.retry_budget {
+            let charge_layer = if attempt == 0 { layer } else { TrafficLayer::Retransmit };
+            self.inner.ledger_mut().charge_hop(from, to, charge_layer);
+            transmissions += 1;
+            if self.rng.gen_bool(p) {
+                self.stats.transmissions += transmissions;
+                self.stats.retransmissions += transmissions - 1;
+                return (true, transmissions, transmissions - 1);
+            }
+        }
+        self.stats.hops_failed += 1;
+        self.stats.transmissions += transmissions;
+        self.stats.retransmissions += transmissions - 1;
+        (false, transmissions, transmissions - 1)
+    }
+}
+
+impl Transport for LossyTransport {
+    fn route_to_node(
+        &mut self,
+        topology: &Topology,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Arc<Route>, RouteError> {
+        self.inner.route_to_node(topology, from, to)
+    }
+
+    fn route_to_location(
+        &mut self,
+        topology: &Topology,
+        from: NodeId,
+        target: Point,
+    ) -> Result<Arc<Route>, RouteError> {
+        self.inner.route_to_location(topology, from, target)
+    }
+
+    fn rebuild(&mut self, topology: &Topology) {
+        self.inner.rebuild(topology);
+    }
+
+    fn generation(&self) -> u64 {
+        self.inner.generation()
+    }
+
+    fn ledger(&self) -> &crate::TrafficLedger {
+        self.inner.ledger()
+    }
+
+    fn ledger_mut(&mut self) -> &mut crate::TrafficLedger {
+        self.inner.ledger_mut()
+    }
+
+    fn kind(&self) -> TransportKind {
+        self.inner.kind()
+    }
+
+    fn deliver(
+        &mut self,
+        topology: &Topology,
+        path: &[NodeId],
+        layer: TrafficLayer,
+    ) -> DeliveryOutcome {
+        self.stats.deliveries += 1;
+        let mut transmissions = 0u64;
+        let mut retransmissions = 0u64;
+        for w in path.windows(2) {
+            let (ok, t, r) = self.deliver_hop(topology, w[0], w[1], layer);
+            transmissions += t;
+            retransmissions += r;
+            if !ok {
+                self.stats.deliveries_failed += 1;
+                return DeliveryOutcome {
+                    delivered: false,
+                    transmissions,
+                    retransmissions,
+                    reached: w[0],
+                    failed_hop: Some((w[0], w[1])),
+                };
+            }
+        }
+        DeliveryOutcome {
+            delivered: true,
+            transmissions,
+            retransmissions,
+            reached: *path.last().expect("path contains at least the source"),
+            failed_hop: None,
+        }
+    }
+
+    fn deliver_reverse(
+        &mut self,
+        topology: &Topology,
+        path: &[NodeId],
+        copies: u64,
+        layer: TrafficLayer,
+    ) -> ReverseDelivery {
+        let back: Vec<NodeId> = path.iter().rev().copied().collect();
+        let mut out = ReverseDelivery::default();
+        for _ in 0..copies {
+            let o = self.deliver(topology, &back, layer);
+            if o.delivered {
+                out.delivered_copies += 1;
+            }
+            out.transmissions += o.transmissions;
+            out.retransmissions += o.retransmissions;
+        }
+        out
+    }
+
+    fn delivery_stats(&self) -> DeliveryStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pool_gpsr::Planarization;
+    use pool_netsim::deployment::Deployment;
+
+    fn topo(seed: u64) -> Topology {
+        let mut s = seed;
+        loop {
+            let dep = Deployment::paper_setting(300, 40.0, 20.0, s).unwrap();
+            let t = Topology::build(dep.nodes(), 40.0).unwrap();
+            if t.is_connected() {
+                return t;
+            }
+            s += 4096;
+        }
+    }
+
+    fn endpoints(t: &Topology) -> (NodeId, NodeId) {
+        (t.nodes()[0].id, t.nodes()[t.len() - 1].id)
+    }
+
+    #[test]
+    fn perfect_link_charges_exactly_like_the_wrapped_transport() {
+        let t = topo(1);
+        let (from, to) = endpoints(&t);
+        let mut plain = TransportKind::Gpsr.build(&t, Planarization::Gabriel);
+        let mut lossy = LossyTransport::wrap(
+            TransportKind::Gpsr.build(&t, Planarization::Gabriel),
+            LossyConfig::fixed(1.0, 9),
+        );
+        let route = plain.route_to_node(&t, from, to).unwrap();
+        let plain_out = plain.deliver(&t, &route.path, TrafficLayer::Insert);
+        let lossy_route = lossy.route_to_node(&t, from, to).unwrap();
+        let lossy_out = lossy.deliver(&t, &lossy_route.path, TrafficLayer::Insert);
+        assert_eq!(plain_out, lossy_out);
+        assert_eq!(plain.ledger(), lossy.ledger());
+        let pr = plain.deliver_reverse(&t, &route.path, 3, TrafficLayer::Reply);
+        let lr = lossy.deliver_reverse(&t, &lossy_route.path, 3, TrafficLayer::Reply);
+        assert_eq!(pr, lr);
+        assert_eq!(plain.ledger(), lossy.ledger());
+    }
+
+    #[test]
+    fn retransmissions_land_in_the_retransmit_layer() {
+        let t = topo(2);
+        let (from, to) = endpoints(&t);
+        let mut lossy = LossyTransport::wrap(
+            TransportKind::Gpsr.build(&t, Planarization::Gabriel),
+            LossyConfig::fixed(0.5, 11).with_retry_budget(64),
+        );
+        let route = lossy.route_to_node(&t, from, to).unwrap();
+        let mut out = DeliveryOutcome::delivered_clean(&route.path, 0);
+        // Repeat until the loss process actually retransmits at least once.
+        for _ in 0..20 {
+            out = lossy.deliver(&t, &route.path, TrafficLayer::Forward);
+            assert!(out.delivered, "budget 64 at p=0.5 must not fail");
+            if out.retransmissions > 0 {
+                break;
+            }
+        }
+        assert!(out.retransmissions > 0, "p = 0.5 never dropped a frame in 20 deliveries");
+        let ledger = lossy.ledger();
+        assert_eq!(
+            ledger.layer_total(TrafficLayer::Retransmit),
+            lossy.delivery_stats().retransmissions
+        );
+        assert_eq!(
+            ledger.layer_total(TrafficLayer::Forward)
+                + ledger.layer_total(TrafficLayer::Retransmit),
+            ledger.total_messages()
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_reports_the_failed_hop() {
+        let t = topo(3);
+        let (from, to) = endpoints(&t);
+        // p small enough that a multi-hop path with zero retries fails fast.
+        let mut lossy = LossyTransport::wrap(
+            TransportKind::Gpsr.build(&t, Planarization::Gabriel),
+            LossyConfig::fixed(0.05, 13).with_retry_budget(0),
+        );
+        let route = lossy.route_to_node(&t, from, to).unwrap();
+        assert!(route.hops() >= 2, "endpoints should be multiple hops apart");
+        let out = lossy.deliver(&t, &route.path, TrafficLayer::Insert);
+        assert!(!out.delivered);
+        let (hf, ht) = out.failed_hop.expect("failed delivery names its hop");
+        assert!(route.path.contains(&hf) && route.path.contains(&ht));
+        assert_eq!(out.reached, hf);
+        assert!(lossy.delivery_stats().deliveries_failed >= 1);
+    }
+
+    #[test]
+    fn deliveries_are_deterministic_in_the_seed() {
+        let t = topo(4);
+        let (from, to) = endpoints(&t);
+        let run = |seed: u64| {
+            let mut lossy = LossyTransport::wrap(
+                TransportKind::Gpsr.build(&t, Planarization::Gabriel),
+                LossyConfig::model(PrrModel::new(15.0, 42.0), seed),
+            );
+            let route = lossy.route_to_node(&t, from, to).unwrap();
+            let outs: Vec<DeliveryOutcome> =
+                (0..10).map(|_| lossy.deliver(&t, &route.path, TrafficLayer::Forward)).collect();
+            (outs, lossy.ledger().clone())
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21).1, run(22).1, "different seeds should differ on a lossy model");
+    }
+}

@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --release"
+cargo build --release --workspace
+
 echo "==> cargo test"
 cargo test --workspace -q
 

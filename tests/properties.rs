@@ -1,5 +1,5 @@
 //! Property-based tests (proptest) of the core invariants listed in
-//! DESIGN.md §7. These exercise the pure math (placement, resolving, codes)
+//! DESIGN.md §8. These exercise the pure math (placement, resolving, codes)
 //! over randomized inputs far beyond the hand-picked paper examples.
 
 use pool_dcs::core::event::Event;
