@@ -47,8 +47,8 @@ fn main() {
         let mut monitored =
             PoolSystem::build(topology.clone(), field, PoolConfig::paper().with_seed(seed))
                 .unwrap();
-        let (_, install) = monitored.install_monitor(sink, query.clone()).unwrap();
-        let mut monitor_msgs = install.total();
+        let install = monitored.install_monitor(sink, query.clone()).unwrap();
+        let mut monitor_msgs = install.cost.total();
         let mut matches = 0usize;
         let mut rng = StdRng::seed_from_u64(9);
         for i in 0..500 {

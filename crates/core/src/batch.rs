@@ -15,6 +15,8 @@ use crate::resolve::relevant_cells;
 use crate::system::{PoolSystem, QueryCost};
 use crate::PoolError;
 use pool_netsim::node::NodeId;
+use pool_transport::metrics::LedgerSnapshot;
+use pool_transport::trace::TraceOp;
 use pool_transport::TrafficLayer;
 use std::collections::{HashMap, HashSet};
 
@@ -64,6 +66,7 @@ impl PoolSystem {
             }
         }
 
+        let ledger_before = LedgerSnapshot::of(self.transport.ledger());
         let mut cost = QueryCost::default();
         let mut per_query: Vec<Vec<Event>> = vec![Vec::new(); queries.len()];
         let mut visited = HashSet::new();
@@ -73,8 +76,11 @@ impl PoolSystem {
         for dim in dims {
             let cells = &by_pool[&dim];
             let splitter = self.splitter_of(dim, sink);
-            let to_splitter = self.route_and_record(sink, splitter, TrafficLayer::Forward)?;
-            cost.forward_messages += to_splitter;
+            self.splitters_used.insert(splitter);
+            let to_splitter =
+                self.route_and_record(TraceOp::Batch, sink, splitter, TrafficLayer::Forward)?;
+            cost.forward_messages += to_splitter.transmissions - to_splitter.retransmissions;
+            cost.retransmit_messages += to_splitter.retransmissions;
 
             let mut pool_has_match = false;
             let mut sorted_cells: Vec<_> = cells.keys().copied().collect();
@@ -82,8 +88,14 @@ impl PoolSystem {
             for cell in sorted_cells {
                 visited.insert(cell);
                 let index_node = self.index_node_of(cell).expect("pool cells have index nodes");
-                let to_cell = self.route_and_record(splitter, index_node, TrafficLayer::Forward)?;
-                cost.forward_messages += to_cell;
+                let to_cell = self.route_and_record(
+                    TraceOp::Batch,
+                    splitter,
+                    index_node,
+                    TrafficLayer::Forward,
+                )?;
+                cost.forward_messages += to_cell.transmissions - to_cell.retransmissions;
+                cost.retransmit_messages += to_cell.retransmissions;
 
                 // One scan of the cell serves every interested query.
                 let interested = &cells[&cell];
@@ -99,16 +111,33 @@ impl PoolSystem {
                     }
                 }
                 if cell_matched {
-                    let back = self.route_and_record(index_node, splitter, TrafficLayer::Reply)?;
-                    cost.reply_messages += back;
+                    let back = self.route_and_record(
+                        TraceOp::Batch,
+                        index_node,
+                        splitter,
+                        TrafficLayer::Reply,
+                    )?;
+                    cost.reply_messages += back.transmissions - back.retransmissions;
+                    cost.retransmit_messages += back.retransmissions;
                     pool_has_match = true;
                 }
             }
             if pool_has_match {
-                let back = self.route_and_record(splitter, sink, TrafficLayer::Reply)?;
-                cost.reply_messages += back;
+                let back =
+                    self.route_and_record(TraceOp::Batch, splitter, sink, TrafficLayer::Reply)?;
+                cost.reply_messages += back.transmissions - back.retransmissions;
+                cost.retransmit_messages += back.retransmissions;
             }
         }
+        ledger_before.debug_assert_layers(
+            self.transport.ledger(),
+            "query_batch",
+            &[
+                (TrafficLayer::Forward, cost.forward_messages),
+                (TrafficLayer::Reply, cost.reply_messages),
+                (TrafficLayer::Retransmit, cost.retransmit_messages),
+            ],
+        );
         Ok(BatchResult { per_query, cost, cells_visited: visited.len() })
     }
 }

@@ -21,6 +21,8 @@ use crate::grid::CellCoord;
 use crate::system::PoolSystem;
 use crate::PoolError;
 use pool_netsim::node::NodeId;
+use pool_transport::metrics::LedgerSnapshot;
+use pool_transport::trace::TraceOp;
 use pool_transport::TrafficLayer;
 use std::collections::HashMap;
 
@@ -130,6 +132,7 @@ impl PoolSystem {
     /// [`PoolError::Routing`] only for pathological (non-delivery) routing
     /// failures.
     pub fn fail_nodes(&mut self, dead: &[NodeId]) -> Result<FailureReport, PoolError> {
+        let ledger_before = LedgerSnapshot::of(self.transport.ledger());
         let mut report = FailureReport {
             failed_nodes: dead.iter().filter(|&&d| self.topology().is_alive(d)).count(),
             ..FailureReport::default()
@@ -193,10 +196,15 @@ impl PoolSystem {
                         // deposed index node): migrate the copy. An
                         // undeliverable migration (partition or exhausted
                         // ARQ) drops the event instead of restoring it.
-                        match self.route_and_record(s.holder, index_node, TrafficLayer::Repair) {
-                            Ok(msgs) => {
+                        match self.route_and_record(
+                            TraceOp::Repair,
+                            s.holder,
+                            index_node,
+                            TrafficLayer::Repair,
+                        ) {
+                            Ok(outcome) => {
                                 report.events_migrated += 1;
-                                report.repair_messages += msgs;
+                                report.repair_messages += outcome.transmissions;
                                 self.restore_event(cell, s.event.clone(), index_node);
                             }
                             Err(PoolError::Undeliverable { transmissions, .. }) => {
@@ -212,11 +220,15 @@ impl PoolSystem {
                 let recovered = take_backup(&mut old_backups, cell, &s.event, self.topology());
                 match recovered {
                     Some(backup_holder) => {
-                        match self.route_and_record(backup_holder, index_node, TrafficLayer::Repair)
-                        {
-                            Ok(msgs) => {
+                        match self.route_and_record(
+                            TraceOp::Repair,
+                            backup_holder,
+                            index_node,
+                            TrafficLayer::Repair,
+                        ) {
+                            Ok(outcome) => {
                                 report.events_recovered += 1;
-                                report.repair_messages += msgs;
+                                report.repair_messages += outcome.transmissions;
                                 self.restore_event(cell, s.event.clone(), index_node);
                             }
                             Err(PoolError::Undeliverable { transmissions, .. }) => {
@@ -240,6 +252,12 @@ impl PoolSystem {
 
         // 5. Continuous queries of dead sinks can never be delivered.
         self.drop_monitors_with_dead_sinks();
+        ledger_before.debug_assert_sum(
+            self.transport.ledger(),
+            "fail_nodes",
+            report.repair_messages,
+            &[TrafficLayer::Repair, TrafficLayer::Replication, TrafficLayer::Retransmit],
+        );
         Ok(report)
     }
 }
@@ -437,7 +455,7 @@ mod tests {
         let q = RangeQuery::exact(vec![(0.4, 0.6), (0.0, 1.0), (0.0, 1.0)]).unwrap();
         let sink = NodeId(17);
         pool.install_monitor(sink, q.clone()).unwrap();
-        let other = pool.install_monitor(NodeId(30), q).unwrap().0;
+        let other = pool.install_monitor(NodeId(30), q).unwrap().id;
         pool.fail_nodes(&[sink]).unwrap();
         assert_eq!(pool.monitors().len(), 1);
         assert!(pool.monitors().get(other).is_some());

@@ -19,8 +19,10 @@ use crate::query::RangeQuery;
 use crate::resolve::{group_by_pool, relevant_cells};
 use crate::system::PoolSystem;
 use pool_netsim::node::NodeId;
+use pool_transport::metrics::LedgerSnapshot;
+use pool_transport::trace::TraceOp;
 use pool_transport::TrafficLayer;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Message-count breakdown for one query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +78,33 @@ impl Completeness {
     pub fn is_complete(&self) -> bool {
         self.unreached_cells.is_empty()
     }
+}
+
+/// The outcome of an aggregate query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateResult {
+    /// The aggregate value, or `None` for a value aggregate over an empty
+    /// result set (COUNT of nothing is `Some(0.0)`).
+    pub value: Option<f64>,
+    /// Message cost breakdown.
+    pub cost: QueryCost,
+    /// Which relevant cells contributed. An aggregate computed over a
+    /// partial harsh-radio answer is *not* authoritative — callers must
+    /// check [`Completeness::is_complete`] before trusting the value.
+    pub completeness: Completeness,
+}
+
+/// Receipt for a continuous-monitor installation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorInstall {
+    /// Handle for removal and notification matching.
+    pub id: MonitorId,
+    /// Dissemination cost of the installation.
+    pub cost: QueryCost,
+    /// Which relevant cells the installation actually reached — only those
+    /// are watching, so a sink seeing an incomplete install knows its
+    /// coverage is narrowed.
+    pub completeness: Completeness,
 }
 
 /// The outcome of one query.
@@ -175,6 +204,7 @@ impl PoolSystem {
                 got: query.dims(),
             });
         }
+        let ledger_before = LedgerSnapshot::of(self.transport.ledger());
         let relevant = relevant_cells(&self.layout, query);
         let by_pool = group_by_pool(&relevant);
 
@@ -189,6 +219,7 @@ impl PoolSystem {
         for (dim, cells) in by_pool {
             pools_visited += 1;
             let splitter = self.splitter_of(dim, sink);
+            self.splitters_used.insert(splitter);
             let to_splitter = match self.transport.route_to_node(&self.topology, sink, splitter) {
                 Ok(route) => route,
                 Err(pool_gpsr::RouteError::NotDelivered { .. }) => {
@@ -199,8 +230,7 @@ impl PoolSystem {
                 }
                 Err(e) => return Err(e.into()),
             };
-            let fwd =
-                self.transport.deliver(&self.topology, &to_splitter.path, TrafficLayer::Forward);
+            let fwd = self.deliver_traced(TraceOp::Query, &to_splitter.path, TrafficLayer::Forward);
             cost.forward_messages += fwd.transmissions - fwd.retransmissions;
             cost.retransmit_messages += fwd.retransmissions;
             if !fwd.delivered {
@@ -222,8 +252,7 @@ impl PoolSystem {
                         }
                         Err(e) => return Err(e.into()),
                     };
-                let fwd =
-                    self.transport.deliver(&self.topology, &to_cell.path, TrafficLayer::Forward);
+                let fwd = self.deliver_traced(TraceOp::Query, &to_cell.path, TrafficLayer::Forward);
                 cost.forward_messages += fwd.transmissions - fwd.retransmissions;
                 cost.retransmit_messages += fwd.retransmissions;
                 if !fwd.delivered {
@@ -237,7 +266,7 @@ impl PoolSystem {
                 if !chain.is_empty() {
                     let mut walk = vec![index_node];
                     walk.extend_from_slice(&chain);
-                    let w = self.transport.deliver(&self.topology, &walk, TrafficLayer::Forward);
+                    let w = self.deliver_traced(TraceOp::Query, &walk, TrafficLayer::Forward);
                     cost.forward_messages += w.transmissions - w.retransmissions;
                     cost.retransmit_messages += w.retransmissions;
                     if !w.delivered {
@@ -249,7 +278,7 @@ impl PoolSystem {
                     }
                 }
 
-                let matches: Vec<Event> = self
+                let mut matches: Vec<Event> = self
                     .store
                     .events_in(cell)
                     .iter()
@@ -260,19 +289,52 @@ impl PoolSystem {
                     reached.insert((dim, cell), true);
                     continue;
                 }
-                // Reply: cell (and chain tail) back to the splitter. The
-                // chain links are counted (the tail's events travel them)
-                // but not charged — the paper prices the cell → splitter
-                // retrace only.
-                let copies = if self.config.aggregate_replies { 1 } else { matches.len() as u64 };
-                let rev = self.transport.deliver_reverse(
-                    &self.topology,
+                // Reply: the cell's events retrace the forwarding legs.
+                // Delegated matches first travel the chain back to the
+                // index node (tail → … → index node), then everything
+                // retraces cell → splitter. Both legs are real deliveries
+                // through the transport — chain replies used to be charged
+                // as phantom messages the ledger never saw and loss could
+                // never touch.
+                let mut copies =
+                    if self.config.aggregate_replies { 1 } else { matches.len() as u64 };
+                let mut cell_ok = true;
+                if !chain.is_empty() {
+                    let mut walk = vec![index_node];
+                    walk.extend_from_slice(&chain);
+                    let rev = self.deliver_reverse_traced(
+                        TraceOp::Query,
+                        &walk,
+                        copies,
+                        TrafficLayer::Reply,
+                    );
+                    cost.reply_messages += rev.transmissions - rev.retransmissions;
+                    cost.retransmit_messages += rev.retransmissions;
+                    if rev.delivered_copies < copies {
+                        // A dead chain-reply leg strands delegated events
+                        // past the stall: the cell's answer is partial.
+                        cell_ok = false;
+                        if self.config.aggregate_replies {
+                            // The single aggregated packet died on the
+                            // chain: nothing leaves the cell.
+                            reached.insert((dim, cell), false);
+                            continue;
+                        }
+                        matches.truncate(rev.delivered_copies as usize);
+                        if matches.is_empty() {
+                            reached.insert((dim, cell), false);
+                            continue;
+                        }
+                        copies = matches.len() as u64;
+                    }
+                }
+                let rev = self.deliver_reverse_traced(
+                    TraceOp::Query,
                     &to_cell.path,
                     copies,
                     TrafficLayer::Reply,
                 );
-                cost.reply_messages +=
-                    (rev.transmissions - rev.retransmissions) + chain.len() as u64 * copies;
+                cost.reply_messages += rev.transmissions - rev.retransmissions;
                 cost.retransmit_messages += rev.retransmissions;
                 let kept: Vec<Event> = if self.config.aggregate_replies {
                     // One aggregated packet: all or nothing.
@@ -284,7 +346,7 @@ impl PoolSystem {
                 } else {
                     matches.into_iter().take(rev.delivered_copies as usize).collect()
                 };
-                reached.insert((dim, cell), rev.delivered_copies == copies);
+                reached.insert((dim, cell), cell_ok && rev.delivered_copies == copies);
                 if !kept.is_empty() {
                     pool_buffer.push((cell, kept));
                 }
@@ -294,8 +356,8 @@ impl PoolSystem {
             if pool_matches > 0 {
                 // Aggregated reply from the splitter to the sink.
                 let copies = if self.config.aggregate_replies { 1 } else { pool_matches as u64 };
-                let rev = self.transport.deliver_reverse(
-                    &self.topology,
+                let rev = self.deliver_reverse_traced(
+                    TraceOp::Query,
                     &to_splitter.path,
                     copies,
                     TrafficLayer::Reply,
@@ -339,6 +401,15 @@ impl PoolSystem {
             cells_reached: relevant.len() - unreached_cells.len(),
             unreached_cells,
         };
+        ledger_before.debug_assert_layers(
+            self.transport.ledger(),
+            "query_from",
+            &[
+                (TrafficLayer::Forward, cost.forward_messages),
+                (TrafficLayer::Reply, cost.reply_messages),
+                (TrafficLayer::Retransmit, cost.retransmit_messages),
+            ],
+        );
         Ok(QueryResult {
             events,
             cost,
@@ -350,7 +421,10 @@ impl PoolSystem {
 
     /// Runs an aggregate query (§3.2.3): same forwarding as
     /// [`PoolSystem::query_from`], but only the aggregate value travels
-    /// back. Returns the aggregate (if defined) and the cost.
+    /// back. Returns the aggregate (if defined), the cost, and the
+    /// completeness of the contributing cell set — an aggregate over a
+    /// partial answer used to report itself exactly like an authoritative
+    /// one; now the caller can tell.
     ///
     /// # Errors
     ///
@@ -360,7 +434,7 @@ impl PoolSystem {
         sink: NodeId,
         query: &RangeQuery,
         op: AggregateOp,
-    ) -> Result<(Option<f64>, QueryCost), PoolError> {
+    ) -> Result<AggregateResult, PoolError> {
         // Aggregates always travel as single messages, regardless of the
         // reply-aggregation ablation flag.
         let saved = self.config.aggregate_replies;
@@ -368,13 +442,19 @@ impl PoolSystem {
         let result = self.query_from(sink, query);
         self.config.aggregate_replies = saved;
         let result = result?;
-        Ok((op.apply(&result.events), result.cost))
+        Ok(AggregateResult {
+            value: op.apply(&result.events),
+            cost: result.cost,
+            completeness: result.completeness,
+        })
     }
 
     /// Installs a continuous monitoring query (§6): `sink` will be notified
     /// of every future insertion matching `query`. Installation is
     /// forwarded like a one-shot query (sink → splitters → relevant
-    /// cells); the returned cost covers that dissemination.
+    /// cells); the returned receipt carries the dissemination cost and the
+    /// installed-cell completeness — on a lossy radio only the reached
+    /// cells watch, and the sink deserves to know its coverage.
     ///
     /// # Errors
     ///
@@ -383,7 +463,7 @@ impl PoolSystem {
         &mut self,
         sink: NodeId,
         query: RangeQuery,
-    ) -> Result<(MonitorId, QueryCost), PoolError> {
+    ) -> Result<MonitorInstall, PoolError> {
         if query.dims() != self.config.dims {
             return Err(PoolError::DimensionMismatch {
                 expected: self.config.dims,
@@ -394,9 +474,17 @@ impl PoolSystem {
         let (cost, installed_at) = self.disseminate(sink, &relevant)?;
         // Only cells the installation actually reached will notify; on a
         // loss-free radio that is every relevant cell.
+        let installed: HashSet<(usize, CellCoord)> = installed_at.iter().copied().collect();
+        let unreached_cells: Vec<(usize, CellCoord)> =
+            relevant.iter().copied().filter(|key| !installed.contains(key)).collect();
+        let completeness = Completeness {
+            cells_relevant: relevant.len(),
+            cells_reached: installed_at.len(),
+            unreached_cells,
+        };
         let cells: Vec<CellCoord> = installed_at.iter().map(|&(_, c)| c).collect();
         let id = self.monitors.install(sink, query, &cells);
-        Ok((id, cost))
+        Ok(MonitorInstall { id, cost, completeness })
     }
 
     /// Removes a continuous monitoring query, forwarding the removal to the
@@ -435,17 +523,19 @@ impl PoolSystem {
         sink: NodeId,
         relevant: &[(usize, CellCoord)],
     ) -> Result<(QueryCost, Vec<(usize, CellCoord)>), PoolError> {
+        let ledger_before = LedgerSnapshot::of(self.transport.ledger());
         let mut cost = QueryCost::default();
         let mut delivered_to = Vec::new();
         for (dim, cells) in group_by_pool(relevant) {
             let splitter = self.splitter_of(dim, sink);
+            self.splitters_used.insert(splitter);
             let to_splitter = match self.transport.route_to_node(&self.topology, sink, splitter) {
                 Ok(route) => route,
                 Err(pool_gpsr::RouteError::NotDelivered { .. }) => continue,
                 Err(e) => return Err(e.into()),
             };
             let fwd =
-                self.transport.deliver(&self.topology, &to_splitter.path, TrafficLayer::Monitor);
+                self.deliver_traced(TraceOp::Monitor, &to_splitter.path, TrafficLayer::Monitor);
             cost.forward_messages += fwd.transmissions - fwd.retransmissions;
             cost.retransmit_messages += fwd.retransmissions;
             if !fwd.delivered {
@@ -460,7 +550,7 @@ impl PoolSystem {
                         Err(e) => return Err(e.into()),
                     };
                 let fwd =
-                    self.transport.deliver(&self.topology, &to_cell.path, TrafficLayer::Monitor);
+                    self.deliver_traced(TraceOp::Monitor, &to_cell.path, TrafficLayer::Monitor);
                 cost.forward_messages += fwd.transmissions - fwd.retransmissions;
                 cost.retransmit_messages += fwd.retransmissions;
                 if fwd.delivered {
@@ -468,6 +558,14 @@ impl PoolSystem {
                 }
             }
         }
+        ledger_before.debug_assert_layers(
+            self.transport.ledger(),
+            "disseminate",
+            &[
+                (TrafficLayer::Monitor, cost.forward_messages),
+                (TrafficLayer::Retransmit, cost.retransmit_messages),
+            ],
+        );
         Ok((cost, delivered_to))
     }
 
@@ -596,22 +694,26 @@ mod tests {
         pool.insert_from(NodeId(1), ev(&[0.64, 0.35, 0.2])).unwrap();
         pool.insert_from(NodeId(2), ev(&[0.9, 0.1, 0.05])).unwrap();
         let q = RangeQuery::exact(vec![(0.6, 0.7), (0.0, 0.5), (0.0, 0.5)]).unwrap();
-        let (count, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Count).unwrap();
-        assert_eq!(count, Some(2.0));
-        let (sum, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Sum(0)).unwrap();
-        assert!((sum.unwrap() - 1.26).abs() < 1e-9);
-        let (avg, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Avg(1)).unwrap();
-        assert!((avg.unwrap() - 0.325).abs() < 1e-9);
-        let (min, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Min(2)).unwrap();
-        assert_eq!(min, Some(0.1));
-        let (max, _) = pool.aggregate_from(NodeId(9), &q, AggregateOp::Max(2)).unwrap();
-        assert_eq!(max, Some(0.2));
+        let count = pool.aggregate_from(NodeId(9), &q, AggregateOp::Count).unwrap();
+        assert_eq!(count.value, Some(2.0));
+        // On a loss-free radio the aggregate is authoritative.
+        assert!(count.completeness.is_complete());
+        assert!(count.cost.total() > 0);
+        let sum = pool.aggregate_from(NodeId(9), &q, AggregateOp::Sum(0)).unwrap();
+        assert!((sum.value.unwrap() - 1.26).abs() < 1e-9);
+        let avg = pool.aggregate_from(NodeId(9), &q, AggregateOp::Avg(1)).unwrap();
+        assert!((avg.value.unwrap() - 0.325).abs() < 1e-9);
+        let min = pool.aggregate_from(NodeId(9), &q, AggregateOp::Min(2)).unwrap();
+        assert_eq!(min.value, Some(0.1));
+        let max = pool.aggregate_from(NodeId(9), &q, AggregateOp::Max(2)).unwrap();
+        assert_eq!(max.value, Some(0.2));
         // Aggregates over an empty result set.
         let empty = RangeQuery::exact(vec![(0.0, 0.01), (0.0, 0.01), (0.99, 1.0)]).unwrap();
-        let (none, _) = pool.aggregate_from(NodeId(9), &empty, AggregateOp::Sum(0)).unwrap();
-        assert_eq!(none, None);
-        let (zero, _) = pool.aggregate_from(NodeId(9), &empty, AggregateOp::Count).unwrap();
-        assert_eq!(zero, Some(0.0));
+        let none = pool.aggregate_from(NodeId(9), &empty, AggregateOp::Sum(0)).unwrap();
+        assert_eq!(none.value, None);
+        let zero = pool.aggregate_from(NodeId(9), &empty, AggregateOp::Count).unwrap();
+        assert_eq!(zero.value, Some(0.0));
+        assert!(zero.completeness.is_complete());
     }
 
     #[test]

@@ -91,4 +91,7 @@ pub use failure::FailureReport;
 pub use insert::InsertError;
 pub use monitor::{Monitor, MonitorId, Notification};
 pub use query::{QueryType, RangeQuery};
-pub use system::{AggregateOp, Completeness, InsertReceipt, PoolSystem, QueryCost, QueryResult};
+pub use system::{
+    AggregateOp, AggregateResult, Completeness, InsertReceipt, MonitorInstall, PoolSystem,
+    QueryCost, QueryResult,
+};

@@ -22,6 +22,8 @@ use crate::layout::PoolSpec;
 use crate::system::{PoolSystem, QueryCost};
 use crate::PoolError;
 use pool_netsim::node::NodeId;
+use pool_transport::metrics::LedgerSnapshot;
+use pool_transport::trace::TraceOp;
 use pool_transport::TrafficLayer;
 
 /// Result of a nearest-neighbor query.
@@ -111,6 +113,7 @@ impl PoolSystem {
         candidates
             .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are finite").then(a.2.cmp(&b.2)));
 
+        let ledger_before = LedgerSnapshot::of(self.transport.ledger());
         let mut best: Vec<(Event, f64)> = Vec::new();
         let mut cost = QueryCost::default();
         let mut cells_visited = 0usize;
@@ -123,8 +126,10 @@ impl PoolSystem {
             }
             cells_visited += 1;
             let index_node = self.index_node_of(cell).expect("candidate cells are pool cells");
-            let hops = self.route_and_record(sink, index_node, TrafficLayer::Forward)?;
-            cost.forward_messages += hops;
+            let fwd =
+                self.route_and_record(TraceOp::Nearest, sink, index_node, TrafficLayer::Forward)?;
+            cost.forward_messages += fwd.transmissions - fwd.retransmissions;
+            cost.retransmit_messages += fwd.retransmissions;
             let local: Vec<(Event, f64)> = self
                 .store()
                 .events_in(cell)
@@ -133,13 +138,24 @@ impl PoolSystem {
                 .collect();
             if !local.is_empty() {
                 // Aggregated reply along the reverse path.
-                let hops_back = self.route_and_record(index_node, sink, TrafficLayer::Reply)?;
-                cost.reply_messages += hops_back;
+                let back =
+                    self.route_and_record(TraceOp::Nearest, index_node, sink, TrafficLayer::Reply)?;
+                cost.reply_messages += back.transmissions - back.retransmissions;
+                cost.retransmit_messages += back.retransmissions;
                 best.extend(local);
                 best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
                 best.truncate(count);
             }
         }
+        ledger_before.debug_assert_layers(
+            self.transport.ledger(),
+            "k_nearest",
+            &[
+                (TrafficLayer::Forward, cost.forward_messages),
+                (TrafficLayer::Reply, cost.reply_messages),
+                (TrafficLayer::Retransmit, cost.retransmit_messages),
+            ],
+        );
         Ok(NnResult { neighbors: best, cost, cells_visited })
     }
 

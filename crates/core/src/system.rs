@@ -29,10 +29,14 @@ use pool_netsim::geometry::Rect;
 use pool_netsim::node::NodeId;
 use pool_netsim::stats::TrafficStats;
 use pool_netsim::topology::Topology;
-use pool_transport::{TrafficLayer, TrafficLedger, Transport};
-use std::collections::HashMap;
+use pool_transport::metrics::{LedgerSnapshot, LoadReport, NodeRole};
+use pool_transport::trace::{TraceOp, Tracer};
+use pool_transport::{DeliveryOutcome, ReverseDelivery, TrafficLayer, TrafficLedger, Transport};
+use std::collections::{HashMap, HashSet};
 
-pub use crate::forward::{AggregateOp, Completeness, QueryCost, QueryResult};
+pub use crate::forward::{
+    AggregateOp, AggregateResult, Completeness, MonitorInstall, QueryCost, QueryResult,
+};
 
 /// Receipt returned by a successful insertion.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +95,10 @@ pub struct PoolSystem {
     pub(crate) store: CellStore,
     pub(crate) backups: HashMap<CellCoord, Vec<crate::failure::BackupCopy>>,
     pub(crate) monitors: MonitorTable,
+    pub(crate) tracer: Tracer,
+    /// Nodes that served as a query/dissemination splitter at least once
+    /// (role tag for the load report).
+    pub(crate) splitters_used: HashSet<NodeId>,
 }
 
 impl PoolSystem {
@@ -140,7 +148,38 @@ impl PoolSystem {
             store: CellStore::new(),
             backups: HashMap::new(),
             monitors: MonitorTable::new(),
+            tracer: Tracer::default(),
+            splitters_used: HashSet::new(),
         })
+    }
+
+    // ----- traced delivery: every routed leg goes through these ---------
+
+    /// Delivers one packet along `path`, charging `layer` and recording a
+    /// trace span for the leg.
+    pub(crate) fn deliver_traced(
+        &mut self,
+        op: TraceOp,
+        path: &[NodeId],
+        layer: TrafficLayer,
+    ) -> DeliveryOutcome {
+        let outcome = self.transport.deliver(&self.topology, path, layer);
+        self.tracer.record_delivery(op, path, layer, &outcome);
+        outcome
+    }
+
+    /// Delivers `copies` reply packets in reverse along `path`, charging
+    /// `layer` and recording a trace span for the leg.
+    pub(crate) fn deliver_reverse_traced(
+        &mut self,
+        op: TraceOp,
+        path: &[NodeId],
+        copies: u64,
+        layer: TrafficLayer,
+    ) -> ReverseDelivery {
+        let outcome = self.transport.deliver_reverse(&self.topology, path, copies, layer);
+        self.tracer.record_reverse(op, path, copies, layer, &outcome);
+        outcome
     }
 
     // ----- crate-internal hooks used by the failure/repair module -------
@@ -195,8 +234,8 @@ impl PoolSystem {
         else {
             return 0;
         };
-        let outcome = self.transport.deliver(
-            &self.topology,
+        let outcome = self.deliver_traced(
+            TraceOp::Replicate,
             &[index_node, backup_holder],
             TrafficLayer::Replication,
         );
@@ -275,6 +314,40 @@ impl PoolSystem {
         self.transport.ledger()
     }
 
+    /// The delivery trace: one [`pool_transport::Span`] per routed leg
+    /// (bounded ring buffer).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the delivery trace (e.g. to clear it between
+    /// experiment phases).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Assembles the per-node load report: message loads (total and per
+    /// layer) from the ledger, storage loads from the cell store, and role
+    /// tags from the index/splitter/delegate registries.
+    pub fn load_report(&self) -> LoadReport {
+        let mut report = LoadReport::from_ledger(self.transport.ledger());
+        for node in self.topology.nodes() {
+            report.set_events_held(node.id, self.store.count_at(node.id) as u64);
+        }
+        for &node in self.index_nodes.values() {
+            report.tag(node, NodeRole::Index);
+        }
+        for chain in self.delegates.values() {
+            for &node in chain {
+                report.tag(node, NodeRole::Delegate);
+            }
+        }
+        for &node in &self.splitters_used {
+            report.tag(node, NodeRole::Splitter);
+        }
+        report
+    }
+
     /// The routing substrate.
     pub fn transport(&self) -> &dyn Transport {
         self.transport.as_ref()
@@ -317,6 +390,7 @@ impl PoolSystem {
                 got: event.dims(),
             }));
         }
+        let ledger_before = LedgerSnapshot::of(self.transport.ledger());
         let detected_cell = self.grid.cell_of(self.topology.position(source));
         let placement = storage_cell(&self.layout, &self.grid, &event, detected_cell);
         let index_node =
@@ -335,7 +409,7 @@ impl PoolSystem {
             }
             Err(e) => return Err(InsertError::Pool(e.into())),
         };
-        let outcome = self.transport.deliver(&self.topology, &route.path, TrafficLayer::Insert);
+        let outcome = self.deliver_traced(TraceOp::Insert, &route.path, TrafficLayer::Insert);
         let mut messages = outcome.transmissions;
         if !outcome.delivered {
             return Err(InsertError::Undeliverable {
@@ -372,7 +446,7 @@ impl PoolSystem {
             match self.transport.route_to_node(&self.topology, index_node, sink) {
                 Ok(route) => {
                     let outcome =
-                        self.transport.deliver(&self.topology, &route.path, TrafficLayer::Monitor);
+                        self.deliver_traced(TraceOp::Notify, &route.path, TrafficLayer::Monitor);
                     messages += outcome.transmissions;
                     notifications.push(Notification {
                         monitor,
@@ -397,6 +471,19 @@ impl PoolSystem {
         }
 
         self.store.insert(placement.cell, event, holder);
+        // Conservation audit: the receipt's flat count must equal the
+        // ledger growth across exactly the layers insertion touches.
+        ledger_before.debug_assert_sum(
+            self.transport.ledger(),
+            "insert_from",
+            messages,
+            &[
+                TrafficLayer::Insert,
+                TrafficLayer::Monitor,
+                TrafficLayer::Replication,
+                TrafficLayer::Retransmit,
+            ],
+        );
         Ok(InsertReceipt { placement, holder, messages, notifications })
     }
 
@@ -406,9 +493,9 @@ impl PoolSystem {
     }
 
     /// Routes a unicast, delivers it over the (possibly lossy) link layer,
-    /// and charges every transmission to the ledger under `layer`. Returns
-    /// the transmissions spent. Shared by the nearest-neighbor and
-    /// failure-repair modules.
+    /// charging every transmission to the ledger under `layer` and tracing
+    /// the leg under `op`. Returns the delivery outcome. Shared by the
+    /// batch, nearest-neighbor, and failure-repair modules.
     ///
     /// # Errors
     ///
@@ -416,14 +503,15 @@ impl PoolSystem {
     /// some hop (the transmissions already spent stay charged).
     pub(crate) fn route_and_record(
         &mut self,
+        op: TraceOp,
         from: NodeId,
         to: NodeId,
         layer: TrafficLayer,
-    ) -> Result<u64, PoolError> {
+    ) -> Result<DeliveryOutcome, PoolError> {
         let route = self.transport.route_to_node(&self.topology, from, to)?;
-        let outcome = self.transport.deliver(&self.topology, &route.path, layer);
+        let outcome = self.deliver_traced(op, &route.path, layer);
         if outcome.delivered {
-            Ok(outcome.transmissions)
+            Ok(outcome)
         } else {
             Err(PoolError::Undeliverable { from, to, transmissions: outcome.transmissions })
         }
@@ -442,7 +530,7 @@ impl PoolSystem {
         for (i, &node) in chain.iter().enumerate() {
             if self.store.count_at(node) < policy.capacity {
                 let outcome =
-                    self.transport.deliver(&self.topology, &chain[..=i], TrafficLayer::Insert);
+                    self.deliver_traced(TraceOp::Insert, &chain[..=i], TrafficLayer::Insert);
                 // If the chain walk stalls on a lossy link, the event rests
                 // where it stopped — degraded placement rather than loss,
                 // since the event already survived the trip to the cell.
@@ -464,7 +552,7 @@ impl PoolSystem {
                 PoolError::Routing(format!("no delegate candidate near {tail} for cell {cell}"))
             })?;
         chain.push(new_delegate);
-        let outcome = self.transport.deliver(&self.topology, &chain, TrafficLayer::Insert);
+        let outcome = self.deliver_traced(TraceOp::Insert, &chain, TrafficLayer::Insert);
         if outcome.delivered {
             self.delegates.entry(cell).or_default().push(new_delegate);
             Ok((new_delegate, outcome.transmissions))
@@ -568,8 +656,10 @@ mod tests {
         let mut pool = build_system(300, 20, PoolConfig::paper());
         let sink = NodeId(7);
         let q = RangeQuery::exact(vec![(0.6, 0.7), (0.0, 0.5), (0.0, 0.5)]).unwrap();
-        let (id, install_cost) = pool.install_monitor(sink, q).unwrap();
-        assert!(install_cost.forward_messages > 0);
+        let install = pool.install_monitor(sink, q).unwrap();
+        let id = install.id;
+        assert!(install.cost.forward_messages > 0);
+        assert!(install.completeness.is_complete(), "loss-free installs reach every cell");
         assert_eq!(pool.monitors().len(), 1);
 
         // A matching insertion notifies the sink.
@@ -596,7 +686,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut pool = build_system(300, 21, PoolConfig::paper());
         let q = RangeQuery::from_bounds(vec![Some((0.8, 1.0)), None, None]).unwrap();
-        let (_, _) = pool.install_monitor(NodeId(0), q.clone()).unwrap();
+        pool.install_monitor(NodeId(0), q.clone()).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let mut expected = 0usize;
         let mut fired = 0usize;

@@ -26,6 +26,8 @@ use pool_netsim::geometry::Rect;
 use pool_netsim::node::NodeId;
 use pool_netsim::stats::TrafficStats;
 use pool_netsim::topology::Topology;
+use pool_transport::metrics::{LedgerSnapshot, LoadReport, NodeRole};
+use pool_transport::trace::{TraceOp, Tracer};
 use pool_transport::{
     LossyConfig, LossyTransport, TrafficLayer, TrafficLedger, Transport, TransportKind,
 };
@@ -110,6 +112,7 @@ pub struct DimSystem {
     /// Events stored per zone index (index into `tree.zones()`).
     store: HashMap<usize, Vec<Event>>,
     zone_index_by_code: HashMap<crate::code::ZoneCode, usize>,
+    tracer: Tracer,
 }
 
 impl DimSystem {
@@ -165,7 +168,41 @@ impl DimSystem {
         }
         let zone_index_by_code =
             tree.zones().iter().enumerate().map(|(i, z)| (z.code, i)).collect();
-        Ok(DimSystem { topology, transport, tree, dims, store: HashMap::new(), zone_index_by_code })
+        Ok(DimSystem {
+            topology,
+            transport,
+            tree,
+            dims,
+            store: HashMap::new(),
+            zone_index_by_code,
+            tracer: Tracer::default(),
+        })
+    }
+
+    /// Delivers one packet along `path`, charging `layer` and tracing the
+    /// leg under `op` — DIM's mirror of Pool's traced delivery helper.
+    fn deliver_traced(
+        &mut self,
+        op: TraceOp,
+        path: &[NodeId],
+        layer: TrafficLayer,
+    ) -> pool_transport::DeliveryOutcome {
+        let outcome = self.transport.deliver(&self.topology, path, layer);
+        self.tracer.record_delivery(op, path, layer, &outcome);
+        outcome
+    }
+
+    /// Delivers `copies` reply packets in reverse along `path`, tracing.
+    fn deliver_reverse_traced(
+        &mut self,
+        op: TraceOp,
+        path: &[NodeId],
+        copies: u64,
+        layer: TrafficLayer,
+    ) -> pool_transport::ReverseDelivery {
+        let outcome = self.transport.deliver_reverse(&self.topology, path, copies, layer);
+        self.tracer.record_reverse(op, path, copies, layer, &outcome);
+        outcome
     }
 
     /// The underlying topology.
@@ -196,6 +233,36 @@ impl DimSystem {
     /// Mutable access to the routing substrate.
     pub fn transport_mut(&mut self) -> &mut dyn Transport {
         self.transport.as_mut()
+    }
+
+    /// The delivery trace (one span per routed leg, bounded ring buffer).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the delivery trace.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Assembles the per-node load report: message loads from the ledger,
+    /// storage loads from the zone store, and an [`NodeRole::Index`] tag on
+    /// every zone owner (DIM has no splitters or delegates — every owner is
+    /// its zone's index).
+    pub fn load_report(&self) -> LoadReport {
+        let mut report = LoadReport::from_ledger(self.transport.ledger());
+        let zones = self.tree.zones();
+        let mut held: HashMap<NodeId, u64> = HashMap::new();
+        for (&zone_idx, events) in &self.store {
+            *held.entry(zones[zone_idx].owner).or_insert(0) += events.len() as u64;
+        }
+        for (&owner, &count) in &held {
+            report.set_events_held(owner, count);
+        }
+        for z in zones {
+            report.tag(z.owner, NodeRole::Index);
+        }
+        report
     }
 
     /// Number of stored events.
@@ -233,6 +300,7 @@ impl DimSystem {
                 got: event.dims(),
             }));
         }
+        let ledger_before = LedgerSnapshot::of(self.transport.ledger());
         let zone = self.tree.zone_of_event(event.values());
         let owner = zone.owner;
         let zone_idx = self.zone_index_by_code[&zone.code];
@@ -248,7 +316,7 @@ impl DimSystem {
             }
             Err(e) => return Err(InsertError::Pool(e.into())),
         };
-        let outcome = self.transport.deliver(&self.topology, &route.path, TrafficLayer::Insert);
+        let outcome = self.deliver_traced(TraceOp::Insert, &route.path, TrafficLayer::Insert);
         if !outcome.delivered {
             return Err(InsertError::Undeliverable {
                 from: source,
@@ -258,6 +326,12 @@ impl DimSystem {
             });
         }
         self.store.entry(zone_idx).or_default().push(event);
+        ledger_before.debug_assert_sum(
+            self.transport.ledger(),
+            "dim insert_from",
+            outcome.transmissions,
+            &[TrafficLayer::Insert, TrafficLayer::Retransmit],
+        );
         Ok(DimInsertReceipt { owner, messages: outcome.transmissions })
     }
 
@@ -275,6 +349,7 @@ impl DimSystem {
         if query.dims() != self.dims {
             return Err(PoolError::DimensionMismatch { expected: self.dims, got: query.dims() });
         }
+        let ledger_before = LedgerSnapshot::of(self.transport.ledger());
         let rewritten = query.rewritten();
         let relevant: Vec<(usize, NodeId)> = self
             .tree
@@ -313,7 +388,7 @@ impl DimSystem {
                 Err(pool_gpsr::RouteError::NotDelivered { .. }) => break,
                 Err(e) => return Err(e.into()),
             };
-            let fwd = self.transport.deliver(&self.topology, &leg.path, TrafficLayer::Forward);
+            let fwd = self.deliver_traced(TraceOp::Query, &leg.path, TrafficLayer::Forward);
             cost.forward_messages += fwd.transmissions - fwd.retransmissions;
             cost.retransmit_messages += fwd.retransmissions;
             if !fwd.delivered {
@@ -353,12 +428,8 @@ impl DimSystem {
         let mut first_failed_reverse = reached_len;
         if any_match {
             for (j, leg) in legs.iter().enumerate() {
-                let rev = self.transport.deliver_reverse(
-                    &self.topology,
-                    &leg.path,
-                    1,
-                    TrafficLayer::Reply,
-                );
+                let rev =
+                    self.deliver_reverse_traced(TraceOp::Query, &leg.path, 1, TrafficLayer::Reply);
                 cost.reply_messages += rev.transmissions - rev.retransmissions;
                 cost.retransmit_messages += rev.retransmissions;
                 if rev.delivered_copies == 0 && j < first_failed_reverse {
@@ -375,6 +446,15 @@ impl DimSystem {
                 events.extend(matches);
             }
         }
+        ledger_before.debug_assert_layers(
+            self.transport.ledger(),
+            "dim query_from",
+            &[
+                (TrafficLayer::Forward, cost.forward_messages),
+                (TrafficLayer::Reply, cost.reply_messages),
+                (TrafficLayer::Retransmit, cost.retransmit_messages),
+            ],
+        );
         Ok(DimQueryResult { events, cost, zones_visited, zones_reached })
     }
 

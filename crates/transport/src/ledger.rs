@@ -94,12 +94,19 @@ impl TrafficLayer {
 pub struct TrafficLedger {
     stats: TrafficStats,
     by_layer: [u64; TrafficLayer::ALL.len()],
+    /// Sender-attributed load per node *and* layer: `node_layer[n]` sums to
+    /// `stats.load(n)` and column `l` sums to `by_layer[l]`.
+    node_layer: Vec<[u64; TrafficLayer::ALL.len()]>,
 }
 
 impl TrafficLedger {
     /// Creates a ledger for a network of `n` nodes.
     pub fn new(n: usize) -> Self {
-        TrafficLedger { stats: TrafficStats::new(n), by_layer: [0; TrafficLayer::ALL.len()] }
+        TrafficLedger {
+            stats: TrafficStats::new(n),
+            by_layer: [0; TrafficLayer::ALL.len()],
+            node_layer: vec![[0; TrafficLayer::ALL.len()]; n],
+        }
     }
 
     /// The flat hop counter (total messages + per-node load).
@@ -117,6 +124,7 @@ impl TrafficLedger {
         }
         self.stats.record_hop(from, to);
         self.by_layer[layer.index()] += 1;
+        self.node_layer[from.index()][layer.index()] += 1;
         1
     }
 
@@ -172,6 +180,27 @@ impl TrafficLedger {
         self.stats.total_messages()
     }
 
+    /// Number of nodes this ledger tracks.
+    pub fn nodes(&self) -> usize {
+        self.node_layer.len()
+    }
+
+    /// Sender-attributed load of `node` across all layers.
+    pub fn node_load(&self, node: NodeId) -> u64 {
+        self.stats.load(node)
+    }
+
+    /// Sender-attributed load of `node` on one `layer`.
+    pub fn node_layer_load(&self, node: NodeId, layer: TrafficLayer) -> u64 {
+        self.node_layer[node.index()][layer.index()]
+    }
+
+    /// The full per-layer breakdown of `node`'s sent messages, in
+    /// [`TrafficLayer::ALL`] order.
+    pub fn node_layers(&self, node: NodeId) -> &[u64; TrafficLayer::ALL.len()] {
+        &self.node_layer[node.index()]
+    }
+
     /// Adds all counts from `other` into `self`.
     ///
     /// # Panics
@@ -182,12 +211,18 @@ impl TrafficLedger {
         for (a, b) in self.by_layer.iter_mut().zip(&other.by_layer) {
             *a += *b;
         }
+        for (row, other_row) in self.node_layer.iter_mut().zip(&other.node_layer) {
+            for (a, b) in row.iter_mut().zip(other_row) {
+                *a += *b;
+            }
+        }
     }
 
     /// Resets all counters to zero.
     pub fn clear(&mut self) {
         self.stats.clear();
         self.by_layer = [0; TrafficLayer::ALL.len()];
+        self.node_layer.iter_mut().for_each(|row| *row = [0; TrafficLayer::ALL.len()]);
     }
 }
 
@@ -222,6 +257,28 @@ mod tests {
         assert_eq!(ledger.stats().load(NodeId(2)), 1);
         assert_eq!(ledger.stats().load(NodeId(1)), 1);
         assert_eq!(ledger.stats().load(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn node_layer_matrix_is_consistent_with_both_margins() {
+        let mut ledger = TrafficLedger::new(4);
+        ledger.charge_path(&[NodeId(0), NodeId(1), NodeId(2)], TrafficLayer::Insert);
+        ledger.charge_path_reversed(&[NodeId(1), NodeId(2)], 3, TrafficLayer::Reply);
+        ledger.charge_hop(NodeId(1), NodeId(3), TrafficLayer::Repair);
+        // Row sums reproduce per-node load; column sums reproduce per-layer
+        // totals.
+        for n in 0..4u32 {
+            let row: u64 = ledger.node_layers(NodeId(n)).iter().sum();
+            assert_eq!(row, ledger.node_load(NodeId(n)), "node {n}");
+        }
+        for layer in TrafficLayer::ALL {
+            let col: u64 = (0..4u32).map(|n| ledger.node_layer_load(NodeId(n), layer)).sum();
+            assert_eq!(col, ledger.layer_total(layer), "{}", layer.label());
+        }
+        // Reverse charges attribute to the new senders: node 2 sent the
+        // three reply copies.
+        assert_eq!(ledger.node_layer_load(NodeId(2), TrafficLayer::Reply), 3);
+        assert_eq!(ledger.node_layer_load(NodeId(1), TrafficLayer::Reply), 0);
     }
 
     #[test]

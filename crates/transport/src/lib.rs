@@ -43,6 +43,8 @@ pub mod cached;
 pub mod gpsr;
 pub mod ledger;
 pub mod lossy;
+pub mod metrics;
+pub mod trace;
 
 pub use cached::CachedTransport;
 pub use gpsr::GpsrTransport;
@@ -50,6 +52,8 @@ pub use ledger::{TrafficLayer, TrafficLedger};
 pub use lossy::{
     DeliveryOutcome, DeliveryStats, LinkQuality, LossyConfig, LossyTransport, ReverseDelivery,
 };
+pub use metrics::{LedgerSnapshot, LoadDistribution, LoadReport, NodeLoad, NodeRole, RoleSet};
+pub use trace::{Span, SpanOutcome, TraceOp, Tracer};
 
 use pool_gpsr::{Planarization, Route, RouteError};
 use pool_netsim::geometry::Point;

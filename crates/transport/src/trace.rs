@@ -1,0 +1,321 @@
+//! Lightweight structured tracing of per-leg deliveries.
+//!
+//! Every networked operation in the storage schemes decomposes into *legs*
+//! — one routed delivery (or reverse reply fan-out) between two endpoints.
+//! The [`Tracer`] records one [`Span`] per leg: which operation it served,
+//! the endpoints, the [`TrafficLayer`] it was charged to, the transmissions
+//! spent (split into first attempts and ARQ retransmissions), and the
+//! outcome. Together with the ledger's per-node×per-layer matrix this makes
+//! a cost discrepancy diagnosable leg by leg instead of only visible as a
+//! mismatched total.
+//!
+//! The tracer is a bounded ring buffer: it never grows without bound and
+//! never perturbs message accounting (spans are recorded *after* the
+//! transport has charged the ledger). It lives in the storage scheme, not
+//! in the ledger, so ledger equality comparisons across transports stay
+//! meaningful.
+
+use crate::ledger::TrafficLayer;
+use crate::lossy::{DeliveryOutcome, ReverseDelivery};
+use pool_netsim::node::NodeId;
+use std::collections::VecDeque;
+
+/// The operation a traced leg served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceOp {
+    /// Event insertion (source → index node, sharing-chain walks).
+    Insert,
+    /// One-shot range query forwarding and replies.
+    Query,
+    /// Multi-query batch legs.
+    Batch,
+    /// Nearest-neighbor search legs.
+    Nearest,
+    /// Monitor installation/removal dissemination.
+    Monitor,
+    /// Push notification to a standing-query sink.
+    Notify,
+    /// Backup replication copy.
+    Replicate,
+    /// Post-failure migration/recovery.
+    Repair,
+}
+
+impl TraceOp {
+    /// Stable lowercase name.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceOp::Insert => "insert",
+            TraceOp::Query => "query",
+            TraceOp::Batch => "batch",
+            TraceOp::Nearest => "nearest",
+            TraceOp::Monitor => "monitor",
+            TraceOp::Notify => "notify",
+            TraceOp::Replicate => "replicate",
+            TraceOp::Repair => "repair",
+        }
+    }
+}
+
+/// How a traced leg ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// The packet (or every reply copy) arrived.
+    Delivered,
+    /// The forward delivery stalled; the packet got as far as `reached`.
+    Stalled {
+        /// Last node the packet reached before ARQ gave up.
+        reached: NodeId,
+    },
+    /// A reverse fan-out delivered only some of its copies.
+    PartialCopies {
+        /// Copies that made it all the way back.
+        delivered: u64,
+        /// Copies sent.
+        sent: u64,
+    },
+}
+
+/// One traced delivery leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Monotonic sequence number (global per tracer, survives eviction).
+    pub seq: u64,
+    /// The operation this leg served.
+    pub op: TraceOp,
+    /// Sending endpoint (for reverse legs: where the replies originate).
+    pub origin: NodeId,
+    /// Receiving endpoint.
+    pub destination: NodeId,
+    /// Layer the first attempts were charged to.
+    pub layer: TrafficLayer,
+    /// Total transmissions charged (first attempts + retransmissions).
+    pub transmissions: u64,
+    /// ARQ retransmissions alone.
+    pub retransmissions: u64,
+    /// How the leg ended.
+    pub outcome: SpanOutcome,
+}
+
+impl Span {
+    /// Whether the leg fully succeeded.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self.outcome, SpanOutcome::Delivered)
+    }
+}
+
+/// Default ring-buffer capacity.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// A bounded ring buffer of [`Span`]s.
+///
+/// # Examples
+///
+/// ```
+/// use pool_netsim::node::NodeId;
+/// use pool_transport::trace::{SpanOutcome, TraceOp, Tracer};
+/// use pool_transport::{DeliveryOutcome, TrafficLayer};
+///
+/// let mut tracer = Tracer::new(2);
+/// let path = [NodeId(0), NodeId(1), NodeId(2)];
+/// let outcome = DeliveryOutcome::delivered_clean(&path, 2);
+/// tracer.record_delivery(TraceOp::Insert, &path, TrafficLayer::Insert, &outcome);
+/// assert_eq!(tracer.spans().count(), 1);
+/// assert!(tracer.spans().next().unwrap().is_delivered());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    spans: VecDeque<Span>,
+    capacity: usize,
+    next_seq: u64,
+    evicted: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer keeping at most `capacity` spans (older spans are
+    /// evicted first). A zero capacity disables recording entirely.
+    pub fn new(capacity: usize) -> Self {
+        Tracer { spans: VecDeque::new(), capacity, next_seq: 0, evicted: 0 }
+    }
+
+    /// Records a span, evicting the oldest if the buffer is full.
+    pub fn record(&mut self, mut span: Span) {
+        span.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.capacity == 0 {
+            self.evicted += 1;
+            return;
+        }
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.evicted += 1;
+        }
+        self.spans.push_back(span);
+    }
+
+    /// Records the span of one forward delivery along `path`.
+    pub fn record_delivery(
+        &mut self,
+        op: TraceOp,
+        path: &[NodeId],
+        layer: TrafficLayer,
+        outcome: &DeliveryOutcome,
+    ) {
+        let origin = *path.first().expect("paths contain at least the source");
+        let destination = *path.last().expect("paths contain at least the source");
+        self.record(Span {
+            seq: 0,
+            op,
+            origin,
+            destination,
+            layer,
+            transmissions: outcome.transmissions,
+            retransmissions: outcome.retransmissions,
+            outcome: if outcome.delivered {
+                SpanOutcome::Delivered
+            } else {
+                SpanOutcome::Stalled { reached: outcome.reached }
+            },
+        });
+    }
+
+    /// Records the span of a reverse fan-out of `copies` replies along
+    /// `path` (the replies travel last-to-first).
+    pub fn record_reverse(
+        &mut self,
+        op: TraceOp,
+        path: &[NodeId],
+        copies: u64,
+        layer: TrafficLayer,
+        outcome: &ReverseDelivery,
+    ) {
+        let origin = *path.last().expect("paths contain at least the source");
+        let destination = *path.first().expect("paths contain at least the source");
+        self.record(Span {
+            seq: 0,
+            op,
+            origin,
+            destination,
+            layer,
+            transmissions: outcome.transmissions,
+            retransmissions: outcome.retransmissions,
+            outcome: if outcome.delivered_copies == copies {
+                SpanOutcome::Delivered
+            } else {
+                SpanOutcome::PartialCopies { delivered: outcome.delivered_copies, sent: copies }
+            },
+        });
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+
+    /// The retained spans that did not fully deliver.
+    pub fn failed_spans(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(|s| !s.is_delivered())
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans recorded in total, including evicted ones.
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Spans evicted from the ring buffer.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drops all retained spans (sequence numbering continues).
+    pub fn clear(&mut self) {
+        self.evicted += self.spans.len() as u64;
+        self.spans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(op: TraceOp) -> Span {
+        Span {
+            seq: 0,
+            op,
+            origin: NodeId(0),
+            destination: NodeId(1),
+            layer: TrafficLayer::Forward,
+            transmissions: 1,
+            retransmissions: 0,
+            outcome: SpanOutcome::Delivered,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_keeps_sequence() {
+        let mut tracer = Tracer::new(3);
+        for _ in 0..5 {
+            tracer.record(span(TraceOp::Query));
+        }
+        assert_eq!(tracer.len(), 3);
+        assert_eq!(tracer.recorded(), 5);
+        assert_eq!(tracer.evicted(), 2);
+        let seqs: Vec<u64> = tracer.spans().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn reverse_spans_swap_endpoints_and_flag_partial_copies() {
+        let mut tracer = Tracer::new(8);
+        let path = [NodeId(3), NodeId(7), NodeId(9)];
+        let partial = ReverseDelivery { delivered_copies: 1, transmissions: 5, retransmissions: 2 };
+        tracer.record_reverse(TraceOp::Query, &path, 2, TrafficLayer::Reply, &partial);
+        let s = tracer.spans().next().unwrap();
+        assert_eq!(s.origin, NodeId(9));
+        assert_eq!(s.destination, NodeId(3));
+        assert_eq!(s.outcome, SpanOutcome::PartialCopies { delivered: 1, sent: 2 });
+        assert_eq!(tracer.failed_spans().count(), 1);
+    }
+
+    #[test]
+    fn stalled_deliveries_record_the_reached_node() {
+        let mut tracer = Tracer::new(8);
+        let path = [NodeId(0), NodeId(1), NodeId(2)];
+        let stalled = DeliveryOutcome {
+            delivered: false,
+            transmissions: 9,
+            retransmissions: 8,
+            reached: NodeId(1),
+            failed_hop: Some((NodeId(1), NodeId(2))),
+        };
+        tracer.record_delivery(TraceOp::Insert, &path, TrafficLayer::Insert, &stalled);
+        let s = tracer.spans().next().unwrap();
+        assert_eq!(s.outcome, SpanOutcome::Stalled { reached: NodeId(1) });
+        assert_eq!(s.retransmissions, 8);
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention_but_counts() {
+        let mut tracer = Tracer::new(0);
+        tracer.record(span(TraceOp::Repair));
+        assert!(tracer.is_empty());
+        assert_eq!(tracer.recorded(), 1);
+        assert_eq!(tracer.evicted(), 1);
+    }
+}

@@ -116,8 +116,10 @@ pub fn sample_normal_truncated<R: Rng + ?Sized>(
 ) -> f64 {
     assert!(std_dev > 0.0, "std_dev must be positive, got {std_dev}");
     assert!(lo < hi, "invalid truncation window [{lo}, {hi}]");
+    // Reject only windows lying *entirely* beyond ~8σ — a mean deep inside
+    // a wide window is the easy case, not a divergent one.
     assert!(
-        (mean - hi).abs() / std_dev < 8.0 || (mean - lo).abs() / std_dev < 8.0,
+        lo <= mean + 8.0 * std_dev && hi >= mean - 8.0 * std_dev,
         "truncation window too far from the mean"
     );
     loop {
@@ -190,6 +192,24 @@ mod tests {
             let x = sample_normal_truncated(&mut rng, 0.5, 0.2, 0.0, 1.0);
             assert!((0.0..=1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn truncated_normal_accepts_tight_spread_inside_wide_window() {
+        // Regression: a mean deep inside [0, 1] with a small σ used to trip
+        // the divergence guard even though rejection terminates immediately.
+        let mut rng = StdRng::seed_from_u64(16);
+        for _ in 0..2000 {
+            let x = sample_normal_truncated(&mut rng, 0.5, 0.04, 0.0, 1.0);
+            assert!((0.3..=0.7).contains(&x), "8σ outlier: {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "truncation window too far from the mean")]
+    fn truncated_normal_rejects_unreachable_window() {
+        let mut rng = StdRng::seed_from_u64(17);
+        sample_normal_truncated(&mut rng, 0.0, 0.01, 0.5, 1.0);
     }
 
     #[test]

@@ -20,10 +20,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The control room (sink) registers: temperature ≥ 0.8 AND humidity ≤ 0.2.
     let sink = NodeId(0);
     let alert = RangeQuery::from_bounds(vec![Some((0.8, 1.0)), Some((0.0, 0.2)), None])?;
-    let (monitor_id, install_cost) = pool.install_monitor(sink, alert.clone())?;
+    let install = pool.install_monitor(sink, alert.clone())?;
+    let monitor_id = install.id;
     println!(
-        "installed standing query {alert} as {monitor_id:?} ({} messages)",
-        install_cost.total()
+        "installed standing query {alert} as {monitor_id:?} ({} messages, watching {}/{} cells)",
+        install.cost.total(),
+        install.completeness.cells_reached,
+        install.completeness.cells_relevant
     );
 
     // 300 readings stream in; matching ones are pushed to the sink.

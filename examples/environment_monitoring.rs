@@ -65,14 +65,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // In-network aggregation (§3.2.3): the splitters compute the answer,
     // so only a scalar travels back.
     let hot = RangeQuery::from_bounds(vec![Some((0.8, 1.0)), None, None, None])?;
-    let (count, cost) = pool.aggregate_from(sink, &hot, AggregateOp::Count)?;
-    let (avg_rh, _) = pool.aggregate_from(sink, &hot, AggregateOp::Avg(1))?;
+    let count = pool.aggregate_from(sink, &hot, AggregateOp::Count)?;
+    let avg_rh = pool.aggregate_from(sink, &hot, AggregateOp::Avg(1))?;
+    assert!(count.completeness.is_complete(), "loss-free radio: the aggregate is authoritative");
     println!(
         "\naggregates over hot readings (T >= 0.8): COUNT = {}, AVG(humidity) = {:.3} \
          ({} messages for the count)",
-        count.unwrap_or(0.0),
-        avg_rh.unwrap_or(f64::NAN),
-        cost.total()
+        count.value.unwrap_or(0.0),
+        avg_rh.value.unwrap_or(f64::NAN),
+        count.cost.total()
     );
     Ok(())
 }

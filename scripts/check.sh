@@ -16,4 +16,7 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> conservation audit (debug assertions: cost == ledger delta, all substrates)"
+cargo test -q --test conservation
+
 echo "All checks passed."
