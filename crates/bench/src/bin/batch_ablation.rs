@@ -3,30 +3,37 @@
 //! Dashboards and sweeps issue several related queries at once. Pool's
 //! batch API shares the sink→splitter legs and deduplicates cell visits
 //! across the batch; this experiment measures the saving as a function of
-//! batch size and query overlap.
+//! batch size and query overlap. Each batch size is an independent trial
+//! over its own deployment — the serial binary reused one pair (and one
+//! RNG) across all sizes. Emits `BENCH_batch.json`.
 //!
-//! Run: `cargo run -p pool-bench --bin batch_ablation --release`
+//! Run: `cargo run -p pool-bench --bin batch_ablation --release
+//!       [-- --nodes N --jobs N --smoke]`
 
-use pool_bench::cli::arg_usize;
-use pool_bench::harness::{print_header, Scenario, SystemPair};
+use pool_bench::cli::{arg_usize, BenchOpts};
+use pool_bench::exec::run_trials;
+use pool_bench::harness::{Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_core::query::RangeQuery;
 use pool_workloads::events::EventDistribution;
 use rand::Rng;
 
 fn main() {
-    let nodes = arg_usize("--nodes", 600);
-    let scenario = Scenario::paper(nodes, 123_123);
-    let mut pair = SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
-    print_header(
-        &format!("Query batching ({nodes} nodes, overlapping threshold sweeps)"),
-        &["batch_size", "separate_msgs", "batched_msgs", "saving"],
-    );
-    for batch_size in [2usize, 4, 8, 16] {
+    let opts = BenchOpts::from_env();
+    let nodes = arg_usize("--nodes", opts.nodes(600));
+    let trials_per_size = opts.scale(15, 4);
+    let batch_sizes: Vec<usize> = if opts.smoke { vec![2, 8] } else { vec![2, 4, 8, 16] };
+
+    let results = run_trials(opts.jobs, batch_sizes, |_, batch_size| {
+        // Same deployment seed for every batch size: the sweep varies only
+        // the batch width, and each trial owns its pair, so reusing the
+        // scenario is coupling-free.
+        let scenario = Scenario::paper(nodes, 123_123);
+        let mut pair =
+            SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
         let mut separate_total = 0u64;
         let mut batched_total = 0u64;
-        let trials = 15;
-        for _ in 0..trials {
+        for _ in 0..trials_per_size {
             let sink = pair.random_node();
             // A threshold sweep: overlapping windows along dimension 1.
             let base: f64 = pair.rng().gen_range(0.0..0.5);
@@ -42,11 +49,22 @@ fn main() {
             }
             batched_total += pair.pool.query_batch(sink, &queries).unwrap().cost.total();
         }
-        println!(
-            "{batch_size}\t{:.1}\t{:.1}\t{:.1}%",
-            separate_total as f64 / trials as f64,
-            batched_total as f64 / trials as f64,
-            100.0 * (1.0 - batched_total as f64 / separate_total as f64)
-        );
+        (batch_size, separate_total, batched_total)
+    });
+
+    let mut table = pool_bench::Table::new(
+        "Query batching (overlapping threshold sweeps)",
+        &["batch_size", "separate_msgs", "batched_msgs", "saving_pct"],
+    );
+    table.meta("nodes", nodes);
+    table.meta("trials", trials_per_size);
+    for (batch_size, separate, batched) in &results {
+        table.row(vec![
+            (*batch_size).into(),
+            (*separate as f64 / trials_per_size as f64).into(),
+            (*batched as f64 / trials_per_size as f64).into(),
+            (100.0 * (1.0 - *batched as f64 / *separate as f64)).into(),
+        ]);
     }
+    opts.emit("batch", &table);
 }

@@ -4,24 +4,27 @@
 //! capabilities (§1). Pool scales structurally with `k` — one more pool per
 //! dimension — while DIM's zone codes simply cycle over more attributes.
 //! This sweep measures both systems' exact- and partial-match costs from
-//! k = 2 to k = 6 at a fixed 600-node network.
+//! k = 2 to k = 6 at a fixed 600-node network; each `k` is an independent
+//! trial (serial seeds `7000 + k` unchanged). Emits
+//! `BENCH_dimensionality.json`.
 //!
-//! Run: `cargo run -p pool-bench --bin dimensionality_sweep --release`
+//! Run: `cargo run -p pool-bench --bin dimensionality_sweep --release
+//!       [-- --queries N --nodes N --jobs N --smoke]`
 
-use pool_bench::cli::arg_usize;
-use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
+use pool_bench::cli::{arg_usize, BenchOpts};
+use pool_bench::exec::run_trials;
+use pool_bench::harness::{measure, QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_workloads::events::EventDistribution;
 use pool_workloads::queries::RangeSizeDistribution;
 
 fn main() {
-    let queries = arg_usize("--queries", 50);
-    let nodes = arg_usize("--nodes", 600);
-    print_header(
-        &format!("Dimensionality sweep ({nodes} nodes, exponential exact match + 1-partial)"),
-        &["k", "pool_exact", "dim_exact", "pool_1partial", "dim_1partial"],
-    );
-    for k in 2usize..=6 {
+    let opts = BenchOpts::from_env();
+    let queries = arg_usize("--queries", opts.queries(50));
+    let nodes = arg_usize("--nodes", opts.nodes(600));
+    let ks: Vec<usize> = (2..=opts.scale(6, 4)).collect();
+
+    let results = run_trials(opts.jobs, ks, |_, k| {
         let scenario = Scenario { dims: k, ..Scenario::paper(nodes, 7_000 + k as u64) };
         let mut pair =
             SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
@@ -31,9 +34,23 @@ fn main() {
             queries,
         );
         let partial = measure(&mut pair, QueryKind::MPartial(1), queries);
-        println!(
-            "{k}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
-            exact.pool.mean, exact.dim.mean, partial.pool.mean, partial.dim.mean
-        );
+        (k, exact, partial)
+    });
+
+    let mut table = pool_bench::Table::new(
+        "Dimensionality sweep (exponential exact match + 1-partial)",
+        &["k", "pool_exact", "dim_exact", "pool_1partial", "dim_1partial"],
+    );
+    table.meta("nodes", nodes);
+    table.meta("queries", queries);
+    for (k, exact, partial) in &results {
+        table.row(vec![
+            (*k).into(),
+            exact.pool.mean.into(),
+            exact.dim.mean.into(),
+            partial.pool.mean.into(),
+            partial.dim.mean.into(),
+        ]);
     }
+    opts.emit("dimensionality", &table);
 }

@@ -7,9 +7,15 @@
 //! bill, and a full-domain query's result size (which doubles as a
 //! correctness audit: it must equal the survivor count).
 //!
-//! Run: `cargo run -p pool-bench --bin failure_resilience --release`
+//! Failure rounds are inherently sequential (each round mutates the same
+//! three deployments), so the campaign is submitted as a single trial;
+//! `--jobs` is accepted for CLI uniformity. Emits `BENCH_failure.json`.
+//!
+//! Run: `cargo run -p pool-bench --bin failure_resilience --release
+//!       [-- --nodes N --jobs N --smoke]`
 
-use pool_bench::harness::print_header;
+use pool_bench::cli::{arg_usize, BenchOpts};
+use pool_bench::exec::run_trials;
 use pool_core::config::PoolConfig;
 use pool_core::event::Event;
 use pool_core::failure::FailureReport;
@@ -24,91 +30,125 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let nodes = 600usize;
-    let events = 1200usize;
-    let mut seed = 2026u64;
-    let (topology, field) = loop {
-        let dep = Deployment::paper_setting(nodes, 40.0, 20.0, seed).unwrap();
-        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
-        if topo.is_connected() {
-            break (topo, dep.field());
+    let opts = BenchOpts::from_env();
+    let nodes = arg_usize("--nodes", opts.nodes(600));
+    let events = opts.scale(1200, 300);
+    let rounds = opts.scale(5, 2);
+
+    let mut results = run_trials(opts.jobs, vec![()], |_, ()| {
+        let mut seed = 2026u64;
+        let (topology, field) = loop {
+            let dep = Deployment::paper_setting(nodes, 40.0, 20.0, seed).unwrap();
+            let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+            if topo.is_connected() {
+                break (topo, dep.field());
+            }
+            seed += 0x1000;
+        };
+
+        let mut dim = DimSystem::build(topology.clone(), field, 3).unwrap();
+        let mut plain =
+            PoolSystem::build(topology.clone(), field, PoolConfig::paper().with_seed(seed))
+                .unwrap();
+        let mut replicated = PoolSystem::build(
+            topology.clone(),
+            field,
+            PoolConfig::paper().with_seed(seed).with_replication(),
+        )
+        .unwrap();
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+        for i in 0..events {
+            let event: Event = generator.generate(&mut rng);
+            let src = NodeId((i % nodes) as u32);
+            dim.insert_from(src, event.clone()).unwrap();
+            plain.insert_from(src, event.clone()).unwrap();
+            replicated.insert_from(src, event).unwrap();
         }
-        seed += 0x1000;
-    };
 
-    let mut dim = DimSystem::build(topology.clone(), field, 3).unwrap();
-    let mut plain =
-        PoolSystem::build(topology.clone(), field, PoolConfig::paper().with_seed(seed)).unwrap();
-    let mut replicated = PoolSystem::build(
-        topology.clone(),
-        field,
-        PoolConfig::paper().with_seed(seed).with_replication(),
-    )
-    .unwrap();
+        let full = RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let mut dead_total = 0usize;
+        let mut campaign = FailureReport::default();
+        let mut rows = Vec::new();
+        for round in 1..=rounds {
+            // Fail 2% of the surviving population, avoiding a network
+            // split.
+            let victims: Vec<NodeId> = {
+                let alive: Vec<NodeId> = plain
+                    .topology()
+                    .nodes()
+                    .iter()
+                    .filter(|n| plain.topology().is_alive(n.id))
+                    .map(|n| n.id)
+                    .collect();
+                let count = (alive.len() / 50).max(1);
+                let mut picked = Vec::new();
+                let mut tries = 0;
+                while picked.len() < count && tries < 1000 {
+                    tries += 1;
+                    let candidate = alive[rng.gen_range(0..alive.len())];
+                    if !picked.contains(&candidate)
+                        && plain
+                            .topology()
+                            .without_nodes(&[&picked[..], &[candidate]].concat())
+                            .is_connected()
+                    {
+                        picked.push(candidate);
+                    }
+                }
+                picked
+            };
+            dead_total += victims.len();
 
-    let mut rng = StdRng::seed_from_u64(1);
-    let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
-    for i in 0..events {
-        let event: Event = generator.generate(&mut rng);
-        let src = NodeId((i % nodes) as u32);
-        dim.insert_from(src, event.clone()).unwrap();
-        plain.insert_from(src, event.clone()).unwrap();
-        replicated.insert_from(src, event).unwrap();
-    }
+            dim.fail_nodes(&victims).unwrap();
+            plain.fail_nodes(&victims).unwrap();
+            let report = replicated.fail_nodes(&victims).unwrap();
+            campaign = campaign.merge(&report);
 
-    print_header(
-        &format!("Failure resilience ({nodes} nodes, {events} events, 5 rounds of 2% failures)"),
-        &["round", "dead_total", "dim_alive", "pool_alive", "pool_repl_alive", "repl_repair_msgs"],
-    );
-    let full = RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
-    let mut dead_total = 0usize;
-    let mut campaign = FailureReport::default();
-    for round in 1..=5 {
-        // Fail 2% of the surviving population, avoiding a network split.
-        let victims: Vec<NodeId> = {
-            let alive: Vec<NodeId> = plain
+            let sink = plain
                 .topology()
                 .nodes()
                 .iter()
-                .filter(|n| plain.topology().is_alive(n.id))
-                .map(|n| n.id)
-                .collect();
-            let count = (alive.len() / 50).max(1);
-            let mut picked = Vec::new();
-            let mut tries = 0;
-            while picked.len() < count && tries < 1000 {
-                tries += 1;
-                let candidate = alive[rng.gen_range(0..alive.len())];
-                if !picked.contains(&candidate)
-                    && plain
-                        .topology()
-                        .without_nodes(&[&picked[..], &[candidate]].concat())
-                        .is_connected()
-                {
-                    picked.push(candidate);
-                }
-            }
-            picked
-        };
-        dead_total += victims.len();
+                .find(|n| plain.topology().is_alive(n.id))
+                .unwrap()
+                .id;
+            let dim_alive = dim.query_from(sink, &full).unwrap().events.len();
+            let pool_alive = plain.query_from(sink, &full).unwrap().events.len();
+            let repl_alive = replicated.query_from(sink, &full).unwrap().events.len();
+            assert_eq!(dim_alive, dim.stored_events());
+            assert_eq!(pool_alive, plain.store().len());
+            assert_eq!(repl_alive, replicated.store().len());
+            rows.push((
+                round,
+                dead_total,
+                dim_alive,
+                pool_alive,
+                repl_alive,
+                report.repair_messages,
+            ));
+        }
+        (rows, campaign)
+    });
+    let (rows, campaign) = results.pop().expect("one trial");
 
-        dim.fail_nodes(&victims).unwrap();
-        plain.fail_nodes(&victims).unwrap();
-        let report = replicated.fail_nodes(&victims).unwrap();
-        campaign = campaign.merge(&report);
-
-        let sink =
-            plain.topology().nodes().iter().find(|n| plain.topology().is_alive(n.id)).unwrap().id;
-        let dim_alive = dim.query_from(sink, &full).unwrap().events.len();
-        let pool_alive = plain.query_from(sink, &full).unwrap().events.len();
-        let repl_alive = replicated.query_from(sink, &full).unwrap().events.len();
-        assert_eq!(dim_alive, dim.stored_events());
-        assert_eq!(pool_alive, plain.store().len());
-        assert_eq!(repl_alive, replicated.store().len());
-        println!(
-            "{round}\t{dead_total}\t{dim_alive}\t{pool_alive}\t{repl_alive}\t{}",
-            report.repair_messages
-        );
+    let mut table = pool_bench::Table::new(
+        "Failure resilience (rounds of 2% failures)",
+        &["round", "dead_total", "dim_alive", "pool_alive", "pool_repl_alive", "repl_repair_msgs"],
+    );
+    table.meta("nodes", nodes);
+    table.meta("events", events);
+    table.meta("rounds", rounds);
+    for (round, dead_total, dim_alive, pool_alive, repl_alive, repair) in &rows {
+        table.row(vec![
+            (*round).into(),
+            (*dead_total).into(),
+            (*dim_alive).into(),
+            (*pool_alive).into(),
+            (*repl_alive).into(),
+            (*repair).into(),
+        ]);
     }
+    opts.emit("failure", &table);
     println!("\ncampaign (replicated Pool): {campaign}");
 }

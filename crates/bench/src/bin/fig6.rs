@@ -1,159 +1,23 @@
 //! Figure 6: exact-match query cost vs network size, for the uniform and
-//! exponential range-size distributions.
+//! exponential range-size distributions, plus the routing-substrate
+//! ablation. Thin wrapper over [`pool_bench::figures::fig6`].
 //!
-//! Regenerates both panels:
-//! * 6(a) — uniform range sizes: costs are high; DIM grows with network
-//!   size while Pool stays nearly flat.
-//! * 6(b) — exponential range sizes: both much cheaper, same ordering.
-//!
-//! Also runs the routing-substrate ablation: the same repeated-query
-//! workload over plain GPSR and over the memoizing route cache, asserting
-//! identical message totals and recording wall-clock times, written to
-//! `BENCH_fig6.json`.
+//! Every measurement point is an independent trial on the parallel
+//! execution engine; the emitted `BENCH_fig6.json` is byte-identical for
+//! any `--jobs` value (wall-clock timings go to stdout only).
 //!
 //! Run: `cargo run -p pool-bench --bin fig6 --release
-//!       [-- --queries N --transport gpsr|cached]`
+//!       [-- --queries N --rounds N --ablation-nodes N
+//!           --transport gpsr|cached --jobs N --smoke]`
 
-use pool_bench::cli::{arg_transport, arg_usize};
-use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
-use pool_core::config::PoolConfig;
-use pool_netsim::node::NodeId;
-use pool_transport::TransportKind;
-use pool_workloads::events::EventDistribution;
-use pool_workloads::queries::RangeSizeDistribution;
-use std::time::Instant;
-
-/// One substrate's leg of the ablation: total messages and wall-clock time
-/// for `rounds` passes over the same fixed query set.
-struct AblationRun {
-    kind: TransportKind,
-    pool_messages: u64,
-    dim_messages: u64,
-    elapsed_secs: f64,
-}
-
-fn run_ablation(nodes: usize, queries: usize, rounds: usize) -> Vec<AblationRun> {
-    let scenario = Scenario::paper(nodes, 42 + nodes as u64);
-    let kinds = [TransportKind::Gpsr, TransportKind::Cached];
-    let mut pairs: Vec<SystemPair> = kinds
-        .iter()
-        .map(|&kind| {
-            let config = PoolConfig::paper().with_transport(kind);
-            SystemPair::build(&scenario, config, EventDistribution::Uniform)
-        })
-        .collect();
-    let dims = pairs[0].pool.config().dims;
-
-    // Fixed sinks and queries, replayed `rounds` times: the repeated-query
-    // workload where memoization pays off. Identical RNG streams across
-    // substrates guarantee identical workloads.
-    let query_kind = QueryKind::Exact(RangeSizeDistribution::Exponential { mean: 0.1 });
-    let sinks: Vec<NodeId> = (0..queries).map(|_| pairs[0].random_node()).collect();
-    let query_set: Vec<_> =
-        (0..queries).map(|_| query_kind.generate(pairs[0].rng(), dims)).collect();
-
-    // The timed replay drives the harness pair's DIM leg: its query cost is
-    // almost entirely routing, so it isolates the substrate's contribution.
-    // (Pool's query time is dominated by Theorem 3.2 cell resolution, which
-    // no routing substrate can touch.) Message totals for both systems are
-    // still recorded and must match across substrates.
-    let replay = |pair: &mut SystemPair| {
-        for (sink, query) in sinks.iter().zip(&query_set) {
-            pair.dim.query_from(*sink, query).expect("dim query");
-        }
-    };
-
-    // One untimed pass reaches steady state (primes the route memo for the
-    // cached substrate); the timed trials interleave the substrates so CPU
-    // frequency drift hits both equally, and each keeps its best trial.
-    let mut elapsed = [f64::INFINITY; 2];
-    for pair in pairs.iter_mut() {
-        // Warm-up also runs the Pool leg once, so both systems' query
-        // traffic participates in the cross-substrate totals check.
-        for (sink, query) in sinks.iter().zip(&query_set) {
-            pair.pool.query_from(*sink, query).expect("pool query");
-        }
-        replay(pair);
-    }
-    for _trial in 0..5 {
-        for (i, pair) in pairs.iter_mut().enumerate() {
-            let start = Instant::now();
-            for _ in 0..rounds {
-                replay(pair);
-            }
-            elapsed[i] = elapsed[i].min(start.elapsed().as_secs_f64());
-        }
-    }
-
-    kinds
-        .iter()
-        .zip(pairs.iter())
-        .zip(elapsed)
-        .map(|((&kind, pair), elapsed_secs)| AblationRun {
-            kind,
-            pool_messages: pair.pool.traffic().total_messages(),
-            dim_messages: pair.dim.traffic().total_messages(),
-            elapsed_secs,
-        })
-        .collect()
-}
-
-fn write_snapshot(nodes: usize, queries: usize, rounds: usize, runs: &[AblationRun]) {
-    let per_transport: Vec<String> = runs
-        .iter()
-        .map(|r| {
-            format!(
-                "    \"{}\": {{\"pool_messages\": {}, \"dim_messages\": {}, \"elapsed_secs\": {:.4}}}",
-                r.kind, r.pool_messages, r.dim_messages, r.elapsed_secs
-            )
-        })
-        .collect();
-    let speedup = runs[0].elapsed_secs / runs[1].elapsed_secs;
-    let identical = runs[0].pool_messages == runs[1].pool_messages
-        && runs[0].dim_messages == runs[1].dim_messages;
-    let json = format!
-(
-        "{{\n  \"figure\": \"fig6 transport ablation (DIM leg, repeated queries)\",\n  \"nodes\": {nodes},\n  \"queries\": {queries},\n  \"rounds\": {rounds},\n  \"transports\": {{\n{}\n  }},\n  \"cached_speedup\": {speedup:.2},\n  \"identical_message_totals\": {identical}\n}}\n",
-        per_transport.join(",\n")
-    );
-    std::fs::write("BENCH_fig6.json", &json).expect("write BENCH_fig6.json");
-    println!("\n# Routing-substrate ablation ({nodes} nodes, {queries} queries x {rounds} rounds)");
-    print!("{json}");
-    assert!(identical, "substrates disagree on message totals");
-}
+use pool_bench::figures::fig6;
 
 fn main() {
-    let queries = arg_usize("--queries", 100);
-    let transport = arg_transport("--transport", TransportKind::Gpsr);
-    let sizes = [300usize, 600, 900, 1200];
-    for (panel, dist, label) in [
-        ('a', RangeSizeDistribution::Uniform, "uniform"),
-        ('b', RangeSizeDistribution::Exponential { mean: 0.1 }, "exponential"),
-    ] {
-        print_header(
-            &format!(
-                "Figure 6({panel}): exact-match query cost, {label} range sizes [{transport}]"
-            ),
-            &["nodes", "pool_msgs", "dim_msgs", "dim/pool", "pool_cells", "dim_zones"],
-        );
-        for &n in &sizes {
-            let scenario = Scenario::paper(n, 42 + n as u64);
-            let config = PoolConfig::paper().with_transport(transport);
-            let mut pair = SystemPair::build(&scenario, config, EventDistribution::Uniform);
-            let m = measure(&mut pair, QueryKind::Exact(dist), queries);
-            println!(
-                "{n}\t{:.1}\t{:.1}\t{:.2}\t{:.1}\t{:.1}",
-                m.pool.mean,
-                m.dim.mean,
-                m.dim_over_pool(),
-                m.pool_cells,
-                m.dim_zones
-            );
-        }
+    let params = fig6::Params::from_env();
+    let report = fig6::collect(&params);
+    params.opts.emit("fig6", &report.table);
+    println!();
+    for line in &report.timing_lines {
+        println!("{line}");
     }
-
-    let rounds = arg_usize("--rounds", 20);
-    let ablation_nodes = arg_usize("--ablation-nodes", 1200);
-    let runs = run_ablation(ablation_nodes, queries, rounds);
-    write_snapshot(ablation_nodes, queries, rounds, &runs);
 }

@@ -7,49 +7,56 @@
 //!   *which* dimension is unspecified (worst when it is the first, the top
 //!   of its k-d split order); Pool is flat.
 //!
-//! Run: `cargo run -p pool-bench --bin fig7 --release [-- --queries N --nodes N]`
+//! Each workload is an independent trial on the execution engine with its
+//! own derived seed (`derive_seed(4242, i)`) — the serial binary used to
+//! thread one deployment and one RNG through all five measurements, which
+//! coupled every point to its predecessors and made the sweep
+//! unschedulable. Emits `BENCH_fig7.json`.
+//!
+//! Run: `cargo run -p pool-bench --bin fig7 --release
+//!       [-- --queries N --nodes N --jobs N --smoke]`
 
-use pool_bench::cli::arg_usize;
-use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
+use pool_bench::cli::{arg_usize, BenchOpts};
+use pool_bench::exec::{derive_seed, run_trials};
+use pool_bench::harness::{measure, QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_workloads::events::EventDistribution;
 
 fn main() {
-    let queries = arg_usize("--queries", 100);
-    let nodes = arg_usize("--nodes", 900);
-    let scenario = Scenario::paper(nodes, 4242);
-    let mut pair = SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
+    let opts = BenchOpts::from_env();
+    let queries = arg_usize("--queries", opts.queries(100));
+    let nodes = arg_usize("--nodes", opts.nodes(900));
 
-    print_header(
-        &format!("Figure 7(a): partial-match cost by number of unspecified dims ({nodes} nodes)"),
-        &["workload", "pool_msgs", "dim_msgs", "dim/pool", "pool_cells", "dim_zones"],
-    );
-    for m in [1usize, 2] {
-        let meas = measure(&mut pair, QueryKind::MPartial(m), queries);
-        println!(
-            "{m}-partial\t{:.1}\t{:.1}\t{:.2}\t{:.1}\t{:.1}",
-            meas.pool.mean,
-            meas.dim.mean,
-            meas.dim_over_pool(),
-            meas.pool_cells,
-            meas.dim_zones
-        );
-    }
+    let workloads: Vec<(&str, &str, QueryKind)> = vec![
+        ("7a", "1-partial", QueryKind::MPartial(1)),
+        ("7a", "2-partial", QueryKind::MPartial(2)),
+        ("7b", "1@1-partial", QueryKind::OneAtN(0)),
+        ("7b", "1@2-partial", QueryKind::OneAtN(1)),
+        ("7b", "1@3-partial", QueryKind::OneAtN(2)),
+    ];
+    let results = run_trials(opts.jobs, workloads, |i, (panel, label, kind)| {
+        let scenario = Scenario::paper(nodes, derive_seed(4242, i as u64));
+        let mut pair =
+            SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
+        (panel, label, measure(&mut pair, kind, queries))
+    });
 
-    print_header(
-        &format!("Figure 7(b): 1@n-partial match cost by unspecified dimension ({nodes} nodes)"),
-        &["workload", "pool_msgs", "dim_msgs", "dim/pool", "pool_cells", "dim_zones"],
+    let mut table = pool_bench::Table::new(
+        "Figure 7: partial-match query cost by workload",
+        &["panel", "workload", "pool_msgs", "dim_msgs", "dim_over_pool", "pool_cells", "dim_zones"],
     );
-    for n in 0..3usize {
-        let meas = measure(&mut pair, QueryKind::OneAtN(n), queries);
-        println!(
-            "1@{}-partial\t{:.1}\t{:.1}\t{:.2}\t{:.1}\t{:.1}",
-            n + 1,
-            meas.pool.mean,
-            meas.dim.mean,
-            meas.dim_over_pool(),
-            meas.pool_cells,
-            meas.dim_zones
-        );
+    table.meta("nodes", nodes);
+    table.meta("queries", queries);
+    for (panel, label, m) in &results {
+        table.row(vec![
+            (*panel).into(),
+            (*label).into(),
+            m.pool.mean.into(),
+            m.dim.mean.into(),
+            m.dim_over_pool().into(),
+            m.pool_cells.into(),
+            m.dim_zones.into(),
+        ]);
     }
+    opts.emit("fig7", &table);
 }

@@ -4,11 +4,17 @@
 //! sensor energy more efficiently than by unicasting ... individually" and
 //! that aggregation "significantly reduces" reply traffic. This experiment
 //! compares Pool's reply cost with aggregation on and off as result-set
-//! sizes grow.
+//! sizes grow. Each range size is an independent trial with its own pair
+//! of deployments and a derived query seed (`derive_seed(31_337, i)`) —
+//! the serial binary threaded one RNG across all sizes. Emits
+//! `BENCH_forwarding.json`.
 //!
-//! Run: `cargo run -p pool-bench --bin forwarding_ablation --release`
+//! Run: `cargo run -p pool-bench --bin forwarding_ablation --release
+//!       [-- --nodes N --jobs N --smoke]`
 
-use pool_bench::harness::{print_header, Scenario};
+use pool_bench::cli::{arg_usize, BenchOpts};
+use pool_bench::exec::{derive_seed, run_trials};
+use pool_bench::harness::Scenario;
 use pool_core::config::PoolConfig;
 use pool_core::query::RangeQuery;
 use pool_core::system::PoolSystem;
@@ -20,46 +26,45 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let nodes = 600usize;
+    let opts = BenchOpts::from_env();
+    let nodes = arg_usize("--nodes", opts.nodes(600));
+    let trials_per_size = opts.scale(25, 5);
+    let sizes: Vec<f64> =
+        if opts.smoke { vec![0.1, 0.4] } else { vec![0.05, 0.1, 0.2, 0.4, 0.6, 0.8] };
     let scenario = Scenario::paper(nodes, 31337);
-    let mut seed = scenario.seed;
-    let (topology, field) = loop {
-        let dep = Deployment::paper_setting(nodes, 40.0, 20.0, seed).unwrap();
-        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
-        if topo.is_connected() {
-            break (topo, dep.field());
-        }
-        seed += 0x1000;
-    };
 
-    let build = |aggregate: bool| -> PoolSystem {
-        let mut config = PoolConfig::paper().with_seed(scenario.seed);
-        if !aggregate {
-            config = config.without_reply_aggregation();
-        }
-        let mut pool = PoolSystem::build(topology.clone(), field, config).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
-        for i in 0..(nodes * 3) {
-            let event = generator.generate(&mut rng);
-            pool.insert_from(NodeId((i % nodes) as u32), event).unwrap();
-        }
-        pool
-    };
-    let mut with_agg = build(true);
-    let mut without_agg = build(false);
+    let results = run_trials(opts.jobs, sizes, |trial_index, size| {
+        let mut seed = scenario.seed;
+        let (topology, field) = loop {
+            let dep = Deployment::paper_setting(nodes, 40.0, 20.0, seed).unwrap();
+            let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+            if topo.is_connected() {
+                break (topo, dep.field());
+            }
+            seed += 0x1000;
+        };
+        let build = |aggregate: bool| -> PoolSystem {
+            let mut config = PoolConfig::paper().with_seed(scenario.seed);
+            if !aggregate {
+                config = config.without_reply_aggregation();
+            }
+            let mut pool = PoolSystem::build(topology.clone(), field, config).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+            for i in 0..(nodes * 3) {
+                let event = generator.generate(&mut rng);
+                pool.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+            }
+            pool
+        };
+        let mut with_agg = build(true);
+        let mut without_agg = build(false);
 
-    print_header(
-        &format!("Reply aggregation ablation ({nodes} nodes, growing query selectivity)"),
-        &["range_size", "matches", "reply_aggregated", "reply_unaggregated", "ratio"],
-    );
-    let mut rng = StdRng::seed_from_u64(2);
-    for size in [0.05f64, 0.1, 0.2, 0.4, 0.6, 0.8] {
+        let mut rng = StdRng::seed_from_u64(derive_seed(31_337, trial_index as u64));
         let mut agg_total = 0u64;
         let mut raw_total = 0u64;
         let mut matches = 0usize;
-        let trials = 25;
-        for _ in 0..trials {
+        for _ in 0..trials_per_size {
             let bounds = (0..3)
                 .map(|_| {
                     let lo = rng.gen_range(0.0..=(1.0 - size));
@@ -75,12 +80,23 @@ fn main() {
             agg_total += a.cost.reply_messages;
             raw_total += b.cost.reply_messages;
         }
-        println!(
-            "{size:.2}\t{:.1}\t{:.1}\t{:.1}\t{:.2}",
-            matches as f64 / trials as f64,
-            agg_total as f64 / trials as f64,
-            raw_total as f64 / trials as f64,
-            raw_total as f64 / agg_total.max(1) as f64
-        );
+        (size, matches, agg_total, raw_total)
+    });
+
+    let mut table = pool_bench::Table::new(
+        "Reply aggregation ablation (growing query selectivity)",
+        &["range_size", "matches", "reply_aggregated", "reply_unaggregated", "ratio"],
+    );
+    table.meta("nodes", nodes);
+    table.meta("trials", trials_per_size);
+    for (size, matches, agg_total, raw_total) in &results {
+        table.row(vec![
+            (*size).into(),
+            (*matches as f64 / trials_per_size as f64).into(),
+            (*agg_total as f64 / trials_per_size as f64).into(),
+            (*raw_total as f64 / trials_per_size as f64).into(),
+            (*raw_total as f64 / (*agg_total).max(1) as f64).into(),
+        ]);
     }
+    opts.emit("forwarding", &table);
 }

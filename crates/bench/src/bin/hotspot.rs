@@ -4,11 +4,16 @@
 //! can share load with its neighbors. This experiment drives a heavily
 //! skewed event stream into (a) DIM, (b) Pool without sharing, and
 //! (c) Pool with sharing at several capacities, then reports the maximum
-//! per-node storage load — the hotspot indicator.
+//! per-node storage load — the hotspot indicator. Each system/capacity is
+//! an independent trial over the same (seed-pinned) deployment and event
+//! stream. Emits `BENCH_hotspot.json`.
 //!
-//! Run: `cargo run -p pool-bench --bin hotspot --release`
+//! Run: `cargo run -p pool-bench --bin hotspot --release
+//!       [-- --nodes N --jobs N --smoke]`
 
-use pool_bench::harness::{print_header, Scenario};
+use pool_bench::cli::{arg_usize, BenchOpts};
+use pool_bench::exec::run_trials;
+use pool_bench::harness::Scenario;
 use pool_core::config::{PoolConfig, SharingPolicy};
 use pool_core::system::PoolSystem;
 use pool_dim::system::DimSystem;
@@ -19,61 +24,91 @@ use pool_workloads::events::{EventDistribution, EventGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// One deployment under the skewed stream: which system, and with what
+/// sharing capacity (Pool only).
+#[derive(Clone, Copy)]
+enum Subject {
+    Dim,
+    Pool(Option<usize>),
+}
+
 fn main() {
-    let nodes = 600usize;
-    let events = 1200usize;
+    let opts = BenchOpts::from_env();
+    let nodes = arg_usize("--nodes", opts.nodes(600));
+    let events = opts.scale(1200, 300);
     let scenario = Scenario::paper(nodes, 999);
-    let mut seed = scenario.seed;
-    let (topology, field) = loop {
-        let dep = Deployment::paper_setting(nodes, 40.0, 20.0, seed).unwrap();
-        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
-        if topo.is_connected() {
-            break (topo, dep.field());
-        }
-        seed += 0x1000;
-    };
     let skew = EventDistribution::Hotspot { center: vec![0.85, 0.1, 0.1], std_dev: 0.02 };
 
-    // DIM baseline under skew.
-    let mut dim = DimSystem::build(topology.clone(), field, 3).unwrap();
-    let mut rng = StdRng::seed_from_u64(7);
-    let mut generator = EventGenerator::new(3, skew.clone());
-    for i in 0..events {
-        let event = generator.generate(&mut rng);
-        dim.insert_from(NodeId((i % nodes) as u32), event).unwrap();
-    }
-
-    print_header(
-        &format!("Hotspot under skewed events ({events} events, {nodes} nodes)"),
-        &["system", "max_node_load", "loaded_nodes", "insert_msgs_per_event"],
-    );
-    println!(
-        "dim\t{}\t-\t{:.2}",
-        dim.max_owner_load(),
-        dim.traffic().total_messages() as f64 / events as f64
-    );
-
-    for capacity in [None, Some(200), Some(50), Some(10)] {
-        let mut config = PoolConfig::paper().with_seed(scenario.seed);
-        if let Some(c) = capacity {
-            config = config.with_sharing(SharingPolicy::new(c));
-        }
-        let mut pool = PoolSystem::build(topology.clone(), field, config).unwrap();
+    let subjects = vec![
+        Subject::Dim,
+        Subject::Pool(None),
+        Subject::Pool(Some(200)),
+        Subject::Pool(Some(50)),
+        Subject::Pool(Some(10)),
+    ];
+    let results = run_trials(opts.jobs, subjects, |_, subject| {
+        let mut seed = scenario.seed;
+        let (topology, field) = loop {
+            let dep = Deployment::paper_setting(nodes, 40.0, 20.0, seed).unwrap();
+            let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+            if topo.is_connected() {
+                break (topo, dep.field());
+            }
+            seed += 0x1000;
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let mut generator = EventGenerator::new(3, skew.clone());
-        for i in 0..events {
-            let event = generator.generate(&mut rng);
-            pool.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+        match subject {
+            Subject::Dim => {
+                let mut dim = DimSystem::build(topology, field, 3).unwrap();
+                for i in 0..events {
+                    let event = generator.generate(&mut rng);
+                    dim.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+                }
+                (
+                    "dim".to_string(),
+                    dim.max_owner_load() as u64,
+                    "-".to_string(),
+                    dim.traffic().total_messages() as f64 / events as f64,
+                )
+            }
+            Subject::Pool(capacity) => {
+                let mut config = PoolConfig::paper().with_seed(scenario.seed);
+                if let Some(c) = capacity {
+                    config = config.with_sharing(SharingPolicy::new(c));
+                }
+                let mut pool = PoolSystem::build(topology, field, config).unwrap();
+                for i in 0..events {
+                    let event = generator.generate(&mut rng);
+                    pool.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+                }
+                let label = match capacity {
+                    None => "pool (no sharing)".to_string(),
+                    Some(c) => format!("pool (capacity {c})"),
+                };
+                (
+                    label,
+                    pool.store().max_node_load() as u64,
+                    pool.store().loaded_nodes().to_string(),
+                    pool.traffic().total_messages() as f64 / events as f64,
+                )
+            }
         }
-        let label = match capacity {
-            None => "pool (no sharing)".to_string(),
-            Some(c) => format!("pool (capacity {c})"),
-        };
-        println!(
-            "{label}\t{}\t{}\t{:.2}",
-            pool.store().max_node_load(),
-            pool.store().loaded_nodes(),
-            pool.traffic().total_messages() as f64 / events as f64
-        );
+    });
+
+    let mut table = pool_bench::Table::new(
+        "Hotspot under skewed events",
+        &["system", "max_node_load", "loaded_nodes", "insert_msgs_per_event"],
+    );
+    table.meta("nodes", nodes);
+    table.meta("events", events);
+    for (label, max_load, loaded, per_event) in &results {
+        table.row(vec![
+            label.clone().into(),
+            (*max_load).into(),
+            loaded.clone().into(),
+            (*per_event).into(),
+        ]);
     }
+    opts.emit("hotspot", &table);
 }

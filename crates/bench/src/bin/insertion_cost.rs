@@ -2,11 +2,17 @@
 //!
 //! The paper drops this plot because "the data insertion cost of both
 //! methods are conceptually the same" (both GPSR-route each event to one
-//! storage node). This binary verifies that claim empirically.
+//! storage node). This binary verifies that claim empirically; each
+//! network size is an independent trial on the execution engine (the
+//! serial seeds, `77 + nodes`, are unchanged). Emits
+//! `BENCH_insertion.json`.
 //!
-//! Run: `cargo run -p pool-bench --bin insertion_cost --release`
+//! Run: `cargo run -p pool-bench --bin insertion_cost --release
+//!       [-- --jobs N --smoke]`
 
-use pool_bench::harness::{print_header, Scenario};
+use pool_bench::cli::BenchOpts;
+use pool_bench::exec::run_trials;
+use pool_bench::harness::Scenario;
 use pool_core::config::PoolConfig;
 use pool_core::system::PoolSystem;
 use pool_dim::system::DimSystem;
@@ -19,11 +25,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    print_header(
-        "Insertion cost (messages per event) vs network size",
-        &["nodes", "pool_mean", "dim_mean", "pool_p95", "dim_p95"],
-    );
-    for n in [300usize, 600, 900, 1200] {
+    let opts = BenchOpts::from_env();
+    let results = run_trials(opts.jobs, opts.network_sizes(), |_, n| {
         let scenario = Scenario::paper(n, 77 + n as u64);
         let mut seed = scenario.seed;
         let (topology, field) = loop {
@@ -55,8 +58,15 @@ fn main() {
                 dim_costs.push(d.messages as f64);
             }
         }
-        let ps = Summary::of(&pool_costs);
-        let ds = Summary::of(&dim_costs);
-        println!("{n}\t{:.2}\t{:.2}\t{:.1}\t{:.1}", ps.mean, ds.mean, ps.p95, ds.p95);
+        (n, Summary::of(&pool_costs), Summary::of(&dim_costs))
+    });
+
+    let mut table = pool_bench::Table::new(
+        "Insertion cost (messages per event) vs network size",
+        &["nodes", "pool_mean", "dim_mean", "pool_p95", "dim_p95"],
+    );
+    for (n, ps, ds) in &results {
+        table.row(vec![(*n).into(), ps.mean.into(), ds.mean.into(), ps.p95.into(), ds.p95.into()]);
     }
+    opts.emit("insertion", &table);
 }

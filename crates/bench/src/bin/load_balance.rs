@@ -1,196 +1,14 @@
-//! Observability experiment: per-node load balance under a skewed workload.
-//!
-//! The paper argues (§5) that Pool spreads both storage and traffic more
-//! evenly than DIM once the event distribution is skewed: hot cells hand
-//! overflow to delegation chains (§4.2) instead of piling everything on one
-//! zone owner. This experiment runs both systems over the *same* hotspot
-//! workload and reads each system's [`pool_transport::LoadReport`]:
-//!
-//! * max / mean / Gini over per-node **message** load (all layers),
-//! * max / mean / Gini over per-node **storage** load (events held),
-//! * Reply-layer traffic relayed by Pool **delegation-chain members** —
-//!   nonzero only because chain replies are actually routed hop-by-hop and
-//!   ledgered on the relaying delegates (not priced as a phantom constant).
-//!
-//! Two link regimes (ideal and harsh) show that the picture survives a
-//! lossy radio. The table is written to `BENCH_load.json`.
+//! Observability experiment: per-node load balance under a skewed
+//! workload. Thin wrapper over [`pool_bench::figures::load_balance`];
+//! see that module for the experiment design and regression guards.
 //!
 //! Run: `cargo run -p pool-bench --bin load_balance --release
-//!       [-- --queries N --nodes N]`
+//!       [-- --queries N --nodes N --jobs N --smoke]`
 
-use pool_bench::cli::arg_usize;
-use pool_bench::harness::{print_header, QueryKind, Scenario, SystemPair};
-use pool_core::config::{PoolConfig, SharingPolicy};
-use pool_core::query::RangeQuery;
-use pool_netsim::radio::PrrModel;
-use pool_transport::{LinkQuality, LoadDistribution, LossyConfig, NodeRole, TrafficLayer};
-use pool_workloads::events::EventDistribution;
-use pool_workloads::queries::RangeSizeDistribution;
-
-/// The hotspot: most readings cluster here, so one α-cell's index node
-/// overflows its sharing capacity and grows a delegation chain.
-const HOTSPOT: [f64; 3] = [0.85, 0.15, 0.5];
-
-/// How one system's load spread out under one link regime.
-struct SystemStats {
-    messages: LoadDistribution,
-    storage: LoadDistribution,
-    reply: LoadDistribution,
-    delegate_reply_messages: u64,
-    hottest_node: u32,
-    hottest_messages: u64,
-    retransmit_messages: u64,
-}
-
-impl SystemStats {
-    fn json(&self) -> String {
-        format!(
-            "{{\"messages\": {}, \"storage\": {}, \"reply\": {}, \
-             \"delegate_reply_messages\": {}, \
-             \"hottest_node\": {{\"id\": {}, \"messages\": {}}}, \
-             \"retransmit_messages\": {}}}",
-            self.messages.json(),
-            self.storage.json(),
-            self.reply.json(),
-            self.delegate_reply_messages,
-            self.hottest_node,
-            self.hottest_messages,
-            self.retransmit_messages,
-        )
-    }
-}
-
-struct LevelResult {
-    label: &'static str,
-    pool: SystemStats,
-    dim: SystemStats,
-}
-
-fn run_level(
-    scenario: &Scenario,
-    quality: LinkQuality,
-    queries: usize,
-    label: &'static str,
-) -> LevelResult {
-    let lossy = LossyConfig { quality, ..LossyConfig::fixed(1.0, scenario.seed ^ 0x70AD) };
-    let config = PoolConfig::paper().with_sharing(SharingPolicy::new(25)).with_lossy(lossy);
-    let events = EventDistribution::Hotspot { center: HOTSPOT.to_vec(), std_dev: 0.04 };
-    let mut pair = SystemPair::build(scenario, config, events);
-
-    // Query phase: a mix of random exact-match ranges (the §5 workload) and
-    // queries aimed at the hotspot itself — the latter are what walk the
-    // delegation chains and generate Delegate-relayed Reply traffic.
-    let dims = pair.pool.config().dims;
-    let kind = QueryKind::Exact(RangeSizeDistribution::Exponential { mean: 0.1 });
-    let hot_query =
-        RangeQuery::exact(HOTSPOT.iter().map(|&c| (c - 0.06, c + 0.06)).collect::<Vec<_>>())
-            .expect("hotspot query");
-    for i in 0..queries {
-        let sink = pair.random_node();
-        let query = if i % 3 == 0 { hot_query.clone() } else { kind.generate(pair.rng(), dims) };
-        pair.pool.query_from(sink, &query).expect("pool query");
-        pair.dim.query_from(sink, &query).expect("dim query");
-    }
-
-    let stats = |report: &pool_transport::LoadReport, retransmit: u64| {
-        let hottest = report.hottest(1);
-        let (hottest_node, hottest_messages) =
-            hottest.first().map(|n| (n.node.0, n.messages)).unwrap_or((0, 0));
-        SystemStats {
-            messages: report.message_distribution(),
-            storage: report.storage_distribution(),
-            reply: report.layer_distribution(TrafficLayer::Reply),
-            delegate_reply_messages: report
-                .role_layer_total(NodeRole::Delegate, TrafficLayer::Reply),
-            hottest_node,
-            hottest_messages,
-            retransmit_messages: retransmit,
-        }
-    };
-    let pool =
-        stats(&pair.pool.load_report(), pair.pool.ledger().layer_total(TrafficLayer::Retransmit));
-    let dim =
-        stats(&pair.dim.load_report(), pair.dim.ledger().layer_total(TrafficLayer::Retransmit));
-    LevelResult { label, pool, dim }
-}
-
-fn write_snapshot(nodes: usize, queries: usize, levels: &[LevelResult]) {
-    let per_level: Vec<String> = levels
-        .iter()
-        .map(|l| {
-            format!(
-                "    \"{}\": {{\n      \"pool\": {},\n      \"dim\": {}\n    }}",
-                l.label,
-                l.pool.json(),
-                l.dim.json()
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"figure\": \"per-node load balance under a hotspot workload\",\n  \"nodes\": {nodes},\n  \"queries\": {queries},\n  \"levels\": {{\n{}\n  }}\n}}\n",
-        per_level.join(",\n")
-    );
-    std::fs::write("BENCH_load.json", &json).expect("write BENCH_load.json");
-    print!("\n{json}");
-}
+use pool_bench::figures::load_balance;
 
 fn main() {
-    let queries = arg_usize("--queries", 45).max(1);
-    let nodes = arg_usize("--nodes", 600);
-    let scenario = Scenario::paper(nodes, 91_000);
-
-    print_header(
-        &format!("Per-node load balance ({nodes} nodes, hotspot events, sharing capacity 25)"),
-        &[
-            "radio",
-            "system",
-            "msg_max",
-            "msg_gini",
-            "store_max",
-            "store_gini",
-            "delegate_reply",
-            "rtx",
-        ],
-    );
-    let levels = [
-        ("ideal (prr = 1)", LinkQuality::Fixed(1.0)),
-        ("harsh loss (15/42 m)", LinkQuality::Model(PrrModel::new(15.0, 42.0))),
-    ];
-    let mut results = Vec::new();
-    for (label, quality) in levels {
-        let r = run_level(&scenario, quality, queries, label);
-        for (system, s) in [("pool", &r.pool), ("dim", &r.dim)] {
-            println!(
-                "{label}\t{system}\t{:.0}\t{:.3}\t{:.0}\t{:.3}\t{}\t{}",
-                s.messages.max,
-                s.messages.gini,
-                s.storage.max,
-                s.storage.gini,
-                s.delegate_reply_messages,
-                s.retransmit_messages,
-            );
-        }
-        results.push(r);
-    }
-    write_snapshot(nodes, queries, &results);
-
-    // Regression guards. Ideal radio: no ARQ traffic, and the delegation
-    // chains *must* show up as Reply-layer load on the delegates — this is
-    // the observable form of the chain-reply fix (phantom costs never
-    // landed on any node's ledger row).
-    let ideal = &results[0];
-    assert_eq!(ideal.pool.retransmit_messages, 0, "ideal radio retransmitted (pool)");
-    assert_eq!(ideal.dim.retransmit_messages, 0, "ideal radio retransmitted (dim)");
-    assert!(
-        ideal.pool.delegate_reply_messages > 0,
-        "hotspot queries walked no delegation chain — chain replies are not being ledgered"
-    );
-    // The skew story itself: under a hotspot, Pool's sharing keeps storage
-    // strictly better balanced than DIM's zone ownership.
-    assert!(
-        ideal.pool.storage.max < ideal.dim.storage.max,
-        "pool sharing should cap per-node storage below DIM's hot zone owner ({} vs {})",
-        ideal.pool.storage.max,
-        ideal.dim.storage.max
-    );
+    let params = load_balance::Params::from_env();
+    let table = load_balance::collect(&params);
+    params.opts.emit("load", &table);
 }

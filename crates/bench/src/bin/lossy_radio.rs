@@ -11,16 +11,17 @@
 //! * **harsh** — perfect inside 15 m, dead past 42 m; many links sit deep
 //!   in the transitional region and deliveries start failing outright.
 //!
-//! For each regime and system the run records how much of the workload
-//! survived (insert delivery, end-to-end packet delivery, mean query
-//! completeness) and what the ARQ paid for it (retransmission overhead),
-//! then writes the table to `BENCH_lossy.json`.
+//! Each regime is an independent trial on the execution engine (it owns
+//! its deployment, link RNG, ledger, and tracer), so the three levels run
+//! concurrently under `--jobs` and `BENCH_lossy.json` is byte-identical
+//! for any worker count.
 //!
 //! Run: `cargo run -p pool-bench --bin lossy_radio --release
-//!       [-- --queries N --nodes N]`
+//!       [-- --queries N --nodes N --jobs N --smoke]`
 
-use pool_bench::cli::arg_usize;
-use pool_bench::harness::{print_header, QueryKind, Scenario, SystemPair};
+use pool_bench::cli::{arg_usize, BenchOpts};
+use pool_bench::exec::run_trials;
+use pool_bench::harness::{QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_netsim::radio::PrrModel;
 use pool_transport::{LinkQuality, LossyConfig, TrafficLayer};
@@ -36,25 +37,6 @@ struct SystemStats {
     complete_queries: usize,
     mean_query_messages: f64,
     retransmit_messages: u64,
-}
-
-impl SystemStats {
-    fn json(&self, queries: usize) -> String {
-        format!(
-            "{{\"insert_delivery\": {:.4}, \"packet_delivery\": {:.4}, \
-             \"retransmission_overhead\": {:.4}, \"mean_completeness\": {:.4}, \
-             \"complete_queries\": \"{}/{}\", \"mean_query_messages\": {:.1}, \
-             \"retransmit_messages\": {}}}",
-            self.insert_delivery,
-            self.packet_delivery,
-            self.retransmission_overhead,
-            self.mean_completeness,
-            self.complete_queries,
-            queries,
-            self.mean_query_messages,
-            self.retransmit_messages,
-        )
-    }
 }
 
 struct LevelResult {
@@ -132,67 +114,54 @@ fn run_level(
     }
 }
 
-fn write_snapshot(nodes: usize, queries: usize, levels: &[LevelResult]) {
-    let per_level: Vec<String> = levels
-        .iter()
-        .map(|l| {
-            format!(
-                "    \"{}\": {{\n      \"pool\": {},\n      \"dim\": {}\n    }}",
-                l.label,
-                l.pool.json(queries),
-                l.dim.json(queries)
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"figure\": \"lossy radio: hop-by-hop ARQ, delivery and completeness\",\n  \"nodes\": {nodes},\n  \"queries\": {queries},\n  \"levels\": {{\n{}\n  }}\n}}\n",
-        per_level.join(",\n")
-    );
-    std::fs::write("BENCH_lossy.json", &json).expect("write BENCH_lossy.json");
-    print!("\n{json}");
-}
-
 fn main() {
-    // At least one query: the completeness means below divide by the count.
-    let queries = arg_usize("--queries", 60).max(1);
-    let nodes = arg_usize("--nodes", 600);
+    // At least one query: the completeness means divide by the count.
+    let opts = BenchOpts::from_env();
+    let queries = arg_usize("--queries", opts.queries(60)).max(1);
+    let nodes = arg_usize("--nodes", opts.nodes(600));
     let scenario = Scenario::paper(nodes, 90_000);
 
-    print_header(
-        &format!("Lossy-radio execution ({nodes} nodes, exponential exact-match)"),
-        &[
-            "radio",
-            "system",
-            "insert_ok",
-            "pkt_ok",
-            "rtx_overhead",
-            "completeness",
-            "complete",
-            "query_msgs",
-        ],
-    );
-    let levels = [
+    let levels: Vec<(&'static str, LinkQuality)> = vec![
         ("ideal (prr = 1)", LinkQuality::Fixed(1.0)),
         ("mild loss (30/45 m)", LinkQuality::Model(PrrModel::new(30.0, 45.0))),
         ("harsh loss (15/42 m)", LinkQuality::Model(PrrModel::new(15.0, 42.0))),
     ];
-    let mut results = Vec::new();
-    for (label, quality) in levels {
-        let r = run_level(&scenario, quality, queries, label);
-        for (system, s) in [("pool", &r.pool), ("dim", &r.dim)] {
-            println!(
-                "{label}\t{system}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}/{queries}\t{:.1}",
-                s.insert_delivery,
-                s.packet_delivery,
-                s.retransmission_overhead,
-                s.mean_completeness,
-                s.complete_queries,
-                s.mean_query_messages,
-            );
+    let results = run_trials(opts.jobs, levels, |_, (label, quality)| {
+        run_level(&scenario, quality, queries, label)
+    });
+
+    let mut table = pool_bench::Table::new(
+        "Lossy radio: hop-by-hop ARQ, delivery and completeness",
+        &[
+            "radio",
+            "system",
+            "insert_delivery",
+            "packet_delivery",
+            "rtx_overhead",
+            "mean_completeness",
+            "complete_queries",
+            "mean_query_msgs",
+            "rtx_messages",
+        ],
+    );
+    table.meta("nodes", nodes);
+    table.meta("queries", queries);
+    for level in &results {
+        for (system, s) in [("pool", &level.pool), ("dim", &level.dim)] {
+            table.row(vec![
+                level.label.into(),
+                system.into(),
+                s.insert_delivery.into(),
+                s.packet_delivery.into(),
+                s.retransmission_overhead.into(),
+                s.mean_completeness.into(),
+                s.complete_queries.into(),
+                s.mean_query_messages.into(),
+                s.retransmit_messages.into(),
+            ]);
         }
-        results.push(r);
     }
-    write_snapshot(nodes, queries, &results);
+    opts.emit("lossy", &table);
 
     // The ideal regime is the regression guard: a perfect link must be
     // indistinguishable from the loss-free seed.

@@ -4,11 +4,15 @@
 //! (a) re-issue the query every reporting interval, or (b) install a Pool
 //! continuous monitor (§6 extension) and receive per-event notifications.
 //! This experiment charges both strategies over the same insertion stream
-//! and locates the crossover in match rate.
+//! and locates the crossover in match rate. Each query width is an
+//! independent trial (the serial seeds — topology 808, streams 9 — are
+//! unchanged). Emits `BENCH_monitor.json`.
 //!
-//! Run: `cargo run -p pool-bench --bin monitor_cost --release`
+//! Run: `cargo run -p pool-bench --bin monitor_cost --release
+//!       [-- --nodes N --jobs N --smoke]`
 
-use pool_bench::harness::print_header;
+use pool_bench::cli::{arg_usize, BenchOpts};
+use pool_bench::exec::run_trials;
 use pool_core::config::PoolConfig;
 use pool_core::event::Event;
 use pool_core::query::RangeQuery;
@@ -20,24 +24,23 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let nodes = 600usize;
-    let mut seed = 808u64;
-    let (topology, field) = loop {
-        let dep = Deployment::paper_setting(nodes, 40.0, 20.0, seed).unwrap();
-        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
-        if topo.is_connected() {
-            break (topo, dep.field());
-        }
-        seed += 0x1000;
-    };
+    let opts = BenchOpts::from_env();
+    let nodes = arg_usize("--nodes", opts.nodes(600));
+    let insertions = opts.scale(500, 100);
+    let poll_every = opts.scale(50, 25);
+    let widths: Vec<f64> =
+        if opts.smoke { vec![0.05, 0.2] } else { vec![0.02, 0.05, 0.1, 0.2, 0.4] };
 
-    print_header(
-        &format!("Continuous monitor vs polling ({nodes} nodes, 500 insertions, poll every 50)"),
-        &["selectivity", "matches", "monitor_msgs", "polling_msgs", "poll/monitor"],
-    );
-
-    // Wider query ranges -> more matches -> more notifications.
-    for width in [0.02f64, 0.05, 0.1, 0.2, 0.4] {
+    let results = run_trials(opts.jobs, widths, |_, width| {
+        let mut seed = 808u64;
+        let (topology, field) = loop {
+            let dep = Deployment::paper_setting(nodes, 40.0, 20.0, seed).unwrap();
+            let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+            if topo.is_connected() {
+                break (topo, dep.field());
+            }
+            seed += 0x1000;
+        };
         let query =
             RangeQuery::from_bounds(vec![Some((0.5 - width / 2.0, 0.5 + width / 2.0)), None, None])
                 .unwrap();
@@ -51,30 +54,43 @@ fn main() {
         let mut monitor_msgs = install.cost.total();
         let mut matches = 0usize;
         let mut rng = StdRng::seed_from_u64(9);
-        for i in 0..500 {
+        for i in 0..insertions {
             let event = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
             let receipt = monitored.insert_from(NodeId((i % nodes) as u32), event).unwrap();
             matches += receipt.notifications.len();
             monitor_msgs += receipt.notifications.iter().map(|n| n.messages).sum::<u64>();
         }
 
-        // Strategy B: poll every 50 insertions (10 polls).
+        // Strategy B: poll every `poll_every` insertions.
         let mut polled =
-            PoolSystem::build(topology.clone(), field, PoolConfig::paper().with_seed(seed))
-                .unwrap();
+            PoolSystem::build(topology, field, PoolConfig::paper().with_seed(seed)).unwrap();
         let mut polling_msgs = 0u64;
         let mut rng = StdRng::seed_from_u64(9);
-        for i in 0..500 {
+        for i in 0..insertions {
             let event = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
             polled.insert_from(NodeId((i % nodes) as u32), event).unwrap();
-            if (i + 1) % 50 == 0 {
+            if (i + 1) % poll_every == 0 {
                 polling_msgs += polled.query_from(sink, &query).unwrap().cost.total();
             }
         }
+        (width, matches, monitor_msgs, polling_msgs)
+    });
 
-        println!(
-            "{width:.2}\t{matches}\t{monitor_msgs}\t{polling_msgs}\t{:.2}",
-            polling_msgs as f64 / monitor_msgs.max(1) as f64
-        );
+    let mut table = pool_bench::Table::new(
+        "Continuous monitor vs periodic polling",
+        &["selectivity", "matches", "monitor_msgs", "polling_msgs", "poll_over_monitor"],
+    );
+    table.meta("nodes", nodes);
+    table.meta("insertions", insertions);
+    table.meta("poll_every", poll_every);
+    for (width, matches, monitor_msgs, polling_msgs) in &results {
+        table.row(vec![
+            (*width).into(),
+            (*matches).into(),
+            (*monitor_msgs).into(),
+            (*polling_msgs).into(),
+            (*polling_msgs as f64 / (*monitor_msgs).max(1) as f64).into(),
+        ]);
     }
+    opts.emit("monitor", &table);
 }

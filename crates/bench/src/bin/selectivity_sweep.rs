@@ -5,33 +5,55 @@
 //! from highly selective to nearly the whole domain, exposing where each
 //! system's cost comes from and whether a crossover exists.
 //!
-//! Run: `cargo run -p pool-bench --bin selectivity_sweep --release`
+//! Each range size is an independent trial with a derived seed
+//! (`derive_seed(60_000, i)`) — the serial binary reused one deployment
+//! and one RNG across all sizes, coupling every point to its
+//! predecessors. Emits `BENCH_selectivity.json`.
+//!
+//! Run: `cargo run -p pool-bench --bin selectivity_sweep --release
+//!       [-- --queries N --nodes N --jobs N --smoke]`
 
-use pool_bench::cli::arg_usize;
-use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
+use pool_bench::cli::{arg_usize, BenchOpts};
+use pool_bench::exec::{derive_seed, run_trials};
+use pool_bench::harness::{measure, QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_workloads::events::EventDistribution;
 use pool_workloads::queries::RangeSizeDistribution;
 
 fn main() {
-    let queries = arg_usize("--queries", 50);
-    let nodes = arg_usize("--nodes", 900);
-    let scenario = Scenario::paper(nodes, 60_000);
-    let mut pair = SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
-    print_header(
-        &format!("Selectivity sweep ({nodes} nodes, constant range size per dimension)"),
-        &["range_size", "pool_msgs", "dim_msgs", "dim/pool", "pool_cells", "dim_zones"],
-    );
-    for size in [0.02f64, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
+    let opts = BenchOpts::from_env();
+    let queries = arg_usize("--queries", opts.queries(50));
+    let nodes = arg_usize("--nodes", opts.nodes(900));
+    let sizes: Vec<f64> = if opts.smoke {
+        vec![0.05, 0.2, 0.5]
+    } else {
+        vec![0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+    };
+
+    let results = run_trials(opts.jobs, sizes, |i, size| {
+        let scenario = Scenario::paper(nodes, derive_seed(60_000, i as u64));
+        let mut pair =
+            SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
         let m =
             measure(&mut pair, QueryKind::Exact(RangeSizeDistribution::Constant { size }), queries);
-        println!(
-            "{size:.2}\t{:.1}\t{:.1}\t{:.2}\t{:.1}\t{:.1}",
-            m.pool.mean,
-            m.dim.mean,
-            m.dim_over_pool(),
-            m.pool_cells,
-            m.dim_zones
-        );
+        (size, m)
+    });
+
+    let mut table = pool_bench::Table::new(
+        "Selectivity sweep (constant range size per dimension)",
+        &["range_size", "pool_msgs", "dim_msgs", "dim_over_pool", "pool_cells", "dim_zones"],
+    );
+    table.meta("nodes", nodes);
+    table.meta("queries", queries);
+    for (size, m) in &results {
+        table.row(vec![
+            (*size).into(),
+            m.pool.mean.into(),
+            m.dim.mean.into(),
+            m.dim_over_pool().into(),
+            m.pool_cells.into(),
+            m.dim_zones.into(),
+        ]);
     }
+    opts.emit("selectivity", &table);
 }

@@ -3,24 +3,28 @@
 //! α controls index-node granularity: smaller cells mean more index nodes
 //! per pool (finer spatial resolution, more fan-out legs), larger cells
 //! collapse several cells onto the same physical sensor (free intra-node
-//! hops but coarser placement). The paper fixes α = 5 m.
+//! hops but coarser placement). The paper fixes α = 5 m. Each α is an
+//! independent trial (serial seeds `11_000 + 10α` unchanged). Emits
+//! `BENCH_cell_size.json`.
 //!
-//! Run: `cargo run -p pool-bench --bin sweep_cell_size --release`
+//! Run: `cargo run -p pool-bench --bin sweep_cell_size --release
+//!       [-- --queries N --nodes N --jobs N --smoke]`
 
-use pool_bench::cli::arg_usize;
-use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
+use pool_bench::cli::{arg_usize, BenchOpts};
+use pool_bench::exec::run_trials;
+use pool_bench::harness::{measure, QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_workloads::events::EventDistribution;
 use pool_workloads::queries::RangeSizeDistribution;
 
 fn main() {
-    let queries = arg_usize("--queries", 50);
-    let nodes = arg_usize("--nodes", 600);
-    print_header(
-        &format!("Cell size sweep ({nodes} nodes, l = 10, exponential exact-match)"),
-        &["alpha_m", "pool_msgs", "pool_cells", "pool_msgs_1partial"],
-    );
-    for alpha in [2.5f64, 5.0, 7.5, 10.0, 15.0] {
+    let opts = BenchOpts::from_env();
+    let queries = arg_usize("--queries", opts.queries(50));
+    let nodes = arg_usize("--nodes", opts.nodes(600));
+    let alphas: Vec<f64> =
+        if opts.smoke { vec![5.0, 10.0] } else { vec![2.5, 5.0, 7.5, 10.0, 15.0] };
+
+    let results = run_trials(opts.jobs, alphas, |_, alpha| {
         let scenario = Scenario::paper(nodes, 11_000 + (alpha * 10.0) as u64);
         let config = PoolConfig::paper().with_alpha(alpha);
         let mut pair = SystemPair::build(&scenario, config, EventDistribution::Uniform);
@@ -30,9 +34,22 @@ fn main() {
             queries,
         );
         let partial = measure(&mut pair, QueryKind::MPartial(1), queries);
-        println!(
-            "{alpha:.1}\t{:.1}\t{:.1}\t{:.1}",
-            exact.pool.mean, exact.pool_cells, partial.pool.mean
-        );
+        (alpha, exact, partial)
+    });
+
+    let mut table = pool_bench::Table::new(
+        "Cell size sweep (l = 10, exponential exact-match)",
+        &["alpha_m", "pool_msgs", "pool_cells", "pool_msgs_1partial"],
+    );
+    table.meta("nodes", nodes);
+    table.meta("queries", queries);
+    for (alpha, exact, partial) in &results {
+        table.row(vec![
+            (*alpha).into(),
+            exact.pool.mean.into(),
+            exact.pool_cells.into(),
+            partial.pool.mean.into(),
+        ]);
     }
+    opts.emit("cell_size", &table);
 }

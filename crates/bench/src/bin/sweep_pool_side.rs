@@ -3,24 +3,27 @@
 //! The paper fixes `l = 10` without a sweep. Larger pools mean finer value
 //! partitioning (fewer false-positive cells per query) but more index
 //! nodes spread over a wider area (longer intra-pool fan-out); smaller
-//! pools are compact but coarse. This sweep locates the trade-off.
+//! pools are compact but coarse. This sweep locates the trade-off; each
+//! side length is an independent trial (serial seeds `5150 + l`
+//! unchanged). Emits `BENCH_pool_side.json`.
 //!
-//! Run: `cargo run -p pool-bench --bin sweep_pool_side --release`
+//! Run: `cargo run -p pool-bench --bin sweep_pool_side --release
+//!       [-- --queries N --nodes N --jobs N --smoke]`
 
-use pool_bench::cli::arg_usize;
-use pool_bench::harness::{measure, print_header, QueryKind, Scenario, SystemPair};
+use pool_bench::cli::{arg_usize, BenchOpts};
+use pool_bench::exec::run_trials;
+use pool_bench::harness::{measure, QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_workloads::events::EventDistribution;
 use pool_workloads::queries::RangeSizeDistribution;
 
 fn main() {
-    let queries = arg_usize("--queries", 60);
-    let nodes = arg_usize("--nodes", 900);
-    print_header(
-        &format!("Pool side length sweep ({nodes} nodes, exponential exact-match queries)"),
-        &["l", "pool_msgs", "pool_cells", "pool_msgs_1partial"],
-    );
-    for side in [4u32, 6, 8, 10, 14, 18] {
+    let opts = BenchOpts::from_env();
+    let queries = arg_usize("--queries", opts.queries(60));
+    let nodes = arg_usize("--nodes", opts.nodes(900));
+    let sides: Vec<u32> = if opts.smoke { vec![6, 10] } else { vec![4, 6, 8, 10, 14, 18] };
+
+    let results = run_trials(opts.jobs, sides, |_, side| {
         let scenario = Scenario::paper(nodes, 5150 + side as u64);
         let config = PoolConfig::paper().with_pool_side(side);
         let mut pair = SystemPair::build(&scenario, config, EventDistribution::Uniform);
@@ -30,9 +33,22 @@ fn main() {
             queries,
         );
         let partial = measure(&mut pair, QueryKind::MPartial(1), queries);
-        println!(
-            "{side}\t{:.1}\t{:.1}\t{:.1}",
-            exact.pool.mean, exact.pool_cells, partial.pool.mean
-        );
+        (side, exact, partial)
+    });
+
+    let mut table = pool_bench::Table::new(
+        "Pool side length sweep (exponential exact-match queries)",
+        &["l", "pool_msgs", "pool_cells", "pool_msgs_1partial"],
+    );
+    table.meta("nodes", nodes);
+    table.meta("queries", queries);
+    for (side, exact, partial) in &results {
+        table.row(vec![
+            (*side).into(),
+            exact.pool.mean.into(),
+            exact.pool_cells.into(),
+            partial.pool.mean.into(),
+        ]);
     }
+    opts.emit("pool_side", &table);
 }

@@ -2,9 +2,14 @@
 //!
 //! Every binary accepts `--queries N` and `--nodes N` style flags (and
 //! `--transport gpsr|cached` to select the routing substrate); this avoids
-//! pulling a CLI dependency for two integers and an enum.
+//! pulling a CLI dependency for two integers and an enum. [`BenchOpts`]
+//! adds the two flags the parallel execution engine gave every binary:
+//! `--jobs N` (worker threads) and `--smoke` (a scaled-down configuration
+//! fast enough for the CI bench-smoke gate).
 
+use crate::report::Table;
 use pool_transport::TransportKind;
+use std::path::PathBuf;
 
 /// Parses `flag <value>` from `std::env::args`, falling back to `default`
 /// when absent or malformed.
@@ -49,6 +54,104 @@ pub fn arg_transport(flag: &str, default: TransportKind) -> TransportKind {
     }
 }
 
+/// Returns whether the bare flag is present in `std::env::args`.
+///
+/// # Examples
+///
+/// ```
+/// assert!(!pool_bench::cli::arg_flag("--definitely-not-passed"));
+/// ```
+pub fn arg_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// The execution options shared by every figure binary: how many worker
+/// threads drive the trial engine, and whether to run the scaled-down
+/// smoke configuration.
+///
+/// The determinism contract (DESIGN.md §11) guarantees `jobs` never
+/// changes any emitted byte; `smoke` selects a *different* (smaller)
+/// experiment, so smoke artifacts are written under `target/smoke/`
+/// instead of overwriting the checked-in full-scale `BENCH_*.json` files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchOpts {
+    /// Worker threads for the trial engine (`--jobs N`, default 1).
+    pub jobs: usize,
+    /// Scaled-down CI configuration (`--smoke`).
+    pub smoke: bool,
+}
+
+impl BenchOpts {
+    /// Parses `--jobs` and `--smoke` from `std::env::args`.
+    pub fn from_env() -> Self {
+        BenchOpts { jobs: arg_usize("--jobs", 1).max(1), smoke: arg_flag("--smoke") }
+    }
+
+    /// A fixed-size configuration for tests: `jobs` workers, smoke scale.
+    pub fn smoke_with_jobs(jobs: usize) -> Self {
+        BenchOpts { jobs: jobs.max(1), smoke: true }
+    }
+
+    /// Picks the full-scale or smoke-scale value of a parameter.
+    pub fn scale(&self, full: usize, smoke: usize) -> usize {
+        if self.smoke {
+            smoke
+        } else {
+            full
+        }
+    }
+
+    /// Queries per measurement: `full` normally, a CI-friendly 5 in smoke
+    /// mode (never exceeding `full`).
+    pub fn queries(&self, full: usize) -> usize {
+        self.scale(full, full.min(5)).max(1)
+    }
+
+    /// Network size: `full` normally, at most 150 nodes in smoke mode.
+    pub fn nodes(&self, full: usize) -> usize {
+        self.scale(full, full.min(150))
+    }
+
+    /// The network-size sweep of the paper's §5 figures (300–1200 nodes),
+    /// or a two-point miniature in smoke mode.
+    pub fn network_sizes(&self) -> Vec<usize> {
+        if self.smoke {
+            vec![150, 200]
+        } else {
+            vec![300, 600, 900, 1200]
+        }
+    }
+
+    /// Where this run's JSON artifact for `name` goes: the repo root for
+    /// full-scale runs (`BENCH_<name>.json`, the checked-in artifacts),
+    /// `target/smoke/` for smoke runs.
+    pub fn artifact_path(&self, name: &str) -> PathBuf {
+        let file = format!("BENCH_{name}.json");
+        if self.smoke {
+            PathBuf::from("target").join("smoke").join(file)
+        } else {
+            PathBuf::from(file)
+        }
+    }
+
+    /// Prints `table` and writes its canonical JSON artifact for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifact cannot be written.
+    pub fn emit(&self, name: &str, table: &Table) {
+        table.print_tsv();
+        let path = self.artifact_path(name);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create artifact directory");
+            }
+        }
+        std::fs::write(&path, table.to_json()).expect("write JSON artifact");
+        println!("wrote {}", path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +164,27 @@ mod tests {
     #[test]
     fn missing_transport_flag_yields_default() {
         assert_eq!(arg_transport("--no-such-flag", TransportKind::Cached), TransportKind::Cached);
+    }
+
+    #[test]
+    fn smoke_scales_down_but_never_up() {
+        let smoke = BenchOpts::smoke_with_jobs(2);
+        assert_eq!(smoke.queries(100), 5);
+        assert_eq!(smoke.queries(3), 3);
+        assert_eq!(smoke.nodes(900), 150);
+        assert_eq!(smoke.nodes(120), 120);
+        assert_eq!(smoke.network_sizes(), vec![150, 200]);
+
+        let full = BenchOpts { jobs: 1, smoke: false };
+        assert_eq!(full.queries(100), 100);
+        assert_eq!(full.network_sizes(), vec![300, 600, 900, 1200]);
+    }
+
+    #[test]
+    fn smoke_artifacts_never_overwrite_checked_in_results() {
+        let smoke = BenchOpts::smoke_with_jobs(1);
+        assert_eq!(smoke.artifact_path("fig6"), PathBuf::from("target/smoke/BENCH_fig6.json"));
+        let full = BenchOpts { jobs: 4, smoke: false };
+        assert_eq!(full.artifact_path("fig6"), PathBuf::from("BENCH_fig6.json"));
     }
 }

@@ -1,0 +1,13 @@
+//! Library-level figure drivers.
+//!
+//! The figure binaries under `src/bin/` used to own their experiment
+//! logic; the drivers that gate CI now live here so tests can run them
+//! in-process. Each driver exposes a `Params` struct (mirroring the
+//! binary's CLI surface, including smoke scaling) and a `collect` function
+//! returning the deterministic [`Table`](crate::report::Table) the binary
+//! prints and serializes — which is what lets the determinism regression
+//! test assert byte-identical JSON across `--jobs` values without shelling
+//! out to cargo.
+
+pub mod fig6;
+pub mod load_balance;

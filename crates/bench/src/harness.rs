@@ -193,9 +193,22 @@ impl From<&pool_workloads::scenario::WorkloadSpec> for Scenario {
 /// Runs one serialized [`WorkloadSpec`](pool_workloads::scenario::WorkloadSpec)
 /// end to end and returns the measurement — the bridge from stored
 /// experiment configurations to executions.
+///
+/// This is the reference serial execution; the parallel engine's
+/// [`Trial`](crate::exec::Trial) reproduces it exactly (same seed
+/// derivation, same RNG streams) on any worker thread.
 pub fn run_spec(spec: &pool_workloads::scenario::WorkloadSpec) -> Measurement {
+    run_spec_with_transport(spec, pool_transport::TransportKind::Gpsr)
+}
+
+/// [`run_spec`] on an explicit routing substrate.
+pub fn run_spec_with_transport(
+    spec: &pool_workloads::scenario::WorkloadSpec,
+    transport: pool_transport::TransportKind,
+) -> Measurement {
     let scenario = Scenario::from(spec);
-    let mut pair = SystemPair::build(&scenario, PoolConfig::paper(), spec.events.clone());
+    let config = PoolConfig::paper().with_transport(transport);
+    let mut pair = SystemPair::build(&scenario, config, spec.events.clone());
     measure(&mut pair, QueryKind::from(spec.queries), spec.query_count)
 }
 

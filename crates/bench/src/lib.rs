@@ -4,13 +4,28 @@
 //! and workloads and measures per-query message costs, cross-validating
 //! every result set against brute-force ground truth.
 //!
+//! [`exec`] is the deterministic parallel trial-execution engine: every
+//! figure binary decomposes its sweep into independent trials and submits
+//! them to a scoped worker pool (`--jobs N`), with per-trial seed
+//! derivation and order-independent aggregation so the emitted JSON is
+//! byte-identical for any worker count. [`report`] renders the aggregated
+//! rows as TSV + canonical JSON artifacts, and [`figures`] holds the
+//! figure drivers that double as library entry points for the determinism
+//! regression tests.
+//!
 //! The figure binaries (`fig6`, `fig7`, `insertion_cost`, the ablation
-//! sweeps) and the Criterion benches are thin drivers over this module;
+//! sweeps) and the Criterion benches are thin drivers over these modules;
 //! see EXPERIMENTS.md at the workspace root for the full index.
 
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod exec;
+pub mod figures;
 pub mod harness;
+pub mod report;
 
+pub use cli::BenchOpts;
+pub use exec::{derive_seed, run_suite, run_trials, Trial};
 pub use harness::{measure, Measurement, QueryKind, Scenario, SystemPair};
+pub use report::{Cell, Table};

@@ -1,0 +1,47 @@
+//! The determinism contract, pinned (DESIGN.md §11).
+//!
+//! A trial depends only on its input and owns all of its mutable state,
+//! so the aggregated artifact must be byte-identical for any `--jobs`
+//! value. These tests run the two figure drivers that exercise the most
+//! machinery — fig6 (panel sweep + substrate ablation) and load_balance
+//! (lossy radio + sharing + delegation chains) — at smoke scale on one
+//! worker and on eight, and require the serialized JSON to match byte for
+//! byte. A scheduling-dependent RNG draw, a shared ledger, or an
+//! order-sensitive aggregation all show up here as a diff.
+
+use pool_bench::figures::{fig6, load_balance};
+
+/// Compile-time proof that whole systems move into worker threads. If a
+/// future change slips an `Rc`, raw pointer, or thread-bound handle into
+/// a system (or a transport impl), this stops compiling — long before a
+/// heisenbug shows up in a parallel sweep.
+#[allow(dead_code)]
+fn systems_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<pool_core::PoolSystem>();
+    assert_send::<pool_dim::DimSystem>();
+    assert_send::<pool_bench::harness::SystemPair>();
+    assert_send::<pool_bench::Trial>();
+}
+
+#[test]
+fn fig6_json_is_jobs_invariant() {
+    let serial = fig6::collect(&fig6::Params::smoke(1));
+    let parallel = fig6::collect(&fig6::Params::smoke(8));
+    assert_eq!(
+        serial.table.to_json(),
+        parallel.table.to_json(),
+        "fig6 artifact differs between --jobs 1 and --jobs 8"
+    );
+}
+
+#[test]
+fn load_balance_json_is_jobs_invariant() {
+    let serial = load_balance::collect(&load_balance::Params::smoke(1));
+    let parallel = load_balance::collect(&load_balance::Params::smoke(8));
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "load_balance artifact differs between --jobs 1 and --jobs 8"
+    );
+}

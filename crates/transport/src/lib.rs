@@ -74,7 +74,11 @@ use std::sync::Arc;
 ///
 /// Implementations must keep message accounting identical regardless of
 /// how routes are produced: a cache may skip recomputation, never charges.
-pub trait Transport: fmt::Debug {
+///
+/// `Send` is a supertrait so whole deployments (which own their transport,
+/// ledger, and tracer) can move into the bench harness's worker threads;
+/// implementations hold only owned data, never shared mutable state.
+pub trait Transport: fmt::Debug + Send {
     /// Routes from `from` to the specific node `to`.
     ///
     /// A `from == to` route is the zero-hop path `[from]`.

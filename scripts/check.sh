@@ -1,22 +1,79 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, and the full test suite.
-# Run from the workspace root: ./scripts/check.sh
+# Repo gate: formatting, lints, the full test suite, and a bench smoke run.
+# Mirrors .github/workflows/ci.yml stage for stage.
+#
+# Usage:
+#   ./scripts/check.sh           # full gate (what CI runs)
+#   ./scripts/check.sh --quick   # fmt + clippy + debug tests only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "unknown flag: $arg (supported: --quick)" >&2; exit 2 ;;
+    esac
+done
 
-echo "==> cargo clippy (warnings are errors)"
-cargo clippy --workspace --all-targets -- -D warnings
+STAGE_NAMES=()
+STAGE_SECS=()
+stage() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    local start=$SECONDS
+    "$@"
+    STAGE_NAMES+=("$name")
+    STAGE_SECS+=($((SECONDS - start)))
+}
 
-echo "==> cargo build --release"
-cargo build --release --workspace
+report() {
+    echo
+    echo "Stage timings:"
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '  %-28s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+    done
+}
 
-echo "==> cargo test"
-cargo test --workspace -q
+bench_smoke() {
+    # Every figure binary, scaled down, on two workers. Validates that the
+    # emitted artifact under target/smoke/ is well-formed JSON — a bench
+    # that panics, hangs, or emits garbage fails the gate.
+    local bins=(fig6 fig7 insertion_cost dimensionality_sweep selectivity_sweep
+        sweep_cell_size sweep_pool_side batch_ablation hotspot monitor_cost
+        forwarding_ablation lifetime failure_resilience load_balance lossy_radio)
+    rm -rf target/smoke
+    for bin in "${bins[@]}"; do
+        echo "    $bin --smoke --jobs 2"
+        "target/release/$bin" --smoke --jobs 2 >/dev/null
+    done
+    local artifacts
+    artifacts=$(ls target/smoke/BENCH_*.json | wc -l)
+    if [ "$artifacts" -ne "${#bins[@]}" ]; then
+        echo "expected ${#bins[@]} smoke artifacts, found $artifacts" >&2
+        exit 1
+    fi
+    for f in target/smoke/BENCH_*.json; do
+        python3 -m json.tool "$f" >/dev/null
+    done
+    echo "    ${#bins[@]} binaries ran; $artifacts artifacts validated"
+}
 
-echo "==> conservation audit (debug assertions: cost == ledger delta, all substrates)"
-cargo test -q --test conservation
+stage "cargo fmt --check" cargo fmt --all --check
+stage "cargo clippy (-D warnings)" cargo clippy --workspace --all-targets -- -D warnings
 
+if [ "$QUICK" -eq 1 ]; then
+    stage "cargo test (debug)" cargo test --workspace -q
+    report
+    echo "Quick checks passed (full gate: ./scripts/check.sh)."
+    exit 0
+fi
+
+stage "cargo build --release" cargo build --release --workspace
+stage "cargo test" cargo test --workspace -q
+stage "conservation audit" cargo test -q --test conservation
+stage "bench smoke (--smoke --jobs 2)" bench_smoke
+
+report
 echo "All checks passed."
