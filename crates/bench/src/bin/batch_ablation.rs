@@ -15,6 +15,7 @@ use pool_bench::exec::run_trials;
 use pool_bench::harness::{Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_core::query::RangeQuery;
+use pool_netsim::stats::Summary;
 use pool_workloads::events::EventDistribution;
 use rand::Rng;
 
@@ -33,6 +34,8 @@ fn main() {
             SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
         let mut separate_total = 0u64;
         let mut batched_total = 0u64;
+        let mut separate_latencies = Vec::with_capacity(trials_per_size);
+        let mut batched_latencies = Vec::with_capacity(trials_per_size);
         for _ in 0..trials_per_size {
             let sink = pair.random_node();
             // A threshold sweep: overlapping windows along dimension 1.
@@ -44,26 +47,53 @@ fn main() {
                         .unwrap()
                 })
                 .collect();
+            let mut separate_elapsed = 0.0;
             for q in &queries {
-                separate_total += pair.pool.query_from(sink, q).unwrap().cost.total();
+                let result = pair.pool.query_from(sink, q).unwrap();
+                separate_total += result.cost.total();
+                separate_elapsed += result.cost.elapsed;
             }
-            batched_total += pair.pool.query_batch(sink, &queries).unwrap().cost.total();
+            let batched = pair.pool.query_batch(sink, &queries).unwrap();
+            batched_total += batched.cost.total();
+            separate_latencies.push(separate_elapsed * 1e3);
+            batched_latencies.push(batched.cost.elapsed * 1e3);
         }
-        (batch_size, separate_total, batched_total)
+        (
+            batch_size,
+            separate_total,
+            batched_total,
+            Summary::of(&separate_latencies),
+            Summary::of(&batched_latencies),
+        )
     });
 
+    // Latency columns: virtual time of issuing the whole batch serially vs
+    // through the batch API, in milliseconds.
     let mut table = pool_bench::Table::new(
         "Query batching (overlapping threshold sweeps)",
-        &["batch_size", "separate_msgs", "batched_msgs", "saving_pct"],
+        &[
+            "batch_size",
+            "separate_msgs",
+            "batched_msgs",
+            "saving_pct",
+            "separate_p50_ms",
+            "separate_p99_ms",
+            "batched_p50_ms",
+            "batched_p99_ms",
+        ],
     );
     table.meta("nodes", nodes);
     table.meta("trials", trials_per_size);
-    for (batch_size, separate, batched) in &results {
+    for (batch_size, separate, batched, separate_lat, batched_lat) in &results {
         table.row(vec![
             (*batch_size).into(),
             (*separate as f64 / trials_per_size as f64).into(),
             (*batched as f64 / trials_per_size as f64).into(),
             (100.0 * (1.0 - *batched as f64 / *separate as f64)).into(),
+            separate_lat.median.into(),
+            separate_lat.p99.into(),
+            batched_lat.median.into(),
+            batched_lat.p99.into(),
         ]);
     }
     opts.emit("batch", &table);

@@ -37,20 +37,25 @@ fn main() {
         (k, exact, partial)
     });
 
+    // Latency columns report the exact-match workload's virtual time.
+    let mut columns = vec!["k", "pool_exact", "dim_exact", "pool_1partial", "dim_1partial"];
+    columns.extend(pool_bench::LATENCY_COLUMNS);
     let mut table = pool_bench::Table::new(
         "Dimensionality sweep (exponential exact match + 1-partial)",
-        &["k", "pool_exact", "dim_exact", "pool_1partial", "dim_1partial"],
+        &columns,
     );
     table.meta("nodes", nodes);
     table.meta("queries", queries);
     for (k, exact, partial) in &results {
-        table.row(vec![
+        let mut row: Vec<pool_bench::report::Cell> = vec![
             (*k).into(),
             exact.pool.mean.into(),
             exact.dim.mean.into(),
             partial.pool.mean.into(),
             partial.dim.mean.into(),
-        ]);
+        ];
+        row.extend(exact.latency_cells());
+        table.row(row);
     }
     opts.emit("dimensionality", &table);
 }

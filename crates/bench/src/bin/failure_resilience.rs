@@ -113,9 +113,11 @@ fn main() {
                 .find(|n| plain.topology().is_alive(n.id))
                 .unwrap()
                 .id;
-            let dim_alive = dim.query_from(sink, &full).unwrap().events.len();
-            let pool_alive = plain.query_from(sink, &full).unwrap().events.len();
-            let repl_alive = replicated.query_from(sink, &full).unwrap().events.len();
+            let dim_result = dim.query_from(sink, &full).unwrap();
+            let pool_result = plain.query_from(sink, &full).unwrap();
+            let repl_result = replicated.query_from(sink, &full).unwrap();
+            let (dim_alive, pool_alive, repl_alive) =
+                (dim_result.events.len(), pool_result.events.len(), repl_result.events.len());
             assert_eq!(dim_alive, dim.stored_events());
             assert_eq!(pool_alive, plain.store().len());
             assert_eq!(repl_alive, replicated.store().len());
@@ -126,20 +128,33 @@ fn main() {
                 pool_alive,
                 repl_alive,
                 report.repair_messages,
+                pool_result.cost.elapsed * 1e3,
+                dim_result.cost.elapsed * 1e3,
             ));
         }
         (rows, campaign)
     });
     let (rows, campaign) = results.pop().expect("one trial");
 
+    // The latency columns time the full-domain audit query on the wounded
+    // network, in virtual milliseconds.
     let mut table = pool_bench::Table::new(
         "Failure resilience (rounds of 2% failures)",
-        &["round", "dead_total", "dim_alive", "pool_alive", "pool_repl_alive", "repl_repair_msgs"],
+        &[
+            "round",
+            "dead_total",
+            "dim_alive",
+            "pool_alive",
+            "pool_repl_alive",
+            "repl_repair_msgs",
+            "pool_query_ms",
+            "dim_query_ms",
+        ],
     );
     table.meta("nodes", nodes);
     table.meta("events", events);
     table.meta("rounds", rounds);
-    for (round, dead_total, dim_alive, pool_alive, repl_alive, repair) in &rows {
+    for (round, dead_total, dim_alive, pool_alive, repl_alive, repair, pool_ms, dim_ms) in &rows {
         table.row(vec![
             (*round).into(),
             (*dead_total).into(),
@@ -147,6 +162,8 @@ fn main() {
             (*pool_alive).into(),
             (*repl_alive).into(),
             (*repair).into(),
+            (*pool_ms).into(),
+            (*dim_ms).into(),
         ]);
     }
     opts.emit("failure", &table);

@@ -41,14 +41,22 @@ fn main() {
         (panel, label, measure(&mut pair, kind, queries))
     });
 
-    let mut table = pool_bench::Table::new(
-        "Figure 7: partial-match query cost by workload",
-        &["panel", "workload", "pool_msgs", "dim_msgs", "dim_over_pool", "pool_cells", "dim_zones"],
-    );
+    let mut columns = vec![
+        "panel",
+        "workload",
+        "pool_msgs",
+        "dim_msgs",
+        "dim_over_pool",
+        "pool_cells",
+        "dim_zones",
+    ];
+    columns.extend(pool_bench::LATENCY_COLUMNS);
+    let mut table =
+        pool_bench::Table::new("Figure 7: partial-match query cost by workload", &columns);
     table.meta("nodes", nodes);
     table.meta("queries", queries);
     for (panel, label, m) in &results {
-        table.row(vec![
+        let mut row: Vec<pool_bench::report::Cell> = vec![
             (*panel).into(),
             (*label).into(),
             m.pool.mean.into(),
@@ -56,7 +64,9 @@ fn main() {
             m.dim_over_pool().into(),
             m.pool_cells.into(),
             m.dim_zones.into(),
-        ]);
+        ];
+        row.extend(m.latency_cells());
+        table.row(row);
     }
     opts.emit("fig7", &table);
 }

@@ -20,6 +20,7 @@ use pool_core::query::RangeQuery;
 use pool_core::system::PoolSystem;
 use pool_netsim::deployment::Deployment;
 use pool_netsim::node::NodeId;
+use pool_netsim::stats::Summary;
 use pool_netsim::topology::Topology;
 use pool_workloads::events::{EventDistribution, EventGenerator};
 use rand::rngs::StdRng;
@@ -64,6 +65,8 @@ fn main() {
         let mut agg_total = 0u64;
         let mut raw_total = 0u64;
         let mut matches = 0usize;
+        let mut agg_latencies = Vec::with_capacity(trials_per_size);
+        let mut raw_latencies = Vec::with_capacity(trials_per_size);
         for _ in 0..trials_per_size {
             let bounds = (0..3)
                 .map(|_| {
@@ -79,23 +82,48 @@ fn main() {
             matches += a.events.len();
             agg_total += a.cost.reply_messages;
             raw_total += b.cost.reply_messages;
+            agg_latencies.push(a.cost.elapsed * 1e3);
+            raw_latencies.push(b.cost.elapsed * 1e3);
         }
-        (size, matches, agg_total, raw_total)
+        (
+            size,
+            matches,
+            agg_total,
+            raw_total,
+            Summary::of(&agg_latencies),
+            Summary::of(&raw_latencies),
+        )
     });
 
+    // Latency columns: whole-query virtual time with and without reply
+    // aggregation, in milliseconds.
     let mut table = pool_bench::Table::new(
         "Reply aggregation ablation (growing query selectivity)",
-        &["range_size", "matches", "reply_aggregated", "reply_unaggregated", "ratio"],
+        &[
+            "range_size",
+            "matches",
+            "reply_aggregated",
+            "reply_unaggregated",
+            "ratio",
+            "agg_p50_ms",
+            "agg_p99_ms",
+            "raw_p50_ms",
+            "raw_p99_ms",
+        ],
     );
     table.meta("nodes", nodes);
     table.meta("trials", trials_per_size);
-    for (size, matches, agg_total, raw_total) in &results {
+    for (size, matches, agg_total, raw_total, agg_lat, raw_lat) in &results {
         table.row(vec![
             (*size).into(),
             (*matches as f64 / trials_per_size as f64).into(),
             (*agg_total as f64 / trials_per_size as f64).into(),
             (*raw_total as f64 / trials_per_size as f64).into(),
             (*raw_total as f64 / (*agg_total).max(1) as f64).into(),
+            agg_lat.median.into(),
+            agg_lat.p99.into(),
+            raw_lat.median.into(),
+            raw_lat.p99.into(),
         ]);
     }
     opts.emit("forwarding", &table);

@@ -19,6 +19,7 @@ use pool_core::system::PoolSystem;
 use pool_dim::system::DimSystem;
 use pool_netsim::deployment::Deployment;
 use pool_netsim::node::NodeId;
+use pool_netsim::stats::Summary;
 use pool_netsim::topology::Topology;
 use pool_workloads::events::{EventDistribution, EventGenerator};
 use rand::rngs::StdRng;
@@ -61,15 +62,18 @@ fn main() {
         match subject {
             Subject::Dim => {
                 let mut dim = DimSystem::build(topology, field, 3).unwrap();
+                let mut latencies = Vec::with_capacity(events);
                 for i in 0..events {
                     let event = generator.generate(&mut rng);
-                    dim.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+                    let r = dim.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+                    latencies.push(r.elapsed * 1e3);
                 }
                 (
                     "dim".to_string(),
                     dim.max_owner_load() as u64,
                     "-".to_string(),
                     dim.traffic().total_messages() as f64 / events as f64,
+                    Summary::of(&latencies),
                 )
             }
             Subject::Pool(capacity) => {
@@ -78,9 +82,11 @@ fn main() {
                     config = config.with_sharing(SharingPolicy::new(c));
                 }
                 let mut pool = PoolSystem::build(topology, field, config).unwrap();
+                let mut latencies = Vec::with_capacity(events);
                 for i in 0..events {
                     let event = generator.generate(&mut rng);
-                    pool.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+                    let r = pool.insert_from(NodeId((i % nodes) as u32), event).unwrap();
+                    latencies.push(r.elapsed * 1e3);
                 }
                 let label = match capacity {
                     None => "pool (no sharing)".to_string(),
@@ -91,23 +97,34 @@ fn main() {
                     pool.store().max_node_load() as u64,
                     pool.store().loaded_nodes().to_string(),
                     pool.traffic().total_messages() as f64 / events as f64,
+                    Summary::of(&latencies),
                 )
             }
         }
     });
 
+    // Latency columns report per-insert virtual time in milliseconds.
     let mut table = pool_bench::Table::new(
         "Hotspot under skewed events",
-        &["system", "max_node_load", "loaded_nodes", "insert_msgs_per_event"],
+        &[
+            "system",
+            "max_node_load",
+            "loaded_nodes",
+            "insert_msgs_per_event",
+            "insert_p50_ms",
+            "insert_p99_ms",
+        ],
     );
     table.meta("nodes", nodes);
     table.meta("events", events);
-    for (label, max_load, loaded, per_event) in &results {
+    for (label, max_load, loaded, per_event, latency) in &results {
         table.row(vec![
             label.clone().into(),
             (*max_load).into(),
             loaded.clone().into(),
             (*per_event).into(),
+            latency.median.into(),
+            latency.p99.into(),
         ]);
     }
     opts.emit("hotspot", &table);

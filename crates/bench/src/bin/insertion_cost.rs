@@ -49,6 +49,8 @@ fn main() {
         let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
         let mut pool_costs = Vec::new();
         let mut dim_costs = Vec::new();
+        let mut pool_latencies = Vec::new();
+        let mut dim_latencies = Vec::new();
         for node in 0..n as u32 {
             for _ in 0..scenario.events_per_node {
                 let event = generator.generate(&mut rng);
@@ -56,17 +58,36 @@ fn main() {
                 let d = dim.insert_from(NodeId(node), event).unwrap();
                 pool_costs.push(p.messages as f64);
                 dim_costs.push(d.messages as f64);
+                pool_latencies.push(p.elapsed * 1e3);
+                dim_latencies.push(d.elapsed * 1e3);
             }
         }
-        (n, Summary::of(&pool_costs), Summary::of(&dim_costs))
+        (
+            n,
+            Summary::of(&pool_costs),
+            Summary::of(&dim_costs),
+            Summary::of(&pool_latencies),
+            Summary::of(&dim_latencies),
+        )
     });
 
-    let mut table = pool_bench::Table::new(
-        "Insertion cost (messages per event) vs network size",
-        &["nodes", "pool_mean", "dim_mean", "pool_p95", "dim_p95"],
-    );
-    for (n, ps, ds) in &results {
-        table.row(vec![(*n).into(), ps.mean.into(), ds.mean.into(), ps.p95.into(), ds.p95.into()]);
+    // Latency columns report per-insert virtual time in milliseconds.
+    let mut columns = vec!["nodes", "pool_mean", "dim_mean", "pool_p95", "dim_p95"];
+    columns.extend(pool_bench::LATENCY_COLUMNS);
+    let mut table =
+        pool_bench::Table::new("Insertion cost (messages per event) vs network size", &columns);
+    for (n, ps, ds, pl, dl) in &results {
+        table.row(vec![
+            (*n).into(),
+            ps.mean.into(),
+            ds.mean.into(),
+            ps.p95.into(),
+            ds.p95.into(),
+            pl.median.into(),
+            pl.p99.into(),
+            dl.median.into(),
+            dl.p99.into(),
+        ]);
     }
     opts.emit("insertion", &table);
 }

@@ -1,0 +1,15 @@
+//! Latency profile: per-operation virtual time for Pool, DIM, and a
+//! replicated GHT across radio regimes, serial vs overlapping fan-out.
+//! Thin wrapper over [`pool_bench::figures::latency`]; see that module
+//! for the experiment design and regression guards.
+//!
+//! Run: `cargo run -p pool-bench --bin latency_profile --release
+//!       [-- --queries N --nodes N --jobs N --smoke]`
+
+use pool_bench::figures::latency;
+
+fn main() {
+    let params = latency::Params::from_env();
+    let table = latency::collect(&params);
+    params.opts.emit("latency", &table);
+}

@@ -26,7 +26,7 @@ use pool_workloads::queries::{exact_query, RangeSizeDistribution};
 use rand::Rng;
 
 struct LifetimeResult {
-    rows: Vec<(usize, f64, f64)>,
+    rows: Vec<(usize, f64, f64, f64, f64)>,
     pool_dead_round: Option<usize>,
     dim_dead_round: Option<usize>,
     pool_busiest: (NodeId, u64),
@@ -70,12 +70,17 @@ fn main() {
                 pair.pool.query_from(sink, &q).expect("pool query");
                 pair.dim.query_from(sink, &q).expect("dim query");
             }
-            // Re-price the cumulative ledgers (charge_traffic is idempotent
-            // on fresh ledgers, so rebuild each round).
+            // Re-price the cumulative drain each round from the virtual
+            // clock's per-node transmit/receive counts: unlike the message
+            // ledger, the clock observes the receiving end of every
+            // transmission — ARQ retransmissions included — so batteries
+            // drain on both sides of every radio event.
+            let pool_clock = pair.pool.transport().clock();
             let mut pool_energy = EnergyLedger::new(nodes, capacity, model);
-            pool_energy.charge_traffic(pair.pool.traffic());
+            pool_energy.charge_counts(pool_clock.tx_counts(), pool_clock.rx_counts());
+            let dim_clock = pair.dim.transport().clock();
             let mut dim_energy = EnergyLedger::new(nodes, capacity, model);
-            dim_energy.charge_traffic(pair.dim.traffic());
+            dim_energy.charge_counts(dim_clock.tx_counts(), dim_clock.rx_counts());
 
             if pool_dead_round.is_none() && pool_energy.min_remaining_fraction() <= 0.0 {
                 pool_dead_round = Some(round);
@@ -88,6 +93,8 @@ fn main() {
                     round,
                     pool_energy.min_remaining_fraction(),
                     dim_energy.min_remaining_fraction(),
+                    pair.pool.transport().clock().now(),
+                    pair.dim.transport().clock().now(),
                 ));
             }
         }
@@ -110,9 +117,11 @@ fn main() {
     });
     let result = results.pop().expect("one trial");
 
+    // The vtime columns are each system's cumulative virtual clock at the
+    // sampled round: the latency cost of having served the same workload.
     let mut table = pool_bench::Table::new(
         "Network lifetime (10 inserts + 2 queries per round)",
-        &["round", "pool_min_battery", "dim_min_battery"],
+        &["round", "pool_min_battery", "dim_min_battery", "pool_vtime_s", "dim_vtime_s"],
     );
     table.meta("nodes", nodes);
     table.meta("battery_sends", battery_sends as usize);
@@ -123,8 +132,14 @@ fn main() {
     table.meta("pool_busiest_sends", result.pool_busiest.1);
     table.meta("dim_busiest_node", result.dim_busiest.0 .0 as usize);
     table.meta("dim_busiest_sends", result.dim_busiest.1);
-    for (round, pool_min, dim_min) in &result.rows {
-        table.row(vec![(*round).into(), (*pool_min).into(), (*dim_min).into()]);
+    for (round, pool_min, dim_min, pool_vtime, dim_vtime) in &result.rows {
+        table.row(vec![
+            (*round).into(),
+            (*pool_min).into(),
+            (*dim_min).into(),
+            (*pool_vtime).into(),
+            (*dim_vtime).into(),
+        ]);
     }
     opts.emit("lifetime", &table);
 

@@ -24,6 +24,7 @@ use pool_bench::exec::run_trials;
 use pool_bench::harness::{QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_netsim::radio::PrrModel;
+use pool_netsim::stats::Summary;
 use pool_transport::{LinkQuality, LossyConfig, TrafficLayer};
 use pool_workloads::events::EventDistribution;
 use pool_workloads::queries::RangeSizeDistribution;
@@ -37,6 +38,7 @@ struct SystemStats {
     complete_queries: usize,
     mean_query_messages: f64,
     retransmit_messages: u64,
+    latency: Summary,
 }
 
 struct LevelResult {
@@ -71,6 +73,8 @@ fn run_level(
     let mut dim_complete = 0usize;
     let mut pool_msgs = 0u64;
     let mut dim_msgs = 0u64;
+    let mut pool_latencies = Vec::with_capacity(queries);
+    let mut dim_latencies = Vec::with_capacity(queries);
     for _ in 0..queries {
         let sink = pair.random_node();
         let query = kind.generate(pair.rng(), dims);
@@ -78,6 +82,7 @@ fn run_level(
         pool_ratio += p.completeness.ratio();
         pool_complete += usize::from(p.completeness.is_complete());
         pool_msgs += p.cost.total();
+        pool_latencies.push(p.cost.elapsed * 1e3);
         let d = pair.dim.query_from(sink, &query).expect("dim query");
         let ratio = if d.zones_visited == 0 {
             1.0
@@ -87,6 +92,7 @@ fn run_level(
         dim_ratio += ratio;
         dim_complete += usize::from(d.zones_reached == d.zones_visited);
         dim_msgs += d.cost.total();
+        dim_latencies.push(d.cost.elapsed * 1e3);
     }
 
     let ps = pair.pool.transport().delivery_stats();
@@ -101,6 +107,7 @@ fn run_level(
             complete_queries: pool_complete,
             mean_query_messages: pool_msgs as f64 / queries as f64,
             retransmit_messages: pair.pool.ledger().layer_total(TrafficLayer::Retransmit),
+            latency: Summary::of(&pool_latencies),
         },
         dim: SystemStats {
             insert_delivery: dim_insert,
@@ -110,6 +117,7 @@ fn run_level(
             complete_queries: dim_complete,
             mean_query_messages: dim_msgs as f64 / queries as f64,
             retransmit_messages: pair.dim.ledger().layer_total(TrafficLayer::Retransmit),
+            latency: Summary::of(&dim_latencies),
         },
     }
 }
@@ -142,6 +150,8 @@ fn main() {
             "complete_queries",
             "mean_query_msgs",
             "rtx_messages",
+            "query_p50_ms",
+            "query_p99_ms",
         ],
     );
     table.meta("nodes", nodes);
@@ -158,6 +168,8 @@ fn main() {
                 s.complete_queries.into(),
                 s.mean_query_messages.into(),
                 s.retransmit_messages.into(),
+                s.latency.median.into(),
+                s.latency.p99.into(),
             ]);
         }
     }

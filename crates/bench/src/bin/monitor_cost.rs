@@ -19,6 +19,7 @@ use pool_core::query::RangeQuery;
 use pool_core::system::PoolSystem;
 use pool_netsim::deployment::Deployment;
 use pool_netsim::node::NodeId;
+use pool_netsim::stats::Summary;
 use pool_netsim::topology::Topology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,43 +54,71 @@ fn main() {
         let install = monitored.install_monitor(sink, query.clone()).unwrap();
         let mut monitor_msgs = install.cost.total();
         let mut matches = 0usize;
+        let mut insert_latencies = Vec::with_capacity(insertions);
         let mut rng = StdRng::seed_from_u64(9);
         for i in 0..insertions {
             let event = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
             let receipt = monitored.insert_from(NodeId((i % nodes) as u32), event).unwrap();
             matches += receipt.notifications.len();
             monitor_msgs += receipt.notifications.iter().map(|n| n.messages).sum::<u64>();
+            insert_latencies.push(receipt.elapsed * 1e3);
         }
 
         // Strategy B: poll every `poll_every` insertions.
         let mut polled =
             PoolSystem::build(topology, field, PoolConfig::paper().with_seed(seed)).unwrap();
         let mut polling_msgs = 0u64;
+        let mut poll_latencies = Vec::new();
         let mut rng = StdRng::seed_from_u64(9);
         for i in 0..insertions {
             let event = Event::new(vec![rng.gen(), rng.gen(), rng.gen()]).unwrap();
             polled.insert_from(NodeId((i % nodes) as u32), event).unwrap();
             if (i + 1) % poll_every == 0 {
-                polling_msgs += polled.query_from(sink, &query).unwrap().cost.total();
+                let result = polled.query_from(sink, &query).unwrap();
+                polling_msgs += result.cost.total();
+                poll_latencies.push(result.cost.elapsed * 1e3);
             }
         }
-        (width, matches, monitor_msgs, polling_msgs)
+        (
+            width,
+            matches,
+            monitor_msgs,
+            polling_msgs,
+            Summary::of(&insert_latencies),
+            Summary::of(&poll_latencies),
+        )
     });
 
+    // Latency columns: per-insert (with notification fan-out) vs per-poll
+    // query virtual time, in milliseconds.
     let mut table = pool_bench::Table::new(
         "Continuous monitor vs periodic polling",
-        &["selectivity", "matches", "monitor_msgs", "polling_msgs", "poll_over_monitor"],
+        &[
+            "selectivity",
+            "matches",
+            "monitor_msgs",
+            "polling_msgs",
+            "poll_over_monitor",
+            "insert_p50_ms",
+            "insert_p99_ms",
+            "poll_p50_ms",
+            "poll_p99_ms",
+        ],
     );
     table.meta("nodes", nodes);
     table.meta("insertions", insertions);
     table.meta("poll_every", poll_every);
-    for (width, matches, monitor_msgs, polling_msgs) in &results {
+    for (width, matches, monitor_msgs, polling_msgs, insert_lat, poll_lat) in &results {
         table.row(vec![
             (*width).into(),
             (*matches).into(),
             (*monitor_msgs).into(),
             (*polling_msgs).into(),
             (*polling_msgs as f64 / (*monitor_msgs).max(1) as f64).into(),
+            insert_lat.median.into(),
+            insert_lat.p99.into(),
+            poll_lat.median.into(),
+            poll_lat.p99.into(),
         ]);
     }
     opts.emit("monitor", &table);

@@ -39,21 +39,24 @@ fn main() {
         (size, m)
     });
 
-    let mut table = pool_bench::Table::new(
-        "Selectivity sweep (constant range size per dimension)",
-        &["range_size", "pool_msgs", "dim_msgs", "dim_over_pool", "pool_cells", "dim_zones"],
-    );
+    let mut columns =
+        vec!["range_size", "pool_msgs", "dim_msgs", "dim_over_pool", "pool_cells", "dim_zones"];
+    columns.extend(pool_bench::LATENCY_COLUMNS);
+    let mut table =
+        pool_bench::Table::new("Selectivity sweep (constant range size per dimension)", &columns);
     table.meta("nodes", nodes);
     table.meta("queries", queries);
     for (size, m) in &results {
-        table.row(vec![
+        let mut row: Vec<pool_bench::report::Cell> = vec![
             (*size).into(),
             m.pool.mean.into(),
             m.dim.mean.into(),
             m.dim_over_pool().into(),
             m.pool_cells.into(),
             m.dim_zones.into(),
-        ]);
+        ];
+        row.extend(m.latency_cells());
+        table.row(row);
     }
     opts.emit("selectivity", &table);
 }

@@ -37,19 +37,22 @@ fn main() {
         (alpha, exact, partial)
     });
 
-    let mut table = pool_bench::Table::new(
-        "Cell size sweep (l = 10, exponential exact-match)",
-        &["alpha_m", "pool_msgs", "pool_cells", "pool_msgs_1partial"],
-    );
+    // Latency columns report the exact-match workload's virtual time.
+    let mut columns = vec!["alpha_m", "pool_msgs", "pool_cells", "pool_msgs_1partial"];
+    columns.extend(pool_bench::LATENCY_COLUMNS);
+    let mut table =
+        pool_bench::Table::new("Cell size sweep (l = 10, exponential exact-match)", &columns);
     table.meta("nodes", nodes);
     table.meta("queries", queries);
     for (alpha, exact, partial) in &results {
-        table.row(vec![
+        let mut row: Vec<pool_bench::Cell> = vec![
             (*alpha).into(),
             exact.pool.mean.into(),
             exact.pool_cells.into(),
             partial.pool.mean.into(),
-        ]);
+        ];
+        row.extend(exact.latency_cells());
+        table.row(row);
     }
     opts.emit("cell_size", &table);
 }

@@ -36,19 +36,24 @@ fn main() {
         (side, exact, partial)
     });
 
+    // Latency columns report the exact-match workload's virtual time.
+    let mut columns = vec!["l", "pool_msgs", "pool_cells", "pool_msgs_1partial"];
+    columns.extend(pool_bench::LATENCY_COLUMNS);
     let mut table = pool_bench::Table::new(
         "Pool side length sweep (exponential exact-match queries)",
-        &["l", "pool_msgs", "pool_cells", "pool_msgs_1partial"],
+        &columns,
     );
     table.meta("nodes", nodes);
     table.meta("queries", queries);
     for (side, exact, partial) in &results {
-        table.row(vec![
+        let mut row: Vec<pool_bench::Cell> = vec![
             (*side).into(),
             exact.pool.mean.into(),
             exact.pool_cells.into(),
             partial.pool.mean.into(),
-        ]);
+        ];
+        row.extend(exact.latency_cells());
+        table.row(row);
     }
     opts.emit("pool_side", &table);
 }

@@ -89,7 +89,9 @@ enum TrialOutput {
         panel: char,
         label: &'static str,
         nodes: usize,
-        measurement: crate::harness::Measurement,
+        // Boxed: Measurement carries four Summary blocks and dwarfs the
+        // ablation variant.
+        measurement: Box<crate::harness::Measurement>,
     },
     Ablation {
         kind: TransportKind,
@@ -182,14 +184,15 @@ pub fn collect(params: &Params) -> Fig6Report {
             let scenario = Scenario::paper(nodes, 42 + nodes as u64);
             let config = PoolConfig::paper().with_transport(transport);
             let mut pair = SystemPair::build(&scenario, config, EventDistribution::Uniform);
-            let measurement = measure(&mut pair, QueryKind::Exact(dist), queries);
+            let measurement = Box::new(measure(&mut pair, QueryKind::Exact(dist), queries));
             TrialOutput::Panel { panel, label, nodes, measurement }
         }
         TrialInput::Ablation { kind } => run_ablation_leg(kind, ablation_nodes, queries, rounds),
     });
 
     // Aggregate: panel rows in (panel, nodes) order, ablation into meta.
-    let mut panel_rows: Vec<(char, &'static str, usize, crate::harness::Measurement)> = Vec::new();
+    let mut panel_rows: Vec<(char, &'static str, usize, Box<crate::harness::Measurement>)> =
+        Vec::new();
     let mut ablation: Vec<(TransportKind, u64, u64, f64)> = Vec::new();
     for output in outputs {
         match output {
@@ -204,23 +207,25 @@ pub fn collect(params: &Params) -> Fig6Report {
     panel_rows.sort_by_key(|&(panel, _, nodes, _)| (panel, nodes));
     ablation.sort_by_key(|&(kind, ..)| format!("{kind}"));
 
+    let mut columns = vec![
+        "panel",
+        "range_sizes",
+        "nodes",
+        "pool_msgs",
+        "dim_msgs",
+        "dim_over_pool",
+        "pool_cells",
+        "dim_zones",
+    ];
+    columns.extend(crate::harness::LATENCY_COLUMNS);
     let mut table = Table::new(
         &format!("Figure 6: exact-match query cost vs network size [{transport}]"),
-        &[
-            "panel",
-            "range_sizes",
-            "nodes",
-            "pool_msgs",
-            "dim_msgs",
-            "dim_over_pool",
-            "pool_cells",
-            "dim_zones",
-        ],
+        &columns,
     );
     table.meta("queries", queries);
     table.meta("transport", format!("{transport}"));
     for (panel, label, nodes, m) in &panel_rows {
-        table.row(vec![
+        let mut row: Vec<crate::report::Cell> = vec![
             format!("6{panel}").into(),
             (*label).into(),
             (*nodes).into(),
@@ -229,7 +234,9 @@ pub fn collect(params: &Params) -> Fig6Report {
             m.dim_over_pool().into(),
             m.pool_cells.into(),
             m.dim_zones.into(),
-        ]);
+        ];
+        row.extend(m.latency_cells());
+        table.row(row);
     }
 
     let [(_, gpsr_pool, gpsr_dim, gpsr_secs), (_, cached_pool, cached_dim, cached_secs)] =

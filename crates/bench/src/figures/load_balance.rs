@@ -59,6 +59,7 @@ struct SystemStats {
     messages: LoadDistribution,
     storage: LoadDistribution,
     reply: LoadDistribution,
+    busy: LoadDistribution,
     delegate_reply_messages: u64,
     hottest_node: u32,
     hottest_messages: u64,
@@ -105,6 +106,7 @@ fn run_level(
             messages: report.message_distribution(),
             storage: report.storage_distribution(),
             reply: report.layer_distribution(TrafficLayer::Reply),
+            busy: report.busy_distribution(),
             delegate_reply_messages: report
                 .role_layer_total(NodeRole::Delegate, TrafficLayer::Reply),
             hottest_node,
@@ -151,6 +153,8 @@ pub fn collect(params: &Params) -> Table {
             "store_gini",
             "reply_max",
             "reply_gini",
+            "busy_max_s",
+            "busy_gini",
             "delegate_reply",
             "hottest_node",
             "hottest_msgs",
@@ -172,6 +176,8 @@ pub fn collect(params: &Params) -> Table {
                 s.storage.gini.into(),
                 s.reply.max.into(),
                 s.reply.gini.into(),
+                s.busy.max.into(),
+                s.busy.gini.into(),
                 s.delegate_reply_messages.into(),
                 s.hottest_node.into(),
                 s.hottest_messages.into(),

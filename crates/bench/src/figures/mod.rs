@@ -10,4 +10,5 @@
 //! out to cargo.
 
 pub mod fig6;
+pub mod latency;
 pub mod load_balance;

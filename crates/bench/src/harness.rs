@@ -212,6 +212,10 @@ pub fn run_spec_with_transport(
     measure(&mut pair, QueryKind::from(spec.queries), spec.query_count)
 }
 
+/// The canonical latency column names every figure artifact carries, in
+/// the order [`Measurement::latency_cells`] emits them.
+pub const LATENCY_COLUMNS: [&str; 4] = ["pool_p50_ms", "pool_p99_ms", "dim_p50_ms", "dim_p99_ms"];
+
 /// Per-system cost summaries for one measurement point.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -219,6 +223,10 @@ pub struct Measurement {
     pub pool: Summary,
     /// Summary of DIM's per-query total messages.
     pub dim: Summary,
+    /// Summary of Pool's per-query elapsed virtual time, in milliseconds.
+    pub pool_latency: Summary,
+    /// Summary of DIM's per-query elapsed virtual time, in milliseconds.
+    pub dim_latency: Summary,
     /// Mean number of relevant cells Pool visited.
     pub pool_cells: f64,
     /// Mean number of zones DIM visited.
@@ -229,6 +237,17 @@ impl Measurement {
     /// DIM's mean cost as a multiple of Pool's.
     pub fn dim_over_pool(&self) -> f64 {
         self.dim.mean / self.pool.mean
+    }
+
+    /// The four canonical latency cells ([`LATENCY_COLUMNS`] order):
+    /// Pool p50/p99 and DIM p50/p99 per-query virtual time in ms.
+    pub fn latency_cells(&self) -> [crate::report::Cell; 4] {
+        [
+            self.pool_latency.median.into(),
+            self.pool_latency.p99.into(),
+            self.dim_latency.median.into(),
+            self.dim_latency.p99.into(),
+        ]
     }
 }
 
@@ -246,6 +265,8 @@ pub fn measure(pair: &mut SystemPair, kind: QueryKind, count: usize) -> Measurem
     let dims = pair.pool.config().dims;
     let mut pool_costs = Vec::with_capacity(count);
     let mut dim_costs = Vec::with_capacity(count);
+    let mut pool_latencies = Vec::with_capacity(count);
+    let mut dim_latencies = Vec::with_capacity(count);
     let mut pool_cells = 0usize;
     let mut dim_zones = 0usize;
     for i in 0..count {
@@ -266,12 +287,16 @@ pub fn measure(pair: &mut SystemPair, kind: QueryKind, count: usize) -> Measurem
 
         pool_costs.push(pool_result.cost.total() as f64);
         dim_costs.push(dim_result.cost.total() as f64);
+        pool_latencies.push(pool_result.cost.elapsed * 1e3);
+        dim_latencies.push(dim_result.cost.elapsed * 1e3);
         pool_cells += pool_result.relevant_cells;
         dim_zones += dim_result.zones_visited;
     }
     Measurement {
         pool: Summary::of(&pool_costs),
         dim: Summary::of(&dim_costs),
+        pool_latency: Summary::of(&pool_latencies),
+        dim_latency: Summary::of(&dim_latencies),
         pool_cells: pool_cells as f64 / count as f64,
         dim_zones: dim_zones as f64 / count as f64,
     }

@@ -27,5 +27,5 @@ pub mod report;
 
 pub use cli::BenchOpts;
 pub use exec::{derive_seed, run_suite, run_trials, Trial};
-pub use harness::{measure, Measurement, QueryKind, Scenario, SystemPair};
+pub use harness::{measure, Measurement, QueryKind, Scenario, SystemPair, LATENCY_COLUMNS};
 pub use report::{Cell, Table};

@@ -9,7 +9,12 @@
 //! byte. A scheduling-dependent RNG draw, a shared ledger, or an
 //! order-sensitive aggregation all show up here as a diff.
 
-use pool_bench::figures::{fig6, load_balance};
+use pool_bench::exec::run_trials;
+use pool_bench::figures::{fig6, latency, load_balance};
+use pool_bench::harness::{QueryKind, Scenario, SystemPair};
+use pool_core::config::PoolConfig;
+use pool_workloads::events::EventDistribution;
+use pool_workloads::queries::RangeSizeDistribution;
 
 /// Compile-time proof that whole systems move into worker threads. If a
 /// future change slips an `Rc`, raw pointer, or thread-bound handle into
@@ -44,4 +49,62 @@ fn load_balance_json_is_jobs_invariant() {
         parallel.to_json(),
         "load_balance artifact differs between --jobs 1 and --jobs 8"
     );
+}
+
+/// The latency artifact is the determinism contract's sharpest probe:
+/// every cell is a virtual-time percentile, so any scheduling-dependent
+/// clock advance shows up as a diff.
+#[test]
+fn latency_profile_json_is_jobs_invariant() {
+    let serial = latency::collect(&latency::Params::smoke(1));
+    let parallel = latency::collect(&latency::Params::smoke(8));
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "latency_profile artifact differs between --jobs 1 and --jobs 8"
+    );
+}
+
+/// One trial's complete virtual-time trace, every float captured bit-exact.
+type EventTrace = (Vec<(u32, u32, u64, u64)>, Vec<u64>, Vec<u64>, Vec<u64>, u64);
+
+/// Identical workloads must yield identical *event traces* — not just
+/// identical aggregated tables — no matter how trials map onto workers.
+/// Each trial replays a small SystemPair workload and returns the full
+/// timeline: every traced span (endpoints plus bit-exact start/end
+/// timestamps), the clock's per-node transmit/receive counts and busy
+/// times, and the final virtual time. Running the same four trials on one
+/// worker and on eight must reproduce every bit.
+#[test]
+fn event_traces_are_jobs_invariant() {
+    fn traces(jobs: usize) -> Vec<EventTrace> {
+        run_trials(jobs, vec![0u64, 1, 2, 3], |_, seed| {
+            let scenario =
+                Scenario { events_per_node: 2, ..Scenario::paper(150, 93_000 + seed * 0x1000) };
+            let mut pair =
+                SystemPair::build(&scenario, PoolConfig::paper(), EventDistribution::Uniform);
+            let dims = pair.pool.config().dims;
+            let kind = QueryKind::Exact(RangeSizeDistribution::Exponential { mean: 0.1 });
+            for _ in 0..5 {
+                let sink = pair.random_node();
+                let query = kind.generate(pair.rng(), dims);
+                pair.pool.query_from(sink, &query).expect("pool query");
+            }
+            let spans = pair
+                .pool
+                .tracer()
+                .spans()
+                .map(|s| (s.origin.0, s.destination.0, s.start.to_bits(), s.end.to_bits()))
+                .collect();
+            let clock = pair.pool.transport().clock();
+            (
+                spans,
+                clock.tx_counts().to_vec(),
+                clock.rx_counts().to_vec(),
+                clock.busy_times().iter().map(|t| t.to_bits()).collect(),
+                clock.now().to_bits(),
+            )
+        })
+    }
+    assert_eq!(traces(1), traces(8), "event traces differ between --jobs 1 and --jobs 8");
 }

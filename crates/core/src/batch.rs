@@ -71,9 +71,17 @@ impl PoolSystem {
         let mut per_query: Vec<Vec<Event>> = vec![Vec::new(); queries.len()];
         let mut visited = HashSet::new();
 
+        // Per-pool legs fan out concurrently in virtual time (like
+        // `query_from`): each pool's branch launches at the op start, and
+        // the batch's elapsed time is the slowest branch.
+        let op_start = self.transport.clock().now();
+        let mut op_end = op_start;
+
         let mut dims: Vec<usize> = by_pool.keys().copied().collect();
         dims.sort_unstable();
         for dim in dims {
+            op_end = op_end.max(self.transport.clock().now());
+            self.transport.clock_mut().seek(op_start);
             let cells = &by_pool[&dim];
             let splitter = self.splitter_of(dim, sink);
             self.splitters_used.insert(splitter);
@@ -81,6 +89,7 @@ impl PoolSystem {
                 self.route_and_record(TraceOp::Batch, sink, splitter, TrafficLayer::Forward)?;
             cost.forward_messages += to_splitter.transmissions - to_splitter.retransmissions;
             cost.retransmit_messages += to_splitter.retransmissions;
+            cost.forward_latency += to_splitter.latency;
 
             let mut pool_has_match = false;
             let mut sorted_cells: Vec<_> = cells.keys().copied().collect();
@@ -96,6 +105,7 @@ impl PoolSystem {
                 )?;
                 cost.forward_messages += to_cell.transmissions - to_cell.retransmissions;
                 cost.retransmit_messages += to_cell.retransmissions;
+                cost.forward_latency += to_cell.latency;
 
                 // One scan of the cell serves every interested query.
                 let interested = &cells[&cell];
@@ -119,6 +129,7 @@ impl PoolSystem {
                     )?;
                     cost.reply_messages += back.transmissions - back.retransmissions;
                     cost.retransmit_messages += back.retransmissions;
+                    cost.reply_latency += back.latency;
                     pool_has_match = true;
                 }
             }
@@ -127,8 +138,12 @@ impl PoolSystem {
                     self.route_and_record(TraceOp::Batch, splitter, sink, TrafficLayer::Reply)?;
                 cost.reply_messages += back.transmissions - back.retransmissions;
                 cost.retransmit_messages += back.retransmissions;
+                cost.reply_latency += back.latency;
             }
         }
+        op_end = op_end.max(self.transport.clock().now());
+        self.transport.clock_mut().seek(op_end);
+        cost.elapsed = op_end - op_start;
         ledger_before.debug_assert_layers(
             self.transport.ledger(),
             "query_batch",

@@ -24,8 +24,8 @@ use pool_transport::trace::TraceOp;
 use pool_transport::TrafficLayer;
 use std::collections::{HashMap, HashSet};
 
-/// Message-count breakdown for one query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Message-count and virtual-time breakdown for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct QueryCost {
     /// Messages spent forwarding the query (sink → splitters → cells →
     /// delegates).
@@ -35,6 +35,17 @@ pub struct QueryCost {
     /// ARQ retransmissions spent on this query's legs (0 on a loss-free
     /// radio).
     pub retransmit_messages: u64,
+    /// Virtual time spent on forward legs, summed over legs, in seconds.
+    /// A serial (per-leg) breakdown — overlapping legs each contribute
+    /// their full duration, so this can exceed [`QueryCost::elapsed`].
+    pub forward_latency: f64,
+    /// Virtual time spent on reply legs, summed over legs, in seconds.
+    pub reply_latency: f64,
+    /// End-to-end virtual time of the operation, in seconds: the critical
+    /// path through the leg tree. Pools are queried concurrently and each
+    /// splitter fans out to its cells concurrently, so parallel branches
+    /// overlap instead of summing.
+    pub elapsed: f64,
 }
 
 impl QueryCost {
@@ -216,7 +227,16 @@ impl PoolSystem {
         // its reply dies on the splitter → sink leg).
         let mut reached: HashMap<(usize, CellCoord), bool> = HashMap::new();
 
+        // Virtual-time bracket: the sink launches one packet per relevant
+        // pool at `op_start`, so pools overlap; within a pool the splitter
+        // fans out to its cells concurrently from `t_split`. The operation
+        // ends at the latest branch (critical path), not the branch sum.
+        let op_start = self.transport.clock().now();
+        let mut op_end = op_start;
+
         for (dim, cells) in by_pool {
+            op_end = op_end.max(self.transport.clock().now());
+            self.transport.clock_mut().seek(op_start);
             pools_visited += 1;
             let splitter = self.splitter_of(dim, sink);
             self.splitters_used.insert(splitter);
@@ -233,15 +253,22 @@ impl PoolSystem {
             let fwd = self.deliver_traced(TraceOp::Query, &to_splitter.path, TrafficLayer::Forward);
             cost.forward_messages += fwd.transmissions - fwd.retransmissions;
             cost.retransmit_messages += fwd.retransmissions;
+            cost.forward_latency += fwd.latency;
             if !fwd.delivered {
                 reached.extend(cells.iter().map(|&c| ((dim, c), false)));
                 continue;
             }
 
+            // The splitter fans out to its cells concurrently from here.
+            let t_split = self.transport.clock().now();
+            let mut pool_end = t_split;
+
             // Replies buffered at the splitter, per contributing cell, so a
             // lost splitter → sink leg can demote exactly its contributors.
             let mut pool_buffer: Vec<(CellCoord, Vec<Event>)> = Vec::new();
             for &cell in &cells {
+                pool_end = pool_end.max(self.transport.clock().now());
+                self.transport.clock_mut().seek(t_split);
                 let index_node = self.index_nodes[&cell];
                 let to_cell =
                     match self.transport.route_to_node(&self.topology, splitter, index_node) {
@@ -255,6 +282,7 @@ impl PoolSystem {
                 let fwd = self.deliver_traced(TraceOp::Query, &to_cell.path, TrafficLayer::Forward);
                 cost.forward_messages += fwd.transmissions - fwd.retransmissions;
                 cost.retransmit_messages += fwd.retransmissions;
+                cost.forward_latency += fwd.latency;
                 if !fwd.delivered {
                     reached.insert((dim, cell), false);
                     continue;
@@ -269,6 +297,7 @@ impl PoolSystem {
                     let w = self.deliver_traced(TraceOp::Query, &walk, TrafficLayer::Forward);
                     cost.forward_messages += w.transmissions - w.retransmissions;
                     cost.retransmit_messages += w.retransmissions;
+                    cost.forward_latency += w.latency;
                     if !w.delivered {
                         // Delegated events live past the stall point; the
                         // cell's answer would be silently partial, so the
@@ -310,6 +339,7 @@ impl PoolSystem {
                     );
                     cost.reply_messages += rev.transmissions - rev.retransmissions;
                     cost.retransmit_messages += rev.retransmissions;
+                    cost.reply_latency += rev.latency;
                     if rev.delivered_copies < copies {
                         // A dead chain-reply leg strands delegated events
                         // past the stall: the cell's answer is partial.
@@ -336,6 +366,7 @@ impl PoolSystem {
                 );
                 cost.reply_messages += rev.transmissions - rev.retransmissions;
                 cost.retransmit_messages += rev.retransmissions;
+                cost.reply_latency += rev.latency;
                 let kept: Vec<Event> = if self.config.aggregate_replies {
                     // One aggregated packet: all or nothing.
                     if rev.delivered_copies == 1 {
@@ -352,6 +383,12 @@ impl PoolSystem {
                 }
             }
 
+            // The splitter can only aggregate once its slowest cell branch
+            // has answered (or given up): the splitter → sink reply launches
+            // at the pool's critical-path end.
+            pool_end = pool_end.max(self.transport.clock().now());
+            self.transport.clock_mut().seek(pool_end);
+
             let pool_matches: usize = pool_buffer.iter().map(|(_, e)| e.len()).sum();
             if pool_matches > 0 {
                 // Aggregated reply from the splitter to the sink.
@@ -364,6 +401,7 @@ impl PoolSystem {
                 );
                 cost.reply_messages += rev.transmissions - rev.retransmissions;
                 cost.retransmit_messages += rev.retransmissions;
+                cost.reply_latency += rev.latency;
                 if self.config.aggregate_replies {
                     if rev.delivered_copies == 1 {
                         events.extend(pool_buffer.into_iter().flat_map(|(_, e)| e));
@@ -390,6 +428,12 @@ impl PoolSystem {
                 }
             }
         }
+
+        // Close the bracket: the query is answered when the slowest pool
+        // branch finishes.
+        op_end = op_end.max(self.transport.clock().now());
+        self.transport.clock_mut().seek(op_end);
+        cost.elapsed = op_end - op_start;
 
         let unreached_cells: Vec<(usize, CellCoord)> = relevant
             .iter()
@@ -526,7 +570,13 @@ impl PoolSystem {
         let ledger_before = LedgerSnapshot::of(self.transport.ledger());
         let mut cost = QueryCost::default();
         let mut delivered_to = Vec::new();
+        // Same virtual-time bracket as a query: pools in parallel from
+        // `op_start`, cells in parallel from each splitter's `t_split`.
+        let op_start = self.transport.clock().now();
+        let mut op_end = op_start;
         for (dim, cells) in group_by_pool(relevant) {
+            op_end = op_end.max(self.transport.clock().now());
+            self.transport.clock_mut().seek(op_start);
             let splitter = self.splitter_of(dim, sink);
             self.splitters_used.insert(splitter);
             let to_splitter = match self.transport.route_to_node(&self.topology, sink, splitter) {
@@ -538,10 +588,15 @@ impl PoolSystem {
                 self.deliver_traced(TraceOp::Monitor, &to_splitter.path, TrafficLayer::Monitor);
             cost.forward_messages += fwd.transmissions - fwd.retransmissions;
             cost.retransmit_messages += fwd.retransmissions;
+            cost.forward_latency += fwd.latency;
             if !fwd.delivered {
                 continue;
             }
+            let t_split = self.transport.clock().now();
+            let mut pool_end = t_split;
             for &cell in &cells {
+                pool_end = pool_end.max(self.transport.clock().now());
+                self.transport.clock_mut().seek(t_split);
                 let index_node = self.index_nodes[&cell];
                 let to_cell =
                     match self.transport.route_to_node(&self.topology, splitter, index_node) {
@@ -553,11 +608,17 @@ impl PoolSystem {
                     self.deliver_traced(TraceOp::Monitor, &to_cell.path, TrafficLayer::Monitor);
                 cost.forward_messages += fwd.transmissions - fwd.retransmissions;
                 cost.retransmit_messages += fwd.retransmissions;
+                cost.forward_latency += fwd.latency;
                 if fwd.delivered {
                     delivered_to.push((dim, cell));
                 }
             }
+            pool_end = pool_end.max(self.transport.clock().now());
+            self.transport.clock_mut().seek(pool_end);
         }
+        op_end = op_end.max(self.transport.clock().now());
+        self.transport.clock_mut().seek(op_end);
+        cost.elapsed = op_end - op_start;
         ledger_before.debug_assert_layers(
             self.transport.ledger(),
             "disseminate",
@@ -714,6 +775,35 @@ mod tests {
         let zero = pool.aggregate_from(NodeId(9), &empty, AggregateOp::Count).unwrap();
         assert_eq!(zero.value, Some(0.0));
         assert!(zero.completeness.is_complete());
+    }
+
+    #[test]
+    fn query_elapsed_is_the_critical_path_not_the_leg_sum() {
+        let mut pool = build_system(300, 2, PoolConfig::paper());
+        for i in 0..50 {
+            pool.insert_from(NodeId(i * 5), ev(&[0.02 * i as f64, 0.5, 0.5])).unwrap();
+        }
+        let q = RangeQuery::exact(vec![(0.0, 1.0), (0.4, 0.6), (0.4, 0.6)]).unwrap();
+        pool.tracer_mut().clear();
+        let before = pool.transport().clock().now();
+        let result = pool.query_from(NodeId(123), &q).unwrap();
+        let after = pool.transport().clock().now();
+        let cost = result.cost;
+        assert!(cost.elapsed > 0.0, "a routed query takes virtual time");
+        assert!((after - before - cost.elapsed).abs() < 1e-12, "the clock advances by elapsed");
+        // Pools and cells overlap, so the end-to-end time is at most the
+        // serial per-leg sum — and on this fan-out workload strictly less.
+        let serial = cost.forward_latency + cost.reply_latency;
+        assert!(
+            cost.elapsed < serial,
+            "elapsed {} must undercut the serial leg sum {}",
+            cost.elapsed,
+            serial
+        );
+        // Every span the query recorded fits inside the operation bracket.
+        for span in pool.tracer().spans() {
+            assert!(span.start >= before - 1e-12 && span.end <= after + 1e-12);
+        }
     }
 
     #[test]

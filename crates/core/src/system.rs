@@ -49,6 +49,11 @@ pub struct InsertReceipt {
     /// Radio messages charged for this insertion (including notification
     /// deliveries to continuous-query sinks).
     pub messages: u64,
+    /// Virtual time the insertion took end to end, in seconds. Notification
+    /// and replication fan-out overlap in time (they launch together once
+    /// the event is stored); the elapsed time is their critical path, not
+    /// their sum.
+    pub elapsed: f64,
     /// Continuous-query notifications triggered by this insertion.
     pub notifications: Vec<Notification>,
 }
@@ -164,7 +169,8 @@ impl PoolSystem {
         layer: TrafficLayer,
     ) -> DeliveryOutcome {
         let outcome = self.transport.deliver(&self.topology, path, layer);
-        self.tracer.record_delivery(op, path, layer, &outcome);
+        let end = self.transport.clock().now();
+        self.tracer.record_delivery(op, path, layer, &outcome, end);
         outcome
     }
 
@@ -178,7 +184,8 @@ impl PoolSystem {
         layer: TrafficLayer,
     ) -> ReverseDelivery {
         let outcome = self.transport.deliver_reverse(&self.topology, path, copies, layer);
-        self.tracer.record_reverse(op, path, copies, layer, &outcome);
+        let end = self.transport.clock().now();
+        self.tracer.record_reverse(op, path, copies, layer, &outcome, end);
         outcome
     }
 
@@ -327,10 +334,12 @@ impl PoolSystem {
     }
 
     /// Assembles the per-node load report: message loads (total and per
-    /// layer) from the ledger, storage loads from the cell store, and role
-    /// tags from the index/splitter/delegate registries.
+    /// layer) from the ledger, radio busy times from the virtual clock,
+    /// storage loads from the cell store, and role tags from the
+    /// index/splitter/delegate registries.
     pub fn load_report(&self) -> LoadReport {
         let mut report = LoadReport::from_ledger(self.transport.ledger());
+        report.set_busy_times(self.transport.clock().busy_times());
         for node in self.topology.nodes() {
             report.set_events_held(node.id, self.store.count_at(node.id) as u64);
         }
@@ -391,6 +400,7 @@ impl PoolSystem {
             }));
         }
         let ledger_before = LedgerSnapshot::of(self.transport.ledger());
+        let op_start = self.transport.clock().now();
         let detected_cell = self.grid.cell_of(self.topology.position(source));
         let placement = storage_cell(&self.layout, &self.grid, &event, detected_cell);
         let index_node =
@@ -434,7 +444,12 @@ impl PoolSystem {
         // Continuous queries (§6 extension): the index node checks the
         // monitors registered on this cell and notifies matching sinks. A
         // lost notification is recorded, not fatal — the event is already
-        // stored.
+        // stored. Notifications (and the replication copy below) all launch
+        // from the moment the event is stored, so they overlap in virtual
+        // time: the clock is re-seeked to `t_stored` before each fan-out
+        // branch and the insertion ends at the latest branch.
+        let t_stored = self.transport.clock().now();
+        let mut op_end = t_stored;
         let mut notifications = Vec::new();
         let firing: Vec<(MonitorId, NodeId)> = self
             .monitors
@@ -443,6 +458,7 @@ impl PoolSystem {
             .map(|m| (m.id, m.sink))
             .collect();
         for (monitor, sink) in firing {
+            self.transport.clock_mut().seek(t_stored);
             match self.transport.route_to_node(&self.topology, index_node, sink) {
                 Ok(route) => {
                     let outcome =
@@ -462,13 +478,17 @@ impl PoolSystem {
                     delivered: false,
                 }),
             }
+            op_end = op_end.max(self.transport.clock().now());
         }
 
         // Optional failure-tolerance replication: one backup copy at a
-        // neighbor of the index node.
+        // neighbor of the index node (overlapping the notifications).
         if self.config.replicate {
+            self.transport.clock_mut().seek(t_stored);
             messages += self.replicate_event(placement.cell, &event, index_node);
+            op_end = op_end.max(self.transport.clock().now());
         }
+        self.transport.clock_mut().seek(op_end);
 
         self.store.insert(placement.cell, event, holder);
         // Conservation audit: the receipt's flat count must equal the
@@ -484,7 +504,7 @@ impl PoolSystem {
                 TrafficLayer::Retransmit,
             ],
         );
-        Ok(InsertReceipt { placement, holder, messages, notifications })
+        Ok(InsertReceipt { placement, holder, messages, elapsed: op_end - op_start, notifications })
     }
 
     /// The continuous-query registry (for inspection).
@@ -700,6 +720,27 @@ mod tests {
         }
         assert!(expected > 0, "workload should contain matches");
         assert_eq!(fired, expected, "every matching insertion must notify exactly once");
+    }
+
+    #[test]
+    fn insertions_accrue_virtual_time_and_fanout_overlaps() {
+        let mut pool = build_system(300, 14, PoolConfig::paper().with_replication());
+        let sink = NodeId(7);
+        let q = RangeQuery::exact(vec![(0.6, 0.7), (0.0, 0.5), (0.0, 0.5)]).unwrap();
+        pool.install_monitor(sink, q).unwrap();
+        let before = pool.transport().clock().now();
+        let r = pool.insert_from(NodeId(100), ev(&[0.65, 0.3, 0.2])).unwrap();
+        let after = pool.transport().clock().now();
+        assert!(r.elapsed > 0.0, "a routed insertion takes virtual time");
+        assert!((after - before - r.elapsed).abs() < 1e-12, "the clock advances by elapsed");
+        assert_eq!(r.notifications.len(), 1);
+        // The busy-time ledger saw the transmissions: utilization shows up
+        // in the load report.
+        let report = pool.load_report();
+        assert!(report.busy_distribution().max > 0.0);
+        let source_row =
+            report.nodes().iter().find(|n| n.node == NodeId(100)).expect("row for the source");
+        assert!(source_row.busy_time > 0.0, "the source transmitted");
     }
 
     #[test]

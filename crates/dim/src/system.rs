@@ -74,6 +74,8 @@ pub struct DimInsertReceipt {
     pub owner: NodeId,
     /// Radio messages charged.
     pub messages: u64,
+    /// Virtual time the insertion took, in seconds.
+    pub elapsed: f64,
 }
 
 /// A running DIM deployment over one sensor network.
@@ -188,7 +190,8 @@ impl DimSystem {
         layer: TrafficLayer,
     ) -> pool_transport::DeliveryOutcome {
         let outcome = self.transport.deliver(&self.topology, path, layer);
-        self.tracer.record_delivery(op, path, layer, &outcome);
+        let end = self.transport.clock().now();
+        self.tracer.record_delivery(op, path, layer, &outcome, end);
         outcome
     }
 
@@ -201,7 +204,8 @@ impl DimSystem {
         layer: TrafficLayer,
     ) -> pool_transport::ReverseDelivery {
         let outcome = self.transport.deliver_reverse(&self.topology, path, copies, layer);
-        self.tracer.record_reverse(op, path, copies, layer, &outcome);
+        let end = self.transport.clock().now();
+        self.tracer.record_reverse(op, path, copies, layer, &outcome, end);
         outcome
     }
 
@@ -251,6 +255,7 @@ impl DimSystem {
     /// its zone's index).
     pub fn load_report(&self) -> LoadReport {
         let mut report = LoadReport::from_ledger(self.transport.ledger());
+        report.set_busy_times(self.transport.clock().busy_times());
         let zones = self.tree.zones();
         let mut held: HashMap<NodeId, u64> = HashMap::new();
         for (&zone_idx, events) in &self.store {
@@ -332,7 +337,7 @@ impl DimSystem {
             outcome.transmissions,
             &[TrafficLayer::Insert, TrafficLayer::Retransmit],
         );
-        Ok(DimInsertReceipt { owner, messages: outcome.transmissions })
+        Ok(DimInsertReceipt { owner, messages: outcome.transmissions, elapsed: outcome.latency })
     }
 
     /// Processes a range query issued at `sink`.
@@ -377,6 +382,12 @@ impl DimSystem {
             return Ok(DimQueryResult { events, cost, zones_visited, zones_reached: 0 });
         }
 
+        // DIM's chain is inherently serial in time too: each owner can only
+        // forward once it has the query, and replies retrace leg by leg —
+        // there is no fan-out to overlap, so the elapsed time is simply the
+        // clock advance across the whole operation.
+        let op_start = self.transport.clock().now();
+
         // Forward legs: sink to the first owner, then owner to owner. On a
         // lossy radio the chain is only as long as its weakest link — the
         // first undelivered leg cuts every owner past it off the query.
@@ -391,6 +402,7 @@ impl DimSystem {
             let fwd = self.deliver_traced(TraceOp::Query, &leg.path, TrafficLayer::Forward);
             cost.forward_messages += fwd.transmissions - fwd.retransmissions;
             cost.retransmit_messages += fwd.retransmissions;
+            cost.forward_latency += fwd.latency;
             if !fwd.delivered {
                 break;
             }
@@ -432,11 +444,13 @@ impl DimSystem {
                     self.deliver_reverse_traced(TraceOp::Query, &leg.path, 1, TrafficLayer::Reply);
                 cost.reply_messages += rev.transmissions - rev.retransmissions;
                 cost.retransmit_messages += rev.retransmissions;
+                cost.reply_latency += rev.latency;
                 if rev.delivered_copies == 0 && j < first_failed_reverse {
                     first_failed_reverse = j;
                 }
             }
         }
+        cost.elapsed = self.transport.clock().now() - op_start;
         let mut zones_reached = 0usize;
         for (pos, matches) in per_zone {
             if matches.is_empty() {

@@ -26,5 +26,5 @@ pub mod hash;
 pub mod replication;
 pub mod table;
 
-pub use replication::ReplicatedGht;
-pub use table::GhtTable;
+pub use replication::{ReplicatedGht, ReplicatedReceipt};
+pub use table::{GhtReceipt, GhtTable};

@@ -14,6 +14,21 @@ use pool_netsim::topology::Topology;
 use pool_transport::{TrafficLayer, Transport};
 use std::collections::HashMap;
 
+/// Receipt for one replicated-GHT operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicatedReceipt {
+    /// Radio messages charged across every mirror leg.
+    pub messages: u64,
+    /// Virtual time the operation took, in seconds. Mirror writes fan out
+    /// concurrently (they serialize only on the writer's radio), so a put's
+    /// elapsed time is the slowest mirror leg, not the leg sum; `get_any`
+    /// probes mirrors serially, so its elapsed time is the probe sum.
+    pub elapsed: f64,
+    /// Mirrors whose leg fully delivered (equals the replica count for a
+    /// put on a loss-free radio; for `get_any`, the probes that answered).
+    pub mirrors_reached: u32,
+}
+
 /// A geographic hash table with structured replication.
 ///
 /// # Examples
@@ -60,9 +75,11 @@ impl<V: Clone> ReplicatedGht<V> {
     }
 
     /// Stores `value` at *every* mirror of `key` (full write fan-out).
-    /// Returns the total hops charged. The primary copy (replica 0) is
-    /// charged under [`TrafficLayer::Insert`]; additional mirrors under
-    /// [`TrafficLayer::Replication`].
+    /// The primary copy (replica 0) is charged under
+    /// [`TrafficLayer::Insert`]; additional mirrors under
+    /// [`TrafficLayer::Replication`]. The mirror writes launch together —
+    /// in virtual time they overlap (serializing only on the writer's
+    /// radio), so the receipt's elapsed time is the slowest mirror leg.
     ///
     /// # Errors
     ///
@@ -74,26 +91,37 @@ impl<V: Clone> ReplicatedGht<V> {
         from: NodeId,
         key: &str,
         value: V,
-    ) -> Result<usize, RouteError> {
-        let mut hops = 0;
+    ) -> Result<ReplicatedReceipt, RouteError> {
+        let op_start = transport.clock().now();
+        let mut op_end = op_start;
+        let mut messages = 0;
+        let mut mirrors_reached = 0;
         for r in 0..self.replicas {
+            transport.clock_mut().seek(op_start);
             let loc = hash_to_replica_location(key.as_bytes(), r, topology.bounds());
             let route = transport.route_to_location(topology, from, loc)?;
             let layer = if r == 0 { TrafficLayer::Insert } else { TrafficLayer::Replication };
-            transport.charge(&route.path, layer);
-            hops += route.hops();
-            self.storage[route.delivered.index()]
-                .entry(key.to_owned())
-                .or_default()
-                .push(value.clone());
+            let outcome = transport.deliver(topology, &route.path, layer);
+            messages += outcome.transmissions;
+            if outcome.delivered {
+                mirrors_reached += 1;
+                self.storage[route.delivered.index()]
+                    .entry(key.to_owned())
+                    .or_default()
+                    .push(value.clone());
+            }
+            op_end = op_end.max(transport.clock().now());
         }
-        Ok(hops)
+        transport.clock_mut().seek(op_end);
+        Ok(ReplicatedReceipt { messages, elapsed: op_end - op_start, mirrors_reached })
     }
 
     /// Reads the *nearest responsive* mirror: mirrors are tried in replica
     /// order and the first holding any value answers. Returns the values
-    /// and total hops (request legs under [`TrafficLayer::Forward`], plus
-    /// the answering mirror's reply under [`TrafficLayer::Reply`]).
+    /// and a receipt (request legs under [`TrafficLayer::Forward`], plus
+    /// the answering mirror's reply under [`TrafficLayer::Reply`]). The
+    /// probes are inherently serial — each launches only after the previous
+    /// mirror came up empty — so the elapsed time is the probe sum.
     ///
     /// # Errors
     ///
@@ -104,23 +132,32 @@ impl<V: Clone> ReplicatedGht<V> {
         transport: &mut dyn Transport,
         from: NodeId,
         key: &str,
-    ) -> Result<(Vec<V>, usize), RouteError> {
-        let mut hops = 0;
+    ) -> Result<(Vec<V>, ReplicatedReceipt), RouteError> {
+        let op_start = transport.clock().now();
+        let mut receipt = ReplicatedReceipt { messages: 0, elapsed: 0.0, mirrors_reached: 0 };
         for r in 0..self.replicas {
             let loc = hash_to_replica_location(key.as_bytes(), r, topology.bounds());
             let route = transport.route_to_location(topology, from, loc)?;
             // Request leg is always charged.
-            transport.charge(&route.path, TrafficLayer::Forward);
-            hops += route.hops();
+            let fwd = transport.deliver(topology, &route.path, TrafficLayer::Forward);
+            receipt.messages += fwd.transmissions;
+            receipt.elapsed = transport.clock().now() - op_start;
+            if !fwd.delivered {
+                continue;
+            }
+            receipt.mirrors_reached += 1;
             let values =
                 self.storage[route.delivered.index()].get(key).cloned().unwrap_or_default();
             if !values.is_empty() {
-                transport.charge_reverse(&route.path, 1, TrafficLayer::Reply);
-                hops += route.hops();
-                return Ok((values, hops));
+                let rev = transport.deliver_reverse(topology, &route.path, 1, TrafficLayer::Reply);
+                receipt.messages += rev.transmissions;
+                receipt.elapsed = transport.clock().now() - op_start;
+                if rev.delivered_copies == 1 {
+                    return Ok((values, receipt));
+                }
             }
         }
-        Ok((Vec::new(), hops))
+        Ok((Vec::new(), receipt))
     }
 
     /// Values held at `node` (load inspection).
@@ -138,12 +175,12 @@ pub fn replication_overhead<V: Clone>(
     key: &str,
     value: V,
     replicas: u32,
-) -> Result<(usize, usize), RouteError> {
+) -> Result<(u64, u64), RouteError> {
     let mut plain: GhtTable<V> = GhtTable::new(topology);
-    let plain_hops = plain.put(topology, transport, from, key, value.clone())?;
+    let plain_messages = plain.put(topology, transport, from, key, value.clone())?.messages;
     let mut replicated: ReplicatedGht<V> = ReplicatedGht::new(topology, replicas);
-    let replicated_hops = replicated.put(topology, transport, from, key, value)?;
-    Ok((plain_hops, replicated_hops))
+    let replicated_messages = replicated.put(topology, transport, from, key, value)?.messages;
+    Ok((plain_messages, replicated_messages))
 }
 
 #[cfg(test)]
@@ -182,18 +219,20 @@ mod tests {
         let (topo, mut t) = setup(2);
         let mut ght: ReplicatedGht<u8> = ReplicatedGht::new(&topo, 3);
         ght.put(&topo, t.as_mut(), NodeId(5), "sensor-type", 9).unwrap();
-        let (values, hops) = ght.get_any(&topo, t.as_mut(), NodeId(200), "sensor-type").unwrap();
+        let (values, receipt) = ght.get_any(&topo, t.as_mut(), NodeId(200), "sensor-type").unwrap();
         assert_eq!(values, vec![9]);
-        assert!(hops > 0);
+        assert!(receipt.messages > 0);
+        assert!(receipt.elapsed > 0.0);
     }
 
     #[test]
     fn missing_key_returns_empty_after_trying_all_mirrors() {
         let (topo, mut t) = setup(3);
         let mut ght: ReplicatedGht<u8> = ReplicatedGht::new(&topo, 3);
-        let (values, hops) = ght.get_any(&topo, t.as_mut(), NodeId(10), "nope").unwrap();
+        let (values, receipt) = ght.get_any(&topo, t.as_mut(), NodeId(10), "nope").unwrap();
         assert!(values.is_empty());
-        assert!(hops > 0, "all three mirrors were consulted");
+        assert!(receipt.messages > 0, "all three mirrors were consulted");
+        assert_eq!(receipt.mirrors_reached, 3);
     }
 
     #[test]
@@ -208,14 +247,41 @@ mod tests {
     fn mirror_writes_split_insert_and_replication_layers() {
         let (topo, mut t) = setup(6);
         let mut ght: ReplicatedGht<u8> = ReplicatedGht::new(&topo, 3);
-        let hops = ght.put(&topo, t.as_mut(), NodeId(0), "k", 1).unwrap();
+        let receipt = ght.put(&topo, t.as_mut(), NodeId(0), "k", 1).unwrap();
         let ledger = t.ledger();
         assert_eq!(
             ledger.layer_total(TrafficLayer::Insert)
                 + ledger.layer_total(TrafficLayer::Replication),
-            hops as u64
+            receipt.messages
         );
         assert!(ledger.layer_total(TrafficLayer::Replication) > 0);
+    }
+
+    #[test]
+    fn mirror_writes_overlap_in_virtual_time() {
+        let (topo, mut t) = setup(7);
+        let mut ght: ReplicatedGht<u8> = ReplicatedGht::new(&topo, 4);
+        let before = t.clock().now();
+        let receipt = ght.put(&topo, t.as_mut(), NodeId(0), "hot", 1).unwrap();
+        assert_eq!(receipt.mirrors_reached, 4);
+        assert!(receipt.elapsed > 0.0);
+        assert!((t.clock().now() - before - receipt.elapsed).abs() < 1e-12);
+        // Writing the same four mirrors one after another on a fresh
+        // deployment costs strictly more time than the overlapped fan-out.
+        let (topo2, mut t2) = setup(7);
+        let mut serial_elapsed = 0.0;
+        for r in 0..4 {
+            let loc = crate::hash::hash_to_replica_location("hot".as_bytes(), r, topo2.bounds());
+            let route = t2.route_to_location(&topo2, NodeId(0), loc).unwrap();
+            let outcome = t2.deliver(&topo2, &route.path, TrafficLayer::Insert);
+            serial_elapsed += outcome.latency;
+        }
+        assert!(
+            receipt.elapsed < serial_elapsed,
+            "overlapped {} vs serial {}",
+            receipt.elapsed,
+            serial_elapsed
+        );
     }
 
     #[test]

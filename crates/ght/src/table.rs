@@ -3,9 +3,12 @@
 //! The home node of a key is the node where a GPSR packet addressed to the
 //! key's hashed location is delivered. `Put` routes the value there and the
 //! home node stores it; `Get` routes a request there and the stored values
-//! travel back along the reverse path. All routing and charging goes
-//! through a caller-provided [`Transport`], so experiments can compare
-//! GHT's per-layer costs with Pool's and DIM's on the same ledger.
+//! travel back along the reverse path. All routing, charging, and virtual
+//! timing goes through a caller-provided [`Transport`], so experiments can
+//! compare GHT's per-layer costs and latencies with Pool's and DIM's on
+//! the same ledger and clock. Operations travel as real deliveries: on a
+//! lossy radio a put whose packet dies stores nothing, and every ARQ
+//! retransmission pays its own virtual time.
 
 use crate::hash::hash_to_location;
 use pool_gpsr::router::RouteError;
@@ -14,6 +17,20 @@ use pool_netsim::node::NodeId;
 use pool_netsim::topology::Topology;
 use pool_transport::{TrafficLayer, Transport};
 use std::collections::HashMap;
+
+/// Receipt for one GHT operation (put or get).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GhtReceipt {
+    /// The home node the operation targeted.
+    pub home: NodeId,
+    /// Radio messages charged (first attempts + ARQ retransmissions).
+    pub messages: u64,
+    /// Virtual time the operation took, in seconds.
+    pub elapsed: f64,
+    /// Whether every leg of the operation fully delivered (always `true`
+    /// on a loss-free radio).
+    pub delivered: bool,
+}
 
 /// A geographic hash table over one deployed network.
 ///
@@ -37,8 +54,9 @@ use std::collections::HashMap;
 /// let mut ght = GhtTable::new(&topology);
 /// let sensor = topology.nodes()[5].id;
 ///
-/// ght.put(&topology, transport.as_mut(), sensor, "fire-alarm", 451.0)?;
-/// let (values, _hops) = ght.get(&topology, transport.as_mut(), sensor, "fire-alarm")?;
+/// let put = ght.put(&topology, transport.as_mut(), sensor, "fire-alarm", 451.0)?;
+/// assert!(put.delivered && put.elapsed > 0.0);
+/// let (values, _receipt) = ght.get(&topology, transport.as_mut(), sensor, "fire-alarm")?;
 /// assert_eq!(values, vec![451.0]);
 /// # Ok(())
 /// # }
@@ -78,8 +96,10 @@ impl<V: Clone> GhtTable<V> {
     }
 
     /// Stores `value` under `key`, routing from the detecting node `from`
-    /// to the key's home node. Returns the number of hops charged
-    /// (under [`TrafficLayer::Insert`]).
+    /// to the key's home node as a real delivery charged under
+    /// [`TrafficLayer::Insert`]. On a lossy radio a put whose packet dies
+    /// en route stores nothing (the transmissions stay charged — the radio
+    /// sent them); the receipt's [`GhtReceipt::delivered`] says which.
     ///
     /// # Errors
     ///
@@ -91,18 +111,26 @@ impl<V: Clone> GhtTable<V> {
         from: NodeId,
         key: &str,
         value: V,
-    ) -> Result<usize, RouteError> {
+    ) -> Result<GhtReceipt, RouteError> {
         let loc = self.key_location(topology, key);
         let route = transport.route_to_location(topology, from, loc)?;
-        transport.charge(&route.path, TrafficLayer::Insert);
-        self.storage[route.delivered.index()].entry(key.to_owned()).or_default().push(value);
-        Ok(route.hops())
+        let outcome = transport.deliver(topology, &route.path, TrafficLayer::Insert);
+        if outcome.delivered {
+            self.storage[route.delivered.index()].entry(key.to_owned()).or_default().push(value);
+        }
+        Ok(GhtReceipt {
+            home: route.delivered,
+            messages: outcome.transmissions,
+            elapsed: outcome.latency,
+            delivered: outcome.delivered,
+        })
     }
 
     /// Retrieves all values stored under `key`, issuing the request from
-    /// `from`. Returns the values and the total hops charged (request
-    /// under [`TrafficLayer::Forward`], response along the reverse path
-    /// under [`TrafficLayer::Reply`]).
+    /// `from`. Returns the values and a receipt (request charged under
+    /// [`TrafficLayer::Forward`], response along the reverse path under
+    /// [`TrafficLayer::Reply`]). On a lossy radio a dead request leg
+    /// returns nothing, and a dead reply leg loses the answer in flight.
     ///
     /// # Errors
     ///
@@ -113,18 +141,33 @@ impl<V: Clone> GhtTable<V> {
         transport: &mut dyn Transport,
         from: NodeId,
         key: &str,
-    ) -> Result<(Vec<V>, usize), RouteError> {
+    ) -> Result<(Vec<V>, GhtReceipt), RouteError> {
         let loc = self.key_location(topology, key);
         let route = transport.route_to_location(topology, from, loc)?;
-        transport.charge(&route.path, TrafficLayer::Forward);
-        let values = self.storage[route.delivered.index()].get(key).cloned().unwrap_or_default();
-        let mut hops = route.hops();
-        if !values.is_empty() {
-            // The response retraces the query path back to the sink.
-            transport.charge_reverse(&route.path, 1, TrafficLayer::Reply);
-            hops += route.hops();
+        let fwd = transport.deliver(topology, &route.path, TrafficLayer::Forward);
+        let mut receipt = GhtReceipt {
+            home: route.delivered,
+            messages: fwd.transmissions,
+            elapsed: fwd.latency,
+            delivered: fwd.delivered,
+        };
+        if !fwd.delivered {
+            return Ok((Vec::new(), receipt));
         }
-        Ok((values, hops))
+        let values = self.storage[route.delivered.index()].get(key).cloned().unwrap_or_default();
+        if values.is_empty() {
+            return Ok((values, receipt));
+        }
+        // The response retraces the query path back to the sink.
+        let rev = transport.deliver_reverse(topology, &route.path, 1, TrafficLayer::Reply);
+        receipt.messages += rev.transmissions;
+        receipt.elapsed += rev.latency;
+        receipt.delivered = rev.delivered_copies == 1;
+        if receipt.delivered {
+            Ok((values, receipt))
+        } else {
+            Ok((Vec::new(), receipt))
+        }
     }
 
     /// Values stored at a specific node (diagnostics / load inspection).
@@ -179,10 +222,10 @@ mod tests {
         let (topo, mut t) = setup(102);
         let mut ght: GhtTable<u32> = GhtTable::new(&topo);
         let before = t.ledger().total_messages();
-        let (values, hops) = ght.get(&topo, t.as_mut(), NodeId(3), "nothing-here").unwrap();
+        let (values, receipt) = ght.get(&topo, t.as_mut(), NodeId(3), "nothing-here").unwrap();
         assert!(values.is_empty());
         // Only the request path is charged when there is nothing to return.
-        assert_eq!(t.ledger().total_messages() - before, hops as u64);
+        assert_eq!(t.ledger().total_messages() - before, receipt.messages);
         assert_eq!(t.ledger().layer_total(TrafficLayer::Reply), 0);
     }
 
@@ -214,9 +257,26 @@ mod tests {
     fn traffic_accumulates_hops() {
         let (topo, mut t) = setup(105);
         let mut ght: GhtTable<u8> = GhtTable::new(&topo);
-        let hops = ght.put(&topo, t.as_mut(), NodeId(0), "k", 9).unwrap();
-        assert_eq!(t.ledger().total_messages(), hops as u64);
-        assert_eq!(t.ledger().layer_total(TrafficLayer::Insert), hops as u64);
+        let receipt = ght.put(&topo, t.as_mut(), NodeId(0), "k", 9).unwrap();
+        assert_eq!(t.ledger().total_messages(), receipt.messages);
+        assert_eq!(t.ledger().layer_total(TrafficLayer::Insert), receipt.messages);
+    }
+
+    #[test]
+    fn put_and_get_accrue_virtual_time() {
+        let (topo, mut t) = setup(107);
+        let mut ght: GhtTable<u8> = GhtTable::new(&topo);
+        let put = ght.put(&topo, t.as_mut(), NodeId(0), "k", 9).unwrap();
+        assert!(put.delivered);
+        assert!(put.elapsed > 0.0, "a routed put takes virtual time");
+        let before = t.clock().now();
+        let (values, get) = ght.get(&topo, t.as_mut(), NodeId(120), "k").unwrap();
+        assert_eq!(values, vec![9]);
+        // Request plus reply both accrue; the clock advanced by exactly the
+        // receipt's elapsed time (get legs are serial: ask, then answer).
+        assert!((t.clock().now() - before - get.elapsed).abs() < 1e-12);
+        assert!(get.elapsed > 0.0);
+        assert!(t.ledger().layer_total(TrafficLayer::Reply) > 0, "the reply leg was charged");
     }
 
     #[test]
@@ -227,9 +287,9 @@ mod tests {
         let mut b: GhtTable<u8> = GhtTable::new(&topo);
         for i in 0..10u32 {
             let key = format!("k{}", i % 3); // repeated keys exercise the memo
-            let ha = a.put(&topo, plain.as_mut(), NodeId(i), &key, 1).unwrap();
-            let hb = b.put(&topo, cached.as_mut(), NodeId(i), &key, 1).unwrap();
-            assert_eq!(ha, hb);
+            let ra = a.put(&topo, plain.as_mut(), NodeId(i), &key, 1).unwrap();
+            let rb = b.put(&topo, cached.as_mut(), NodeId(i), &key, 1).unwrap();
+            assert_eq!(ra, rb, "cache hit must charge and time identically");
         }
         assert_eq!(plain.ledger(), cached.ledger());
     }

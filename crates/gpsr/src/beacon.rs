@@ -5,14 +5,19 @@
 //! computes those tables analytically; this module *derives them the way
 //! real firmware would* — every node broadcasts HELLO beacons carrying its
 //! id and position, and receivers record the sender — then proves the two
-//! agree. It doubles as an end-to-end exercise of the discrete-event
-//! simulator's radio model.
+//! agree. The exchange runs directly on the deterministic
+//! [`pool_netsim::schedule::EventQueue`] with a strict radio model: a send
+//! to a non-neighbor is an error, exactly as on real hardware.
 
 use pool_netsim::geometry::Point;
 use pool_netsim::node::NodeId;
-use pool_netsim::sim::{Context, Protocol, SimError, Simulator};
+use pool_netsim::schedule::EventQueue;
 use pool_netsim::topology::Topology;
 use std::collections::BTreeSet;
+use std::fmt;
+
+/// Per-hop beacon propagation latency, in seconds.
+const BEACON_HOP_LATENCY: f64 = 1e-3;
 
 /// A HELLO beacon: the sender's identity and location.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,7 +28,31 @@ pub struct Hello {
     pub position: Point,
 }
 
-/// The beacon protocol state: per-node discovered neighbor tables.
+/// A rejected radio operation during a beacon round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeaconError {
+    /// A node attempted to transmit to a node outside its radio range.
+    NotANeighbor {
+        /// The transmitting node.
+        from: NodeId,
+        /// The intended receiver.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for BeaconError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BeaconError::NotANeighbor { from, to } => {
+                write!(f, "{from} cannot reach {to}: not a radio neighbor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BeaconError {}
+
+/// The discovered state of a beacon round: per-node neighbor tables.
 #[derive(Debug)]
 pub struct BeaconProtocol {
     tables: Vec<BTreeSet<NodeId>>,
@@ -44,39 +73,10 @@ impl BeaconProtocol {
     pub fn known_positions(&self, id: NodeId) -> &[(NodeId, Point)] {
         &self.positions[id.index()]
     }
-}
 
-/// Messages of the discovery round.
-#[derive(Debug, Clone)]
-pub enum BeaconMsg {
-    /// Kick a node into broadcasting (injected once per node).
-    Start {
-        /// The broadcaster's neighbor list (radio fan-out targets).
-        neighbors: Vec<NodeId>,
-        /// The broadcaster's own HELLO payload.
-        me: Hello,
-    },
-    /// A HELLO on the air.
-    Hello(Hello),
-}
-
-impl Protocol for BeaconProtocol {
-    type Message = BeaconMsg;
-    fn on_message(&mut self, ctx: &mut Context<BeaconMsg>, at: NodeId, msg: BeaconMsg) {
-        match msg {
-            BeaconMsg::Start { neighbors, me } => {
-                // A radio broadcast reaches every node in range; the
-                // simulator models it as one unicast per neighbor (the
-                // message count matches a per-neighbor-acked beacon).
-                for nb in neighbors {
-                    ctx.send(at, nb, BeaconMsg::Hello(me));
-                }
-            }
-            BeaconMsg::Hello(hello) => {
-                if self.tables[at.index()].insert(hello.from) {
-                    self.positions[at.index()].push((hello.from, hello.position));
-                }
-            }
+    fn hear(&mut self, at: NodeId, hello: Hello) {
+        if self.tables[at.index()].insert(hello.from) {
+            self.positions[at.index()].push((hello.from, hello.position));
         }
     }
 }
@@ -84,27 +84,37 @@ impl Protocol for BeaconProtocol {
 /// Runs one full beacon round over `topology` and returns the discovered
 /// tables.
 ///
+/// A radio broadcast reaches every node in range; the event queue models
+/// it as one unicast per neighbor (the message count matches a
+/// per-neighbor-acked beacon), each arriving one hop latency after the
+/// broadcast fires. Ties pop in insertion order, so the round is fully
+/// deterministic.
+///
 /// # Errors
 ///
-/// Propagates simulator errors (impossible for well-formed topologies).
-pub fn discover_neighbors(topology: &Topology) -> Result<BeaconProtocol, SimError> {
+/// Returns [`BeaconError::NotANeighbor`] if a beacon targets a node out of
+/// radio range (impossible for tables derived from the topology itself).
+pub fn discover_neighbors(topology: &Topology) -> Result<BeaconProtocol, BeaconError> {
     let n = topology.len();
-    let mut sim = Simulator::new(topology.clone(), BeaconProtocol::new(n));
-    for node in topology.nodes().to_vec() {
+    let mut protocol = BeaconProtocol::new(n);
+    let mut queue: EventQueue<(NodeId, NodeId, Hello)> = EventQueue::new();
+    for node in topology.nodes() {
         if !topology.is_alive(node.id) {
             continue;
         }
-        let neighbors = topology.neighbors(node.id).to_vec();
-        sim.inject(
-            node.id,
-            BeaconMsg::Start { neighbors, me: Hello { from: node.id, position: node.position } },
-        );
+        let hello = Hello { from: node.id, position: node.position };
+        for &nb in topology.neighbors(node.id) {
+            queue
+                .schedule(BEACON_HOP_LATENCY, (node.id, nb, hello))
+                .expect("beacon broadcast scheduled at a fixed positive time");
+        }
     }
-    sim.run()?;
-    let (protocol, _traffic) = {
-        let traffic = sim.traffic().clone();
-        (std::mem::replace(sim.protocol_mut(), BeaconProtocol::new(0)), traffic)
-    };
+    while let Some((_, (from, to, hello))) = queue.pop() {
+        if !topology.neighbors(from).contains(&to) {
+            return Err(BeaconError::NotANeighbor { from, to });
+        }
+        protocol.hear(to, hello);
+    }
     Ok(protocol)
 }
 

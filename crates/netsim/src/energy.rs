@@ -82,6 +82,22 @@ impl EnergyLedger {
         }
     }
 
+    /// Charges exact per-node transmit and receive counts, as produced by
+    /// the virtual clock (which, unlike [`TrafficStats`], observes the
+    /// receiving end of every transmission — retransmissions included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count slices disagree with the ledger's node count.
+    pub fn charge_counts(&mut self, tx: &[u64], rx: &[u64]) {
+        assert_eq!(tx.len(), self.remaining.len(), "tx counts for a different network size");
+        assert_eq!(rx.len(), self.remaining.len(), "rx counts for a different network size");
+        for (i, (&sent, &received)) in tx.iter().zip(rx).enumerate() {
+            let drain = sent as f64 * self.model.tx_cost + received as f64 * self.model.rx_cost;
+            self.remaining[i] = (self.remaining[i] - drain).max(0.0);
+        }
+    }
+
     /// Remaining energy of node `id` in joules.
     pub fn remaining(&self, id: NodeId) -> f64 {
         self.remaining[id.index()]
@@ -156,6 +172,24 @@ mod tests {
         let mut ledger = EnergyLedger::new(2, 1.0, EnergyModel::new(0.1, 0.05));
         ledger.charge_traffic(&traffic);
         assert!((ledger.remaining(NodeId(0)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_counts_bills_both_ends() {
+        let mut ledger = EnergyLedger::new(3, 1.0, EnergyModel::new(0.1, 0.05));
+        // Node 0 sent 2 (one was a retransmission), node 1 relayed 1;
+        // node 1 heard 2, node 2 heard 1.
+        ledger.charge_counts(&[2, 1, 0], &[0, 2, 1]);
+        assert!((ledger.remaining(NodeId(0)) - 0.8).abs() < 1e-12);
+        assert!((ledger.remaining(NodeId(1)) - 0.8).abs() < 1e-12);
+        assert!((ledger.remaining(NodeId(2)) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different network size")]
+    fn charge_counts_rejects_size_mismatch() {
+        let mut ledger = EnergyLedger::new(2, 1.0, EnergyModel::default());
+        ledger.charge_counts(&[1], &[1]);
     }
 
     #[test]

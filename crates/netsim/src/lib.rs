@@ -8,8 +8,8 @@
 //! * [`deployment`] — uniform random placement sized to the paper's density
 //!   (40 m radio range, ~20 neighbors on average, §5.1).
 //! * [`topology`] — unit-disk neighbor tables and spatial queries.
-//! * [`schedule`] / [`sim`] — deterministic discrete-event message-passing
-//!   simulation with a strict "neighbors only" radio model.
+//! * [`schedule`] — the deterministic discrete-event queue that serves as
+//!   the virtual clock of record for the latency-aware execution layer.
 //! * [`stats`] — the paper's cost metric: per-hop message counting.
 //! * [`energy`] — first-order radio energy model for lifetime/hotspot
 //!   studies and the workload-sharing trigger.
@@ -40,10 +40,8 @@ pub mod node;
 pub mod radio;
 pub mod render;
 pub mod schedule;
-pub mod sim;
 pub mod stats;
 pub mod topology;
-pub mod trace;
 
 pub use deployment::{Deployment, Placement};
 pub use error::NetsimError;

@@ -1,13 +1,44 @@
 //! A deterministic discrete-event scheduler.
 //!
 //! Events are `(time, payload)` pairs popped in time order; ties are broken
-//! by insertion order so simulations are fully reproducible.
+//! by insertion order so simulations are fully reproducible. This queue is
+//! the clock of record for the latency-aware execution layer: every virtual
+//! timestamp in the repo ultimately comes from popping one of these events.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// Simulated time in seconds.
 pub type SimTime = f64;
+
+/// A rejected [`EventQueue::schedule`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleError {
+    /// The event time was NaN, which has no place on a timeline.
+    NanTime,
+    /// The event time was negative or earlier than the queue's current
+    /// time; a discrete-event clock only moves forward.
+    PastTime {
+        /// The rejected event time.
+        time: SimTime,
+        /// The queue's current time.
+        now: SimTime,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NanTime => write!(f, "event time must not be NaN"),
+            ScheduleError::PastTime { time, now } => {
+                write!(f, "cannot schedule in the past ({time} < {now})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 struct Scheduled<T> {
     time: SimTime,
@@ -28,12 +59,11 @@ impl<T> PartialOrd for Scheduled<T> {
 }
 impl<T> Ord for Scheduled<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first order.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .expect("NaN event time")
-            .then_with(|| other.seq.cmp(&self.seq))
+        // BinaryHeap is a max-heap; invert for earliest-first order. NaN
+        // times are rejected at the schedule boundary, so `total_cmp` is a
+        // plain total order here — it exists to keep the comparator
+        // panic-free (the repo-wide convention for ordering floats).
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -44,12 +74,16 @@ impl<T> Ord for Scheduled<T> {
 /// ```
 /// use pool_netsim::schedule::EventQueue;
 ///
+/// # fn main() -> Result<(), pool_netsim::schedule::ScheduleError> {
 /// let mut q = EventQueue::new();
-/// q.schedule(2.0, "late");
-/// q.schedule(1.0, "early");
+/// q.schedule(2.0, "late")?;
+/// q.schedule(1.0, "early")?;
 /// assert_eq!(q.pop(), Some((1.0, "early")));
 /// assert_eq!(q.pop(), Some((2.0, "late")));
 /// assert_eq!(q.pop(), None);
+/// assert!(q.schedule(f64::NAN, "never").is_err());
+/// # Ok(())
+/// # }
 /// ```
 pub struct EventQueue<T> {
     heap: BinaryHeap<Scheduled<T>>,
@@ -65,25 +99,38 @@ impl<T> EventQueue<T> {
 
     /// Schedules `payload` at absolute time `time`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `time` is NaN or earlier than the current time.
-    pub fn schedule(&mut self, time: SimTime, payload: T) {
-        assert!(!time.is_nan(), "event time must not be NaN");
-        assert!(time >= self.now, "cannot schedule in the past ({time} < {})", self.now);
+    /// Returns [`ScheduleError::NanTime`] for NaN times and
+    /// [`ScheduleError::PastTime`] for times earlier than the current time
+    /// (which includes all negative times — the clock starts at zero).
+    pub fn schedule(&mut self, time: SimTime, payload: T) -> Result<(), ScheduleError> {
+        if time.is_nan() {
+            return Err(ScheduleError::NanTime);
+        }
+        if time < self.now {
+            return Err(ScheduleError::PastTime { time, now: self.now });
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, payload });
+        Ok(())
     }
 
     /// Schedules `payload` at `delay` seconds after the current time.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `delay` is negative or NaN.
-    pub fn schedule_after(&mut self, delay: SimTime, payload: T) {
-        assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
-        self.schedule(self.now + delay, payload);
+    /// Returns [`ScheduleError::NanTime`] for a NaN delay and
+    /// [`ScheduleError::PastTime`] for a negative one.
+    pub fn schedule_after(&mut self, delay: SimTime, payload: T) -> Result<(), ScheduleError> {
+        if delay.is_nan() {
+            return Err(ScheduleError::NanTime);
+        }
+        if delay < 0.0 {
+            return Err(ScheduleError::PastTime { time: self.now + delay, now: self.now });
+        }
+        self.schedule(self.now + delay, payload)
     }
 
     /// Pops the earliest event, advancing the clock to its time.
@@ -132,9 +179,9 @@ mod tests {
     #[test]
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(3.0, 'c');
-        q.schedule(1.0, 'a');
-        q.schedule(2.0, 'b');
+        q.schedule(3.0, 'c').unwrap();
+        q.schedule(1.0, 'a').unwrap();
+        q.schedule(2.0, 'b').unwrap();
         let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
         assert_eq!(order, vec!['a', 'b', 'c']);
     }
@@ -142,9 +189,9 @@ mod tests {
     #[test]
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.schedule(1.0, 1);
-        q.schedule(1.0, 2);
-        q.schedule(1.0, 3);
+        q.schedule(1.0, 1).unwrap();
+        q.schedule(1.0, 2).unwrap();
+        q.schedule(1.0, 3).unwrap();
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
@@ -152,7 +199,7 @@ mod tests {
     #[test]
     fn clock_advances_with_pops() {
         let mut q = EventQueue::new();
-        q.schedule(5.0, ());
+        q.schedule(5.0, ()).unwrap();
         assert_eq!(q.now(), 0.0);
         q.pop();
         assert_eq!(q.now(), 5.0);
@@ -161,28 +208,139 @@ mod tests {
     #[test]
     fn schedule_after_is_relative() {
         let mut q = EventQueue::new();
-        q.schedule(2.0, "first");
+        q.schedule(2.0, "first").unwrap();
         q.pop();
-        q.schedule_after(1.5, "second");
+        q.schedule_after(1.5, "second").unwrap();
         assert_eq!(q.pop(), Some((3.5, "second")));
     }
 
     #[test]
-    #[should_panic(expected = "cannot schedule in the past")]
-    fn scheduling_in_the_past_panics() {
+    fn scheduling_in_the_past_is_a_typed_error() {
         let mut q = EventQueue::new();
-        q.schedule(2.0, ());
+        q.schedule(2.0, ()).unwrap();
         q.pop();
-        q.schedule(1.0, ());
+        assert_eq!(q.schedule(1.0, ()), Err(ScheduleError::PastTime { time: 1.0, now: 2.0 }));
+    }
+
+    #[test]
+    fn negative_and_nan_times_are_rejected() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.schedule(-0.5, ()), Err(ScheduleError::PastTime { time: -0.5, now: 0.0 }));
+        assert_eq!(q.schedule(f64::NAN, ()), Err(ScheduleError::NanTime));
+        assert_eq!(
+            q.schedule_after(-1.0, ()),
+            Err(ScheduleError::PastTime { time: -1.0, now: 0.0 })
+        );
+        assert_eq!(q.schedule_after(f64::NAN, ()), Err(ScheduleError::NanTime));
+        // Rejections leave the queue untouched.
+        assert!(q.is_empty());
+        q.schedule(0.0, ()).unwrap();
+        assert_eq!(q.len(), 1);
     }
 
     #[test]
     fn len_and_is_empty() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.schedule(1.0, ());
+        q.schedule(1.0, ()).unwrap();
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One step of an interleaved workload: schedule a delay or pop.
+    #[derive(Debug, Clone, Copy)]
+    enum Step {
+        Schedule(u32),
+        Pop,
+    }
+
+    /// Expands a seed into a reproducible interleaving of schedules and
+    /// pops (the vendored proptest has no collection strategies).
+    fn expand(seed: u64, len: usize) -> Vec<Step> {
+        let mut state = seed;
+        let mut next = move || {
+            // splitmix64, the repo's standard seed expander.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        (0..len)
+            .map(|_| {
+                let word = next();
+                if word % 4 == 0 {
+                    Step::Pop
+                } else {
+                    Step::Schedule((word >> 2) as u32 % 1000)
+                }
+            })
+            .collect()
+    }
+
+    fn steps() -> impl Strategy<Value = Vec<Step>> {
+        (any::<u64>(), 0usize..200).prop_map(|(seed, len)| expand(seed, len))
+    }
+
+    proptest! {
+        /// Pops are nondecreasing in time, and events scheduled for the
+        /// same instant come back in insertion (FIFO) order — under any
+        /// interleaving of schedules and pops.
+        #[test]
+        fn pops_are_nondecreasing_with_fifo_ties(steps in steps()) {
+            let mut q = EventQueue::new();
+            let mut id = 0u64;
+            let mut popped: Vec<(SimTime, u64)> = Vec::new();
+            for step in steps {
+                match step {
+                    Step::Schedule(millis) => {
+                        // Coarse delays force plenty of exact ties.
+                        q.schedule_after(f64::from(millis / 100) * 0.01, id).unwrap();
+                        id += 1;
+                    }
+                    Step::Pop => {
+                        if let Some(ev) = q.pop() {
+                            popped.push(ev);
+                        }
+                    }
+                }
+            }
+            while let Some(ev) = q.pop() {
+                popped.push(ev);
+            }
+            prop_assert_eq!(popped.len() as u64, id, "every scheduled event pops exactly once");
+            for w in popped.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "time went backward: {:?}", w);
+                if w[0].0 == w[1].0 {
+                    prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated: {:?}", w);
+                }
+            }
+        }
+
+        /// The clock never runs backward and always equals the last popped
+        /// event's time.
+        #[test]
+        fn now_tracks_the_last_pop(steps in steps()) {
+            let mut q = EventQueue::new();
+            for step in steps {
+                let before = q.now();
+                match step {
+                    Step::Schedule(millis) => q.schedule_after(f64::from(millis) * 1e-3, ()).unwrap(),
+                    Step::Pop => {
+                        if let Some((t, ())) = q.pop() {
+                            prop_assert_eq!(q.now(), t);
+                        }
+                    }
+                }
+                prop_assert!(q.now() >= before, "clock ran backward");
+            }
+        }
     }
 }

@@ -118,6 +118,8 @@ pub struct Summary {
     pub median: f64,
     /// 95th percentile.
     pub p95: f64,
+    /// 99th percentile (tail latency's favourite quantile).
+    pub p99: f64,
 }
 
 impl Summary {
@@ -145,6 +147,7 @@ impl Summary {
             max: sorted[count - 1],
             median: percentile_sorted(&sorted, 50.0),
             p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
         }
     }
 }
@@ -229,6 +232,7 @@ mod tests {
         assert_eq!(s.mean, 7.0);
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.p95, 7.0);
+        assert_eq!(s.p99, 7.0);
     }
 
     #[test]
@@ -236,6 +240,7 @@ mod tests {
         let s = Summary::of(&[0.0, 10.0]);
         assert_eq!(s.median, 5.0);
         assert_eq!(s.p95, 9.5);
+        assert_eq!(s.p99, 9.9);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The memoizing transport: GPSR routes cached per endpoint pair.
 
+use crate::clock::{LatencyModel, VirtualClock};
 use crate::{TrafficLedger, Transport, TransportKind};
 use pool_gpsr::{Gpsr, Planarization, Route, RouteError};
 use pool_netsim::geometry::Point;
@@ -27,6 +28,7 @@ pub struct CachedTransport {
     gpsr: Gpsr,
     planarization: Planarization,
     ledger: TrafficLedger,
+    clock: VirtualClock,
     generation: u64,
     node_routes: HashMap<(NodeId, NodeId), Arc<Route>>,
     location_routes: HashMap<(NodeId, u64, u64), Arc<Route>>,
@@ -41,6 +43,7 @@ impl CachedTransport {
             gpsr: Gpsr::new(topology, planarization),
             planarization,
             ledger: TrafficLedger::new(topology.nodes().len()),
+            clock: VirtualClock::new(topology.nodes().len(), LatencyModel::default()),
             generation: 0,
             node_routes: HashMap::new(),
             location_routes: HashMap::new(),
@@ -111,6 +114,14 @@ impl Transport for CachedTransport {
 
     fn ledger_mut(&mut self) -> &mut TrafficLedger {
         &mut self.ledger
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    fn clock_mut(&mut self) -> &mut VirtualClock {
+        &mut self.clock
     }
 
     fn kind(&self) -> TransportKind {

@@ -1,0 +1,353 @@
+//! The virtual clock: latency and queueing accounting for deliveries.
+//!
+//! The paper's evaluation counts messages; the ROADMAP's north star also
+//! needs *time*. [`VirtualClock`] is the latency ledger that sits next to
+//! the [`crate::TrafficLedger`]: every transmission a transport charges is
+//! also timed — per-hop propagation latency plus a per-node queueing model
+//! in which a busy sender serializes its transmissions (configurable
+//! service time). Fan-out (reply copies, replication mirrors, per-cell
+//! query legs) is driven through the deterministic
+//! [`pool_netsim::schedule::EventQueue`], so branches overlap in virtual
+//! time instead of summing serially, while transmissions that share a
+//! sender still queue behind each other.
+//!
+//! Determinism contract: the clock advances on virtual quantities only
+//! (hop counts, service times, seq-ordered event pops). Identical
+//! workloads produce bit-identical timestamps on any machine and at any
+//! bench `--jobs` count.
+
+use pool_netsim::node::NodeId;
+use pool_netsim::schedule::{EventQueue, SimTime};
+
+/// The per-hop timing model.
+///
+/// Defaults match the former discrete-event simulator's 1 ms per-hop
+/// latency, plus a 0.5 ms transmit service time (the slot a sender's radio
+/// is occupied per transmission; queued transmissions wait for it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Propagation + reception latency of one hop, in seconds.
+    pub hop_latency: f64,
+    /// Time the sender's radio is busy per transmission, in seconds.
+    pub service_time: f64,
+}
+
+impl LatencyModel {
+    /// Creates a model with the given per-hop latency and service time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is negative or not finite.
+    pub fn new(hop_latency: f64, service_time: f64) -> Self {
+        assert!(hop_latency.is_finite() && hop_latency >= 0.0, "invalid hop latency");
+        assert!(service_time.is_finite() && service_time >= 0.0, "invalid service time");
+        LatencyModel { hop_latency, service_time }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel { hop_latency: 1e-3, service_time: 0.5e-3 }
+    }
+}
+
+/// One hop of a delivery, with the number of transmissions the link layer
+/// actually made on it (1 for loss-free links; first attempt plus every
+/// ARQ retransmission for lossy ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Transmissions made on this hop (≥ 1; every attempt pays its own
+    /// service time and hop latency).
+    pub transmissions: u64,
+}
+
+/// Event payload inside [`VirtualClock::time_fanout`]: which leg is ready
+/// to process its next hop.
+struct LegCursor {
+    leg: usize,
+    hop: usize,
+}
+
+/// The latency ledger: per-node busy state plus a monotone-per-operation
+/// cursor of virtual time.
+///
+/// The cursor is *not* globally monotone: operations that fan out
+/// bracket their branches by [`VirtualClock::seek`]ing back to the branch
+/// point, so sibling branches start at the same instant. Per-node
+/// `busy_until` state persists across seeks — a node transmitting on one
+/// branch is still busy when a sibling branch reaches it, which is exactly
+/// the queueing the model wants (shared senders serialize; disjoint
+/// branches overlap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualClock {
+    model: LatencyModel,
+    cursor: SimTime,
+    busy_until: Vec<SimTime>,
+    busy_time: Vec<f64>,
+    tx: Vec<u64>,
+    rx: Vec<u64>,
+}
+
+impl VirtualClock {
+    /// Creates a clock for a network of `n` nodes.
+    pub fn new(n: usize, model: LatencyModel) -> Self {
+        VirtualClock {
+            model,
+            cursor: 0.0,
+            busy_until: vec![0.0; n],
+            busy_time: vec![0.0; n],
+            tx: vec![0; n],
+            rx: vec![0; n],
+        }
+    }
+
+    /// The timing model.
+    pub fn model(&self) -> LatencyModel {
+        self.model
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.cursor
+    }
+
+    /// Moves the cursor to `t`. Backward seeks are how operations bracket
+    /// fan-out: save [`VirtualClock::now`], run one branch, seek back, run
+    /// the next, then seek to the maximum branch end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN or negative.
+    pub fn seek(&mut self, t: SimTime) {
+        assert!(t.is_finite() && t >= 0.0, "invalid clock seek to {t}");
+        self.cursor = t;
+    }
+
+    /// Total time node `id`'s radio spent transmitting.
+    pub fn busy_time(&self, id: NodeId) -> f64 {
+        self.busy_time[id.index()]
+    }
+
+    /// Per-node busy time, in node order.
+    pub fn busy_times(&self) -> &[f64] {
+        &self.busy_time
+    }
+
+    /// Per-node transmission counts (retransmissions included).
+    pub fn tx_counts(&self) -> &[u64] {
+        &self.tx
+    }
+
+    /// Per-node reception counts.
+    pub fn rx_counts(&self) -> &[u64] {
+        &self.rx
+    }
+
+    /// Times one transmission burst: `transmissions` back-to-back attempts
+    /// on `from → to` starting no earlier than `t`. Returns the arrival
+    /// time of the last attempt. Self-hops take no time.
+    fn time_hop(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        transmissions: u64,
+        mut t: SimTime,
+    ) -> SimTime {
+        if from == to {
+            return t;
+        }
+        let f = from.index();
+        for _ in 0..transmissions {
+            let start = if self.busy_until[f] > t { self.busy_until[f] } else { t };
+            self.busy_until[f] = start + self.model.service_time;
+            self.busy_time[f] += self.model.service_time;
+            self.tx[f] += 1;
+            self.rx[to.index()] += 1;
+            // The next ARQ attempt waits for the missing-ack timeout, which
+            // this model equates with one hop latency.
+            t = start + self.model.service_time + self.model.hop_latency;
+        }
+        t
+    }
+
+    /// Times one delivery leg (a sequence of hops starting at the cursor),
+    /// advances the cursor to its end, and returns the elapsed time.
+    pub fn time_leg(&mut self, hops: &[Hop]) -> f64 {
+        let start = self.cursor;
+        let mut t = start;
+        for hop in hops {
+            t = self.time_hop(hop.from, hop.to, hop.transmissions, t);
+        }
+        self.cursor = t;
+        t - start
+    }
+
+    /// Times `legs` launched concurrently at the cursor, interleaving their
+    /// hops in virtual-time order through a fresh [`EventQueue`] (FIFO on
+    /// ties, so the interleaving is deterministic). Advances the cursor to
+    /// the latest leg end and returns the elapsed time.
+    ///
+    /// Legs that share a sender serialize on its radio; disjoint legs
+    /// overlap. An empty set of legs takes no time.
+    pub fn time_fanout(&mut self, legs: &[Vec<Hop>]) -> f64 {
+        let start = self.cursor;
+        let mut queue: EventQueue<LegCursor> = EventQueue::new();
+        // EventQueue clocks start at zero; schedule relative to `start`.
+        for (leg, hops) in legs.iter().enumerate() {
+            if !hops.is_empty() {
+                queue
+                    .schedule(0.0, LegCursor { leg, hop: 0 })
+                    .expect("fan-out legs launch at the branch point");
+            }
+        }
+        let mut end = start;
+        while let Some((t, cursor)) = queue.pop() {
+            let hop = legs[cursor.leg][cursor.hop];
+            let arrival = self.time_hop(hop.from, hop.to, hop.transmissions, start + t);
+            let next = cursor.hop + 1;
+            if next < legs[cursor.leg].len() {
+                queue
+                    .schedule(arrival - start, LegCursor { leg: cursor.leg, hop: next })
+                    .expect("hop arrivals never precede their launch");
+            } else if arrival > end {
+                end = arrival;
+            }
+        }
+        self.cursor = end;
+        end - start
+    }
+
+    /// Resets busy state and counters to zero (the cursor too). Used when
+    /// a workload wants a fresh timeline over the same network.
+    pub fn clear(&mut self) {
+        self.cursor = 0.0;
+        self.busy_until.iter_mut().for_each(|t| *t = 0.0);
+        self.busy_time.iter_mut().for_each(|t| *t = 0.0);
+        self.tx.iter_mut().for_each(|c| *c = 0);
+        self.rx.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+/// Builds the hop list of a loss-free traversal of `path` (one
+/// transmission per hop, self-hops skipped).
+pub fn clean_hops(path: &[NodeId]) -> Vec<Hop> {
+    path.windows(2)
+        .filter(|w| w[0] != w[1])
+        .map(|w| Hop { from: w[0], to: w[1], transmissions: 1 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(hop: f64, service: f64) -> LatencyModel {
+        LatencyModel::new(hop, service)
+    }
+
+    #[test]
+    fn a_leg_pays_service_plus_latency_per_hop() {
+        let mut clock = VirtualClock::new(3, model(1.0, 0.5));
+        let elapsed = clock.time_leg(&clean_hops(&[NodeId(0), NodeId(1), NodeId(2)]));
+        // Each hop: 0.5 service + 1.0 latency.
+        assert!((elapsed - 3.0).abs() < 1e-12, "got {elapsed}");
+        assert_eq!(clock.now(), elapsed);
+        assert_eq!(clock.tx_counts(), &[1, 1, 0]);
+        assert_eq!(clock.rx_counts(), &[0, 1, 1]);
+        assert!((clock.busy_time(NodeId(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retransmissions_each_pay_their_own_way() {
+        let mut clock = VirtualClock::new(2, model(1.0, 0.5));
+        let elapsed = clock.time_leg(&[Hop { from: NodeId(0), to: NodeId(1), transmissions: 3 }]);
+        assert!((elapsed - 4.5).abs() < 1e-12, "got {elapsed}");
+        assert_eq!(clock.tx_counts()[0], 3);
+        assert_eq!(clock.rx_counts()[1], 3);
+        assert!((clock.busy_time(NodeId(0)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_hops_take_no_time() {
+        let mut clock = VirtualClock::new(1, LatencyModel::default());
+        let elapsed = clock.time_leg(&clean_hops(&[NodeId(0), NodeId(0)]));
+        assert_eq!(elapsed, 0.0);
+        assert_eq!(clock.tx_counts()[0], 0);
+    }
+
+    #[test]
+    fn disjoint_fanout_overlaps() {
+        let mut clock = VirtualClock::new(4, model(1.0, 0.5));
+        let legs = vec![clean_hops(&[NodeId(0), NodeId(1)]), clean_hops(&[NodeId(2), NodeId(3)])];
+        let elapsed = clock.time_fanout(&legs);
+        // Both single-hop legs run concurrently: max, not sum.
+        assert!((elapsed - 1.5).abs() < 1e-12, "got {elapsed}");
+    }
+
+    #[test]
+    fn shared_sender_serializes_fanout() {
+        let mut clock = VirtualClock::new(3, model(1.0, 0.5));
+        let legs = vec![clean_hops(&[NodeId(0), NodeId(1)]), clean_hops(&[NodeId(0), NodeId(2)])];
+        let elapsed = clock.time_fanout(&legs);
+        // The second copy queues behind the first on node 0's radio:
+        // starts at 0.5, arrives at 2.0.
+        assert!((elapsed - 2.0).abs() < 1e-12, "got {elapsed}");
+        assert!((clock.busy_time(NodeId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fanout_of_nothing_is_free() {
+        let mut clock = VirtualClock::new(2, LatencyModel::default());
+        clock.seek(5.0);
+        assert_eq!(clock.time_fanout(&[]), 0.0);
+        assert_eq!(clock.time_fanout(&[Vec::new()]), 0.0);
+        assert_eq!(clock.now(), 5.0);
+    }
+
+    #[test]
+    fn seek_brackets_preserve_busy_state() {
+        let mut clock = VirtualClock::new(3, model(1.0, 0.5));
+        let t0 = clock.now();
+        clock.time_leg(&clean_hops(&[NodeId(0), NodeId(1)]));
+        let first_end = clock.now();
+        clock.seek(t0);
+        // Same sender again from the same branch point: it is still busy
+        // from the first branch, so this one queues.
+        let second = clock.time_leg(&clean_hops(&[NodeId(0), NodeId(2)]));
+        assert!((second - 2.0).abs() < 1e-12, "got {second}");
+        assert!(clock.now() > first_end);
+    }
+
+    #[test]
+    fn fanout_matches_serial_legs_when_disjoint_in_time() {
+        // One leg only: fan-out must equal the plain serial leg timing.
+        let mut a = VirtualClock::new(3, model(2.0, 0.25));
+        let mut b = VirtualClock::new(3, model(2.0, 0.25));
+        let hops = clean_hops(&[NodeId(0), NodeId(1), NodeId(2)]);
+        let ea = a.time_leg(&hops);
+        let eb = b.time_fanout(std::slice::from_ref(&hops));
+        assert_eq!(ea, eb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut clock = VirtualClock::new(2, LatencyModel::default());
+        clock.time_leg(&clean_hops(&[NodeId(0), NodeId(1)]));
+        clock.clear();
+        assert_eq!(clock.now(), 0.0);
+        assert_eq!(clock.tx_counts(), &[0, 0]);
+        assert_eq!(clock.busy_times(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clock seek")]
+    fn seek_rejects_negative_time() {
+        let mut clock = VirtualClock::new(1, LatencyModel::default());
+        clock.seek(-1.0);
+    }
+}

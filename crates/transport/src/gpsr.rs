@@ -1,5 +1,6 @@
 //! The reference transport: plain GPSR, no memoization.
 
+use crate::clock::{LatencyModel, VirtualClock};
 use crate::{TrafficLedger, Transport, TransportKind};
 use pool_gpsr::{Gpsr, Planarization, Route, RouteError};
 use pool_netsim::geometry::Point;
@@ -19,6 +20,7 @@ pub struct GpsrTransport {
     gpsr: Gpsr,
     planarization: Planarization,
     ledger: TrafficLedger,
+    clock: VirtualClock,
     generation: u64,
 }
 
@@ -29,6 +31,7 @@ impl GpsrTransport {
             gpsr: Gpsr::new(topology, planarization),
             planarization,
             ledger: TrafficLedger::new(topology.nodes().len()),
+            clock: VirtualClock::new(topology.nodes().len(), LatencyModel::default()),
             generation: 0,
         }
     }
@@ -73,6 +76,14 @@ impl Transport for GpsrTransport {
 
     fn ledger_mut(&mut self) -> &mut TrafficLedger {
         &mut self.ledger
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    fn clock_mut(&mut self) -> &mut VirtualClock {
+        &mut self.clock
     }
 
     fn kind(&self) -> TransportKind {

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod cached;
+pub mod clock;
 pub mod gpsr;
 pub mod ledger;
 pub mod lossy;
@@ -47,6 +48,7 @@ pub mod metrics;
 pub mod trace;
 
 pub use cached::CachedTransport;
+pub use clock::{clean_hops, Hop, LatencyModel, VirtualClock};
 pub use gpsr::GpsrTransport;
 pub use ledger::{TrafficLayer, TrafficLedger};
 pub use lossy::{
@@ -126,6 +128,13 @@ pub trait Transport: fmt::Debug + Send {
     /// Mutable access to the message ledger.
     fn ledger_mut(&mut self) -> &mut TrafficLedger;
 
+    /// The latency ledger: the virtual clock every delivery advances.
+    fn clock(&self) -> &VirtualClock;
+
+    /// Mutable access to the virtual clock (operations use it to bracket
+    /// fan-out with [`VirtualClock::seek`]).
+    fn clock_mut(&mut self) -> &mut VirtualClock;
+
     /// Which implementation this is.
     fn kind(&self) -> TransportKind;
 
@@ -154,7 +163,8 @@ pub trait Transport: fmt::Debug + Send {
     /// substrate had before [`LossyTransport`]: each hop succeeds on its
     /// first transmission, so this is exactly [`Transport::charge`] plus a
     /// delivered outcome. Lossy decorators override it with per-hop drops
-    /// and ARQ.
+    /// and ARQ. Either way the delivery advances the virtual clock and
+    /// reports its elapsed time in [`DeliveryOutcome::latency`].
     ///
     /// # Panics
     ///
@@ -168,7 +178,10 @@ pub trait Transport: fmt::Debug + Send {
     ) -> DeliveryOutcome {
         let _ = topology;
         let transmissions = self.ledger_mut().charge_path(path, layer);
-        DeliveryOutcome::delivered_clean(path, transmissions)
+        let latency = self.clock_mut().time_leg(&clean_hops(path));
+        let mut outcome = DeliveryOutcome::delivered_clean(path, transmissions);
+        outcome.latency = latency;
+        outcome
     }
 
     /// Attempts to deliver `copies` reply packets in reverse along `path`,
@@ -176,7 +189,11 @@ pub trait Transport: fmt::Debug + Send {
     ///
     /// The default implementation is loss-free: every copy arrives, and the
     /// ledger charges match [`Transport::charge_reverse`] exactly
-    /// (including reverse-direction per-node load attribution).
+    /// (including reverse-direction per-node load attribution). The copies
+    /// launch concurrently on the virtual clock — they serialize on their
+    /// shared sender's radio but overlap in flight, so
+    /// [`ReverseDelivery::latency`] is the makespan of the fan-out, not a
+    /// serial sum.
     fn deliver_reverse(
         &mut self,
         topology: &Topology,
@@ -186,7 +203,11 @@ pub trait Transport: fmt::Debug + Send {
     ) -> ReverseDelivery {
         let _ = topology;
         let transmissions = self.ledger_mut().charge_path_reversed(path, copies, layer);
-        ReverseDelivery { delivered_copies: copies, transmissions, retransmissions: 0 }
+        let back: Vec<NodeId> = path.iter().rev().copied().collect();
+        let leg = clean_hops(&back);
+        let legs: Vec<Vec<Hop>> = (0..copies).map(|_| leg.clone()).collect();
+        let latency = self.clock_mut().time_fanout(&legs);
+        ReverseDelivery { delivered_copies: copies, transmissions, retransmissions: 0, latency }
     }
 
     /// Cumulative link-layer delivery statistics (all zeros for loss-free

@@ -92,7 +92,7 @@ impl LossyConfig {
 }
 
 /// The outcome of delivering one packet along a routed path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeliveryOutcome {
     /// Whether the packet reached the end of the path.
     pub delivered: bool,
@@ -104,6 +104,9 @@ pub struct DeliveryOutcome {
     pub reached: NodeId,
     /// The hop that exhausted its retry budget, when delivery failed.
     pub failed_hop: Option<(NodeId, NodeId)>,
+    /// Elapsed virtual time of the delivery, in seconds. Failed deliveries
+    /// still accrue the time spent before ARQ gave up.
+    pub latency: f64,
 }
 
 impl DeliveryOutcome {
@@ -119,12 +122,13 @@ impl DeliveryOutcome {
             retransmissions: 0,
             reached: *path.last().expect("path contains at least the source"),
             failed_hop: None,
+            latency: 0.0,
         }
     }
 }
 
 /// The outcome of sending `copies` reply packets back along a path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ReverseDelivery {
     /// Copies that made it all the way back.
     pub delivered_copies: u64,
@@ -132,6 +136,9 @@ pub struct ReverseDelivery {
     pub transmissions: u64,
     /// Retransmissions alone.
     pub retransmissions: u64,
+    /// Elapsed virtual time of the whole fan-out (copies overlap in
+    /// flight; shared senders serialize), in seconds.
+    pub latency: f64,
 }
 
 /// Cumulative link-layer delivery statistics for one transport.
@@ -256,6 +263,51 @@ impl LossyTransport {
         self.stats.retransmissions += transmissions - 1;
         (false, transmissions, transmissions - 1)
     }
+
+    /// Charges one path-level delivery attempt hop by hop (the RNG draw
+    /// and ledger charge order of the original implementation), collecting
+    /// the per-hop transmission counts so the caller can time the leg
+    /// afterwards without touching that order.
+    fn walk(
+        &mut self,
+        topology: &Topology,
+        path: &[NodeId],
+        layer: TrafficLayer,
+    ) -> (DeliveryOutcome, Vec<crate::Hop>) {
+        self.stats.deliveries += 1;
+        let mut transmissions = 0u64;
+        let mut retransmissions = 0u64;
+        let mut hops = Vec::new();
+        for w in path.windows(2) {
+            let (ok, t, r) = self.deliver_hop(topology, w[0], w[1], layer);
+            if t > 0 {
+                hops.push(crate::Hop { from: w[0], to: w[1], transmissions: t });
+            }
+            transmissions += t;
+            retransmissions += r;
+            if !ok {
+                self.stats.deliveries_failed += 1;
+                let outcome = DeliveryOutcome {
+                    delivered: false,
+                    transmissions,
+                    retransmissions,
+                    reached: w[0],
+                    failed_hop: Some((w[0], w[1])),
+                    latency: 0.0,
+                };
+                return (outcome, hops);
+            }
+        }
+        let outcome = DeliveryOutcome {
+            delivered: true,
+            transmissions,
+            retransmissions,
+            reached: *path.last().expect("path contains at least the source"),
+            failed_hop: None,
+            latency: 0.0,
+        };
+        (outcome, hops)
+    }
 }
 
 impl Transport for LossyTransport {
@@ -293,6 +345,14 @@ impl Transport for LossyTransport {
         self.inner.ledger_mut()
     }
 
+    fn clock(&self) -> &crate::VirtualClock {
+        self.inner.clock()
+    }
+
+    fn clock_mut(&mut self) -> &mut crate::VirtualClock {
+        self.inner.clock_mut()
+    }
+
     fn kind(&self) -> TransportKind {
         self.inner.kind()
     }
@@ -303,31 +363,9 @@ impl Transport for LossyTransport {
         path: &[NodeId],
         layer: TrafficLayer,
     ) -> DeliveryOutcome {
-        self.stats.deliveries += 1;
-        let mut transmissions = 0u64;
-        let mut retransmissions = 0u64;
-        for w in path.windows(2) {
-            let (ok, t, r) = self.deliver_hop(topology, w[0], w[1], layer);
-            transmissions += t;
-            retransmissions += r;
-            if !ok {
-                self.stats.deliveries_failed += 1;
-                return DeliveryOutcome {
-                    delivered: false,
-                    transmissions,
-                    retransmissions,
-                    reached: w[0],
-                    failed_hop: Some((w[0], w[1])),
-                };
-            }
-        }
-        DeliveryOutcome {
-            delivered: true,
-            transmissions,
-            retransmissions,
-            reached: *path.last().expect("path contains at least the source"),
-            failed_hop: None,
-        }
+        let (mut outcome, hops) = self.walk(topology, path, layer);
+        outcome.latency = self.clock_mut().time_leg(&hops);
+        outcome
     }
 
     fn deliver_reverse(
@@ -339,14 +377,17 @@ impl Transport for LossyTransport {
     ) -> ReverseDelivery {
         let back: Vec<NodeId> = path.iter().rev().copied().collect();
         let mut out = ReverseDelivery::default();
+        let mut legs = Vec::with_capacity(copies as usize);
         for _ in 0..copies {
-            let o = self.deliver(topology, &back, layer);
+            let (o, hops) = self.walk(topology, &back, layer);
             if o.delivered {
                 out.delivered_copies += 1;
             }
             out.transmissions += o.transmissions;
             out.retransmissions += o.retransmissions;
+            legs.push(hops);
         }
+        out.latency = self.clock_mut().time_fanout(&legs);
         out
     }
 

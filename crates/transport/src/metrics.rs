@@ -94,6 +94,9 @@ pub struct NodeLoad {
     pub by_layer: [u64; TrafficLayer::ALL.len()],
     /// Events this node currently holds (storage load).
     pub events_held: u64,
+    /// Virtual time this node's radio spent transmitting, in seconds
+    /// (filled in from the transport's clock by the storage scheme).
+    pub busy_time: f64,
     /// Protocol roles the node played.
     pub roles: RoleSet,
 }
@@ -135,6 +138,7 @@ impl LoadReport {
                     messages: ledger.node_load(node),
                     by_layer: *ledger.node_layers(node),
                     events_held: 0,
+                    busy_time: 0.0,
                     roles: RoleSet::empty(),
                 }
             })
@@ -145,6 +149,19 @@ impl LoadReport {
     /// Sets the storage load of `node`.
     pub fn set_events_held(&mut self, node: NodeId, events: u64) {
         self.nodes[node.index()].events_held = events;
+    }
+
+    /// Sets the radio busy time of `node`, in seconds.
+    pub fn set_busy_time(&mut self, node: NodeId, seconds: f64) {
+        self.nodes[node.index()].busy_time = seconds;
+    }
+
+    /// Fills busy times for every node from a per-node slice in node order
+    /// (as produced by the virtual clock).
+    pub fn set_busy_times(&mut self, seconds: &[f64]) {
+        for (row, &busy) in self.nodes.iter_mut().zip(seconds) {
+            row.busy_time = busy;
+        }
     }
 
     /// Tags `node` with a protocol role.
@@ -165,6 +182,12 @@ impl LoadReport {
     /// Max/mean/Gini over per-node *storage* load (events held).
     pub fn storage_distribution(&self) -> LoadDistribution {
         LoadDistribution::of(self.nodes.iter().map(|n| n.events_held))
+    }
+
+    /// Max/mean/Gini over per-node radio *busy time* — the utilization
+    /// analogue of [`LoadReport::message_distribution`].
+    pub fn busy_distribution(&self) -> LoadDistribution {
+        LoadDistribution::of_f64(self.nodes.iter().map(|n| n.busy_time))
     }
 
     /// Max/mean/Gini over per-node load on one layer.
@@ -205,25 +228,31 @@ pub struct LoadDistribution {
 }
 
 impl LoadDistribution {
-    /// Summarizes a sample of loads.
+    /// Summarizes a sample of integer loads.
     pub fn of(samples: impl IntoIterator<Item = u64>) -> Self {
-        let mut values: Vec<u64> = samples.into_iter().collect();
+        LoadDistribution::of_f64(samples.into_iter().map(|v| v as f64))
+    }
+
+    /// Summarizes a sample of non-negative real-valued loads (busy times,
+    /// utilizations).
+    pub fn of_f64(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut values: Vec<f64> = samples.into_iter().collect();
         if values.is_empty() {
             return LoadDistribution { max: 0.0, mean: 0.0, gini: 0.0 };
         }
-        values.sort_unstable();
+        values.sort_unstable_by(f64::total_cmp);
         let n = values.len() as f64;
-        let total: u64 = values.iter().sum();
-        let max = *values.last().expect("non-empty") as f64;
-        let mean = total as f64 / n;
+        let total: f64 = values.iter().sum();
+        let max = *values.last().expect("non-empty");
+        let mean = total / n;
         // Gini from the sorted sample: G = (2·Σ i·xᵢ)/(n·Σ xᵢ) − (n+1)/n,
         // with 1-based ranks i over ascending xᵢ.
-        let gini = if total == 0 {
+        let gini = if total == 0.0 {
             0.0
         } else {
             let rank_weighted: f64 =
-                values.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
-            (2.0 * rank_weighted) / (n * total as f64) - (n + 1.0) / n
+                values.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+            (2.0 * rank_weighted) / (n * total) - (n + 1.0) / n
         };
         LoadDistribution { max, mean, gini }
     }

@@ -77,7 +77,7 @@ pub enum SpanOutcome {
 }
 
 /// One traced delivery leg.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Span {
     /// Monotonic sequence number (global per tracer, survives eviction).
     pub seq: u64,
@@ -93,6 +93,10 @@ pub struct Span {
     pub transmissions: u64,
     /// ARQ retransmissions alone.
     pub retransmissions: u64,
+    /// Virtual time the leg launched, in seconds.
+    pub start: f64,
+    /// Virtual time the leg finished (`start + latency`), in seconds.
+    pub end: f64,
     /// How the leg ended.
     pub outcome: SpanOutcome,
 }
@@ -118,10 +122,13 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 ///
 /// let mut tracer = Tracer::new(2);
 /// let path = [NodeId(0), NodeId(1), NodeId(2)];
-/// let outcome = DeliveryOutcome::delivered_clean(&path, 2);
-/// tracer.record_delivery(TraceOp::Insert, &path, TrafficLayer::Insert, &outcome);
+/// let mut outcome = DeliveryOutcome::delivered_clean(&path, 2);
+/// outcome.latency = 0.003;
+/// tracer.record_delivery(TraceOp::Insert, &path, TrafficLayer::Insert, &outcome, 0.003);
 /// assert_eq!(tracer.spans().count(), 1);
-/// assert!(tracer.spans().next().unwrap().is_delivered());
+/// let span = tracer.spans().next().unwrap();
+/// assert!(span.is_delivered());
+/// assert_eq!(span.start, 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tracer {
@@ -159,13 +166,16 @@ impl Tracer {
         self.spans.push_back(span);
     }
 
-    /// Records the span of one forward delivery along `path`.
+    /// Records the span of one forward delivery along `path`. `end` is the
+    /// virtual clock reading after the delivery (the span's start is
+    /// derived from the outcome's latency).
     pub fn record_delivery(
         &mut self,
         op: TraceOp,
         path: &[NodeId],
         layer: TrafficLayer,
         outcome: &DeliveryOutcome,
+        end: f64,
     ) {
         let origin = *path.first().expect("paths contain at least the source");
         let destination = *path.last().expect("paths contain at least the source");
@@ -177,6 +187,8 @@ impl Tracer {
             layer,
             transmissions: outcome.transmissions,
             retransmissions: outcome.retransmissions,
+            start: end - outcome.latency,
+            end,
             outcome: if outcome.delivered {
                 SpanOutcome::Delivered
             } else {
@@ -186,7 +198,8 @@ impl Tracer {
     }
 
     /// Records the span of a reverse fan-out of `copies` replies along
-    /// `path` (the replies travel last-to-first).
+    /// `path` (the replies travel last-to-first). `end` is the virtual
+    /// clock reading after the fan-out.
     pub fn record_reverse(
         &mut self,
         op: TraceOp,
@@ -194,6 +207,7 @@ impl Tracer {
         copies: u64,
         layer: TrafficLayer,
         outcome: &ReverseDelivery,
+        end: f64,
     ) {
         let origin = *path.last().expect("paths contain at least the source");
         let destination = *path.first().expect("paths contain at least the source");
@@ -205,6 +219,8 @@ impl Tracer {
             layer,
             transmissions: outcome.transmissions,
             retransmissions: outcome.retransmissions,
+            start: end - outcome.latency,
+            end,
             outcome: if outcome.delivered_copies == copies {
                 SpanOutcome::Delivered
             } else {
@@ -263,6 +279,8 @@ mod tests {
             layer: TrafficLayer::Forward,
             transmissions: 1,
             retransmissions: 0,
+            start: 0.0,
+            end: 0.0,
             outcome: SpanOutcome::Delivered,
         }
     }
@@ -284,11 +302,18 @@ mod tests {
     fn reverse_spans_swap_endpoints_and_flag_partial_copies() {
         let mut tracer = Tracer::new(8);
         let path = [NodeId(3), NodeId(7), NodeId(9)];
-        let partial = ReverseDelivery { delivered_copies: 1, transmissions: 5, retransmissions: 2 };
-        tracer.record_reverse(TraceOp::Query, &path, 2, TrafficLayer::Reply, &partial);
+        let partial = ReverseDelivery {
+            delivered_copies: 1,
+            transmissions: 5,
+            retransmissions: 2,
+            latency: 0.004,
+        };
+        tracer.record_reverse(TraceOp::Query, &path, 2, TrafficLayer::Reply, &partial, 0.01);
         let s = tracer.spans().next().unwrap();
         assert_eq!(s.origin, NodeId(9));
         assert_eq!(s.destination, NodeId(3));
+        assert!((s.start - 0.006).abs() < 1e-12);
+        assert_eq!(s.end, 0.01);
         assert_eq!(s.outcome, SpanOutcome::PartialCopies { delivered: 1, sent: 2 });
         assert_eq!(tracer.failed_spans().count(), 1);
     }
@@ -303,8 +328,9 @@ mod tests {
             retransmissions: 8,
             reached: NodeId(1),
             failed_hop: Some((NodeId(1), NodeId(2))),
+            latency: 0.02,
         };
-        tracer.record_delivery(TraceOp::Insert, &path, TrafficLayer::Insert, &stalled);
+        tracer.record_delivery(TraceOp::Insert, &path, TrafficLayer::Insert, &stalled, 0.02);
         let s = tracer.spans().next().unwrap();
         assert_eq!(s.outcome, SpanOutcome::Stalled { reached: NodeId(1) });
         assert_eq!(s.retransmissions, 8);

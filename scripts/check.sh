@@ -42,7 +42,8 @@ bench_smoke() {
     # that panics, hangs, or emits garbage fails the gate.
     local bins=(fig6 fig7 insertion_cost dimensionality_sweep selectivity_sweep
         sweep_cell_size sweep_pool_side batch_ablation hotspot monitor_cost
-        forwarding_ablation lifetime failure_resilience load_balance lossy_radio)
+        forwarding_ablation lifetime failure_resilience load_balance lossy_radio
+        latency_profile)
     rm -rf target/smoke
     for bin in "${bins[@]}"; do
         echo "    $bin --smoke --jobs 2"
@@ -57,6 +58,15 @@ bench_smoke() {
     for f in target/smoke/BENCH_*.json; do
         python3 -m json.tool "$f" >/dev/null
     done
+    # Every artifact must carry virtual-time columns: latency percentiles
+    # (…_ms) or cumulative virtual time / busy time (…_s).
+    python3 - target/smoke/BENCH_*.json <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    cols = json.load(open(path))["columns"]
+    if not any(c.endswith("_ms") or c.endswith("_s") for c in cols):
+        sys.exit(f"{path}: no virtual-time column among {cols}")
+EOF
     echo "    ${#bins[@]} binaries ran; $artifacts artifacts validated"
 }
 

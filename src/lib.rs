@@ -8,7 +8,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`netsim`] | `pool-netsim` | deployment, unit-disk topology, discrete-event simulator, message/energy accounting |
+//! | [`netsim`] | `pool-netsim` | deployment, unit-disk topology, discrete-event queue, message/energy accounting |
 //! | [`gpsr`] | `pool-gpsr` | GPSR routing: greedy + GG/RNG planarization + perimeter mode |
 //! | [`transport`] | `pool-transport` | pluggable routing substrate: `Transport` trait, memoizing route cache, per-layer traffic ledger |
 //! | [`ght`] | `pool-ght` | geographic hash table (key → location, home nodes) |

@@ -487,6 +487,146 @@ fn monitor_install_reports_its_coverage() {
     assert_eq!(pool.monitors().cells_of(install.id).len(), install.completeness.cells_reached);
 }
 
+/// Virtual-time tolerance: elapsed times are sums of exact binary
+/// fractions of the latency model, so they agree to far better than this.
+const T_EPS: f64 = 1e-9;
+
+/// The time-ledger audit, mirroring the message audit above: every cost a
+/// public operation reports in *virtual time* must equal the clock's
+/// advance over that operation, and the clock must come to rest at the
+/// span tree's critical path — the maximum span end among the legs the
+/// operation launched. No phantom waiting the radio never did, no silent
+/// time the caller never sees.
+fn audit_pool_time(mut pool: PoolSystem, label: &str) {
+    let mut rng = StdRng::seed_from_u64(2468);
+    let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+
+    // Insertions (with replication on, these fan out and overlap).
+    for _ in 0..150 {
+        let src = NodeId(rng.gen_range(0..NODES as u32));
+        let start = pool.transport().clock().now();
+        pool.tracer_mut().clear();
+        match pool.insert_from(src, generator.generate(&mut rng)) {
+            Ok(receipt) => {
+                let end = pool.transport().clock().now();
+                assert!(
+                    (receipt.elapsed - (end - start)).abs() < T_EPS,
+                    "{label}: insert elapsed {} vs clock advance {}",
+                    receipt.elapsed,
+                    end - start
+                );
+                // Empty-op guard: an insert that sent nothing took no time.
+                if receipt.messages == 0 {
+                    assert_eq!(receipt.elapsed, 0.0, "{label}: zero-message insert took time");
+                }
+                audit_spans(&pool, start, end, label, "insert");
+            }
+            Err(InsertError::Undeliverable { .. }) => {}
+            Err(e) => panic!("{label}: unexpected insert failure: {e}"),
+        }
+    }
+
+    // One-shot queries: elapsed is the critical path, so it is bounded by
+    // the per-leg latency sums and equals the clock's advance exactly.
+    for _ in 0..20 {
+        let sink = NodeId(rng.gen_range(0..NODES as u32));
+        let q = exact_query(&mut rng, 3, RangeSizeDistribution::Exponential { mean: 0.1 });
+        let start = pool.transport().clock().now();
+        pool.tracer_mut().clear();
+        let result = pool.query_from(sink, &q).unwrap();
+        let end = pool.transport().clock().now();
+        assert!(
+            (result.cost.elapsed - (end - start)).abs() < T_EPS,
+            "{label}: query elapsed {} vs clock advance {}",
+            result.cost.elapsed,
+            end - start
+        );
+        assert!(
+            result.cost.elapsed <= result.cost.forward_latency + result.cost.reply_latency + T_EPS,
+            "{label}: critical path {} exceeds per-leg latency sum {}",
+            result.cost.elapsed,
+            result.cost.forward_latency + result.cost.reply_latency
+        );
+        if result.cost.total() > 0 {
+            assert!(result.cost.elapsed > 0.0, "{label}: messages moved in zero time");
+        }
+        audit_spans(&pool, start, end, label, "query");
+    }
+}
+
+/// Asserts the span-tree identity for the operation bracketed by
+/// `[start, end]`: every span lies inside the bracket, and the clock's
+/// resting point is the maximum span end (or `start`, for an op that
+/// launched no legs).
+fn audit_spans(pool: &PoolSystem, start: f64, end: f64, label: &str, op: &str) {
+    let mut max_end = start;
+    for span in pool.tracer().spans() {
+        assert!(
+            span.start >= start - T_EPS && span.end <= end + T_EPS,
+            "{label}: {op} span [{}, {}] escapes the op bracket [{start}, {end}]",
+            span.start,
+            span.end
+        );
+        assert!(span.end >= span.start - T_EPS, "{label}: {op} span runs backward");
+        max_end = max_end.max(span.end);
+    }
+    assert!(
+        (end - max_end).abs() < T_EPS,
+        "{label}: {op} clock rests at {end} but the span critical path ends at {max_end}"
+    );
+}
+
+#[test]
+fn pool_conserves_time_on_gpsr() {
+    let (topo, field) = connected(54);
+    audit_pool_time(PoolSystem::build(topo, field, full_config(54)).unwrap(), "gpsr");
+}
+
+#[test]
+fn pool_conserves_time_on_cached() {
+    let (topo, field) = connected(55);
+    let config = full_config(55).with_transport(TransportKind::Cached);
+    audit_pool_time(PoolSystem::build(topo, field, config).unwrap(), "cached");
+}
+
+#[test]
+fn pool_conserves_time_on_lossy() {
+    let (topo, field) = connected(56);
+    let config = full_config(56).with_lossy(LossyConfig::fixed(0.85, 5656));
+    audit_pool_time(PoolSystem::build(topo, field, config).unwrap(), "lossy");
+}
+
+/// DIM obeys the same clock identity: each insert's and query's reported
+/// elapsed time equals the clock's advance (its walk is a serial chain, so
+/// the critical path and the leg sum coincide on a loss-free radio).
+#[test]
+fn dim_conserves_time() {
+    let (topo, field) = connected(62);
+    let mut dim = DimSystem::build_with_transport(topo, field, 3, TransportKind::Gpsr).unwrap();
+    let mut rng = StdRng::seed_from_u64(2727);
+    let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+    for _ in 0..150 {
+        let src = NodeId(rng.gen_range(0..NODES as u32));
+        let start = dim.transport().clock().now();
+        let receipt = dim.insert_from(src, generator.generate(&mut rng)).unwrap();
+        let end = dim.transport().clock().now();
+        assert!((receipt.elapsed - (end - start)).abs() < T_EPS, "DIM insert elapsed vs clock");
+    }
+    for _ in 0..20 {
+        let sink = NodeId(rng.gen_range(0..NODES as u32));
+        let q = exact_query(&mut rng, 3, RangeSizeDistribution::Exponential { mean: 0.1 });
+        let start = dim.transport().clock().now();
+        let result = dim.query_from(sink, &q).unwrap();
+        let end = dim.transport().clock().now();
+        assert!((result.cost.elapsed - (end - start)).abs() < T_EPS, "DIM query elapsed vs clock");
+        assert!(
+            (result.cost.elapsed - (result.cost.forward_latency + result.cost.reply_latency)).abs()
+                < T_EPS,
+            "DIM's serial chain: critical path must equal the leg sum"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

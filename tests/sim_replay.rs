@@ -1,39 +1,16 @@
-//! Ground-truth validation of the analytic cost accounting: GPSR routes
-//! are replayed hop by hop inside the discrete-event simulator, whose
-//! strict radio model (neighbors-only sends) and independent traffic
-//! ledger must agree with the analytically computed paths.
+//! Ground-truth validation of the latency ledger: GPSR routes are replayed
+//! through the transport's delivery path, and both ledgers — the message
+//! ledger and the virtual clock — must agree with analytically computed
+//! per-hop expectations. This replaces the old callback-simulator replay:
+//! the [`pool_dcs::netsim::schedule::EventQueue`]-backed clock is now the
+//! clock of record, so the analytic cross-check targets it directly.
 
 use pool_dcs::gpsr::{Gpsr, Planarization};
-use pool_dcs::netsim::sim::{Context, Protocol, Simulator};
 use pool_dcs::netsim::{Deployment, NodeId, Topology};
+use pool_dcs::transport::{
+    LatencyModel, LossyConfig, LossyTransport, TrafficLayer, Transport, TransportKind,
+};
 use std::collections::HashMap;
-
-/// A source-routing protocol: each packet carries the precomputed GPSR
-/// path and every node forwards to the next hop listed.
-struct SourceRouted {
-    delivered: Vec<(usize, NodeId, usize)>,
-}
-
-#[derive(Clone)]
-struct Packet {
-    id: usize,
-    path: Vec<NodeId>,
-    cursor: usize,
-}
-
-impl Protocol for SourceRouted {
-    type Message = Packet;
-    fn on_message(&mut self, ctx: &mut Context<Packet>, at: NodeId, mut msg: Packet) {
-        assert_eq!(msg.path[msg.cursor], at, "packet at the wrong node");
-        if msg.cursor + 1 == msg.path.len() {
-            self.delivered.push((msg.id, at, msg.cursor));
-            return;
-        }
-        let next = msg.path[msg.cursor + 1];
-        msg.cursor += 1;
-        ctx.send(at, next, msg);
-    }
-}
 
 fn connected_topology(n: usize, mut seed: u64) -> Topology {
     loop {
@@ -46,8 +23,14 @@ fn connected_topology(n: usize, mut seed: u64) -> Topology {
     }
 }
 
+/// Per-hop cost of one serial delivery: every hop pays the sender's
+/// service time plus the link propagation latency.
+fn serial_leg_seconds(hops: usize, model: LatencyModel) -> f64 {
+    hops as f64 * (model.service_time + model.hop_latency)
+}
+
 #[test]
-fn gpsr_paths_replay_exactly_in_the_simulator() {
+fn gpsr_paths_replay_exactly_through_the_transport() {
     let topo = connected_topology(300, 42);
     let gpsr = Gpsr::new(&topo, Planarization::Gabriel);
 
@@ -60,25 +43,37 @@ fn gpsr_paths_replay_exactly_in_the_simulator() {
     }
     let expected_hops: u64 = routes.iter().map(|r| r.hops() as u64).sum();
 
-    // Replay them through the strict discrete-event radio model.
-    let mut sim = Simulator::new(topo, SourceRouted { delivered: Vec::new() });
-    for (id, route) in routes.iter().enumerate() {
-        let start = route.path[0];
-        sim.inject(start, Packet { id, path: route.path.clone(), cursor: 0 });
+    // Replay them through the transport's delivery path. Deliveries are
+    // serial, so each one must cost exactly hops * (service + latency) of
+    // virtual time and charge exactly one message per hop.
+    let mut transport = TransportKind::Gpsr.build(&topo, Planarization::Gabriel);
+    let model = transport.clock().model();
+    for route in &routes {
+        let before = transport.clock().now();
+        let outcome = transport.deliver(&topo, &route.path, TrafficLayer::Forward);
+        assert!(outcome.delivered, "loss-free transport delivers every packet");
+        assert_eq!(outcome.reached, route.delivered);
+        assert_eq!(outcome.transmissions, route.hops() as u64);
+        let expected = serial_leg_seconds(route.hops(), model);
+        assert!(
+            (outcome.latency - expected).abs() < 1e-9,
+            "latency {} vs analytic {expected} for a {}-hop route",
+            outcome.latency,
+            route.hops()
+        );
+        assert!(
+            (transport.clock().now() - before - outcome.latency).abs() < 1e-9,
+            "the clock of record must advance by exactly the reported latency"
+        );
     }
-    sim.run().expect("all sends are between radio neighbors");
 
-    assert_eq!(sim.protocol().delivered.len(), routes.len(), "every packet delivered");
     assert_eq!(
-        sim.traffic().total_messages(),
+        transport.ledger().total_messages(),
         expected_hops,
-        "simulator ledger must equal analytic hop count"
+        "message ledger must equal the analytic hop count"
     );
-    // Deliveries complete in time order, not injection order: match by id.
-    for &(id, at, hops) in &sim.protocol().delivered {
-        assert_eq!(at, routes[id].delivered);
-        assert_eq!(hops, routes[id].hops());
-    }
+    let clock_tx: u64 = transport.clock().tx_counts().iter().sum();
+    assert_eq!(clock_tx, expected_hops, "clock transmission counts must match the ledger");
 }
 
 #[test]
@@ -96,12 +91,96 @@ fn per_node_loads_match_between_ledgers() {
         }
         routes.push(route);
     }
-    let mut sim = Simulator::new(topo, SourceRouted { delivered: Vec::new() });
-    for (id, route) in routes.iter().enumerate() {
-        sim.inject(route.path[0], Packet { id, path: route.path.clone(), cursor: 0 });
+    let mut transport = TransportKind::Gpsr.build(&topo, Planarization::Gabriel);
+    for route in &routes {
+        transport.deliver(&topo, &route.path, TrafficLayer::Forward);
     }
-    sim.run().unwrap();
+    // Sender-side loads must agree across three independent books: the
+    // analytic count, the message ledger, and the clock's per-node
+    // transmit/busy-time accounting.
+    let service = transport.clock().model().service_time;
     for (node, &count) in &analytic {
-        assert_eq!(sim.traffic().load(*node), count, "load mismatch at {node}");
+        assert_eq!(transport.ledger().node_load(*node), count, "ledger mismatch at {node}");
+        assert_eq!(
+            transport.clock().tx_counts()[node.index()],
+            count,
+            "clock tx mismatch at {node}"
+        );
+        let busy = transport.clock().busy_time(*node);
+        assert!(
+            (busy - count as f64 * service).abs() < 1e-9,
+            "busy time {busy} at {node} vs {count} transmissions"
+        );
     }
+}
+
+#[test]
+fn reply_fanout_makespan_matches_the_pipeline_formula() {
+    let topo = connected_topology(300, 42);
+    let mut transport = TransportKind::Gpsr.build(&topo, Planarization::Gabriel);
+    let route = transport.route_to_node(&topo, NodeId(3), NodeId(250)).unwrap();
+    let hops = route.path.len() - 1;
+    assert!(hops >= 2, "need a multi-hop route for the pipeline to matter");
+
+    // All copies retrace the same reversed path, so every sender is shared:
+    // the fan-out pipelines, and the makespan is one full leg plus one
+    // service slot per extra copy — strictly less than the serial sum.
+    let copies = 5u64;
+    let model = transport.clock().model();
+    let before = transport.clock().now();
+    let rev = transport.deliver_reverse(&topo, &route.path, copies, TrafficLayer::Reply);
+    assert_eq!(rev.delivered_copies, copies);
+    assert_eq!(rev.transmissions, copies * hops as u64);
+    let expected = serial_leg_seconds(hops, model) + (copies - 1) as f64 * model.service_time;
+    assert!(
+        (rev.latency - expected).abs() < 1e-9,
+        "fan-out makespan {} vs pipeline formula {expected}",
+        rev.latency
+    );
+    assert!(rev.latency < copies as f64 * serial_leg_seconds(hops, model));
+    assert!((transport.clock().now() - before - rev.latency).abs() < 1e-9);
+}
+
+#[test]
+fn lossy_retransmissions_pay_virtual_time_and_stay_conserved() {
+    let topo = connected_topology(250, 7);
+    let inner = TransportKind::Gpsr.build(&topo, Planarization::Gabriel);
+    let mut transport = LossyTransport::wrap(inner, LossyConfig::fixed(0.7, 99));
+    let model = transport.clock().model();
+
+    let mut loss_free = 0.0;
+    for i in 0..30u32 {
+        let route = transport.route_to_node(&topo, NodeId(i * 5 % 250), NodeId(249 - i)).unwrap();
+        let path = route.path.clone();
+        let before = transport.clock().now();
+        let outcome = transport.deliver(&topo, &path, TrafficLayer::Forward);
+        assert!(
+            (transport.clock().now() - before - outcome.latency).abs() < 1e-9,
+            "clock advance must equal the reported latency even under ARQ"
+        );
+        if outcome.delivered {
+            let floor = serial_leg_seconds(path.len() - 1, model);
+            assert!(
+                outcome.latency >= floor - 1e-9,
+                "a delivered packet cannot beat the loss-free time"
+            );
+            if outcome.retransmissions > 0 {
+                assert!(outcome.latency > floor, "retransmissions must cost extra time");
+            }
+        }
+        loss_free += serial_leg_seconds(path.len() - 1, model);
+    }
+
+    let stats = transport.delivery_stats();
+    assert!(stats.retransmissions > 0, "p=0.7 over 30 multi-hop routes must drop something");
+    assert!(
+        transport.clock().now() > loss_free,
+        "total virtual time must exceed the loss-free floor once ARQ kicks in"
+    );
+    // Conservation: every transmission the clock timed is in the message
+    // ledger, and every second of busy time maps to a timed transmission.
+    let clock_tx: u64 = transport.clock().tx_counts().iter().sum();
+    assert_eq!(clock_tx, transport.ledger().total_messages());
+    let busy: f64 = transport.clock().busy_times().iter().sum();
+    assert!((busy - clock_tx as f64 * model.service_time).abs() < 1e-6);
 }
