@@ -1,0 +1,17 @@
+//! Churn resilience: query completeness, repair traffic, and latency for
+//! Pool, DIM, and GHT under epoch-stepped joins, deaths, and moves with a
+//! per-epoch repair budget. Thin wrapper over
+//! [`pool_bench::figures::churn`]; see that module for the experiment
+//! design and regression guards.
+//!
+//! Run: `cargo run -p pool-bench --bin churn_resilience --release
+//!       [-- --nodes N --epochs N --queries N --keys N --gets N
+//!        --budget N --jobs N --smoke]`
+
+use pool_bench::figures::churn;
+
+fn main() {
+    let params = churn::Params::from_env();
+    let table = churn::collect(&params);
+    params.opts.emit("churn", &table);
+}

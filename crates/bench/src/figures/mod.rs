@@ -9,6 +9,7 @@
 //! test assert byte-identical JSON across `--jobs` values without shelling
 //! out to cargo.
 
+pub mod churn;
 pub mod fig6;
 pub mod latency;
 pub mod load_balance;

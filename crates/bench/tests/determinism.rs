@@ -10,7 +10,7 @@
 //! order-sensitive aggregation all show up here as a diff.
 
 use pool_bench::exec::run_trials;
-use pool_bench::figures::{fig6, latency, load_balance};
+use pool_bench::figures::{churn, fig6, latency, load_balance};
 use pool_bench::harness::{QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_workloads::events::EventDistribution;
@@ -62,6 +62,19 @@ fn latency_profile_json_is_jobs_invariant() {
         serial.to_json(),
         parallel.to_json(),
         "latency_profile artifact differs between --jobs 1 and --jobs 8"
+    );
+}
+
+/// Churn trials mutate topologies, grow ledgers, and drain repair queues
+/// mid-flight; none of that may depend on which worker runs the level.
+#[test]
+fn churn_json_is_jobs_invariant() {
+    let serial = churn::collect(&churn::Params::smoke(1));
+    let parallel = churn::collect(&churn::Params::smoke(8));
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "churn artifact differs between --jobs 1 and --jobs 8"
     );
 }
 

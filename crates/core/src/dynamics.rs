@@ -1,0 +1,936 @@
+//! Dynamic deployments: continuous churn, mobility, and incremental repair.
+//!
+//! The [`crate::failure`] module repairs one failure burst completely, in
+//! one shot, with an unbounded message budget. Real deployments churn
+//! *continuously*: nodes join, batteries die mid-experiment, and mobile
+//! nodes relocate. This module advances a deployment through virtual-time
+//! **epochs** — each epoch applies a batch of joins, deaths, and waypoint
+//! moves, then repairs the index *incrementally* under a bounded per-epoch
+//! message budget. Repairs that do not fit the budget are carried over in a
+//! [`RepairQueue`] and drained in later epochs; until then the affected
+//! events are simply not query-visible, so mid-churn queries stay honest
+//! ([`crate::forward::Completeness`] never over-claims).
+//!
+//! The pieces:
+//!
+//! * [`ChurnConfig`] — rates (joins/deaths/moves per epoch), mobility
+//!   distance, the repair budget, and an optional [`EnergyBudget`] that
+//!   makes deaths *energy-driven*: batteries drain from the actual per-node
+//!   tx/rx counts of the virtual clock, and a node fails when its ledger
+//!   hits zero.
+//! * [`ChurnPlanner`] — deterministic (seeded) generator of per-epoch
+//!   [`EpochPlan`]s against the current topology. It is system-agnostic so
+//!   benchmark drivers can replay the *same* plan stream against Pool, DIM,
+//!   and GHT.
+//! * [`PoolSystem::apply_epoch`] — applies one plan to a live Pool system:
+//!   one transport rebuild for the whole batch, zero-message index
+//!   re-election, store triage (retain / migrate / recover / lose), and a
+//!   budgeted FIFO drain of the repair queue.
+//! * [`ChurnScenario`] — the orchestrator tying planner, energy ledger,
+//!   and carry-over queue together across epochs.
+
+use crate::event::Event;
+use crate::failure::{take_backup, BackupCopy, FailureReport};
+use crate::grid::CellCoord;
+use crate::system::PoolSystem;
+use crate::PoolError;
+use pool_netsim::energy::{EnergyLedger, EnergyModel};
+use pool_netsim::geometry::{Point, Rect};
+use pool_netsim::node::NodeId;
+use pool_netsim::topology::Topology;
+use pool_transport::metrics::LedgerSnapshot;
+use pool_transport::trace::TraceOp;
+use pool_transport::TrafficLayer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Battery provisioning for energy-driven deaths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBudget {
+    /// Initial battery capacity per node, in joules. Joiners start with a
+    /// full battery.
+    pub capacity: f64,
+    /// Radio energy model draining the batteries from tx/rx counts.
+    pub model: EnergyModel,
+}
+
+impl EnergyBudget {
+    /// A battery of `capacity` joules drained by the default radio model.
+    pub fn joules(capacity: f64) -> Self {
+        EnergyBudget { capacity, model: EnergyModel::default() }
+    }
+}
+
+/// Parameters of a churn scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Number of epochs a full [`ChurnScenario::run`] advances.
+    pub epochs: usize,
+    /// New nodes deployed (at uniform random field positions) per epoch.
+    pub joins_per_epoch: usize,
+    /// Scripted node deaths per epoch (energy deaths come on top).
+    pub deaths_per_epoch: usize,
+    /// Waypoint moves per epoch.
+    pub moves_per_epoch: usize,
+    /// Maximum per-axis waypoint displacement, in meters. Destinations are
+    /// clamped to the deployment field.
+    pub move_distance: f64,
+    /// Per-epoch repair message budget. Repairs that do not fit are
+    /// deferred to later epochs via the [`RepairQueue`].
+    pub repair_budget: u64,
+    /// When set, batteries drain from real tx/rx counts and depleted nodes
+    /// die at the next epoch boundary.
+    pub energy: Option<EnergyBudget>,
+    /// Seed for the deterministic churn plan stream.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// A gentle default scenario: 8 epochs of light churn with a
+    /// 200-message repair budget and no energy model.
+    pub fn new(seed: u64) -> Self {
+        ChurnConfig {
+            epochs: 8,
+            joins_per_epoch: 2,
+            deaths_per_epoch: 2,
+            moves_per_epoch: 2,
+            move_distance: 60.0,
+            repair_budget: 200,
+            energy: None,
+            seed,
+        }
+    }
+
+    /// Sets the per-epoch join/death/move counts.
+    pub fn with_rates(mut self, joins: usize, deaths: usize, moves: usize) -> Self {
+        self.joins_per_epoch = joins;
+        self.deaths_per_epoch = deaths;
+        self.moves_per_epoch = moves;
+        self
+    }
+
+    /// Sets the number of epochs.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the per-epoch repair message budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.repair_budget = budget;
+        self
+    }
+
+    /// Enables energy-driven deaths.
+    pub fn with_energy(mut self, energy: EnergyBudget) -> Self {
+        self.energy = Some(energy);
+        self
+    }
+}
+
+/// One epoch's worth of scripted churn, referencing the topology it was
+/// planned against: `deaths` and `moves` name pre-epoch nodes; `joins` are
+/// field positions for new nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochPlan {
+    /// Deployment positions for the nodes joining this epoch.
+    pub joins: Vec<Point>,
+    /// Nodes dying this epoch (scripted and energy-driven).
+    pub deaths: Vec<NodeId>,
+    /// Waypoint moves: `(node, destination)`.
+    pub moves: Vec<(NodeId, Point)>,
+}
+
+impl EpochPlan {
+    /// A plan that changes nothing (repair-only epoch: the queue still
+    /// drains under the budget).
+    pub fn empty() -> Self {
+        EpochPlan { joins: Vec::new(), deaths: Vec::new(), moves: Vec::new() }
+    }
+}
+
+/// Deterministic generator of [`EpochPlan`]s.
+///
+/// The planner is system-agnostic: it only looks at a [`Topology`] and the
+/// deployment field, so benchmark drivers can generate one plan stream and
+/// replay it against Pool, DIM, and GHT for an apples-to-apples churn
+/// comparison.
+#[derive(Debug, Clone)]
+pub struct ChurnPlanner {
+    config: ChurnConfig,
+    rng: StdRng,
+}
+
+impl ChurnPlanner {
+    /// Creates a planner seeded from `config.seed`.
+    pub fn new(config: ChurnConfig) -> Self {
+        ChurnPlanner { config, rng: StdRng::seed_from_u64(config.seed ^ 0xC4A2_11E5) }
+    }
+
+    /// Plans the next epoch against the current `topology`. Victims and
+    /// movers are distinct live nodes; at least one node is always left
+    /// alive (a deployment with zero nodes cannot host an index).
+    pub fn plan(&mut self, topology: &Topology, field: Rect) -> EpochPlan {
+        let mut joins = Vec::with_capacity(self.config.joins_per_epoch);
+        for _ in 0..self.config.joins_per_epoch {
+            joins.push(Point::new(
+                self.rng.gen_range(field.min.x..=field.max.x),
+                self.rng.gen_range(field.min.y..=field.max.y),
+            ));
+        }
+        // Sample deaths and moves from the live population without
+        // replacement, so a node never moves and dies in the same epoch.
+        let mut candidates: Vec<NodeId> =
+            topology.nodes().iter().map(|n| n.id).filter(|&n| topology.is_alive(n)).collect();
+        let mut deaths = Vec::with_capacity(self.config.deaths_per_epoch);
+        for _ in 0..self.config.deaths_per_epoch {
+            // Joiners do not offset deaths (they are not yet deployed when
+            // the reaper comes): keep at least one pre-epoch survivor.
+            if candidates.len() <= 1 {
+                break;
+            }
+            let i = self.rng.gen_range(0..candidates.len());
+            deaths.push(candidates.swap_remove(i));
+        }
+        let mut moves = Vec::with_capacity(self.config.moves_per_epoch);
+        for _ in 0..self.config.moves_per_epoch {
+            if candidates.is_empty() {
+                break;
+            }
+            let i = self.rng.gen_range(0..candidates.len());
+            let id = candidates.swap_remove(i);
+            let at = topology.position(id);
+            let d = self.config.move_distance;
+            let dest =
+                Point::new(at.x + self.rng.gen_range(-d..=d), at.y + self.rng.gen_range(-d..=d));
+            moves.push((id, field.clamp(dest)));
+        }
+        EpochPlan { joins, deaths, moves }
+    }
+}
+
+/// What a queued repair does when it finally runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskKind {
+    /// Move the primary copy from a surviving (deposed) holder to the
+    /// cell's current index node.
+    Migrate,
+    /// Copy the payload from a surviving backup holder to the cell's
+    /// current index node.
+    Recover,
+    /// Re-create the backup copy of an event whose primary sits at
+    /// `source`.
+    Backup,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct RepairTask {
+    cell: CellCoord,
+    event: Event,
+    /// Where the payload physically sits right now.
+    source: NodeId,
+    kind: TaskKind,
+}
+
+/// Carry-over queue of repairs deferred by the per-epoch message budget.
+///
+/// FIFO: the oldest deferred repair drains first. Events parked here are
+/// *not* in the query-visible store — a query over their cell honestly
+/// misses them until the handoff lands.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RepairQueue {
+    tasks: VecDeque<RepairTask>,
+}
+
+impl RepairQueue {
+    /// Number of repairs still waiting for budget.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no repairs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+impl PoolSystem {
+    /// Applies one epoch of churn and repairs incrementally under `budget`.
+    ///
+    /// The epoch proceeds in phases:
+    ///
+    /// 1. **Mutate the radio network**: joins (dense new ids), waypoint
+    ///    moves, then deaths — one [`pool_transport::Transport::rebuild`]
+    ///    for the whole batch (generation bump, memo invalidation, ledger
+    ///    and clock growth).
+    /// 2. **Re-elect** the index node of every pool cell from the new live
+    ///    population (§2's nearest-to-center rule; a purely local,
+    ///    zero-message election).
+    /// 3. **Triage the store**: events whose holder survives as the cell's
+    ///    index stay put; everything else becomes queue work — handoffs
+    ///    from deposed holders, recoveries from backups, re-backups of
+    ///    retained events whose backup died. Events with neither a live
+    ///    holder nor a live backup are lost. Carried-over tasks from
+    ///    earlier epochs are refreshed against the new topology first (a
+    ///    queued source that died is replaced by a surviving backup, or
+    ///    the event is lost).
+    /// 4. **Drain the queue FIFO** until the next task would exceed
+    ///    `budget` radio messages; the remainder waits for the next epoch
+    ///    ([`FailureReport::deferred_repairs`]). On a loss-free radio the
+    ///    bound is strict; with ARQ the last task may overshoot by its
+    ///    retransmissions (the budget check uses the loss-free route
+    ///    length). A budget of 0 pauses repair entirely, and a repair
+    ///    whose route alone exceeds the budget is abandoned as
+    ///    unreachable (it could never fit any epoch).
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownNode`] if the plan names a node that was never
+    /// deployed (nothing is applied); [`PoolError::Routing`] only for
+    /// pathological routing failures.
+    pub fn apply_epoch(
+        &mut self,
+        plan: &EpochPlan,
+        queue: &mut RepairQueue,
+        budget: u64,
+    ) -> Result<FailureReport, PoolError> {
+        let ledger_before = LedgerSnapshot::of(self.transport.ledger());
+        let mut report = FailureReport { epochs: 1, ..FailureReport::default() };
+
+        // Phase 1: joins, then moves, then deaths, on a scratch topology —
+        // nothing touches `self` until the plan is validated.
+        let mut topo = self.topology().clone();
+        for &p in &plan.joins {
+            topo = topo.with_node(p).0;
+        }
+        let nodes = topo.len();
+        if let Some(&(bad, _)) = plan.moves.iter().find(|&&(id, _)| id.index() >= nodes) {
+            return Err(PoolError::UnknownNode { node: bad, nodes });
+        }
+        if let Some(&bad) = plan.deaths.iter().find(|d| d.index() >= nodes) {
+            return Err(PoolError::UnknownNode { node: bad, nodes });
+        }
+        for &(id, dest) in &plan.moves {
+            if topo.is_alive(id) {
+                topo = topo.with_moved_node(id, dest);
+            }
+        }
+        let mut victims: Vec<NodeId> =
+            plan.deaths.iter().copied().filter(|&d| topo.is_alive(d)).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        report.failed_nodes = victims.len();
+        let topo = topo.without_nodes(&victims);
+        report.partitioned = !topo.is_connected();
+        if report.partitioned {
+            report.nodes_unreachable = topo.alive_count() - topo.largest_component_members().len();
+        }
+        self.replace_network(topo);
+
+        // Phase 2: re-elect every cell's index node locally. Queries must
+        // never find a pool cell without a live index node mid-churn.
+        let mut new_index: HashMap<CellCoord, NodeId> = HashMap::new();
+        let mut reassigned = 0usize;
+        for pool in self.layout().pools().to_vec() {
+            for cell in pool.cells() {
+                let elected = self.topology().nearest_node(self.grid().center(cell));
+                if self.index_node_of(cell) != Some(elected) {
+                    reassigned += 1;
+                }
+                new_index.insert(cell, elected);
+            }
+        }
+        report.cells_reassigned = reassigned;
+        self.replace_index_nodes(new_index);
+        if report.partitioned {
+            let main: HashSet<NodeId> =
+                self.topology().largest_component_members().into_iter().collect();
+            report.cells_unreachable = self
+                .layout()
+                .pools()
+                .to_vec()
+                .iter()
+                .flat_map(|p| p.cells())
+                .filter(|&c| self.index_node_of(c).is_none_or(|n| !main.contains(&n)))
+                .count();
+        }
+
+        // Phase 3: triage. `kept` collects the backup copies that remain
+        // valid (live holders) for events that still exist somewhere.
+        let old_store = self.take_store();
+        let mut old_backups = self.take_backups();
+        self.clear_delegates();
+        let mut kept: HashMap<CellCoord, Vec<BackupCopy>> = HashMap::new();
+
+        // 3a. Refresh the carried-over queue against the new topology.
+        let carried: Vec<RepairTask> = queue.tasks.drain(..).collect();
+        for mut task in carried {
+            if self.topology().is_alive(task.source) {
+                // Still sound; keep the event's surviving backup attached.
+                if let Some(b) =
+                    take_backup(&mut old_backups, task.cell, &task.event, self.topology())
+                {
+                    kept.entry(task.cell)
+                        .or_default()
+                        .push(BackupCopy { event: task.event.clone(), holder: b });
+                }
+                queue.tasks.push_back(task);
+            } else {
+                match task.kind {
+                    // The primary this Backup task was going to copy died;
+                    // the store walk below re-triages that event.
+                    TaskKind::Backup => {}
+                    TaskKind::Migrate | TaskKind::Recover => {
+                        // The queued payload source died while waiting.
+                        // Fall back to a surviving backup, or lose the
+                        // event.
+                        match take_backup(&mut old_backups, task.cell, &task.event, self.topology())
+                        {
+                            Some(b) => {
+                                kept.entry(task.cell)
+                                    .or_default()
+                                    .push(BackupCopy { event: task.event.clone(), holder: b });
+                                task.source = b;
+                                task.kind = TaskKind::Recover;
+                                queue.tasks.push_back(task);
+                            }
+                            None => report.events_lost += 1,
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3b. Walk the store: retain, hand off, recover, or lose. Cells
+        // are visited in coordinate order — the walk feeds the FIFO repair
+        // queue, and the budget cutoff must not depend on HashMap
+        // iteration order (the determinism contract covers churn).
+        let mut cells: Vec<(&CellCoord, &[crate::storage::StoredEvent])> =
+            old_store.iter().collect();
+        cells.sort_unstable_by_key(|(c, _)| **c);
+        for (cell, stored) in cells {
+            let cell = *cell;
+            let index_node = self.index_node_of(cell).expect("pool cells keep index nodes");
+            for s in stored {
+                if self.topology().is_alive(s.holder) {
+                    let backup = take_backup(&mut old_backups, cell, &s.event, self.topology());
+                    if let Some(b) = backup {
+                        kept.entry(cell)
+                            .or_default()
+                            .push(BackupCopy { event: s.event.clone(), holder: b });
+                    }
+                    if s.holder == index_node {
+                        report.events_retained += 1;
+                        self.restore_event(cell, s.event.clone(), s.holder);
+                        if backup.is_none() && self.config().replicate {
+                            queue.tasks.push_back(RepairTask {
+                                cell,
+                                event: s.event.clone(),
+                                source: index_node,
+                                kind: TaskKind::Backup,
+                            });
+                        }
+                    } else {
+                        // Deposed holder: the event leaves the
+                        // query-visible store until its handoff lands.
+                        queue.tasks.push_back(RepairTask {
+                            cell,
+                            event: s.event.clone(),
+                            source: s.holder,
+                            kind: TaskKind::Migrate,
+                        });
+                    }
+                    continue;
+                }
+                // Holder died: recover from a surviving backup, if any.
+                match take_backup(&mut old_backups, cell, &s.event, self.topology()) {
+                    Some(b) => {
+                        // The copy at `b` stays the event's backup after
+                        // the recovery lands at the index node.
+                        kept.entry(cell)
+                            .or_default()
+                            .push(BackupCopy { event: s.event.clone(), holder: b });
+                        queue.tasks.push_back(RepairTask {
+                            cell,
+                            event: s.event.clone(),
+                            source: b,
+                            kind: TaskKind::Recover,
+                        });
+                    }
+                    None => report.events_lost += 1,
+                }
+            }
+        }
+        self.set_backups(kept);
+
+        // Phase 4: budgeted FIFO drain.
+        self.drain_repairs(queue, budget, &mut report);
+
+        // Dead sinks can never receive another notification.
+        self.drop_monitors_with_dead_sinks();
+        report.deferred_repairs = queue.len() as u64;
+        ledger_before.debug_assert_sum(
+            self.transport.ledger(),
+            "apply_epoch",
+            report.repair_messages,
+            &[TrafficLayer::Repair, TrafficLayer::Replication, TrafficLayer::Retransmit],
+        );
+        Ok(report)
+    }
+
+    /// Drains `queue` front-to-back until the next task would exceed
+    /// `budget` messages, charging everything to the ledger.
+    ///
+    /// Two semantics keep the drain well-defined at the extremes: a budget
+    /// of 0 *pauses* repair (everything stays queued, nothing is spent),
+    /// and a task whose loss-free route alone exceeds the budget can never
+    /// run in any epoch, so it is abandoned as unreachable rather than
+    /// blocking the queue head forever.
+    fn drain_repairs(&mut self, queue: &mut RepairQueue, budget: u64, report: &mut FailureReport) {
+        if budget == 0 {
+            return;
+        }
+        let mut spent = 0u64;
+        while let Some(task) = queue.tasks.front() {
+            let cell = task.cell;
+            let source = task.source;
+            let kind = task.kind;
+            let index_node = self.index_node_of(cell).expect("pool cells keep index nodes");
+            match kind {
+                TaskKind::Backup => {
+                    // One hop to a neighbor (free if the holder is
+                    // isolated — replicate_event returns 0).
+                    let estimate = u64::from(!self.topology().neighbors(source).is_empty());
+                    if spent + estimate > budget {
+                        break;
+                    }
+                    let task = queue.tasks.pop_front().expect("front exists");
+                    let sent = self.replicate_event(task.cell, &task.event, source);
+                    spent += sent;
+                    report.repair_messages += sent;
+                }
+                TaskKind::Migrate | TaskKind::Recover => {
+                    let route =
+                        match self.transport.route_to_node(&self.topology, source, index_node) {
+                            Ok(route) => route,
+                            Err(_) => {
+                                // No route at all (partition): drop without
+                                // charging, like one-shot repair does.
+                                queue.tasks.pop_front();
+                                report.events_unreachable += 1;
+                                continue;
+                            }
+                        };
+                    let estimate = route.path.windows(2).filter(|w| w[0] != w[1]).count() as u64;
+                    if estimate > budget {
+                        // This handoff cannot fit even an idle epoch:
+                        // unreachable under this budget.
+                        queue.tasks.pop_front();
+                        report.events_unreachable += 1;
+                        continue;
+                    }
+                    if spent + estimate > budget {
+                        break;
+                    }
+                    let task = queue.tasks.pop_front().expect("front exists");
+                    let outcome =
+                        self.deliver_traced(TraceOp::Repair, &route.path, TrafficLayer::Repair);
+                    spent += outcome.transmissions;
+                    report.repair_messages += outcome.transmissions;
+                    if outcome.delivered {
+                        match kind {
+                            TaskKind::Migrate => report.events_migrated += 1,
+                            TaskKind::Recover => report.events_recovered += 1,
+                            TaskKind::Backup => unreachable!("handled above"),
+                        }
+                        self.restore_event(task.cell, task.event.clone(), index_node);
+                        if self.config().replicate && !self.has_live_backup(task.cell, &task.event)
+                        {
+                            queue.tasks.push_back(RepairTask {
+                                cell: task.cell,
+                                event: task.event,
+                                source: index_node,
+                                kind: TaskKind::Backup,
+                            });
+                        }
+                    } else {
+                        // ARQ exhausted mid-route: the repair is spent and
+                        // the event dropped, consistent with fail_nodes.
+                        report.events_unreachable += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic multi-epoch churn run over one Pool deployment.
+///
+/// Owns the plan stream, the carry-over [`RepairQueue`], and (when
+/// configured) the battery ledger. Each [`ChurnScenario::advance`] call is
+/// one epoch; interleave insertions and queries between calls to model a
+/// live workload under churn.
+#[derive(Debug)]
+pub struct ChurnScenario {
+    config: ChurnConfig,
+    planner: ChurnPlanner,
+    queue: RepairQueue,
+    energy: Option<EnergyLedger>,
+    prev_tx: Vec<u64>,
+    prev_rx: Vec<u64>,
+    epochs_run: usize,
+}
+
+impl ChurnScenario {
+    /// Creates a scenario from `config`. Batteries (if any) are
+    /// provisioned lazily at the first epoch, sized to the network.
+    pub fn new(config: ChurnConfig) -> Self {
+        ChurnScenario {
+            planner: ChurnPlanner::new(config),
+            config,
+            queue: RepairQueue::default(),
+            energy: None,
+            prev_tx: Vec::new(),
+            prev_rx: Vec::new(),
+            epochs_run: 0,
+        }
+    }
+
+    /// Advances `pool` by one epoch: drains batteries from the virtual
+    /// clock's tx/rx counters (energy-driven deaths join the scripted
+    /// ones), applies the next plan, and repairs under the budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PoolSystem::apply_epoch`] errors (a planner-produced
+    /// plan never names unknown nodes, so in practice only pathological
+    /// routing failures).
+    pub fn advance(&mut self, pool: &mut PoolSystem) -> Result<FailureReport, PoolError> {
+        let mut plan = self.planner.plan(pool.topology(), pool.field());
+        let mut energy_deaths = 0usize;
+        if let Some(budget) = self.config.energy {
+            let ledger = self
+                .energy
+                .get_or_insert_with(|| EnergyLedger::new(0, budget.capacity, budget.model));
+            let clock = pool.transport().clock();
+            let n = clock.tx_counts().len();
+            ledger.grow_to(n);
+            self.prev_tx.resize(n, 0);
+            self.prev_rx.resize(n, 0);
+            // The clock's counters are cumulative; charge this epoch's
+            // delta only.
+            let dtx: Vec<u64> =
+                clock.tx_counts().iter().zip(&self.prev_tx).map(|(c, p)| c - p).collect();
+            let drx: Vec<u64> =
+                clock.rx_counts().iter().zip(&self.prev_rx).map(|(c, p)| c - p).collect();
+            self.prev_tx = clock.tx_counts().to_vec();
+            self.prev_rx = clock.rx_counts().to_vec();
+            ledger.charge_counts(&dtx, &drx);
+            let mut live_left = pool.topology().alive_count() - plan.deaths.len();
+            for id in ledger.depleted_nodes() {
+                // Leave at least one live node standing, as the planner
+                // does for scripted deaths.
+                if live_left <= 1 {
+                    break;
+                }
+                if pool.topology().is_alive(id) && !plan.deaths.contains(&id) {
+                    plan.deaths.push(id);
+                    energy_deaths += 1;
+                    live_left -= 1;
+                }
+            }
+        }
+        let mut report = pool.apply_epoch(&plan, &mut self.queue, self.config.repair_budget)?;
+        report.energy_deaths = energy_deaths;
+        self.epochs_run += 1;
+        Ok(report)
+    }
+
+    /// Runs all configured epochs against `pool`, returning the merged
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ChurnScenario::advance`] error.
+    pub fn run(&mut self, pool: &mut PoolSystem) -> Result<FailureReport, PoolError> {
+        let mut merged = FailureReport::default();
+        for _ in 0..self.config.epochs {
+            merged = merged.merge(&self.advance(pool)?);
+        }
+        Ok(merged)
+    }
+
+    /// Repairs still deferred by the budget.
+    pub fn pending_repairs(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Epochs advanced so far.
+    pub fn epochs_run(&self) -> usize {
+        self.epochs_run
+    }
+
+    /// The battery ledger, once provisioned (None without an energy model
+    /// or before the first epoch).
+    pub fn energy(&self) -> Option<&EnergyLedger> {
+        self.energy.as_ref()
+    }
+
+    /// The scenario's configuration.
+    pub fn config(&self) -> &ChurnConfig {
+        &self.config
+    }
+}
+
+impl PoolSystem {
+    /// Whether `cell` still has a live backup copy of `event`.
+    fn has_live_backup(&self, cell: CellCoord, event: &Event) -> bool {
+        self.backups.get(&cell).is_some_and(|copies| {
+            copies.iter().any(|c| &c.event == event && self.topology.is_alive(c.holder))
+        })
+    }
+
+    pub(crate) fn set_backups(&mut self, backups: HashMap<CellCoord, Vec<BackupCopy>>) {
+        self.backups = backups;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PoolConfig;
+    use crate::query::RangeQuery;
+    use crate::system::testkit::{build_system, ev};
+    use pool_transport::TrafficLayer;
+
+    fn all_query() -> RangeQuery {
+        RangeQuery::exact(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap()
+    }
+
+    fn load(pool: &mut PoolSystem, count: usize, seed: u64) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = pool.topology().len() as u32;
+        for _ in 0..count {
+            let e = ev(&[rng.gen(), rng.gen(), rng.gen()]);
+            let mut src = NodeId(rng.gen_range(0..n));
+            while !pool.topology().is_alive(src) {
+                src = NodeId(rng.gen_range(0..n));
+            }
+            pool.insert_from(src, e).unwrap();
+        }
+    }
+
+    fn live_sink(pool: &PoolSystem) -> NodeId {
+        let members = pool.topology().largest_component_members();
+        members[0]
+    }
+
+    #[test]
+    fn planner_is_deterministic_and_respects_rates() {
+        let pool = build_system(300, 31, PoolConfig::paper());
+        let config = ChurnConfig::new(9).with_rates(3, 2, 4);
+        let mut a = ChurnPlanner::new(config);
+        let mut b = ChurnPlanner::new(config);
+        let pa = a.plan(pool.topology(), pool.field());
+        let pb = b.plan(pool.topology(), pool.field());
+        assert_eq!(pa, pb, "same seed, same plan");
+        assert_eq!(pa.joins.len(), 3);
+        assert_eq!(pa.deaths.len(), 2);
+        assert_eq!(pa.moves.len(), 4);
+        // Victims and movers are distinct.
+        for (id, _) in &pa.moves {
+            assert!(!pa.deaths.contains(id));
+        }
+        for &p in &pa.joins {
+            assert!(pool.field().contains(p));
+        }
+        // A different seed gives a different plan.
+        let mut c = ChurnPlanner::new(ChurnConfig::new(10).with_rates(3, 2, 4));
+        assert_ne!(pa, c.plan(pool.topology(), pool.field()));
+    }
+
+    #[test]
+    fn joins_grow_the_deployment_and_are_immediately_usable() {
+        let mut pool = build_system(300, 32, PoolConfig::paper());
+        load(&mut pool, 40, 1);
+        let before = pool.topology().len();
+        let plan = EpochPlan {
+            joins: vec![pool.field().center(), Point::new(30.0, 30.0)],
+            deaths: vec![],
+            moves: vec![],
+        };
+        let mut queue = RepairQueue::default();
+        let report = pool.apply_epoch(&plan, &mut queue, u64::MAX).unwrap();
+        assert_eq!(pool.topology().len(), before + 2);
+        assert_eq!(report.failed_nodes, 0);
+        assert_eq!(report.events_lost, 0);
+        assert_eq!(report.epochs, 1);
+        // The joiners can insert and query right away.
+        let joiner = NodeId(before as u32);
+        pool.insert_from(joiner, ev(&[0.5, 0.5, 0.5])).unwrap();
+        let got = pool.query_from(joiner, &all_query()).unwrap();
+        assert_eq!(got.events.len(), pool.store().len());
+        assert!(got.completeness.is_complete());
+    }
+
+    #[test]
+    fn unknown_nodes_in_a_plan_are_typed_errors_and_nothing_applies() {
+        let mut pool = build_system(300, 33, PoolConfig::paper());
+        load(&mut pool, 20, 2);
+        let stored = pool.store().len();
+        let alive = pool.topology().alive_count();
+        let mut queue = RepairQueue::default();
+        let plan = EpochPlan { joins: vec![], deaths: vec![NodeId(999)], moves: vec![] };
+        let err = pool.apply_epoch(&plan, &mut queue, u64::MAX).unwrap_err();
+        assert!(matches!(err, PoolError::UnknownNode { node: NodeId(999), nodes: 300 }));
+        let plan = EpochPlan {
+            joins: vec![],
+            deaths: vec![],
+            moves: vec![(NodeId(700), Point::new(1.0, 1.0))],
+        };
+        let err = pool.apply_epoch(&plan, &mut queue, u64::MAX).unwrap_err();
+        assert!(matches!(err, PoolError::UnknownNode { node: NodeId(700), .. }));
+        assert_eq!(pool.store().len(), stored);
+        assert_eq!(pool.topology().alive_count(), alive);
+        assert!(queue.is_empty());
+    }
+
+    /// Acceptance pin: the per-epoch Repair-layer traffic never exceeds
+    /// the configured budget on a loss-free radio, and deferred work
+    /// carries over until it eventually drains.
+    #[test]
+    fn repair_traffic_per_epoch_is_bounded_by_the_budget() {
+        let mut pool = build_system(300, 34, PoolConfig::paper().with_replication());
+        load(&mut pool, 200, 3);
+        let budget = 25u64;
+        let config = ChurnConfig::new(5).with_rates(2, 10, 8).with_epochs(12).with_budget(budget);
+        let mut scenario = ChurnScenario::new(config);
+        let mut deferred_seen = false;
+        for _ in 0..config.epochs {
+            let repair_before = pool.ledger().layer_total(TrafficLayer::Repair)
+                + pool.ledger().layer_total(TrafficLayer::Replication);
+            let report = scenario.advance(&mut pool).unwrap();
+            let repair_after = pool.ledger().layer_total(TrafficLayer::Repair)
+                + pool.ledger().layer_total(TrafficLayer::Replication);
+            assert!(
+                repair_after - repair_before <= budget,
+                "epoch spent {} > budget {budget}",
+                repair_after - repair_before,
+            );
+            assert_eq!(report.repair_messages, repair_after - repair_before);
+            deferred_seen |= report.deferred_repairs > 0;
+            // Mid-churn queries never panic and stay honest.
+            let got = pool.query_from(live_sink(&pool), &all_query()).unwrap();
+            assert!(got.events.len() <= pool.store().len());
+        }
+        assert!(deferred_seen, "a 25-message budget must defer some repairs");
+        // Repair-only epochs eventually drain the queue.
+        let calm = ChurnConfig::new(5).with_rates(0, 0, 0).with_budget(budget);
+        let mut queue_drainer = ChurnScenario::new(calm);
+        queue_drainer.queue = scenario.queue.clone();
+        for _ in 0..200 {
+            if queue_drainer.pending_repairs() == 0 {
+                break;
+            }
+            queue_drainer.advance(&mut pool).unwrap();
+        }
+        assert_eq!(queue_drainer.pending_repairs(), 0, "the queue must drain when churn stops");
+    }
+
+    /// Deferred handoffs leave the store (queries honestly miss them) and
+    /// reappear once the budget lets them land.
+    #[test]
+    fn deferred_events_are_invisible_until_their_handoff_lands() {
+        let mut pool = build_system(300, 35, PoolConfig::paper());
+        load(&mut pool, 80, 4);
+        let before = pool.store().len();
+        // A tiny budget defers essentially all handoffs.
+        let config = ChurnConfig::new(77).with_rates(0, 6, 4).with_budget(0);
+        let mut scenario = ChurnScenario::new(config);
+        let report = scenario.advance(&mut pool).unwrap();
+        let visible = pool.store().len();
+        assert_eq!(
+            visible + scenario.pending_repairs() + report.events_lost + report.events_unreachable,
+            before,
+            "every event is visible, queued, unreachable, or lost: {report:?}"
+        );
+        let got = pool.query_from(live_sink(&pool), &all_query()).unwrap();
+        assert_eq!(got.events.len(), visible, "queries see exactly the visible store");
+        if scenario.pending_repairs() > 0 {
+            // Now lift the budget: the queue drains and the events return.
+            let calm = ChurnConfig::new(78).with_rates(0, 0, 0).with_budget(u64::MAX);
+            let mut drainer = ChurnScenario::new(calm);
+            drainer.queue = scenario.queue.clone();
+            let report = drainer.advance(&mut pool).unwrap();
+            assert_eq!(drainer.pending_repairs(), 0);
+            assert!(report.events_migrated + report.events_recovered > 0);
+            let got = pool.query_from(live_sink(&pool), &all_query()).unwrap();
+            assert_eq!(got.events.len(), pool.store().len());
+        }
+    }
+
+    #[test]
+    fn moves_relocate_nodes_and_keep_the_system_queryable() {
+        let mut pool = build_system(300, 36, PoolConfig::paper().with_replication());
+        load(&mut pool, 60, 5);
+        let config = ChurnConfig::new(21).with_rates(0, 0, 8).with_budget(u64::MAX);
+        let mut scenario = ChurnScenario::new(config);
+        for _ in 0..4 {
+            let report = scenario.advance(&mut pool).unwrap();
+            assert_eq!(report.failed_nodes, 0, "moves kill nobody");
+            assert_eq!(report.events_lost, 0, "moves lose nothing: {report:?}");
+            let got = pool.query_from(live_sink(&pool), &all_query()).unwrap();
+            assert_eq!(got.events.len(), pool.store().len());
+        }
+        assert_eq!(pool.topology().len(), 300, "moves neither add nor remove nodes");
+    }
+
+    #[test]
+    fn energy_model_kills_busy_nodes_and_reports_them() {
+        let mut pool = build_system(300, 37, PoolConfig::paper());
+        load(&mut pool, 150, 6);
+        // A battery so small that the workload already drained it.
+        let config = ChurnConfig::new(50)
+            .with_rates(0, 0, 0)
+            .with_budget(u64::MAX)
+            .with_energy(EnergyBudget::joules(0.002));
+        let mut scenario = ChurnScenario::new(config);
+        let report = scenario.advance(&mut pool).unwrap();
+        assert!(report.energy_deaths > 0, "busy relays must drain: {report:?}");
+        assert_eq!(report.failed_nodes, report.energy_deaths, "only energy kills here");
+        let ledger = scenario.energy().expect("provisioned at first advance");
+        for id in ledger.depleted_nodes() {
+            if pool.topology().len() > id.index() {
+                // Every depleted pre-epoch node is now dead (modulo the
+                // last-survivor guard, which cannot trigger at 300 nodes).
+                assert!(!pool.topology().is_alive(id), "{id} drained but lives");
+            }
+        }
+        // Subsequent epochs only charge the delta: an idle network causes
+        // no further deaths.
+        let report = scenario.advance(&mut pool).unwrap();
+        assert_eq!(report.energy_deaths, 0, "no traffic, no new drain: {report:?}");
+    }
+
+    #[test]
+    fn scenario_run_merges_epochs_and_preserves_replication_safety() {
+        let mut pool = build_system(300, 38, PoolConfig::paper().with_replication());
+        load(&mut pool, 100, 7);
+        let config = ChurnConfig::new(13).with_rates(2, 2, 2).with_epochs(6).with_budget(u64::MAX);
+        let mut scenario = ChurnScenario::new(config);
+        let report = scenario.run(&mut pool).unwrap();
+        assert_eq!(report.epochs, 6);
+        assert!(report.failed_nodes > 0);
+        // With an unbounded budget nothing stays deferred at the end of an
+        // epoch, and replication keeps losses at zero absent partitions.
+        assert_eq!(scenario.pending_repairs(), 0);
+        if !report.partitioned {
+            assert_eq!(report.events_lost, 0, "replication must prevent loss: {report:?}");
+        }
+        let got = pool.query_from(live_sink(&pool), &all_query()).unwrap();
+        assert_eq!(got.events.len(), pool.store().len());
+    }
+}

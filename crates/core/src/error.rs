@@ -42,6 +42,15 @@ pub enum PoolError {
     },
     /// An underlying routing failure.
     Routing(String),
+    /// A [`NodeId`] that does not exist in the deployment was passed to an
+    /// operation that requires a real node (e.g. failing a node that was
+    /// never deployed).
+    UnknownNode {
+        /// The id that is out of range.
+        node: NodeId,
+        /// Number of nodes the deployment actually has.
+        nodes: usize,
+    },
     /// A packet could not be delivered over the lossy link layer (or the
     /// destination sits in another network partition) after exhausting the
     /// retry budget.
@@ -67,6 +76,9 @@ impl fmt::Display for PoolError {
             ),
             PoolError::DimensionMismatch { expected, got } => {
                 write!(f, "dimension mismatch: system is {expected}-dimensional, got {got}")
+            }
+            PoolError::UnknownNode { node, nodes } => {
+                write!(f, "unknown node {node}: the deployment has {nodes} nodes")
             }
             PoolError::Routing(msg) => write!(f, "routing failure: {msg}"),
             PoolError::Undeliverable { from, to, transmissions } => write!(

@@ -26,8 +26,9 @@ use pool_transport::trace::TraceOp;
 use pool_transport::TrafficLayer;
 use std::collections::HashMap;
 
-/// Outcome of a failure-injection step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Outcome of a failure-injection step (or of a run of churn epochs, when
+/// produced by [`crate::dynamics::ChurnScenario`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct FailureReport {
     /// Nodes newly failed in this step.
     pub failed_nodes: usize,
@@ -58,6 +59,15 @@ pub struct FailureReport {
     /// delivered; they are dropped from the store rather than restored,
     /// keeping stored state consistent with what queries can see.
     pub events_unreachable: usize,
+    /// Churn epochs this report spans (0 for a one-shot `fail_nodes`).
+    pub epochs: usize,
+    /// Failures caused by a battery draining to zero rather than a
+    /// scripted kill (only churn scenarios with an energy model set this).
+    pub energy_deaths: usize,
+    /// Repairs still queued when the report was taken — work the per-epoch
+    /// message budget pushed into later epochs (0 for one-shot repair,
+    /// which is unbudgeted).
+    pub deferred_repairs: u64,
 }
 
 impl FailureReport {
@@ -76,6 +86,9 @@ impl FailureReport {
             nodes_unreachable: self.nodes_unreachable + other.nodes_unreachable,
             cells_unreachable: self.cells_unreachable + other.cells_unreachable,
             events_unreachable: self.events_unreachable + other.events_unreachable,
+            epochs: self.epochs + other.epochs,
+            energy_deaths: self.energy_deaths + other.energy_deaths,
+            deferred_repairs: self.deferred_repairs + other.deferred_repairs,
         }
     }
 }
@@ -94,6 +107,15 @@ impl std::fmt::Display for FailureReport {
             self.events_lost,
             self.repair_messages,
         )?;
+        if self.epochs > 0 {
+            write!(f, " over {} epoch(s)", self.epochs)?;
+        }
+        if self.energy_deaths > 0 {
+            write!(f, "; {} death(s) from battery depletion", self.energy_deaths)?;
+        }
+        if self.deferred_repairs > 0 {
+            write!(f, "; {} repair(s) still deferred", self.deferred_repairs)?;
+        }
         if self.partitioned {
             write!(
                 f,
@@ -129,21 +151,36 @@ impl PoolSystem {
     ///
     /// # Errors
     ///
-    /// [`PoolError::Routing`] only for pathological (non-delivery) routing
-    /// failures.
+    /// [`PoolError::UnknownNode`] if any id was never deployed (no repair
+    /// is attempted and no counter moves); [`PoolError::Routing`] only for
+    /// pathological (non-delivery) routing failures.
+    ///
+    /// Failing an *already-dead* node is an idempotent no-op: duplicates
+    /// and corpses are filtered out before any counting, so double-kills
+    /// can never inflate `failed_nodes` or `events_lost`. A victim set
+    /// with nobody left to kill returns an all-zero report without
+    /// touching the network.
     pub fn fail_nodes(&mut self, dead: &[NodeId]) -> Result<FailureReport, PoolError> {
+        let nodes = self.topology().len();
+        if let Some(&bad) = dead.iter().find(|d| d.index() >= nodes) {
+            return Err(PoolError::UnknownNode { node: bad, nodes });
+        }
+        let mut victims: Vec<NodeId> =
+            dead.iter().copied().filter(|&d| self.topology().is_alive(d)).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        if victims.is_empty() {
+            return Ok(FailureReport::default());
+        }
         let ledger_before = LedgerSnapshot::of(self.transport.ledger());
-        let mut report = FailureReport {
-            failed_nodes: dead.iter().filter(|&&d| self.topology().is_alive(d)).count(),
-            ..FailureReport::default()
-        };
+        let mut report = FailureReport { failed_nodes: victims.len(), ..FailureReport::default() };
 
         // 1. Take the nodes out of the radio network and rebuild routing.
         //    Transport::rebuild re-planarizes, bumps the topology
         //    generation, and invalidates any memoized routes. A partition
         //    is recorded, not fatal: each surviving component keeps
         //    operating on its own slice of the field.
-        let new_topology = self.topology().without_nodes(dead);
+        let new_topology = self.topology().without_nodes(&victims);
         report.partitioned = !new_topology.is_connected();
         if report.partitioned {
             report.nodes_unreachable =
@@ -263,7 +300,7 @@ impl PoolSystem {
 }
 
 /// Removes and returns a surviving backup holder for `event` in `cell`.
-fn take_backup(
+pub(crate) fn take_backup(
     backups: &mut HashMap<CellCoord, Vec<BackupCopy>>,
     cell: CellCoord,
     event: &Event,
@@ -443,10 +480,74 @@ mod tests {
         let text = healthy.to_string();
         assert!(text.contains("2 node(s) failed"), "{text}");
         assert!(!text.contains("partitioned"), "{text}");
+        assert!(!text.contains("epoch"), "{text}");
+        assert!(!text.contains("deferred"), "{text}");
         let split = FailureReport { partitioned: true, nodes_unreachable: 7, ..Default::default() };
         let text = split.to_string();
         assert!(text.contains("partitioned"), "{text}");
         assert!(text.contains("7 nodes"), "{text}");
+        let churned = FailureReport {
+            epochs: 4,
+            energy_deaths: 2,
+            deferred_repairs: 9,
+            ..Default::default()
+        };
+        let text = churned.to_string();
+        assert!(text.contains("4 epoch(s)"), "{text}");
+        assert!(text.contains("2 death(s) from battery depletion"), "{text}");
+        assert!(text.contains("9 repair(s) still deferred"), "{text}");
+    }
+
+    #[test]
+    fn merge_sums_the_churn_fields() {
+        let a = FailureReport {
+            epochs: 2,
+            energy_deaths: 1,
+            deferred_repairs: 5,
+            ..Default::default()
+        };
+        let b = FailureReport { epochs: 3, deferred_repairs: 2, ..Default::default() };
+        let m = a.merge(&b);
+        assert_eq!(m.epochs, 5);
+        assert_eq!(m.energy_deaths, 1);
+        assert_eq!(m.deferred_repairs, 7);
+    }
+
+    /// Satellite regression: double-killing is idempotent, and unknown ids
+    /// are a typed error. Neither can inflate the casualty counters.
+    #[test]
+    fn double_kill_is_idempotent_and_unknown_nodes_are_typed_errors() {
+        let mut pool = build_system(8, PoolConfig::paper());
+        load(&mut pool, 200, 18);
+        let victim = loaded_nodes(&pool)[0];
+        let first = pool.fail_nodes(&[victim]).unwrap();
+        assert_eq!(first.failed_nodes, 1);
+        assert!(first.events_lost > 0, "the victim held events");
+        let stored = pool.store().len();
+        let alive = pool.topology().alive_count();
+
+        // Killing the same node again must not double-count anything or
+        // touch the network.
+        let second = pool.fail_nodes(&[victim]).unwrap();
+        assert_eq!(second, FailureReport::default(), "double-kill must be a no-op");
+        assert_eq!(pool.store().len(), stored);
+        assert_eq!(pool.topology().alive_count(), alive);
+
+        // A duplicated victim in one call counts once.
+        let next = loaded_nodes(&pool).into_iter().find(|&n| n != victim).unwrap();
+        let dup = pool.fail_nodes(&[next, next, victim]).unwrap();
+        assert_eq!(dup.failed_nodes, 1, "duplicates and corpses are filtered: {dup:?}");
+
+        // An id that was never deployed is a typed error, not a panic, and
+        // nothing happens.
+        let stored = pool.store().len();
+        let err = pool.fail_nodes(&[NodeId(400), next]).unwrap_err();
+        assert!(
+            matches!(err, PoolError::UnknownNode { node: NodeId(400), nodes: 400 }),
+            "got {err:?}"
+        );
+        assert_eq!(pool.store().len(), stored);
+        assert!(err.to_string().contains("unknown node"), "{err}");
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //! * [`nn`] — k-nearest-neighbor queries in event space (§6 extension).
 //! * [`failure`] — node-failure injection, index re-election, replication
 //!   and recovery.
+//! * [`dynamics`] — continuous churn: epoch-stepped joins, deaths (scripted
+//!   or energy-driven), waypoint mobility, and incremental budgeted repair.
 //! * [`audit`] — whole-system invariant checking.
 //! * [`dcs`] — the [`dcs::DataCentricStore`] trait unifying Pool with the
 //!   DIM baseline.
@@ -64,6 +66,7 @@ pub mod audit;
 pub mod batch;
 pub mod config;
 pub mod dcs;
+pub mod dynamics;
 pub mod error;
 pub mod event;
 pub mod explain;
@@ -84,6 +87,9 @@ pub use audit::{AuditReport, AuditViolation};
 pub use batch::BatchResult;
 pub use config::{PoolConfig, SharingPolicy};
 pub use dcs::DataCentricStore;
+pub use dynamics::{
+    ChurnConfig, ChurnPlanner, ChurnScenario, EnergyBudget, EpochPlan, RepairQueue,
+};
 pub use error::PoolError;
 pub use event::Event;
 pub use explain::{PlannedCell, PoolPlan, QueryPlan};

@@ -232,7 +232,12 @@ impl PoolSystem {
     /// Returns the messages charged (1 on a perfect radio; more with ARQ
     /// retransmissions; 0 when the index node is isolated). On a lossy
     /// radio the backup is only recorded if the copy actually arrived.
-    fn replicate_event(&mut self, cell: CellCoord, event: &Event, index_node: NodeId) -> u64 {
+    pub(crate) fn replicate_event(
+        &mut self,
+        cell: CellCoord,
+        event: &Event,
+        index_node: NodeId,
+    ) -> u64 {
         let Some(&backup_holder) = self
             .topology
             .neighbors(index_node)

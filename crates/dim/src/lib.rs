@@ -12,6 +12,8 @@
 //!   mapping; range-query → zone-set resolution.
 //! * [`system`] — insertion and query processing over GPSR with per-message
 //!   cost accounting, API-compatible with `pool_core::system::PoolSystem`.
+//! * [`churn`] — epoch-stepped joins/deaths/moves with budgeted incremental
+//!   zone handoffs, replaying `pool_core::dynamics` plans against DIM.
 //!
 //! # Examples
 //!
@@ -26,10 +28,12 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod code;
 pub mod system;
 pub mod zone;
 
+pub use churn::DimRepairQueue;
 pub use code::ZoneCode;
 pub use system::{DimInsertReceipt, DimQueryResult, DimSystem};
 pub use zone::{Zone, ZoneTree};

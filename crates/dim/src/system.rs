@@ -107,12 +107,12 @@ pub struct DimInsertReceipt {
 /// ```
 #[derive(Debug)]
 pub struct DimSystem {
-    topology: Topology,
-    transport: Box<dyn Transport>,
-    tree: ZoneTree,
+    pub(crate) topology: Topology,
+    pub(crate) transport: Box<dyn Transport>,
+    pub(crate) tree: ZoneTree,
     dims: usize,
     /// Events stored per zone index (index into `tree.zones()`).
-    store: HashMap<usize, Vec<Event>>,
+    pub(crate) store: HashMap<usize, Vec<Event>>,
     zone_index_by_code: HashMap<crate::code::ZoneCode, usize>,
     tracer: Tracer,
 }
@@ -183,7 +183,7 @@ impl DimSystem {
 
     /// Delivers one packet along `path`, charging `layer` and tracing the
     /// leg under `op` — DIM's mirror of Pool's traced delivery helper.
-    fn deliver_traced(
+    pub(crate) fn deliver_traced(
         &mut self,
         op: TraceOp,
         path: &[NodeId],
@@ -482,9 +482,24 @@ impl DimSystem {
     ///
     /// # Errors
     ///
-    /// Currently infallible; typed for future repair strategies.
+    /// [`PoolError::UnknownNode`] if any id was never deployed (nothing is
+    /// applied). Failing an already-dead node is an idempotent no-op:
+    /// duplicates and corpses are filtered out before counting, mirroring
+    /// [`pool_core::system::PoolSystem`]'s `fail_nodes`.
     pub fn fail_nodes(&mut self, dead: &[NodeId]) -> Result<DimFailureReport, PoolError> {
-        let failed_nodes = dead.iter().filter(|&&d| self.topology.is_alive(d)).count();
+        let nodes = self.topology.len();
+        if let Some(&bad) = dead.iter().find(|d| d.index() >= nodes) {
+            return Err(PoolError::UnknownNode { node: bad, nodes });
+        }
+        let mut victims: Vec<NodeId> =
+            dead.iter().copied().filter(|&d| self.topology.is_alive(d)).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        if victims.is_empty() {
+            return Ok(DimFailureReport::default());
+        }
+        let dead = victims.as_slice();
+        let failed_nodes = dead.len();
         let new_topology = self.topology.without_nodes(dead);
         let partitioned = !new_topology.is_connected();
         self.transport.rebuild(&new_topology);

@@ -206,6 +206,30 @@ impl ZoneTree {
         reassigned
     }
 
+    /// Re-elects the owner of every zone whose current owner is dead or
+    /// listed in `displaced` (it moved this epoch and may no longer be the
+    /// zone's best host). The new owner is the live node nearest the
+    /// zone's center — the same rule [`ZoneTree::repair_owners`] applies
+    /// to dead owners. Returns `(zone index, old owner, new owner)` for
+    /// every zone that actually changed hands, in zone order.
+    pub fn re_elect_owners(
+        &mut self,
+        topology: &Topology,
+        displaced: &[NodeId],
+    ) -> Vec<(usize, NodeId, NodeId)> {
+        let mut changed = Vec::new();
+        for (i, zone) in self.zones.iter_mut().enumerate() {
+            if !topology.is_alive(zone.owner) || displaced.contains(&zone.owner) {
+                let elected = topology.nearest_node(zone.region.center());
+                if elected != zone.owner {
+                    changed.push((i, zone.owner, elected));
+                    zone.owner = elected;
+                }
+            }
+        }
+        changed
+    }
+
     /// Maximum code length (tree depth).
     pub fn depth(&self) -> usize {
         self.zones.iter().map(|z| z.code.len()).max().unwrap_or(0)

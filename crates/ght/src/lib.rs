@@ -8,6 +8,8 @@
 //! * [`hash`] — deterministic key → location hashing (FNV-1a based).
 //! * [`table`] — put/get at home nodes over a pluggable
 //!   [`pool_transport::Transport`], with per-layer message accounting.
+//! * [`churn`] — epoch-stepped joins/deaths/moves with budgeted re-homing
+//!   of keys whose home node changed (pool-core-free by design).
 //!
 //! # Examples
 //!
@@ -22,9 +24,11 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod hash;
 pub mod replication;
 pub mod table;
 
+pub use churn::{GhtChurnReport, GhtRepairQueue};
 pub use replication::{ReplicatedGht, ReplicatedReceipt};
 pub use table::{GhtReceipt, GhtTable};

@@ -64,7 +64,7 @@ pub struct GhtReceipt {
 #[derive(Debug, Clone)]
 pub struct GhtTable<V> {
     /// Per-node storage: node index → key → values.
-    storage: Vec<HashMap<String, Vec<V>>>,
+    pub(crate) storage: Vec<HashMap<String, Vec<V>>>,
 }
 
 impl<V: Clone> GhtTable<V> {

@@ -120,6 +120,25 @@ impl EnergyLedger {
         let min = self.remaining.iter().copied().fold(f64::INFINITY, f64::min);
         min / self.capacity
     }
+
+    /// Grows the ledger to `n` nodes; joiners start with a full battery.
+    /// A no-op when the ledger already covers `n` nodes.
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.remaining.len() {
+            self.remaining.resize(n, self.capacity);
+        }
+    }
+
+    /// The nodes whose batteries are exhausted (remaining energy is zero),
+    /// in ascending id order — the energy-driven death set of a churn epoch.
+    pub fn depleted_nodes(&self) -> Vec<NodeId> {
+        self.remaining
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r <= 0.0)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -196,5 +215,25 @@ mod tests {
     #[should_panic(expected = "invalid battery capacity")]
     fn rejects_bad_capacity() {
         let _ = EnergyLedger::new(1, 0.0, EnergyModel::default());
+    }
+
+    #[test]
+    fn grow_to_appends_full_batteries() {
+        let mut ledger = EnergyLedger::new(2, 1.0, EnergyModel::new(0.4, 0.0));
+        ledger.charge_hop(NodeId(0), NodeId(1));
+        ledger.grow_to(4);
+        ledger.grow_to(3); // no-op: never shrinks
+        assert!((ledger.remaining(NodeId(0)) - 0.6).abs() < 1e-12);
+        assert_eq!(ledger.remaining(NodeId(2)), 1.0);
+        assert_eq!(ledger.remaining(NodeId(3)), 1.0);
+        ledger.charge_counts(&[0; 4], &[0; 4]); // sized for the grown network
+    }
+
+    #[test]
+    fn depleted_nodes_lists_dead_batteries_in_order() {
+        let mut ledger = EnergyLedger::new(3, 0.5, EnergyModel::new(1.0, 1.0));
+        assert!(ledger.depleted_nodes().is_empty());
+        ledger.charge_hop(NodeId(2), NodeId(0));
+        assert_eq!(ledger.depleted_nodes(), vec![NodeId(0), NodeId(2)]);
     }
 }

@@ -98,6 +98,16 @@ impl TrafficStats {
         self.sent = 0;
         self.per_node.iter_mut().for_each(|c| *c = 0);
     }
+
+    /// Grows the ledger to track `n` nodes, appending zeroed counters for
+    /// the joiners. A no-op when the ledger already covers `n` nodes;
+    /// existing counts are never touched (ids are dense, so history stays
+    /// attributed correctly).
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.per_node.len() {
+            self.per_node.resize(n, 0);
+        }
+    }
 }
 
 /// Summary statistics over a sample of scalar observations (per-query
@@ -204,6 +214,20 @@ mod tests {
     fn merge_rejects_size_mismatch() {
         let mut a = TrafficStats::new(2);
         a.merge(&TrafficStats::new(3));
+    }
+
+    #[test]
+    fn grow_to_preserves_history() {
+        let mut s = TrafficStats::new(2);
+        s.record_hop(NodeId(0), NodeId(1));
+        s.grow_to(4);
+        s.grow_to(1); // no-op: never shrinks
+        assert_eq!(s.per_node().len(), 4);
+        assert_eq!(s.total_messages(), 1);
+        assert_eq!(s.load(NodeId(0)), 1);
+        assert_eq!(s.load(NodeId(3)), 0);
+        s.record_hop(NodeId(3), NodeId(0));
+        assert_eq!(s.load(NodeId(3)), 1);
     }
 
     #[test]

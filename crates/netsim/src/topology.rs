@@ -132,6 +132,114 @@ impl Topology {
         topo
     }
 
+    /// A copy of this topology with one freshly deployed node at
+    /// `position`, returned along with its newly assigned id (always
+    /// `NodeId(self.len())`, keeping ids dense so per-node bookkeeping can
+    /// grow by appending).
+    ///
+    /// The joiner's neighbor table is computed against *live* nodes only,
+    /// and it is spliced into each neighbor's sorted table, the spatial
+    /// hash, and the bounding box. The original topology is untouched.
+    pub fn with_node(&self, position: Point) -> (Topology, NodeId) {
+        let mut topo = self.clone();
+        let id = NodeId(topo.nodes.len() as u32);
+        let range_sq = topo.radio_range * topo.radio_range;
+        let (bx, by) = bucket_key(position, topo.bucket_size);
+        let mut list = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(ids) = topo.buckets.get(&(bx + dx, by + dy)) {
+                    for &other in ids {
+                        if topo.nodes[other.index()].position.distance_sq(position) <= range_sq {
+                            list.push(other);
+                        }
+                    }
+                }
+            }
+        }
+        list.sort_unstable();
+        for &nb in &list {
+            let table = &mut topo.neighbors[nb.index()];
+            if let Err(pos) = table.binary_search(&id) {
+                table.insert(pos, id);
+            }
+        }
+        topo.nodes.push(Node::new(id, position));
+        topo.neighbors.push(list);
+        topo.alive.push(true);
+        topo.buckets.entry((bx, by)).or_default().push(id);
+        let min = Point::new(topo.bounds.min.x.min(position.x), topo.bounds.min.y.min(position.y));
+        let max = Point::new(topo.bounds.max.x.max(position.x), topo.bounds.max.y.max(position.y));
+        topo.bounds = Rect::new(min, max);
+        (topo, id)
+    }
+
+    /// A copy of this topology with node `id` relocated to `new_position`
+    /// (waypoint mobility): its old radio links are torn down and its
+    /// neighbor table, every affected neighbor's table, and the spatial
+    /// hash are recomputed at the new position. The original topology is
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or dead — a failed node cannot move.
+    pub fn with_moved_node(&self, id: NodeId, new_position: Point) -> Topology {
+        assert!(self.alive[id.index()], "cannot move dead node {id}");
+        let mut topo = self.clone();
+        // Tear down the old links and spatial-hash entry.
+        let old_key = bucket_key(topo.nodes[id.index()].position, topo.bucket_size);
+        if let Some(ids) = topo.buckets.get_mut(&old_key) {
+            ids.retain(|&n| n != id);
+            if ids.is_empty() {
+                topo.buckets.remove(&old_key);
+            }
+        }
+        for nb in std::mem::take(&mut topo.neighbors[id.index()]) {
+            let table = &mut topo.neighbors[nb.index()];
+            if let Ok(pos) = table.binary_search(&id) {
+                table.remove(pos);
+            }
+        }
+        // Re-deploy at the new position.
+        topo.nodes[id.index()].position = new_position;
+        let range_sq = topo.radio_range * topo.radio_range;
+        let (bx, by) = bucket_key(new_position, topo.bucket_size);
+        let mut list = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(ids) = topo.buckets.get(&(bx + dx, by + dy)) {
+                    for &other in ids {
+                        if other != id
+                            && topo.nodes[other.index()].position.distance_sq(new_position)
+                                <= range_sq
+                        {
+                            list.push(other);
+                        }
+                    }
+                }
+            }
+        }
+        list.sort_unstable();
+        for &nb in &list {
+            let table = &mut topo.neighbors[nb.index()];
+            if let Err(pos) = table.binary_search(&id) {
+                table.insert(pos, id);
+            }
+        }
+        topo.neighbors[id.index()] = list;
+        topo.buckets.entry((bx, by)).or_default().push(id);
+        let min = Point::new(
+            topo.bounds.min.x.min(new_position.x),
+            topo.bounds.min.y.min(new_position.y),
+        );
+        let max = Point::new(
+            topo.bounds.max.x.max(new_position.x),
+            topo.bounds.max.y.max(new_position.y),
+        );
+        topo.bounds = Rect::new(min, max);
+        topo
+    }
+
     /// Whether node `id` is alive (has not been failed).
     pub fn is_alive(&self, id: NodeId) -> bool {
         self.alive[id.index()]
@@ -562,6 +670,139 @@ mod failure_tests {
         assert_eq!(twice.alive_count(), 37);
         for id in [0u32, 1, 2] {
             assert!(!twice.is_alive(NodeId(id)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod mutation_tests {
+    use super::*;
+    use crate::deployment::{Deployment, Placement};
+
+    fn sample(n: usize, side: f64, range: f64, seed: u64) -> Topology {
+        let nodes = Deployment::new(Rect::square(side), n, Placement::Uniform, seed).nodes();
+        Topology::build(nodes, range).unwrap()
+    }
+
+    /// Every live node's neighbor table equals the brute-force unit-disk
+    /// neighborhood over live nodes, in sorted order.
+    fn assert_tables_consistent(topo: &Topology) {
+        let range = topo.radio_range();
+        for a in topo.nodes() {
+            if !topo.is_alive(a.id) {
+                assert!(topo.neighbors(a.id).is_empty());
+                continue;
+            }
+            let brute: Vec<NodeId> = topo
+                .nodes()
+                .iter()
+                .filter(|b| {
+                    b.id != a.id
+                        && topo.is_alive(b.id)
+                        && b.position.distance(topo.position(a.id)) <= range
+                })
+                .map(|b| b.id)
+                .collect();
+            assert_eq!(topo.neighbors(a.id), brute.as_slice(), "node {}", a.id);
+        }
+    }
+
+    #[test]
+    fn joined_node_gets_dense_id_and_symmetric_links() {
+        let topo = sample(60, 80.0, 25.0, 11);
+        let p = Point::new(40.0, 40.0);
+        let (grown, id) = topo.with_node(p);
+        assert_eq!(id, NodeId(60));
+        assert_eq!(grown.len(), 61);
+        assert!(grown.is_alive(id));
+        assert_eq!(grown.position(id), p);
+        assert_tables_consistent(&grown);
+        assert!(!grown.neighbors(id).is_empty(), "a mid-field joiner must find neighbors");
+        // The original is untouched.
+        assert_eq!(topo.len(), 60);
+        assert_tables_consistent(&topo);
+    }
+
+    #[test]
+    fn joined_node_is_spatially_indexed() {
+        let topo = sample(50, 70.0, 25.0, 12);
+        let p = Point::new(200.0, 200.0); // far outside the field
+        let (grown, id) = topo.with_node(p);
+        assert_eq!(grown.nearest_node(Point::new(199.0, 199.0)), id);
+        assert!(grown.bounds().contains(p));
+        assert!(grown.neighbors(id).is_empty(), "an isolated joiner has no links");
+        assert!(!grown.is_connected());
+    }
+
+    #[test]
+    fn join_after_failure_ignores_the_dead() {
+        let topo = sample(60, 80.0, 25.0, 13);
+        let dead = NodeId(17);
+        let failed = topo.without_nodes(&[dead]);
+        let (grown, id) = failed.with_node(topo.position(dead));
+        assert!(!grown.neighbors(id).contains(&dead));
+        assert_tables_consistent(&grown);
+    }
+
+    #[test]
+    fn moved_node_reconnects_at_its_destination() {
+        let topo = sample(70, 90.0, 25.0, 14);
+        let mover = NodeId(5);
+        let dest = Point::new(85.0, 85.0);
+        let moved = topo.with_moved_node(mover, dest);
+        assert_eq!(moved.position(mover), dest);
+        assert_tables_consistent(&moved);
+        // Old links that are now out of range are gone, in both directions.
+        for nb in topo.neighbors(mover) {
+            if moved.distance(mover, *nb) > moved.radio_range() {
+                assert!(!moved.are_neighbors(mover, *nb));
+                assert!(!moved.are_neighbors(*nb, mover));
+            }
+        }
+        // The spatial hash follows the move.
+        assert_eq!(moved.nearest_node(dest), mover);
+        // The original is untouched.
+        assert_eq!(topo.position(mover), topo.nodes()[mover.index()].position);
+        assert_tables_consistent(&topo);
+    }
+
+    #[test]
+    fn move_is_reversible() {
+        let topo = sample(40, 60.0, 20.0, 15);
+        let mover = NodeId(9);
+        let home = topo.position(mover);
+        let away = topo.with_moved_node(mover, Point::new(-10.0, -10.0));
+        let back = away.with_moved_node(mover, home);
+        for node in topo.nodes() {
+            assert_eq!(back.neighbors(node.id), topo.neighbors(node.id), "node {}", node.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move dead node")]
+    fn moving_a_dead_node_panics() {
+        let topo = sample(30, 50.0, 20.0, 16);
+        let failed = topo.without_nodes(&[NodeId(3)]);
+        let _ = failed.with_moved_node(NodeId(3), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn churn_interleaving_keeps_tables_consistent() {
+        let mut topo = sample(50, 70.0, 22.0, 17);
+        let steps: Vec<(u32, f64, f64)> =
+            (0..12).map(|i| (i * 3 % 50, f64::from(i * 7 % 60), f64::from(i * 11 % 60))).collect();
+        for (i, &(raw, x, y)) in steps.iter().enumerate() {
+            match i % 3 {
+                0 => topo = topo.with_node(Point::new(x, y)).0,
+                1 => {
+                    let id = NodeId(raw);
+                    if topo.is_alive(id) {
+                        topo = topo.with_moved_node(id, Point::new(x, y));
+                    }
+                }
+                _ => topo = topo.without_nodes(&[NodeId(raw)]),
+            }
+            assert_tables_consistent(&topo);
         }
     }
 }

@@ -101,6 +101,10 @@ impl Transport for CachedTransport {
         self.gpsr = Gpsr::new(topology, self.planarization);
         self.node_routes.clear();
         self.location_routes.clear();
+        // Joins grow the network; the ledger and clock must keep every
+        // node id addressable (counters for existing nodes are preserved).
+        self.ledger.grow_to(topology.len());
+        self.clock.grow_to(topology.len());
         self.generation += 1;
     }
 
@@ -198,6 +202,47 @@ mod tests {
         cached.rebuild(&topology);
         assert_eq!(cached.cached_routes(), 0);
         assert_eq!(cached.generation(), 1);
+    }
+
+    /// Satellite regression: joins and moves invalidate the memo just like
+    /// failures do. After a route-interior node moves away, the refreshed
+    /// route must use only links that exist in the *new* topology — no
+    /// stale route ever crosses a moved-away link.
+    #[test]
+    fn rebuild_after_join_and_move_leaves_no_stale_links() {
+        let topology = setup(13);
+        let mut cached = CachedTransport::new(&topology, Planarization::Gabriel);
+        let (a, b) = (topology.nodes()[2].id, topology.nodes()[170].id);
+        let stale = cached.route_to_node(&topology, a, b).expect("route");
+        assert!(stale.path.len() > 2, "endpoints must not be direct neighbors");
+
+        // A join grows the network and must bump the generation.
+        let (grown, joiner) = topology.with_node(Point::new(5.0, 5.0));
+        cached.rebuild(&grown);
+        assert_eq!(cached.generation(), 1);
+        assert_eq!(cached.cached_routes(), 0, "join must clear the memo");
+        assert_eq!(cached.ledger().stats().per_node().len(), grown.len());
+        assert_eq!(cached.clock().tx_counts().len(), grown.len());
+        // The joiner is routable immediately.
+        cached.route_to_node(&grown, joiner, b).expect("route from joiner");
+
+        // Move a route-interior relay far outside radio range of its old
+        // neighborhood: every link it carried is now dead.
+        let relay = stale.path[stale.path.len() / 2];
+        let moved = grown.with_moved_node(relay, Point::new(-500.0, -500.0));
+        cached.rebuild(&moved);
+        assert_eq!(cached.generation(), 2, "move must bump the generation");
+        assert_eq!(cached.cached_routes(), 0, "move must clear the memo");
+        let fresh = cached.route_to_node(&moved, a, b).expect("route after move");
+        for w in fresh.path.windows(2) {
+            assert!(
+                w[0] == w[1] || moved.are_neighbors(w[0], w[1]),
+                "route crosses a link that no longer exists: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(!fresh.path.contains(&relay), "the moved-away relay cannot appear on the route");
     }
 
     #[test]

@@ -221,6 +221,18 @@ impl VirtualClock {
         end - start
     }
 
+    /// Grows the clock to track `n` nodes: joiners start idle with zeroed
+    /// counters; the cursor, busy state, and counters of existing nodes are
+    /// untouched. A no-op when the clock already covers `n` nodes.
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.busy_until.len() {
+            self.busy_until.resize(n, 0.0);
+            self.busy_time.resize(n, 0.0);
+            self.tx.resize(n, 0);
+            self.rx.resize(n, 0);
+        }
+    }
+
     /// Resets busy state and counters to zero (the cursor too). Used when
     /// a workload wants a fresh timeline over the same network.
     pub fn clear(&mut self) {

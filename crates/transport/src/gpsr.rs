@@ -63,6 +63,10 @@ impl Transport for GpsrTransport {
 
     fn rebuild(&mut self, topology: &Topology) {
         self.gpsr = Gpsr::new(topology, self.planarization);
+        // Joins grow the network; the ledger and clock must keep every
+        // node id addressable (counters for existing nodes are preserved).
+        self.ledger.grow_to(topology.len());
+        self.clock.grow_to(topology.len());
         self.generation += 1;
     }
 

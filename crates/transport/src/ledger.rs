@@ -224,6 +224,16 @@ impl TrafficLedger {
         self.by_layer = [0; TrafficLayer::ALL.len()];
         self.node_layer.iter_mut().for_each(|row| *row = [0; TrafficLayer::ALL.len()]);
     }
+
+    /// Grows the ledger to track `n` nodes (joiners get zeroed rows);
+    /// totals and existing per-node history are untouched. A no-op when
+    /// the ledger already covers `n` nodes.
+    pub fn grow_to(&mut self, n: usize) {
+        self.stats.grow_to(n);
+        if n > self.node_layer.len() {
+            self.node_layer.resize(n, [0; TrafficLayer::ALL.len()]);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ bench_smoke() {
     local bins=(fig6 fig7 insertion_cost dimensionality_sweep selectivity_sweep
         sweep_cell_size sweep_pool_side batch_ablation hotspot monitor_cost
         forwarding_ablation lifetime failure_resilience load_balance lossy_radio
-        latency_profile)
+        latency_profile churn_resilience)
     rm -rf target/smoke
     for bin in "${bins[@]}"; do
         echo "    $bin --smoke --jobs 2"

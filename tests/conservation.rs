@@ -630,6 +630,73 @@ fn dim_conserves_time() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
+    /// Churn soak: random epoch interleavings of joins, deaths, moves, and
+    /// mid-churn queries preserve both ledgers. Every epoch's repair spend
+    /// must equal the repair-layer growth exactly and stay within the
+    /// budget (strict on the loss-free radio, including budget 0 = repair
+    /// paused), every loaded event must be accounted for — visible, queued
+    /// for handoff, lost with its holders, or dropped as unreachable — and
+    /// queries issued mid-churn never panic and keep their completeness
+    /// arithmetic consistent.
+    #[test]
+    fn churn_soak_conserves_messages_and_events(seed in 0u64..1000, budget in 0u64..300) {
+        use pool_dcs::core::dynamics::{ChurnConfig, ChurnPlanner, RepairQueue};
+
+        let (topo, field) = connected(107);
+        let mut pool = PoolSystem::build(topo, field, full_config(107)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+        const LOADED: usize = 90;
+        for _ in 0..LOADED {
+            let src = NodeId(rng.gen_range(0..NODES as u32));
+            pool.insert_from(src, generator.generate(&mut rng)).unwrap();
+        }
+
+        let mut planner = ChurnPlanner::new(ChurnConfig::new(seed).with_rates(2, 3, 2));
+        let mut queue = RepairQueue::default();
+        let mut lost = 0usize;
+        let mut unreachable = 0usize;
+        for _ in 0..5 {
+            let plan = planner.plan(pool.topology(), pool.field());
+            let before = LedgerSnapshot::of(pool.ledger());
+            let clock_before = pool.transport().clock().now();
+            let report = pool.apply_epoch(&plan, &mut queue, budget).unwrap();
+
+            // Message conservation: the report prices exactly the repair
+            // layers' growth, and nothing else moved.
+            let delta: u64 =
+                [TrafficLayer::Repair, TrafficLayer::Replication, TrafficLayer::Retransmit]
+                    .iter()
+                    .map(|&l| before.layer_delta(pool.ledger(), l))
+                    .sum();
+            prop_assert_eq!(report.repair_messages, delta);
+            prop_assert_eq!(report.repair_messages, before.total_delta(pool.ledger()));
+            prop_assert!(report.repair_messages <= budget,
+                "epoch spent {} > budget {budget}", report.repair_messages);
+            prop_assert!(pool.transport().clock().now() >= clock_before);
+
+            // Event conservation: visible + queued + lost + unreachable
+            // always sums to what was loaded.
+            lost += report.events_lost;
+            unreachable += report.events_unreachable;
+            prop_assert_eq!(pool.store().len() + queue.len() + lost + unreachable, LOADED);
+            prop_assert_eq!(report.deferred_repairs as usize, queue.len());
+
+            // Mid-churn queries: never a panic, always honest arithmetic.
+            let members = pool.topology().largest_component_members();
+            for _ in 0..2 {
+                let sink = members[rng.gen_range(0..members.len())];
+                let q = exact_query(&mut rng, 3, RangeSizeDistribution::Exponential { mean: 0.1 });
+                let result = pool.query_from(sink, &q).unwrap();
+                prop_assert_eq!(
+                    result.completeness.cells_reached + result.completeness.unreached_cells.len(),
+                    result.completeness.cells_relevant
+                );
+                prop_assert!(result.events.iter().all(|e| q.matches(e)));
+            }
+        }
+    }
+
     /// Conservation is not a fair-weather identity: it holds for any link
     /// quality, with sharing and replication on.
     #[test]
