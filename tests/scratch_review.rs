@@ -1,0 +1,48 @@
+//! Scratch test for review — delete me.
+use pool_dcs::core::config::SharingPolicy;
+use pool_dcs::core::dynamics::{ChurnConfig, ChurnPlanner, EpochPlan, RepairQueue};
+use pool_dcs::core::{PoolConfig, PoolSystem};
+use pool_dcs::netsim::{Deployment, NodeId, Rect, Topology};
+use pool_dcs::workloads::events::{EventDistribution, EventGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NODES: usize = 300;
+
+fn connected(mut seed: u64) -> (Topology, Rect) {
+    loop {
+        let dep = Deployment::paper_setting(NODES, 40.0, 20.0, seed).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if topo.is_connected() {
+            return (topo, dep.field());
+        }
+        seed += 4096;
+    }
+}
+
+fn full_config(seed: u64) -> PoolConfig {
+    PoolConfig::paper().with_seed(seed).with_sharing(SharingPolicy::new(8)).with_replication()
+}
+
+#[test]
+fn backup_task_duplication() {
+    let (topo, field) = connected(107);
+    let mut pool = PoolSystem::build(topo, field, full_config(107)).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+    for _ in 0..90 {
+        let src = NodeId(rng.gen_range(0..NODES as u32));
+        pool.insert_from(src, generator.generate(&mut rng)).unwrap();
+    }
+    // One churn epoch, budget 0 so Backup tasks queue.
+    let mut planner = ChurnPlanner::new(ChurnConfig::new(0).with_rates(2, 3, 2));
+    let mut queue = RepairQueue::default();
+    let plan = planner.plan(pool.topology(), pool.field());
+    pool.apply_epoch(&plan, &mut queue, 0).unwrap();
+    println!("after churn epoch: queue={}", queue.len());
+    // Now repair-only epochs, still budget 0: queue must stay constant.
+    for i in 0..4 {
+        pool.apply_epoch(&EpochPlan::empty(), &mut queue, 0).unwrap();
+        println!("idle epoch {i}: queue={}", queue.len());
+    }
+}
