@@ -1,0 +1,17 @@
+//! Scale sweep: simulator wall-clock and peak RSS for Pool, DIM, and GHT
+//! from 1k to 100k nodes — build, insert, query, and one churn epoch per
+//! size, plus the incremental-mutation probe. Thin wrapper over
+//! [`pool_bench::figures::scale`]; see that module for the measurement
+//! design, the determinism exception for timing columns, and the
+//! sub-quadratic scaling guard.
+//!
+//! Run: `cargo run -p pool-bench --bin sweep_scale --release
+//!       [-- --inserts N --queries N --max-nodes N --smoke]`
+
+use pool_bench::figures::scale;
+
+fn main() {
+    let params = scale::Params::from_env();
+    let table = scale::collect(&params);
+    params.opts.emit("scale", &table);
+}

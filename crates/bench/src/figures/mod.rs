@@ -13,3 +13,4 @@ pub mod churn;
 pub mod fig6;
 pub mod latency;
 pub mod load_balance;
+pub mod scale;

@@ -276,7 +276,7 @@ pub fn measure(pair: &mut SystemPair, kind: QueryKind, count: usize) -> Measurem
         let dim_result = pair.dim.query_from(sink, &query).expect("dim query");
 
         let canon = |mut evs: Vec<Event>| {
-            evs.sort_by(|a, b| a.values().partial_cmp(b.values()).expect("finite"));
+            evs.sort_by(canon_event_order);
             evs
         };
         let pool_events = canon(pool_result.events.clone());
@@ -300,6 +300,19 @@ pub fn measure(pair: &mut SystemPair, kind: QueryKind, count: usize) -> Measurem
         pool_cells: pool_cells as f64 / count as f64,
         dim_zones: dim_zones as f64 / count as f64,
     }
+}
+
+/// Lexicographic total order over event attribute tuples, used to
+/// canonicalize result sets before comparison. `<[f64]>::partial_cmp`
+/// panics the harness on NaN and leaves `-0.0` / `+0.0` tuples in
+/// system-dependent order; [`f64::total_cmp`] per attribute orders both.
+pub fn canon_event_order(a: &Event, b: &Event) -> std::cmp::Ordering {
+    let (va, vb) = (a.values(), b.values());
+    va.iter()
+        .zip(vb)
+        .map(|(x, y)| x.total_cmp(y))
+        .find(|o| o.is_ne())
+        .unwrap_or_else(|| va.len().cmp(&vb.len()))
 }
 
 /// Prints a table header for figure binaries.
@@ -327,6 +340,27 @@ mod tests {
         spec.events_per_node = 1;
         let m = run_spec(&spec);
         assert!(m.pool.mean > 0.0 && m.dim.mean > 0.0);
+    }
+
+    /// Regression: the result-set canon sorted with
+    /// `values().partial_cmp().expect("finite")`, whose order for
+    /// `-0.0` vs `+0.0` tuples depended on which system produced them
+    /// (and which panicked outright on NaN).
+    #[test]
+    fn canon_order_is_total_over_negative_zero() {
+        use std::cmp::Ordering;
+        let neg = Event::new(vec![-0.0, 0.5]).unwrap();
+        let pos = Event::new(vec![0.0, 0.5]).unwrap();
+        assert_eq!(canon_event_order(&neg, &pos), Ordering::Less, "-0.0 orders before +0.0");
+        assert_eq!(canon_event_order(&pos, &neg), Ordering::Greater);
+        assert_eq!(canon_event_order(&neg, &neg), Ordering::Equal);
+        // Ordinary tuples keep their lexicographic order.
+        let lo = Event::new(vec![0.1, 0.9]).unwrap();
+        let hi = Event::new(vec![0.2, 0.0]).unwrap();
+        assert_eq!(canon_event_order(&lo, &hi), Ordering::Less);
+        let mut evs = vec![hi.clone(), pos.clone(), lo.clone(), neg.clone()];
+        evs.sort_by(canon_event_order);
+        assert_eq!(evs, vec![neg, pos, lo, hi]);
     }
 
     #[test]

@@ -299,10 +299,13 @@ impl PoolSystem {
         let mut report = FailureReport { epochs: 1, ..FailureReport::default() };
 
         // Phase 1: joins, then moves, then deaths, on a scratch topology —
-        // nothing touches `self` until the plan is validated.
+        // nothing touches `self` until the plan is validated. One clone for
+        // the whole epoch; every event mutates the scratch copy in place
+        // (`O(degree)` overlay patches), and one compaction folds the
+        // overlay before the swap.
         let mut topo = self.topology().clone();
         for &p in &plan.joins {
-            topo = topo.with_node(p).0;
+            topo.add_node(p);
         }
         let nodes = topo.len();
         if let Some(&(bad, _)) = plan.moves.iter().find(|&&(id, _)| id.index() >= nodes) {
@@ -313,7 +316,7 @@ impl PoolSystem {
         }
         for &(id, dest) in &plan.moves {
             if topo.is_alive(id) {
-                topo = topo.with_moved_node(id, dest);
+                topo.move_node(id, dest);
             }
         }
         let mut victims: Vec<NodeId> =
@@ -321,7 +324,8 @@ impl PoolSystem {
         victims.sort_unstable();
         victims.dedup();
         report.failed_nodes = victims.len();
-        let topo = topo.without_nodes(&victims);
+        topo.fail_nodes(&victims);
+        topo.compact();
         report.partitioned = !topo.is_connected();
         if report.partitioned {
             report.nodes_unreachable = topo.alive_count() - topo.largest_component_members().len();
@@ -628,13 +632,21 @@ impl ChurnScenario {
             self.prev_rx = clock.rx_counts().to_vec();
             ledger.charge_counts(&dtx, &drx);
             let mut live_left = pool.topology().alive_count() - plan.deaths.len();
+            // O(1) duplicate lookup: `plan.deaths.contains()` inside this
+            // loop was O(scripted-deaths × depleted) per epoch, which
+            // dominates once deployments (and so depleted sets) are large.
+            let mut dying = vec![false; pool.topology().len()];
+            for d in &plan.deaths {
+                dying[d.index()] = true;
+            }
             for id in ledger.depleted_nodes() {
                 // Leave at least one live node standing, as the planner
                 // does for scripted deaths.
                 if live_left <= 1 {
                     break;
                 }
-                if pool.topology().is_alive(id) && !plan.deaths.contains(&id) {
+                if pool.topology().is_alive(id) && !dying[id.index()] {
+                    dying[id.index()] = true;
                     plan.deaths.push(id);
                     energy_deaths += 1;
                     live_left -= 1;
@@ -913,6 +925,34 @@ mod tests {
         // no further deaths.
         let report = scenario.advance(&mut pool).unwrap();
         assert_eq!(report.energy_deaths, 0, "no traffic, no new drain: {report:?}");
+    }
+
+    /// High-churn energy soak pinning the merged report. Captured from the
+    /// seed implementation (the `plan.deaths.contains()` linear scan); the
+    /// bitmap lookup that replaced it must reproduce every number exactly.
+    #[test]
+    fn energy_soak_results_are_pinned_across_death_lookup_rewrite() {
+        let mut pool = build_system(300, 39, PoolConfig::paper().with_replication());
+        load(&mut pool, 300, 8);
+        let config = ChurnConfig::new(91)
+            .with_rates(3, 6, 5)
+            .with_epochs(10)
+            .with_budget(500)
+            .with_energy(EnergyBudget::joules(0.004));
+        let mut scenario = ChurnScenario::new(config);
+        let report = scenario.run(&mut pool).unwrap();
+        assert!(report.energy_deaths > 0, "the soak must exercise the depleted-node loop");
+        assert_eq!(
+            (report.epochs, report.failed_nodes, report.energy_deaths),
+            (10, 104, 44),
+            "full report: {report:?}"
+        );
+        assert_eq!(
+            (report.events_lost, report.events_migrated, report.events_recovered),
+            (222, 105, 206),
+            "full report: {report:?}"
+        );
+        assert_eq!(pool.store().len(), 76);
     }
 
     #[test]

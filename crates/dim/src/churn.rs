@@ -74,10 +74,11 @@ impl DimSystem {
         let ledger_before = LedgerSnapshot::of(self.transport.ledger());
         let mut report = FailureReport { epochs: 1, ..FailureReport::default() };
 
-        // Mutate the radio network on a scratch topology first.
+        // Mutate the radio network on a scratch topology first: one clone
+        // per epoch, in-place overlay patches per event, one compaction.
         let mut topo = self.topology.clone();
         for &p in &plan.joins {
-            topo = topo.with_node(p).0;
+            topo.add_node(p);
         }
         let nodes = topo.len();
         if let Some(&(bad, _)) = plan.moves.iter().find(|&&(id, _)| id.index() >= nodes) {
@@ -89,7 +90,7 @@ impl DimSystem {
         let mut displaced = Vec::new();
         for &(id, dest) in &plan.moves {
             if topo.is_alive(id) {
-                topo = topo.with_moved_node(id, dest);
+                topo.move_node(id, dest);
                 displaced.push(id);
             }
         }
@@ -98,7 +99,8 @@ impl DimSystem {
         victims.sort_unstable();
         victims.dedup();
         report.failed_nodes = victims.len();
-        let topo = topo.without_nodes(&victims);
+        topo.fail_nodes(&victims);
+        topo.compact();
         report.partitioned = !topo.is_connected();
         if report.partitioned {
             report.nodes_unreachable = topo.alive_count() - topo.largest_component_members().len();

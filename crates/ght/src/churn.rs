@@ -130,16 +130,17 @@ impl<V: Clone> GhtTable<V> {
     ) -> GhtChurnReport {
         let mut report = GhtChurnReport::default();
 
-        // Mutate the radio network: joins, moves, then deaths.
+        // Mutate the radio network: joins, moves, then deaths — one clone
+        // per epoch, in-place overlay patches per event, one compaction.
         let mut topo = topology.clone();
         for &p in joins {
-            topo = topo.with_node(p).0;
+            topo.add_node(p);
         }
         let nodes = topo.len();
         for &(id, dest) in moves {
             assert!(id.index() < nodes, "unknown node {id}: the deployment has {nodes} nodes");
             if topo.is_alive(id) {
-                topo = topo.with_moved_node(id, dest);
+                topo.move_node(id, dest);
             }
         }
         for &d in deaths {
@@ -150,7 +151,8 @@ impl<V: Clone> GhtTable<V> {
         victims.sort_unstable();
         victims.dedup();
         report.failed_nodes = victims.len();
-        let topo = topo.without_nodes(&victims);
+        topo.fail_nodes(&victims);
+        topo.compact();
         report.partitioned = !topo.is_connected();
         transport.rebuild(&topo);
         *topology = topo;

@@ -43,35 +43,48 @@ pub enum Planarization {
 ///     }
 /// }
 /// ```
+/// Stored as a flat CSR arena (one offsets array into one contiguous link
+/// array) like [`Topology`]'s adjacency, so a 100k-node planarization is
+/// two allocations rather than 100k.
 #[derive(Debug, Clone)]
 pub struct PlanarGraph {
     method: Planarization,
-    /// Per-node planar neighbors, sorted by the angle of the edge.
-    neighbors: Vec<Vec<NodeId>>,
+    /// The planar neighbors of node `i` are
+    /// `links[offsets[i]..offsets[i + 1]]`, sorted by the angle of the edge.
+    offsets: Vec<u32>,
+    links: Vec<NodeId>,
 }
 
 impl PlanarGraph {
     /// Extracts the chosen planar subgraph from `topology`.
     pub fn build(topology: &Topology, method: Planarization) -> Self {
         let n = topology.len();
-        let mut neighbors: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut links = Vec::new();
+        let mut kept = Vec::new();
+        offsets.push(0u32);
         for u in 0..n {
             let u = NodeId(u as u32);
             let pu = topology.position(u);
-            let mut kept: Vec<NodeId> = topology
-                .neighbors(u)
-                .iter()
-                .copied()
-                .filter(|&v| keep_edge(topology, method, u, v))
-                .collect();
+            kept.clear();
+            kept.extend(
+                topology
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| keep_edge(topology, method, u, v)),
+            );
             kept.sort_by(|&a, &b| {
                 let aa = pu.angle_to(topology.position(a));
                 let ab = pu.angle_to(topology.position(b));
-                aa.partial_cmp(&ab).unwrap().then(a.cmp(&b))
+                // total_cmp: a NaN angle (undeployable position) must order
+                // deterministically, not panic.
+                aa.total_cmp(&ab).then(a.cmp(&b))
             });
-            neighbors.push(kept);
+            links.extend_from_slice(&kept);
+            offsets.push(links.len() as u32);
         }
-        PlanarGraph { method, neighbors }
+        PlanarGraph { method, offsets, links }
     }
 
     /// The planarization method used.
@@ -85,22 +98,23 @@ impl PlanarGraph {
     ///
     /// Panics if `id` is out of range.
     pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
-        &self.neighbors[id.index()]
+        let i = id.index();
+        &self.links[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Whether the undirected planar edge `(a, b)` exists.
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.neighbors[a.index()].contains(&b)
+        self.neighbors(a).contains(&b)
     }
 
     /// Total number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+        self.links.len() / 2
     }
 
     /// Size of the largest connected component of the planar graph.
     pub fn largest_component(&self) -> usize {
-        let n = self.neighbors.len();
+        let n = self.offsets.len() - 1;
         let mut seen = vec![false; n];
         let mut best = 0;
         let mut stack = Vec::new();
@@ -113,7 +127,7 @@ impl PlanarGraph {
             let mut size = 0;
             while let Some(x) = stack.pop() {
                 size += 1;
-                for nb in &self.neighbors[x] {
+                for nb in self.neighbors(NodeId(x as u32)) {
                     if !seen[nb.index()] {
                         seen[nb.index()] = true;
                         stack.push(nb.index());
@@ -282,6 +296,25 @@ mod tests {
         assert!(!g.has_edge(NodeId(1), NodeId(3)), "diagonal should be pruned");
         assert!(g.has_edge(NodeId(0), NodeId(1)), "side should remain");
         assert!(g.has_edge(NodeId(0), NodeId(4)), "spoke to center should remain");
+    }
+
+    /// Regression: the angle sort used `partial_cmp().unwrap()`, so a node
+    /// with an undefined (NaN) position could panic planarization. With
+    /// `total_cmp` the build completes and the NaN node is simply isolated
+    /// (every distance test against NaN is false).
+    #[test]
+    fn nan_position_planarizes_without_panicking() {
+        let nodes = vec![
+            Node::new(NodeId(0), Point::new(0.0, 0.0)),
+            Node::new(NodeId(1), Point::new(5.0, 0.0)),
+            Node::new(NodeId(2), Point::new(f64::NAN, f64::NAN)),
+        ];
+        let topo = Topology::build(nodes, 10.0).unwrap();
+        for method in [Planarization::Gabriel, Planarization::RelativeNeighborhood] {
+            let g = PlanarGraph::build(&topo, method);
+            assert!(g.has_edge(NodeId(0), NodeId(1)), "{method:?}: finite edge survives");
+            assert!(g.neighbors(NodeId(2)).is_empty(), "{method:?}: NaN node is isolated");
+        }
     }
 
     #[test]

@@ -310,11 +310,12 @@ impl Gpsr {
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
+                // total_cmp: a NaN distance (corrupt target) must order
+                // deterministically instead of panicking mid-tour.
                 topology
                     .position(**a)
                     .distance_sq(target)
-                    .partial_cmp(&topology.position(**b).distance_sq(target))
-                    .unwrap()
+                    .total_cmp(&topology.position(**b).distance_sq(target))
                     .then(a.cmp(b))
             })
             .map(|(i, _)| i)
@@ -366,6 +367,24 @@ mod tests {
             for dst in topo.nodes() {
                 let route = gpsr.route_to_node(&topo, NodeId(0), dst.id);
                 assert!(route.is_ok(), "seed {seed}: failed to reach {}: {route:?}", dst.id);
+            }
+        }
+    }
+
+    /// Regression: `finish_tour` picked the home node with
+    /// `partial_cmp().unwrap()` over squared distances, so a NaN target
+    /// (every distance NaN) panicked mid-tour. With `total_cmp` the route
+    /// terminates — delivered somewhere, or a typed hop-budget error.
+    #[test]
+    fn nan_target_route_terminates_without_panicking() {
+        for method in [Planarization::Gabriel, Planarization::RelativeNeighborhood] {
+            let topo = random_connected(60, 80.0, 30.0, 11);
+            let gpsr = Gpsr::new(&topo, method);
+            let target = Point::new(f64::NAN, f64::NAN);
+            match gpsr.route(&topo, NodeId(0), target) {
+                Ok(route) => assert_eq!(*route.path.last().unwrap(), route.delivered),
+                Err(RouteError::HopBudgetExceeded { from, .. }) => assert_eq!(from, NodeId(0)),
+                Err(e) => panic!("unexpected error: {e}"),
             }
         }
     }

@@ -133,15 +133,18 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Computes summary statistics of `samples`.
+    /// Computes summary statistics of `samples`. Samples are ordered by
+    /// [`f64::total_cmp`], so NaN observations sort after every finite
+    /// value (they surface in `max`/`p99` rather than panicking) and
+    /// `-0.0` orders before `+0.0`.
     ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty or contains NaN.
+    /// Panics if `samples` is empty.
     pub fn of(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "summary of empty sample set");
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let var = if count > 1 {
@@ -271,5 +274,20 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn summary_rejects_empty() {
         let _ = Summary::of(&[]);
+    }
+
+    /// Regression: the sort used `partial_cmp().expect(...)`, which panics
+    /// on NaN and gives `-0.0 == +0.0` an unstable order. `total_cmp`
+    /// orders both totally.
+    #[test]
+    fn summary_totally_orders_nan_and_negative_zero() {
+        let s = Summary::of(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0, "finite minimum survives a NaN sample");
+        assert!(s.max.is_nan(), "NaN sorts after every finite value");
+        let z = Summary::of(&[0.0, -0.0]);
+        assert!(z.min.is_sign_negative(), "-0.0 orders before +0.0");
+        assert!(z.max.is_sign_positive());
+        assert_eq!(z.mean, 0.0);
     }
 }

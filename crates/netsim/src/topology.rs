@@ -7,11 +7,153 @@
 //!
 //! Neighbor computation uses a spatial hash bucketed at the radio range, so
 //! building is `O(n · expected-degree)` rather than `O(n²)`.
+//!
+//! # Layout
+//!
+//! Both the adjacency and the spatial hash are stored as flat CSR
+//! (compressed-sparse-row) arenas: one `offsets` array indexing into one
+//! contiguous payload array. Per-row `Vec`s would cost an allocation and a
+//! pointer chase per node, which dominates once deployments reach 10⁵
+//! nodes. Positions and liveness flags live in parallel arrays indexed by
+//! the dense [`NodeId`].
+//!
+//! # Mutation
+//!
+//! Churn does not rebuild the arenas. The in-place mutators
+//! ([`Topology::fail_nodes`], [`Topology::add_node`],
+//! [`Topology::move_node`]) copy only the touched rows into a small
+//! *overlay* (`O(degree)` per event), which [`Topology::compact`] folds
+//! back into the flat arenas — callers compact once per churn epoch. The
+//! persistent copy-on-write API (`without_nodes` / `with_node` /
+//! `with_moved_node`) survives as clone-then-mutate wrappers, where a clone
+//! is now a handful of flat `memcpy`s instead of `n` per-row allocations.
+//!
+//! # Determinism
+//!
+//! Every spatial-hash bucket holds its member ids in ascending order — at
+//! build time, after every mutation, and after every compaction. Bucket
+//! order is not observable through the public API (ties are broken by id,
+//! range queries sort their output), but pinning it means a future change
+//! to neighbor discovery cannot silently reorder results.
 
 use crate::error::NetsimError;
 use crate::geometry::{Point, Rect};
 use crate::node::{Node, NodeId};
 use std::collections::HashMap;
+
+/// Sentinel in `row_patch`: the row lives in the flat CSR arena.
+const UNPATCHED: u32 = u32::MAX;
+
+/// Flat spatial hash: a dense `w × h` grid of cells in CSR form, plus a
+/// `patched` overlay for cells touched since the last compaction (and for
+/// cells outside the dense extent). A lookup consults the overlay first.
+///
+/// Degenerate deployments whose bounding box is far larger than the node
+/// count (two clusters a continent apart) would make the dense grid
+/// quadratic in wasted cells; `rebuild` detects that and keeps every
+/// occupied cell in the overlay map instead.
+#[derive(Debug, Clone, Default)]
+struct SpatialGrid {
+    min_bx: i64,
+    min_by: i64,
+    w: i64,
+    h: i64,
+    offsets: Vec<u32>,
+    ids: Vec<NodeId>,
+    patched: HashMap<(i64, i64), Vec<NodeId>>,
+}
+
+impl SpatialGrid {
+    fn cell_index(&self, key: (i64, i64)) -> Option<usize> {
+        let cx = key.0 - self.min_bx;
+        let cy = key.1 - self.min_by;
+        if cx < 0 || cy < 0 || cx >= self.w || cy >= self.h {
+            return None;
+        }
+        Some((cy * self.w + cx) as usize)
+    }
+
+    /// Member ids of the bucket at `key`, ascending; empty if unoccupied.
+    fn bucket(&self, key: (i64, i64)) -> &[NodeId] {
+        if let Some(ids) = self.patched.get(&key) {
+            return ids;
+        }
+        match self.cell_index(key) {
+            Some(i) => &self.ids[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            None => &[],
+        }
+    }
+
+    /// The bucket at `key` as a mutable overlay row (copied out of the
+    /// dense grid on first touch). Callers must keep it sorted.
+    fn bucket_mut(&mut self, key: (i64, i64)) -> &mut Vec<NodeId> {
+        if !self.patched.contains_key(&key) {
+            let current: Vec<NodeId> = match self.cell_index(key) {
+                Some(i) => {
+                    self.ids[self.offsets[i] as usize..self.offsets[i + 1] as usize].to_vec()
+                }
+                None => Vec::new(),
+            };
+            self.patched.insert(key, current);
+        }
+        self.patched.get_mut(&key).expect("just inserted")
+    }
+
+    /// Rebuilds the dense grid from the live nodes (visited in id order, so
+    /// every cell comes out id-sorted) and clears the overlay.
+    fn rebuild(&mut self, nodes: &[Node], alive: &[bool], bucket_size: f64) {
+        self.patched.clear();
+        self.offsets.clear();
+        self.ids.clear();
+        let mut keys = nodes
+            .iter()
+            .filter(|n| alive[n.id.index()])
+            .map(|n| bucket_key(n.position, bucket_size));
+        let Some(first) = keys.next() else {
+            // Nothing alive: an empty grid answers every lookup with an
+            // empty bucket.
+            (self.min_bx, self.min_by, self.w, self.h) = (0, 0, 0, 0);
+            return;
+        };
+        let (mut min_bx, mut min_by) = first;
+        let (mut max_bx, mut max_by) = first;
+        for (bx, by) in keys {
+            min_bx = min_bx.min(bx);
+            min_by = min_by.min(by);
+            max_bx = max_bx.max(bx);
+            max_by = max_by.max(by);
+        }
+        let w = max_bx - min_bx + 1;
+        let h = max_by - min_by + 1;
+        let cells = (w as i128) * (h as i128);
+        let live = alive.iter().filter(|&&a| a).count();
+        if cells > (4 * live + 64) as i128 {
+            // Pathologically sparse extent: keep occupied cells in the map.
+            (self.min_bx, self.min_by, self.w, self.h) = (0, 0, 0, 0);
+            for n in nodes.iter().filter(|n| alive[n.id.index()]) {
+                self.patched.entry(bucket_key(n.position, bucket_size)).or_default().push(n.id);
+            }
+            return;
+        }
+        (self.min_bx, self.min_by, self.w, self.h) = (min_bx, min_by, w, h);
+        let mut counts = vec![0u32; cells as usize + 1];
+        for n in nodes.iter().filter(|n| alive[n.id.index()]) {
+            let i = self.cell_index(bucket_key(n.position, bucket_size)).expect("in extent");
+            counts[i + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        self.ids = vec![NodeId(0); counts[counts.len() - 1] as usize];
+        let mut cursor = counts.clone();
+        for n in nodes.iter().filter(|n| alive[n.id.index()]) {
+            let i = self.cell_index(bucket_key(n.position, bucket_size)).expect("in extent");
+            self.ids[cursor[i] as usize] = n.id;
+            cursor[i] += 1;
+        }
+        self.offsets = counts;
+    }
+}
 
 /// An immutable unit-disk graph over a set of deployed nodes.
 ///
@@ -33,8 +175,15 @@ use std::collections::HashMap;
 pub struct Topology {
     nodes: Vec<Node>,
     radio_range: f64,
-    neighbors: Vec<Vec<NodeId>>,
-    buckets: HashMap<(i64, i64), Vec<NodeId>>,
+    /// CSR adjacency: the neighbor row of node `i` is
+    /// `adj_links[adj_offsets[i]..adj_offsets[i + 1]]`, ascending by id —
+    /// unless the row is overlaid (`row_patch[i] != UNPATCHED`), in which
+    /// case it lives in `patch_rows[row_patch[i]]`.
+    adj_offsets: Vec<u32>,
+    adj_links: Vec<NodeId>,
+    row_patch: Vec<u32>,
+    patch_rows: Vec<Vec<NodeId>>,
+    grid: SpatialGrid,
     bucket_size: f64,
     bounds: Rect,
     /// Liveness flags: failed nodes keep their id and position (so
@@ -59,49 +208,251 @@ impl Topology {
             return Err(NetsimError::InvalidRadioRange { range: radio_range });
         }
         let bucket_size = radio_range;
-        let mut buckets: HashMap<(i64, i64), Vec<NodeId>> = HashMap::new();
         let mut min = nodes[0].position;
         let mut max = nodes[0].position;
         for node in &nodes {
-            let key = bucket_key(node.position, bucket_size);
-            buckets.entry(key).or_default().push(node.id);
             min.x = min.x.min(node.position.x);
             min.y = min.y.min(node.position.y);
             max.x = max.x.max(node.position.x);
             max.y = max.y.max(node.position.y);
         }
-        let mut neighbors = vec![Vec::new(); nodes.len()];
+        let n = nodes.len();
+        let alive = vec![true; n];
+        let mut topo = Topology {
+            nodes,
+            radio_range,
+            adj_offsets: vec![0; n + 1],
+            adj_links: Vec::new(),
+            row_patch: vec![UNPATCHED; n],
+            patch_rows: Vec::new(),
+            grid: SpatialGrid::default(),
+            bucket_size,
+            bounds: Rect::new(min, max),
+            alive,
+        };
+        topo.grid.rebuild(&topo.nodes, &topo.alive, bucket_size);
         let range_sq = radio_range * radio_range;
-        for node in &nodes {
-            let (bx, by) = bucket_key(node.position, bucket_size);
-            let list = &mut neighbors[node.id.index()];
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut links = Vec::new();
+        let mut row = Vec::new();
+        offsets.push(0u32);
+        for i in 0..n {
+            let position = topo.nodes[i].position;
+            let id = topo.nodes[i].id;
+            let (bx, by) = bucket_key(position, bucket_size);
+            row.clear();
             for dx in -1..=1 {
                 for dy in -1..=1 {
-                    if let Some(ids) = buckets.get(&(bx + dx, by + dy)) {
-                        for &other in ids {
-                            if other != node.id
-                                && nodes[other.index()].position.distance_sq(node.position)
-                                    <= range_sq
-                            {
-                                list.push(other);
-                            }
+                    for &other in topo.grid.bucket((bx + dx, by + dy)) {
+                        if other != id
+                            && topo.nodes[other.index()].position.distance_sq(position) <= range_sq
+                        {
+                            row.push(other);
                         }
                     }
                 }
             }
             // Deterministic neighbor order regardless of hash iteration.
-            list.sort_unstable();
+            row.sort_unstable();
+            links.extend_from_slice(&row);
+            offsets.push(links.len() as u32);
         }
-        let alive = vec![true; nodes.len()];
-        Ok(Topology {
-            nodes,
-            radio_range,
-            neighbors,
-            buckets,
-            bucket_size,
-            bounds: Rect::new(min, max),
-            alive,
-        })
+        topo.adj_offsets = offsets;
+        topo.adj_links = links;
+        Ok(topo)
+    }
+
+    /// The (possibly overlaid) neighbor row of dense index `i`.
+    fn row(&self, i: usize) -> &[NodeId] {
+        let p = self.row_patch[i];
+        if p == UNPATCHED {
+            &self.adj_links[self.adj_offsets[i] as usize..self.adj_offsets[i + 1] as usize]
+        } else {
+            &self.patch_rows[p as usize]
+        }
+    }
+
+    /// The neighbor row of dense index `i` as a mutable overlay row,
+    /// copied out of the CSR arena on first touch.
+    fn row_mut(&mut self, i: usize) -> &mut Vec<NodeId> {
+        if self.row_patch[i] == UNPATCHED {
+            let s = self.adj_offsets[i] as usize;
+            let e = self.adj_offsets[i + 1] as usize;
+            let copy = self.adj_links[s..e].to_vec();
+            self.row_patch[i] = self.patch_rows.len() as u32;
+            self.patch_rows.push(copy);
+        }
+        &mut self.patch_rows[self.row_patch[i] as usize]
+    }
+
+    /// Fails `dead` nodes in place: they keep their ids and positions but
+    /// are removed from every neighbor table, the spatial index, and
+    /// connectivity. Cost is `O(deaths · degree)` — only the victims' rows
+    /// and their neighbors' rows are overlaid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dead id is out of range.
+    pub fn fail_nodes(&mut self, dead: &[NodeId]) {
+        for &id in dead {
+            let i = id.index();
+            if !self.alive[i] {
+                continue;
+            }
+            self.alive[i] = false;
+            let links = std::mem::take(self.row_mut(i));
+            for nb in &links {
+                let table = self.row_mut(nb.index());
+                if let Ok(pos) = table.binary_search(&id) {
+                    table.remove(pos);
+                }
+            }
+            let key = bucket_key(self.nodes[i].position, self.bucket_size);
+            let bucket = self.grid.bucket_mut(key);
+            if let Ok(pos) = bucket.binary_search(&id) {
+                bucket.remove(pos);
+            }
+        }
+    }
+
+    /// Deploys one fresh node at `position` in place, returning its newly
+    /// assigned id (always `NodeId(self.len())`, keeping ids dense so
+    /// per-node bookkeeping can grow by appending).
+    ///
+    /// The joiner's neighbor table is computed against *live* nodes only,
+    /// and it is spliced into each neighbor's sorted table, the spatial
+    /// hash, and the bounding box.
+    pub fn add_node(&mut self, position: Point) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let range_sq = self.radio_range * self.radio_range;
+        let (bx, by) = bucket_key(position, self.bucket_size);
+        let mut links = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for &other in self.grid.bucket((bx + dx, by + dy)) {
+                    if self.nodes[other.index()].position.distance_sq(position) <= range_sq {
+                        links.push(other);
+                    }
+                }
+            }
+        }
+        links.sort_unstable();
+        for &nb in &links {
+            let table = self.row_mut(nb.index());
+            if let Err(pos) = table.binary_search(&id) {
+                table.insert(pos, id);
+            }
+        }
+        self.nodes.push(Node::new(id, position));
+        self.alive.push(true);
+        // The CSR row for the new node is empty (duplicate trailing
+        // offset); its real row lives in the overlay until compaction.
+        let end = *self.adj_offsets.last().expect("offsets non-empty");
+        self.adj_offsets.push(end);
+        self.row_patch.push(self.patch_rows.len() as u32);
+        self.patch_rows.push(links);
+        let bucket = self.grid.bucket_mut((bx, by));
+        if let Err(pos) = bucket.binary_search(&id) {
+            bucket.insert(pos, id);
+        }
+        let min = Point::new(self.bounds.min.x.min(position.x), self.bounds.min.y.min(position.y));
+        let max = Point::new(self.bounds.max.x.max(position.x), self.bounds.max.y.max(position.y));
+        self.bounds = Rect::new(min, max);
+        id
+    }
+
+    /// Relocates node `id` to `new_position` in place (waypoint mobility):
+    /// its old radio links are torn down and its neighbor table, every
+    /// affected neighbor's table, and the spatial hash are recomputed at
+    /// the new position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or dead — a failed node cannot move.
+    pub fn move_node(&mut self, id: NodeId, new_position: Point) {
+        assert!(self.alive[id.index()], "cannot move dead node {id}");
+        let i = id.index();
+        // Tear down the old links and spatial-hash entry.
+        let old_key = bucket_key(self.nodes[i].position, self.bucket_size);
+        let bucket = self.grid.bucket_mut(old_key);
+        if let Ok(pos) = bucket.binary_search(&id) {
+            bucket.remove(pos);
+        }
+        let old_links = std::mem::take(self.row_mut(i));
+        for nb in &old_links {
+            let table = self.row_mut(nb.index());
+            if let Ok(pos) = table.binary_search(&id) {
+                table.remove(pos);
+            }
+        }
+        // Re-deploy at the new position.
+        self.nodes[i].position = new_position;
+        let range_sq = self.radio_range * self.radio_range;
+        let (bx, by) = bucket_key(new_position, self.bucket_size);
+        let mut links = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for &other in self.grid.bucket((bx + dx, by + dy)) {
+                    if other != id
+                        && self.nodes[other.index()].position.distance_sq(new_position) <= range_sq
+                    {
+                        links.push(other);
+                    }
+                }
+            }
+        }
+        links.sort_unstable();
+        for &nb in &links {
+            let table = self.row_mut(nb.index());
+            if let Err(pos) = table.binary_search(&id) {
+                table.insert(pos, id);
+            }
+        }
+        *self.row_mut(i) = links;
+        let bucket = self.grid.bucket_mut((bx, by));
+        if let Err(pos) = bucket.binary_search(&id) {
+            bucket.insert(pos, id);
+        }
+        let min = Point::new(
+            self.bounds.min.x.min(new_position.x),
+            self.bounds.min.y.min(new_position.y),
+        );
+        let max = Point::new(
+            self.bounds.max.x.max(new_position.x),
+            self.bounds.max.y.max(new_position.y),
+        );
+        self.bounds = Rect::new(min, max);
+    }
+
+    /// Folds the mutation overlay back into the flat CSR arenas: one
+    /// `O(n + links)` pass over the adjacency plus a counting-sort rebuild
+    /// of the spatial grid. Call once per churn epoch — between calls,
+    /// lookups on overlaid rows pay one extra indirection but stay exact.
+    pub fn compact(&mut self) {
+        if !self.patch_rows.is_empty() {
+            let n = self.nodes.len();
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut links = Vec::with_capacity(self.adj_links.len());
+            offsets.push(0u32);
+            for i in 0..n {
+                links.extend_from_slice(self.row(i));
+                offsets.push(links.len() as u32);
+            }
+            self.adj_offsets = offsets;
+            self.adj_links = links;
+            self.row_patch.clear();
+            self.row_patch.resize(n, UNPATCHED);
+            self.patch_rows.clear();
+        }
+        if !self.grid.patched.is_empty() || self.row_patch.len() != self.alive.len() {
+            self.grid.rebuild(&self.nodes, &self.alive, self.bucket_size);
+        }
+    }
+
+    /// Number of adjacency rows currently overlaid (not yet compacted).
+    /// Scale probes assert this stays `O(churn)`, never `O(n)`.
+    pub fn patched_rows(&self) -> usize {
+        self.patch_rows.len()
     }
 
     /// A copy of this topology with `dead` nodes failed: they keep their
@@ -113,22 +464,7 @@ impl Topology {
     /// Panics if a dead id is out of range.
     pub fn without_nodes(&self, dead: &[NodeId]) -> Topology {
         let mut topo = self.clone();
-        for &id in dead {
-            topo.alive[id.index()] = false;
-        }
-        // Rebuild neighbor tables and buckets over live nodes only.
-        for list in &mut topo.neighbors {
-            list.retain(|n| topo.alive[n.index()]);
-        }
-        for (i, alive) in topo.alive.iter().enumerate() {
-            if !alive {
-                topo.neighbors[i].clear();
-            }
-        }
-        for ids in topo.buckets.values_mut() {
-            ids.retain(|n| topo.alive[n.index()]);
-        }
-        topo.buckets.retain(|_, ids| !ids.is_empty());
+        topo.fail_nodes(dead);
         topo
     }
 
@@ -142,35 +478,7 @@ impl Topology {
     /// hash, and the bounding box. The original topology is untouched.
     pub fn with_node(&self, position: Point) -> (Topology, NodeId) {
         let mut topo = self.clone();
-        let id = NodeId(topo.nodes.len() as u32);
-        let range_sq = topo.radio_range * topo.radio_range;
-        let (bx, by) = bucket_key(position, topo.bucket_size);
-        let mut list = Vec::new();
-        for dx in -1..=1 {
-            for dy in -1..=1 {
-                if let Some(ids) = topo.buckets.get(&(bx + dx, by + dy)) {
-                    for &other in ids {
-                        if topo.nodes[other.index()].position.distance_sq(position) <= range_sq {
-                            list.push(other);
-                        }
-                    }
-                }
-            }
-        }
-        list.sort_unstable();
-        for &nb in &list {
-            let table = &mut topo.neighbors[nb.index()];
-            if let Err(pos) = table.binary_search(&id) {
-                table.insert(pos, id);
-            }
-        }
-        topo.nodes.push(Node::new(id, position));
-        topo.neighbors.push(list);
-        topo.alive.push(true);
-        topo.buckets.entry((bx, by)).or_default().push(id);
-        let min = Point::new(topo.bounds.min.x.min(position.x), topo.bounds.min.y.min(position.y));
-        let max = Point::new(topo.bounds.max.x.max(position.x), topo.bounds.max.y.max(position.y));
-        topo.bounds = Rect::new(min, max);
+        let id = topo.add_node(position);
         (topo, id)
     }
 
@@ -184,59 +492,8 @@ impl Topology {
     ///
     /// Panics if `id` is out of range or dead — a failed node cannot move.
     pub fn with_moved_node(&self, id: NodeId, new_position: Point) -> Topology {
-        assert!(self.alive[id.index()], "cannot move dead node {id}");
         let mut topo = self.clone();
-        // Tear down the old links and spatial-hash entry.
-        let old_key = bucket_key(topo.nodes[id.index()].position, topo.bucket_size);
-        if let Some(ids) = topo.buckets.get_mut(&old_key) {
-            ids.retain(|&n| n != id);
-            if ids.is_empty() {
-                topo.buckets.remove(&old_key);
-            }
-        }
-        for nb in std::mem::take(&mut topo.neighbors[id.index()]) {
-            let table = &mut topo.neighbors[nb.index()];
-            if let Ok(pos) = table.binary_search(&id) {
-                table.remove(pos);
-            }
-        }
-        // Re-deploy at the new position.
-        topo.nodes[id.index()].position = new_position;
-        let range_sq = topo.radio_range * topo.radio_range;
-        let (bx, by) = bucket_key(new_position, topo.bucket_size);
-        let mut list = Vec::new();
-        for dx in -1..=1 {
-            for dy in -1..=1 {
-                if let Some(ids) = topo.buckets.get(&(bx + dx, by + dy)) {
-                    for &other in ids {
-                        if other != id
-                            && topo.nodes[other.index()].position.distance_sq(new_position)
-                                <= range_sq
-                        {
-                            list.push(other);
-                        }
-                    }
-                }
-            }
-        }
-        list.sort_unstable();
-        for &nb in &list {
-            let table = &mut topo.neighbors[nb.index()];
-            if let Err(pos) = table.binary_search(&id) {
-                table.insert(pos, id);
-            }
-        }
-        topo.neighbors[id.index()] = list;
-        topo.buckets.entry((bx, by)).or_default().push(id);
-        let min = Point::new(
-            topo.bounds.min.x.min(new_position.x),
-            topo.bounds.min.y.min(new_position.y),
-        );
-        let max = Point::new(
-            topo.bounds.max.x.max(new_position.x),
-            topo.bounds.max.y.max(new_position.y),
-        );
-        topo.bounds = Rect::new(min, max);
+        topo.move_node(id, new_position);
         topo
     }
 
@@ -291,7 +548,7 @@ impl Topology {
     ///
     /// Panics if `id` is out of range.
     pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
-        &self.neighbors[id.index()]
+        self.row(id.index())
     }
 
     /// Whether `a` and `b` can communicate directly.
@@ -318,17 +575,19 @@ impl Topology {
                     if dx.abs() != ring && dy.abs() != ring {
                         continue;
                     }
-                    if let Some(ids) = self.buckets.get(&(bx + dx, by + dy)) {
-                        any_bucket = true;
-                        for &id in ids {
-                            let d = self.position(id).distance_sq(target);
-                            let better = match best {
-                                None => true,
-                                Some((bd, bid)) => d < bd || (d == bd && id < bid),
-                            };
-                            if better {
-                                best = Some((d, id));
-                            }
+                    let ids = self.grid.bucket((bx + dx, by + dy));
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    any_bucket = true;
+                    for &id in ids {
+                        let d = self.position(id).distance_sq(target);
+                        let better = match best {
+                            None => true,
+                            Some((bd, bid)) => d < bd || (d == bd && id < bid),
+                        };
+                        if better {
+                            best = Some((d, id));
                         }
                     }
                 }
@@ -360,11 +619,9 @@ impl Topology {
         let mut out = Vec::new();
         for dx in -r_buckets..=r_buckets {
             for dy in -r_buckets..=r_buckets {
-                if let Some(ids) = self.buckets.get(&(bx + dx, by + dy)) {
-                    for &id in ids {
-                        if self.position(id).distance_sq(target) <= rsq {
-                            out.push(id);
-                        }
+                for &id in self.grid.bucket((bx + dx, by + dy)) {
+                    if self.position(id).distance_sq(target) <= rsq {
+                        out.push(id);
                     }
                 }
             }
@@ -375,7 +632,7 @@ impl Topology {
 
     /// Mean node degree.
     pub fn mean_degree(&self) -> f64 {
-        let total: usize = self.neighbors.iter().map(Vec::len).sum();
+        let total: usize = (0..self.nodes.len()).map(|i| self.row(i).len()).sum();
         total as f64 / self.nodes.len() as f64
     }
 
@@ -395,7 +652,7 @@ impl Topology {
             let mut size = 0;
             while let Some(u) = queue.pop() {
                 size += 1;
-                for nb in &self.neighbors[u] {
+                for nb in self.row(u) {
                     if !seen[nb.index()] {
                         seen[nb.index()] = true;
                         queue.push(nb.index());
@@ -425,7 +682,7 @@ impl Topology {
             let mut members = Vec::new();
             while let Some(u) = queue.pop() {
                 members.push(self.nodes[u].id);
-                for nb in &self.neighbors[u] {
+                for nb in self.row(u) {
                     if !seen[nb.index()] {
                         seen[nb.index()] = true;
                         queue.push(nb.index());
@@ -465,6 +722,26 @@ impl Topology {
         let w = (self.bounds.width() / self.bucket_size).ceil() as i64;
         let h = (self.bounds.height() / self.bucket_size).ceil() as i64;
         w.max(h) + 2
+    }
+
+    /// Every occupied spatial-hash bucket, for invariant checks.
+    #[cfg(test)]
+    fn all_buckets(&self) -> Vec<Vec<NodeId>> {
+        let mut out: Vec<Vec<NodeId>> =
+            self.grid.patched.values().filter(|v| !v.is_empty()).cloned().collect();
+        for cy in 0..self.grid.h {
+            for cx in 0..self.grid.w {
+                let key = (self.grid.min_bx + cx, self.grid.min_by + cy);
+                if self.grid.patched.contains_key(&key) {
+                    continue;
+                }
+                let ids = self.grid.bucket(key);
+                if !ids.is_empty() {
+                    out.push(ids.to_vec());
+                }
+            }
+        }
+        out
     }
 }
 
@@ -524,8 +801,7 @@ mod tests {
                 .min_by(|a, b| {
                     a.position
                         .distance_sq(p)
-                        .partial_cmp(&b.position.distance_sq(p))
-                        .unwrap()
+                        .total_cmp(&b.position.distance_sq(p))
                         .then(a.id.cmp(&b.id))
                 })
                 .unwrap()
@@ -600,6 +876,25 @@ mod tests {
         let topo = Topology::build(d.nodes(), 40.0).unwrap();
         let deg = topo.mean_degree();
         assert!(deg > 14.0 && deg < 22.0, "mean degree {deg}");
+    }
+
+    #[test]
+    fn sparse_extent_falls_back_to_map_buckets() {
+        // Two clusters ~10⁵ bucket-widths apart: a dense grid would need
+        // ~10¹⁰ cells. The fallback keeps only occupied cells.
+        let nodes = vec![
+            Node::new(NodeId(0), Point::new(0.0, 0.0)),
+            Node::new(NodeId(1), Point::new(3.0, 0.0)),
+            Node::new(NodeId(2), Point::new(1_000_000.0, 1_000_000.0)),
+            Node::new(NodeId(3), Point::new(1_000_003.0, 1_000_000.0)),
+        ];
+        let topo = Topology::build(nodes, 10.0).unwrap();
+        assert_eq!(topo.grid.w, 0, "sparse extent must not allocate a dense grid");
+        assert_eq!(topo.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(topo.neighbors(NodeId(2)), &[NodeId(3)]);
+        assert_eq!(topo.nearest_node(Point::new(2.0, 1.0)), NodeId(1));
+        assert_eq!(topo.nearest_node(Point::new(1_000_001.0, 1_000_001.0)), NodeId(2));
+        assert!(!topo.is_connected());
     }
 }
 
@@ -707,6 +1002,14 @@ mod mutation_tests {
         }
     }
 
+    /// Every spatial-hash bucket holds its ids in strictly ascending order
+    /// — the deterministic bucket-order contract.
+    fn assert_buckets_sorted(topo: &Topology) {
+        for bucket in topo.all_buckets() {
+            assert!(bucket.windows(2).all(|w| w[0] < w[1]), "unsorted bucket {bucket:?}");
+        }
+    }
+
     #[test]
     fn joined_node_gets_dense_id_and_symmetric_links() {
         let topo = sample(60, 80.0, 25.0, 11);
@@ -803,6 +1106,144 @@ mod mutation_tests {
                 _ => topo = topo.without_nodes(&[NodeId(raw)]),
             }
             assert_tables_consistent(&topo);
+            assert_buckets_sorted(&topo);
         }
+    }
+
+    #[test]
+    fn buckets_stay_sorted_under_every_mutation() {
+        let mut topo = sample(40, 60.0, 20.0, 18);
+        assert_buckets_sorted(&topo);
+        // A move into an occupied bucket must splice the mover by id, not
+        // append it (the seed representation appended).
+        let crowd = topo.position(NodeId(30));
+        topo.move_node(NodeId(2), Point::new(crowd.x + 0.5, crowd.y + 0.5));
+        assert_buckets_sorted(&topo);
+        topo.move_node(NodeId(35), Point::new(crowd.x - 0.5, crowd.y - 0.5));
+        assert_buckets_sorted(&topo);
+        topo.add_node(Point::new(crowd.x, crowd.y + 1.0));
+        topo.fail_nodes(&[NodeId(30)]);
+        assert_buckets_sorted(&topo);
+        topo.compact();
+        assert_buckets_sorted(&topo);
+        assert_tables_consistent(&topo);
+    }
+}
+
+#[cfg(test)]
+mod arena_tests {
+    use super::*;
+    use crate::deployment::{Deployment, Placement};
+
+    fn sample(n: usize, side: f64, range: f64, seed: u64) -> Topology {
+        let nodes = Deployment::new(Rect::square(side), n, Placement::Uniform, seed).nodes();
+        Topology::build(nodes, range).unwrap()
+    }
+
+    fn assert_same_tables(a: &Topology, b: &Topology) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            let id = NodeId(i as u32);
+            assert_eq!(a.is_alive(id), b.is_alive(id), "alive {id}");
+            assert_eq!(a.position(id), b.position(id), "position {id}");
+            assert_eq!(a.neighbors(id), b.neighbors(id), "row {id}");
+        }
+        assert_eq!(a.bounds(), b.bounds());
+    }
+
+    /// One epoch of in-place churn + one compaction equals the persistent
+    /// per-event path, row for row.
+    #[test]
+    fn in_place_epoch_matches_persistent_path() {
+        let base = sample(80, 90.0, 25.0, 21);
+        let joins = [Point::new(10.0, 80.0), Point::new(95.0, 5.0)];
+        let moves = [(NodeId(3), Point::new(44.0, 44.0)), (NodeId(60), Point::new(2.0, 2.0))];
+        let deaths = [NodeId(7), NodeId(41), NodeId(42)];
+
+        let mut persistent = base.clone();
+        for &p in &joins {
+            persistent = persistent.with_node(p).0;
+        }
+        for &(id, dest) in &moves {
+            persistent = persistent.with_moved_node(id, dest);
+        }
+        persistent = persistent.without_nodes(&deaths);
+
+        let mut in_place = base.clone();
+        for &p in &joins {
+            in_place.add_node(p);
+        }
+        for &(id, dest) in &moves {
+            in_place.move_node(id, dest);
+        }
+        in_place.fail_nodes(&deaths);
+        assert!(in_place.patched_rows() > 0, "mutations must overlay rows");
+        assert_same_tables(&in_place, &persistent);
+        in_place.compact();
+        assert_eq!(in_place.patched_rows(), 0, "compaction folds the overlay");
+        assert_same_tables(&in_place, &persistent);
+
+        // Spatial queries agree before and after compaction.
+        for probe in [Point::new(0.0, 0.0), Point::new(44.0, 44.0), Point::new(90.0, 10.0)] {
+            assert_eq!(in_place.nearest_node(probe), persistent.nearest_node(probe));
+            assert_eq!(in_place.nodes_within(probe, 30.0), persistent.nodes_within(probe, 30.0));
+        }
+    }
+
+    /// A compacted churned topology equals a fresh build over the same
+    /// surviving deployment (same rows, same buckets, same queries).
+    #[test]
+    fn compacted_arena_matches_fresh_build() {
+        let mut topo = sample(70, 80.0, 22.0, 22);
+        let j = topo.add_node(Point::new(40.0, 41.0));
+        topo.move_node(NodeId(5), Point::new(70.0, 70.0));
+        topo.fail_nodes(&[NodeId(11), NodeId(12)]);
+        topo.compact();
+
+        // Rebuild from scratch over the surviving live nodes, keeping ids.
+        let nodes: Vec<Node> = topo.nodes().to_vec();
+        let fresh = Topology::build(nodes, topo.radio_range()).unwrap();
+        for node in topo.nodes() {
+            if topo.is_alive(node.id) {
+                let want: Vec<NodeId> = fresh
+                    .neighbors(node.id)
+                    .iter()
+                    .copied()
+                    .filter(|&n| topo.is_alive(n))
+                    .collect();
+                assert_eq!(topo.neighbors(node.id), want.as_slice(), "row {}", node.id);
+            } else {
+                assert!(topo.neighbors(node.id).is_empty());
+            }
+        }
+        assert!(topo.is_alive(j));
+    }
+
+    /// compact() on an untouched topology is a no-op for every observable.
+    #[test]
+    fn compact_without_mutations_changes_nothing() {
+        let mut topo = sample(50, 60.0, 20.0, 23);
+        let reference = topo.clone();
+        topo.compact();
+        assert_same_tables(&topo, &reference);
+        assert_eq!(topo.patched_rows(), 0);
+    }
+
+    /// The overlay stays O(churn): failing k nodes patches at most
+    /// k · (degree + 1) rows, never O(n).
+    #[test]
+    fn overlay_is_bounded_by_touched_rows() {
+        let mut topo = sample(200, 140.0, 20.0, 24);
+        let victims = [NodeId(10), NodeId(20), NodeId(30)];
+        let degree_bound: usize =
+            victims.iter().map(|&v| topo.neighbors(v).len() + 1).sum::<usize>();
+        topo.fail_nodes(&victims);
+        assert!(
+            topo.patched_rows() <= degree_bound,
+            "{} rows patched for {} deaths (bound {degree_bound})",
+            topo.patched_rows(),
+            victims.len(),
+        );
+        assert!(topo.patched_rows() < topo.len() / 2, "overlay must stay far below O(n)");
     }
 }

@@ -1,13 +1,29 @@
 //! The memoizing transport: GPSR routes cached per endpoint pair.
 
 use crate::clock::{LatencyModel, VirtualClock};
+use crate::lru::{CacheStats, ShardedLru};
 use crate::{TrafficLedger, Transport, TransportKind};
 use pool_gpsr::{Gpsr, Planarization, Route, RouteError};
 use pool_netsim::geometry::Point;
 use pool_netsim::node::NodeId;
 use pool_netsim::topology::Topology;
-use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Memo key: either a node-addressed or a location-addressed route.
+///
+/// Location targets are keyed by their coordinate bit patterns, so two
+/// targets memoize to the same route only when they are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RouteKey {
+    /// `route_to_node(from, to)`.
+    Node(NodeId, NodeId),
+    /// `route_to_location(from, target)` with `target` as raw f64 bits.
+    Location(NodeId, u64, u64),
+}
+
+/// Default memo capacity: 64k routes (a few MiB of path data) covers the
+/// full working set of every paper workload while bounding the worst case.
+const DEFAULT_CAPACITY: usize = 1 << 16;
 
 /// A [`Transport`] that memoizes delivered GPSR routes.
 ///
@@ -15,11 +31,19 @@ use std::sync::Arc;
 /// given endpoint pair never changes until the topology does. Repeated
 /// query workloads (the fig. 6/7 experiments re-route sink → splitter →
 /// index node for every query) therefore pay the face-traversal cost once
-/// per pair; subsequent lookups are a `HashMap` hit returning the shared
+/// per pair; subsequent lookups are a memo hit returning the shared
 /// [`Arc<Route>`].
 ///
-/// Invalidation: [`Transport::rebuild`] clears both memo tables and bumps
-/// the generation counter, so no route ever crosses a topology change.
+/// The memo is a bounded [`ShardedLru`] rather than an unbounded map: on an
+/// n-node deployment there are O(n²) endpoint pairs, which at 100k nodes
+/// would otherwise grow without limit. When the memo is full the least
+/// recently used route in the key's shard is evicted (counted in
+/// [`CachedTransport::hit_stats`]); an evicted route is simply recomputed
+/// on its next use, so eviction affects wall-clock only — message and
+/// latency accounting are identical at any capacity.
+///
+/// Invalidation: [`Transport::rebuild`] clears the memo and bumps the
+/// generation counter, so no route ever crosses a topology change.
 /// Only `Ok` routes are cached — errors are recomputed, keeping failure
 /// semantics identical to [`crate::GpsrTransport`]. Charging is unaffected:
 /// a cache hit is charged exactly like a fresh route.
@@ -30,36 +54,55 @@ pub struct CachedTransport {
     ledger: TrafficLedger,
     clock: VirtualClock,
     generation: u64,
-    node_routes: HashMap<(NodeId, NodeId), Arc<Route>>,
-    location_routes: HashMap<(NodeId, u64, u64), Arc<Route>>,
+    routes: ShardedLru<RouteKey, Arc<Route>>,
     hits: u64,
     misses: u64,
 }
 
 impl CachedTransport {
-    /// Builds the transport over `topology` with empty memo tables.
+    /// Builds the transport over `topology` with the default memo capacity
+    /// (65 536 routes).
     pub fn new(topology: &Topology, planarization: Planarization) -> Self {
+        Self::with_capacity(topology, planarization, DEFAULT_CAPACITY)
+    }
+
+    /// Builds the transport with a memo bounded to `capacity` routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(
+        topology: &Topology,
+        planarization: Planarization,
+        capacity: usize,
+    ) -> Self {
         CachedTransport {
             gpsr: Gpsr::new(topology, planarization),
             planarization,
             ledger: TrafficLedger::new(topology.nodes().len()),
             clock: VirtualClock::new(topology.nodes().len(), LatencyModel::default()),
             generation: 0,
-            node_routes: HashMap::new(),
-            location_routes: HashMap::new(),
+            routes: ShardedLru::new(capacity),
             hits: 0,
             misses: 0,
         }
     }
 
-    /// Number of memoized routes (node-addressed + location-addressed).
+    /// Number of memoized routes (node-addressed + location-addressed);
+    /// never exceeds [`CachedTransport::capacity`].
     pub fn cached_routes(&self) -> usize {
-        self.node_routes.len() + self.location_routes.len()
+        self.routes.len()
     }
 
-    /// `(hits, misses)` since construction (not reset by rebuild).
-    pub fn hit_stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// The memo's route capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.routes.capacity()
+    }
+
+    /// Hit/miss/eviction counters since construction (not reset by
+    /// rebuild).
+    pub fn hit_stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits, misses: self.misses, evictions: self.routes.evictions() }
     }
 }
 
@@ -70,13 +113,14 @@ impl Transport for CachedTransport {
         from: NodeId,
         to: NodeId,
     ) -> Result<Arc<Route>, RouteError> {
-        if let Some(route) = self.node_routes.get(&(from, to)) {
+        let key = RouteKey::Node(from, to);
+        if let Some(route) = self.routes.get(&key) {
             self.hits += 1;
             return Ok(Arc::clone(route));
         }
         self.misses += 1;
         let route = Arc::new(self.gpsr.route_to_node(topology, from, to)?);
-        self.node_routes.insert((from, to), Arc::clone(&route));
+        self.routes.insert(key, Arc::clone(&route));
         Ok(route)
     }
 
@@ -86,21 +130,20 @@ impl Transport for CachedTransport {
         from: NodeId,
         target: Point,
     ) -> Result<Arc<Route>, RouteError> {
-        let key = (from, target.x.to_bits(), target.y.to_bits());
-        if let Some(route) = self.location_routes.get(&key) {
+        let key = RouteKey::Location(from, target.x.to_bits(), target.y.to_bits());
+        if let Some(route) = self.routes.get(&key) {
             self.hits += 1;
             return Ok(Arc::clone(route));
         }
         self.misses += 1;
         let route = Arc::new(self.gpsr.route(topology, from, target)?);
-        self.location_routes.insert(key, Arc::clone(&route));
+        self.routes.insert(key, Arc::clone(&route));
         Ok(route)
     }
 
     fn rebuild(&mut self, topology: &Topology) {
         self.gpsr = Gpsr::new(topology, self.planarization);
-        self.node_routes.clear();
-        self.location_routes.clear();
+        self.routes.clear();
         // Joins grow the network; the ledger and clock must keep every
         // node id addressable (counters for existing nodes are preserved).
         self.ledger.grow_to(topology.len());
@@ -153,7 +196,7 @@ mod tests {
         let second = cached.route_to_node(&topology, a, b).expect("route");
         assert_eq!(first.path, second.path);
         assert!(Arc::ptr_eq(&first, &second), "hit must share the memoized route");
-        assert_eq!(cached.hit_stats(), (1, 1));
+        assert_eq!(cached.hit_stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
         assert_eq!(cached.cached_routes(), 1);
     }
 
@@ -259,5 +302,72 @@ mod tests {
             fresh.charge(&rg.path, TrafficLayer::Forward);
         }
         assert_eq!(cached.ledger(), fresh.ledger());
+    }
+
+    /// Eviction must never change what a route *costs* — only whether it
+    /// was recomputed. A capacity-1 cache thrashes on every alternating
+    /// pair, so it exercises the eviction path constantly; its routes,
+    /// ledger, and clock must still match the reference transport exactly.
+    #[test]
+    fn capacity_one_cache_matches_reference_costs_exactly() {
+        use crate::TrafficLayer;
+        let topology = setup(17);
+        let mut cached = CachedTransport::with_capacity(&topology, Planarization::Gabriel, 1);
+        let mut fresh = GpsrTransport::new(&topology, Planarization::Gabriel);
+        let nodes = topology.nodes();
+        let pairs: Vec<(NodeId, NodeId)> =
+            (0..8).map(|i| (nodes[i * 13].id, nodes[(i * 31 + 57) % nodes.len()].id)).collect();
+        for round in 0..3 {
+            for &(a, b) in &pairs {
+                let layer =
+                    if round % 2 == 0 { TrafficLayer::Forward } else { TrafficLayer::Insert };
+                match (cached.route_to_node(&topology, a, b), fresh.route_to_node(&topology, a, b))
+                {
+                    (Ok(rc), Ok(rg)) => {
+                        assert_eq!(rc.path, rg.path);
+                        cached.charge(&rc.path, layer);
+                        fresh.charge(&rg.path, layer);
+                    }
+                    (Err(ec), Err(eg)) => assert_eq!(ec, eg),
+                    (c, g) => panic!("capacity-1 cache diverged: {c:?} vs {g:?}"),
+                }
+                assert!(cached.cached_routes() <= 1);
+            }
+        }
+        assert_eq!(cached.ledger(), fresh.ledger());
+        assert_eq!(cached.clock().now(), fresh.clock().now());
+        let stats = cached.hit_stats();
+        assert!(stats.evictions > 0, "alternating pairs must thrash a capacity-1 memo");
+    }
+
+    /// Acceptance soak: a small topology, a million lookups over more
+    /// distinct keys than the memo holds. The memo must stay within its
+    /// capacity bound the whole way and report the overflow as evictions.
+    #[test]
+    fn soak_million_lookups_stays_within_capacity() {
+        let deployment = Deployment::paper_setting(100, 40.0, 20.0, 21).expect("deployment");
+        let topology = Topology::build(deployment.nodes(), 40.0).expect("topology");
+        let capacity = 512;
+        let mut cached =
+            CachedTransport::with_capacity(&topology, Planarization::Gabriel, capacity);
+        let n = topology.nodes().len();
+        // 100 nodes give ~10k endpoint pairs plus location keys — far more
+        // distinct keys than 512 slots.
+        for i in 0..1_000_000u64 {
+            let from = topology.nodes()[(i * 7 % n as u64) as usize].id;
+            if i % 4 == 0 {
+                let target = Point::new((i % 39) as f64 + 0.5, (i % 19) as f64 + 0.25);
+                let _ = cached.route_to_location(&topology, from, target);
+            } else {
+                let to = topology.nodes()[((i * 13 + 5) % n as u64) as usize].id;
+                let _ = cached.route_to_node(&topology, from, to);
+            }
+            debug_assert!(cached.cached_routes() <= capacity);
+        }
+        assert!(cached.cached_routes() <= capacity, "memo exceeded its bound");
+        let stats = cached.hit_stats();
+        assert_eq!(stats.hits + stats.misses, 1_000_000);
+        assert!(stats.evictions > 0, "soak must overflow a 512-route memo");
+        assert!(stats.hits > 0, "the working set revisits keys; some must hit");
     }
 }

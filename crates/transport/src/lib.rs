@@ -44,6 +44,7 @@ pub mod clock;
 pub mod gpsr;
 pub mod ledger;
 pub mod lossy;
+pub mod lru;
 pub mod metrics;
 pub mod trace;
 
@@ -54,6 +55,7 @@ pub use ledger::{TrafficLayer, TrafficLedger};
 pub use lossy::{
     DeliveryOutcome, DeliveryStats, LinkQuality, LossyConfig, LossyTransport, ReverseDelivery,
 };
+pub use lru::{CacheStats, ShardedLru};
 pub use metrics::{LedgerSnapshot, LoadDistribution, LoadReport, NodeLoad, NodeRole, RoleSet};
 pub use trace::{Span, SpanOutcome, TraceOp, Tracer};
 

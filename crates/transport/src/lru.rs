@@ -1,0 +1,305 @@
+//! A sharded, fixed-capacity LRU map for route memoization.
+//!
+//! [`crate::CachedTransport`] memoizes one route per endpoint pair; on an
+//! n-node deployment that is O(n²) potential entries, which an unbounded
+//! `HashMap` happily grows to. [`ShardedLru`] caps the memo at a fixed
+//! total capacity, evicting the least-recently-used entry per shard.
+//! Sharding keeps the recency lists short (promotion touches one shard's
+//! intrusive list, not a global one) and splits the capacity exactly:
+//! shard sizes differ by at most one and always sum to the configured
+//! capacity, so `len() ≤ capacity` is a hard invariant.
+//!
+//! Nothing here allocates per entry beyond the slab growth itself: each
+//! shard is a `HashMap<K, u32>` into a slab of doubly-linked entries, and
+//! eviction recycles the victim's slot in place.
+//!
+//! Determinism: shard selection hashes with fixed-key [`DefaultHasher`],
+//! never `RandomState`, so the same key stream produces the same eviction
+//! sequence in every run. Eviction only ever costs recomputation (a future
+//! miss); message accounting is identical either way.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Hit/miss/eviction counters of a route cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to recompute.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: u32,
+    next: u32,
+}
+
+/// One shard: an index map into a slab of entries threaded on an intrusive
+/// most-recent-first list.
+#[derive(Debug, Clone)]
+struct Shard<K, V> {
+    map: HashMap<K, u32>,
+    slab: Vec<Entry<K, V>>,
+    head: u32,
+    tail: u32,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> Shard<K, V> {
+    fn new(capacity: usize) -> Self {
+        debug_assert!(capacity >= 1);
+        Shard { map: HashMap::new(), slab: Vec::new(), head: NIL, tail: NIL, capacity }
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let e = &self.slab[idx as usize];
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let e = &mut self.slab[idx as usize];
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = idx,
+            h => self.slab[h as usize].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(&self.slab[idx as usize].value)
+    }
+
+    /// Inserts (or refreshes) `key`, returning whether an entry was
+    /// evicted to make room.
+    fn insert(&mut self, key: K, value: V) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx as usize].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return false;
+        }
+        if self.map.len() >= self.capacity {
+            // Recycle the least-recently-used slot in place.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = {
+                let e = &mut self.slab[victim as usize];
+                let old = std::mem::replace(&mut e.key, key.clone());
+                e.value = value;
+                old
+            };
+            self.map.remove(&old_key);
+            self.map.insert(key, victim);
+            self.push_front(victim);
+            return true;
+        }
+        let idx = self.slab.len() as u32;
+        self.slab.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        false
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+/// A fixed-capacity least-recently-used map, split across shards.
+#[derive(Debug, Clone)]
+pub struct ShardedLru<K, V> {
+    shards: Vec<Shard<K, V>>,
+    capacity: usize,
+    evictions: u64,
+}
+
+/// Shard count cap; the actual count is `min(SHARDS, capacity)` so tiny
+/// caches (including capacity 1) still respect `len() ≤ capacity` exactly.
+const SHARDS: usize = 8;
+
+impl<K: Eq + Hash + Clone, V> ShardedLru<K, V> {
+    /// A cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "an LRU cache needs capacity for at least one entry");
+        let count = SHARDS.min(capacity);
+        let base = capacity / count;
+        let extra = capacity % count;
+        let shards =
+            (0..count).map(|i| Shard::new(base + usize::from(i < extra))).collect::<Vec<_>>();
+        ShardedLru { shards, capacity, evictions: 0 }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        // DefaultHasher::new() hashes with fixed keys — deterministic
+        // across runs and worker counts, unlike RandomState.
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Looks `key` up, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let s = self.shard_of(key);
+        self.shards[s].get(key)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting that shard's LRU entry if it
+    /// is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        let s = self.shard_of(&key);
+        if self.shards[s].insert(key, value) {
+            self.evictions += 1;
+        }
+    }
+
+    /// Number of entries currently cached (`≤ capacity`, always).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries displaced by the capacity bound since construction (not
+    /// reset by [`ShardedLru::clear`]).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drops every entry, keeping the capacity and eviction counter.
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single-shard cache for order-sensitive assertions.
+    fn single_shard(capacity: usize) -> ShardedLru<u64, u64> {
+        let mut lru = ShardedLru::new(capacity);
+        lru.shards = vec![Shard::new(capacity)];
+        lru
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut lru = single_shard(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.get(&1), Some(&10)); // promote 1; 2 is now LRU
+        lru.insert(3, 30);
+        assert_eq!(lru.get(&2), None, "2 was least recently used");
+        assert_eq!(lru.get(&1), Some(&10));
+        assert_eq!(lru.get(&3), Some(&30));
+        assert_eq!(lru.evictions(), 1);
+    }
+
+    #[test]
+    fn refresh_updates_value_without_eviction() {
+        let mut lru = single_shard(2);
+        lru.insert(1, 10);
+        lru.insert(1, 11);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&1), Some(&11));
+        assert_eq!(lru.evictions(), 0);
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity_under_soak() {
+        for capacity in [1usize, 3, 8, 17, 100] {
+            let mut lru: ShardedLru<u64, u64> = ShardedLru::new(capacity);
+            for k in 0..10_000u64 {
+                lru.insert(k % 997, k);
+                assert!(lru.len() <= capacity, "len {} > capacity {capacity}", lru.len());
+            }
+            let expected_evictions = lru.evictions() > 0;
+            assert_eq!(expected_evictions, 997 > capacity, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn shard_sizes_sum_exactly_to_capacity() {
+        for capacity in [1usize, 2, 7, 8, 9, 64, 65_536] {
+            let lru: ShardedLru<u64, u64> = ShardedLru::new(capacity);
+            let total: usize = lru.shards.iter().map(|s| s.capacity).sum();
+            assert_eq!(total, capacity);
+            assert!(lru.shards.len() <= SHARDS);
+            assert!(lru.shards.iter().all(|s| s.capacity >= 1));
+        }
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_eviction_history() {
+        let mut lru = single_shard(1);
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+        assert_eq!(lru.evictions(), 1);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.evictions(), 1, "history survives invalidation");
+        lru.insert(3, 3);
+        assert_eq!(lru.get(&3), Some(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity for at least one entry")]
+    fn zero_capacity_is_rejected() {
+        let _ = ShardedLru::<u64, u64>::new(0);
+    }
+
+    #[test]
+    fn capacity_one_holds_exactly_the_last_insert() {
+        let mut lru: ShardedLru<u64, u64> = ShardedLru::new(1);
+        for k in 0..100 {
+            lru.insert(k, k * 2);
+            assert_eq!(lru.len(), 1);
+            assert_eq!(lru.get(&k), Some(&(k * 2)));
+        }
+        assert_eq!(lru.evictions(), 99);
+    }
+}

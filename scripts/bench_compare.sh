@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Compares a freshly generated BENCH artifact against a checked-in
+# baseline, honoring the scale sweep's determinism exception:
+#
+#   * deterministic columns (message totals, match counts, overlay sizes,
+#     labels) must match the baseline EXACTLY — a drift there is a
+#     behavioral regression, not noise;
+#   * timing columns (*_ms, rss_kb) are wall-clock/peak-RSS measurements
+#     and only need to stay within a generous ratio of the baseline, and
+#     only once they are large enough to rise above scheduler noise.
+#
+# Usage:
+#   scripts/bench_compare.sh <fresh.json> <baseline.json>
+#
+# Tunables (environment):
+#   BENCH_COMPARE_MAX_RATIO  max fresh/baseline ratio either way (default 25)
+#   BENCH_COMPARE_FLOOR_MS   timings where both sides are below this floor
+#                            are ignored as noise (default 200)
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <fresh.json> <baseline.json>" >&2
+    exit 2
+fi
+
+python3 - "$1" "$2" <<'EOF'
+import json, os, sys
+
+fresh_path, base_path = sys.argv[1], sys.argv[2]
+max_ratio = float(os.environ.get("BENCH_COMPARE_MAX_RATIO", "25"))
+floor_ms = float(os.environ.get("BENCH_COMPARE_FLOOR_MS", "200"))
+
+fresh = json.load(open(fresh_path))
+base = json.load(open(base_path))
+
+if fresh["columns"] != base["columns"]:
+    sys.exit(f"column mismatch:\n  fresh:    {fresh['columns']}\n  baseline: {base['columns']}")
+if len(fresh["rows"]) != len(base["rows"]):
+    sys.exit(f"row count mismatch: fresh {len(fresh['rows'])} vs baseline {len(base['rows'])}")
+
+def is_timing(col):
+    return col.endswith("_ms") or col == "rss_kb"
+
+errors = []
+checked_exact = checked_timing = skipped_noise = 0
+for i, (frow, brow) in enumerate(zip(fresh["rows"], base["rows"])):
+    label = "/".join(str(frow[c]) for c in fresh["columns"][:2])
+    for col in fresh["columns"]:
+        f, b = frow[col], brow[col]
+        where = f"row {i} ({label}) column {col}"
+        if is_timing(col):
+            f, b = float(f), float(b)
+            if max(f, b) < floor_ms:
+                skipped_noise += 1
+                continue
+            checked_timing += 1
+            lo, hi = sorted((max(f, 1e-9), max(b, 1e-9)))
+            if hi / lo > max_ratio:
+                errors.append(f"{where}: fresh {f} vs baseline {b} "
+                              f"exceeds {max_ratio}x ratio")
+        else:
+            checked_exact += 1
+            if f != b:
+                errors.append(f"{where}: fresh {f!r} != baseline {b!r} "
+                              "(deterministic column)")
+
+if errors:
+    sys.exit("bench_compare FAILED:\n  " + "\n  ".join(errors))
+print(f"bench_compare OK: {checked_exact} deterministic cells exact, "
+      f"{checked_timing} timing cells within {max_ratio}x, "
+      f"{skipped_noise} sub-{floor_ms:g}ms timings ignored as noise")
+EOF

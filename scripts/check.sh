@@ -43,7 +43,7 @@ bench_smoke() {
     local bins=(fig6 fig7 insertion_cost dimensionality_sweep selectivity_sweep
         sweep_cell_size sweep_pool_side batch_ablation hotspot monitor_cost
         forwarding_ablation lifetime failure_resilience load_balance lossy_radio
-        latency_profile churn_resilience)
+        latency_profile churn_resilience sweep_scale)
     rm -rf target/smoke
     for bin in "${bins[@]}"; do
         echo "    $bin --smoke --jobs 2"
@@ -67,6 +67,9 @@ for path in sys.argv[1:]:
     if not any(c.endswith("_ms") or c.endswith("_s") for c in cols):
         sys.exit(f"{path}: no virtual-time column among {cols}")
 EOF
+    # The scale sweep's smoke artifact is tracked against a checked-in
+    # baseline: deterministic columns exactly, timing columns loosely.
+    ./scripts/bench_compare.sh target/smoke/BENCH_scale.json results/BENCH_scale_smoke.json
     echo "    ${#bins[@]} binaries ran; $artifacts artifacts validated"
 }
 

@@ -1,0 +1,191 @@
+//! The flat-arena contract: the CSR topology — through any interleaving of
+//! in-place mutation, overlay patching, and compaction — must be
+//! observationally identical to the persistent clone-per-change
+//! representation it replaced. Neighbor tables, GPSR routes, and whole
+//! traffic ledgers are all pinned here, because every message count in the
+//! checked-in artifacts rides on them.
+
+use pool_dcs::core::{PoolConfig, PoolSystem};
+use pool_dcs::gpsr::{Gpsr, Planarization};
+use pool_dcs::netsim::geometry::Point;
+use pool_dcs::netsim::{Deployment, NodeId, Rect, Topology};
+use pool_dcs::workloads::events::{EventDistribution, EventGenerator};
+use pool_dcs::workloads::queries::{exact_query, RangeSizeDistribution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NODES: usize = 350;
+
+fn connected(mut seed: u64) -> (Topology, Rect) {
+    loop {
+        let dep = Deployment::paper_setting(NODES, 40.0, 20.0, seed).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if topo.is_connected() {
+            return (topo, dep.field());
+        }
+        seed += 4096;
+    }
+}
+
+/// Neighbor rows, liveness flags, and position bit patterns per node.
+type Observation = (Vec<Vec<NodeId>>, Vec<bool>, Vec<(u64, u64)>);
+
+/// Every observable of the adjacency structure, gathered through the
+/// public API only.
+fn observe(topo: &Topology) -> Observation {
+    let neighbors: Vec<Vec<NodeId>> =
+        (0..topo.len()).map(|i| topo.neighbors(NodeId(i as u32)).to_vec()).collect();
+    let alive: Vec<bool> = (0..topo.len()).map(|i| topo.is_alive(NodeId(i as u32))).collect();
+    let positions: Vec<(u64, u64)> = (0..topo.len())
+        .map(|i| {
+            let p = topo.position(NodeId(i as u32));
+            (p.x.to_bits(), p.y.to_bits())
+        })
+        .collect();
+    (neighbors, alive, positions)
+}
+
+/// An interleaved churn script: deaths, a join, moves, more deaths —
+/// exercising overlay-on-overlay patching before any compaction.
+fn churn_script(topo_len: usize) -> (Vec<NodeId>, Point, NodeId, Point, Vec<NodeId>) {
+    let first_deaths = vec![NodeId(3), NodeId(17), NodeId((topo_len - 2) as u32)];
+    let join_at = Point::new(55.0, 47.0);
+    let mover = NodeId(40);
+    let move_to = Point::new(12.0, 93.0);
+    let second_deaths = vec![NodeId(8), NodeId(41)];
+    (first_deaths, join_at, mover, move_to, second_deaths)
+}
+
+/// Applies the script with the in-place mutators; compacts iff `compact`.
+fn churn_in_place(base: &Topology, compact: bool) -> Topology {
+    let mut topo = base.clone();
+    let (first, join_at, mover, move_to, second) = churn_script(base.len());
+    topo.fail_nodes(&first);
+    let joined = topo.add_node(join_at);
+    topo.move_node(mover, move_to);
+    topo.move_node(joined, Point::new(56.0, 48.5));
+    topo.fail_nodes(&second);
+    if compact {
+        topo.compact();
+        assert_eq!(topo.patched_rows(), 0, "compaction must retire the overlay");
+    }
+    topo
+}
+
+/// Applies the same script with the persistent clone-per-change methods.
+fn churn_persistent(base: &Topology) -> Topology {
+    let (first, join_at, mover, move_to, second) = churn_script(base.len());
+    let topo = base.without_nodes(&first);
+    let (topo, joined) = topo.with_node(join_at);
+    let topo = topo.with_moved_node(mover, move_to);
+    let topo = topo.with_moved_node(joined, Point::new(56.0, 48.5));
+    topo.without_nodes(&second)
+}
+
+#[test]
+fn neighbor_tables_match_brute_force_after_churn() {
+    let (base, _) = connected(31);
+    for topo in [churn_in_place(&base, false), churn_in_place(&base, true)] {
+        let range = topo.radio_range();
+        for i in 0..topo.len() {
+            let a = NodeId(i as u32);
+            let row = topo.neighbors(a);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {a} not sorted/deduped");
+            for j in 0..topo.len() {
+                let b = NodeId(j as u32);
+                let expected = i != j
+                    && topo.is_alive(a)
+                    && topo.is_alive(b)
+                    && topo.position(a).distance(topo.position(b)) <= range;
+                assert_eq!(
+                    row.contains(&b),
+                    expected,
+                    "adjacency({a}, {b}) diverges from the unit-disk rule"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn in_place_and_persistent_churn_are_observationally_identical() {
+    let (base, _) = connected(33);
+    let persistent = churn_persistent(&base);
+    for (label, topo) in
+        [("patched", churn_in_place(&base, false)), ("compacted", churn_in_place(&base, true))]
+    {
+        assert_eq!(observe(&topo), observe(&persistent), "{label} arena diverges");
+        assert_eq!(topo.alive_count(), persistent.alive_count());
+        assert_eq!(topo.bounds(), persistent.bounds());
+        assert_eq!(topo.largest_component(), persistent.largest_component());
+    }
+}
+
+#[test]
+fn gpsr_routes_survive_overlay_and_compaction_unchanged() {
+    let (base, _) = connected(35);
+    let patched = churn_in_place(&base, false);
+    let compacted = churn_in_place(&base, true);
+    let reference = churn_persistent(&base);
+    for planarization in [Planarization::Gabriel, Planarization::RelativeNeighborhood] {
+        let gpsr_ref = Gpsr::new(&reference, planarization);
+        let gpsr_patched = Gpsr::new(&patched, planarization);
+        let gpsr_compacted = Gpsr::new(&compacted, planarization);
+        let members = reference.largest_component_members();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..60 {
+            let from = members[rng.gen_range(0..members.len())];
+            let to = members[rng.gen_range(0..members.len())];
+            let want = gpsr_ref.route_to_node(&reference, from, to);
+            let got_patched = gpsr_patched.route_to_node(&patched, from, to);
+            let got_compacted = gpsr_compacted.route_to_node(&compacted, from, to);
+            match (&want, &got_patched, &got_compacted) {
+                (Ok(w), Ok(p), Ok(c)) => {
+                    assert_eq!(w.path, p.path, "{planarization:?}: patched route diverges");
+                    assert_eq!(w.path, c.path, "{planarization:?}: compacted route diverges");
+                }
+                (Err(w), Err(p), Err(c)) => {
+                    assert_eq!(w, p);
+                    assert_eq!(w, c);
+                }
+                other => panic!("{planarization:?}: route outcomes diverge: {other:?}"),
+            }
+        }
+    }
+}
+
+/// End to end: a fig6-style workload over a churned-then-compacted arena
+/// charges the exact same ledger as the same workload over the persistent
+/// representation — message accounting cannot see the arena rewrite.
+#[test]
+fn ledger_totals_identical_across_representations() {
+    let (base, field) = connected(37);
+    let compacted = churn_in_place(&base, true);
+    let reference = churn_persistent(&base);
+
+    let run = |topo: Topology| {
+        let config = PoolConfig::paper().with_dims(3).with_seed(5);
+        let mut pool = PoolSystem::build(topo, field, config).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+        let members = pool.topology().largest_component_members();
+        for _ in 0..300 {
+            let src = members[rng.gen_range(0..members.len())];
+            let event = generator.generate(&mut rng);
+            pool.insert_from(src, event).unwrap();
+        }
+        let mut results = Vec::new();
+        for _ in 0..40 {
+            let sink = members[rng.gen_range(0..members.len())];
+            let query = exact_query(&mut rng, 3, RangeSizeDistribution::Exponential { mean: 0.1 });
+            let r = pool.query_from(sink, &query).unwrap();
+            results.push((r.events.len(), r.cost.forward_messages, r.cost.reply_messages));
+        }
+        (results, pool.transport().ledger().clone())
+    };
+
+    let (results_a, ledger_a) = run(compacted);
+    let (results_b, ledger_b) = run(reference);
+    assert_eq!(results_a, results_b, "query outcomes diverge across representations");
+    assert_eq!(ledger_a, ledger_b, "ledgers diverge across representations");
+}
