@@ -100,10 +100,21 @@ impl SystemPair {
         // cache, when selected) is apples to apples.
         let transport = config.transport;
         let lossy = config.lossy;
+        let faults = config.faults.clone();
+        let recovery = config.recovery;
+        let op_retry = config.op_retry;
         let mut pool = PoolSystem::build(topology.clone(), field, config).expect("pool builds");
-        let mut dim =
-            DimSystem::build_with_substrate(topology, field, scenario.dims, transport, lossy)
-                .expect("dim builds");
+        let mut dim = DimSystem::build_with_resilience(
+            topology,
+            field,
+            scenario.dims,
+            transport,
+            lossy,
+            faults,
+            recovery,
+            op_retry,
+        )
+        .expect("dim builds");
 
         let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0xE7E7_E7E7);
         let mut generator = EventGenerator::new(scenario.dims, events);

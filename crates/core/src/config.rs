@@ -3,7 +3,7 @@
 use crate::error::PoolError;
 use crate::grid::CellCoord;
 use pool_gpsr::Planarization;
-use pool_transport::{LossyConfig, TransportKind};
+use pool_transport::{FaultPlan, LossyConfig, OpRetryPolicy, RecoveryConfig, TransportKind};
 
 /// Workload-sharing policy (§4.2): when an index node's stored-event count
 /// reaches `capacity`, subsequent events for its cells are delegated to a
@@ -75,6 +75,22 @@ pub struct PoolConfig {
     /// dropped and retried (bounded ARQ). `None` keeps the paper's
     /// loss-free radio.
     pub lossy: Option<LossyConfig>,
+    /// Optional structured fault injection: when set, the substrate is
+    /// wrapped in a [`pool_transport::FaultyTransport`] driving the plan's
+    /// crashes, pauses, partitions, burst loss, and asymmetric links
+    /// against virtual time. Implies a lossy substrate (a perfect link is
+    /// substituted when [`PoolConfig::lossy`] is `None`).
+    pub faults: Option<FaultPlan>,
+    /// Optional adaptive recovery on the lossy/faulty substrate: EWMA link
+    /// estimation, exponential backoff priced on the virtual clock, and a
+    /// passive failure detector feeding detour routing and targeted route
+    /// eviction.
+    pub recovery: Option<RecoveryConfig>,
+    /// Optional bounded idempotent retry at the operation level: failed
+    /// query legs are re-delivered (optionally via a detour route around
+    /// the failed hop). Completeness can only improve; every attempt is
+    /// charged to the ledger.
+    pub op_retry: Option<OpRetryPolicy>,
 }
 
 impl PoolConfig {
@@ -92,6 +108,9 @@ impl PoolConfig {
             aggregate_replies: true,
             replicate: false,
             lossy: None,
+            faults: None,
+            recovery: None,
+            op_retry: None,
         }
     }
 
@@ -159,6 +178,25 @@ impl PoolConfig {
     /// ARQ) instead of the paper's loss-free radio.
     pub fn with_lossy(mut self, lossy: LossyConfig) -> Self {
         self.lossy = Some(lossy);
+        self
+    }
+
+    /// Injects the structured faults of `plan` against virtual time.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enables adaptive recovery (EWMA estimation, priced backoff, passive
+    /// failure detection) on the lossy/faulty substrate.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = Some(recovery);
+        self
+    }
+
+    /// Enables bounded idempotent operation-level retry for query legs.
+    pub fn with_op_retry(mut self, policy: OpRetryPolicy) -> Self {
+        self.op_retry = Some(policy);
         self
     }
 

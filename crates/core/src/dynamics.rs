@@ -428,12 +428,21 @@ impl PoolSystem {
                         report.events_retained += 1;
                         self.restore_event(cell, s.event.clone(), s.holder);
                         if backup.is_none() && self.config().replicate {
-                            queue.tasks.push_back(RepairTask {
-                                cell,
-                                event: s.event.clone(),
-                                source: index_node,
-                                kind: TaskKind::Backup,
+                            // A Backup task for this event may already sit
+                            // in the carried-over queue (budget starvation);
+                            // re-discovering it here must not duplicate the
+                            // repair, or starved queues grow without bound.
+                            let queued = queue.tasks.iter().any(|t| {
+                                t.kind == TaskKind::Backup && t.cell == cell && t.event == s.event
                             });
+                            if !queued {
+                                queue.tasks.push_back(RepairTask {
+                                    cell,
+                                    event: s.event.clone(),
+                                    source: index_node,
+                                    kind: TaskKind::Backup,
+                                });
+                            }
                         }
                     } else {
                         // Deposed holder: the event leaves the

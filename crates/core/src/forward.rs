@@ -250,7 +250,8 @@ impl PoolSystem {
                 }
                 Err(e) => return Err(e.into()),
             };
-            let fwd = self.deliver_traced(TraceOp::Query, &to_splitter.path, TrafficLayer::Forward);
+            let (fwd, to_splitter) =
+                self.deliver_with_recovery(TraceOp::Query, to_splitter, TrafficLayer::Forward);
             cost.forward_messages += fwd.transmissions - fwd.retransmissions;
             cost.retransmit_messages += fwd.retransmissions;
             cost.forward_latency += fwd.latency;
@@ -279,7 +280,8 @@ impl PoolSystem {
                         }
                         Err(e) => return Err(e.into()),
                     };
-                let fwd = self.deliver_traced(TraceOp::Query, &to_cell.path, TrafficLayer::Forward);
+                let (fwd, to_cell) =
+                    self.deliver_with_recovery(TraceOp::Query, to_cell, TrafficLayer::Forward);
                 cost.forward_messages += fwd.transmissions - fwd.retransmissions;
                 cost.retransmit_messages += fwd.retransmissions;
                 cost.forward_latency += fwd.latency;
@@ -294,7 +296,8 @@ impl PoolSystem {
                 if !chain.is_empty() {
                     let mut walk = vec![index_node];
                     walk.extend_from_slice(&chain);
-                    let w = self.deliver_traced(TraceOp::Query, &walk, TrafficLayer::Forward);
+                    let w =
+                        self.deliver_with_path_retry(TraceOp::Query, &walk, TrafficLayer::Forward);
                     cost.forward_messages += w.transmissions - w.retransmissions;
                     cost.retransmit_messages += w.retransmissions;
                     cost.forward_latency += w.latency;
@@ -331,7 +334,7 @@ impl PoolSystem {
                 if !chain.is_empty() {
                     let mut walk = vec![index_node];
                     walk.extend_from_slice(&chain);
-                    let rev = self.deliver_reverse_traced(
+                    let rev = self.deliver_reverse_with_retry(
                         TraceOp::Query,
                         &walk,
                         copies,
@@ -358,7 +361,7 @@ impl PoolSystem {
                         copies = matches.len() as u64;
                     }
                 }
-                let rev = self.deliver_reverse_traced(
+                let rev = self.deliver_reverse_with_retry(
                     TraceOp::Query,
                     &to_cell.path,
                     copies,
@@ -393,7 +396,7 @@ impl PoolSystem {
             if pool_matches > 0 {
                 // Aggregated reply from the splitter to the sink.
                 let copies = if self.config.aggregate_replies { 1 } else { pool_matches as u64 };
-                let rev = self.deliver_reverse_traced(
+                let rev = self.deliver_reverse_with_retry(
                     TraceOp::Query,
                     &to_splitter.path,
                     copies,

@@ -29,9 +29,11 @@ use pool_netsim::topology::Topology;
 use pool_transport::metrics::{LedgerSnapshot, LoadReport, NodeRole};
 use pool_transport::trace::{TraceOp, Tracer};
 use pool_transport::{
-    LossyConfig, LossyTransport, TrafficLayer, TrafficLedger, Transport, TransportKind,
+    FaultPlan, FaultyTransport, LossyConfig, LossyTransport, OpRetryPolicy, RecoveryConfig,
+    TrafficLayer, TrafficLedger, Transport, TransportKind,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Result of one DIM query.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +117,9 @@ pub struct DimSystem {
     pub(crate) store: HashMap<usize, Vec<Event>>,
     zone_index_by_code: HashMap<crate::code::ZoneCode, usize>,
     tracer: Tracer,
+    /// Optional bounded operation-level retry for query legs (mirrors
+    /// [`pool_core::config::PoolConfig::op_retry`]).
+    op_retry: Option<OpRetryPolicy>,
 }
 
 impl DimSystem {
@@ -159,13 +164,46 @@ impl DimSystem {
         kind: TransportKind,
         lossy: Option<LossyConfig>,
     ) -> Result<Self, PoolError> {
+        Self::build_with_resilience(topology, field, dims, kind, lossy, None, None, None)
+    }
+
+    /// Builds a DIM deployment with the full resilience stack: structured
+    /// fault injection, adaptive recovery, and operation-level retry — the
+    /// same knobs Pool exposes via [`pool_core::config::PoolConfig`], so
+    /// chaos campaigns stress both schemes identically. When `faults` or
+    /// `recovery` is set, a perfect-link lossy substrate is substituted if
+    /// `lossy` is `None` (the fault machinery needs the ARQ walk).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DimSystem::build`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_resilience(
+        topology: Topology,
+        field: Rect,
+        dims: usize,
+        kind: TransportKind,
+        lossy: Option<LossyConfig>,
+        faults: Option<FaultPlan>,
+        recovery: Option<RecoveryConfig>,
+        op_retry: Option<OpRetryPolicy>,
+    ) -> Result<Self, PoolError> {
         if dims == 0 {
             return Err(PoolError::InvalidConfig { reason: "k = 0".into() });
         }
         topology.require_connected().map_err(|e| PoolError::Routing(e.to_string()))?;
         let tree = ZoneTree::build(&topology, field);
         let mut transport = kind.build(&topology, Planarization::Gabriel);
-        if let Some(lossy) = lossy {
+        if faults.is_some() || recovery.is_some() {
+            let lossy = lossy.unwrap_or_else(|| LossyConfig::fixed(1.0, 0));
+            let plan = faults.unwrap_or_default();
+            transport = match recovery {
+                Some(recovery) => {
+                    Box::new(FaultyTransport::wrap_adaptive(transport, lossy, plan, recovery))
+                }
+                None => Box::new(FaultyTransport::wrap(transport, lossy, plan)),
+            };
+        } else if let Some(lossy) = lossy {
             transport = Box::new(LossyTransport::wrap(transport, lossy));
         }
         let zone_index_by_code =
@@ -178,6 +216,7 @@ impl DimSystem {
             store: HashMap::new(),
             zone_index_by_code,
             tracer: Tracer::default(),
+            op_retry,
         })
     }
 
@@ -207,6 +246,98 @@ impl DimSystem {
         let end = self.transport.clock().now();
         self.tracer.record_reverse(op, path, copies, layer, &outcome, end);
         outcome
+    }
+
+    /// [`DimSystem::deliver_traced`] with the span's detour flag set.
+    fn deliver_traced_marked(
+        &mut self,
+        op: TraceOp,
+        path: &[NodeId],
+        layer: TrafficLayer,
+        detour: bool,
+    ) -> pool_transport::DeliveryOutcome {
+        let mut outcome = self.transport.deliver(&self.topology, path, layer);
+        outcome.detour = detour;
+        let end = self.transport.clock().now();
+        self.tracer.record_delivery(op, path, layer, &outcome, end);
+        outcome
+    }
+
+    /// Delivers along `route` with bounded operation-level retry — DIM's
+    /// mirror of `PoolSystem::deliver_with_recovery`. Failed legs are
+    /// re-attempted (via a detour route around the failed hop when the
+    /// policy allows), every attempt charged normally. Returns the
+    /// aggregated outcome and the route the packet last travelled, which
+    /// the reply must retrace.
+    fn deliver_with_recovery(
+        &mut self,
+        op: TraceOp,
+        route: Arc<pool_gpsr::Route>,
+        layer: TrafficLayer,
+    ) -> (pool_transport::DeliveryOutcome, Arc<pool_gpsr::Route>) {
+        let mut total = self.deliver_traced(op, &route.path, layer);
+        let mut used = route;
+        let Some(policy) = self.op_retry else {
+            return (total, used);
+        };
+        let from = used.path[0];
+        let to = *used.path.last().expect("routes contain at least the source");
+        let mut excluded: Vec<NodeId> = Vec::new();
+        for _ in 0..policy.attempts {
+            if total.delivered {
+                break;
+            }
+            let Some((_, suspect)) = total.failed_hop else { break };
+            let attempt_route = if policy.detour {
+                if suspect != to && !excluded.contains(&suspect) {
+                    excluded.push(suspect);
+                }
+                match self.transport.route_to_node_avoiding(&self.topology, from, to, &excluded) {
+                    Ok(r) => r,
+                    Err(_) => break,
+                }
+            } else {
+                Arc::clone(&used)
+            };
+            let on_detour = policy.detour && !excluded.is_empty();
+            let retry = self.deliver_traced_marked(op, &attempt_route.path, layer, on_detour);
+            total.transmissions += retry.transmissions;
+            total.retransmissions += retry.retransmissions;
+            total.latency += retry.latency;
+            total.delivered = retry.delivered;
+            total.reached = retry.reached;
+            total.failed_hop = retry.failed_hop;
+            total.detour = on_detour;
+            used = attempt_route;
+        }
+        (total, used)
+    }
+
+    /// Reply-leg bounded retry: re-sends only the copies that failed to
+    /// arrive, along the same path.
+    fn deliver_reverse_with_retry(
+        &mut self,
+        op: TraceOp,
+        path: &[NodeId],
+        copies: u64,
+        layer: TrafficLayer,
+    ) -> pool_transport::ReverseDelivery {
+        let mut total = self.deliver_reverse_traced(op, path, copies, layer);
+        let Some(policy) = self.op_retry else {
+            return total;
+        };
+        for _ in 0..policy.attempts {
+            if total.delivered_copies >= copies {
+                break;
+            }
+            let missing = copies - total.delivered_copies;
+            let retry = self.deliver_reverse_traced(op, path, missing, layer);
+            total.delivered_copies += retry.delivered_copies;
+            total.transmissions += retry.transmissions;
+            total.retransmissions += retry.retransmissions;
+            total.latency += retry.latency;
+        }
+        total
     }
 
     /// The underlying topology.
@@ -256,6 +387,7 @@ impl DimSystem {
     pub fn load_report(&self) -> LoadReport {
         let mut report = LoadReport::from_ledger(self.transport.ledger());
         report.set_busy_times(self.transport.clock().busy_times());
+        report.set_delivery_stats(self.transport.delivery_stats());
         let zones = self.tree.zones();
         let mut held: HashMap<NodeId, u64> = HashMap::new();
         for (&zone_idx, events) in &self.store {
@@ -391,7 +523,7 @@ impl DimSystem {
         // Forward legs: sink to the first owner, then owner to owner. On a
         // lossy radio the chain is only as long as its weakest link — the
         // first undelivered leg cuts every owner past it off the query.
-        let mut legs: Vec<std::sync::Arc<pool_gpsr::Route>> = Vec::new();
+        let mut legs: Vec<Arc<pool_gpsr::Route>> = Vec::new();
         let mut from = sink;
         for &to in &chain {
             let leg = match self.transport.route_to_node(&self.topology, from, to) {
@@ -399,7 +531,7 @@ impl DimSystem {
                 Err(pool_gpsr::RouteError::NotDelivered { .. }) => break,
                 Err(e) => return Err(e.into()),
             };
-            let fwd = self.deliver_traced(TraceOp::Query, &leg.path, TrafficLayer::Forward);
+            let (fwd, leg) = self.deliver_with_recovery(TraceOp::Query, leg, TrafficLayer::Forward);
             cost.forward_messages += fwd.transmissions - fwd.retransmissions;
             cost.retransmit_messages += fwd.retransmissions;
             cost.forward_latency += fwd.latency;
@@ -440,8 +572,12 @@ impl DimSystem {
         let mut first_failed_reverse = reached_len;
         if any_match {
             for (j, leg) in legs.iter().enumerate() {
-                let rev =
-                    self.deliver_reverse_traced(TraceOp::Query, &leg.path, 1, TrafficLayer::Reply);
+                let rev = self.deliver_reverse_with_retry(
+                    TraceOp::Query,
+                    &leg.path,
+                    1,
+                    TrafficLayer::Reply,
+                );
                 cost.reply_messages += rev.transmissions - rev.retransmissions;
                 cost.retransmit_messages += rev.retransmissions;
                 cost.reply_latency += rev.latency;

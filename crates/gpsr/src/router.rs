@@ -294,6 +294,38 @@ impl Gpsr {
         Ok(route)
     }
 
+    /// Routes to `to` around an exclusion set: greedy and perimeter
+    /// forwarding both run on the subgraph with `excluded` removed, exactly
+    /// as the network would forward once those nodes stop acknowledging.
+    /// Endpoints are exempt from exclusion; an empty set is the plain
+    /// [`Gpsr::route_to_node`].
+    ///
+    /// The detour router is rebuilt per call (re-planarizing the reduced
+    /// topology) — exclusion sets describe transient suspicions, so the
+    /// result must never be memoized against the full topology.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RouteError`] from routing on the reduced subgraph — including
+    /// [`RouteError::NotDelivered`] when the exclusions disconnect the
+    /// endpoints.
+    pub fn route_to_node_avoiding(
+        &self,
+        topology: &Topology,
+        from: NodeId,
+        to: NodeId,
+        excluded: &[NodeId],
+    ) -> Result<Route, RouteError> {
+        let dead: Vec<NodeId> =
+            excluded.iter().copied().filter(|&n| n != from && n != to).collect();
+        if dead.is_empty() {
+            return self.route_to_node(topology, from, to);
+        }
+        let reduced = topology.without_nodes(&dead);
+        let detour = Gpsr::new(&reduced, self.planar.method()).with_metric(self.metric);
+        detour.route_to_node(&reduced, from, to)
+    }
+
     /// Completes a perimeter tour: the best (closest-to-target) node on the
     /// toured face is the home node; the packet keeps walking the face until
     /// it reaches that node again, so those hops are charged too.

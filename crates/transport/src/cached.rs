@@ -104,6 +104,19 @@ impl CachedTransport {
     pub fn hit_stats(&self) -> CacheStats {
         CacheStats { hits: self.hits, misses: self.misses, evictions: self.routes.evictions() }
     }
+
+    /// Number of memoized routes whose path traverses `node` (test and
+    /// diagnostics hook for targeted invalidation).
+    pub fn routes_through(&mut self, node: NodeId) -> usize {
+        let mut count = 0;
+        self.routes.retain(|_, route| {
+            if route.path.contains(&node) {
+                count += 1;
+            }
+            true
+        });
+        count
+    }
 }
 
 impl Transport for CachedTransport {
@@ -139,6 +152,25 @@ impl Transport for CachedTransport {
         let route = Arc::new(self.gpsr.route(topology, from, target)?);
         self.routes.insert(key, Arc::clone(&route));
         Ok(route)
+    }
+
+    fn route_to_node_avoiding(
+        &mut self,
+        topology: &Topology,
+        from: NodeId,
+        to: NodeId,
+        excluded: &[NodeId],
+    ) -> Result<Arc<Route>, RouteError> {
+        // Detour routes describe a transient suspicion, never the
+        // topology — they bypass the memo entirely.
+        self.gpsr.route_to_node_avoiding(topology, from, to, excluded).map(Arc::new)
+    }
+
+    fn evict_routes_through(&mut self, node: NodeId) -> u64 {
+        // Targeted invalidation: drop exactly the memoized routes crossing
+        // `node`, not the whole generation. Cheaper than a rebuild and
+        // cost-neutral — an evicted route is recomputed identically.
+        self.routes.retain(|_, route| !route.path.contains(&node)) as u64
     }
 
     fn rebuild(&mut self, topology: &Topology) {
@@ -338,6 +370,68 @@ mod tests {
         assert_eq!(cached.clock().now(), fresh.clock().now());
         let stats = cached.hit_stats();
         assert!(stats.evictions > 0, "alternating pairs must thrash a capacity-1 memo");
+    }
+
+    /// Satellite regression: a failed delivery through a dead relay must
+    /// evict exactly the memoized routes crossing it — other memos survive.
+    #[test]
+    fn evict_routes_through_is_targeted() {
+        let topology = setup(19);
+        let mut cached = CachedTransport::new(&topology, Planarization::Gabriel);
+        let nodes = topology.nodes();
+        let (a, b) = (nodes[0].id, nodes[190].id);
+        let victim_route = cached.route_to_node(&topology, a, b).expect("route");
+        assert!(victim_route.path.len() > 2);
+        let relay = victim_route.path[victim_route.path.len() / 2];
+        // Memoize a second route that avoids the relay entirely.
+        let (c, d) = nodes
+            .iter()
+            .flat_map(|x| nodes.iter().map(move |y| (x.id, y.id)))
+            .find(|&(x, y)| {
+                x != y
+                    && cached
+                        .gpsr
+                        .route_to_node(&topology, x, y)
+                        .map(|r| r.path.len() > 2 && !r.path.contains(&relay))
+                        .unwrap_or(false)
+            })
+            .expect("some route avoids the relay");
+        cached.route_to_node(&topology, c, d).expect("route");
+        assert_eq!(cached.cached_routes(), 2);
+        assert_eq!(cached.routes_through(relay), 1);
+
+        let evicted = cached.evict_routes_through(relay);
+        assert_eq!(evicted, 1, "exactly the route crossing the relay is dropped");
+        assert_eq!(cached.cached_routes(), 1);
+        assert_eq!(cached.routes_through(relay), 0);
+        assert_eq!(cached.generation(), 0, "targeted eviction is not a rebuild");
+        // The surviving memo still hits.
+        let before = cached.hit_stats().hits;
+        cached.route_to_node(&topology, c, d).expect("route");
+        assert_eq!(cached.hit_stats().hits, before + 1);
+    }
+
+    /// Detour routes bypass the memo and avoid the excluded node.
+    #[test]
+    fn detour_routes_avoid_exclusions_and_are_not_memoized() {
+        let topology = setup(23);
+        let mut cached = CachedTransport::new(&topology, Planarization::Gabriel);
+        let (a, b) = (topology.nodes()[0].id, topology.nodes()[195].id);
+        let direct = cached.route_to_node(&topology, a, b).expect("route");
+        assert!(direct.path.len() > 2);
+        let relay = direct.path[direct.path.len() / 2];
+        let memo_before = cached.cached_routes();
+        match cached.route_to_node_avoiding(&topology, a, b, &[relay]) {
+            Ok(detour) => {
+                assert!(!detour.path.contains(&relay), "detour must avoid the exclusion");
+                assert_eq!(detour.delivered, b);
+            }
+            Err(_) => {
+                // The exclusion may genuinely disconnect the endpoints;
+                // what matters is that nothing stale was served or stored.
+            }
+        }
+        assert_eq!(cached.cached_routes(), memo_before, "detours are never memoized");
     }
 
     /// Acceptance soak: a small topology, a million lookups over more

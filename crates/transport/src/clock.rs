@@ -54,7 +54,7 @@ impl Default for LatencyModel {
 /// One hop of a delivery, with the number of transmissions the link layer
 /// actually made on it (1 for loss-free links; first attempt plus every
 /// ARQ retransmission for lossy ones).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hop {
     /// Transmitting node.
     pub from: NodeId,
@@ -63,6 +63,17 @@ pub struct Hop {
     /// Transmissions made on this hop (≥ 1; every attempt pays its own
     /// service time and hop latency).
     pub transmissions: u64,
+    /// Total ARQ backoff the sender waited on this hop, in seconds. Zero
+    /// for fixed-timeout ARQ; adaptive recovery accrues exponential delays
+    /// here so retries are no longer latency-free.
+    pub backoff: f64,
+}
+
+impl Hop {
+    /// A hop with `transmissions` attempts and no backoff delay.
+    pub fn new(from: NodeId, to: NodeId, transmissions: u64) -> Self {
+        Hop { from, to, transmissions, backoff: 0.0 }
+    }
 }
 
 /// Event payload inside [`VirtualClock::time_fanout`]: which leg is ready
@@ -147,31 +158,28 @@ impl VirtualClock {
         &self.rx
     }
 
-    /// Times one transmission burst: `transmissions` back-to-back attempts
-    /// on `from → to` starting no earlier than `t`. Returns the arrival
-    /// time of the last attempt. Self-hops take no time.
-    fn time_hop(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        transmissions: u64,
-        mut t: SimTime,
-    ) -> SimTime {
-        if from == to {
+    /// Times one transmission burst: `hop.transmissions` back-to-back
+    /// attempts on `hop.from → hop.to` starting no earlier than `t`.
+    /// Returns the arrival time of the last attempt, including any accrued
+    /// ARQ backoff. Self-hops take no time.
+    fn time_hop(&mut self, hop: Hop, mut t: SimTime) -> SimTime {
+        if hop.from == hop.to {
             return t;
         }
-        let f = from.index();
-        for _ in 0..transmissions {
+        let f = hop.from.index();
+        for _ in 0..hop.transmissions {
             let start = if self.busy_until[f] > t { self.busy_until[f] } else { t };
             self.busy_until[f] = start + self.model.service_time;
             self.busy_time[f] += self.model.service_time;
             self.tx[f] += 1;
-            self.rx[to.index()] += 1;
+            self.rx[hop.to.index()] += 1;
             // The next ARQ attempt waits for the missing-ack timeout, which
             // this model equates with one hop latency.
             t = start + self.model.service_time + self.model.hop_latency;
         }
-        t
+        // Backoff delays are waiting, not transmitting: they push the
+        // arrival later but leave the sender's radio idle (no busy time).
+        t + hop.backoff
     }
 
     /// Times one delivery leg (a sequence of hops starting at the cursor),
@@ -180,7 +188,7 @@ impl VirtualClock {
         let start = self.cursor;
         let mut t = start;
         for hop in hops {
-            t = self.time_hop(hop.from, hop.to, hop.transmissions, t);
+            t = self.time_hop(*hop, t);
         }
         self.cursor = t;
         t - start
@@ -207,7 +215,7 @@ impl VirtualClock {
         let mut end = start;
         while let Some((t, cursor)) = queue.pop() {
             let hop = legs[cursor.leg][cursor.hop];
-            let arrival = self.time_hop(hop.from, hop.to, hop.transmissions, start + t);
+            let arrival = self.time_hop(hop, start + t);
             let next = cursor.hop + 1;
             if next < legs[cursor.leg].len() {
                 queue
@@ -247,10 +255,7 @@ impl VirtualClock {
 /// Builds the hop list of a loss-free traversal of `path` (one
 /// transmission per hop, self-hops skipped).
 pub fn clean_hops(path: &[NodeId]) -> Vec<Hop> {
-    path.windows(2)
-        .filter(|w| w[0] != w[1])
-        .map(|w| Hop { from: w[0], to: w[1], transmissions: 1 })
-        .collect()
+    path.windows(2).filter(|w| w[0] != w[1]).map(|w| Hop::new(w[0], w[1], 1)).collect()
 }
 
 #[cfg(test)]
@@ -276,11 +281,34 @@ mod tests {
     #[test]
     fn retransmissions_each_pay_their_own_way() {
         let mut clock = VirtualClock::new(2, model(1.0, 0.5));
-        let elapsed = clock.time_leg(&[Hop { from: NodeId(0), to: NodeId(1), transmissions: 3 }]);
+        let elapsed = clock.time_leg(&[Hop::new(NodeId(0), NodeId(1), 3)]);
         assert!((elapsed - 4.5).abs() < 1e-12, "got {elapsed}");
         assert_eq!(clock.tx_counts()[0], 3);
         assert_eq!(clock.rx_counts()[1], 3);
         assert!((clock.busy_time(NodeId(0)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_extends_latency_but_not_busy_time() {
+        let mut plain = VirtualClock::new(2, model(1.0, 0.5));
+        let mut delayed = VirtualClock::new(2, model(1.0, 0.5));
+        let base = plain.time_leg(&[Hop::new(NodeId(0), NodeId(1), 2)]);
+        let hop = Hop { backoff: 0.25, ..Hop::new(NodeId(0), NodeId(1), 2) };
+        let slow = delayed.time_leg(&[hop]);
+        assert!((slow - base - 0.25).abs() < 1e-12, "got {slow} vs {base}");
+        // Waiting out a backoff is idle time, not radio time.
+        assert_eq!(plain.busy_time(NodeId(0)), delayed.busy_time(NodeId(0)));
+        assert_eq!(plain.tx_counts(), delayed.tx_counts());
+    }
+
+    #[test]
+    fn zero_backoff_is_bit_identical_to_the_old_timing() {
+        let mut a = VirtualClock::new(3, model(1.0, 0.5));
+        let mut b = VirtualClock::new(3, model(1.0, 0.5));
+        let hops = clean_hops(&[NodeId(0), NodeId(1), NodeId(2)]);
+        let explicit: Vec<Hop> = hops.iter().map(|h| Hop { backoff: 0.0, ..*h }).collect();
+        assert_eq!(a.time_leg(&hops), b.time_leg(&explicit));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -61,6 +61,16 @@ impl Transport for GpsrTransport {
         self.gpsr.route(topology, from, target).map(Arc::new)
     }
 
+    fn route_to_node_avoiding(
+        &mut self,
+        topology: &Topology,
+        from: NodeId,
+        to: NodeId,
+        excluded: &[NodeId],
+    ) -> Result<Arc<Route>, RouteError> {
+        self.gpsr.route_to_node_avoiding(topology, from, to, excluded).map(Arc::new)
+    }
+
     fn rebuild(&mut self, topology: &Topology) {
         self.gpsr = Gpsr::new(topology, self.planarization);
         // Joins grow the network; the ledger and clock must keep every

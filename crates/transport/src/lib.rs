@@ -41,6 +41,7 @@
 
 pub mod cached;
 pub mod clock;
+pub mod faults;
 pub mod gpsr;
 pub mod ledger;
 pub mod lossy;
@@ -50,10 +51,12 @@ pub mod trace;
 
 pub use cached::CachedTransport;
 pub use clock::{clean_hops, Hop, LatencyModel, VirtualClock};
+pub use faults::{Fault, FaultPlan, FaultyTransport, GilbertElliott};
 pub use gpsr::GpsrTransport;
 pub use ledger::{TrafficLayer, TrafficLedger};
 pub use lossy::{
-    DeliveryOutcome, DeliveryStats, LinkQuality, LossyConfig, LossyTransport, ReverseDelivery,
+    AdaptiveState, BackoffPolicy, DeliveryOutcome, DeliveryStats, LinkQuality, LossyConfig,
+    LossyTransport, OpRetryPolicy, RecoveryConfig, ReverseDelivery,
 };
 pub use lru::{CacheStats, ShardedLru};
 pub use metrics::{LedgerSnapshot, LoadDistribution, LoadReport, NodeLoad, NodeRole, RoleSet};
@@ -111,6 +114,38 @@ pub trait Transport: fmt::Debug + Send {
         from: NodeId,
         target: Point,
     ) -> Result<Arc<Route>, RouteError>;
+
+    /// Routes from `from` to `to` around an exclusion set: the route must
+    /// not traverse any node in `excluded` (endpoints are exempt). Used by
+    /// adaptive recovery to detour around suspect nodes.
+    ///
+    /// The default implementation ignores the exclusions — substrates
+    /// without detour support fall back to the normal route. Detour routes
+    /// are never memoized: they describe a transient suspicion, not the
+    /// topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError`] when no route survives the exclusions.
+    fn route_to_node_avoiding(
+        &mut self,
+        topology: &Topology,
+        from: NodeId,
+        to: NodeId,
+        excluded: &[NodeId],
+    ) -> Result<Arc<Route>, RouteError> {
+        let _ = excluded;
+        self.route_to_node(topology, from, to)
+    }
+
+    /// Drops every memoized route that traverses `node` (targeted
+    /// invalidation after a failed delivery proved it unreachable).
+    /// Returns the number of routes dropped; the default (memo-free
+    /// substrates) holds nothing to drop.
+    fn evict_routes_through(&mut self, node: NodeId) -> u64 {
+        let _ = node;
+        0
+    }
 
     /// Rebuilds the substrate over a changed topology (re-planarizes,
     /// bumps [`Transport::generation`], and drops any memoized routes).

@@ -31,11 +31,215 @@ use pool_netsim::radio::PrrModel;
 use pool_netsim::topology::Topology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Default ARQ retry budget: a frame is attempted at most `1 + budget`
 /// times per hop (7 retries, the common 802.15.4-class MAC default range).
 pub const DEFAULT_RETRY_BUDGET: u32 = 7;
+
+/// Exponential ARQ backoff: retry `k` (1-based) waits
+/// `min(cap, base · factor^(k−1))` seconds on top of the fixed
+/// missing-ack timeout. Delays are monotone nondecreasing in `k` and
+/// bounded by `cap`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in seconds.
+    pub base: f64,
+    /// Multiplier applied per further retry (≥ 1).
+    pub factor: f64,
+    /// Upper bound on any single delay, in seconds.
+    pub cap: f64,
+}
+
+impl BackoffPolicy {
+    /// Creates a policy; panics on non-finite or negative parameters, or a
+    /// factor below 1 (which would make delays non-monotone).
+    pub fn new(base: f64, factor: f64, cap: f64) -> Self {
+        assert!(base.is_finite() && base >= 0.0, "invalid backoff base");
+        assert!(factor.is_finite() && factor >= 1.0, "backoff factor must be >= 1");
+        assert!(cap.is_finite() && cap >= 0.0, "invalid backoff cap");
+        BackoffPolicy { base, factor, cap }
+    }
+
+    /// The delay before retry `k` (1-based); 0 for `k == 0` (the first
+    /// attempt never waits).
+    pub fn delay(&self, k: u32) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let raw = self.base * self.factor.powi(k as i32 - 1);
+        if raw > self.cap {
+            self.cap
+        } else {
+            raw
+        }
+    }
+}
+
+impl Default for BackoffPolicy {
+    /// 2 ms doubling up to 64 ms — a handful of rungs above the 1 ms
+    /// missing-ack timeout of [`crate::LatencyModel::default`].
+    fn default() -> Self {
+        BackoffPolicy { base: 2e-3, factor: 2.0, cap: 64e-3 }
+    }
+}
+
+/// Adaptive-recovery knobs for a lossy substrate: EWMA link estimation,
+/// exponential backoff pricing, and the passive failure detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Backoff schedule priced on the virtual clock.
+    pub backoff: BackoffPolicy,
+    /// EWMA smoothing factor for per-link PRR estimation, in (0, 1].
+    pub ewma_alpha: f64,
+    /// Consecutive exhausted hop budgets before the receiver is marked
+    /// suspect (the passive failure detector's `k`).
+    pub suspect_after: u32,
+}
+
+impl RecoveryConfig {
+    /// Creates a config; panics on an alpha outside (0, 1] or a zero
+    /// detector threshold.
+    pub fn new(backoff: BackoffPolicy, ewma_alpha: f64, suspect_after: u32) -> Self {
+        assert!(ewma_alpha > 0.0 && ewma_alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+        assert!(suspect_after >= 1, "the failure detector needs at least one strike");
+        RecoveryConfig { backoff, ewma_alpha, suspect_after }
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig { backoff: BackoffPolicy::default(), ewma_alpha: 0.3, suspect_after: 2 }
+    }
+}
+
+/// Bounded idempotent retry at the operation level: how many times a
+/// storage scheme re-attempts a failed delivery leg, and whether retries
+/// may detour around the hop that failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpRetryPolicy {
+    /// Additional delivery attempts per leg after the first (0 disables).
+    pub attempts: u32,
+    /// Whether retries recompute the route around failed/suspect nodes
+    /// (`false` retries the same path — the ablation arm).
+    pub detour: bool,
+}
+
+impl OpRetryPolicy {
+    /// `attempts` retries with detour routing enabled.
+    pub fn detouring(attempts: u32) -> Self {
+        OpRetryPolicy { attempts, detour: true }
+    }
+
+    /// `attempts` retries along the original path only.
+    pub fn same_path(attempts: u32) -> Self {
+        OpRetryPolicy { attempts, detour: false }
+    }
+}
+
+impl Default for OpRetryPolicy {
+    fn default() -> Self {
+        OpRetryPolicy::detouring(2)
+    }
+}
+
+/// Shared adaptive-recovery state: per-link EWMA reception estimates, the
+/// passive failure detector's consecutive-exhaustion counters, and the set
+/// of currently suspected nodes.
+///
+/// All collections are B-tree-ordered so iteration (and therefore every
+/// derived artifact) is deterministic regardless of insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveState {
+    config: RecoveryConfig,
+    prr_estimate: BTreeMap<(NodeId, NodeId), f64>,
+    consecutive_exhaustions: BTreeMap<(NodeId, NodeId), u32>,
+    suspects: BTreeSet<NodeId>,
+}
+
+impl AdaptiveState {
+    /// Fresh state under `config`.
+    pub fn new(config: RecoveryConfig) -> Self {
+        AdaptiveState {
+            config,
+            prr_estimate: BTreeMap::new(),
+            consecutive_exhaustions: BTreeMap::new(),
+            suspects: BTreeSet::new(),
+        }
+    }
+
+    /// The recovery configuration.
+    pub fn config(&self) -> RecoveryConfig {
+        self.config
+    }
+
+    /// Folds one attempt result into the link's EWMA PRR estimate.
+    pub fn observe(&mut self, link: (NodeId, NodeId), delivered: bool) {
+        let sample = if delivered { 1.0 } else { 0.0 };
+        let a = self.config.ewma_alpha;
+        self.prr_estimate
+            .entry(link)
+            .and_modify(|est| *est = a * sample + (1.0 - a) * *est)
+            .or_insert(sample);
+    }
+
+    /// The link's current EWMA PRR estimate, if any attempt was observed.
+    pub fn estimate(&self, link: (NodeId, NodeId)) -> Option<f64> {
+        self.prr_estimate.get(&link).copied()
+    }
+
+    /// The backoff delay before retry `k` on `link`: the configured
+    /// exponential schedule, escalated one rung when the link's estimated
+    /// PRR has degraded below 0.5 (bad links wait longer sooner). Monotone
+    /// nondecreasing in `k` and bounded by the cap either way.
+    pub fn backoff_delay(&self, link: (NodeId, NodeId), k: u32) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let rung = match self.estimate(link) {
+            Some(est) if est < 0.5 => k + 1,
+            _ => k,
+        };
+        self.config.backoff.delay(rung)
+    }
+
+    /// Records a delivered hop: clears the link's strike counter.
+    pub fn hop_delivered(&mut self, link: (NodeId, NodeId)) {
+        self.consecutive_exhaustions.remove(&link);
+    }
+
+    /// Records an exhausted hop budget on `link`. Returns the receiver if
+    /// this strike crossed the detector threshold and newly marked it
+    /// suspect.
+    pub fn hop_exhausted(&mut self, link: (NodeId, NodeId)) -> Option<NodeId> {
+        let strikes = self.consecutive_exhaustions.entry(link).or_insert(0);
+        *strikes += 1;
+        if *strikes >= self.config.suspect_after && self.suspects.insert(link.1) {
+            Some(link.1)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `node` is currently suspected dead.
+    pub fn is_suspect(&self, node: NodeId) -> bool {
+        self.suspects.contains(&node)
+    }
+
+    /// The suspect set, in node order.
+    pub fn suspects(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.suspects.iter().copied()
+    }
+
+    /// Forgets everything — called on topology rebuild, when old estimates
+    /// and suspicions no longer describe the network.
+    pub fn reset(&mut self) {
+        self.prr_estimate.clear();
+        self.consecutive_exhaustions.clear();
+        self.suspects.clear();
+    }
+}
 
 /// Per-link packet reception quality.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +311,9 @@ pub struct DeliveryOutcome {
     /// Elapsed virtual time of the delivery, in seconds. Failed deliveries
     /// still accrue the time spent before ARQ gave up.
     pub latency: f64,
+    /// Whether this delivery travelled a detour route (recomputed around
+    /// failed or suspect nodes) rather than the leg's original path.
+    pub detour: bool,
 }
 
 impl DeliveryOutcome {
@@ -123,6 +330,7 @@ impl DeliveryOutcome {
             reached: *path.last().expect("path contains at least the source"),
             failed_hop: None,
             latency: 0.0,
+            detour: false,
         }
     }
 }
@@ -141,6 +349,10 @@ pub struct ReverseDelivery {
     pub latency: f64,
 }
 
+/// Buckets in [`DeliveryStats::attempts_histogram`]: transmissions-per-hop
+/// counts 1..=8, with the last bucket absorbing 9 and above.
+pub const ATTEMPT_BUCKETS: usize = 9;
+
 /// Cumulative link-layer delivery statistics for one transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DeliveryStats {
@@ -156,6 +368,11 @@ pub struct DeliveryStats {
     pub transmissions: u64,
     /// Retransmissions alone.
     pub retransmissions: u64,
+    /// Per-hop attempt histogram: bucket `i` counts hops that took `i + 1`
+    /// transmissions (the last bucket absorbs ≥ [`ATTEMPT_BUCKETS`]).
+    pub attempts_histogram: [u64; ATTEMPT_BUCKETS],
+    /// Routes recomputed around failed or suspect nodes.
+    pub detour_routes: u64,
 }
 
 impl DeliveryStats {
@@ -178,6 +395,15 @@ impl DeliveryStats {
         } else {
             self.retransmissions as f64 / first_attempts as f64
         }
+    }
+
+    /// Folds one hop's transmission count into the attempt histogram.
+    pub(crate) fn record_hop_attempts(&mut self, transmissions: u64) {
+        if transmissions == 0 {
+            return;
+        }
+        let bucket = (transmissions as usize).min(ATTEMPT_BUCKETS) - 1;
+        self.attempts_histogram[bucket] += 1;
     }
 }
 
@@ -215,6 +441,7 @@ pub struct LossyTransport {
     config: LossyConfig,
     rng: StdRng,
     stats: DeliveryStats,
+    adaptive: Option<AdaptiveState>,
 }
 
 impl LossyTransport {
@@ -225,7 +452,22 @@ impl LossyTransport {
             config,
             rng: StdRng::seed_from_u64(config.seed),
             stats: DeliveryStats::default(),
+            adaptive: None,
         }
+    }
+
+    /// Wraps `inner` with the loss process plus adaptive recovery: EWMA
+    /// link estimation, exponential backoff priced on the virtual clock,
+    /// and a passive failure detector whose suspects are detoured around
+    /// and evicted from route memos.
+    pub fn wrap_adaptive(
+        inner: Box<dyn Transport>,
+        config: LossyConfig,
+        recovery: RecoveryConfig,
+    ) -> Self {
+        let mut t = LossyTransport::wrap(inner, config);
+        t.adaptive = Some(AdaptiveState::new(recovery));
+        t
     }
 
     /// The loss configuration.
@@ -233,35 +475,65 @@ impl LossyTransport {
         self.config
     }
 
+    /// The adaptive-recovery state, when recovery is enabled.
+    pub fn adaptive(&self) -> Option<&AdaptiveState> {
+        self.adaptive.as_ref()
+    }
+
     /// Attempts one hop with ARQ. Returns `(delivered, transmissions,
-    /// retransmissions)`; self-hops are free and always succeed.
+    /// retransmissions, backoff)`; self-hops are free and always succeed.
+    ///
+    /// The RNG draw and ledger charge order here is the determinism-
+    /// critical invariant: with recovery disabled it reproduces the
+    /// original implementation bit for bit. Recovery adds backoff delays
+    /// and estimator updates around the draws, never extra draws.
     fn deliver_hop(
         &mut self,
         topology: &Topology,
         from: NodeId,
         to: NodeId,
         layer: TrafficLayer,
-    ) -> (bool, u64, u64) {
+    ) -> (bool, u64, u64, f64) {
         if from == to {
-            return (true, 0, 0);
+            return (true, 0, 0, 0.0);
         }
         let p = self.config.quality.prr(topology.distance(from, to)).clamp(0.0, 1.0);
         self.stats.hop_attempts += 1;
         let mut transmissions = 0u64;
+        let mut backoff = 0.0f64;
         for attempt in 0..=self.config.retry_budget {
+            if let Some(ad) = &self.adaptive {
+                backoff += ad.backoff_delay((from, to), attempt);
+            }
             let charge_layer = if attempt == 0 { layer } else { TrafficLayer::Retransmit };
             self.inner.ledger_mut().charge_hop(from, to, charge_layer);
             transmissions += 1;
-            if self.rng.gen_bool(p) {
+            let received = self.rng.gen_bool(p);
+            if let Some(ad) = &mut self.adaptive {
+                ad.observe((from, to), received);
+            }
+            if received {
+                if let Some(ad) = &mut self.adaptive {
+                    ad.hop_delivered((from, to));
+                }
                 self.stats.transmissions += transmissions;
                 self.stats.retransmissions += transmissions - 1;
-                return (true, transmissions, transmissions - 1);
+                self.stats.record_hop_attempts(transmissions);
+                return (true, transmissions, transmissions - 1, backoff);
             }
         }
         self.stats.hops_failed += 1;
         self.stats.transmissions += transmissions;
         self.stats.retransmissions += transmissions - 1;
-        (false, transmissions, transmissions - 1)
+        self.stats.record_hop_attempts(transmissions);
+        // A failed delivery just proved this receiver unreachable: drop any
+        // memoized routes through it now rather than waiting for the next
+        // generation bump. Eviction never changes charges, only recompute.
+        self.inner.evict_routes_through(to);
+        if let Some(ad) = &mut self.adaptive {
+            ad.hop_exhausted((from, to));
+        }
+        (false, transmissions, transmissions - 1, backoff)
     }
 
     /// Charges one path-level delivery attempt hop by hop (the RNG draw
@@ -279,9 +551,9 @@ impl LossyTransport {
         let mut retransmissions = 0u64;
         let mut hops = Vec::new();
         for w in path.windows(2) {
-            let (ok, t, r) = self.deliver_hop(topology, w[0], w[1], layer);
+            let (ok, t, r, backoff) = self.deliver_hop(topology, w[0], w[1], layer);
             if t > 0 {
-                hops.push(crate::Hop { from: w[0], to: w[1], transmissions: t });
+                hops.push(crate::Hop { from: w[0], to: w[1], transmissions: t, backoff });
             }
             transmissions += t;
             retransmissions += r;
@@ -294,6 +566,7 @@ impl LossyTransport {
                     reached: w[0],
                     failed_hop: Some((w[0], w[1])),
                     latency: 0.0,
+                    detour: false,
                 };
                 return (outcome, hops);
             }
@@ -305,8 +578,24 @@ impl LossyTransport {
             reached: *path.last().expect("path contains at least the source"),
             failed_hop: None,
             latency: 0.0,
+            detour: false,
         };
         (outcome, hops)
+    }
+
+    /// Merges the failure detector's suspects into an exclusion set,
+    /// keeping the endpoints routable.
+    fn merged_exclusions(&self, from: NodeId, to: NodeId, excluded: &[NodeId]) -> Vec<NodeId> {
+        let mut merged: Vec<NodeId> =
+            excluded.iter().copied().filter(|&n| n != from && n != to).collect();
+        if let Some(ad) = &self.adaptive {
+            for s in ad.suspects() {
+                if s != from && s != to && !merged.contains(&s) {
+                    merged.push(s);
+                }
+            }
+        }
+        merged
     }
 }
 
@@ -329,7 +618,31 @@ impl Transport for LossyTransport {
         self.inner.route_to_location(topology, from, target)
     }
 
+    fn route_to_node_avoiding(
+        &mut self,
+        topology: &Topology,
+        from: NodeId,
+        to: NodeId,
+        excluded: &[NodeId],
+    ) -> Result<Arc<Route>, RouteError> {
+        let merged = self.merged_exclusions(from, to, excluded);
+        if merged.is_empty() {
+            return self.inner.route_to_node(topology, from, to);
+        }
+        let route = self.inner.route_to_node_avoiding(topology, from, to, &merged)?;
+        self.stats.detour_routes += 1;
+        Ok(route)
+    }
+
+    fn evict_routes_through(&mut self, node: NodeId) -> u64 {
+        self.inner.evict_routes_through(node)
+    }
+
     fn rebuild(&mut self, topology: &Topology) {
+        // Old link estimates and suspicions describe the old topology.
+        if let Some(ad) = &mut self.adaptive {
+            ad.reset();
+        }
         self.inner.rebuild(topology);
     }
 

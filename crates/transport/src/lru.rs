@@ -135,6 +135,37 @@ impl<K: Eq + Hash + Clone, V> Shard<K, V> {
     }
 }
 
+impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
+    /// Keeps only entries satisfying `keep`, preserving recency order.
+    /// Returns the number of entries removed.
+    fn retain(&mut self, keep: &mut dyn FnMut(&K, &V) -> bool) -> usize {
+        // Walk the intrusive list most-recent-first, collect survivors,
+        // then rebuild: re-inserting in reverse restores the original
+        // recency order (the survivor seen first ends up at the head).
+        let mut survivors: Vec<(K, V)> = Vec::with_capacity(self.map.len());
+        let mut removed = 0usize;
+        let mut cursor = self.head;
+        while cursor != NIL {
+            let e = &self.slab[cursor as usize];
+            if keep(&e.key, &e.value) {
+                survivors.push((e.key.clone(), e.value.clone()));
+            } else {
+                removed += 1;
+            }
+            cursor = e.next;
+        }
+        if removed > 0 {
+            self.clear();
+            for (k, v) in survivors.into_iter().rev() {
+                // Never evicts: survivor count ≤ previous len ≤ capacity.
+                let evicted = self.insert(k, v);
+                debug_assert!(!evicted);
+            }
+        }
+        removed
+    }
+}
+
 /// A fixed-capacity least-recently-used map, split across shards.
 #[derive(Debug, Clone)]
 pub struct ShardedLru<K, V> {
@@ -215,6 +246,17 @@ impl<K: Eq + Hash + Clone, V> ShardedLru<K, V> {
     }
 }
 
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    /// Keeps only the entries satisfying `keep`, preserving each shard's
+    /// recency order exactly. Returns the number of entries removed.
+    ///
+    /// Removals here are *invalidations*, not capacity pressure — they do
+    /// not count toward [`ShardedLru::evictions`].
+    pub fn retain<F: FnMut(&K, &V) -> bool>(&mut self, mut keep: F) -> usize {
+        self.shards.iter_mut().map(|s| s.retain(&mut keep)).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +332,53 @@ mod tests {
     #[should_panic(expected = "capacity for at least one entry")]
     fn zero_capacity_is_rejected() {
         let _ = ShardedLru::<u64, u64>::new(0);
+    }
+
+    #[test]
+    fn retain_preserves_recency_order_of_survivors() {
+        let mut lru = single_shard(4);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(3, 30);
+        lru.insert(4, 40);
+        assert_eq!(lru.get(&1), Some(&10)); // recency: 1, 4, 3, 2
+        let removed = lru.retain(|k, _| *k != 3);
+        assert_eq!(removed, 1);
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.get(&3), None);
+        // 2 must still be the LRU entry: inserting two new keys into the
+        // now 3-occupied capacity-4 shard evicts 2 first.
+        lru.insert(5, 50);
+        lru.insert(6, 60);
+        assert_eq!(lru.get(&2), None, "2 stayed least-recently-used across retain");
+        assert_eq!(lru.get(&1), Some(&10));
+        assert_eq!(lru.get(&4), Some(&40));
+    }
+
+    #[test]
+    fn retain_counts_removals_not_evictions() {
+        let mut lru: ShardedLru<u64, u64> = ShardedLru::new(64);
+        for k in 0..50u64 {
+            lru.insert(k, k);
+        }
+        let removed = lru.retain(|k, _| k % 2 == 0);
+        assert_eq!(removed, 25);
+        assert_eq!(lru.len(), 25);
+        assert_eq!(lru.evictions(), 0, "invalidation is not eviction");
+        for k in 0..50u64 {
+            assert_eq!(lru.get(&k).is_some(), k % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn retain_keeping_everything_is_a_no_op() {
+        let mut lru: ShardedLru<u64, u64> = ShardedLru::new(64);
+        for k in 0..32u64 {
+            lru.insert(k, k);
+        }
+        let before = lru.len();
+        assert_eq!(lru.retain(|_, _| true), 0);
+        assert_eq!(lru.len(), before);
     }
 
     #[test]

@@ -124,11 +124,12 @@ pub struct NodeLoad {
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
     nodes: Vec<NodeLoad>,
+    delivery: crate::DeliveryStats,
 }
 
 impl LoadReport {
     /// Builds a report with message loads filled in from `ledger`
-    /// (storage loads zero, role sets empty).
+    /// (storage loads zero, role sets empty, delivery stats zero).
     pub fn from_ledger(ledger: &TrafficLedger) -> Self {
         let nodes = (0..ledger.nodes())
             .map(|i| {
@@ -143,7 +144,20 @@ impl LoadReport {
                 }
             })
             .collect();
-        LoadReport { nodes }
+        LoadReport { nodes, delivery: crate::DeliveryStats::default() }
+    }
+
+    /// Attaches the transport's cumulative link-layer delivery statistics
+    /// (attempt histogram, detour count, failure counts) so chaos runs are
+    /// debuggable from the report alone.
+    pub fn set_delivery_stats(&mut self, stats: crate::DeliveryStats) {
+        self.delivery = stats;
+    }
+
+    /// The attached link-layer delivery statistics (all zeros for
+    /// loss-free substrates or when never attached).
+    pub fn delivery_stats(&self) -> crate::DeliveryStats {
+        self.delivery
     }
 
     /// Sets the storage load of `node`.

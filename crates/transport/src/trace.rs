@@ -97,6 +97,9 @@ pub struct Span {
     pub start: f64,
     /// Virtual time the leg finished (`start + latency`), in seconds.
     pub end: f64,
+    /// Whether the leg travelled a detour route (recomputed around failed
+    /// or suspect nodes) instead of its original path.
+    pub detour: bool,
     /// How the leg ended.
     pub outcome: SpanOutcome,
 }
@@ -189,6 +192,7 @@ impl Tracer {
             retransmissions: outcome.retransmissions,
             start: end - outcome.latency,
             end,
+            detour: outcome.detour,
             outcome: if outcome.delivered {
                 SpanOutcome::Delivered
             } else {
@@ -221,6 +225,7 @@ impl Tracer {
             retransmissions: outcome.retransmissions,
             start: end - outcome.latency,
             end,
+            detour: false,
             outcome: if outcome.delivered_copies == copies {
                 SpanOutcome::Delivered
             } else {
@@ -281,6 +286,7 @@ mod tests {
             retransmissions: 0,
             start: 0.0,
             end: 0.0,
+            detour: false,
             outcome: SpanOutcome::Delivered,
         }
     }
@@ -329,6 +335,7 @@ mod tests {
             reached: NodeId(1),
             failed_hop: Some((NodeId(1), NodeId(2))),
             latency: 0.02,
+            detour: false,
         };
         tracer.record_delivery(TraceOp::Insert, &path, TrafficLayer::Insert, &stalled, 0.02);
         let s = tracer.spans().next().unwrap();

@@ -43,7 +43,7 @@ bench_smoke() {
     local bins=(fig6 fig7 insertion_cost dimensionality_sweep selectivity_sweep
         sweep_cell_size sweep_pool_side batch_ablation hotspot monitor_cost
         forwarding_ablation lifetime failure_resilience load_balance lossy_radio
-        latency_profile churn_resilience sweep_scale)
+        latency_profile churn_resilience sweep_scale chaos_suite)
     rm -rf target/smoke
     for bin in "${bins[@]}"; do
         echo "    $bin --smoke --jobs 2"
@@ -70,6 +70,9 @@ EOF
     # The scale sweep's smoke artifact is tracked against a checked-in
     # baseline: deterministic columns exactly, timing columns loosely.
     ./scripts/bench_compare.sh target/smoke/BENCH_scale.json results/BENCH_scale_smoke.json
+    # The chaos suite's smoke artifact likewise: completeness, detour and
+    # retransmission cells are deterministic and must match the baseline.
+    ./scripts/bench_compare.sh target/smoke/BENCH_chaos.json results/BENCH_chaos_smoke.json
     echo "    ${#bins[@]} binaries ran; $artifacts artifacts validated"
 }
 

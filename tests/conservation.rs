@@ -217,6 +217,34 @@ fn pool_conserves_messages_on_lossy() {
     audit_pool(PoolSystem::build(topo, field, config).unwrap(), "lossy");
 }
 
+/// A fault plan that keeps the campaign interesting for the whole audit:
+/// one mid-run crash, one healing partition-era burst channel.
+fn audit_fault_plan() -> pool_dcs::transport::FaultPlan {
+    use pool_dcs::transport::{Fault, FaultPlan, GilbertElliott};
+    FaultPlan::new().with(Fault::Crash { node: NodeId(123), at: 0.5 }).with(Fault::BurstLoss {
+        channel: GilbertElliott { p_gb: 0.1, p_bg: 0.3, good_prr: 1.0, bad_prr: 0.3 },
+        from: 0.25,
+        until: f64::INFINITY,
+    })
+}
+
+/// The same conservation identity under structured faults with the full
+/// recovery stack (EWMA backoff ARQ, failure detector, detour rerouting,
+/// operation-level retry): every attempt — retries, detours, exhausted
+/// budgets — lands in the ledger the cost structs report.
+#[test]
+fn pool_conserves_messages_under_faults_and_recovery() {
+    use pool_dcs::transport::{OpRetryPolicy, RecoveryConfig};
+    let (topo, field) = connected(54);
+    let config = full_config(54)
+        .with_transport(TransportKind::Cached)
+        .with_lossy(LossyConfig::fixed(0.9, 5454))
+        .with_faults(audit_fault_plan())
+        .with_recovery(RecoveryConfig::default())
+        .with_op_retry(OpRetryPolicy::detouring(2));
+    audit_pool(PoolSystem::build(topo, field, config).unwrap(), "faulty+recovery");
+}
+
 /// DIM's insert and query obey the same identity, loss-free and lossy.
 fn audit_dim(mut dim: DimSystem, label: &str) {
     let mut rng = StdRng::seed_from_u64(1717);
@@ -587,6 +615,23 @@ fn pool_conserves_time_on_cached() {
     let (topo, field) = connected(55);
     let config = full_config(55).with_transport(TransportKind::Cached);
     audit_pool_time(PoolSystem::build(topo, field, config).unwrap(), "cached");
+}
+
+/// Backoff is priced on the virtual clock, so the time identity must hold
+/// under faults and recovery too: an operation's `elapsed` equals the
+/// clock's advance — including every exponential-backoff delay — and the
+/// span tree stays inside the bracket.
+#[test]
+fn pool_conserves_time_under_faults_and_recovery() {
+    use pool_dcs::transport::{OpRetryPolicy, RecoveryConfig};
+    let (topo, field) = connected(57);
+    let config = full_config(57)
+        .with_transport(TransportKind::Cached)
+        .with_lossy(LossyConfig::fixed(0.9, 5757))
+        .with_faults(audit_fault_plan())
+        .with_recovery(RecoveryConfig::default())
+        .with_op_retry(OpRetryPolicy::detouring(2));
+    audit_pool_time(PoolSystem::build(topo, field, config).unwrap(), "faulty+recovery");
 }
 
 #[test]

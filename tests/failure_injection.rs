@@ -200,3 +200,103 @@ fn nearest_neighbor_still_exact_after_failures() {
         assert!((got.unwrap().1 - want).abs() < 1e-12);
     }
 }
+
+/// Folded in from the PR 7 scratch review: with a repair budget of zero,
+/// Backup tasks queued by a churn epoch must neither duplicate nor drain
+/// across idle repair-only epochs — the queue length is exactly constant.
+#[test]
+fn zero_budget_repair_queue_stays_constant_across_idle_epochs() {
+    use pool_dcs::core::config::SharingPolicy;
+    use pool_dcs::core::dynamics::{ChurnConfig, ChurnPlanner, EpochPlan, RepairQueue};
+    use pool_dcs::workloads::events::{EventDistribution, EventGenerator};
+
+    let (topo, field) = connected(300, 107);
+    let config =
+        PoolConfig::paper().with_seed(107).with_sharing(SharingPolicy::new(8)).with_replication();
+    let mut pool = PoolSystem::build(topo, field, config).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let mut generator = EventGenerator::new(3, EventDistribution::Uniform);
+    for _ in 0..90 {
+        let src = NodeId(rng.gen_range(0..300));
+        pool.insert_from(src, generator.generate(&mut rng)).unwrap();
+    }
+    // One churn epoch with budget 0 so Backup tasks queue instead of running.
+    let mut planner = ChurnPlanner::new(ChurnConfig::new(0).with_rates(2, 3, 2));
+    let mut queue = RepairQueue::default();
+    let plan = planner.plan(pool.topology(), pool.field());
+    pool.apply_epoch(&plan, &mut queue, 0).unwrap();
+    let queued = queue.len();
+    assert!(queued > 0, "churn with dead nodes must queue repair work");
+    // Repair-only epochs, still budget 0: the queue must stay constant.
+    for _ in 0..4 {
+        pool.apply_epoch(&EpochPlan::empty(), &mut queue, 0).unwrap();
+        assert_eq!(queue.len(), queued, "idle zero-budget epoch changed the repair queue");
+    }
+}
+
+/// Regression for stale cached routes: once a failed delivery proves a node
+/// dead and the passive detector suspects it, detoured deliveries put zero
+/// further traffic on that node — the memoized routes crossing it were
+/// evicted on `failed_hop`, not at the next generation bump.
+#[test]
+fn suspected_dead_node_takes_no_further_traffic() {
+    use pool_dcs::transport::{
+        Fault, FaultPlan, FaultyTransport, LossyConfig, RecoveryConfig, TrafficLayer, Transport,
+        TransportKind,
+    };
+
+    let (topo, _) = connected(300, 21);
+    let mut inner = TransportKind::Cached.build(&topo, Planarization::Gabriel);
+
+    // Find an endpoint pair whose route has an interior relay.
+    let mut rng = StdRng::seed_from_u64(42);
+    let (from, to, relay) = loop {
+        let a = NodeId(rng.gen_range(0..300));
+        let b = NodeId(rng.gen_range(0..300));
+        if a == b {
+            continue;
+        }
+        if let Ok(route) = inner.route_to_node(&topo, a, b) {
+            if route.path.len() >= 4 {
+                break (a, b, route.path[route.path.len() / 2]);
+            }
+        }
+    };
+
+    let recovery = RecoveryConfig::default();
+    let mut transport = FaultyTransport::wrap_adaptive(
+        inner,
+        LossyConfig::fixed(1.0, 9),
+        FaultPlan::new().with(Fault::Crash { node: relay, at: 0.0 }),
+        recovery,
+    );
+
+    // Enough failed deliveries for the detector's k consecutive exhausted
+    // budgets on the hop into the dead relay.
+    for _ in 0..recovery.suspect_after {
+        let route = transport.route_to_node(&topo, from, to).unwrap();
+        let outcome = transport.deliver(&topo, &route.path, TrafficLayer::Forward);
+        assert!(!outcome.delivered, "delivery through a crashed relay must fail");
+        assert_eq!(outcome.failed_hop.map(|(_, t)| t), Some(relay));
+    }
+    assert!(
+        transport.adaptive().unwrap().is_suspect(relay),
+        "the detector must suspect the crashed relay"
+    );
+
+    // From here on the dead node's ledger line is frozen: detoured
+    // deliveries route around it and charge it nothing.
+    let dead_load = transport.ledger().node_load(relay);
+    for _ in 0..5 {
+        let route = transport.route_to_node_avoiding(&topo, from, to, &[]).unwrap();
+        assert!(!route.path.contains(&relay), "detour route still crosses the suspect");
+        let outcome = transport.deliver(&topo, &route.path, TrafficLayer::Forward);
+        assert!(outcome.delivered, "detoured delivery must succeed on a perfect link");
+    }
+    assert_eq!(
+        transport.ledger().node_load(relay),
+        dead_load,
+        "post-failure traffic charged through the dead node"
+    );
+    assert!(transport.delivery_stats().detour_routes >= 1);
+}

@@ -1,0 +1,141 @@
+//! Property-based tests (proptest) of the fault-injection and adaptive
+//! recovery machinery: backoff pricing, the Gilbert–Elliott burst channel,
+//! and determinism of fault campaigns in their seeds.
+
+use pool_dcs::netsim::{Deployment, NodeId, Topology};
+use pool_dcs::transport::{
+    BackoffPolicy, Fault, FaultPlan, FaultyTransport, GilbertElliott, LossyConfig, RecoveryConfig,
+    TrafficLayer, Transport, TransportKind,
+};
+use pool_gpsr::Planarization;
+use proptest::prelude::*;
+
+/// A tiny connected topology: enough for single- and multi-hop deliveries
+/// without dominating the proptest budget.
+fn small_topology(seed: u64) -> Topology {
+    let mut seed = seed;
+    loop {
+        let dep = Deployment::paper_setting(60, 40.0, 20.0, seed).unwrap();
+        let topo = Topology::build(dep.nodes(), 40.0).unwrap();
+        if topo.is_connected() {
+            return topo;
+        }
+        seed += 4096;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Backoff delays are monotone nondecreasing in the attempt index and
+    /// never exceed the cap, for arbitrary policies.
+    #[test]
+    fn backoff_monotone_and_capped(
+        base in 1e-6f64..1.0,
+        factor in 1.0f64..8.0,
+        cap_mult in 1.0f64..64.0,
+        budget in 0u32..24,
+    ) {
+        let cap = base * cap_mult;
+        let policy = BackoffPolicy::new(base, factor, cap);
+        let mut prev = 0.0f64;
+        for k in 0..=budget {
+            let d = policy.delay(k);
+            prop_assert!(d >= prev, "delay({k}) = {d} < delay({}) = {prev}", k.wrapping_sub(1));
+            prop_assert!(d <= cap + 1e-12, "delay({k}) = {d} exceeds cap {cap}");
+            prev = d;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The Gilbert–Elliott channel's long-run delivery rate converges to
+    /// its stationary mixture: P(good)·good_prr + P(bad)·bad_prr, within
+    /// ±2% over a long single-hop run.
+    #[test]
+    fn gilbert_elliott_converges_to_stationary_rate(
+        p_gb in 0.1f64..0.6,
+        p_bg in 0.1f64..0.6,
+        seed in 0u64..1_000,
+    ) {
+        let topo = small_topology(11);
+        // A link that only the burst channel can disturb: perfect base
+        // quality, no ARQ retries, active from t = 0 forever.
+        let channel = GilbertElliott { p_gb, p_bg, good_prr: 1.0, bad_prr: 0.0 };
+        let plan = FaultPlan::new().with(Fault::BurstLoss {
+            channel,
+            from: 0.0,
+            until: f64::INFINITY,
+        });
+        let inner = TransportKind::Gpsr.build(&topo, Planarization::Gabriel);
+        let config = LossyConfig::fixed(1.0, seed).with_retry_budget(0);
+        let mut transport = FaultyTransport::wrap(inner, config, plan);
+
+        // Any adjacent pair gives a single-hop path.
+        let from = NodeId(0);
+        let to = topo.neighbors(from)[0];
+        let path = [from, to];
+        let trials = 100_000u64;
+        let mut delivered = 0u64;
+        for _ in 0..trials {
+            if transport.deliver(&topo, &path, TrafficLayer::Forward).delivered {
+                delivered += 1;
+            }
+        }
+        let stationary_bad = p_gb / (p_gb + p_bg);
+        let expected = (1.0 - stationary_bad) * channel.good_prr + stationary_bad * channel.bad_prr;
+        let got = delivered as f64 / trials as f64;
+        prop_assert!(
+            (got - expected).abs() < 0.02,
+            "long-run delivery rate {got:.4} vs stationary {expected:.4} (p_gb={p_gb:.3}, p_bg={p_bg:.3})"
+        );
+    }
+
+    /// Fault campaigns are deterministic in their seeds: the same plan and
+    /// seed replay to identical outcomes and ledgers (the property that
+    /// makes `BENCH_chaos.json` byte-identical at any `--jobs` count),
+    /// while a different loss seed produces a different trace.
+    #[test]
+    fn fault_plan_campaigns_are_seed_deterministic(seed in 0u64..10_000) {
+        let topo = small_topology(13);
+        let victim = topo.neighbors(NodeId(3))[0];
+        let plan = FaultPlan::new()
+            .with(Fault::Crash { node: victim, at: 0.4 })
+            .with(Fault::BurstLoss {
+                channel: GilbertElliott { p_gb: 0.2, p_bg: 0.3, good_prr: 0.95, bad_prr: 0.2 },
+                from: 0.1,
+                until: f64::INFINITY,
+            });
+
+        let run = |loss_seed: u64| {
+            let inner = TransportKind::Cached.build(&topo, Planarization::Gabriel);
+            let mut transport = FaultyTransport::wrap_adaptive(
+                inner,
+                LossyConfig::fixed(0.9, loss_seed),
+                plan.clone(),
+                RecoveryConfig::default(),
+            );
+            let mut outcomes = Vec::new();
+            for i in 0..40u32 {
+                let from = NodeId(i % topo.len() as u32);
+                let to = NodeId((i * 7 + 3) % topo.len() as u32);
+                if from == to {
+                    continue;
+                }
+                if let Ok(route) = transport.route_to_node(&topo, from, to) {
+                    let o = transport.deliver(&topo, &route.path, TrafficLayer::Forward);
+                    outcomes.push((o.delivered, o.transmissions, o.reached, o.failed_hop));
+                }
+            }
+            (outcomes, transport.ledger().total_messages(), transport.delivery_stats())
+        };
+
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(&a, &b, "same seed must replay identically");
+        let c = run(seed ^ 0x5EED_0001);
+        prop_assert!(a.0 != c.0, "a different loss seed must perturb the trace");
+    }
+}
