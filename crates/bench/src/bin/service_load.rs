@@ -1,0 +1,18 @@
+//! Sustained-load benchmark for the sharded service front end: req/s and
+//! p50/p99 virtual-time latency for Pool vs DIM vs GHT under burst,
+//! sustained, and chaos profiles, with a coalescing-disabled ablation.
+//!
+//! The experiment logic lives in [`pool_bench::figures::service`] so the
+//! determinism regression test can run it in-process across `--jobs`
+//! values.
+//!
+//! Run: `cargo run -p pool-bench --bin service_load --release
+//!       [-- --requests N --nodes N --events N --jobs N --smoke]`
+
+use pool_bench::figures::service::{collect, Params};
+
+fn main() {
+    let params = Params::from_env();
+    let table = collect(&params);
+    params.opts.emit("service", &table);
+}

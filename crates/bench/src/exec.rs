@@ -31,76 +31,13 @@
 use crate::harness::{self, Measurement};
 use pool_transport::TransportKind;
 use pool_workloads::scenario::WorkloadSpec;
-use std::collections::VecDeque;
-use std::sync::Mutex;
 
-/// Derives the RNG seed for stream `stream` of a trial family with base
-/// seed `base` (splitmix64; the golden-ratio multiplier decorrelates
-/// consecutive stream indices).
-///
-/// This is the documented seed-derivation scheme (DESIGN.md §11): every
-/// figure binary that sweeps a parameter derives point `i`'s seed as
-/// `derive_seed(base, i)`, so each point owns a self-contained RNG stream
-/// and trials can run in any order, on any worker, with identical results.
-///
-/// # Examples
-///
-/// ```
-/// use pool_bench::exec::derive_seed;
-///
-/// // Deterministic, and distinct streams differ.
-/// assert_eq!(derive_seed(42, 3), derive_seed(42, 3));
-/// assert_ne!(derive_seed(42, 3), derive_seed(42, 4));
-/// ```
-pub fn derive_seed(base: u64, stream: u64) -> u64 {
-    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Runs every input through `run` on a scoped pool of at most `jobs`
-/// worker threads, returning results in submission order.
-///
-/// With `jobs == 1` no threads are spawned and the inputs run serially on
-/// the caller's stack — the reference execution every parallel run must
-/// reproduce byte for byte.
-///
-/// # Panics
-///
-/// Panics if `jobs == 0`, and propagates the first panic raised inside any
-/// trial (a failed in-trial assertion aborts the whole run, exactly as it
-/// would serially).
-pub fn run_trials<I, T, F>(jobs: usize, inputs: Vec<I>, run: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    F: Fn(usize, I) -> T + Sync,
-{
-    assert!(jobs >= 1, "jobs must be at least 1");
-    if jobs == 1 || inputs.len() <= 1 {
-        return inputs.into_iter().enumerate().map(|(i, input)| run(i, input)).collect();
-    }
-    let n = inputs.len();
-    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(inputs.into_iter().enumerate().collect());
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                // Take the next unclaimed trial; drop the queue lock before
-                // running it so workers never serialize on each other.
-                let next = queue.lock().expect("trial queue poisoned").pop_front();
-                let Some((index, input)) = next else { break };
-                let result = run(index, input);
-                *slots[index].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("result slot poisoned").expect("every trial ran"))
-        .collect()
-}
+// The scoped worker pool and seed derivation now live in the substrate
+// crate (`pool_netsim::exec`) so non-bench consumers — notably the
+// service layer's per-shard executor — schedule on the same engine.
+// Re-exported here because every figure binary imports them from
+// `pool_bench::exec`.
+pub use pool_netsim::exec::{derive_seed, run_trials};
 
 /// One schedulable unit of the §5 evaluation grid: a complete workload
 /// specification plus the routing substrate to execute it on.
@@ -145,47 +82,6 @@ pub fn run_suite(jobs: usize, trials: Vec<Trial>) -> Vec<Measurement> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn results_come_back_in_submission_order() {
-        // Uneven per-trial work so completion order scrambles under
-        // contention; submission order must survive regardless.
-        let inputs: Vec<usize> = (0..32).collect();
-        let work = |_, i: usize| {
-            let spin = (31 - i) * 1000;
-            let mut acc = i as u64;
-            for x in 0..spin as u64 {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(x);
-            }
-            (i, acc % 2 + 2)
-        };
-        let serial = run_trials(1, inputs.clone(), work);
-        for jobs in [2, 4, 8] {
-            assert_eq!(run_trials(jobs, inputs.clone(), work), serial, "jobs={jobs}");
-        }
-    }
-
-    #[test]
-    fn worker_count_exceeding_trials_is_fine() {
-        let out = run_trials(16, vec![1, 2, 3], |_, x: i32| x * 2);
-        assert_eq!(out, vec![2, 4, 6]);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least 1")]
-    fn zero_jobs_rejected() {
-        let _ = run_trials(0, vec![()], |_, ()| ());
-    }
-
-    #[test]
-    fn derived_seeds_are_pinned() {
-        // The scheme is part of the determinism contract (DESIGN.md §11):
-        // changing it silently re-seeds every sweep, so pin exact values.
-        assert_eq!(derive_seed(0, 0), 0);
-        assert_eq!(derive_seed(42, 0), 0xa759_ea27_d472_7622);
-        assert_eq!(derive_seed(42, 1), 0xbdd7_3226_2feb_6e95);
-        assert_eq!(derive_seed(42, 2), 0xd963_9a00_6c85_adb0);
-    }
 
     #[test]
     fn trial_matches_serial_run_spec() {

@@ -14,3 +14,4 @@ pub mod fig6;
 pub mod latency;
 pub mod load_balance;
 pub mod scale;
+pub mod service;

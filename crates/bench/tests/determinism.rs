@@ -10,7 +10,7 @@
 //! order-sensitive aggregation all show up here as a diff.
 
 use pool_bench::exec::run_trials;
-use pool_bench::figures::{churn, fig6, latency, load_balance};
+use pool_bench::figures::{churn, fig6, latency, load_balance, service};
 use pool_bench::harness::{QueryKind, Scenario, SystemPair};
 use pool_core::config::PoolConfig;
 use pool_workloads::events::EventDistribution;
@@ -27,6 +27,19 @@ fn systems_are_send() {
     assert_send::<pool_dim::DimSystem>();
     assert_send::<pool_bench::harness::SystemPair>();
     assert_send::<pool_bench::Trial>();
+}
+
+/// Compile-time proof that service handles are shareable across client
+/// threads (`&ServiceHandle` from N threads at once). The router is
+/// immutable and every shard sits behind a `Mutex`, so `Sync` must hold
+/// for all three backends; an interior-mutability slip (`Cell`, `Rc`, a
+/// non-`Sync` cache) stops compiling here.
+#[allow(dead_code)]
+fn service_handles_are_sync() {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<pool_service::ServiceHandle<pool_service::PoolBackend>>();
+    assert_sync::<pool_service::ServiceHandle<pool_service::DimBackend>>();
+    assert_sync::<pool_service::ServiceHandle<pool_service::GhtBackend>>();
 }
 
 #[test]
@@ -75,6 +88,21 @@ fn churn_json_is_jobs_invariant() {
         serial.to_json(),
         parallel.to_json(),
         "churn artifact differs between --jobs 1 and --jobs 8"
+    );
+}
+
+/// The service artifact layers admission windows, coalesced units,
+/// per-shard queues, and the parallel shard executor on top of the
+/// ordinary trial machinery; serve() must stay byte-identical whatever
+/// the worker count, both across trials and *within* each serve call.
+#[test]
+fn service_json_is_jobs_invariant() {
+    let serial = service::collect(&service::Params::smoke(1));
+    let parallel = service::collect(&service::Params::smoke(8));
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "service artifact differs between --jobs 1 and --jobs 8"
     );
 }
 

@@ -209,6 +209,39 @@ impl PoolSystem {
         sink: NodeId,
         query: &RangeQuery,
     ) -> Result<QueryResult, PoolError> {
+        self.query_restricted(sink, query, None)
+    }
+
+    /// Processes a query restricted to the given pool dimensions.
+    ///
+    /// Pools are independent branches of the §3.2.3 forwarding tree — the
+    /// sink launches one packet per relevant pool and no state crosses
+    /// branches — so a full query decomposes exactly into per-pool
+    /// restricted queries: message counts, per-leg latencies, and ledger
+    /// charges all add up, and the full query's `elapsed` is the max over
+    /// the restricted ones. This is the decomposition the sharded service
+    /// layer runs on: each shard owns a pool subset and answers only its
+    /// slice. The returned [`QueryResult::completeness`] counts only cells
+    /// of the restricted pools.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PoolSystem::query_from`].
+    pub fn query_pools_from(
+        &mut self,
+        sink: NodeId,
+        query: &RangeQuery,
+        pools: &[usize],
+    ) -> Result<QueryResult, PoolError> {
+        self.query_restricted(sink, query, Some(pools))
+    }
+
+    fn query_restricted(
+        &mut self,
+        sink: NodeId,
+        query: &RangeQuery,
+        pools: Option<&[usize]>,
+    ) -> Result<QueryResult, PoolError> {
         if query.dims() != self.config.dims {
             return Err(PoolError::DimensionMismatch {
                 expected: self.config.dims,
@@ -216,7 +249,10 @@ impl PoolSystem {
             });
         }
         let ledger_before = LedgerSnapshot::of(self.transport.ledger());
-        let relevant = relevant_cells(&self.layout, query);
+        let mut relevant = relevant_cells(&self.layout, query);
+        if let Some(pools) = pools {
+            relevant.retain(|(dim, _)| pools.contains(dim));
+        }
         let by_pool = group_by_pool(&relevant);
 
         let mut cost = QueryCost::default();
@@ -511,13 +547,46 @@ impl PoolSystem {
         sink: NodeId,
         query: RangeQuery,
     ) -> Result<MonitorInstall, PoolError> {
+        self.install_monitor_restricted(sink, query, None)
+    }
+
+    /// Installs a continuous monitor restricted to the given pool
+    /// dimensions — the dissemination tree touches only the restricted
+    /// pools' cells, and only those cells watch. Like
+    /// [`PoolSystem::query_pools_from`], this is the exact per-pool
+    /// decomposition of [`PoolSystem::install_monitor`]: the sharded
+    /// service installs each monitor slice on the shard that owns the
+    /// pool, and the union of slices watches exactly the full monitor's
+    /// cell set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PoolSystem::query_from`].
+    pub fn install_monitor_pools(
+        &mut self,
+        sink: NodeId,
+        query: RangeQuery,
+        pools: &[usize],
+    ) -> Result<MonitorInstall, PoolError> {
+        self.install_monitor_restricted(sink, query, Some(pools))
+    }
+
+    fn install_monitor_restricted(
+        &mut self,
+        sink: NodeId,
+        query: RangeQuery,
+        pools: Option<&[usize]>,
+    ) -> Result<MonitorInstall, PoolError> {
         if query.dims() != self.config.dims {
             return Err(PoolError::DimensionMismatch {
                 expected: self.config.dims,
                 got: query.dims(),
             });
         }
-        let relevant = relevant_cells(&self.layout, &query);
+        let mut relevant = relevant_cells(&self.layout, &query);
+        if let Some(pools) = pools {
+            relevant.retain(|(dim, _)| pools.contains(dim));
+        }
         let (cost, installed_at) = self.disseminate(sink, &relevant)?;
         // Only cells the installation actually reached will notify; on a
         // loss-free radio that is every relevant cell.

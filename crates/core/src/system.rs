@@ -90,7 +90,7 @@ pub struct InsertReceipt {
 /// ```
 #[derive(Debug)]
 pub struct PoolSystem {
-    pub(crate) topology: Topology,
+    pub(crate) topology: Arc<Topology>,
     pub(crate) field: Rect,
     pub(crate) transport: Box<dyn Transport>,
     pub(crate) grid: Grid,
@@ -124,6 +124,24 @@ impl PoolSystem {
     /// Configuration validation errors, [`PoolError::Routing`] for a
     /// disconnected network, and layout errors if the pools do not fit.
     pub fn build(topology: Topology, field: Rect, config: PoolConfig) -> Result<Self, PoolError> {
+        Self::build_shared(Arc::new(topology), field, config)
+    }
+
+    /// Builds a Pool deployment over an already-shared `topology`.
+    ///
+    /// The service layer builds many per-shard systems over one network
+    /// snapshot; sharing the [`Arc`] keeps them all reading the identical
+    /// immutable neighbor tables without cloning the arena per shard.
+    /// Behaviour is byte-identical to [`PoolSystem::build`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PoolSystem::build`].
+    pub fn build_shared(
+        topology: Arc<Topology>,
+        field: Rect,
+        config: PoolConfig,
+    ) -> Result<Self, PoolError> {
         config.validate()?;
         topology.require_connected().map_err(|e| PoolError::Routing(e.to_string()))?;
         let grid = Grid::over(field, config.alpha)?;
@@ -339,7 +357,7 @@ impl PoolSystem {
 
     pub(crate) fn replace_network(&mut self, topology: Topology) {
         self.transport.rebuild(&topology);
-        self.topology = topology;
+        self.topology = Arc::new(topology);
     }
 
     pub(crate) fn replace_index_nodes(&mut self, index_nodes: HashMap<CellCoord, NodeId>) {

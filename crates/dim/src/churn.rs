@@ -76,7 +76,7 @@ impl DimSystem {
 
         // Mutate the radio network on a scratch topology first: one clone
         // per epoch, in-place overlay patches per event, one compaction.
-        let mut topo = self.topology.clone();
+        let mut topo = self.topology.as_ref().clone();
         for &p in &plan.joins {
             topo.add_node(p);
         }
@@ -106,7 +106,7 @@ impl DimSystem {
             report.nodes_unreachable = topo.alive_count() - topo.largest_component_members().len();
         }
         self.transport.rebuild(&topo);
-        self.topology = topo;
+        self.topology = std::sync::Arc::new(topo);
 
         // Re-elect the owners of dead and displaced zones.
         let changed = self.tree.re_elect_owners(&self.topology, &displaced);

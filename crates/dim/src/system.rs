@@ -49,6 +49,12 @@ pub struct DimQueryResult {
     /// [`pool_core::system::Completeness`]. Equals `zones_visited` on a
     /// loss-free radio.
     pub zones_reached: usize,
+    /// Zone indices (into [`DimSystem::tree`]'s zone order) among the
+    /// visited zones that did NOT fully answer — cut off the forward
+    /// chain, or stranded by a dead reply leg. The sharded service layer
+    /// uses this identity to recompose per-request completeness when
+    /// queries are coalesced.
+    pub unreached_zones: Vec<usize>,
 }
 
 /// Outcome of a DIM failure-injection step.
@@ -109,7 +115,7 @@ pub struct DimInsertReceipt {
 /// ```
 #[derive(Debug)]
 pub struct DimSystem {
-    pub(crate) topology: Topology,
+    pub(crate) topology: Arc<Topology>,
     pub(crate) transport: Box<dyn Transport>,
     pub(crate) tree: ZoneTree,
     dims: usize,
@@ -180,6 +186,29 @@ impl DimSystem {
     #[allow(clippy::too_many_arguments)]
     pub fn build_with_resilience(
         topology: Topology,
+        field: Rect,
+        dims: usize,
+        kind: TransportKind,
+        lossy: Option<LossyConfig>,
+        faults: Option<FaultPlan>,
+        recovery: Option<RecoveryConfig>,
+        op_retry: Option<OpRetryPolicy>,
+    ) -> Result<Self, PoolError> {
+        Self::build_shared(Arc::new(topology), field, dims, kind, lossy, faults, recovery, op_retry)
+    }
+
+    /// Builds a DIM deployment over an already-shared `topology` with the
+    /// full resilience stack. The service layer builds many per-shard
+    /// systems over one network snapshot; sharing the [`Arc`] keeps them
+    /// all reading the identical immutable neighbor tables. Behaviour is
+    /// byte-identical to [`DimSystem::build_with_resilience`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DimSystem::build`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_shared(
+        topology: Arc<Topology>,
         field: Rect,
         dims: usize,
         kind: TransportKind,
@@ -483,17 +512,52 @@ impl DimSystem {
         sink: NodeId,
         query: &RangeQuery,
     ) -> Result<DimQueryResult, PoolError> {
+        self.query_restricted(sink, query, None)
+    }
+
+    /// Processes a range query restricted to the given zone indices
+    /// (indices into [`DimSystem::tree`]'s zone order).
+    ///
+    /// The sharded service layer partitions the zone tree across shards
+    /// and has each shard answer only its owned slice. Unlike Pool's
+    /// per-pool decomposition, DIM's full-query owner chain is serial —
+    /// so the union of restricted sub-queries walks shorter chains (each
+    /// paying its own sink → first-owner leg) rather than reproducing the
+    /// single chain's cost. The result is still exact: every restricted
+    /// zone that answers returns precisely its matching events.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DimSystem::query_from`].
+    pub fn query_zones_from(
+        &mut self,
+        sink: NodeId,
+        query: &RangeQuery,
+        zones: &[usize],
+    ) -> Result<DimQueryResult, PoolError> {
+        self.query_restricted(sink, query, Some(zones))
+    }
+
+    fn query_restricted(
+        &mut self,
+        sink: NodeId,
+        query: &RangeQuery,
+        zones: Option<&[usize]>,
+    ) -> Result<DimQueryResult, PoolError> {
         if query.dims() != self.dims {
             return Err(PoolError::DimensionMismatch { expected: self.dims, got: query.dims() });
         }
         let ledger_before = LedgerSnapshot::of(self.transport.ledger());
         let rewritten = query.rewritten();
-        let relevant: Vec<(usize, NodeId)> = self
+        let mut relevant: Vec<(usize, NodeId)> = self
             .tree
             .zones_overlapping(&rewritten)
             .iter()
             .map(|z| (self.zone_index_by_code[&z.code], z.owner))
             .collect();
+        if let Some(zones) = zones {
+            relevant.retain(|(zone_idx, _)| zones.contains(zone_idx));
+        }
         let zones_visited = relevant.len();
 
         // Visit owners in code (DFS) order, skipping consecutive duplicates
@@ -511,7 +575,13 @@ impl DimSystem {
         let mut cost = QueryCost::default();
         let mut events = Vec::new();
         if chain.is_empty() {
-            return Ok(DimQueryResult { events, cost, zones_visited, zones_reached: 0 });
+            return Ok(DimQueryResult {
+                events,
+                cost,
+                zones_visited,
+                zones_reached: 0,
+                unreached_zones: Vec::new(),
+            });
         }
 
         // DIM's chain is inherently serial in time too: each owner can only
@@ -546,9 +616,12 @@ impl DimSystem {
 
         // Collect matches from the owners the query reached.
         let mut any_match = false;
-        let mut per_zone: Vec<(usize, Vec<Event>)> = Vec::new(); // (chain pos, matches)
+        let mut unreached_zones: Vec<usize> = Vec::new();
+        // (zone idx, chain pos, matches) for zones the query reached.
+        let mut per_zone: Vec<(usize, usize, Vec<Event>)> = Vec::new();
         for ((zone_idx, _), &pos) in relevant.iter().zip(&zone_pos) {
             if pos >= reached_len {
+                unreached_zones.push(*zone_idx);
                 continue;
             }
             let matches: Vec<Event> = self
@@ -562,7 +635,7 @@ impl DimSystem {
             if !matches.is_empty() {
                 any_match = true;
             }
-            per_zone.push((pos, matches));
+            per_zone.push((*zone_idx, pos, matches));
         }
 
         // Aggregated replies retrace the chain back to the sink: each owner
@@ -588,12 +661,14 @@ impl DimSystem {
         }
         cost.elapsed = self.transport.clock().now() - op_start;
         let mut zones_reached = 0usize;
-        for (pos, matches) in per_zone {
+        for (zone_idx, pos, matches) in per_zone {
             if matches.is_empty() {
                 zones_reached += 1;
             } else if pos < first_failed_reverse {
                 zones_reached += 1;
                 events.extend(matches);
+            } else {
+                unreached_zones.push(zone_idx);
             }
         }
         ledger_before.debug_assert_layers(
@@ -605,7 +680,7 @@ impl DimSystem {
                 (TrafficLayer::Retransmit, cost.retransmit_messages),
             ],
         );
-        Ok(DimQueryResult { events, cost, zones_visited, zones_reached })
+        Ok(DimQueryResult { events, cost, zones_visited, zones_reached, unreached_zones })
     }
 
     /// Fails `dead` nodes: the events they owned are lost (DIM keeps no
@@ -639,7 +714,7 @@ impl DimSystem {
         let new_topology = self.topology.without_nodes(dead);
         let partitioned = !new_topology.is_connected();
         self.transport.rebuild(&new_topology);
-        self.topology = new_topology;
+        self.topology = Arc::new(new_topology);
 
         // Events held by dead owners are gone.
         let mut events_lost = 0usize;

@@ -35,6 +35,7 @@
 pub mod deployment;
 pub mod energy;
 pub mod error;
+pub mod exec;
 pub mod geometry;
 pub mod node;
 pub mod radio;

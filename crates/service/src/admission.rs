@@ -1,0 +1,227 @@
+//! Batch admission and query coalescing.
+//!
+//! The front end admits requests in fixed virtual-time windows. Within a
+//! window, reads that the backend can widen into one another (same-sink
+//! overlapping range queries; duplicate gets) are coalesced into a
+//! single executed *unit*; everything else — writes, monitors, reads
+//! that do not fit any open unit — travels alone. A merged unit launches
+//! when its **last** member arrives, so coalescing pays an honest
+//! admission delay in exchange for shared delivery: the ablation arm of
+//! the service benchmark measures exactly this trade.
+//!
+//! Grouping is greedy in ticket (arrival) order and entirely
+//! deterministic: a request joins the first open unit of its window the
+//! backend agrees to widen, else opens a new unit. The merged request
+//! only ever *grows* (bounding-box union), so every member's answer is
+//! an exact filter of the unit's answer.
+
+use crate::backend::ServiceBackend;
+use crate::request::{Request, ScheduledRequest};
+
+/// Admission-layer knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Window length in virtual seconds. Requests can only coalesce with
+    /// others arriving in the same window. `0.0` disables batching
+    /// outright (every request is its own unit).
+    pub window: f64,
+    /// Master switch for coalescing — the ablation arm sets this false
+    /// and everything travels alone.
+    pub coalesce: bool,
+}
+
+impl Default for AdmissionConfig {
+    /// 50 virtual milliseconds — a few network round-trips wide, enough
+    /// to catch a dashboard burst without stalling sustained traffic.
+    fn default() -> Self {
+        AdmissionConfig { window: 0.05, coalesce: true }
+    }
+}
+
+impl AdmissionConfig {
+    /// The coalescing-disabled ablation configuration.
+    pub fn no_coalescing() -> Self {
+        AdmissionConfig { window: 0.0, coalesce: false }
+    }
+}
+
+/// One executed unit: a (possibly merged) request plus the schedule
+/// indices of the members riding it.
+#[derive(Debug, Clone)]
+pub(crate) struct Unit {
+    /// The request actually executed (the members' merge).
+    pub request: Request,
+    /// Schedule indices of the members, in ticket order.
+    pub members: Vec<usize>,
+    /// Virtual launch offset: the latest member arrival.
+    pub launch: f64,
+}
+
+/// Forms execution units from `schedule` (ticket order = ascending
+/// arrival, ties by schedule index).
+pub(crate) fn admit<B: ServiceBackend>(
+    backend: &B,
+    schedule: &[ScheduledRequest],
+    cfg: &AdmissionConfig,
+) -> Vec<Unit> {
+    let mut order: Vec<usize> = (0..schedule.len()).collect();
+    order.sort_by(|&a, &b| schedule[a].arrival.total_cmp(&schedule[b].arrival).then(a.cmp(&b)));
+
+    let mut units: Vec<Unit> = Vec::new();
+    // Open units of the current window, as indices into `units`.
+    let mut open: Vec<usize> = Vec::new();
+    let mut current_window = u64::MAX;
+    for idx in order {
+        let sr = &schedule[idx];
+        let window = if cfg.window > 0.0 { (sr.arrival / cfg.window) as u64 } else { idx as u64 };
+        if window != current_window {
+            current_window = window;
+            open.clear();
+        }
+        let mut joined = false;
+        if cfg.coalesce && sr.request.is_read() {
+            for &u in &open {
+                if let Some(merged) = backend.try_merge(&units[u].request, &sr.request) {
+                    units[u].request = merged;
+                    units[u].members.push(idx);
+                    units[u].launch = units[u].launch.max(sr.arrival);
+                    joined = true;
+                    break;
+                }
+            }
+        }
+        if !joined {
+            let u = units.len();
+            units.push(Unit {
+                request: sr.request.clone(),
+                members: vec![idx],
+                launch: sr.arrival,
+            });
+            if cfg.coalesce && sr.request.is_read() {
+                open.push(u);
+            }
+        }
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::merge_overlapping_queries;
+    use crate::request::ShardResponse;
+    use pool_core::event::Event;
+    use pool_core::query::RangeQuery;
+    use pool_netsim::node::NodeId;
+    use pool_transport::TrafficLedger;
+
+    /// A routing-free backend: only `try_merge` matters to admission.
+    struct Mock;
+
+    impl ServiceBackend for Mock {
+        type Shard = TrafficLedger;
+
+        fn shard_count(&self) -> usize {
+            1
+        }
+
+        fn shards_of(&self, _request: &Request) -> Vec<usize> {
+            vec![0]
+        }
+
+        fn relevant_ids(&self, _request: &Request) -> Vec<u64> {
+            Vec::new()
+        }
+
+        fn execute(&self, _shard: &mut TrafficLedger, _request: &Request) -> ShardResponse {
+            ShardResponse::default()
+        }
+
+        fn seek(&self, _shard: &mut TrafficLedger, _t: f64) {}
+
+        fn now(&self, _shard: &TrafficLedger) -> f64 {
+            0.0
+        }
+
+        fn ledger<'a>(&self, shard: &'a TrafficLedger) -> &'a TrafficLedger {
+            shard
+        }
+
+        fn try_merge(&self, merged: &Request, next: &Request) -> Option<Request> {
+            match (merged, next) {
+                (
+                    Request::Query { sink: sa, query: qa },
+                    Request::Query { sink: sb, query: qb },
+                ) => merge_overlapping_queries(*sa, qa, *sb, qb)
+                    .map(|query| Request::Query { sink: *sa, query }),
+                _ => None,
+            }
+        }
+    }
+
+    fn query(lo: f64, hi: f64) -> Request {
+        Request::Query {
+            sink: NodeId(7),
+            query: RangeQuery::exact(vec![(lo, hi), (lo, hi)]).unwrap(),
+        }
+    }
+
+    fn at(arrival: f64, request: Request) -> ScheduledRequest {
+        ScheduledRequest { arrival, request }
+    }
+
+    #[test]
+    fn same_window_overlapping_reads_share_a_unit_launched_at_the_last_arrival() {
+        let schedule = vec![
+            at(0.010, query(0.2, 0.5)),
+            at(0.020, query(0.4, 0.8)),
+            at(0.030, query(0.3, 0.6)),
+        ];
+        let units = admit(&Mock, &schedule, &AdmissionConfig { window: 0.05, coalesce: true });
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].members, vec![0, 1, 2]);
+        assert_eq!(units[0].launch, 0.030);
+        match &units[0].request {
+            Request::Query { query, .. } => {
+                assert_eq!(query.bounds(), &[Some((0.2, 0.8)), Some((0.2, 0.8))]);
+            }
+            other => panic!("unexpected merged request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_boundaries_and_disjoint_ranges_split_units() {
+        let schedule = vec![
+            at(0.010, query(0.2, 0.3)), // window 0
+            at(0.020, query(0.7, 0.9)), // window 0 but disjoint
+            at(0.060, query(0.2, 0.3)), // window 1: cannot join window 0's unit
+        ];
+        let units = admit(&Mock, &schedule, &AdmissionConfig { window: 0.05, coalesce: true });
+        assert_eq!(units.len(), 3);
+        assert!(units.iter().all(|u| u.members.len() == 1));
+    }
+
+    #[test]
+    fn writes_never_coalesce_even_between_overlapping_reads() {
+        let insert =
+            Request::Insert { source: NodeId(3), event: Event::new(vec![0.5, 0.5]).unwrap() };
+        let schedule =
+            vec![at(0.010, query(0.2, 0.6)), at(0.015, insert), at(0.020, query(0.3, 0.7))];
+        let units = admit(&Mock, &schedule, &AdmissionConfig { window: 0.05, coalesce: true });
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].members, vec![0, 2]);
+        assert_eq!(units[1].members, vec![1]);
+    }
+
+    #[test]
+    fn the_ablation_config_gives_every_request_its_own_unit() {
+        let schedule = vec![
+            at(0.010, query(0.2, 0.5)),
+            at(0.011, query(0.2, 0.5)),
+            at(0.012, query(0.2, 0.5)),
+        ];
+        let units = admit(&Mock, &schedule, &AdmissionConfig::no_coalescing());
+        assert_eq!(units.len(), 3);
+        assert!(units.iter().enumerate().all(|(i, u)| u.members == vec![i]));
+    }
+}

@@ -1,0 +1,144 @@
+//! The seam between the generic service machinery and a storage scheme.
+//!
+//! A backend is split into two halves with very different concurrency
+//! roles:
+//!
+//! * the **router** (the [`ServiceBackend`] impl itself) — immutable
+//!   shared state: the network snapshot plus whatever placement metadata
+//!   the scheme derives from it (Pool's layout, DIM's zone tree, GHT's
+//!   key hash). It answers *which shards does this request touch* and
+//!   *which slices of the data space does it name* without any lock.
+//! * the **shards** ([`ServiceBackend::Shard`]) — the mutable halves:
+//!   each owns a full system instance (its own transport, ledger, clock,
+//!   tracer) restricted to a disjoint subset of the scheme's data space.
+//!   The [`ServiceHandle`](crate::ServiceHandle) wraps each in a
+//!   [`Mutex`](std::sync::Mutex); a request locks only the shards it
+//!   touches.
+//!
+//! Completeness bookkeeping crosses the seam as opaque slice ids
+//! (`u64`): pool cells, DIM zones, or GHT keys, encoded by the backend.
+//! The service recomposes per-request honesty — even for coalesced
+//! requests — by intersecting a request's relevant ids with the unreached
+//! ids its units reported.
+
+use crate::request::{Request, ShardResponse};
+use pool_core::query::RangeQuery;
+use pool_netsim::node::NodeId;
+
+/// A storage scheme pluggable into [`ServiceHandle`](crate::ServiceHandle).
+///
+/// Determinism contract: every method must be a pure function of the
+/// backend's immutable state and its arguments ([`ServiceBackend::execute`]
+/// additionally of the shard's state) — no ambient randomness, no wall
+/// clock — so a serve schedule replays byte-identically on any worker
+/// count.
+pub trait ServiceBackend: Send + Sync {
+    /// The mutable per-shard half (a restricted system instance).
+    type Shard: Send;
+
+    /// How many shards this backend was built with.
+    fn shard_count(&self) -> usize;
+
+    /// The shards `request` must execute on, ascending, deduplicated.
+    /// Empty when the request touches no data (e.g. a query whose ranges
+    /// are off every pool) — the service completes it without locking
+    /// anything.
+    fn shards_of(&self, request: &Request) -> Vec<usize>;
+
+    /// Opaque ids of the data-space slices `request` names: pool `(dim,
+    /// cell)` pairs, DIM zone indices, or the GHT key hash. Used for the
+    /// completeness denominator and, under coalescing, to slice a merged
+    /// unit's unreached set back to each member.
+    fn relevant_ids(&self, request: &Request) -> Vec<u64>;
+
+    /// Executes `request` on `shard` at the shard clock's current
+    /// position, returning what this shard contributed.
+    fn execute(&self, shard: &mut Self::Shard, request: &Request) -> ShardResponse;
+
+    /// Moves the shard's virtual clock to `t` (never backward in serve
+    /// order; the service schedules per-shard work by ascending launch
+    /// time).
+    fn seek(&self, shard: &mut Self::Shard, t: f64);
+
+    /// The shard clock's current position (virtual seconds).
+    fn now(&self, shard: &Self::Shard) -> f64;
+
+    /// The shard's traffic ledger — the conservation-audit counter the
+    /// service diffs around a serve call and merges for deployment-wide
+    /// load reports.
+    fn ledger<'a>(&self, shard: &'a Self::Shard) -> &'a pool_transport::TrafficLedger;
+
+    /// Attempts to widen `merged` to also cover `next`, returning the
+    /// coalesced request. `None` when the two cannot share a single
+    /// execution (different sinks, disjoint ranges, non-read ops…).
+    ///
+    /// The contract the admission layer relies on: every event matching a
+    /// member request also matches the merged request, so member answers
+    /// are exact filters of the merged answer.
+    fn try_merge(&self, merged: &Request, next: &Request) -> Option<Request>;
+}
+
+/// Widens two range queries from the same sink into their bounding box —
+/// per-dimension `(min lo, max hi)`, unconstrained if either side is
+/// unconstrained — provided they overlap in every dimension (disjoint
+/// queries would merge into a bbox mostly covering data neither asked
+/// for, so the admission layer keeps them apart).
+///
+/// Since each merged bound contains both members' bounds, an event
+/// matching either member always matches the merge: member answers are
+/// exact filters of the merged answer.
+pub(crate) fn merge_overlapping_queries(
+    a_sink: NodeId,
+    a: &RangeQuery,
+    b_sink: NodeId,
+    b: &RangeQuery,
+) -> Option<RangeQuery> {
+    if a_sink != b_sink || a.dims() != b.dims() {
+        return None;
+    }
+    // Overlap test on the rewritten (fully-bounded) ranges.
+    let (ra, rb) = (a.rewritten(), b.rewritten());
+    if ra.iter().zip(&rb).any(|((alo, ahi), (blo, bhi))| ahi < blo || bhi < alo) {
+        return None;
+    }
+    let bounds: Vec<Option<(f64, f64)>> = a
+        .bounds()
+        .iter()
+        .zip(b.bounds())
+        .map(|(ba, bb)| match (ba, bb) {
+            (Some((alo, ahi)), Some((blo, bhi))) => Some((alo.min(*blo), ahi.max(*bhi))),
+            _ => None,
+        })
+        .collect();
+    RangeQuery::from_bounds(bounds).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlapping_queries_merge_to_the_bounding_box() {
+        let a = RangeQuery::exact(vec![(0.1, 0.4), (0.2, 0.6)]).unwrap();
+        let b = RangeQuery::exact(vec![(0.3, 0.7), (0.5, 0.9)]).unwrap();
+        let m = merge_overlapping_queries(NodeId(1), &a, NodeId(1), &b).unwrap();
+        assert_eq!(m.bounds(), &[Some((0.1, 0.7)), Some((0.2, 0.9))]);
+    }
+
+    #[test]
+    fn disjoint_or_cross_sink_queries_do_not_merge() {
+        let a = RangeQuery::exact(vec![(0.1, 0.2), (0.2, 0.6)]).unwrap();
+        let b = RangeQuery::exact(vec![(0.5, 0.7), (0.5, 0.9)]).unwrap();
+        assert!(merge_overlapping_queries(NodeId(1), &a, NodeId(1), &b).is_none());
+        let c = RangeQuery::exact(vec![(0.15, 0.55), (0.3, 0.7)]).unwrap();
+        assert!(merge_overlapping_queries(NodeId(1), &a, NodeId(2), &c).is_none());
+    }
+
+    #[test]
+    fn partial_dimensions_stay_unconstrained_in_the_merge() {
+        let a = RangeQuery::from_bounds(vec![Some((0.1, 0.4)), None]).unwrap();
+        let b = RangeQuery::exact(vec![(0.3, 0.7), (0.5, 0.9)]).unwrap();
+        let m = merge_overlapping_queries(NodeId(4), &a, NodeId(4), &b).unwrap();
+        assert_eq!(m.bounds(), &[Some((0.1, 0.7)), None]);
+    }
+}

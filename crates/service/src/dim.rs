@@ -1,0 +1,192 @@
+//! DIM backend: sharded by zone.
+//!
+//! The zone tree is partitioned round-robin over its DFS zone order;
+//! each shard holds a full [`DimSystem`] over the shared topology but
+//! stores and answers only its owned zones. Unlike Pool, DIM's
+//! monolithic query walks one serial owner chain, so the union of
+//! per-shard restricted chains is *not* message-identical to the single
+//! chain (each shard pays its own sink → first-owner leg) — the service
+//! trades a few extra forward legs for zone-parallel execution, and
+//! reports the honest per-shard costs it actually charged.
+
+use crate::backend::{merge_overlapping_queries, ServiceBackend};
+use crate::request::{Request, ShardResponse};
+use pool_core::insert::InsertError;
+use pool_core::PoolError;
+use pool_dim::{DimSystem, ZoneTree};
+use pool_netsim::geometry::Rect;
+use pool_netsim::topology::Topology;
+use pool_transport::{FaultPlan, LossyConfig, OpRetryPolicy, RecoveryConfig, TransportKind};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The immutable router half of a sharded DIM deployment.
+#[derive(Debug)]
+pub struct DimBackend {
+    tree: ZoneTree,
+    zone_idx_by_code: HashMap<pool_dim::ZoneCode, usize>,
+    /// Zone index → owning shard (round-robin).
+    shard_of_zone: Vec<usize>,
+    shards: usize,
+}
+
+/// One shard: a full DIM system restricted to `zones`.
+#[derive(Debug)]
+pub struct DimShard {
+    /// The shard's system instance (own transport/ledger/clock/tracer).
+    pub system: DimSystem,
+    /// The zone indices this shard owns.
+    pub zones: Vec<usize>,
+}
+
+impl DimBackend {
+    /// Builds the router and its shards over one shared topology, with
+    /// the same resilience knobs as
+    /// [`DimSystem::build_with_resilience`]. `shards` is clamped to at
+    /// least 1 and at most the zone count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DimSystem::build`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        topology: Topology,
+        field: Rect,
+        dims: usize,
+        kind: TransportKind,
+        lossy: Option<LossyConfig>,
+        faults: Option<FaultPlan>,
+        recovery: Option<RecoveryConfig>,
+        op_retry: Option<OpRetryPolicy>,
+        shards: usize,
+    ) -> Result<(Self, Vec<DimShard>), PoolError> {
+        let topology = Arc::new(topology);
+        // The router's tree is built exactly as every shard's is, so zone
+        // indices agree across the whole deployment.
+        let tree = ZoneTree::build(&topology, field);
+        let zone_idx_by_code: HashMap<pool_dim::ZoneCode, usize> =
+            tree.zones().iter().enumerate().map(|(i, z)| (z.code, i)).collect();
+        let zone_count = tree.zones().len();
+        let shards = shards.clamp(1, zone_count.max(1));
+        let shard_of_zone: Vec<usize> = (0..zone_count).map(|z| z % shards).collect();
+        let mut shard_state = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let system = DimSystem::build_shared(
+                Arc::clone(&topology),
+                field,
+                dims,
+                kind,
+                lossy,
+                faults.clone(),
+                recovery,
+                op_retry,
+            )?;
+            let zones = (0..zone_count).filter(|&z| shard_of_zone[z] == s).collect();
+            shard_state.push(DimShard { system, zones });
+        }
+        Ok((DimBackend { tree, zone_idx_by_code, shard_of_zone, shards }, shard_state))
+    }
+
+    fn zone_of_event(&self, values: &[f64]) -> usize {
+        self.zone_idx_by_code[&self.tree.zone_of_event(values).code]
+    }
+
+    fn zones_of_query(&self, query: &pool_core::query::RangeQuery) -> Vec<usize> {
+        self.tree
+            .zones_overlapping(&query.rewritten())
+            .iter()
+            .map(|z| self.zone_idx_by_code[&z.code])
+            .collect()
+    }
+}
+
+impl ServiceBackend for DimBackend {
+    type Shard = DimShard;
+
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn shards_of(&self, request: &Request) -> Vec<usize> {
+        match request {
+            Request::Insert { event, .. } => {
+                vec![self.shard_of_zone[self.zone_of_event(event.values())]]
+            }
+            Request::Query { query, .. } => {
+                let mut shards: Vec<usize> =
+                    self.zones_of_query(query).iter().map(|&z| self.shard_of_zone[z]).collect();
+                shards.sort_unstable();
+                shards.dedup();
+                shards
+            }
+            other => panic!("dim backend cannot serve {other:?}"),
+        }
+    }
+
+    fn relevant_ids(&self, request: &Request) -> Vec<u64> {
+        match request {
+            Request::Insert { event, .. } => vec![self.zone_of_event(event.values()) as u64],
+            Request::Query { query, .. } => {
+                self.zones_of_query(query).iter().map(|&z| z as u64).collect()
+            }
+            other => panic!("dim backend cannot serve {other:?}"),
+        }
+    }
+
+    fn execute(&self, shard: &mut DimShard, request: &Request) -> ShardResponse {
+        let mut out = ShardResponse::default();
+        match request {
+            Request::Insert { source, event } => {
+                match shard.system.insert_from(*source, event.clone()) {
+                    Ok(receipt) => {
+                        out.messages = receipt.messages;
+                        out.delivered = true;
+                        out.elapsed = receipt.elapsed;
+                    }
+                    Err(InsertError::Undeliverable { transmissions, .. }) => {
+                        out.messages = transmissions;
+                        out.unreached = vec![self.zone_of_event(event.values()) as u64];
+                    }
+                    Err(InsertError::Pool(e)) => panic!("dim insert failed: {e}"),
+                }
+            }
+            Request::Query { sink, query } => {
+                let result = shard
+                    .system
+                    .query_zones_from(*sink, query, &shard.zones)
+                    .expect("restricted dim query");
+                out.events = result.events;
+                out.messages = result.cost.total();
+                out.retransmissions = result.cost.retransmit_messages;
+                out.unreached = result.unreached_zones.iter().map(|&z| z as u64).collect();
+                out.delivered = result.zones_reached == result.zones_visited;
+                out.elapsed = result.cost.elapsed;
+            }
+            other => panic!("dim backend cannot serve {other:?}"),
+        }
+        out.end = shard.system.transport().clock().now();
+        out
+    }
+
+    fn seek(&self, shard: &mut DimShard, t: f64) {
+        shard.system.transport_mut().clock_mut().seek(t);
+    }
+
+    fn now(&self, shard: &DimShard) -> f64 {
+        shard.system.transport().clock().now()
+    }
+
+    fn ledger<'a>(&self, shard: &'a DimShard) -> &'a pool_transport::TrafficLedger {
+        shard.system.ledger()
+    }
+
+    fn try_merge(&self, merged: &Request, next: &Request) -> Option<Request> {
+        match (merged, next) {
+            (Request::Query { sink: sa, query: qa }, Request::Query { sink: sb, query: qb }) => {
+                merge_overlapping_queries(*sa, qa, *sb, qb)
+                    .map(|query| Request::Query { sink: *sa, query })
+            }
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The sharded, `Sync` front door of a deployment.
+//!
+//! A [`ServiceHandle`] owns one immutable router (the
+//! [`ServiceBackend`] impl) and a vector of mutex-wrapped shards. Many
+//! threads may hold `&ServiceHandle` simultaneously: the router answers
+//! placement questions without any lock, and an operation locks only
+//! the shards it actually touches.
+//!
+//! # Two execution paths
+//!
+//! * [`submit`](ServiceHandle::submit) — execute one request right now,
+//!   from any thread. This is the concurrent-correctness surface: N
+//!   threads submitting disjoint-shard requests proceed in parallel,
+//!   and the result of any interleaving equals the serial reference
+//!   because shards share no mutable state.
+//! * [`serve`](ServiceHandle::serve) — replay an open-loop virtual-time
+//!   schedule through admission (batching + coalescing) and a
+//!   deterministic parallel executor. Shards run concurrently via the
+//!   workspace worker pool; *within* a shard, units execute serially in
+//!   ascending `(launch, unit)` order at seeked virtual times, so the
+//!   outcome is byte-identical for any `--jobs` value.
+//!
+//! # Conservation
+//!
+//! Every serve call audits the ledger identity: the sum of messages
+//! attributed to responses equals the total growth of the shard ledgers
+//! during the call, exactly. Coalesced units split their cost integrally
+//! among members (`cost/g` each, the first `cost % g` members carrying
+//! one extra), so attribution never invents or drops a message.
+
+use crate::admission::{admit, AdmissionConfig};
+use crate::backend::ServiceBackend;
+use crate::request::{Request, Response, ScheduledRequest, ServeOutcome, ShardResponse};
+use pool_netsim::exec::run_trials;
+use pool_transport::TrafficLedger;
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// A shared-everything service front end over one backend.
+///
+/// `ServiceHandle` is `Sync` whenever the backend's shard type is
+/// `Send` (which the [`ServiceBackend`] trait requires), so one handle
+/// can serve any number of client threads.
+#[derive(Debug)]
+pub struct ServiceHandle<B: ServiceBackend> {
+    backend: B,
+    shards: Vec<Mutex<B::Shard>>,
+}
+
+impl<B: ServiceBackend> ServiceHandle<B> {
+    /// Wraps a router and its shard states (as returned by a backend's
+    /// `build`) into a servable handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards.len()` disagrees with the router's
+    /// [`shard_count`](ServiceBackend::shard_count).
+    pub fn new(backend: B, shards: Vec<B::Shard>) -> Self {
+        assert_eq!(
+            shards.len(),
+            backend.shard_count(),
+            "shard state count must match the router's shard count"
+        );
+        ServiceHandle { backend, shards: shards.into_iter().map(Mutex::new).collect() }
+    }
+
+    /// The immutable router.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// How many shards this handle serves over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Runs `f` with exclusive access to shard `idx` (test/bench
+    /// plumbing: preloading state, inspecting a shard's store).
+    pub fn with_shard<R>(&self, idx: usize, f: impl FnOnce(&mut B::Shard) -> R) -> R {
+        let mut guard = self.shards[idx].lock().expect("shard lock poisoned");
+        f(&mut guard)
+    }
+
+    /// All shard ledgers merged into one deployment-wide ledger
+    /// (well-defined because every shard tracks the same shared
+    /// topology).
+    pub fn merged_ledger(&self) -> TrafficLedger {
+        let mut merged: Option<TrafficLedger> = None;
+        for shard in &self.shards {
+            let guard = shard.lock().expect("shard lock poisoned");
+            let ledger = self.backend.ledger(&guard);
+            match &mut merged {
+                Some(m) => m.merge(ledger),
+                None => merged = Some(ledger.clone()),
+            }
+        }
+        merged.expect("a service has at least one shard")
+    }
+
+    /// Sum of [`TrafficLedger::total_messages`] across all shards.
+    pub fn total_messages(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let guard = s.lock().expect("shard lock poisoned");
+                self.backend.ledger(&guard).total_messages()
+            })
+            .sum()
+    }
+
+    /// Executes one request immediately, locking only the shards it
+    /// touches (in ascending order, so concurrent submitters cannot
+    /// deadlock). Safe to call from many threads at once.
+    ///
+    /// The response's `latency` is pure network time — the longest
+    /// shard-side elapsed time — since there is no admission schedule to
+    /// measure queueing against.
+    pub fn submit(&self, request: &Request) -> Response {
+        let shard_ids = self.backend.shards_of(request);
+        let mut parts: Vec<ShardResponse> = Vec::with_capacity(shard_ids.len());
+        for &s in &shard_ids {
+            let mut guard = self.shards[s].lock().expect("shard lock poisoned");
+            parts.push(self.backend.execute(&mut guard, request));
+        }
+        let latency = parts.iter().map(|p| p.elapsed).fold(0.0, f64::max);
+        let unreached: HashSet<u64> =
+            parts.iter().flat_map(|p| p.unreached.iter().copied()).collect();
+        let mut response = member_response(&self.backend, request, &parts, &unreached);
+        response.messages = parts.iter().map(|p| p.messages).sum();
+        response.retransmissions = parts.iter().map(|p| p.retransmissions).sum();
+        response.latency = latency;
+        response
+    }
+
+    /// Replays an open-loop schedule: admission forms execution units
+    /// (coalescing reads per [`AdmissionConfig`]), units are routed to
+    /// the shards they touch, and shards execute their queues in
+    /// parallel on `jobs` workers.
+    ///
+    /// Arrivals are offsets from the serve call's *base time* — the
+    /// latest shard-clock position when the call starts — so repeated
+    /// serve calls stack on one virtual time axis.
+    ///
+    /// Determinism: per-shard queues are sorted by `(launch, unit)`,
+    /// each shard executes serially under its lock at explicitly seeked
+    /// virtual times, and cross-shard merging follows ascending shard
+    /// order. The outcome is byte-identical for every `jobs >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conservation audit fails: the messages attributed
+    /// across responses must equal the exact growth of the shard
+    /// ledgers during the call.
+    pub fn serve(
+        &self,
+        schedule: &[ScheduledRequest],
+        admission: &AdmissionConfig,
+        jobs: usize,
+    ) -> ServeOutcome {
+        let ledger_before = self.total_messages();
+        let units = admit(&self.backend, schedule, admission);
+
+        // Base time: latest shard clock, so no unit ever seeks backward.
+        let base = self
+            .shards
+            .iter()
+            .map(|s| {
+                let guard = s.lock().expect("shard lock poisoned");
+                self.backend.now(&guard)
+            })
+            .fold(0.0, f64::max);
+
+        // Route units to shards and sort each shard's queue by launch.
+        let unit_shards: Vec<Vec<usize>> =
+            units.iter().map(|u| self.backend.shards_of(&u.request)).collect();
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (u, shard_ids) in unit_shards.iter().enumerate() {
+            for &s in shard_ids {
+                queues[s].push(u);
+            }
+        }
+        for queue in &mut queues {
+            queue.sort_by(|&a, &b| units[a].launch.total_cmp(&units[b].launch).then(a.cmp(&b)));
+        }
+
+        // Execute every shard's queue; shards are mutually independent,
+        // so this parallelizes without changing any result.
+        let per_shard: Vec<Vec<(usize, ShardResponse)>> =
+            run_trials(jobs.max(1), (0..self.shards.len()).collect(), |_, s: usize| {
+                let mut guard = self.shards[s].lock().expect("shard lock poisoned");
+                let mut out = Vec::with_capacity(queues[s].len());
+                for &u in &queues[s] {
+                    let start = self.backend.now(&guard).max(base + units[u].launch);
+                    self.backend.seek(&mut guard, start);
+                    out.push((u, self.backend.execute(&mut guard, &units[u].request)));
+                }
+                out
+            });
+
+        // Regroup per unit, ascending shard order (run_trials preserves
+        // submission order, so iterating shards in order suffices).
+        let mut unit_parts: Vec<Vec<ShardResponse>> = vec![Vec::new(); units.len()];
+        for shard_results in per_shard {
+            for (u, resp) in shard_results {
+                unit_parts[u].push(resp);
+            }
+        }
+
+        let mut responses: Vec<Response> = vec![Response::default(); schedule.len()];
+        let mut total_messages: u64 = 0;
+        let mut coalesced_requests = 0usize;
+        let mut last_completion = f64::NEG_INFINITY;
+        for (unit, parts) in units.iter().zip(&unit_parts) {
+            let completion = parts.iter().map(|p| p.end).fold(base + unit.launch, f64::max);
+            last_completion = last_completion.max(completion);
+            let unit_messages: u64 = parts.iter().map(|p| p.messages).sum();
+            let unit_retrans: u64 = parts.iter().map(|p| p.retransmissions).sum();
+            total_messages += unit_messages;
+            let unreached: HashSet<u64> =
+                parts.iter().flat_map(|p| p.unreached.iter().copied()).collect();
+            let g = unit.members.len() as u64;
+            if unit.members.len() > 1 {
+                coalesced_requests += unit.members.len();
+            }
+            for (i, &member) in unit.members.iter().enumerate() {
+                let sr = &schedule[member];
+                let mut response = member_response(&self.backend, &sr.request, parts, &unreached);
+                // Integer cost shares: sum over members is exactly the
+                // unit's cost, so attribution conserves the ledger.
+                let i = i as u64;
+                response.messages = unit_messages / g + u64::from(i < unit_messages % g);
+                response.retransmissions = unit_retrans / g + u64::from(i < unit_retrans % g);
+                response.latency = completion - (base + sr.arrival);
+                response.coalesced_with = unit.members.len() - 1;
+                responses[member] = response;
+            }
+        }
+
+        let ledger_after = self.total_messages();
+        assert_eq!(
+            ledger_after - ledger_before,
+            total_messages,
+            "conservation audit: attributed messages must equal ledger growth"
+        );
+
+        let first_arrival =
+            schedule.iter().map(|sr| base + sr.arrival).fold(f64::INFINITY, f64::min);
+        let makespan =
+            if schedule.is_empty() { 0.0 } else { (last_completion - first_arrival).max(0.0) };
+        ServeOutcome { responses, makespan, total_messages, units: units.len(), coalesced_requests }
+    }
+
+    /// Convenience: serve a schedule formed from bare requests arriving
+    /// at uniform `spacing` virtual seconds apart.
+    pub fn serve_uniform(
+        &self,
+        requests: &[Request],
+        spacing: f64,
+        admission: &AdmissionConfig,
+        jobs: usize,
+    ) -> ServeOutcome {
+        let schedule: Vec<ScheduledRequest> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ScheduledRequest { arrival: i as f64 * spacing, request: r.clone() })
+            .collect();
+        self.serve(&schedule, admission, jobs)
+    }
+}
+
+/// Builds the answer-side of a member's response from its unit's shard
+/// parts: the member's own filtered events/values, its completeness
+/// against the ids it named, and the uniform delivered rule (`delivered`
+/// iff none of the member's relevant ids went unreached).
+fn member_response<B: ServiceBackend>(
+    backend: &B,
+    request: &Request,
+    parts: &[ShardResponse],
+    unreached: &HashSet<u64>,
+) -> Response {
+    let relevant_ids = backend.relevant_ids(request);
+    let hits = relevant_ids.iter().filter(|id| unreached.contains(id)).count();
+    let mut response = Response {
+        relevant: relevant_ids.len(),
+        reached: relevant_ids.len() - hits,
+        delivered: hits == 0,
+        ..Response::default()
+    };
+    match request {
+        Request::Query { query, .. } => {
+            // The unit's request may be a widened merge; the member's
+            // answer is the exact filter by its own predicate.
+            response.events = parts
+                .iter()
+                .flat_map(|p| p.events.iter())
+                .filter(|e| query.matches(e))
+                .cloned()
+                .collect();
+        }
+        Request::Get { .. } => {
+            response.values = parts.iter().flat_map(|p| p.values.iter().copied()).collect();
+        }
+        // Writes and monitors travel alone; events/values stay empty.
+        Request::Insert { .. } | Request::Monitor { .. } | Request::Put { .. } => {}
+    }
+    response
+}

@@ -1,0 +1,78 @@
+//! Pool as a service: a sharded, thread-safe query front end.
+//!
+//! The simulator's systems ([`PoolSystem`](pool_core::system::PoolSystem),
+//! [`DimSystem`](pool_dim::DimSystem), [`GhtTable`](pool_ght::GhtTable))
+//! are single-threaded state machines: one `&mut self` owner at a time.
+//! That is the right shape for figure harnesses, but a deployed sink is
+//! a *service* — thousands of clients querying one network concurrently.
+//! This crate closes that gap without forking the systems:
+//!
+//! * **Sharding by data-space ownership.** A deployment is split into
+//!   shards along the scheme's natural partition key — Pool's pool
+//!   dimensions (exact, by the §3.2.3 per-pool decomposition), DIM's
+//!   zones, GHT's key hash. Each shard owns a full system instance over
+//!   one shared, immutable [`Arc<Topology>`](pool_netsim::topology::Topology)
+//!   but stores and answers only its slice, so shards never contend on
+//!   mutable state.
+//! * **Routing without locks.** The immutable router half
+//!   ([`ServiceBackend`]) answers "which shards, which data slices"
+//!   from shared placement metadata; an operation locks only the shards
+//!   it touches, in ascending order (no deadlocks).
+//! * **Admission and coalescing.** An open-loop schedule passes through
+//!   fixed virtual-time windows where same-sink overlapping reads merge
+//!   into one executed unit (bounding-box union — member answers are
+//!   exact filters of the unit answer). Unit cost is split integrally
+//!   among members, so the ledger conservation identity survives
+//!   coalescing to the message.
+//! * **Deterministic parallel serve.** Per-shard queues execute
+//!   serially at seeked virtual times while shards run on the workspace
+//!   worker pool; outcomes are byte-identical for any `--jobs`.
+//!
+//! ```
+//! use pool_core::config::PoolConfig;
+//! use pool_core::query::RangeQuery;
+//! use pool_netsim::deployment::Deployment;
+//! use pool_netsim::topology::Topology;
+//! use pool_service::{AdmissionConfig, PoolBackend, Request, ScheduledRequest, ServiceHandle};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let deployment = Deployment::paper_setting(300, 40.0, 20.0, 11)?;
+//! let field = deployment.field();
+//! let sink = deployment.nodes()[42].id;
+//! let topology = Topology::build(deployment.nodes(), 40.0)?;
+//! let (backend, shards) = PoolBackend::build(topology, field, PoolConfig::paper(), 3)?;
+//! let service = ServiceHandle::new(backend, shards);
+//!
+//! let schedule: Vec<ScheduledRequest> = (0..8)
+//!     .map(|i| ScheduledRequest {
+//!         arrival: i as f64 * 0.01,
+//!         request: Request::Query {
+//!             sink,
+//!             query: RangeQuery::exact(vec![(0.2, 0.6), (0.1, 0.5), (0.3, 0.9)]).unwrap(),
+//!         },
+//!     })
+//!     .collect();
+//! let outcome = service.serve(&schedule, &AdmissionConfig::default(), 4);
+//! assert_eq!(outcome.responses.len(), 8);
+//! assert!(outcome.coalesced_requests > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod backend;
+pub mod dim;
+pub mod ght;
+pub mod handle;
+pub mod pool;
+pub mod request;
+
+pub use admission::AdmissionConfig;
+pub use backend::ServiceBackend;
+pub use dim::{DimBackend, DimShard};
+pub use ght::{GhtBackend, GhtShard};
+pub use handle::ServiceHandle;
+pub use pool::{PoolBackend, PoolShard};
+pub use request::{Request, Response, ScheduledRequest, ServeOutcome, ShardResponse};

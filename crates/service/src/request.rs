@@ -1,0 +1,188 @@
+//! Request/response vocabulary of the service front end.
+//!
+//! One request enum serves every backend so the load harness can drive
+//! Pool, DIM, and GHT deployments through the identical interface;
+//! backends reject the operations their scheme does not support (a GHT
+//! cannot answer a range query) by panicking — a harness wiring bug, not
+//! a runtime condition.
+
+use pool_core::event::Event;
+use pool_core::query::RangeQuery;
+use pool_netsim::node::NodeId;
+
+/// One client operation submitted to the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Store an event detected at `source` (Pool/DIM backends).
+    Insert {
+        /// The node that detected the event.
+        source: NodeId,
+        /// The event to store.
+        event: Event,
+    },
+    /// A multi-dimensional range query issued at `sink` (Pool/DIM).
+    Query {
+        /// The node issuing the query.
+        sink: NodeId,
+        /// The range predicate.
+        query: RangeQuery,
+    },
+    /// Install a continuous monitor at `sink` (Pool only).
+    Monitor {
+        /// The node to be notified of future matches.
+        sink: NodeId,
+        /// The standing predicate.
+        query: RangeQuery,
+    },
+    /// Store `value` under `key` (GHT backend).
+    Put {
+        /// The node issuing the put.
+        source: NodeId,
+        /// The name the value is hashed under.
+        key: String,
+        /// The payload.
+        value: u64,
+    },
+    /// Retrieve every value stored under `key` (GHT backend).
+    Get {
+        /// The node issuing the get.
+        sink: NodeId,
+        /// The name to look up.
+        key: String,
+    },
+}
+
+impl Request {
+    /// Whether this is a read (query/get) — the only class the admission
+    /// layer may coalesce; writes and monitor installations always travel
+    /// alone.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Request::Query { .. } | Request::Get { .. })
+    }
+}
+
+/// A request paired with its virtual-time arrival — one line of the
+/// open-loop load schedule fed to
+/// [`ServiceHandle::serve`](crate::ServiceHandle::serve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledRequest {
+    /// Virtual seconds (offset from the serve call's base time) at which
+    /// the client issues the request.
+    pub arrival: f64,
+    /// The operation.
+    pub request: Request,
+}
+
+/// What one shard contributed to a request (or to a coalesced unit).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardResponse {
+    /// Matching events (range-query backends).
+    pub events: Vec<Event>,
+    /// Retrieved values (GHT gets).
+    pub values: Vec<u64>,
+    /// Total transmissions charged to this shard's ledger by the
+    /// operation — retransmissions included, so the sum over responses
+    /// equals the ledger growth exactly (the conservation identity).
+    pub messages: u64,
+    /// The retransmission share of `messages`.
+    pub retransmissions: u64,
+    /// Opaque ids of the relevant slices this shard owns that did NOT
+    /// fully answer (pool cells / DIM zones / GHT keys; see
+    /// [`ServiceBackend::relevant_ids`](crate::ServiceBackend::relevant_ids)).
+    pub unreached: Vec<u64>,
+    /// Whether the operation's effect landed (inserts/puts) or the answer
+    /// made it back (reads with at least a complete slice set).
+    pub delivered: bool,
+    /// The shard clock's position when the operation finished, in virtual
+    /// seconds on the shared service time axis.
+    pub end: f64,
+    /// Virtual time the operation occupied on this shard.
+    pub elapsed: f64,
+}
+
+/// The merged, client-visible outcome of one request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Response {
+    /// Matching events, merged across shards in shard order.
+    pub events: Vec<Event>,
+    /// Retrieved values (GHT gets).
+    pub values: Vec<u64>,
+    /// Messages attributed to this request. For a coalesced request this
+    /// is its integer share of the merged unit's cost; shares always sum
+    /// exactly to what the ledgers were charged.
+    pub messages: u64,
+    /// Attributed retransmission share.
+    pub retransmissions: u64,
+    /// Relevant slices (cells/zones/keys) the request named.
+    pub relevant: usize,
+    /// Relevant slices that fully answered.
+    pub reached: usize,
+    /// Whether the operation's effect/answer fully landed.
+    pub delivered: bool,
+    /// Virtual seconds from the request's arrival to its completion
+    /// (admission wait + queueing + network time).
+    pub latency: f64,
+    /// How many other requests shared this request's executed unit
+    /// (0 = it travelled alone).
+    pub coalesced_with: usize,
+}
+
+impl Response {
+    /// Fraction of relevant slices that fully answered (1.0 when nothing
+    /// was relevant — an empty answer is complete).
+    pub fn completeness(&self) -> f64 {
+        if self.relevant == 0 {
+            1.0
+        } else {
+            self.reached as f64 / self.relevant as f64
+        }
+    }
+}
+
+/// Aggregate outcome of one [`serve`](crate::ServiceHandle::serve) call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Per-request responses, in schedule order.
+    pub responses: Vec<Response>,
+    /// Virtual seconds from the first arrival to the last completion.
+    pub makespan: f64,
+    /// Total messages charged across every shard ledger by this serve
+    /// call; equals the sum of attributed per-request messages.
+    pub total_messages: u64,
+    /// Executed units after admission (requests minus coalesced riders).
+    pub units: usize,
+    /// Requests that shared a unit with at least one other request.
+    pub coalesced_requests: usize,
+}
+
+impl ServeOutcome {
+    /// Completed requests per virtual second.
+    pub fn requests_per_second(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            self.responses.len() as f64 / self.makespan
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of per-request latency, in virtual
+    /// seconds — nearest-rank over the sorted latencies, so the value is
+    /// always one that actually occurred.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        let mut lat: Vec<f64> = self.responses.iter().map(|r| r.latency).collect();
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+        lat[rank - 1]
+    }
+
+    /// Mean completeness over all responses.
+    pub fn mean_completeness(&self) -> f64 {
+        if self.responses.is_empty() {
+            return 1.0;
+        }
+        self.responses.iter().map(Response::completeness).sum::<f64>() / self.responses.len() as f64
+    }
+}

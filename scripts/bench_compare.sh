@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
 # Compares a freshly generated BENCH artifact against a checked-in
-# baseline, honoring the scale sweep's determinism exception:
+# baseline.
 #
-#   * deterministic columns (message totals, match counts, overlay sizes,
-#     labels) must match the baseline EXACTLY — a drift there is a
-#     behavioral regression, not noise;
-#   * timing columns (*_ms, rss_kb) are wall-clock/peak-RSS measurements
-#     and only need to stay within a generous ratio of the baseline, and
-#     only once they are large enough to rise above scheduler noise.
+# By default every cell is deterministic — virtual-time latencies,
+# message totals, match counts, labels — and must match the baseline
+# EXACTLY: a drift there is a behavioral regression, not noise. An
+# artifact that carries real wall-clock measurements (the scale sweep's
+# build/insert/query timings and peak RSS) opts specific columns out via
+# a regex; those cells only need to stay within a generous ratio of the
+# baseline, and only once they are large enough to rise above scheduler
+# noise.
 #
 # Usage:
-#   scripts/bench_compare.sh <fresh.json> <baseline.json>
+#   scripts/bench_compare.sh <fresh.json> <baseline.json> [timing-regex]
+#
+#   timing-regex: optional; column names matching it are compared with
+#                 the loose wall-clock rule instead of exact equality
+#                 (e.g. '_ms$|^rss_kb$' for the scale sweep). Without it,
+#                 all columns are exact.
 #
 # Tunables (environment):
 #   BENCH_COMPARE_MAX_RATIO  max fresh/baseline ratio either way (default 25)
@@ -18,15 +25,15 @@
 #                            are ignored as noise (default 200)
 set -euo pipefail
 
-if [ $# -ne 2 ]; then
-    echo "usage: $0 <fresh.json> <baseline.json>" >&2
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+    echo "usage: $0 <fresh.json> <baseline.json> [timing-regex]" >&2
     exit 2
 fi
 
-python3 - "$1" "$2" <<'EOF'
-import json, os, sys
+python3 - "$1" "$2" "${3:-}" <<'EOF'
+import json, os, re, sys
 
-fresh_path, base_path = sys.argv[1], sys.argv[2]
+fresh_path, base_path, timing_re = sys.argv[1], sys.argv[2], sys.argv[3]
 max_ratio = float(os.environ.get("BENCH_COMPARE_MAX_RATIO", "25"))
 floor_ms = float(os.environ.get("BENCH_COMPARE_FLOOR_MS", "200"))
 
@@ -39,7 +46,7 @@ if len(fresh["rows"]) != len(base["rows"]):
     sys.exit(f"row count mismatch: fresh {len(fresh['rows'])} vs baseline {len(base['rows'])}")
 
 def is_timing(col):
-    return col.endswith("_ms") or col == "rss_kb"
+    return bool(timing_re) and re.search(timing_re, col) is not None
 
 errors = []
 checked_exact = checked_timing = skipped_noise = 0
@@ -66,7 +73,8 @@ for i, (frow, brow) in enumerate(zip(fresh["rows"], base["rows"])):
 
 if errors:
     sys.exit("bench_compare FAILED:\n  " + "\n  ".join(errors))
-print(f"bench_compare OK: {checked_exact} deterministic cells exact, "
+name = os.path.basename(fresh_path)
+print(f"bench_compare OK [{name}]: {checked_exact} deterministic cells exact, "
       f"{checked_timing} timing cells within {max_ratio}x, "
       f"{skipped_noise} sub-{floor_ms:g}ms timings ignored as noise")
 EOF

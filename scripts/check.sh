@@ -37,17 +37,20 @@ report() {
 }
 
 bench_smoke() {
-    # Every figure binary, scaled down, on two workers. Validates that the
-    # emitted artifact under target/smoke/ is well-formed JSON — a bench
-    # that panics, hangs, or emits garbage fails the gate.
-    local bins=(fig6 fig7 insertion_cost dimensionality_sweep selectivity_sweep
-        sweep_cell_size sweep_pool_side batch_ablation hotspot monitor_cost
-        forwarding_ablation lifetime failure_resilience load_balance lossy_radio
-        latency_profile churn_resilience sweep_scale chaos_suite)
+    # Every figure binary from the shared manifest, scaled down, on two
+    # workers. Validates that the emitted artifact under target/smoke/ is
+    # well-formed JSON — a bench that panics, hangs, or emits garbage
+    # fails the gate.
+    local bins=()
+    while IFS= read -r bin; do
+        [[ -z "$bin" || "$bin" == \#* ]] && continue
+        bins+=("$bin")
+    done < scripts/figure_bins.txt
     rm -rf target/smoke
     for bin in "${bins[@]}"; do
-        echo "    $bin --smoke --jobs 2"
+        local start=$SECONDS
         "target/release/$bin" --smoke --jobs 2 >/dev/null
+        printf '    %-24s %4ds\n' "$bin" $((SECONDS - start))
     done
     local artifacts
     artifacts=$(ls target/smoke/BENCH_*.json | wc -l)
@@ -67,13 +70,23 @@ for path in sys.argv[1:]:
     if not any(c.endswith("_ms") or c.endswith("_s") for c in cols):
         sys.exit(f"{path}: no virtual-time column among {cols}")
 EOF
-    # The scale sweep's smoke artifact is tracked against a checked-in
-    # baseline: deterministic columns exactly, timing columns loosely.
-    ./scripts/bench_compare.sh target/smoke/BENCH_scale.json results/BENCH_scale_smoke.json
-    # The chaos suite's smoke artifact likewise: completeness, detour and
-    # retransmission cells are deterministic and must match the baseline.
-    ./scripts/bench_compare.sh target/smoke/BENCH_chaos.json results/BENCH_chaos_smoke.json
-    echo "    ${#bins[@]} binaries ran; $artifacts artifacts validated"
+    # Every smoke artifact diffs against its checked-in baseline under
+    # results/. All cells are deterministic (exact) except the scale
+    # sweep's wall-clock timing/RSS columns, which get the loose ratio
+    # rule.
+    for f in target/smoke/BENCH_*.json; do
+        local name baseline timing_re
+        name=$(basename "$f" .json)
+        baseline="results/${name}_smoke.json"
+        if [ ! -f "$baseline" ]; then
+            echo "missing baseline $baseline for $f (regenerate and check it in)" >&2
+            exit 1
+        fi
+        timing_re=""
+        [ "$name" = "BENCH_scale" ] && timing_re='_ms$|^rss_kb$'
+        ./scripts/bench_compare.sh "$f" "$baseline" "$timing_re"
+    done
+    echo "    ${#bins[@]} binaries ran; $artifacts artifacts validated against baselines"
 }
 
 stage "cargo fmt --check" cargo fmt --all --check

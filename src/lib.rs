@@ -14,6 +14,7 @@
 //! | [`ght`] | `pool-ght` | geographic hash table (key → location, home nodes) |
 //! | [`dim`] | `pool-dim` | the DIM baseline (zone tree, codes, range queries) |
 //! | [`core`] | `pool-core` | **the paper's contribution**: pools, Theorem 3.1 insertion, Theorem 3.2 resolving, splitter forwarding, workload sharing |
+//! | [`service`] | `pool-service` | sharded concurrent front end: `Sync` service handle, admission windows, query coalescing |
 //! | [`workloads`] | `pool-workloads` | §5.1 event & query generators |
 //!
 //! ## Quickstart
@@ -49,5 +50,6 @@ pub use pool_dim as dim;
 pub use pool_ght as ght;
 pub use pool_gpsr as gpsr;
 pub use pool_netsim as netsim;
+pub use pool_service as service;
 pub use pool_transport as transport;
 pub use pool_workloads as workloads;
